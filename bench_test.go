@@ -1,0 +1,224 @@
+package sldbt
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (see EXPERIMENTS.md for recorded paper-vs-measured values) and
+// report each one's headline number as a custom metric:
+//
+//	go test -bench=. -benchmem
+//
+// Budgets are scaled down so a full -bench=. pass stays fast; run
+// cmd/experiments for full-budget tables.
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sldbt/internal/exp"
+	"sldbt/internal/learn"
+	"sldbt/internal/workloads"
+	"sldbt/internal/x86"
+)
+
+const benchScale = 0.25
+
+func newRunner(b *testing.B) *exp.Runner {
+	b.Helper()
+	r := exp.NewRunner()
+	r.BudgetScale = benchScale
+	return r
+}
+
+// geomean over per-benchmark speedups computed from cached runs.
+func speedupGeomean(b *testing.B, r *exp.Runner, cfg exp.Config, spec bool) float64 {
+	b.Helper()
+	var logs float64
+	n := 0
+	for _, w := range workloads.All() {
+		if w.Spec != spec {
+			continue
+		}
+		q, err := r.Run(w, exp.CfgQEMU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run(w, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logs += math.Log(float64(q.HostTotal) / float64(res.HostTotal))
+		n++
+	}
+	return math.Exp(logs / float64(n))
+}
+
+// BenchmarkTable1 regenerates the instruction-mix distribution (Table I).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		out, err := r.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, "GEOMEAN") {
+			b.Fatal("malformed table")
+		}
+	}
+}
+
+// BenchmarkFig8 measures the coordination-sequence reduction (Fig. 8).
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := exp.Fig8()
+		if !strings.Contains(out, "parse-and-save") {
+			b.Fatal("malformed output")
+		}
+	}
+	b.ReportMetric(13, "parse-save-insts")
+	b.ReportMetric(3, "packed-save-insts")
+}
+
+// BenchmarkFig14 regenerates the headline SPEC speedup (Fig. 14).
+func BenchmarkFig14(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		if _, err := r.Fig14(); err != nil {
+			b.Fatal(err)
+		}
+		sp = speedupGeomean(b, r, exp.CfgFull, true)
+	}
+	b.ReportMetric(sp, "speedup-full")
+}
+
+// BenchmarkFig15 regenerates host instructions per guest instruction.
+func BenchmarkFig15(b *testing.B) {
+	var hg float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		if _, err := r.Fig15(); err != nil {
+			b.Fatal(err)
+		}
+		var logs float64
+		n := 0
+		for _, w := range workloads.SpecWorkloads() {
+			res, err := r.Run(w, exp.CfgFull)
+			if err != nil {
+				b.Fatal(err)
+			}
+			logs += math.Log(float64(res.HostTotal) / float64(res.Retired))
+			n++
+		}
+		hg = math.Exp(logs / float64(n))
+	}
+	b.ReportMetric(hg, "host-per-guest-full")
+}
+
+// BenchmarkFig16 regenerates the cumulative optimization impact (Fig. 16).
+func BenchmarkFig16(b *testing.B) {
+	var base, full float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		if _, err := r.Fig16(); err != nil {
+			b.Fatal(err)
+		}
+		base = speedupGeomean(b, r, exp.CfgBase, true)
+		full = speedupGeomean(b, r, exp.CfgFull, true)
+	}
+	b.ReportMetric(base, "speedup-base")
+	b.ReportMetric(full, "speedup-full")
+}
+
+// BenchmarkFig17 regenerates sync instructions per guest instruction.
+func BenchmarkFig17(b *testing.B) {
+	var baseSync, fullSync float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		if _, err := r.Fig17(); err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []exp.Config{exp.CfgBase, exp.CfgFull} {
+			var logs float64
+			n := 0
+			for _, w := range workloads.SpecWorkloads() {
+				res, err := r.Run(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v := float64(res.Counts[x86.ClassSync]) / float64(res.Retired)
+				logs += math.Log(math.Max(v, 1e-9))
+				n++
+			}
+			if cfg == exp.CfgBase {
+				baseSync = math.Exp(logs / float64(n))
+			} else {
+				fullSync = math.Exp(logs / float64(n))
+			}
+		}
+	}
+	b.ReportMetric(baseSync, "sync-per-guest-base")
+	b.ReportMetric(fullSync, "sync-per-guest-full")
+}
+
+// BenchmarkFig18 regenerates the slowdown-to-native comparison.
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		out, err := r.Fig18()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(out, "GEOMEAN") {
+			b.Fatal("malformed output")
+		}
+	}
+}
+
+// BenchmarkFig19 regenerates the real-world application speedups.
+func BenchmarkFig19(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		if _, err := r.Fig19(); err != nil {
+			b.Fatal(err)
+		}
+		sp = speedupGeomean(b, r, exp.CfgFull, false)
+	}
+	b.ReportMetric(sp, "speedup-apps")
+}
+
+// BenchmarkLearningPipeline measures the full rule-learning run (twin
+// compilation, extraction, parameterization, verification).
+func BenchmarkLearningPipeline(b *testing.B) {
+	var nrules float64
+	for i := 0; i < b.N; i++ {
+		set, _, err := learn.Learn(50, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nrules = float64(len(set.Rules))
+	}
+	b.ReportMetric(nrules, "rules")
+}
+
+// BenchmarkEngineThroughput measures raw emulation speed of the two engines
+// (guest instructions per second), the quantity behind Fig. 18.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, cfg := range []exp.Config{exp.CfgQEMU, exp.CfgFull} {
+		cfg := cfg
+		b.Run(string(cfg), func(b *testing.B) {
+			w, _ := workloads.ByName("mcf")
+			var guest uint64
+			for i := 0; i < b.N; i++ {
+				r := exp.NewRunner()
+				r.BudgetScale = benchScale
+				res, err := r.Run(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				guest += res.Retired
+			}
+			b.ReportMetric(float64(guest)/b.Elapsed().Seconds(), "guest-instr/s")
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Command experiments regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig8|fig14|fig15|fig16|fig17|fig18|fig19|coordstats]
+//	            [-scale 1.0] [-learned]
+//
+// -scale scales workload budgets (smaller = faster, noisier); -learned uses
+// the rule set produced by the learning pipeline instead of the seed set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sldbt/internal/exp"
+	"sldbt/internal/learn"
+	"sldbt/internal/rules"
+)
+
+func main() {
+	log.SetFlags(0)
+	expName := flag.String("exp", "all", "experiment to run (or 'all')")
+	scale := flag.Float64("scale", 1.0, "workload budget scale factor")
+	learned := flag.Bool("learned", false, "use the learned rule set (cmd/rulegen pipeline)")
+	flag.Parse()
+
+	r := exp.NewRunner()
+	r.BudgetScale = *scale
+	if *learned {
+		set, rep, err := learn.DefaultSet(200, 1)
+		if err != nil {
+			log.Fatalf("learning pipeline: %v", err)
+		}
+		log.Printf("learned rule set: %d rules (%d candidates, %d rejected, %d op-class merges)\n",
+			rep.Verified, rep.Candidates, rep.Rejected, rep.MergedByOp)
+		r.Rules = func() *rules.Set { return set }
+	}
+
+	names := exp.Experiments()
+	if *expName != "all" {
+		names = strings.Split(*expName, ",")
+	}
+	for _, name := range names {
+		out, err := r.RunExperiment(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+	}
+}

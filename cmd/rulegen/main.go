@@ -1,0 +1,48 @@
+// Command rulegen runs the rule-learning pipeline — twin compilation of the
+// training corpus, pair extraction, parameterization and semantic
+// verification — and prints the resulting rule set.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"sldbt/internal/learn"
+)
+
+func main() {
+	log.SetFlags(0)
+	trials := flag.Int("trials", 300, "verification trials per rule")
+	seed := flag.Int64("seed", 1, "verification RNG seed")
+	verbose := flag.Bool("v", false, "dump rule templates")
+	flag.Parse()
+
+	set, rep, err := learn.Learn(*trials, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training statements: %d\n", rep.Statements)
+	fmt.Printf("extracted pairs:     %d\n", rep.Pairs)
+	fmt.Printf("candidate shapes:    %d (after %d opcode-class merges)\n", rep.Candidates, rep.MergedByOp)
+	fmt.Printf("verified rules:      %d (rejected %d)\n", rep.Verified, rep.Rejected)
+	fmt.Println()
+	for i, r := range set.Rules {
+		ops := make([]string, len(r.Match.Ops))
+		for j, op := range r.Match.Ops {
+			ops[j] = op.String()
+		}
+		opsStr := strings.Join(ops, "|")
+		if opsStr == "" {
+			opsStr = r.Match.Kind.String()
+		}
+		fmt.Printf("%3d. %-40s ops=%-18s flags=%-10s host=%d insts verified=%v\n",
+			i+1, r.Name, opsStr, r.Flags, len(r.Host), r.Verified)
+		if *verbose {
+			for _, t := range r.Host {
+				fmt.Printf("       %+v\n", t)
+			}
+		}
+	}
+}

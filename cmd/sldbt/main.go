@@ -1,0 +1,152 @@
+// Command sldbt runs a guest program under a chosen execution engine: the
+// reference interpreter, the QEMU-like TCG baseline, or the rule-based
+// translator at a chosen optimization level.
+//
+// Usage:
+//
+//	sldbt -workload mcf -engine rule -opt scheduling
+//	sldbt -asm prog.s -engine tcg
+//
+// With -asm, the file must contain a user-mode program defining user_entry
+// (it is linked against the built-in mini kernel).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+	"sldbt/internal/workloads"
+	"sldbt/internal/x86"
+)
+
+func main() {
+	log.SetFlags(0)
+	wl := flag.String("workload", "", "built-in workload name (see -list)")
+	asmFile := flag.String("asm", "", "assembly file with a user_entry program")
+	engName := flag.String("engine", "rule", "engine: interp | tcg | rule")
+	opt := flag.String("opt", "scheduling", "rule-engine optimization level: base | reduction | elimination | scheduling")
+	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
+	stats := flag.Bool("stats", true, "print execution statistics")
+	list := flag.Bool("list", false, "list built-in workloads")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			kind := "app"
+			if w.Spec {
+				kind = "spec"
+			}
+			fmt.Printf("%-12s (%s)\n", w.Name, kind)
+		}
+		return
+	}
+
+	var im *workloads.Image
+	switch {
+	case *wl != "":
+		w, ok := workloads.ByName(*wl)
+		if !ok {
+			log.Fatalf("unknown workload %q (try -list)", *wl)
+		}
+		var err error
+		im, err = w.Prepare()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *asmFile != "":
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := kernel.Build(string(src), kernel.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := &workloads.Workload{Name: *asmFile, Budget: *budget}
+		im = &workloads.Image{W: w, Origin: prog.Origin, Data: prog.Image}
+	default:
+		log.Fatal("need -workload or -asm (or -list)")
+	}
+
+	levels := map[string]core.OptLevel{
+		"base": core.OptBase, "reduction": core.OptReduction,
+		"elimination": core.OptElimination, "scheduling": core.OptScheduling,
+	}
+
+	start := time.Now()
+	switch *engName {
+	case "interp":
+		bus := ghw.NewBus(kernel.RAMSize)
+		im.Configure(bus)
+		if err := bus.LoadImage(im.Origin, im.Data); err != nil {
+			log.Fatal(err)
+		}
+		ip := interp.New(bus)
+		code, err := ip.Run(*budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bus.UART().Output())
+		if *stats {
+			s := ip.Stats
+			fmt.Printf("-- exit %d in %v; %d guest instructions (mem %.1f%%, sys %.2f%%, tb %.1f%%)\n",
+				code, time.Since(start).Round(time.Millisecond), s.Total,
+				100*float64(s.Mem)/float64(s.Total),
+				100*float64(s.System)/float64(s.Total),
+				100*float64(s.Blocks)/float64(s.Total))
+		}
+	case "tcg", "rule":
+		var tr engine.Translator
+		if *engName == "tcg" {
+			tr = tcg.New()
+		} else {
+			lvl, ok := levels[*opt]
+			if !ok {
+				log.Fatalf("unknown -opt %q", *opt)
+			}
+			tr = core.New(rules.BaselineRules(), lvl)
+		}
+		e := engine.New(tr, kernel.RAMSize)
+		im.Configure(e.Bus)
+		if err := e.LoadImage(im.Origin, im.Data); err != nil {
+			log.Fatal(err)
+		}
+		code, err := e.Run(*budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(e.Bus.UART().Output())
+		if *stats {
+			total := e.M.Total()
+			fmt.Printf("-- exit %d in %v via %s\n", code, time.Since(start).Round(time.Millisecond), tr.Name())
+			fmt.Printf("-- %d guest instructions, %d host instructions (%.2f host/guest)\n",
+				e.Retired, total, float64(total)/float64(e.Retired))
+			fmt.Printf("-- host classes: code %d, sync %d, mmu %d, irqcheck %d, glue %d, helper %d\n",
+				e.M.Counts[x86.ClassCode], e.M.Counts[x86.ClassSync], e.M.Counts[x86.ClassMMU],
+				e.M.Counts[x86.ClassIRQCheck], e.M.Counts[x86.ClassGlue], e.M.Counts[x86.ClassHelper])
+			fmt.Printf("-- engine: %d TBs, %d entries, %d chained, %d helper calls, %d IRQs\n",
+				e.Stats.TBsTranslated, e.Stats.TBEntries, e.Stats.ChainHits,
+				e.Stats.HelperCalls, e.Stats.IRQs)
+			if rt, ok := tr.(*core.Translator); ok {
+				fmt.Printf("-- rules: %d hits, %d fallbacks, coverage %.1f%%; sync saves %d, restores %d, elided %d+%d, inter-TB %d, sched moves %d\n",
+					rt.Stats.RuleHits, rt.Stats.Fallbacks,
+					100*float64(rt.Stats.RuleHits)/float64(rt.Stats.RuleHits+rt.Stats.Fallbacks),
+					rt.Stats.SyncSaves, rt.Stats.SyncRestores,
+					rt.Stats.ElidedSaves, rt.Stats.ElidedRests,
+					rt.Stats.InterTBElided, rt.Stats.SchedMoves)
+			}
+		}
+	default:
+		log.Fatalf("unknown engine %q", *engName)
+	}
+}

@@ -1,0 +1,14 @@
+// Package sldbt is a system-level dynamic binary translator using
+// automatically-learned translation rules: a reproduction of Jiang et al.,
+// CGO 2024 (arXiv:2402.09688).
+//
+// The implementation lives under internal/: the ARM-v7 guest ISA and
+// assembler (internal/arm), guest hardware and MMU (internal/ghw,
+// internal/mmu), the reference interpreter (internal/interp), the simulated
+// x86 host machine (internal/x86), the QEMU-like engine and TCG baseline
+// (internal/engine, internal/tcg), the rule learning pipeline
+// (internal/learn, internal/verify, internal/rules), the rule-based
+// system-level translator with the paper's coordination optimizations
+// (internal/core), the benchmark workloads (internal/workloads) and the
+// experiment harness (internal/exp). See README.md and DESIGN.md.
+package sldbt

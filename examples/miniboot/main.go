@@ -1,0 +1,97 @@
+// Miniboot: boot the mini guest OS on all three execution engines — the
+// reference interpreter, the QEMU-like TCG baseline and the rule-based
+// translator — with a workload that exercises the MMU, timer interrupts,
+// supervisor calls and the block device, then cross-check the results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+)
+
+const user = `
+	.equ BUF, 0x500000
+user_entry:
+	; read two sectors, checksum them, write the sum to the console
+	mov r0, #0
+	ldr r1, =BUF
+	mov r2, #2
+	mov r7, #5          ; sys_block_read
+	svc #0
+	ldr r1, =BUF
+	mov r4, #0
+	mov r0, #0
+	mov r5, #256
+sum:
+	subs r5, r5, #1
+	ldr r3, [r1, r0, lsl #2]
+	add r4, r4, r3
+	add r0, r0, #1
+	bne sum
+	mov r0, r4
+	mov r7, #3          ; sys_puthex
+	svc #0
+	mov r0, #0x0a
+	mov r7, #1
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+
+func disk() []byte {
+	d := make([]byte, 4*ghw.SectorSize)
+	for i := range d {
+		d[i] = byte(i*37 + 11)
+	}
+	return d
+}
+
+func main() {
+	prog := kernel.MustBuild(user, kernel.Config{TimerPeriod: 5000})
+
+	// Reference interpreter.
+	bus := ghw.NewBus(kernel.RAMSize)
+	bus.Block().SetDisk(disk())
+	if err := bus.LoadImage(prog.Origin, prog.Image); err != nil {
+		log.Fatal(err)
+	}
+	ip := interp.New(bus)
+	if _, err := ip.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	want := bus.UART().Output()
+	fmt.Printf("interp:    %q  (%d instructions, %d IRQs)\n", want, ip.Stats.Total, ip.Stats.IRQs)
+
+	// Both DBT engines must agree byte-for-byte.
+	engines := []engine.Translator{
+		tcg.New(),
+		core.New(rules.BaselineRules(), core.OptScheduling),
+	}
+	for _, tr := range engines {
+		e := engine.New(tr, kernel.RAMSize)
+		e.Bus.Block().SetDisk(disk())
+		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := e.Run(10_000_000); err != nil {
+			log.Fatal(err)
+		}
+		got := e.Bus.UART().Output()
+		status := "OK"
+		if got != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-10s %q  (%.2f host/guest)  %s\n",
+			tr.Name()+":", got, float64(e.M.Total())/float64(e.Retired), status)
+	}
+}

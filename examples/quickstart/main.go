@@ -1,0 +1,63 @@
+// Quickstart: assemble a guest program, boot it under the rule-based
+// system-level DBT, and read its console output and execution statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+)
+
+func main() {
+	// A user-mode guest program: it runs on the bundled mini OS, which
+	// boots with the MMU on, a periodic timer firing interrupts, and
+	// syscalls for console output.
+	const user = `
+user_entry:
+	ldr r0, =greeting
+	mov r7, #2          ; sys_puts
+	svc #0
+	; compute 10! iteratively and print it
+	mov r4, #1
+	mov r0, #10
+fact:
+	mul r4, r4, r0
+	subs r0, r0, #1
+	bne fact
+	mov r0, r4
+	mov r7, #3          ; sys_puthex
+	svc #0
+	mov r0, #0x0a
+	mov r7, #1          ; sys_putc
+	svc #0
+	mov r0, #0
+	mov r7, #0          ; sys_exit
+	svc #0
+greeting:
+	.asciz "hello from the guest!\n"
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+
+	// The rule-based translator with all of the paper's optimizations.
+	tr := core.New(rules.BaselineRules(), core.OptScheduling)
+	e := engine.New(tr, kernel.RAMSize)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		log.Fatal(err)
+	}
+	code, err := e.Run(10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(e.Bus.UART().Output())
+	fmt.Printf("guest exited with %d\n", code)
+	fmt.Printf("%d guest instructions -> %d host instructions (%.2f host/guest)\n",
+		e.Retired, e.M.Total(), float64(e.M.Total())/float64(e.Retired))
+	fmt.Printf("rule coverage: %d rule hits, %d fallbacks to QEMU-style emulation\n",
+		tr.Stats.RuleHits, tr.Stats.Fallbacks)
+}

@@ -1,0 +1,179 @@
+package arm
+
+// Flags holds the guest NZCV condition flags.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Pack returns the flags packed into CPSR bit positions (31:28).
+func (f Flags) Pack() uint32 {
+	var v uint32
+	if f.N {
+		v |= 1 << 31
+	}
+	if f.Z {
+		v |= 1 << 30
+	}
+	if f.C {
+		v |= 1 << 29
+	}
+	if f.V {
+		v |= 1 << 28
+	}
+	return v
+}
+
+// UnpackFlags extracts NZCV from CPSR bit positions.
+func UnpackFlags(cpsr uint32) Flags {
+	return Flags{
+		N: cpsr&(1<<31) != 0,
+		Z: cpsr&(1<<30) != 0,
+		C: cpsr&(1<<29) != 0,
+		V: cpsr&(1<<28) != 0,
+	}
+}
+
+// Shifter applies an operand-2 shift and returns the shifted value together
+// with the shifter carry-out. amount must already be the effective amount:
+// for register-specified shifts pass the low byte of Rs; for immediate
+// shifts the decoder has normalized LSR/ASR #0 to #32 and ROR #0 to RRX.
+func Shifter(val uint32, typ ShiftType, amount uint32, carryIn bool) (uint32, bool) {
+	switch typ {
+	case LSL:
+		switch {
+		case amount == 0:
+			return val, carryIn
+		case amount < 32:
+			return val << amount, val&(1<<(32-amount)) != 0
+		case amount == 32:
+			return 0, val&1 != 0
+		default:
+			return 0, false
+		}
+	case LSR:
+		switch {
+		case amount == 0:
+			return val, carryIn
+		case amount < 32:
+			return val >> amount, val&(1<<(amount-1)) != 0
+		case amount == 32:
+			return 0, val&(1<<31) != 0
+		default:
+			return 0, false
+		}
+	case ASR:
+		switch {
+		case amount == 0:
+			return val, carryIn
+		case amount < 32:
+			return uint32(int32(val) >> amount), val&(1<<(amount-1)) != 0
+		default:
+			if int32(val) < 0 {
+				return 0xFFFFFFFF, true
+			}
+			return 0, false
+		}
+	case ROR:
+		if amount == 0 {
+			return val, carryIn
+		}
+		amount &= 31
+		if amount == 0 {
+			return val, val&(1<<31) != 0
+		}
+		res := val>>amount | val<<(32-amount)
+		return res, res&(1<<31) != 0
+	case RRX:
+		res := val >> 1
+		if carryIn {
+			res |= 1 << 31
+		}
+		return res, val&1 != 0
+	}
+	return val, carryIn
+}
+
+// addWithCarry computes a + b + cin and the resulting carry and overflow, per
+// the ARM pseudocode AddWithCarry().
+func addWithCarry(a, b uint32, cin bool) (res uint32, c, v bool) {
+	var carry uint64
+	if cin {
+		carry = 1
+	}
+	u := uint64(a) + uint64(b) + carry
+	s := int64(int32(a)) + int64(int32(b)) + int64(carry)
+	res = uint32(u)
+	c = u != uint64(res)
+	v = s != int64(int32(res))
+	return res, c, v
+}
+
+// AluExec executes a data-processing opcode over its two operands with the
+// given carry-in (for ADC/SBC/RSC) and shifter carry-out (for logical ops)
+// and returns the result and the NZCV flags the S form would produce.
+// For compare ops the result is the computed value used for flag setting.
+func AluExec(op AluOp, rn, op2 uint32, carryIn, shiftCarry bool) (res uint32, f Flags) {
+	switch op {
+	case OpAND, OpTST:
+		res = rn & op2
+		f.C = shiftCarry
+	case OpEOR, OpTEQ:
+		res = rn ^ op2
+		f.C = shiftCarry
+	case OpSUB, OpCMP:
+		res, f.C, f.V = addWithCarry(rn, ^op2, true)
+	case OpRSB:
+		res, f.C, f.V = addWithCarry(^rn, op2, true)
+	case OpADD, OpCMN:
+		res, f.C, f.V = addWithCarry(rn, op2, false)
+	case OpADC:
+		res, f.C, f.V = addWithCarry(rn, op2, carryIn)
+	case OpSBC:
+		res, f.C, f.V = addWithCarry(rn, ^op2, carryIn)
+	case OpRSC:
+		res, f.C, f.V = addWithCarry(^rn, op2, carryIn)
+	case OpORR:
+		res = rn | op2
+		f.C = shiftCarry
+	case OpMOV:
+		res = op2
+		f.C = shiftCarry
+	case OpBIC:
+		res = rn &^ op2
+		f.C = shiftCarry
+	case OpMVN:
+		res = ^op2
+		f.C = shiftCarry
+	}
+	f.N = int32(res) < 0
+	f.Z = res == 0
+	// Logical ops preserve V; AluExec reports V=false for them and the caller
+	// keeps the old V when op.IsLogical().
+	return res, f
+}
+
+// ExpandImm expands a 12-bit data-processing modified immediate (rot:imm8)
+// into its 32-bit value and the shifter carry-out.
+func ExpandImm(imm12 uint32, carryIn bool) (uint32, bool) {
+	rot := (imm12 >> 8) & 0xF
+	imm := imm12 & 0xFF
+	if rot == 0 {
+		return imm, carryIn
+	}
+	return Shifter(imm, ROR, rot*2, carryIn)
+}
+
+// EncodeImm attempts to encode a 32-bit value as a modified immediate,
+// returning the 12-bit rot:imm8 field and whether encoding succeeded.
+func EncodeImm(v uint32) (uint32, bool) {
+	for rot := uint32(0); rot < 16; rot++ {
+		r := v<<(rot*2) | v>>(32-rot*2)
+		if rot == 0 {
+			r = v
+		}
+		if r <= 0xFF {
+			return rot<<8 | r, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,360 @@
+// Package arm models the ARM-v7 guest instruction set subset used by the
+// emulators in this repository: the A32 data-processing, multiply, load/store,
+// load/store-multiple, branch and system instruction classes that the mini
+// guest OS and the benchmark workloads are written in.
+//
+// The package provides the instruction representation (Inst), binary
+// encoding/decoding using genuine ARM A32 encodings, a two-pass text
+// assembler, a disassembler, and the shared architectural semantics (shifter,
+// ALU, condition evaluation, exception entry) that the reference interpreter,
+// the TCG-like translator, the rule-based translator and the symbolic
+// executor all delegate to, so that every engine agrees on guest semantics by
+// construction.
+package arm
+
+import "fmt"
+
+// Reg is an ARM core register number r0..r15.
+type Reg uint8
+
+// Core register aliases.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // r13
+	LR // r14
+	PC // r15
+)
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Cond is an A32 condition code (bits 31:28 of every conditional encoding).
+type Cond uint8
+
+// Condition codes in encoding order.
+const (
+	EQ Cond = iota // Z set
+	NE             // Z clear
+	CS             // C set (aka HS)
+	CC             // C clear (aka LO)
+	MI             // N set
+	PL             // N clear
+	VS             // V set
+	VC             // V clear
+	HI             // C set and Z clear
+	LS             // C clear or Z set
+	GE             // N == V
+	LT             // N != V
+	GT             // Z clear and N == V
+	LE             // Z set or N != V
+	AL             // always
+	NV             // never / unconditional space
+)
+
+var condNames = [16]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al", "nv",
+}
+
+func (c Cond) String() string {
+	if c < 16 {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Suffix returns the assembler suffix for the condition: empty for AL.
+func (c Cond) Suffix() string {
+	if c == AL {
+		return ""
+	}
+	return c.String()
+}
+
+// CondPass reports whether condition c passes for the given NZCV flags.
+func CondPass(c Cond, n, z, cf, v bool) bool {
+	switch c {
+	case EQ:
+		return z
+	case NE:
+		return !z
+	case CS:
+		return cf
+	case CC:
+		return !cf
+	case MI:
+		return n
+	case PL:
+		return !n
+	case VS:
+		return v
+	case VC:
+		return !v
+	case HI:
+		return cf && !z
+	case LS:
+		return !cf || z
+	case GE:
+		return n == v
+	case LT:
+		return n != v
+	case GT:
+		return !z && n == v
+	case LE:
+		return z || n != v
+	case AL, NV:
+		return true
+	}
+	return true
+}
+
+// UsesFlags reports whether evaluating the condition reads any NZCV flag.
+func (c Cond) UsesFlags() bool { return c != AL && c != NV }
+
+// AluOp is a data-processing opcode (bits 24:21 of the data-processing
+// encoding, in encoding order).
+type AluOp uint8
+
+// Data-processing opcodes in encoding order.
+const (
+	OpAND AluOp = iota
+	OpEOR
+	OpSUB
+	OpRSB
+	OpADD
+	OpADC
+	OpSBC
+	OpRSC
+	OpTST
+	OpTEQ
+	OpCMP
+	OpCMN
+	OpORR
+	OpMOV
+	OpBIC
+	OpMVN
+)
+
+var aluNames = [16]string{
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+	"tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+}
+
+func (op AluOp) String() string { return aluNames[op&15] }
+
+// IsCompare reports whether the op only sets flags (TST/TEQ/CMP/CMN).
+func (op AluOp) IsCompare() bool { return op >= OpTST && op <= OpCMN }
+
+// HasRn reports whether the op reads a first operand register Rn.
+func (op AluOp) HasRn() bool { return op != OpMOV && op != OpMVN }
+
+// IsLogical reports whether the op is a logical (versus arithmetic) op, which
+// determines whether C comes from the shifter and V is preserved.
+func (op AluOp) IsLogical() bool {
+	switch op {
+	case OpAND, OpEOR, OpTST, OpTEQ, OpORR, OpMOV, OpBIC, OpMVN:
+		return true
+	}
+	return false
+}
+
+// ShiftType is an operand-2 shift kind.
+type ShiftType uint8
+
+// Shift types in encoding order.
+const (
+	LSL ShiftType = iota
+	LSR
+	ASR
+	ROR
+	// RRX is encoded as ROR #0; the decoder rewrites it to RRX with amount 1.
+	RRX
+)
+
+var shiftNames = [5]string{"lsl", "lsr", "asr", "ror", "rrx"}
+
+func (s ShiftType) String() string { return shiftNames[s%5] }
+
+// Kind classifies an instruction into one of the implemented classes.
+type Kind uint8
+
+// Instruction classes.
+const (
+	KindDataProc Kind = iota // ALU register/immediate forms
+	KindMul                  // MUL/MLA
+	KindMulLong              // UMULL/SMULL
+	KindMem                  // LDR/STR word and byte
+	KindMemH                 // LDRH/STRH/LDRSB/LDRSH
+	KindBlock                // LDM/STM
+	KindBranch               // B/BL
+	KindBX                   // BX
+	KindSVC                  // SVC (supervisor call)
+	KindMRS                  // MRS
+	KindMSR                  // MSR (register form)
+	KindCPS                  // CPSIE/CPSID (interrupt mask change)
+	KindCP15                 // MCR/MRC coprocessor 15
+	KindVFPSys               // VMSR/VMRS (FP system register transfer)
+	KindWFI                  // wait for interrupt
+	KindNOP                  // architectural nop
+	KindSRSexc               // exception-return data processing (e.g. SUBS pc, lr, #n)
+	KindUndef                // undefined / unimplemented encoding
+)
+
+var kindNames = [...]string{
+	"dataproc", "mul", "mullong", "mem", "memh", "block", "branch", "bx",
+	"svc", "mrs", "msr", "cps", "cp15", "vfpsys", "wfi", "nop", "eret", "undef",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Inst is a decoded ARM instruction. It is a flat union over all implemented
+// instruction classes; Kind selects which fields are meaningful.
+type Inst struct {
+	Raw  uint32 // original encoding (0 when built by the assembler pre-encode)
+	Cond Cond
+	Kind Kind
+
+	// Data processing / multiply.
+	Op       AluOp
+	S        bool // set flags
+	Rd       Reg
+	Rn       Reg
+	Rm       Reg
+	Rs       Reg // register shift amount / multiply operand
+	RdHi     Reg // long multiply high destination
+	Imm      uint32
+	ImmValid bool // operand 2 (or offset) is an immediate
+	Shift    ShiftType
+	ShiftAmt uint8
+	ShiftReg bool // shift amount is in Rs
+
+	// Multiply.
+	Acc      bool // MLA accumulate
+	SignedML bool // SMULL vs UMULL
+
+	// Memory.
+	Load     bool
+	ByteSz   bool // LDRB/STRB
+	HalfSz   bool // LDRH/STRH
+	SignedSz bool // LDRSB/LDRSH
+	PreIndex bool
+	Up       bool
+	Wback    bool
+
+	// Block transfer.
+	RegList uint16
+
+	// Branch.
+	Link   bool
+	Offset int32 // byte offset relative to the instruction address + 8
+
+	// MRS/MSR.
+	SPSR    bool
+	MSRMask uint8 // field mask bits (c=1,x=2,s=4,f=8)
+
+	// CPS.
+	Enable bool // CPSIE (true) / CPSID (false)
+
+	// Coprocessor 15.
+	CRn, CRm   uint8
+	Opc1, Opc2 uint8
+	ToCoproc   bool // MCR (write to cp15) vs MRC (read)
+}
+
+// IsMemAccess reports whether the instruction accesses guest memory through
+// the MMU (the class the paper's softmmu coordination applies to).
+func (i *Inst) IsMemAccess() bool {
+	return i.Kind == KindMem || i.Kind == KindMemH || i.Kind == KindBlock
+}
+
+// IsSystem reports whether the instruction is a system-level instruction in
+// the paper's sense: it must be emulated by a helper function and cannot be
+// covered by rules learned from user-level code.
+func (i *Inst) IsSystem() bool {
+	switch i.Kind {
+	case KindSVC, KindMRS, KindMSR, KindCPS, KindCP15, KindVFPSys, KindWFI, KindSRSexc:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction may change control flow, ending a
+// translation block.
+func (i *Inst) IsBranch() bool {
+	switch i.Kind {
+	case KindBranch, KindBX, KindSVC, KindSRSexc, KindWFI:
+		return true
+	}
+	// Any instruction writing PC ends a block.
+	switch i.Kind {
+	case KindDataProc:
+		return !i.Op.IsCompare() && i.Rd == PC
+	case KindMem:
+		return i.Load && i.Rd == PC
+	case KindBlock:
+		return i.Load && i.RegList&(1<<15) != 0
+	}
+	return false
+}
+
+// SetsFlags reports whether executing the instruction writes any NZCV flag.
+func (i *Inst) SetsFlags() bool {
+	switch i.Kind {
+	case KindDataProc, KindMul, KindMulLong:
+		return i.S
+	case KindMSR:
+		return !i.SPSR && i.MSRMask&8 != 0
+	case KindVFPSys:
+		// VMRS APSR_nzcv, fpscr writes flags; we only implement the Rt form.
+		return false
+	}
+	return false
+}
+
+// ReadsFlags reports whether the instruction reads any NZCV flag (through its
+// condition or through carry-in ops).
+func (i *Inst) ReadsFlags() bool {
+	if i.Cond.UsesFlags() {
+		return true
+	}
+	if i.Kind == KindDataProc {
+		switch i.Op {
+		case OpADC, OpSBC, OpRSC:
+			return true
+		}
+		if i.Shift == RRX {
+			return true
+		}
+	}
+	if i.Kind == KindMRS && !i.SPSR {
+		return true
+	}
+	return false
+}

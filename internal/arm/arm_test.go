@@ -1,0 +1,301 @@
+package arm
+
+import (
+	"testing"
+)
+
+func TestCondPass(t *testing.T) {
+	cases := []struct {
+		c          Cond
+		n, z, v, C bool
+		want       bool
+	}{
+		{EQ, false, true, false, false, true},
+		{EQ, false, false, false, false, false},
+		{NE, false, false, false, false, true},
+		{CS, false, false, false, true, true},
+		{CC, false, false, false, true, false},
+		{MI, true, false, false, false, true},
+		{PL, true, false, false, false, false},
+		{VS, false, false, true, false, true},
+		{VC, false, false, true, false, false},
+		{HI, false, false, false, true, true},
+		{HI, false, true, false, true, false},
+		{LS, false, true, false, true, true},
+		{LS, false, false, false, true, false},
+		{GE, true, false, true, false, true},
+		{GE, true, false, false, false, false},
+		{LT, true, false, false, false, true},
+		{GT, false, false, false, false, true},
+		{GT, false, true, false, false, false},
+		{LE, false, true, false, false, true},
+		{AL, false, false, false, false, true},
+	}
+	for _, c := range cases {
+		if got := CondPass(c.c, c.n, c.z, c.C, c.v); got != c.want {
+			t.Errorf("CondPass(%v, n=%v z=%v c=%v v=%v) = %v, want %v",
+				c.c, c.n, c.z, c.C, c.v, got, c.want)
+		}
+	}
+}
+
+func TestShifter(t *testing.T) {
+	cases := []struct {
+		val     uint32
+		typ     ShiftType
+		amt     uint32
+		cin     bool
+		want    uint32
+		wantCry bool
+	}{
+		{0x1, LSL, 0, true, 0x1, true},
+		{0x1, LSL, 4, false, 0x10, false},
+		{0x80000001, LSL, 1, false, 0x2, true},
+		{0xFF, LSL, 32, false, 0, true},
+		{0xFF, LSL, 33, false, 0, false},
+		{0x80000000, LSR, 31, false, 0x1, false},
+		{0x80000000, LSR, 32, false, 0, true},
+		{0x3, LSR, 1, false, 0x1, true},
+		{0x80000000, ASR, 4, false, 0xF8000000, false},
+		{0x80000000, ASR, 32, false, 0xFFFFFFFF, true},
+		{0x40000000, ASR, 32, false, 0, false},
+		{0x80000001, ROR, 1, false, 0xC0000000, true},
+		{0xF000000F, ROR, 4, false, 0xFF000000, true},
+		{0x2, RRX, 1, true, 0x80000001, false},
+		{0x3, RRX, 1, false, 0x1, true},
+	}
+	for _, c := range cases {
+		got, cry := Shifter(c.val, c.typ, c.amt, c.cin)
+		if got != c.want || cry != c.wantCry {
+			t.Errorf("Shifter(%#x, %v, %d, %v) = %#x,%v want %#x,%v",
+				c.val, c.typ, c.amt, c.cin, got, cry, c.want, c.wantCry)
+		}
+	}
+}
+
+func TestAluExecArithmetic(t *testing.T) {
+	cases := []struct {
+		op         AluOp
+		a, b       uint32
+		cin        bool
+		want       uint32
+		n, z, C, v bool
+	}{
+		{OpADD, 1, 2, false, 3, false, false, false, false},
+		{OpADD, 0xFFFFFFFF, 1, false, 0, false, true, true, false},
+		{OpADD, 0x7FFFFFFF, 1, false, 0x80000000, true, false, false, true},
+		{OpSUB, 5, 3, false, 2, false, false, true, false},
+		{OpSUB, 3, 5, false, 0xFFFFFFFE, true, false, false, false},
+		{OpSUB, 0x80000000, 1, false, 0x7FFFFFFF, false, false, true, true},
+		{OpCMP, 7, 7, false, 0, false, true, true, false},
+		{OpRSB, 3, 5, false, 2, false, false, true, false},
+		{OpADC, 1, 2, true, 4, false, false, false, false},
+		{OpSBC, 5, 3, true, 2, false, false, true, false},
+		{OpSBC, 5, 3, false, 1, false, false, true, false},
+		{OpCMN, 1, 0xFFFFFFFF, false, 0, false, true, true, false},
+	}
+	for _, c := range cases {
+		res, f := AluExec(c.op, c.a, c.b, c.cin, false)
+		if res != c.want || f.N != c.n || f.Z != c.z || f.C != c.C || f.V != c.v {
+			t.Errorf("AluExec(%v, %#x, %#x, cin=%v) = %#x %+v, want %#x n=%v z=%v c=%v v=%v",
+				c.op, c.a, c.b, c.cin, res, f, c.want, c.n, c.z, c.C, c.v)
+		}
+	}
+}
+
+func TestAluExecLogical(t *testing.T) {
+	res, f := AluExec(OpAND, 0xF0, 0xFF, false, true)
+	if res != 0xF0 || f.C != true || f.Z || f.N {
+		t.Errorf("AND: got %#x %+v", res, f)
+	}
+	res, f = AluExec(OpBIC, 0xFF, 0x0F, false, false)
+	if res != 0xF0 || f.C {
+		t.Errorf("BIC: got %#x %+v", res, f)
+	}
+	res, _ = AluExec(OpMVN, 0, 0, false, false)
+	if res != 0xFFFFFFFF {
+		t.Errorf("MVN: got %#x", res)
+	}
+	res, f = AluExec(OpEOR, 0xAA, 0xAA, false, false)
+	if res != 0 || !f.Z {
+		t.Errorf("EOR: got %#x %+v", res, f)
+	}
+}
+
+func TestEncodeImmRoundTrip(t *testing.T) {
+	for _, v := range []uint32{0, 1, 0xFF, 0x100, 0xFF0, 0xFF000000, 0xC0000034, 0x3FC00} {
+		imm12, ok := EncodeImm(v)
+		if !ok {
+			t.Errorf("EncodeImm(%#x) failed", v)
+			continue
+		}
+		got, _ := ExpandImm(imm12, false)
+		if got != v {
+			t.Errorf("ExpandImm(EncodeImm(%#x)) = %#x", v, got)
+		}
+	}
+	for _, v := range []uint32{0x101, 0xFFFF, 0x12345678} {
+		if _, ok := EncodeImm(v); ok {
+			t.Errorf("EncodeImm(%#x) unexpectedly succeeded", v)
+		}
+	}
+}
+
+// TestDecodeKnownEncodings checks a handful of independently-computed A32
+// encodings decode to the right instruction.
+func TestDecodeKnownEncodings(t *testing.T) {
+	cases := []struct {
+		raw  uint32
+		want string
+	}{
+		{0xE0810002, "add r0, r1, r2"},
+		{0xE2810004, "add r0, r1, #0x4"},
+		{0xE0510002, "subs r0, r1, r2"},
+		{0xE1500001, "cmp r0, r1"},
+		{0xE3500000, "cmp r0, #0x0"},
+		{0xE1A00001, "mov r0, r1"},
+		{0xE1A00081, "mov r0, r1, lsl #1"},
+		{0xE591201C, "ldr r2, [r1, #0x1c]"},
+		{0xE5812000, "str r2, [r1]"},
+		{0xE4912004, "ldr r2, [r1], #0x4"},
+		{0xE5B12004, "ldr r2, [r1, #0x4]!"},
+		{0xE7912002, "ldr r2, [r1, r2]"},
+		{0xE5D12000, "ldrb r2, [r1]"},
+		{0xE1D120B0, "ldrh r2, [r1]"},
+		{0xEA000010, "b 0x48"},
+		{0xEB000010, "bl 0x48"},
+		{0x0A000000, "beq 0x8"},
+		{0xE12FFF1E, "bx lr"},
+		{0xEF000005, "svc #5"},
+		{0xE10F0000, "mrs r0, cpsr"},
+		{0xE129F000, "msr cpsr, r0"},
+		{0xE0000291, "mul r0, r1, r2"},
+		{0xE0821493, "umull r1, r2, r3, r4"},
+		{0xE8BD000F, "ldmia sp!, {r0-r3}"},
+		{0xE92D4010, "stmdb sp!, {r4, lr}"},
+		{0xEE010F10, "mcr p15, 0, r0, c1, c0, 0"},
+		{0xEE110F10, "mrc p15, 0, r0, c1, c0, 0"},
+		{0xEEE10A10, "vmsr fpscr, r0"},
+		{0xEEF10A10, "vmrs r0, fpscr"},
+		{0xE320F003, "wfi"},
+		{0xE320F000, "nop"},
+	}
+	for _, c := range cases {
+		i := Decode(c.raw)
+		if got := Disasm(i, 0); got != c.want {
+			t.Errorf("Decode(%#08x) = %q, want %q", c.raw, got, c.want)
+		}
+	}
+}
+
+func TestDecodeUndef(t *testing.T) {
+	for _, raw := range []uint32{0xFFFFFFFF, 0xE7F000F0, 0xF5700000} {
+		if i := Decode(raw); i.Kind != KindUndef {
+			t.Errorf("Decode(%#08x).Kind = %v, want undef", raw, i.Kind)
+		}
+	}
+}
+
+func TestExceptionEntryAndReturn(t *testing.T) {
+	c := NewCPU()
+	c.SetCPSR(uint32(ModeUSR)) // user mode, IRQs enabled
+	c.SetReg(SP, 0x1000)
+	c.SetReg(LR, 0x2000)
+	c.SetReg(PC, 0x8000)
+	c.SetFlags(Flags{N: true, C: true})
+	userCPSR := c.CPSR()
+
+	TakeException(c, VecSVC, 0x8004)
+	if c.Mode() != ModeSVC {
+		t.Fatalf("mode after SVC = %v", c.Mode())
+	}
+	if c.IRQEnabled() {
+		t.Error("IRQs should be masked after exception entry")
+	}
+	if c.Reg(LR) != 0x8004 {
+		t.Errorf("LR_svc = %#x, want 0x8004", c.Reg(LR))
+	}
+	if c.Reg(PC) != uint32(VecSVC) {
+		t.Errorf("PC = %#x, want %#x", c.Reg(PC), uint32(VecSVC))
+	}
+	if c.SPSR() != userCPSR {
+		t.Errorf("SPSR = %#x, want %#x", c.SPSR(), userCPSR)
+	}
+	// Banked SP is independent.
+	c.SetReg(SP, 0x3000)
+	if c.UserReg(SP) != 0x1000 {
+		t.Errorf("user SP clobbered: %#x", c.UserReg(SP))
+	}
+
+	ExceptionReturn(c, 0x8004)
+	if c.Mode() != ModeUSR {
+		t.Fatalf("mode after return = %v", c.Mode())
+	}
+	if c.Reg(SP) != 0x1000 || c.Reg(LR) != 0x2000 {
+		t.Errorf("user bank not restored: sp=%#x lr=%#x", c.Reg(SP), c.Reg(LR))
+	}
+	if c.CPSR() != userCPSR {
+		t.Errorf("CPSR = %#x, want %#x", c.CPSR(), userCPSR)
+	}
+}
+
+func TestWriteCPSRMasked(t *testing.T) {
+	c := NewCPU() // SVC mode
+	c.SetCPSR(uint32(ModeSVC) | CPSRBitI)
+	// Flag-only write from any mode.
+	WriteCPSRMasked(c, 0xF0000000, 8, false)
+	if c.Flags() != (Flags{N: true, Z: true, C: true, V: true}) {
+		t.Errorf("flags = %+v", c.Flags())
+	}
+	if c.Mode() != ModeSVC {
+		t.Errorf("mode changed by flag write: %v", c.Mode())
+	}
+	// Control write needs privilege.
+	WriteCPSRMasked(c, uint32(ModeUSR), 1, false)
+	if c.Mode() != ModeSVC {
+		t.Errorf("unprivileged control write changed mode")
+	}
+	WriteCPSRMasked(c, uint32(ModeSYS), 1, true)
+	if c.Mode() != ModeSYS {
+		t.Errorf("privileged control write did not change mode: %v", c.Mode())
+	}
+}
+
+func TestInstClassPredicates(t *testing.T) {
+	ldr := Decode(0xE5912000) // ldr r2, [r1]
+	if !ldr.IsMemAccess() || ldr.IsSystem() || ldr.IsBranch() {
+		t.Errorf("ldr predicates wrong: %+v", ldr)
+	}
+	svc := Decode(0xEF000000)
+	if !svc.IsSystem() || !svc.IsBranch() {
+		t.Errorf("svc predicates wrong")
+	}
+	mcr := Decode(0xEE010F10)
+	if !mcr.IsSystem() {
+		t.Errorf("mcr should be system-level")
+	}
+	vmsr := Decode(0xEEE10A10)
+	if !vmsr.IsSystem() {
+		t.Errorf("vmsr should be system-level")
+	}
+	cmpal := Decode(0xE3500000)
+	if !cmpal.SetsFlags() || cmpal.ReadsFlags() {
+		t.Errorf("cmp al flag predicates wrong")
+	}
+	addeq := Decode(0x00810002) // addeq r0, r1, r2
+	if addeq.SetsFlags() || !addeq.ReadsFlags() {
+		t.Errorf("addeq flag predicates wrong")
+	}
+	adc := Decode(0xE0A10002) // adc r0, r1, r2
+	if !adc.ReadsFlags() {
+		t.Errorf("adc should read flags (carry-in)")
+	}
+	ldrpc := Decode(0xE591F000) // ldr pc, [r1]
+	if !ldrpc.IsBranch() {
+		t.Errorf("ldr pc should be a branch")
+	}
+	popPC := Decode(0xE8BD8000) // pop {pc}
+	if !popPC.IsBranch() {
+		t.Errorf("pop {pc} should be a branch")
+	}
+}

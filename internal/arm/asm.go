@@ -1,0 +1,506 @@
+package arm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Program is the output of the assembler: a flat binary image starting at
+// Origin, plus the symbol table for loaders and tests.
+type Program struct {
+	Origin  uint32
+	Image   []byte
+	Symbols map[string]uint32
+}
+
+// Word returns the 32-bit word at the given absolute address.
+func (p *Program) Word(addr uint32) uint32 {
+	off := addr - p.Origin
+	return uint32(p.Image[off]) | uint32(p.Image[off+1])<<8 |
+		uint32(p.Image[off+2])<<16 | uint32(p.Image[off+3])<<24
+}
+
+// Assemble assembles ARM assembly source text. The supported syntax is the
+// classic ARM/UAL style used throughout internal/kernel and
+// internal/workloads; see the package tests for a tour.
+func Assemble(src string) (*Program, error) {
+	a := &asm{
+		symbols: map[string]uint32{},
+		equs:    map[string]uint32{},
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: assign addresses to labels.
+	a.pass = 1
+	if err := a.run(lines); err != nil {
+		return nil, err
+	}
+	// Pass 2: encode.
+	a.pass = 2
+	a.lc = 0
+	a.origin = 0
+	a.originSet = false
+	a.out = nil
+	a.pool = nil
+	if err := a.run(lines); err != nil {
+		return nil, err
+	}
+	syms := make(map[string]uint32, len(a.symbols)+len(a.equs))
+	for k, v := range a.symbols {
+		syms[k] = v
+	}
+	for k, v := range a.equs {
+		syms[k] = v
+	}
+	return &Program{Origin: a.origin, Image: a.out, Symbols: syms}, nil
+}
+
+// MustAssemble assembles source that is statically known-good and panics on
+// error. Kernel and workload sources use it.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type litRef struct {
+	fixup uint32 // address of the LDR instruction to patch
+	value uint32
+}
+
+type asm struct {
+	pass      int
+	lc        uint32 // location counter (absolute address)
+	origin    uint32
+	originSet bool
+	out       []byte
+	symbols   map[string]uint32
+	equs      map[string]uint32
+	pool      []litRef
+	line      int
+}
+
+func (a *asm) errf(format string, args ...any) error {
+	return fmt.Errorf("asm line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *asm) run(lines []string) error {
+	for n, raw := range lines {
+		a.line = n + 1
+		line := raw
+		if i := strings.IndexAny(line, ";@"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several, possibly followed by an instruction).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,[") {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if a.pass == 1 {
+				if _, dup := a.symbols[name]; dup {
+					return a.errf("duplicate label %q", name)
+				}
+				a.symbols[name] = a.lc
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.stmt(line); err != nil {
+			return err
+		}
+	}
+	// Flush any remaining literals at end of input.
+	return a.flushPool()
+}
+
+func (a *asm) stmt(line string) error {
+	op, rest, _ := strings.Cut(line, " ")
+	op = strings.ToLower(strings.TrimSpace(op))
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(op, ".") {
+		return a.directive(op, rest)
+	}
+	return a.instruction(op, rest)
+}
+
+func (a *asm) directive(op, rest string) error {
+	switch op {
+	case ".org":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		if !a.originSet {
+			a.origin = v
+			a.originSet = true
+			a.lc = v
+			return nil
+		}
+		if v < a.lc {
+			return a.errf(".org moves backwards (%#x < %#x)", v, a.lc)
+		}
+		a.emitZeros(v - a.lc)
+		return nil
+	case ".equ", ".set":
+		name, expr, ok := strings.Cut(rest, ",")
+		if !ok {
+			return a.errf(".equ needs name, value")
+		}
+		v, err := a.eval(strings.TrimSpace(expr))
+		if err != nil {
+			return err
+		}
+		a.equs[strings.TrimSpace(name)] = v
+		return nil
+	case ".word":
+		for _, f := range splitArgs(rest) {
+			v, err := a.eval(f)
+			if err != nil {
+				return err
+			}
+			a.emit32(v)
+		}
+		return nil
+	case ".byte":
+		for _, f := range splitArgs(rest) {
+			v, err := a.eval(f)
+			if err != nil {
+				return err
+			}
+			a.emit8(uint8(v))
+		}
+		return nil
+	case ".ascii", ".asciz":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf("bad string literal: %v", err)
+		}
+		for i := 0; i < len(s); i++ {
+			a.emit8(s[i])
+		}
+		if op == ".asciz" {
+			a.emit8(0)
+		}
+		return nil
+	case ".align":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		if v == 0 || v&(v-1) != 0 {
+			return a.errf(".align must be a power of two")
+		}
+		for a.lc%v != 0 {
+			a.emit8(0)
+		}
+		return nil
+	case ".space", ".skip":
+		args := splitArgs(rest)
+		n, err := a.eval(args[0])
+		if err != nil {
+			return err
+		}
+		a.emitZeros(n)
+		return nil
+	case ".pool", ".ltorg":
+		return a.flushPool()
+	}
+	return a.errf("unknown directive %s", op)
+}
+
+func (a *asm) emit8(b byte) {
+	if a.pass == 2 {
+		a.out = append(a.out, b)
+	}
+	a.lc++
+}
+
+func (a *asm) emit32(v uint32) {
+	a.emit8(byte(v))
+	a.emit8(byte(v >> 8))
+	a.emit8(byte(v >> 16))
+	a.emit8(byte(v >> 24))
+}
+
+func (a *asm) emitZeros(n uint32) {
+	for i := uint32(0); i < n; i++ {
+		a.emit8(0)
+	}
+}
+
+func (a *asm) emitInst(i Inst) error {
+	if a.pass == 1 {
+		// Instructions are fixed-width; pass 1 only needs the size. Encoding
+		// is deferred to pass 2, when forward references resolve.
+		a.lc += 4
+		return nil
+	}
+	w, err := Encode(i)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	a.emit32(w)
+	return nil
+}
+
+func (a *asm) patch32(addr, v uint32) {
+	off := addr - a.origin
+	a.out[off] = byte(v)
+	a.out[off+1] = byte(v >> 8)
+	a.out[off+2] = byte(v >> 16)
+	a.out[off+3] = byte(v >> 24)
+}
+
+func (a *asm) flushPool() error {
+	if len(a.pool) == 0 {
+		return nil
+	}
+	for a.lc%4 != 0 {
+		a.emit8(0)
+	}
+	for _, ref := range a.pool {
+		here := a.lc
+		a.emit32(ref.value)
+		if a.pass == 2 {
+			// Patch the LDR at ref.fixup with the pc-relative offset.
+			delta := int64(here) - int64(ref.fixup) - 8
+			if delta < 0 || delta > 0xFFF {
+				return a.errf("literal pool out of range (%d bytes)", delta)
+			}
+			w := a.wordAt(ref.fixup) | uint32(delta)
+			a.patch32(ref.fixup, w)
+		}
+	}
+	a.pool = a.pool[:0]
+	return nil
+}
+
+func (a *asm) wordAt(addr uint32) uint32 {
+	off := addr - a.origin
+	return uint32(a.out[off]) | uint32(a.out[off+1])<<8 |
+		uint32(a.out[off+2])<<16 | uint32(a.out[off+3])<<24
+}
+
+// --- expression evaluation ---
+
+func (a *asm) eval(expr string) (uint32, error) {
+	p := &exprParser{s: expr, a: a}
+	v, err := p.sum()
+	if err != nil {
+		return 0, a.errf("bad expression %q: %v", expr, err)
+	}
+	p.skipSpace()
+	if p.i != len(p.s) {
+		return 0, a.errf("trailing junk in expression %q", expr)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	s string
+	i int
+	a *asm
+}
+
+func (p *exprParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *exprParser) sum() (uint32, error) {
+	v, err := p.product()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.i >= len(p.s) {
+			return v, nil
+		}
+		switch p.s[p.i] {
+		case '+':
+			p.i++
+			w, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			p.i++
+			w, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		case '|':
+			p.i++
+			w, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v |= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) product() (uint32, error) {
+	v, err := p.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.i >= len(p.s) {
+			return v, nil
+		}
+		switch {
+		case p.s[p.i] == '*':
+			p.i++
+			w, err := p.unary()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case strings.HasPrefix(p.s[p.i:], "<<"):
+			p.i += 2
+			w, err := p.unary()
+			if err != nil {
+				return 0, err
+			}
+			v <<= w
+		case strings.HasPrefix(p.s[p.i:], ">>"):
+			p.i += 2
+			w, err := p.unary()
+			if err != nil {
+				return 0, err
+			}
+			v >>= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) unary() (uint32, error) {
+	p.skipSpace()
+	if p.i < len(p.s) && p.s[p.i] == '-' {
+		p.i++
+		v, err := p.unary()
+		return -v, err
+	}
+	if p.i < len(p.s) && p.s[p.i] == '~' {
+		p.i++
+		v, err := p.unary()
+		return ^v, err
+	}
+	if p.i < len(p.s) && p.s[p.i] == '(' {
+		p.i++
+		v, err := p.sum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.s) || p.s[p.i] != ')' {
+			return 0, fmt.Errorf("missing )")
+		}
+		p.i++
+		return v, nil
+	}
+	start := p.i
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		if c == 'x' || c == 'X' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'w') || (c >= 'y' && c <= 'z') ||
+			(c >= 'A' && c <= 'W') || (c >= 'Y' && c <= 'Z') {
+			p.i++
+			continue
+		}
+		break
+	}
+	tok := p.s[start:p.i]
+	if tok == "" {
+		return 0, fmt.Errorf("expected operand at %q", p.s[start:])
+	}
+	if tok == "." {
+		return p.a.lc, nil
+	}
+	if c := tok[0]; c >= '0' && c <= '9' {
+		v, err := strconv.ParseInt(tok, 0, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", tok)
+		}
+		return uint32(v), nil
+	}
+	if v, ok := p.a.equs[tok]; ok {
+		return v, nil
+	}
+	if v, ok := p.a.symbols[tok]; ok {
+		return v, nil
+	}
+	if p.a.pass == 1 {
+		return 0, nil // forward reference; resolved on pass 2
+	}
+	return 0, fmt.Errorf("undefined symbol %q", tok)
+}
+
+// splitArgs splits on commas that are not inside brackets or braces.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '{', '(':
+			depth++
+		case ']', '}', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}
+
+// sortedSymbols returns symbol names sorted by address, for debug dumps.
+func (p *Program) sortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return p.Symbols[names[i]] < p.Symbols[names[j]] })
+	return names
+}
+
+// Dump returns a human-readable symbol table, for debugging.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for _, n := range p.sortedSymbols() {
+		fmt.Fprintf(&b, "%08x %s\n", p.Symbols[n], n)
+	}
+	return b.String()
+}

@@ -1,0 +1,728 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// mnemonic base table. Order within the resolver is longest-first, so "ldrsb"
+// wins over "ldr" and "bl" is tried before "b"; a base only matches when its
+// suffix (condition and/or "s") is legal for that base.
+var baseMnemonics = []string{
+	"ldrsb", "ldrsh", "ldrb", "ldrh", "strb", "strh", "ldr", "str",
+	"ldmia", "ldmib", "ldmda", "ldmdb", "ldmfd", "stmia", "stmib", "stmda", "stmdb", "stmfd",
+	"ldm", "stm", "push", "pop",
+	"umull", "smull", "mul", "mla",
+	"and", "eor", "sub", "rsb", "add", "adc", "sbc", "rsc",
+	"tst", "teq", "cmp", "cmn", "orr", "mov", "bic", "mvn",
+	"lsl", "lsr", "asr", "ror",
+	"mrs", "msr", "mcr", "mrc", "vmsr", "vmrs",
+	"svc", "swi", "cpsie", "cpsid", "wfi", "nop", "bx", "bl", "b",
+	"adr", "mov32",
+}
+
+var aluByName = map[string]AluOp{
+	"and": OpAND, "eor": OpEOR, "sub": OpSUB, "rsb": OpRSB,
+	"add": OpADD, "adc": OpADC, "sbc": OpSBC, "rsc": OpRSC,
+	"tst": OpTST, "teq": OpTEQ, "cmp": OpCMP, "cmn": OpCMN,
+	"orr": OpORR, "mov": OpMOV, "bic": OpBIC, "mvn": OpMVN,
+}
+
+var condByName = map[string]Cond{
+	"eq": EQ, "ne": NE, "cs": CS, "hs": CS, "cc": CC, "lo": CC,
+	"mi": MI, "pl": PL, "vs": VS, "vc": VC, "hi": HI, "ls": LS,
+	"ge": GE, "lt": LT, "gt": GT, "le": LE, "al": AL,
+}
+
+var regByName = map[string]Reg{
+	"r0": R0, "r1": R1, "r2": R2, "r3": R3, "r4": R4, "r5": R5,
+	"r6": R6, "r7": R7, "r8": R8, "r9": R9, "r10": R10, "r11": R11,
+	"r12": R12, "r13": SP, "r14": LR, "r15": PC,
+	"sp": SP, "lr": LR, "pc": PC, "fp": R11, "ip": R12, "sb": R9,
+}
+
+var shiftByName = map[string]ShiftType{"lsl": LSL, "lsr": LSR, "asr": ASR, "ror": ROR}
+
+// allowsS reports whether a base mnemonic accepts the "s" flag suffix.
+func allowsS(base string) bool {
+	if _, ok := aluByName[base]; ok {
+		return true
+	}
+	switch base {
+	case "mul", "mla", "umull", "smull", "lsl", "lsr", "asr", "ror":
+		return true
+	}
+	return false
+}
+
+// splitMnemonic resolves a full mnemonic into (base, cond, sflag).
+func splitMnemonic(m string) (string, Cond, bool, error) {
+	for _, base := range baseMnemonics {
+		if !strings.HasPrefix(m, base) {
+			continue
+		}
+		suffix := m[len(base):]
+		cond := AL
+		s := false
+		ok := false
+		switch {
+		case suffix == "":
+			ok = true
+		case suffix == "s" && allowsS(base):
+			s, ok = true, true
+		default:
+			if c, found := condByName[suffix]; found {
+				cond, ok = c, true
+				break
+			}
+			if !allowsS(base) {
+				break
+			}
+			// Accept both suffix orders: cond+"s" (classic) and "s"+cond
+			// (UAL), e.g. "andeqs" and "andseq".
+			if strings.HasSuffix(suffix, "s") {
+				if c, found := condByName[suffix[:len(suffix)-1]]; found {
+					cond, s, ok = c, true, true
+					break
+				}
+			}
+			if strings.HasPrefix(suffix, "s") {
+				if c, found := condByName[suffix[1:]]; found {
+					cond, s, ok = c, true, true
+				}
+			}
+		}
+		if ok {
+			return base, cond, s, nil
+		}
+	}
+	return "", AL, false, fmt.Errorf("unknown mnemonic %q", m)
+}
+
+func (a *asm) reg(tok string) (Reg, error) {
+	r, ok := regByName[strings.ToLower(strings.TrimSpace(tok))]
+	if !ok {
+		return 0, a.errf("expected register, got %q", tok)
+	}
+	return r, nil
+}
+
+func (a *asm) instruction(mnemonic, operands string) error {
+	base, cond, s, err := splitMnemonic(strings.ToLower(mnemonic))
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	args := splitArgs(operands)
+	in := Inst{Cond: cond, S: s}
+
+	if op, ok := aluByName[base]; ok {
+		return a.asmDataProc(in, op, args)
+	}
+	switch base {
+	case "lsl", "lsr", "asr", "ror":
+		// UAL shift form: lsl rd, rm, #n|rs  ==  mov rd, rm, <shift> ...
+		if len(args) != 3 {
+			return a.errf("%s needs 3 operands", base)
+		}
+		return a.asmDataProc(in, OpMOV, []string{args[0], args[1] + ", " + base + " " + args[2]})
+	case "mul", "mla":
+		return a.asmMul(in, base, args)
+	case "umull", "smull":
+		return a.asmMulLong(in, base == "smull", args)
+	case "ldr", "str", "ldrb", "strb":
+		return a.asmMem(in, base, args)
+	case "ldrh", "strh", "ldrsb", "ldrsh":
+		return a.asmMemH(in, base, args)
+	case "ldm", "stm", "ldmia", "ldmib", "ldmda", "ldmdb", "ldmfd",
+		"stmia", "stmib", "stmda", "stmdb", "stmfd", "push", "pop":
+		return a.asmBlock(in, base, args)
+	case "b", "bl":
+		in.Kind = KindBranch
+		in.Link = base == "bl"
+		target, err := a.eval(args[0])
+		if err != nil {
+			return err
+		}
+		in.Offset = int32(target) - int32(a.lc) - 8
+		return a.emitInst(in)
+	case "bx":
+		in.Kind = KindBX
+		in.Rm, err = a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		return a.emitInst(in)
+	case "svc", "swi":
+		in.Kind = KindSVC
+		v, err := a.eval(strings.TrimPrefix(args[0], "#"))
+		if err != nil {
+			return err
+		}
+		in.Imm = v
+		return a.emitInst(in)
+	case "mrs":
+		in.Kind = KindMRS
+		in.Rd, err = a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		in.SPSR = strings.EqualFold(strings.TrimSpace(args[1]), "spsr")
+		return a.emitInst(in)
+	case "msr":
+		in.Kind = KindMSR
+		psr := strings.ToLower(strings.TrimSpace(args[0]))
+		name, fields, hasFields := strings.Cut(psr, "_")
+		in.SPSR = name == "spsr"
+		if hasFields {
+			for _, c := range fields {
+				switch c {
+				case 'c':
+					in.MSRMask |= 1
+				case 'x':
+					in.MSRMask |= 2
+				case 's':
+					in.MSRMask |= 4
+				case 'f':
+					in.MSRMask |= 8
+				}
+			}
+		} else {
+			in.MSRMask = 0x9 // c+f: mode/interrupt bits and flags
+		}
+		in.Rm, err = a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		return a.emitInst(in)
+	case "cpsie", "cpsid":
+		in.Kind = KindCPS
+		in.Enable = base == "cpsie"
+		return a.emitInst(in)
+	case "wfi":
+		in.Kind = KindWFI
+		return a.emitInst(in)
+	case "nop":
+		in.Kind = KindNOP
+		return a.emitInst(in)
+	case "mcr", "mrc":
+		return a.asmCoproc(in, base == "mcr", args)
+	case "vmsr":
+		in.Kind = KindVFPSys
+		in.ToCoproc = true
+		in.Rd, err = a.reg(args[1])
+		if err != nil {
+			return err
+		}
+		return a.emitInst(in)
+	case "vmrs":
+		in.Kind = KindVFPSys
+		in.Rd, err = a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		return a.emitInst(in)
+	case "adr":
+		in.Kind = KindDataProc
+		in.Rd, err = a.reg(args[0])
+		if err != nil {
+			return err
+		}
+		target, err := a.eval(args[1])
+		if err != nil {
+			return err
+		}
+		delta := int32(target) - int32(a.lc) - 8
+		in.Rn = PC
+		in.ImmValid = true
+		if delta >= 0 {
+			in.Op = OpADD
+			in.Imm = uint32(delta)
+		} else {
+			in.Op = OpSUB
+			in.Imm = uint32(-delta)
+		}
+		return a.emitInst(in)
+	case "mov32":
+		return a.asmMov32(in, args)
+	}
+	return a.errf("unhandled mnemonic %q", base)
+}
+
+// asmMov32 expands "mov32 rd, #imm32" into mov + up to three orr.
+func (a *asm) asmMov32(in Inst, args []string) error {
+	rd, err := a.reg(args[0])
+	if err != nil {
+		return err
+	}
+	v, err := a.eval(strings.TrimPrefix(strings.TrimSpace(args[1]), "#"))
+	if err != nil {
+		return err
+	}
+	mov := Inst{Cond: in.Cond, Kind: KindDataProc, Op: OpMOV, Rd: rd, ImmValid: true, Imm: v & 0xFF}
+	if err := a.emitInst(mov); err != nil {
+		return err
+	}
+	for sh := uint32(8); sh < 32; sh += 8 {
+		part := v & (0xFF << sh)
+		orr := Inst{Cond: in.Cond, Kind: KindDataProc, Op: OpORR, Rd: rd, Rn: rd, ImmValid: true, Imm: part}
+		if err := a.emitInst(orr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *asm) asmDataProc(in Inst, op AluOp, args []string) error {
+	in.Kind = KindDataProc
+	in.Op = op
+	if op.IsCompare() {
+		in.S = true
+	}
+	var err error
+	idx := 0
+	if !op.IsCompare() {
+		in.Rd, err = a.reg(args[idx])
+		if err != nil {
+			return err
+		}
+		idx++
+	}
+	if op.HasRn() {
+		if op.IsCompare() {
+			in.Rn, err = a.reg(args[idx])
+		} else {
+			if len(args) < 3 {
+				// Two-operand form "add rd, op2" == "add rd, rd, op2".
+				in.Rn = in.Rd
+				idx--
+			} else {
+				in.Rn, err = a.reg(args[idx])
+			}
+		}
+		if err != nil {
+			return err
+		}
+		idx++
+	}
+	if err := a.parseOp2(&in, args[idx:]); err != nil {
+		return err
+	}
+	if in.S && in.Rd == PC && !op.IsCompare() {
+		in.Kind = KindSRSexc
+	}
+	return a.emitInst(in)
+}
+
+// parseOp2 parses the flexible second operand: "#imm", "rM", or
+// "rM, <shift> #n" / "rM, <shift> rS" (the shift arrives as an extra arg).
+func (a *asm) parseOp2(in *Inst, args []string) error {
+	if len(args) == 0 {
+		return a.errf("missing operand 2")
+	}
+	op2 := strings.TrimSpace(args[0])
+	if strings.HasPrefix(op2, "#") {
+		v, err := a.eval(op2[1:])
+		if err != nil {
+			return err
+		}
+		in.ImmValid = true
+		in.Imm = v
+		if _, ok := EncodeImm(v); !ok {
+			// Try the negated-op trick for mov/mvn and add/sub, cmp/cmn.
+			if swapped, nv, ok2 := negateImmOp(in.Op, v); ok2 {
+				in.Op = swapped
+				in.Imm = nv
+				return nil
+			}
+			return a.errf("immediate %#x not encodable (use mov32)", v)
+		}
+		return nil
+	}
+	r, err := a.reg(op2)
+	if err != nil {
+		return err
+	}
+	in.Rm = r
+	if len(args) == 1 {
+		return nil
+	}
+	// Shift spec: "lsl #3" or "lsl r4" or "rrx".
+	spec := strings.TrimSpace(args[1])
+	f := strings.Fields(spec)
+	name := strings.ToLower(f[0])
+	if name == "rrx" {
+		in.Shift = RRX
+		in.ShiftAmt = 1
+		return nil
+	}
+	st, ok := shiftByName[name]
+	if !ok || len(f) != 2 {
+		return a.errf("bad shift spec %q", spec)
+	}
+	in.Shift = st
+	amt := f[1]
+	if strings.HasPrefix(amt, "#") {
+		v, err := a.eval(amt[1:])
+		if err != nil {
+			return err
+		}
+		if v == 0 {
+			in.Shift = LSL // no-op shift
+		} else if v > 32 || (st == LSL && v > 31) {
+			return a.errf("shift amount %d out of range", v)
+		}
+		in.ShiftAmt = uint8(v)
+		return nil
+	}
+	rs, err := a.reg(amt)
+	if err != nil {
+		return err
+	}
+	in.ShiftReg = true
+	in.Rs = rs
+	return nil
+}
+
+// negateImmOp returns an equivalent opcode and immediate for common
+// unencodable immediates (mov<->mvn, add<->sub, cmp<->cmn, and<->bic).
+func negateImmOp(op AluOp, v uint32) (AluOp, uint32, bool) {
+	try := func(nop AluOp, nv uint32) (AluOp, uint32, bool) {
+		if _, ok := EncodeImm(nv); ok {
+			return nop, nv, true
+		}
+		return op, v, false
+	}
+	switch op {
+	case OpMOV:
+		return try(OpMVN, ^v)
+	case OpMVN:
+		return try(OpMOV, ^v)
+	case OpADD:
+		return try(OpSUB, -v)
+	case OpSUB:
+		return try(OpADD, -v)
+	case OpCMP:
+		return try(OpCMN, -v)
+	case OpCMN:
+		return try(OpCMP, -v)
+	case OpAND:
+		return try(OpBIC, ^v)
+	case OpBIC:
+		return try(OpAND, ^v)
+	}
+	return op, v, false
+}
+
+func (a *asm) asmMul(in Inst, base string, args []string) error {
+	in.Kind = KindMul
+	var err error
+	if in.Rd, err = a.reg(args[0]); err != nil {
+		return err
+	}
+	if in.Rm, err = a.reg(args[1]); err != nil {
+		return err
+	}
+	if in.Rs, err = a.reg(args[2]); err != nil {
+		return err
+	}
+	if base == "mla" {
+		in.Acc = true
+		if in.Rn, err = a.reg(args[3]); err != nil {
+			return err
+		}
+	}
+	return a.emitInst(in)
+}
+
+func (a *asm) asmMulLong(in Inst, signed bool, args []string) error {
+	in.Kind = KindMulLong
+	in.SignedML = signed
+	var err error
+	if in.Rd, err = a.reg(args[0]); err != nil { // RdLo
+		return err
+	}
+	if in.RdHi, err = a.reg(args[1]); err != nil {
+		return err
+	}
+	if in.Rm, err = a.reg(args[2]); err != nil {
+		return err
+	}
+	if in.Rs, err = a.reg(args[3]); err != nil {
+		return err
+	}
+	return a.emitInst(in)
+}
+
+// asmMem parses ldr/str/ldrb/strb, including the "ldr rd, =expr" literal
+// pseudo-instruction.
+func (a *asm) asmMem(in Inst, base string, args []string) error {
+	in.Kind = KindMem
+	in.Load = strings.HasPrefix(base, "ldr")
+	in.ByteSz = strings.HasSuffix(base, "b")
+	var err error
+	if in.Rd, err = a.reg(args[0]); err != nil {
+		return err
+	}
+	addr := strings.TrimSpace(strings.Join(args[1:], ","))
+	if strings.HasPrefix(addr, "=") {
+		v, err := a.eval(addr[1:])
+		if err != nil {
+			return err
+		}
+		// pc-relative literal load; offset patched when the pool is flushed.
+		in.Rn = PC
+		in.PreIndex = true
+		in.Up = true
+		in.ImmValid = true
+		in.Imm = 0
+		a.pool = append(a.pool, litRef{fixup: a.lc, value: v})
+		return a.emitInst(in)
+	}
+	if err := a.parseAddr(&in, addr); err != nil {
+		return err
+	}
+	return a.emitInst(in)
+}
+
+func (a *asm) asmMemH(in Inst, base string, args []string) error {
+	in.Kind = KindMemH
+	in.Load = strings.HasPrefix(base, "ldr")
+	switch base {
+	case "ldrh", "strh":
+		in.HalfSz = true
+	case "ldrsb":
+		in.SignedSz = true
+	case "ldrsh":
+		in.SignedSz, in.HalfSz = true, true
+	}
+	var err error
+	if in.Rd, err = a.reg(args[0]); err != nil {
+		return err
+	}
+	return a.parseAddrThen(&in, strings.Join(args[1:], ","))
+}
+
+func (a *asm) parseAddrThen(in *Inst, addr string) error {
+	if err := a.parseAddr(in, strings.TrimSpace(addr)); err != nil {
+		return err
+	}
+	return a.emitInst(*in)
+}
+
+// parseAddr parses "[rn]", "[rn, #off]", "[rn, #off]!", "[rn], #off",
+// "[rn, rm]", "[rn, -rm]", "[rn, rm, lsl #2]".
+func (a *asm) parseAddr(in *Inst, addr string) error {
+	in.Up = true
+	if !strings.HasPrefix(addr, "[") {
+		return a.errf("bad address %q", addr)
+	}
+	end := strings.Index(addr, "]")
+	if end < 0 {
+		return a.errf("missing ] in %q", addr)
+	}
+	inner := addr[1:end]
+	rest := strings.TrimSpace(addr[end+1:])
+	parts := splitArgs(inner)
+	var err error
+	if in.Rn, err = a.reg(parts[0]); err != nil {
+		return err
+	}
+	post := strings.HasPrefix(rest, ",")
+	writeback := rest == "!"
+	switch {
+	case post:
+		in.PreIndex = false
+		in.Wback = false // post-index always writes back; W encodes user-mode access
+		off := strings.TrimSpace(rest[1:])
+		if err := a.parseOffset(in, off); err != nil {
+			return err
+		}
+		if len(parts) > 1 {
+			return a.errf("both pre and post offsets in %q", addr)
+		}
+		return nil
+	case writeback:
+		in.Wback = true
+		fallthrough
+	default:
+		in.PreIndex = true
+		if len(parts) == 1 {
+			in.ImmValid = true
+			in.Imm = 0
+			return nil
+		}
+		off := strings.TrimSpace(parts[1])
+		if len(parts) == 3 {
+			off += ", " + parts[2]
+		}
+		return a.parseOffset(in, off)
+	}
+}
+
+func (a *asm) parseOffset(in *Inst, off string) error {
+	if strings.HasPrefix(off, "#") {
+		v, err := a.eval(off[1:])
+		if err != nil {
+			return err
+		}
+		in.ImmValid = true
+		if int32(v) < 0 {
+			in.Up = false
+			v = -v
+		}
+		in.Imm = v
+		return nil
+	}
+	neg := strings.HasPrefix(off, "-")
+	off = strings.TrimPrefix(off, "-")
+	parts := splitArgs(off)
+	r, err := a.reg(parts[0])
+	if err != nil {
+		return err
+	}
+	in.Rm = r
+	in.Up = !neg
+	if len(parts) == 2 {
+		f := strings.Fields(strings.TrimSpace(parts[1]))
+		if len(f) != 2 {
+			return a.errf("bad index shift %q", parts[1])
+		}
+		st, ok := shiftByName[strings.ToLower(f[0])]
+		if !ok || !strings.HasPrefix(f[1], "#") {
+			return a.errf("bad index shift %q", parts[1])
+		}
+		v, err := a.eval(f[1][1:])
+		if err != nil {
+			return err
+		}
+		in.Shift = st
+		in.ShiftAmt = uint8(v)
+	}
+	return nil
+}
+
+func (a *asm) asmBlock(in Inst, base string, args []string) error {
+	in.Kind = KindBlock
+	switch base {
+	case "push":
+		// push {list} == stmdb sp!, {list}
+		in.Load = false
+		in.PreIndex = true
+		in.Up = false
+		in.Wback = true
+		in.Rn = SP
+		return a.asmRegList(&in, args[0])
+	case "pop":
+		// pop {list} == ldmia sp!, {list}
+		in.Load = true
+		in.PreIndex = false
+		in.Up = true
+		in.Wback = true
+		in.Rn = SP
+		return a.asmRegList(&in, args[0])
+	}
+	in.Load = strings.HasPrefix(base, "ldm")
+	mode := strings.TrimPrefix(strings.TrimPrefix(base, "ldm"), "stm")
+	if mode == "" {
+		mode = "ia"
+	}
+	if mode == "fd" {
+		if in.Load {
+			mode = "ia" // ldmfd == ldmia
+		} else {
+			mode = "db" // stmfd == stmdb
+		}
+	}
+	switch mode {
+	case "ia":
+		in.Up = true
+	case "ib":
+		in.Up, in.PreIndex = true, true
+	case "da":
+	case "db":
+		in.PreIndex = true
+	default:
+		return a.errf("bad ldm/stm mode %q", mode)
+	}
+	rn := strings.TrimSpace(args[0])
+	if strings.HasSuffix(rn, "!") {
+		in.Wback = true
+		rn = strings.TrimSuffix(rn, "!")
+	}
+	var err error
+	if in.Rn, err = a.reg(rn); err != nil {
+		return err
+	}
+	return a.asmRegList(&in, strings.Join(args[1:], ","))
+}
+
+func (a *asm) asmRegList(in *Inst, list string) error {
+	list = strings.TrimSpace(list)
+	if !strings.HasPrefix(list, "{") || !strings.HasSuffix(list, "}") {
+		return a.errf("bad register list %q", list)
+	}
+	for _, part := range strings.Split(list[1:len(list)-1], ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			rl, err := a.reg(lo)
+			if err != nil {
+				return err
+			}
+			rh, err := a.reg(hi)
+			if err != nil {
+				return err
+			}
+			if rl > rh {
+				return a.errf("bad register range %q", part)
+			}
+			for r := rl; r <= rh; r++ {
+				in.RegList |= 1 << r
+			}
+		} else {
+			r, err := a.reg(part)
+			if err != nil {
+				return err
+			}
+			in.RegList |= 1 << r
+		}
+	}
+	return a.emitInst(*in)
+}
+
+func (a *asm) asmCoproc(in Inst, toCoproc bool, args []string) error {
+	in.Kind = KindCP15
+	in.ToCoproc = toCoproc
+	if strings.ToLower(strings.TrimSpace(args[0])) != "p15" {
+		return a.errf("only coprocessor p15 is supported")
+	}
+	v, err := a.eval(args[1])
+	if err != nil {
+		return err
+	}
+	in.Opc1 = uint8(v)
+	if in.Rd, err = a.reg(args[2]); err != nil {
+		return err
+	}
+	crn := strings.ToLower(strings.TrimSpace(args[3]))
+	crm := strings.ToLower(strings.TrimSpace(args[4]))
+	if !strings.HasPrefix(crn, "c") || !strings.HasPrefix(crm, "c") {
+		return a.errf("bad coprocessor register in %v", args)
+	}
+	cn, err := a.eval(crn[1:])
+	if err != nil {
+		return err
+	}
+	cm, err := a.eval(crm[1:])
+	if err != nil {
+		return err
+	}
+	in.CRn, in.CRm = uint8(cn), uint8(cm)
+	if len(args) > 5 {
+		v, err := a.eval(args[5])
+		if err != nil {
+			return err
+		}
+		in.Opc2 = uint8(v)
+	}
+	return a.emitInst(in)
+}

@@ -1,0 +1,344 @@
+package arm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func asmOne(t *testing.T, line string) Inst {
+	t.Helper()
+	p, err := Assemble(line)
+	if err != nil {
+		t.Fatalf("Assemble(%q): %v", line, err)
+	}
+	if len(p.Image) < 4 {
+		t.Fatalf("Assemble(%q): no output", line)
+	}
+	return Decode(p.Word(p.Origin))
+}
+
+func TestAssembleDisasmRoundTrip(t *testing.T) {
+	lines := []string{
+		"add r0, r1, r2",
+		"adds r0, r1, r2",
+		"addeq r0, r1, r2",
+		"addseq r0, r1, r2",
+		"add r0, r1, #0x10",
+		"add r0, r1, r2, lsl #3",
+		"add r0, r1, r2, lsr r3",
+		"sub sp, sp, #0x8",
+		"rsb r0, r1, #0x0",
+		"and r0, r1, #0xff",
+		"orr r0, r0, #0xc0000034",
+		"eor r1, r2, r3, ror #8",
+		"bic r0, r0, #0x3",
+		"mvn r0, r1",
+		"mov r0, #0x0",
+		"mov r0, r1, rrx",
+		"cmp r0, #0x0",
+		"cmpne r1, r2",
+		"cmn r0, r1",
+		"tst r0, #0x1",
+		"teq r3, r4",
+		"mul r0, r1, r2",
+		"mla r0, r1, r2, r3",
+		"umull r1, r2, r3, r4",
+		"smull r1, r2, r3, r4",
+		"ldr r2, [r1, #0x1c]",
+		"str r2, [r1]",
+		"ldr r2, [r1], #0x4",
+		"str r2, [r1, #0x4]!",
+		"ldr r2, [r1, r3]",
+		"ldr r2, [r1, -r3]",
+		"ldr r2, [r1, r3, lsl #2]",
+		"ldrb r2, [r1, #0x1]",
+		"strb r2, [r1]",
+		"ldrh r2, [r1]",
+		"strh r2, [r1, #0x2]",
+		"ldrsb r2, [r1]",
+		"ldrsh r2, [r1]",
+		"ldmia sp!, {r0-r3}",
+		"stmdb sp!, {r4, lr}",
+		"bx lr",
+		"svc #5",
+		"mrs r0, cpsr",
+		"mrs r0, spsr",
+		"msr cpsr, r0",
+		"msr spsr, r0",
+		"cpsie i",
+		"cpsid i",
+		"mcr p15, 0, r0, c1, c0, 0",
+		"mrc p15, 0, r0, c2, c0, 0",
+		"vmsr fpscr, r0",
+		"vmrs r0, fpscr",
+		"wfi",
+		"nop",
+	}
+	for _, line := range lines {
+		inst := asmOne(t, line)
+		if got := Disasm(inst, 0); got != line {
+			t.Errorf("asm(%q) disassembles to %q", line, got)
+		}
+	}
+}
+
+func TestAssemblePseudoOps(t *testing.T) {
+	p := MustAssemble(`
+	.org 0x100
+start:
+	mov32 r0, #0x12345678
+	b start
+	`)
+	if p.Origin != 0x100 {
+		t.Fatalf("origin = %#x", p.Origin)
+	}
+	if len(p.Image) != 5*4 {
+		t.Fatalf("mov32 should expand to 4 instructions + branch, image = %d bytes", len(p.Image))
+	}
+	// Simulate the mov32 expansion.
+	var r0 uint32
+	for i := 0; i < 4; i++ {
+		in := Decode(p.Word(0x100 + uint32(i*4)))
+		v, _ := in.Op2Imm(false)
+		if in.Op == OpMOV {
+			r0 = v
+		} else {
+			r0 |= v
+		}
+	}
+	b := Decode(p.Word(0x110))
+	if b.Kind != KindBranch || int32(0x110)+8+b.Offset != 0x100 {
+		t.Errorf("branch back wrong: %+v", b)
+	}
+	if r0 != 0x12345678 {
+		t.Errorf("mov32 value = %#x", r0)
+	}
+}
+
+func TestAssembleLabelsAndData(t *testing.T) {
+	p := MustAssemble(`
+	.equ UART, 0xF0000000
+	.org 0x0
+	b entry
+	.word 0xdeadbeef
+entry:
+	ldr r0, =UART
+	ldr r1, =message
+	bx lr
+	.pool
+message:
+	.asciz "hi"
+	.align 4
+	.word message
+	`)
+	if p.Word(4) != 0xdeadbeef {
+		t.Errorf(".word = %#x", p.Word(4))
+	}
+	entry := p.Symbols["entry"]
+	if entry != 8 {
+		t.Fatalf("entry = %#x", entry)
+	}
+	// First ldr= loads UART address via the literal pool.
+	in := Decode(p.Word(entry))
+	if in.Kind != KindMem || !in.Load || in.Rn != PC || !in.ImmValid {
+		t.Fatalf("ldr= shape wrong: %+v", in)
+	}
+	lit := entry + 8 + in.Imm
+	if p.Word(lit) != 0xF0000000 {
+		t.Errorf("literal = %#x", p.Word(lit))
+	}
+	msg := p.Symbols["message"]
+	if p.Image[msg] != 'h' || p.Image[msg+1] != 'i' || p.Image[msg+2] != 0 {
+		t.Errorf("asciz wrong: % x", p.Image[msg:msg+3])
+	}
+}
+
+func TestAssembleAdr(t *testing.T) {
+	p := MustAssemble(`
+	.org 0x8000
+target:
+	nop
+	adr r0, target
+	`)
+	in := Decode(p.Word(0x8004))
+	if in.Kind != KindDataProc || in.Op != OpSUB || in.Rn != PC || in.Imm != 0xC {
+		t.Errorf("adr wrong: %+v (%s)", in, Disasm(in, 0x8004))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r0, r1",
+		"add r0, r1, #0x12345678",
+		"ldr r2, [r9",
+		"mcr p14, 0, r0, c1, c0, 0",
+		"label: label: nop",
+		".org 0x10\n.org 0x0",
+		"b undefined_label_xyz",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) unexpectedly succeeded", src)
+		}
+	}
+	if _, err := Assemble("x: nop\nx: nop"); err == nil {
+		t.Error("duplicate label not caught")
+	}
+}
+
+func TestNegatedImmediates(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"mov r0, #-1", "mvn r0, #0x0"},
+		{"add r0, r1, #-4", "sub r0, r1, #0x4"},
+		{"sub r0, r1, #-4", "add r0, r1, #0x4"},
+		{"cmp r0, #-1", "cmn r0, #0x1"},
+		{"and r0, r1, #-2", "bic r0, r1, #0x1"},
+	}
+	for _, c := range cases {
+		inst := asmOne(t, c.src)
+		if got := Disasm(inst, 0); got != c.want {
+			t.Errorf("asm(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+// randInst builds a random but valid instruction for the round-trip property.
+func randInst(r *rand.Rand) Inst {
+	var in Inst
+	in.Cond = Cond(r.Intn(15)) // exclude NV
+	switch r.Intn(8) {
+	case 0, 1, 2: // data processing
+		in.Kind = KindDataProc
+		in.Op = AluOp(r.Intn(16))
+		in.S = r.Intn(2) == 0 || in.Op.IsCompare()
+		in.Rd = Reg(r.Intn(13))
+		in.Rn = Reg(r.Intn(13))
+		if r.Intn(2) == 0 {
+			in.ImmValid = true
+			imm12 := uint32(r.Intn(1 << 12))
+			in.Imm, _ = ExpandImm(imm12, false)
+		} else {
+			in.Rm = Reg(r.Intn(13))
+			if r.Intn(2) == 0 {
+				in.ShiftReg = true
+				in.Rs = Reg(r.Intn(13))
+				in.Shift = ShiftType(r.Intn(4))
+			} else {
+				in.Shift = ShiftType(r.Intn(4))
+				in.ShiftAmt = uint8(r.Intn(31) + 1)
+				if in.Shift == ROR && in.ShiftAmt == 0 {
+					in.ShiftAmt = 1
+				}
+			}
+		}
+		if in.Op.IsCompare() {
+			in.Rd = 0
+		}
+	case 3: // memory
+		in.Kind = KindMem
+		in.Load = r.Intn(2) == 0
+		in.ByteSz = r.Intn(2) == 0
+		in.Rd = Reg(r.Intn(13))
+		in.Rn = Reg(r.Intn(13))
+		in.Up = r.Intn(2) == 0
+		in.PreIndex = r.Intn(2) == 0
+		if in.PreIndex {
+			in.Wback = r.Intn(2) == 0
+		}
+		if r.Intn(2) == 0 {
+			in.ImmValid = true
+			in.Imm = uint32(r.Intn(1 << 12))
+		} else {
+			in.Rm = Reg(r.Intn(13))
+			in.Shift = ShiftType(r.Intn(3)) // LSL/LSR/ASR
+			in.ShiftAmt = uint8(r.Intn(30) + 1)
+		}
+	case 4: // block
+		in.Kind = KindBlock
+		in.Load = r.Intn(2) == 0
+		in.Rn = Reg(r.Intn(13))
+		in.Up = r.Intn(2) == 0
+		in.PreIndex = r.Intn(2) == 0
+		in.Wback = r.Intn(2) == 0
+		in.RegList = uint16(r.Intn(1<<16-1) + 1)
+	case 5: // branch
+		in.Kind = KindBranch
+		in.Link = r.Intn(2) == 0
+		in.Offset = int32(r.Intn(1<<23)-1<<22) * 4
+	case 6: // multiply
+		in.Kind = KindMul
+		in.Rd = Reg(r.Intn(13))
+		in.Rm = Reg(r.Intn(13))
+		in.Rs = Reg(r.Intn(13))
+		in.Acc = r.Intn(2) == 0
+		if in.Acc {
+			in.Rn = Reg(r.Intn(13))
+		}
+		in.S = r.Intn(2) == 0
+	default: // system
+		switch r.Intn(5) {
+		case 0:
+			in.Kind = KindSVC
+			in.Imm = uint32(r.Intn(1 << 24))
+		case 1:
+			in.Kind = KindMRS
+			in.Rd = Reg(r.Intn(13))
+			in.SPSR = r.Intn(2) == 0
+		case 2:
+			in.Kind = KindMSR
+			in.Rm = Reg(r.Intn(13))
+			in.SPSR = r.Intn(2) == 0
+			in.MSRMask = uint8(r.Intn(15) + 1)
+		case 3:
+			in.Kind = KindCP15
+			in.ToCoproc = r.Intn(2) == 0
+			in.Rd = Reg(r.Intn(13))
+			in.CRn = uint8(r.Intn(16))
+			in.CRm = uint8(r.Intn(16))
+			in.Opc1 = uint8(r.Intn(8))
+			in.Opc2 = uint8(r.Intn(8))
+		default:
+			in.Kind = KindBX
+			in.Rm = Reg(r.Intn(15))
+		}
+	}
+	return in
+}
+
+// TestEncodeDecodeProperty checks decode(encode(i)) == i over random valid
+// instructions (modulo the Raw field and decoder normalizations that the
+// generator avoids producing).
+func TestEncodeDecodeProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 3000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randInst(r))
+		},
+	}
+	f := func(in Inst) bool {
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("encode error for %+v: %v", in, err)
+			return false
+		}
+		got := Decode(w)
+		got.Raw = 0
+		// Decoder canonicalizes ROR #0 and immediate-expanded values; the
+		// generator avoids those, so exact equality should hold except for
+		// SRSexc reclassification of S-with-Rd==PC which the generator also
+		// avoids (Rd < 13).
+		if got != in {
+			t.Logf("round-trip mismatch:\n in=%+v\nout=%+v\nword=%#08x", in, got, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

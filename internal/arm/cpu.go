@@ -1,0 +1,156 @@
+package arm
+
+// CPU is a concrete guest CPU state with banked registers, used by the
+// reference interpreter and as the deserialized view of the DBT engines'
+// in-memory CPUState during helper execution. It implements GuestState.
+type CPU struct {
+	// regs holds the user-bank registers; r13/r14 of the current banked mode
+	// are swapped in and out on mode changes.
+	regs [16]uint32
+	cpsr uint32
+
+	// Banked r13/r14/SPSR for SVC, IRQ, ABT, UND (indexed by Mode.BankIndex).
+	bankSP   [4]uint32
+	bankLR   [4]uint32
+	bankSPSR [4]uint32
+
+	// usrSP/usrLR hold the user-bank r13/r14 while a banked mode is active.
+	usrSP, usrLR uint32
+
+	// FPSCR models the VFP system register accessed by vmsr/vmrs.
+	FPSCR uint32
+
+	// CP15 system control coprocessor state.
+	CP15 CP15State
+}
+
+// CP15State is the system-control coprocessor state relevant to the MMU and
+// fault reporting.
+type CP15State struct {
+	SCTLR uint32 // c1,c0,0: bit 0 = MMU enable
+	TTBR0 uint32 // c2,c0,0: translation table base
+	DFSR  uint32 // c5,c0,0: data fault status
+	DFAR  uint32 // c6,c0,0: data fault address
+	IFSR  uint32 // c5,c0,1: instruction fault status
+	IFAR  uint32 // c6,c0,2: instruction fault address
+	// TLBFlushes counts TLBIALL writes, observed by the MMU's TLB.
+	TLBFlushes uint64
+}
+
+// MMUEnabled reports whether address translation is active.
+func (c *CP15State) MMUEnabled() bool { return c.SCTLR&1 != 0 }
+
+// NewCPU returns a CPU in the architectural reset state: SVC mode, IRQs
+// masked, PC at the reset vector.
+func NewCPU() *CPU {
+	c := &CPU{}
+	c.cpsr = uint32(ModeSVC) | CPSRBitI
+	return c
+}
+
+// Mode returns the current processor mode.
+func (c *CPU) Mode() Mode { return Mode(c.cpsr & CPSRMaskMode) }
+
+// Reg returns register r in the current mode's bank.
+func (c *CPU) Reg(r Reg) uint32 { return c.regs[r] }
+
+// SetReg sets register r in the current mode's bank.
+func (c *CPU) SetReg(r Reg, v uint32) { c.regs[r] = v }
+
+// CPSR returns the current program status register.
+func (c *CPU) CPSR() uint32 { return c.cpsr }
+
+// SetCPSR writes CPSR, performing register re-banking if the mode changes.
+func (c *CPU) SetCPSR(v uint32) {
+	oldMode := Mode(c.cpsr & CPSRMaskMode)
+	newMode := Mode(v & CPSRMaskMode)
+	if oldMode != newMode {
+		c.bankOut(oldMode)
+		c.bankIn(newMode)
+	}
+	c.cpsr = v
+}
+
+// bankOut saves the active r13/r14 into the bank of mode m.
+func (c *CPU) bankOut(m Mode) {
+	if m.Banked() {
+		i := m.BankIndex()
+		c.bankSP[i] = c.regs[SP]
+		c.bankLR[i] = c.regs[LR]
+	} else {
+		c.usrSP = c.regs[SP]
+		c.usrLR = c.regs[LR]
+	}
+}
+
+// bankIn loads r13/r14 from the bank of mode m.
+func (c *CPU) bankIn(m Mode) {
+	if m.Banked() {
+		i := m.BankIndex()
+		c.regs[SP] = c.bankSP[i]
+		c.regs[LR] = c.bankLR[i]
+	} else {
+		c.regs[SP] = c.usrSP
+		c.regs[LR] = c.usrLR
+	}
+}
+
+// SPSR returns the saved program status register of the current mode.
+// Reading SPSR in an unbanked mode returns CPSR (unpredictable on hardware;
+// defined here for robustness).
+func (c *CPU) SPSR() uint32 {
+	m := c.Mode()
+	if !m.Banked() {
+		return c.cpsr
+	}
+	return c.bankSPSR[m.BankIndex()]
+}
+
+// SetSPSR writes the saved program status register of the current mode.
+func (c *CPU) SetSPSR(v uint32) {
+	m := c.Mode()
+	if m.Banked() {
+		c.bankSPSR[m.BankIndex()] = v
+	}
+}
+
+// Flags returns the NZCV flags.
+func (c *CPU) Flags() Flags { return UnpackFlags(c.cpsr) }
+
+// SetFlags writes the NZCV flags, preserving all other CPSR bits.
+func (c *CPU) SetFlags(f Flags) {
+	c.cpsr = c.cpsr&^uint32(CPSRMaskFlags) | f.Pack()
+}
+
+// IRQEnabled reports whether IRQs are unmasked.
+func (c *CPU) IRQEnabled() bool { return c.cpsr&CPSRBitI == 0 }
+
+// SetIRQMask sets (disable=true) or clears the CPSR I bit.
+func (c *CPU) SetIRQMask(disable bool) {
+	if disable {
+		c.cpsr |= CPSRBitI
+	} else {
+		c.cpsr &^= CPSRBitI
+	}
+}
+
+// UserReg returns the *user-bank* register r regardless of current mode,
+// used by the kernel-visible LDM^/STM^ forms and by tests.
+func (c *CPU) UserReg(r Reg) uint32 {
+	if (r == SP || r == LR) && c.Mode().Banked() {
+		if r == SP {
+			return c.usrSP
+		}
+		return c.usrLR
+	}
+	return c.regs[r]
+}
+
+// Snapshot returns a copy of the user-visible register file plus CPSR for
+// engine-equivalence comparisons in tests.
+func (c *CPU) Snapshot() [17]uint32 {
+	var s [17]uint32
+	copy(s[:16], c.regs[:])
+	s[16] = c.cpsr
+	return s
+}

@@ -1,0 +1,253 @@
+package arm
+
+// Decode decodes a 32-bit A32 instruction word. Encodings outside the
+// implemented subset decode to KindUndef, which the engines deliver to the
+// guest undefined-instruction vector, mirroring hardware behaviour.
+func Decode(raw uint32) Inst {
+	i := Inst{Raw: raw, Cond: Cond(raw >> 28)}
+
+	if i.Cond == NV {
+		// Unconditional space: only CPSIE/CPSID i are implemented.
+		switch raw {
+		case 0xF1080080:
+			i.Kind = KindCPS
+			i.Enable = true
+			i.Cond = AL
+			return i
+		case 0xF10C0080:
+			i.Kind = KindCPS
+			i.Enable = false
+			i.Cond = AL
+			return i
+		}
+		i.Kind = KindUndef
+		return i
+	}
+
+	switch (raw >> 26) & 3 {
+	case 0:
+		return decode00(raw, i)
+	case 1:
+		return decodeMem(raw, i)
+	case 2:
+		if raw&(1<<25) != 0 {
+			i.Kind = KindBranch
+			i.Link = raw&(1<<24) != 0
+			off := int32(raw<<8) >> 6 // sign-extend imm24, <<2
+			i.Offset = off
+			return i
+		}
+		i.Kind = KindBlock
+		i.Load = raw&(1<<20) != 0
+		i.Wback = raw&(1<<21) != 0
+		i.Up = raw&(1<<23) != 0
+		i.PreIndex = raw&(1<<24) != 0
+		i.Rn = Reg(raw >> 16 & 0xF)
+		i.RegList = uint16(raw)
+		return i
+	default:
+		return decodeSys(raw, i)
+	}
+}
+
+func decode00(raw uint32, i Inst) Inst {
+	// Hints (NOP/WFI) live in the MSR-immediate space.
+	switch raw & 0x0FFFFFFF {
+	case 0x0320F000:
+		i.Kind = KindNOP
+		return i
+	case 0x0320F003:
+		i.Kind = KindWFI
+		return i
+	}
+	if raw&(1<<25) == 0 {
+		// Register forms; check the special bit7/bit4 patterns first.
+		if raw&0x0FFFFFF0 == 0x012FFF10 {
+			i.Kind = KindBX
+			i.Rm = Reg(raw & 0xF)
+			return i
+		}
+		if raw&0x0FC000F0 == 0x00000090 {
+			i.Kind = KindMul
+			i.Acc = raw&(1<<21) != 0
+			i.S = raw&(1<<20) != 0
+			i.Rd = Reg(raw >> 16 & 0xF)
+			i.Rn = Reg(raw >> 12 & 0xF)
+			i.Rs = Reg(raw >> 8 & 0xF)
+			i.Rm = Reg(raw & 0xF)
+			return i
+		}
+		if raw&0x0FA000F0 == 0x00800090 {
+			i.Kind = KindMulLong
+			i.SignedML = raw&(1<<22) != 0
+			i.S = raw&(1<<20) != 0
+			i.RdHi = Reg(raw >> 16 & 0xF)
+			i.Rd = Reg(raw >> 12 & 0xF)
+			i.Rs = Reg(raw >> 8 & 0xF)
+			i.Rm = Reg(raw & 0xF)
+			return i
+		}
+		if raw&0x90 == 0x90 && raw&0x60 != 0 {
+			// Halfword / signed transfers.
+			i.Kind = KindMemH
+			i.Load = raw&(1<<20) != 0
+			i.Wback = raw&(1<<21) != 0
+			i.Up = raw&(1<<23) != 0
+			i.PreIndex = raw&(1<<24) != 0
+			i.Rn = Reg(raw >> 16 & 0xF)
+			i.Rd = Reg(raw >> 12 & 0xF)
+			switch raw & 0x60 {
+			case 0x20:
+				i.HalfSz = true
+			case 0x40:
+				i.SignedSz = true
+			case 0x60:
+				i.SignedSz, i.HalfSz = true, true
+			}
+			if raw&(1<<22) != 0 {
+				i.ImmValid = true
+				i.Imm = raw>>4&0xF0 | raw&0xF
+			} else {
+				i.Rm = Reg(raw & 0xF)
+			}
+			if !i.Load && i.SignedSz {
+				i.Kind = KindUndef // no signed stores
+			}
+			return i
+		}
+		if raw&0x0FBF0FFF == 0x010F0000 {
+			i.Kind = KindMRS
+			i.SPSR = raw&(1<<22) != 0
+			i.Rd = Reg(raw >> 12 & 0xF)
+			return i
+		}
+		if raw&0x0FB0FFF0 == 0x0120F000 {
+			i.Kind = KindMSR
+			i.SPSR = raw&(1<<22) != 0
+			i.MSRMask = uint8(raw >> 16 & 0xF)
+			i.Rm = Reg(raw & 0xF)
+			return i
+		}
+		if raw&0x01900000 == 0x01000000 {
+			// Remaining miscellaneous space (TST/CMP... without S): undefined.
+			i.Kind = KindUndef
+			return i
+		}
+	}
+	// Data processing.
+	i.Kind = KindDataProc
+	i.Op = AluOp(raw >> 21 & 0xF)
+	i.S = raw&(1<<20) != 0
+	i.Rn = Reg(raw >> 16 & 0xF)
+	i.Rd = Reg(raw >> 12 & 0xF)
+	if raw&(1<<25) != 0 {
+		i.ImmValid = true
+		i.Imm, _ = ExpandImm(raw&0xFFF, false)
+		// Preserve the raw rotation so flag-setting logical immediates keep
+		// the shifter carry; re-derive during execution from Raw when needed.
+	} else {
+		i.Rm = Reg(raw & 0xF)
+		i.Shift = ShiftType(raw >> 5 & 3)
+		if raw&(1<<4) != 0 {
+			i.ShiftReg = true
+			i.Rs = Reg(raw >> 8 & 0xF)
+		} else {
+			i.ShiftAmt = uint8(raw >> 7 & 0x1F)
+			if i.ShiftAmt == 0 {
+				switch i.Shift {
+				case LSR, ASR:
+					i.ShiftAmt = 32
+				case ROR:
+					i.Shift = RRX
+					i.ShiftAmt = 1
+				}
+			}
+		}
+	}
+	if i.S && i.Rd == PC && !i.Op.IsCompare() {
+		i.Kind = KindSRSexc
+	}
+	if i.Op.IsCompare() && !i.S {
+		i.Kind = KindUndef
+	}
+	return i
+}
+
+// Op2Imm returns the value and shifter carry-out of an immediate operand 2,
+// recomputing the rotation carry from the raw encoding when available (the
+// decoder's Imm field alone cannot represent the carry-out of rotated
+// immediates).
+func (i *Inst) Op2Imm(carryIn bool) (uint32, bool) {
+	if i.Raw != 0 {
+		return ExpandImm(i.Raw&0xFFF, carryIn)
+	}
+	return i.Imm, carryIn
+}
+
+func decodeMem(raw uint32, i Inst) Inst {
+	i.Kind = KindMem
+	i.Load = raw&(1<<20) != 0
+	i.Wback = raw&(1<<21) != 0
+	i.ByteSz = raw&(1<<22) != 0
+	i.Up = raw&(1<<23) != 0
+	i.PreIndex = raw&(1<<24) != 0
+	i.Rn = Reg(raw >> 16 & 0xF)
+	i.Rd = Reg(raw >> 12 & 0xF)
+	if raw&(1<<25) == 0 {
+		i.ImmValid = true
+		i.Imm = raw & 0xFFF
+	} else {
+		if raw&(1<<4) != 0 {
+			i.Kind = KindUndef // register-shifted register offset unsupported
+			return i
+		}
+		i.Rm = Reg(raw & 0xF)
+		i.Shift = ShiftType(raw >> 5 & 3)
+		i.ShiftAmt = uint8(raw >> 7 & 0x1F)
+		if i.ShiftAmt == 0 && i.Shift != LSL {
+			switch i.Shift {
+			case LSR, ASR:
+				i.ShiftAmt = 32
+			case ROR:
+				i.Shift = RRX
+				i.ShiftAmt = 1
+			}
+		}
+	}
+	return i
+}
+
+func decodeSys(raw uint32, i Inst) Inst {
+	if raw&0x0F000000 == 0x0F000000 {
+		i.Kind = KindSVC
+		i.Imm = raw & 0xFFFFFF
+		return i
+	}
+	switch raw & 0x0FF00FFF {
+	case 0x0EE00A10:
+		if raw&0x000F0000 == 0x00010000 {
+			i.Kind = KindVFPSys
+			i.ToCoproc = true
+			i.Rd = Reg(raw >> 12 & 0xF)
+			return i
+		}
+	case 0x0EF00A10:
+		if raw&0x000F0000 == 0x00010000 {
+			i.Kind = KindVFPSys
+			i.Rd = Reg(raw >> 12 & 0xF)
+			return i
+		}
+	}
+	if raw&0x0F000F10 == 0x0E000F10 {
+		i.Kind = KindCP15
+		i.ToCoproc = raw&(1<<20) == 0
+		i.Opc1 = uint8(raw >> 21 & 7)
+		i.CRn = uint8(raw >> 16 & 0xF)
+		i.Rd = Reg(raw >> 12 & 0xF)
+		i.Opc2 = uint8(raw >> 5 & 7)
+		i.CRm = uint8(raw & 0xF)
+		return i
+	}
+	i.Kind = KindUndef
+	return i
+}

@@ -1,0 +1,176 @@
+package arm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the instruction in assembler syntax. addr is the address of
+// the instruction, used to render branch targets absolutely.
+func Disasm(i Inst, addr uint32) string {
+	c := i.Cond.Suffix()
+	switch i.Kind {
+	case KindDataProc, KindSRSexc:
+		s := ""
+		if i.S && !i.Op.IsCompare() {
+			s = "s"
+		}
+		op2 := disOp2(i)
+		switch {
+		case i.Op.IsCompare():
+			return fmt.Sprintf("%s%s %s, %s", i.Op, c, i.Rn, op2)
+		case !i.Op.HasRn():
+			return fmt.Sprintf("%s%s%s %s, %s", i.Op, s, c, i.Rd, op2)
+		default:
+			return fmt.Sprintf("%s%s%s %s, %s, %s", i.Op, s, c, i.Rd, i.Rn, op2)
+		}
+	case KindMul:
+		if i.Acc {
+			return fmt.Sprintf("mla%s %s, %s, %s, %s", c, i.Rd, i.Rm, i.Rs, i.Rn)
+		}
+		return fmt.Sprintf("mul%s %s, %s, %s", c, i.Rd, i.Rm, i.Rs)
+	case KindMulLong:
+		name := "umull"
+		if i.SignedML {
+			name = "smull"
+		}
+		return fmt.Sprintf("%s%s %s, %s, %s, %s", name, c, i.Rd, i.RdHi, i.Rm, i.Rs)
+	case KindMem, KindMemH:
+		name := "ldr"
+		if !i.Load {
+			name = "str"
+		}
+		switch {
+		case i.ByteSz:
+			name += "b"
+		case i.SignedSz && i.HalfSz:
+			name += "sh"
+		case i.SignedSz:
+			name += "sb"
+		case i.HalfSz:
+			name += "h"
+		}
+		return fmt.Sprintf("%s%s %s, %s", name, c, i.Rd, disAddr(i))
+	case KindBlock:
+		name := "stm"
+		if i.Load {
+			name = "ldm"
+		}
+		mode := map[[2]bool]string{
+			{false, true}:  "ia",
+			{true, true}:   "ib",
+			{false, false}: "da",
+			{true, false}:  "db",
+		}[[2]bool{i.PreIndex, i.Up}]
+		wb := ""
+		if i.Wback {
+			wb = "!"
+		}
+		return fmt.Sprintf("%s%s%s %s%s, {%s}", name, mode, c, i.Rn, wb, disRegList(i.RegList))
+	case KindBranch:
+		name := "b"
+		if i.Link {
+			name = "bl"
+		}
+		return fmt.Sprintf("%s%s %#x", name, c, addr+8+uint32(i.Offset))
+	case KindBX:
+		return fmt.Sprintf("bx%s %s", c, i.Rm)
+	case KindSVC:
+		return fmt.Sprintf("svc%s #%d", c, i.Imm)
+	case KindMRS:
+		psr := "cpsr"
+		if i.SPSR {
+			psr = "spsr"
+		}
+		return fmt.Sprintf("mrs%s %s, %s", c, i.Rd, psr)
+	case KindMSR:
+		psr := "cpsr"
+		if i.SPSR {
+			psr = "spsr"
+		}
+		return fmt.Sprintf("msr%s %s, %s", c, psr, i.Rm)
+	case KindCPS:
+		if i.Enable {
+			return "cpsie i"
+		}
+		return "cpsid i"
+	case KindCP15:
+		name := "mrc"
+		if i.ToCoproc {
+			name = "mcr"
+		}
+		return fmt.Sprintf("%s%s p15, %d, %s, c%d, c%d, %d", name, c, i.Opc1, i.Rd, i.CRn, i.CRm, i.Opc2)
+	case KindVFPSys:
+		if i.ToCoproc {
+			return fmt.Sprintf("vmsr%s fpscr, %s", c, i.Rd)
+		}
+		return fmt.Sprintf("vmrs%s %s, fpscr", c, i.Rd)
+	case KindWFI:
+		return "wfi"
+	case KindNOP:
+		return "nop"
+	}
+	return fmt.Sprintf(".word %#08x", i.Raw)
+}
+
+func disOp2(i Inst) string {
+	if i.ImmValid {
+		return fmt.Sprintf("#%#x", i.Imm)
+	}
+	if i.Shift == LSL && i.ShiftAmt == 0 && !i.ShiftReg {
+		return i.Rm.String()
+	}
+	if i.Shift == RRX {
+		return fmt.Sprintf("%s, rrx", i.Rm)
+	}
+	if i.ShiftReg {
+		return fmt.Sprintf("%s, %s %s", i.Rm, i.Shift, i.Rs)
+	}
+	return fmt.Sprintf("%s, %s #%d", i.Rm, i.Shift, i.ShiftAmt)
+}
+
+func disAddr(i Inst) string {
+	sign := ""
+	if !i.Up {
+		sign = "-"
+	}
+	var off string
+	if i.ImmValid {
+		off = fmt.Sprintf("#%s%#x", sign, i.Imm)
+	} else if i.Shift == LSL && i.ShiftAmt == 0 {
+		off = sign + i.Rm.String()
+	} else {
+		off = fmt.Sprintf("%s%s, %s #%d", sign, i.Rm, i.Shift, i.ShiftAmt)
+	}
+	if !i.PreIndex {
+		return fmt.Sprintf("[%s], %s", i.Rn, off)
+	}
+	wb := ""
+	if i.Wback {
+		wb = "!"
+	}
+	if i.ImmValid && i.Imm == 0 {
+		return fmt.Sprintf("[%s]%s", i.Rn, wb)
+	}
+	return fmt.Sprintf("[%s, %s]%s", i.Rn, off, wb)
+}
+
+func disRegList(list uint16) string {
+	var parts []string
+	for r := 0; r < 16; r++ {
+		if list&(1<<r) == 0 {
+			continue
+		}
+		hi := r
+		for hi+1 < 16 && list&(1<<(hi+1)) != 0 {
+			hi++
+		}
+		if hi > r+1 {
+			parts = append(parts, fmt.Sprintf("%s-%s", Reg(r), Reg(hi)))
+			r = hi
+		} else {
+			parts = append(parts, Reg(r).String())
+		}
+	}
+	return strings.Join(parts, ", ")
+}

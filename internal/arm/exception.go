@@ -1,0 +1,61 @@
+package arm
+
+// GuestState abstracts a guest CPU's architectural state so that exception
+// entry/return semantics are implemented once and shared between the
+// reference interpreter (Go-struct state) and the DBT engines (state resident
+// in simulated host memory). All register accessors operate on the bank
+// selected by the current mode.
+type GuestState interface {
+	Reg(r Reg) uint32
+	SetReg(r Reg, v uint32)
+	CPSR() uint32
+	SetCPSR(v uint32)
+	SPSR() uint32
+	SetSPSR(v uint32)
+}
+
+// TakeException performs ARM exception entry on the guest state: banks the
+// return address and CPSR, switches mode, masks IRQ and vectors the PC.
+// retAddr is the architecturally defined value for LR_mode (the caller
+// computes next-instruction or faulting-instruction + vector offset).
+func TakeException(gs GuestState, vec Vector, retAddr uint32) {
+	oldCPSR := gs.CPSR()
+	mode := vec.Mode()
+	newCPSR := oldCPSR&^uint32(CPSRMaskMode) | uint32(mode) | CPSRBitI
+	gs.SetCPSR(newCPSR)
+	// SPSR/LR of the *new* mode: the accessors bank on current mode, so set
+	// them after the mode switch.
+	gs.SetSPSR(oldCPSR)
+	gs.SetReg(LR, retAddr)
+	gs.SetReg(PC, uint32(vec))
+}
+
+// ExceptionReturn implements the data-processing exception return forms
+// (MOVS pc, lr / SUBS pc, lr, #imm): PC receives the computed value and CPSR
+// is restored from SPSR. The caller has already computed the ALU result.
+func ExceptionReturn(gs GuestState, newPC uint32) {
+	spsr := gs.SPSR()
+	gs.SetCPSR(spsr)
+	gs.SetReg(PC, newPC)
+}
+
+// WriteCPSRMasked applies an MSR write with the given field mask to CPSR.
+// In user mode only the flag field may change; privileged modes may also
+// change control bits (mode, I). Mode changes through MSR are honoured.
+func WriteCPSRMasked(gs GuestState, val uint32, mask uint8, privileged bool) {
+	cur := gs.CPSR()
+	var bits uint32
+	if mask&1 != 0 && privileged {
+		bits |= 0x000000FF
+	}
+	if mask&2 != 0 && privileged {
+		bits |= 0x0000FF00
+	}
+	if mask&4 != 0 && privileged {
+		bits |= 0x00FF0000
+	}
+	if mask&8 != 0 {
+		bits |= 0xFF000000
+	}
+	gs.SetCPSR(cur&^bits | val&bits)
+}

@@ -1,0 +1,143 @@
+package arm
+
+import "fmt"
+
+// Mode is an ARM processor mode (CPSR bits 4:0).
+type Mode uint8
+
+// Implemented processor modes.
+const (
+	ModeUSR Mode = 0x10
+	ModeIRQ Mode = 0x12
+	ModeSVC Mode = 0x13
+	ModeABT Mode = 0x17
+	ModeUND Mode = 0x1B
+	ModeSYS Mode = 0x1F
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUSR:
+		return "usr"
+	case ModeIRQ:
+		return "irq"
+	case ModeSVC:
+		return "svc"
+	case ModeABT:
+		return "abt"
+	case ModeUND:
+		return "und"
+	case ModeSYS:
+		return "sys"
+	}
+	return fmt.Sprintf("mode(%#x)", uint8(m))
+}
+
+// Valid reports whether m is one of the implemented modes.
+func (m Mode) Valid() bool {
+	switch m {
+	case ModeUSR, ModeIRQ, ModeSVC, ModeABT, ModeUND, ModeSYS:
+		return true
+	}
+	return false
+}
+
+// Privileged reports whether the mode may execute system-level instructions
+// and access privileged MMU mappings.
+func (m Mode) Privileged() bool { return m != ModeUSR }
+
+// Banked reports whether the mode has banked SP/LR/SPSR (all exception modes
+// do; USR and SYS share the user bank and have no SPSR).
+func (m Mode) Banked() bool {
+	switch m {
+	case ModeIRQ, ModeSVC, ModeABT, ModeUND:
+		return true
+	}
+	return false
+}
+
+// BankIndex returns a dense index for the banked modes, for SPSR/SP/LR
+// storage: SVC=0, IRQ=1, ABT=2, UND=3. Panics for unbanked modes.
+func (m Mode) BankIndex() int {
+	switch m {
+	case ModeSVC:
+		return 0
+	case ModeIRQ:
+		return 1
+	case ModeABT:
+		return 2
+	case ModeUND:
+		return 3
+	}
+	panic("arm: BankIndex of unbanked mode " + m.String())
+}
+
+// CPSR bit masks beyond NZCV.
+const (
+	CPSRMaskMode  = 0x1F
+	CPSRBitI      = 1 << 7 // IRQ disable
+	CPSRMaskFlags = 0xF0000000
+)
+
+// Exception vector offsets from the vector base (address 0).
+type Vector uint32
+
+// Exception vectors.
+const (
+	VecReset         Vector = 0x00
+	VecUndef         Vector = 0x04
+	VecSVC           Vector = 0x08
+	VecPrefetchAbort Vector = 0x0C
+	VecDataAbort     Vector = 0x10
+	VecIRQ           Vector = 0x18
+)
+
+func (v Vector) String() string {
+	switch v {
+	case VecReset:
+		return "reset"
+	case VecUndef:
+		return "undef"
+	case VecSVC:
+		return "svc"
+	case VecPrefetchAbort:
+		return "pabt"
+	case VecDataAbort:
+		return "dabt"
+	case VecIRQ:
+		return "irq"
+	}
+	return fmt.Sprintf("vector(%#x)", uint32(v))
+}
+
+// Mode returns the processor mode the exception is taken in.
+func (v Vector) Mode() Mode {
+	switch v {
+	case VecUndef:
+		return ModeUND
+	case VecSVC:
+		return ModeSVC
+	case VecPrefetchAbort, VecDataAbort:
+		return ModeABT
+	case VecIRQ:
+		return ModeIRQ
+	}
+	return ModeSVC
+}
+
+// LROffset returns the value added to the address of the *next* instruction
+// to form the exception-mode LR, such that the conventional return sequence
+// (SUBS pc, lr, #ret) resumes correctly. For SVC and undef LR is the next
+// instruction (offset 0); for IRQ it is next+4; for data abort faulting+8,
+// which given LR is computed from the faulting instruction address is +8.
+func (v Vector) LROffset() uint32 {
+	switch v {
+	case VecIRQ:
+		return 4
+	case VecDataAbort:
+		return 8 // relative to the faulting instruction address
+	case VecPrefetchAbort:
+		return 4 // relative to the faulting instruction address
+	}
+	return 0
+}

@@ -1,0 +1,114 @@
+package arm
+
+// SrcRegs returns the set of core registers the instruction reads, as a
+// bitmask (bit r set = reads register r). PC reads are included. The
+// translators use these sets for fallback state synchronization and for
+// dependence checks in the define-before-use scheduler.
+func (i *Inst) SrcRegs() uint16 {
+	var s uint16
+	add := func(r Reg) { s |= 1 << r }
+	switch i.Kind {
+	case KindDataProc, KindSRSexc:
+		if i.Op.HasRn() {
+			add(i.Rn)
+		}
+		if !i.ImmValid {
+			add(i.Rm)
+			if i.ShiftReg {
+				add(i.Rs)
+			}
+		}
+	case KindMul:
+		add(i.Rm)
+		add(i.Rs)
+		if i.Acc {
+			add(i.Rn)
+		}
+	case KindMulLong:
+		add(i.Rm)
+		add(i.Rs)
+	case KindMem, KindMemH:
+		add(i.Rn)
+		if !i.ImmValid {
+			add(i.Rm)
+		}
+		if !i.Load {
+			add(i.Rd)
+		}
+	case KindBlock:
+		add(i.Rn)
+		if !i.Load {
+			s |= i.RegList
+		}
+	case KindBX:
+		add(i.Rm)
+	case KindMSR:
+		add(i.Rm)
+	case KindVFPSys:
+		if i.ToCoproc {
+			add(i.Rd)
+		}
+	case KindCP15:
+		if i.ToCoproc {
+			add(i.Rd)
+		}
+	}
+	return s
+}
+
+// DstRegs returns the set of core registers the instruction writes, as a
+// bitmask. Branch-and-link includes LR; PC writes are included.
+func (i *Inst) DstRegs() uint16 {
+	var s uint16
+	add := func(r Reg) { s |= 1 << r }
+	switch i.Kind {
+	case KindDataProc:
+		if !i.Op.IsCompare() {
+			add(i.Rd)
+		}
+	case KindSRSexc:
+		add(PC)
+	case KindMul:
+		add(i.Rd)
+	case KindMulLong:
+		add(i.Rd)
+		add(i.RdHi)
+	case KindMem, KindMemH:
+		if i.Load {
+			add(i.Rd)
+		}
+		if !i.PreIndex || i.Wback {
+			add(i.Rn)
+		}
+	case KindBlock:
+		if i.Load {
+			s |= i.RegList
+		}
+		if i.Wback {
+			add(i.Rn)
+		}
+	case KindBranch:
+		if i.Link {
+			add(LR)
+		}
+		add(PC)
+	case KindBX:
+		add(PC)
+	case KindMRS:
+		add(i.Rd)
+	case KindVFPSys:
+		if !i.ToCoproc {
+			add(i.Rd)
+		}
+	case KindCP15:
+		if !i.ToCoproc {
+			add(i.Rd)
+		}
+	}
+	return s
+}
+
+// AccessesMemory reports whether the instruction reads or writes guest
+// memory (used by the scheduler: memory operations are ordering barriers
+// with respect to each other).
+func (i *Inst) AccessesMemory() bool { return i.IsMemAccess() }

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/x86"
+)
+
+var allLevels = []OptLevel{OptBase, OptReduction, OptElimination, OptScheduling}
+
+// runInterp runs the program on the reference interpreter.
+func runInterp(t *testing.T, prog interface {
+	Word(uint32) uint32
+}, image []byte, origin uint32, budget uint64) (uint32, string) {
+	t.Helper()
+	bus := ghw.NewBus(kernel.RAMSize)
+	if err := bus.LoadImage(origin, image); err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(bus)
+	code, err := ip.Run(budget)
+	if err != nil {
+		t.Fatalf("interp: %v (console %q)", err, bus.UART().Output())
+	}
+	return code, bus.UART().Output()
+}
+
+// runRule runs the program on the rule engine at the given level.
+func runRule(t *testing.T, image []byte, origin uint32, budget uint64, level OptLevel) (*engine.Engine, *Translator, uint32, string) {
+	t.Helper()
+	tr := New(rules.BaselineRules(), level)
+	e := engine.New(tr, kernel.RAMSize)
+	if err := e.LoadImage(origin, image); err != nil {
+		t.Fatal(err)
+	}
+	code, err := e.Run(budget)
+	if err != nil {
+		t.Fatalf("rule-%v: %v (console %q)", level, err, e.Bus.UART().Output())
+	}
+	return e, tr, code, e.Bus.UART().Output()
+}
+
+// checkAllLevels builds kernel+user, runs interp as oracle and every rule
+// level against it.
+func checkAllLevels(t *testing.T, userSrc string, cfg kernel.Config, budget uint64) {
+	t.Helper()
+	prog := kernel.MustBuild(userSrc, cfg)
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, budget)
+	for _, level := range allLevels {
+		_, _, code, out := runRule(t, prog.Image, prog.Origin, budget, level)
+		if code != wantCode {
+			t.Errorf("level %v: exit code %#x, want %#x (console %q)", level, code, wantCode, out)
+		}
+		if out != wantOut {
+			t.Errorf("level %v console mismatch:\n got:  %q\n want: %q", level, out, wantOut)
+		}
+	}
+}
+
+func TestBootAllLevels(t *testing.T) {
+	user := `
+user_entry:
+	ldr r0, =hello
+	mov r7, #2
+	svc #0
+	mov r0, #42
+	mov r7, #0
+	svc #0
+hello:
+	.asciz "hello from rules\n"
+	.pool
+`
+	checkAllLevels(t, user, kernel.Config{}, 3_000_000)
+}
+
+func TestFlagsTortureAllLevels(t *testing.T) {
+	user := `
+user_entry:
+	mov r4, #0          ; checksum
+	mov r0, #200
+	mov r1, #7
+loop:
+	cmp r0, #100
+	addne r4, r4, r1
+	adc r4, r4, #0
+	movs r2, r0, lsl #3
+	orrmi r4, r4, #1
+	eor r4, r4, r2, ror #5
+	cmp r0, #100
+	addhi r4, r4, #2
+	addls r4, r4, #3
+	mulls r3, r0, r1
+	add r4, r4, r3
+	umull r3, r5, r4, r1
+	eor r4, r4, r5
+	rsbs r6, r0, #30
+	sbcge r4, r4, r6
+	ands r6, r4, #0xf0
+	addeq r4, r4, #5
+	tst r4, #1
+	orrne r4, r4, #0x100
+	subs r0, r0, #1
+	bne loop
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	checkAllLevels(t, user, kernel.Config{}, 8_000_000)
+}
+
+func TestMemoryHeavyAllLevels(t *testing.T) {
+	user := `
+	.equ BUF, 0x500000
+user_entry:
+	ldr r1, =BUF
+	mov r0, #0
+	mov r2, #128
+fill:
+	str r0, [r1, r0, lsl #2]
+	add r0, r0, #1
+	cmp r0, r2
+	blt fill
+	mov r0, #0
+	mov r3, #0
+sum:
+	ldr r4, [r1], #4
+	add r3, r3, r4
+	ldrh r5, [r1, #-2]
+	add r3, r3, r5
+	ldrb r6, [r1, #-3]
+	sub r3, r3, r6
+	; consecutive stores exercise III-C-2
+	str r3, [r1, #0x100]
+	str r4, [r1, #0x104]
+	str r5, [r1, #0x108]
+	add r0, r0, #1
+	cmp r0, r2
+	blt sum
+	push {r1-r3, lr}
+	mov r1, #0
+	mov r3, #0
+	pop {r1-r3, lr}
+	mvn r4, #0
+	ldr r5, =BUF
+	strb r4, [r5]
+	ldrsb r6, [r5]
+	add r3, r3, r6
+	strh r4, [r5]
+	ldrsh r6, [r5]
+	add r3, r3, r6
+	; conditional loads/stores take the fallback path
+	cmp r0, #5
+	ldrgt r6, [r5]
+	strle r3, [r5, #8]
+	add r3, r3, r6
+	mov r0, r3
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	checkAllLevels(t, user, kernel.Config{}, 8_000_000)
+}
+
+// TestDefineBeforeUsePattern reproduces Fig. 12: a flag definition separated
+// from its use by a memory access.
+func TestDefineBeforeUsePattern(t *testing.T) {
+	user := `
+	.equ BUF, 0x500000
+user_entry:
+	ldr r1, =BUF
+	mov r5, #123
+	str r5, [r1, #0x1c]
+	mov r0, #50
+	mov r4, #0
+loop:
+	cmp r0, #25          ; define flags
+	ldr r2, [r1, #0x1c]  ; memory access in between (Fig. 12 shape)
+	add r4, r4, r2
+	bne notequal         ; use flags
+	add r4, r4, #1000
+notequal:
+	subs r0, r0, #1
+	bne loop
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 5_000_000)
+	e, tr, code, out := runRule(t, prog.Image, prog.Origin, 5_000_000, OptScheduling)
+	if code != wantCode || out != wantOut {
+		t.Errorf("scheduling run mismatch: code %#x/%#x out %q/%q", code, wantCode, out, wantOut)
+	}
+	if tr.Stats.SchedMoves == 0 {
+		t.Error("define-before-use scheduler made no moves on the Fig. 12 pattern")
+	}
+	if e.M.Counts[x86.ClassSync] == 0 {
+		t.Error("no sync instructions recorded at all (suspicious)")
+	}
+}
+
+// TestAbortFixupPreservesPrecision forces a data abort on a memory access
+// that a flag definition was scheduled across: the kernel prints DFAR, so
+// any state corruption shows up in the console diff; and the compensated
+// flags feed a conditional in the abort path.
+func TestAbortFixupPreservesPrecision(t *testing.T) {
+	user := `
+user_entry:
+	mov r4, #7
+	cmp r4, #7           ; flags defined before the faulting access
+	ldr r1, =0x8000      ; kernel-only address: faults from user mode
+	str r4, [r1]         ; scheduled site
+	beq equal            ; never reached
+equal:
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 3_000_000)
+	for _, level := range []OptLevel{OptElimination, OptScheduling} {
+		_, _, code, out := runRule(t, prog.Image, prog.Origin, 3_000_000, level)
+		if code != wantCode || out != wantOut {
+			t.Errorf("level %v: code %#x/%#x\n got:  %q\n want: %q", level, code, wantCode, out, wantOut)
+		}
+	}
+}
+
+func TestInterruptsAllLevels(t *testing.T) {
+	user := `
+user_entry:
+	ldr r2, =150000
+spin:
+	subs r2, r2, #1
+	addne r3, r3, #1
+	bne spin
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	checkAllLevels(t, user, kernel.Config{TimerPeriod: 9000}, 8_000_000)
+}
+
+func TestFaultsAllLevels(t *testing.T) {
+	user := `
+user_entry:
+	mov r0, #0
+	ldr r1, =0x8000
+	str r0, [r1]
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 3_000_000)
+	if !strings.Contains(wantOut, "data abort at 00008000") {
+		t.Fatalf("oracle did not fault as expected: %q", wantOut)
+	}
+	for _, level := range allLevels {
+		_, _, code, out := runRule(t, prog.Image, prog.Origin, 3_000_000, level)
+		if code != wantCode || out != wantOut {
+			t.Errorf("level %v: code %#x/%#x out %q/%q", level, code, wantCode, out, wantOut)
+		}
+	}
+}
+
+// TestOptimizationMonotonicity checks the paper's central quantitative
+// claim on a flag-and-memory-heavy workload: each optimization level removes
+// coordination work, so sync instructions per guest instruction must be
+// non-increasing from Base through +Scheduling (Fig. 17), and total host
+// instructions should shrink as well (Fig. 16).
+func TestOptimizationMonotonicity(t *testing.T) {
+	user := `
+	.equ BUF, 0x500000
+user_entry:
+	ldr r1, =BUF
+	mov r0, #300
+	mov r4, #0
+loop:
+	cmp r0, #150
+	ldr r2, [r1, #0x10]
+	addhi r4, r4, r2
+	addls r4, r4, #1
+	str r4, [r1, #0x20]
+	str r4, [r1, #0x24]
+	subs r0, r0, #1
+	bne loop
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	var syncPerGuest [4]float64
+	var totalPerGuest [4]float64
+	for i, level := range allLevels {
+		e, _, _, _ := runRule(t, prog.Image, prog.Origin, 8_000_000, level)
+		syncPerGuest[i] = float64(e.M.Counts[x86.ClassSync]) / float64(e.Retired)
+		totalPerGuest[i] = float64(e.M.Total()) / float64(e.Retired)
+	}
+	t.Logf("sync/guest by level: %.3f", syncPerGuest)
+	t.Logf("host/guest by level: %.3f", totalPerGuest)
+	for i := 1; i < 4; i++ {
+		if syncPerGuest[i] > syncPerGuest[i-1]*1.02 {
+			t.Errorf("sync/guest increased from level %v (%.3f) to %v (%.3f)",
+				allLevels[i-1], syncPerGuest[i-1], allLevels[i], syncPerGuest[i])
+		}
+	}
+	if syncPerGuest[3] >= syncPerGuest[0]/2 {
+		t.Errorf("full optimization should cut sync cost by well over 2x: base %.3f vs full %.3f",
+			syncPerGuest[0], syncPerGuest[3])
+	}
+	if totalPerGuest[3] >= totalPerGuest[0] {
+		t.Errorf("full optimization did not reduce host instructions: %.3f vs %.3f",
+			totalPerGuest[0], totalPerGuest[3])
+	}
+}
+
+// TestRuleCoverage ensures the rule set actually translates the bulk of user
+// data-processing code (the paper's premise).
+func TestRuleCoverage(t *testing.T) {
+	user := `
+user_entry:
+	mov r0, #100
+	mov r1, #3
+	mov r2, #0
+lp:
+	add r2, r2, r1
+	sub r3, r2, r1
+	and r4, r2, #0xff
+	orr r5, r4, r1
+	eor r6, r5, r2
+	subs r0, r0, #1
+	bne lp
+	mov r0, #0
+	mov r7, #0
+	svc #0
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	_, tr, _, _ := runRule(t, prog.Image, prog.Origin, 3_000_000, OptScheduling)
+	total := tr.Stats.RuleHits + tr.Stats.Fallbacks
+	if total == 0 {
+		t.Fatal("no translations recorded")
+	}
+	cov := float64(tr.Stats.RuleHits) / float64(total)
+	if cov < 0.5 {
+		t.Errorf("rule coverage %.2f too low (hits=%d fallbacks=%d)",
+			cov, tr.Stats.RuleHits, tr.Stats.Fallbacks)
+	}
+	t.Logf("static rule coverage: %.2f (hits=%d, fallbacks=%d)", cov, tr.Stats.RuleHits, tr.Stats.Fallbacks)
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+	"sldbt/internal/x86"
+)
+
+// emitInst dispatches one guest instruction (emission-order index i).
+func (tc *tctx) emitInst(i int) {
+	in := &tc.insts[i]
+	switch {
+	case in.Kind == arm.KindNOP:
+		// nothing
+	case in.Kind == arm.KindBranch:
+		tc.emitBranch(i)
+	case in.Kind == arm.KindBX:
+		tc.emitBX(i)
+	case in.Kind == arm.KindUndef:
+		tc.emitUndef(i)
+	case in.IsSystem():
+		tc.emitSystem(i)
+	case in.Kind == arm.KindBlock:
+		tc.emitFallback(i) // ldm/stm: rule set does not cover block transfers
+	case in.IsMemAccess():
+		if in.Cond == arm.AL {
+			tc.emitMem(i)
+		} else {
+			tc.emitFallback(i) // conditional memory access
+		}
+	default:
+		tc.emitALU(i)
+	}
+}
+
+// --- data processing through rules -----------------------------------
+
+func (tc *tctx) emitALU(i int) {
+	in := &tc.insts[i]
+	if in.Cond != arm.AL {
+		tc.emitCondALU(i)
+		return
+	}
+	fs := &tc.fs
+	// Carry-consuming instructions without S clobber host EFLAGS while the
+	// live guest flags must survive: save BEFORE selecting the rule variant,
+	// because the packed save's normalizing CMC changes the carry polarity
+	// the variant is chosen by.
+	if readsCarryAsData(in) && !in.S && (fs.hostFull || fs.hostZN) && tc.liveOut[i] {
+		tc.ensureSaved(savePacked, false)
+	}
+	carryOK := func(c rules.CarryIn) bool {
+		switch c {
+		case rules.CarryNone:
+			return true
+		case rules.CarryDirect:
+			return !fs.hostFull || fs.pol == engine.PolDirectHost
+		case rules.CarrySubInv:
+			return fs.hostFull && fs.pol == engine.PolSubInvHost
+		}
+		return false
+	}
+	r := tc.t.Rules.Find(in, carryOK)
+	if r == nil {
+		tc.t.Rules.Misses++
+		tc.emitFallback(i)
+		return
+	}
+	tc.t.Stats.RuleHits++
+	if r.Carry != rules.CarryNone && !fs.hostFull {
+		// Carry-consuming rule with flags in env: restore first (a flag
+		// use), then re-select the variant for the restored (direct) state.
+		tc.restoreToHost()
+		r = tc.t.Rules.Find(in, carryOK)
+		if r == nil {
+			panic("core: carry rule vanished after restore")
+		}
+	}
+	// Pre-definition protection.
+	switch {
+	case in.S && r.Flags == rules.FlagsZN:
+		if tc.liveOut[i] {
+			tc.ensureCVParsed()
+		}
+	case !in.S && r.Flags != rules.FlagsKeep && !readsCarryAsData(in):
+		// The template clobbers host EFLAGS without a guest definition.
+		if (fs.hostFull || fs.hostZN) && tc.liveOut[i] {
+			tc.ensureSaved(savePacked, false)
+		}
+	}
+	r.Apply(tc.codeEm(), in)
+	// Post state.
+	if in.S {
+		switch r.Flags {
+		case rules.FlagsFull:
+			fs.defFull(engine.PolDirectHost)
+		case rules.FlagsFullSub:
+			fs.defFull(engine.PolSubInvHost)
+		case rules.FlagsZN:
+			fs.defZN()
+		default:
+			panic(fmt.Sprintf("core: S-instruction matched flag-less rule %s", r.Name))
+		}
+	} else if r.Flags != rules.FlagsKeep {
+		fs.clobberHost()
+	}
+}
+
+// readsCarryAsData reports data-processing ops that consume the carry flag
+// as an input (beyond condition evaluation).
+func readsCarryAsData(in *arm.Inst) bool {
+	if in.Kind != arm.KindDataProc {
+		return false
+	}
+	switch in.Op {
+	case arm.OpADC, arm.OpSBC, arm.OpRSC:
+		return true
+	}
+	return in.Shift == arm.RRX
+}
+
+// emitCondALU handles conditionally-executed data processing. Flag-keeping
+// rules run natively under a host conditional jump (both paths leave
+// identical flag state); everything else takes the fallback path.
+func (tc *tctx) emitCondALU(i int) {
+	in := &tc.insts[i]
+	if !in.S {
+		carryNone := func(c rules.CarryIn) bool { return c == rules.CarryNone }
+		if r := tc.t.Rules.Find(in, carryNone); r != nil && r.Flags == rules.FlagsKeep {
+			tc.t.Stats.RuleHits++
+			pol := tc.ensureCondUsable(in.Cond)
+			skip := fmt.Sprintf("condskip_%d", tc.seq())
+			tc.codeEm()
+			tc.emitCondJump(in.Cond, pol, skip)
+			r.Apply(tc.codeEm(), in)
+			tc.em.Label(skip)
+			return
+		}
+	}
+	tc.emitFallback(i)
+}
+
+// ensureCVParsed guarantees the guest C/V values are current in the parsed
+// env slots before a Z/N-only definition overwrites host EFLAGS.
+func (tc *tctx) ensureCVParsed() {
+	fs := &tc.fs
+	if fs.envParsedCV {
+		return
+	}
+	switch {
+	case fs.hostFull:
+		tc.t.Stats.SyncSaves++
+		emitCVSave(tc.em, fs.pol)
+		fs.envParsedCV = true
+	case fs.envPacked:
+		tc.restoreToHost()
+		tc.t.Stats.SyncSaves++
+		emitCVSave(tc.em, engine.PolDirectHost)
+		fs.envParsedCV = true
+	default:
+		panic("core: C/V flags lost")
+	}
+}
+
+// --- memory accesses ---------------------------------------------------
+
+func (tc *tctx) emitMem(i int) {
+	in := &tc.insts[i]
+	// The softmmu probe clobbers host EFLAGS and a fault context-switches to
+	// QEMU: coordinate first (§II-C "Address translation").
+	tc.ensureSaved(savePacked, false)
+	tc.emitAddrCalc(in, i) // VA in EAX; host flags are free now
+	size, signed := memSize(in)
+	preWB := in.PreIndex && in.Wback
+	if preWB {
+		// The effective address doubles as the writeback value; it must
+		// survive the probe, and writeback happens only if no fault.
+		tc.codeEm().Mov(x86.M(x86.EBP, engine.OffTmp2), x86.R(x86.EAX))
+	}
+	if in.Load {
+		id := tc.e.RegisterMMUReadFx(tc.instPC(i), tc.origIdx[i], size, signed, tc.fixupFor(i))
+		engine.EmitMMULoad(tc.em, size, signed, id, tc.seq())
+		tc.emitWriteback(in, preWB)
+		if in.Rd == arm.PC {
+			tc.codeEm()
+			tc.em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFFFFC))
+			tc.em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EDX))
+			tc.fs.clobberHost()
+			tc.em.SetClass(x86.ClassGlue)
+			tc.em.Exit(engine.ExitIndirect)
+			tc.exited = true
+			return
+		}
+		if in.Rn == in.Rd && (preWB || !in.PreIndex) {
+			// Writeback already suppressed by emitWriteback for loads with
+			// Rn == Rd; just store the loaded value.
+		}
+		tc.codeEm().Mov(rules.GuestOperand(in.Rd), x86.R(x86.EDX))
+	} else {
+		val := rules.GuestOperand(in.Rd)
+		if in.Rd == arm.PC {
+			val = x86.I(tc.instPC(i) + 8)
+		}
+		tc.codeEm().Mov(x86.R(x86.EDX), val)
+		id := tc.e.RegisterMMUWriteFx(tc.instPC(i), tc.origIdx[i], size, tc.fixupFor(i))
+		engine.EmitMMUStore(tc.em, size, id, tc.seq())
+		tc.emitWriteback(in, preWB)
+	}
+	tc.fs.clobberHost()
+	if tc.t.Level < OptElimination {
+		tc.restoreToHost() // eager pairwise coordination (Figs. 5 and 10)
+	}
+}
+
+// emitWriteback applies index writeback after a successful access.
+func (tc *tctx) emitWriteback(in *arm.Inst, preWB bool) {
+	if in.Load && in.Rn == in.Rd {
+		return // base update suppressed when the load target is the base
+	}
+	em := tc.codeEm()
+	rn := rules.GuestOperand(in.Rn)
+	switch {
+	case preWB:
+		em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, engine.OffTmp2))
+		em.Mov(rn, x86.R(x86.ECX))
+	case !in.PreIndex: // post-index always writes back
+		em.Mov(x86.R(x86.EAX), rn)
+		tc.emitOffsetAdjust(in)
+		em.Mov(rn, x86.R(x86.EAX))
+	}
+}
+
+// emitAddrCalc computes the access virtual address into EAX.
+func (tc *tctx) emitAddrCalc(in *arm.Inst, i int) {
+	em := tc.codeEm()
+	if in.Rn == arm.PC {
+		em.Mov(x86.R(x86.EAX), x86.I(tc.instPC(i)+8))
+	} else {
+		em.Mov(x86.R(x86.EAX), rules.GuestOperand(in.Rn))
+	}
+	if in.PreIndex {
+		tc.emitOffsetAdjust(in)
+	}
+}
+
+// emitOffsetAdjust applies the (possibly shifted-register) offset to EAX.
+func (tc *tctx) emitOffsetAdjust(in *arm.Inst) {
+	em := tc.em
+	op := x86.ADD
+	if !in.Up {
+		op = x86.SUB
+	}
+	if in.ImmValid {
+		if in.Imm != 0 {
+			em.Op2(op, x86.R(x86.EAX), x86.I(in.Imm))
+		}
+		return
+	}
+	em.Mov(x86.R(x86.ECX), rules.GuestOperand(in.Rm))
+	if in.ShiftAmt != 0 {
+		hop := map[arm.ShiftType]x86.Op{
+			arm.LSL: x86.SHL, arm.LSR: x86.SHR, arm.ASR: x86.SAR, arm.ROR: x86.ROR,
+		}[in.Shift]
+		em.Op2(hop, x86.R(x86.ECX), x86.I(uint32(in.ShiftAmt)))
+	}
+	em.Op2(op, x86.R(x86.EAX), x86.R(x86.ECX))
+}
+
+func memSize(in *arm.Inst) (uint8, bool) {
+	switch {
+	case in.Kind == arm.KindMem && in.ByteSz:
+		return 1, false
+	case in.Kind == arm.KindMem:
+		return 4, false
+	case in.SignedSz && in.HalfSz:
+		return 2, true
+	case in.SignedSz:
+		return 1, true
+	default:
+		return 2, false
+	}
+}
+
+// --- fallback: QEMU emulates the instruction (rule-set miss) ------------
+
+func (tc *tctx) emitFallback(i int) {
+	in := tc.insts[i]
+	tc.t.Stats.Fallbacks++
+	// The TCG-style code reads guest registers and flags from env and
+	// writes results back there: full coordination around the site.
+	tc.ensureSaved(saveParsed, true)
+	tc.spillRegs(in.SrcRegs())
+	skip := ""
+	if in.Cond != arm.AL {
+		skip = fmt.Sprintf("fbskip_%d", tc.seq())
+		tc.codeEm()
+		engine.EmitCondFromEnv(tc.em, in.Cond, skip, tc.seq())
+	}
+	tc.codeEm()
+	ended := tcg.EmitFallback(tc.e, tc.em, &in, tc.instPC(i), tc.origIdx[i], tc.seq())
+	tc.fillRegs(in.DstRegs())
+	if skip != "" {
+		tc.em.Label(skip)
+	}
+	// Host flags were clobbered (cond eval, probes, ALU); env parsed slots
+	// are current (we saved, and S-fallbacks update them in place).
+	tc.fs = flagState{envParsedFull: true, envParsedCV: true}
+	if ended {
+		tc.exited = true
+		return
+	}
+	if tc.t.Level < OptElimination && in.Cond == arm.AL {
+		tc.restoreToHost()
+	}
+}
+
+// --- system-level instructions (helper emulation, Fig. 6) ----------------
+
+func (tc *tctx) emitSystem(i int) {
+	in := tc.insts[i]
+	// Sync-save: the helper reads the guest CPU state from memory; packed
+	// form defers the parse until the helper actually consumes flags.
+	tc.ensureSaved(savePacked, true)
+	tc.spillRegs(in.SrcRegs())
+	skip := ""
+	if in.Cond != arm.AL {
+		skip = fmt.Sprintf("sysskip_%d", tc.seq())
+		tc.codeEm()
+		engine.EmitCondFromEnv(tc.em, in.Cond, skip, tc.seq())
+	}
+	id := tc.e.RegisterSystem(in, tc.instPC(i), tc.origIdx[i])
+	tc.codeEm()
+	tc.em.CallHelper(id)
+	tc.fillRegs(in.DstRegs() &^ (1 << arm.PC))
+	terminal := in.Kind == arm.KindSVC || in.Kind == arm.KindWFI || in.Kind == arm.KindSRSexc
+	if terminal && skip == "" {
+		// The helper never returns control here; backstop exit.
+		tc.em.SetClass(x86.ClassGlue)
+		tc.em.Exit(engine.ExitExc)
+		tc.exited = true
+		tc.fs = flagState{envParsedFull: true, envParsedCV: true}
+		return
+	}
+	if skip != "" {
+		tc.em.Label(skip)
+	}
+	// After any system helper the env forms are coherent (helpers normalize
+	// through env.Flags/SetFlags).
+	tc.fs = flagState{envParsedFull: true, envParsedCV: true, envPacked: true}
+	if terminal {
+		// Conditional SVC/WFI/eret: the fail path falls through to the next
+		// TB (these end the block).
+		fall := tc.instPC(i) + 4
+		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
+		tc.em.SetClass(x86.ClassGlue)
+		tc.em.Exit(engine.ExitNext0)
+		tc.exited = true
+		return
+	}
+	if tc.t.Level < OptElimination && in.Cond == arm.AL {
+		tc.restoreToHost() // eager sync-restore (Fig. 6)
+	}
+}
+
+func (tc *tctx) emitUndef(i int) {
+	tc.ensureSaved(saveParsed, true)
+	id := tc.e.RegisterUndef(tc.instPC(i), tc.origIdx[i])
+	tc.codeEm()
+	tc.em.CallHelper(id)
+	tc.em.SetClass(x86.ClassGlue)
+	tc.em.Exit(engine.ExitExc)
+	tc.exited = true
+}
+
+// --- control flow ---------------------------------------------------------
+
+func (tc *tctx) emitBranch(i int) {
+	in := &tc.insts[i]
+	taken := uint32(int32(tc.instPC(i)) + 8 + in.Offset)
+	fall := tc.instPC(i) + 4
+	if in.Cond == arm.AL {
+		if in.Link {
+			tc.codeEm().Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
+		}
+		tc.tb.Next[1], tc.tb.HasNext[1] = taken, true
+		tc.endOfTBSave(taken, 0)
+		tc.em.SetClass(x86.ClassGlue)
+		tc.em.Exit(engine.ExitNext1)
+		tc.exited = true
+		return
+	}
+	pol := tc.ensureCondUsable(in.Cond)
+	tc.tb.Next[1], tc.tb.HasNext[1] = taken, true
+	tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
+	// The save (if any) precedes the conditional jump; save sequences
+	// preserve host EFLAGS.
+	tc.endOfTBSave(taken, fall)
+	fail := fmt.Sprintf("bfail_%d", tc.seq())
+	tc.codeEm()
+	tc.emitCondJump(in.Cond, pol, fail)
+	if in.Link {
+		tc.em.Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
+	}
+	tc.em.SetClass(x86.ClassGlue)
+	tc.em.Exit(engine.ExitNext1)
+	tc.em.Label(fail)
+	tc.em.Exit(engine.ExitNext0)
+	tc.exited = true
+}
+
+func (tc *tctx) emitBX(i int) {
+	in := &tc.insts[i]
+	fall := tc.instPC(i) + 4
+	var skipLbl string
+	if in.Cond != arm.AL {
+		pol := tc.ensureCondUsable(in.Cond)
+		skipLbl = fmt.Sprintf("bxfail_%d", tc.seq())
+		tc.endOfTBSave(0, fall)
+		tc.codeEm()
+		tc.emitCondJump(in.Cond, pol, skipLbl)
+	} else {
+		tc.endOfTBSave(0, 0)
+	}
+	em := tc.codeEm()
+	em.Mov(x86.R(x86.EAX), rules.GuestOperand(in.Rm))
+	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFFFFFFE))
+	em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EAX))
+	// The AND clobbered host flags; with the ensureCondUsable above the
+	// taken path used them already, and endOfTBSave preserved a copy.
+	tc.fs.clobberHost()
+	tc.em.SetClass(x86.ClassGlue)
+	tc.em.Exit(engine.ExitIndirect)
+	if skipLbl != "" {
+		tc.em.Label(skipLbl)
+		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
+		tc.em.Exit(engine.ExitNext0)
+	}
+	tc.exited = true
+}

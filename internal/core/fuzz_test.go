@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+)
+
+// randALU builds a random well-defined data-processing instruction over
+// r0-r8 (avoiding PC, register-specified shifts, and other unpredictable
+// forms). r9 (the memory base) is never written.
+func randALU(r *rand.Rand) string {
+	reg := func() string { return fmt.Sprintf("r%d", r.Intn(9)) }
+	ops := []string{"add", "sub", "rsb", "and", "orr", "eor", "bic", "adc", "sbc"}
+	op := ops[r.Intn(len(ops))]
+	s := ""
+	if r.Intn(3) == 0 {
+		s = "s"
+	}
+	conds := []string{"", "", "", "eq", "ne", "cs", "cc", "mi", "pl", "hi", "ls", "ge", "lt", "gt", "le"}
+	cond := conds[r.Intn(len(conds))]
+	dst, a := reg(), reg()
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("\t%s%s%s %s, %s, #%d", op, s, cond, dst, a, r.Intn(256))
+	case 1:
+		return fmt.Sprintf("\t%s%s%s %s, %s, %s", op, s, cond, dst, a, reg())
+	case 2:
+		sh := []string{"lsl", "lsr", "asr", "ror"}[r.Intn(4)]
+		return fmt.Sprintf("\t%s%s%s %s, %s, %s, %s #%d", op, s, cond, dst, a, reg(), sh, 1+r.Intn(30))
+	default:
+		cmp := []string{"cmp", "cmn", "tst", "teq"}[r.Intn(4)]
+		return fmt.Sprintf("\t%s%s %s, #%d", cmp, cond, a, r.Intn(256))
+	}
+}
+
+// randMem builds a random in-bounds memory access against the scratch
+// buffer based at r9.
+func randMem(r *rand.Rand) string {
+	reg := func() string { return fmt.Sprintf("r%d", r.Intn(9)) }
+	off := 4 * r.Intn(64)
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("\tldr %s, [r9, #%d]", reg(), off)
+	case 1:
+		return fmt.Sprintf("\tstr %s, [r9, #%d]", reg(), off)
+	case 2:
+		return fmt.Sprintf("\tldrb %s, [r9, #%d]", reg(), off)
+	default:
+		return fmt.Sprintf("\tstrh %s, [r9, #%d]", reg(), off)
+	}
+}
+
+// fuzzProgram wraps a random body with register seeding and a full dump of
+// r0-r8 plus NZCV through the kernel console.
+func fuzzProgram(body string) string {
+	user := `
+	.equ BUF, 0x500000
+user_entry:
+	ldr r9, =BUF
+	mov r0, #3
+	mov r1, #5
+	mov r2, #7
+	mov r3, #11
+	mov r4, #13
+	mov r5, #17
+	mov r6, #19
+	mov r8, #23
+` + body + `
+	; capture flags first, then dump everything
+	mrs r10, cpsr
+	mov r10, r10, lsr #28
+	push {r0-r8}
+	mov r0, r10
+	mov r7, #3
+	svc #0
+	pop {r0-r8}
+`
+	for i := 0; i < 9; i++ {
+		user += fmt.Sprintf("\tpush {r0-r8}\n\tmov r0, r%d\n\tmov r7, #3\n\tsvc #0\n\tpop {r0-r8}\n", i)
+	}
+	return user + `
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+}
+
+// TestFuzzEnginesAgree generates random straight-line guest programs mixing
+// flag-setting ALU operations, conditional execution and memory accesses,
+// and requires the interpreter, the TCG baseline and the rule engine at
+// every optimization level to print identical architectural state.
+func TestFuzzEnginesAgree(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(seed)))
+			body := ""
+			for i := 0; i < 40; i++ {
+				if r.Intn(3) == 0 {
+					body += randMem(r) + "\n"
+				} else {
+					body += randALU(r) + "\n"
+				}
+			}
+			prog, err := kernel.Build(fuzzProgram(body), kernel.Config{TimerOff: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, body)
+			}
+			wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 3_000_000)
+			translators := []engine.Translator{
+				tcg.New(),
+				New(rules.BaselineRules(), OptBase),
+				New(rules.BaselineRules(), OptReduction),
+				New(rules.BaselineRules(), OptElimination),
+				New(rules.BaselineRules(), OptScheduling),
+			}
+			for _, tr := range translators {
+				e := engine.New(tr, kernel.RAMSize)
+				if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+					t.Fatal(err)
+				}
+				code, err := e.Run(3_000_000)
+				if err != nil {
+					t.Fatalf("seed %d on %s: %v", seed, tr.Name(), err)
+				}
+				got := e.Bus.UART().Output()
+				if code != wantCode || got != wantOut {
+					t.Errorf("seed %d: %s diverged\n got  %q\n want %q\nprogram:\n%s",
+						seed, tr.Name(), got, wantOut, body)
+				}
+			}
+		})
+	}
+}
+
+// TestSelfModifyingCodeInvalidation patches an instruction in place and
+// checks the engines retranslate (QEMU's tb_invalidate behaviour).
+func TestSelfModifyingCodeInvalidation(t *testing.T) {
+	// The user program overwrites the "mov r0, #1" in a helper routine with
+	// "mov r0, #2" (encoding 0xE3A00002), calls it before and after, and
+	// prints both results.
+	user := `
+user_entry:
+	bl victim
+	mov r4, r0           ; expect 1
+	ldr r1, =victim
+	ldr r2, =0xE3A00002  ; mov r0, #2
+	str r2, [r1]
+	bl victim
+	add r4, r4, r0, lsl #4 ; expect 0x21
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+victim:
+	mov r0, #1
+	bx lr
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{TimerOff: true})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	for _, tr := range []engine.Translator{
+		tcg.New(),
+		New(rules.BaselineRules(), OptScheduling),
+	} {
+		e := engine.New(tr, kernel.RAMSize)
+		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		code, err := e.Run(2_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		if code != wantCode || e.Bus.UART().Output() != wantOut {
+			t.Errorf("%s: code %#x out %q, want %#x %q",
+				tr.Name(), code, e.Bus.UART().Output(), wantCode, wantOut)
+		}
+		if e.Flushes() == 0 {
+			t.Errorf("%s: self-modifying store did not flush the code cache", tr.Name())
+		}
+	}
+}

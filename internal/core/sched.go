@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sldbt/internal/arm"
+	"sldbt/internal/rules"
+	"sldbt/internal/x86"
+)
+
+// --- §III-D-1: define-before-use scheduling -----------------------------
+//
+// A flag-defining instruction whose first consumer sits several
+// instructions later forces the coordination machinery to keep the flags
+// alive across every intervening QEMU site (memory accesses in particular).
+// When no data dependence prevents it, the definer is moved down to sit
+// directly before its consumer, so no coordination site sits inside the
+// flags' live range (Fig. 12).
+//
+// Precise exceptions: if a crossed memory access faults, the guest must
+// observe the (architecturally earlier) definer's effects. Each crossed
+// access therefore carries an abort fixup that applies the moved
+// instruction's semantics from live host state before the exception is
+// injected.
+
+// eligibleDef reports whether the instruction can be moved by the
+// define-before-use scheduler.
+func eligibleDef(in *arm.Inst) bool {
+	if in.Kind != arm.KindDataProc || !in.S || in.Cond != arm.AL {
+		return false
+	}
+	if in.ReadsFlags() || in.ShiftReg || in.Shift == arm.RRX {
+		return false
+	}
+	if in.Rd == arm.PC || (in.Op.HasRn() && in.Rn == arm.PC) ||
+		(!in.ImmValid && in.Rm == arm.PC) {
+		return false
+	}
+	return true
+}
+
+// transparent reports whether the scheduler may move a flag definition
+// across the instruction: it must not touch flags, end the block, or
+// require QEMU involvement other than softmmu.
+func transparent(in *arm.Inst) bool {
+	if in.ReadsFlags() || readsFlagsAsData(in) || in.SetsFlags() {
+		return false
+	}
+	if in.IsBranch() || in.IsSystem() || in.Kind == arm.KindUndef {
+		return false
+	}
+	if in.Cond != arm.AL {
+		return false // conditional instructions read flags
+	}
+	return true
+}
+
+func (tc *tctx) scheduleDefBeforeUse() {
+	if tc.fixupsByOrig == nil {
+		tc.fixupsByOrig = map[int][]arm.Inst{}
+	}
+	for pass := 0; pass < 2; pass++ {
+		moved := false
+		for d := 0; d+1 < len(tc.insts); d++ {
+			def := tc.insts[d]
+			if !eligibleDef(&def) {
+				continue
+			}
+			// Find the first flag consumer after d.
+			u := -1
+			for j := d + 1; j < len(tc.insts); j++ {
+				jn := &tc.insts[j]
+				if jn.ReadsFlags() || readsFlagsAsData(jn) {
+					u = j
+					break
+				}
+				if !transparent(jn) && !jn.IsMemAccess() {
+					u = -2
+					break
+				}
+				if jn.SetsFlags() {
+					u = -2 // redefined before use: nothing to protect
+					break
+				}
+			}
+			if u <= d+1 {
+				continue // no use, barrier, or already adjacent
+			}
+			// Require at least one crossable memory site in between, and
+			// full dependence safety.
+			hasMem := false
+			ok := true
+			dSrc, dDst := def.SrcRegs(), def.DstRegs()
+			for j := d + 1; j < u; j++ {
+				jn := &tc.insts[j]
+				if jn.IsMemAccess() {
+					if jn.Kind == arm.KindBlock || jn.Cond != arm.AL {
+						ok = false // fallback-path sites: do not cross
+						break
+					}
+					hasMem = true
+				} else if !transparent(jn) {
+					ok = false
+					break
+				}
+				if jn.DstRegs()&dSrc != 0 || jn.DstRegs()&dDst != 0 || jn.SrcRegs()&dDst != 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok || !hasMem {
+				continue
+			}
+			// Record abort fixups on every crossed memory access.
+			for j := d + 1; j < u; j++ {
+				if tc.insts[j].IsMemAccess() {
+					oi := tc.origIdx[j]
+					tc.fixupsByOrig[oi] = append(tc.fixupsByOrig[oi], def)
+				}
+			}
+			// Move def from position d to position u-1.
+			oi := tc.origIdx[d]
+			copy(tc.insts[d:], tc.insts[d+1:u])
+			tc.insts[u-1] = def
+			copy(tc.origIdx[d:], tc.origIdx[d+1:u])
+			tc.origIdx[u-1] = oi
+			tc.t.Stats.SchedMoves++
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// fixupFor returns the abort-fixup closure for the memory access at
+// emission index i, or nil. The closure executes the architectural effects
+// of every flag definition that was scheduled past this access, reading
+// guest registers from their pinned host registers (or env) and writing the
+// resulting flags and destination through env, so the injected data abort
+// observes a precise guest state.
+func (tc *tctx) fixupFor(i int) func(m *x86.Machine) {
+	defs := tc.fixupsByOrig[tc.origIdx[i]]
+	if len(defs) == 0 {
+		return nil
+	}
+	list := append([]arm.Inst(nil), defs...)
+	e := tc.e
+	return func(m *x86.Machine) {
+		env := e.Env
+		readReg := func(r arm.Reg) uint32 {
+			if h, ok := rules.PinnedHost(r); ok {
+				return m.Regs[h]
+			}
+			return env.Reg(r)
+		}
+		writeReg := func(r arm.Reg, v uint32) {
+			if h, ok := rules.PinnedHost(r); ok {
+				m.Regs[h] = v
+				return
+			}
+			env.SetReg(r, v)
+		}
+		for k := range list {
+			d := &list[k]
+			f := env.Flags()
+			var op2 uint32
+			var shc bool
+			if d.ImmValid {
+				op2, shc = d.Op2Imm(f.C)
+			} else {
+				op2, shc = arm.Shifter(readReg(d.Rm), d.Shift, uint32(d.ShiftAmt), f.C)
+			}
+			res, nf := arm.AluExec(d.Op, readReg(d.Rn), op2, f.C, shc)
+			if d.Op.IsLogical() {
+				nf.V = f.V
+			}
+			if !d.Op.IsCompare() {
+				writeReg(d.Rd, res)
+			}
+			env.SetFlags(nf)
+		}
+	}
+}
+
+// --- §III-D-2: interrupt-driven scheduling --------------------------------
+//
+// The interrupt check is moved from the block head to sit directly before
+// the first memory access, whose coordination window it then shares. The
+// check may only move when the instructions ahead of it form a contiguous
+// prefix of the original block (so the architectural resume point after an
+// interrupt is well-defined) and none of them can fault or leave the block.
+func (tc *tctx) scheduleIRQCheck() int {
+	for i := range tc.insts {
+		in := &tc.insts[i]
+		if in.IsSystem() || in.IsBranch() || in.Kind == arm.KindUndef {
+			return 0
+		}
+		if !in.IsMemAccess() {
+			continue
+		}
+		if in.Kind == arm.KindBlock || in.Cond != arm.AL {
+			return 0
+		}
+		if i == 0 {
+			return 0 // already at the head
+		}
+		// Contiguity: the emitted prefix must be exactly the original
+		// instructions 0..i-1 (define-before-use moves can break this).
+		var seen uint64
+		for j := 0; j < i; j++ {
+			if tc.origIdx[j] >= i {
+				return 0
+			}
+			seen |= 1 << tc.origIdx[j]
+		}
+		if seen != 1<<i-1 {
+			return 0
+		}
+		tc.t.Stats.IRQSchedMoves++
+		return i
+	}
+	return 0
+}

@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: the rule-based
+// (learning-based) translator applied at system level, with guest CPU state
+// kept in host registers and host EFLAGS, and the CPU-state coordination
+// machinery (sync-save / sync-restore) required whenever execution crosses
+// into the QEMU side — softmmu address translation, system-level
+// instructions, interrupt checks, rule-set misses and block boundaries —
+// together with the paper's three optimization groups:
+//
+//   - §III-B  coordination overhead reduction (packed CCR, lazy parse),
+//   - §III-C  coordination elimination (redundant sync-restores, consecutive
+//     memory operations, inter-TB elimination over chained blocks),
+//   - §III-D  instruction scheduling (define-before-use, interrupt-driven).
+package core
+
+import (
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/x86"
+)
+
+// OptLevel selects which optimization groups are active; levels are
+// cumulative, matching the paper's Fig. 16 ("Base", "+Reduction",
+// "+Elimination", "+Scheduling").
+type OptLevel int
+
+// Optimization levels.
+const (
+	OptBase OptLevel = iota
+	OptReduction
+	OptElimination
+	OptScheduling
+)
+
+func (l OptLevel) String() string {
+	switch l {
+	case OptBase:
+		return "base"
+	case OptReduction:
+		return "reduction"
+	case OptElimination:
+		return "elimination"
+	case OptScheduling:
+		return "scheduling"
+	}
+	return "?"
+}
+
+// flagState tracks, at translation time, where the current guest NZCV flags
+// live. Cross-TB canonical form: the parsed env slots. Packed snapshots are
+// used inside statically-scoped windows (§III-B) and consumed either by a
+// packed restore in the same TB or by the engine's lazy parse.
+type flagState struct {
+	hostFull bool // all four flags in host EFLAGS
+	hostZN   bool // Z/N in host EFLAGS (hostFull implies hostZN)
+	pol      engine.FlagPol
+
+	envParsedFull bool // parsed env slots current (all four)
+	envParsedCV   bool // parsed C/V slots current
+	envPacked     bool // packed env slot current
+}
+
+// entryState is the state at TB entry: predecessors leave the canonical
+// parsed form (or the flags are dead, in which case anything is fine).
+func entryState() flagState {
+	return flagState{envParsedFull: true, envParsedCV: true}
+}
+
+// clobberHost marks host EFLAGS destroyed (probe, check, helper, eval).
+func (f *flagState) clobberHost() {
+	f.hostFull = false
+	f.hostZN = false
+}
+
+// defFull records a full NZCV definition into host EFLAGS.
+func (f *flagState) defFull(pol engine.FlagPol) {
+	*f = flagState{hostFull: true, hostZN: true, pol: pol}
+}
+
+// defZN records a Z/N-only definition (logical-S); the caller has already
+// ensured C/V are current in the parsed env slots.
+func (f *flagState) defZN() {
+	*f = flagState{hostZN: true, envParsedCV: true}
+}
+
+// afterParseSave marks the parsed slots current (flags also still in host).
+func (f *flagState) afterParseSave() {
+	f.envParsedFull = true
+	f.envParsedCV = true
+}
+
+// afterPackedSave marks the packed slot current.
+func (f *flagState) afterPackedSave() { f.envPacked = true }
+
+// afterRestore records a restore into host EFLAGS; both restore forms are
+// direct-polarity.
+func (f *flagState) afterRestore() {
+	f.hostFull = true
+	f.hostZN = true
+	f.pol = engine.PolDirectHost
+}
+
+// condNeedsCV reports whether evaluating the ARM condition requires C or V.
+func condNeedsCV(c arm.Cond) bool {
+	switch c {
+	case arm.EQ, arm.NE, arm.MI, arm.PL, arm.AL, arm.NV:
+		return false
+	}
+	return true
+}
+
+// costParseSave etc. document the emitted sequence lengths (tested).
+const (
+	costParseSave    = 13
+	costParseRestore = 11
+	costPackedSave   = 3 // +1 with polarity-normalizing CMC
+	costPackedRest   = 2
+	costZNSave       = 7
+	costCVSave       = 7
+)
+
+// emitZNSave stores host Z/N into the parsed env slots without disturbing
+// other state (used when only Z/N are freshly defined in host). Clobbers
+// EAX. 7 instructions.
+func emitZNSave(em *x86.Emitter) {
+	prev := em.SetClass(x86.ClassSync)
+	defer em.SetClass(prev)
+	em.Setcc(x86.CcE, x86.R(x86.EAX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+	em.Mov(x86.M(x86.EBP, engine.OffZF), x86.R(x86.EAX))
+	em.Setcc(x86.CcS, x86.R(x86.EAX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+	em.Mov(x86.M(x86.EBP, engine.OffNF), x86.R(x86.EAX))
+	em.Mov(x86.M(x86.EBP, engine.OffCCForm), x86.I(engine.FormParsed))
+}
+
+// emitCVSave stores host C/V into the parsed env slots (used before a
+// logical-S definition clobbers them). Clobbers EAX. 7 instructions.
+func emitCVSave(em *x86.Emitter, pol engine.FlagPol) {
+	prev := em.SetClass(x86.ClassSync)
+	defer em.SetClass(prev)
+	cc := x86.CcB
+	if pol == engine.PolSubInvHost {
+		cc = x86.CcAE
+	}
+	em.Setcc(cc, x86.R(x86.EAX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+	em.Mov(x86.M(x86.EBP, engine.OffCF), x86.R(x86.EAX))
+	em.Setcc(x86.CcO, x86.R(x86.EAX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+	em.Mov(x86.M(x86.EBP, engine.OffVF), x86.R(x86.EAX))
+	em.Mov(x86.M(x86.EBP, engine.OffCCForm), x86.I(engine.FormParsed))
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+)
+
+// TestInterruptStorm runs a flag-heavy loop with the timer firing every 60
+// guest instructions — interrupts hit nearly every block, constantly forcing
+// the lazy-parse and exception paths.
+func TestInterruptStorm(t *testing.T) {
+	user := `
+user_entry:
+	mov r4, #0
+	ldr r2, =30000
+storm:
+	subs r2, r2, #1
+	addne r4, r4, #1
+	adc r4, r4, #0
+	cmp r2, #100
+	addhi r4, r4, #2
+	bne storm
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{TimerPeriod: 60})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 20_000_000)
+	for _, level := range allLevels {
+		e, _, code, out := runRule(t, prog.Image, prog.Origin, 20_000_000, level)
+		if code != wantCode || out != wantOut {
+			t.Errorf("level %v: code %#x/%#x out %q/%q", level, code, wantCode, out, wantOut)
+		}
+		if e.Stats.IRQs < 100 {
+			t.Errorf("level %v: only %d IRQs delivered under storm", level, e.Stats.IRQs)
+		}
+	}
+}
+
+// TestCacheFlushMidRun flushes the code cache during execution; the engine
+// must retranslate and produce identical results.
+func TestCacheFlushMidRun(t *testing.T) {
+	user := `
+user_entry:
+	mov r4, #0
+	ldr r2, =5000
+lp:
+	subs r2, r2, #1
+	add r4, r4, r2
+	bne lp
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 5_000_000)
+
+	tr := New(rules.BaselineRules(), OptScheduling)
+	e := engine.New(tr, kernel.RAMSize)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	// Run in slices, flushing between them.
+	var code uint32
+	for i := 0; i < 64; i++ {
+		var err error
+		code, err = e.Run(uint64(2000 * (i + 1)))
+		if err == nil && e.Bus.PoweredOff() {
+			break
+		}
+		e.FlushCache()
+	}
+	if !e.Bus.PoweredOff() {
+		t.Fatal("guest did not finish across flushes")
+	}
+	if code != wantCode || e.Bus.UART().Output() != wantOut {
+		t.Errorf("code %#x/%#x out %q/%q", code, wantCode, e.Bus.UART().Output(), wantOut)
+	}
+	if e.Flushes() < 5 {
+		t.Errorf("only %d flushes happened", e.Flushes())
+	}
+}

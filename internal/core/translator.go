@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/rules"
+	"sldbt/internal/x86"
+)
+
+// Stats counts rule-application and coordination events (translation-time
+// static counts; dynamic counts come from the host machine's class
+// counters).
+type Stats struct {
+	RuleHits      uint64
+	Fallbacks     uint64
+	SyncSaves     uint64
+	SyncRestores  uint64
+	ElidedSaves   uint64 // skipped by elimination (III-C)
+	ElidedRests   uint64
+	InterTBElided uint64 // TB-end saves removed by inter-TB analysis
+	SchedMoves    uint64 // define-before-use reorderings applied
+	IRQSchedMoves uint64 // interrupt checks moved next to memory accesses
+}
+
+// Translator is the rule-based system-level translator.
+type Translator struct {
+	Rules *rules.Set
+	Level OptLevel
+	Stats Stats
+}
+
+// New creates a rule-based translator with the given rule set and
+// optimization level.
+func New(rs *rules.Set, level OptLevel) *Translator {
+	return &Translator{Rules: rs, Level: level}
+}
+
+// Name implements engine.Translator.
+func (t *Translator) Name() string { return "rule-" + t.Level.String() }
+
+// tctx is per-TB translation context.
+type tctx struct {
+	t    *Translator
+	e    *engine.Engine
+	em   *x86.Emitter
+	pc   uint32
+	fs   flagState
+	seqN int
+
+	insts   []arm.Inst // in emission order (possibly scheduled)
+	origIdx []int      // original guest index of insts[i]
+	liveOut []bool     // guest flags live after insts[i] (within-TB analysis)
+	tb      *engine.TB
+	exited  bool // an unconditional exit has been emitted
+
+	// fixupsByOrig maps a memory access's original index to the flag
+	// definitions scheduled past it (abort compensation, §III-D-1).
+	fixupsByOrig map[int][]arm.Inst
+}
+
+func (tc *tctx) seq() int {
+	tc.seqN++
+	return tc.seqN*1000 + 500
+}
+
+func (tc *tctx) instPC(i int) uint32 { return tc.pc + uint32(tc.origIdx[i])*4 }
+
+// Translate implements engine.Translator.
+func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.TB, error) {
+	insts, err := engine.ScanTB(e, pc)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	tc := &tctx{
+		t:  t,
+		e:  e,
+		em: x86.NewEmitter(),
+		pc: pc,
+		fs: entryState(),
+		tb: &engine.TB{PC: pc, GuestLen: len(insts)},
+	}
+	tc.origIdx = make([]int, len(insts))
+	for i := range insts {
+		tc.origIdx[i] = i
+	}
+	tc.insts = insts
+
+	irqPos := 0
+	if t.Level >= OptScheduling {
+		tc.scheduleDefBeforeUse()
+		irqPos = tc.scheduleIRQCheck()
+	}
+	tc.computeFlagLiveness()
+
+	for i := range tc.insts {
+		if i == irqPos {
+			tc.emitIRQSite(i)
+		}
+		tc.emitInst(i)
+		if tc.exited {
+			break
+		}
+	}
+	if !tc.exited {
+		// Capped block: fall through to the next TB.
+		fall := pc + uint32(len(insts))*4
+		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
+		tc.endOfTBSave(fall, 0)
+		tc.em.SetClass(x86.ClassGlue)
+		tc.em.Exit(engine.ExitNext0)
+	}
+	tc.tb.IRQIdx = 0
+	if irqPos > 0 && irqPos <= len(tc.origIdx) {
+		// Instructions emitted before the moved check have retired when it
+		// fires; use the scheduled position's original index bound.
+		max := 0
+		for i := 0; i < irqPos && i < len(tc.origIdx); i++ {
+			if tc.origIdx[i]+1 > max {
+				max = tc.origIdx[i] + 1
+			}
+		}
+		tc.tb.IRQIdx = max
+	}
+	tc.tb.Block = tc.em.Finish(pc, len(insts))
+	return tc.tb, nil
+}
+
+// computeFlagLiveness fills liveOut: whether guest flags are live (may be
+// read before being fully redefined) after each instruction. At the TB end
+// flags are conservatively live; the inter-TB optimization refines that at
+// the end-of-block site itself.
+func (tc *tctx) computeFlagLiveness() {
+	n := len(tc.insts)
+	tc.liveOut = make([]bool, n)
+	live := true // conservative at block end
+	for i := n - 1; i >= 0; i-- {
+		tc.liveOut[i] = live
+		in := &tc.insts[i]
+		if definesAllFlags(in) {
+			live = false
+		}
+		if in.ReadsFlags() || readsFlagsAsData(in) {
+			live = true
+		}
+	}
+}
+
+// definesAllFlags reports a full NZCV redefinition (kills liveness).
+func definesAllFlags(in *arm.Inst) bool {
+	if in.Kind != arm.KindDataProc || !in.S {
+		return false
+	}
+	// Logical-S ops define only Z/N; arithmetic S ops define all four.
+	return !in.Op.IsLogical() || in.Op == arm.OpCMP || in.Op == arm.OpCMN
+}
+
+// readsFlagsAsData reports instructions that consume flags other than
+// through their condition: MRS CPSR and MSR-with-flag-field reads, plus the
+// system helpers that snapshot CPSR (SVC takes an exception: SPSR captures
+// the flags).
+func readsFlagsAsData(in *arm.Inst) bool {
+	switch in.Kind {
+	case arm.KindMRS:
+		return !in.SPSR
+	case arm.KindSVC:
+		return true
+	}
+	return false
+}
+
+// --- flag coordination primitives -----------------------------------
+
+// saveFor describes what a site needs saved.
+type saveForm int
+
+const (
+	saveParsed saveForm = iota // QEMU's canonical per-flag slots
+	savePacked                 // §III-B packed snapshot (lazy parse)
+)
+
+// ensureSaved brings the current guest flags into env before host EFLAGS
+// are clobbered or the QEMU side runs. form selects the representation;
+// levels below OptReduction always use the parsed form. If the flags are
+// dead (liveOut false and not needed by the site itself), the save can be
+// skipped entirely under OptElimination.
+func (tc *tctx) ensureSaved(form saveForm, flagsNeeded bool) {
+	if tc.t.Level < OptReduction {
+		form = saveParsed
+	}
+	fs := &tc.fs
+	switch {
+	case fs.hostFull:
+		already := (form == saveParsed && fs.envParsedFull) ||
+			(form == savePacked && (fs.envPacked || fs.envParsedFull))
+		if tc.t.Level >= OptElimination && already {
+			tc.t.Stats.ElidedSaves++
+			return
+		}
+		tc.t.Stats.SyncSaves++
+		if form == saveParsed {
+			engine.EmitParseSave(tc.syncEm(), fs.pol)
+			fs.afterParseSave()
+		} else {
+			engine.EmitPackedSave(tc.em, fs.pol)
+			fs.afterPackedSave()
+			// The save's CMC normalized the host carry polarity in place.
+			fs.pol = engine.PolDirectHost
+		}
+	case fs.hostZN:
+		if tc.t.Level >= OptElimination && fs.envParsedFull {
+			tc.t.Stats.ElidedSaves++
+			return
+		}
+		// C/V are already in the parsed slots; complete the set.
+		tc.t.Stats.SyncSaves++
+		emitZNSave(tc.em)
+		fs.envParsedFull = true
+	default:
+		// Flags live only in env. If the site requires the parsed form but
+		// only the packed snapshot is current (possible under lazy
+		// elimination after a packed-save window), convert: restore to host
+		// EFLAGS from the packed word, then parse-save.
+		if form == saveParsed && !fs.envParsedFull {
+			if !fs.envPacked {
+				panic("core: flags lost at save site")
+			}
+			tc.restoreToHost()
+			tc.t.Stats.SyncSaves++
+			engine.EmitParseSave(tc.syncEm(), fs.pol)
+			fs.afterParseSave()
+		}
+	}
+}
+
+// syncEm returns the emitter switched to ClassSync; callers restore via the
+// emitted helper's own class handling (EmitParseSave inherits).
+func (tc *tctx) syncEm() *x86.Emitter {
+	tc.em.SetClass(x86.ClassSync)
+	return tc.em
+}
+
+func (tc *tctx) codeEm() *x86.Emitter {
+	tc.em.SetClass(x86.ClassCode)
+	return tc.em
+}
+
+func polOf(p engine.FlagPol) engine.FlagPol { return p }
+
+// restoreToHost brings the guest flags into host EFLAGS (direct polarity).
+// Under OptElimination the restore is skipped when they are already there
+// (§III-C-1: redundant sync-restore elimination). At lower levels the
+// restore is emitted whenever the env copy is current — the paper's
+// redundant base behaviour (Fig. 9).
+func (tc *tctx) restoreToHost() {
+	fs := &tc.fs
+	if fs.hostFull {
+		if tc.t.Level >= OptElimination {
+			tc.t.Stats.ElidedRests++
+			return
+		}
+		// Base redundancy: re-restore only if a current env copy exists.
+		if !fs.envParsedFull && !fs.envPacked {
+			return
+		}
+	}
+	switch {
+	case fs.envPacked && tc.t.Level >= OptReduction:
+		tc.t.Stats.SyncRestores++
+		engine.EmitPackedRestore(tc.em)
+	case fs.envParsedFull:
+		tc.t.Stats.SyncRestores++
+		engine.EmitParseRestore(tc.em)
+	case fs.envPacked:
+		tc.t.Stats.SyncRestores++
+		engine.EmitPackedRestore(tc.em)
+	case fs.hostFull:
+		return // nothing in env, but host is current: fine
+	case fs.hostZN:
+		// Z/N in host, C/V parsed: complete parsed set, then full restore.
+		tc.t.Stats.SyncSaves++
+		emitZNSave(tc.em)
+		fs.envParsedFull = true
+		tc.t.Stats.SyncRestores++
+		engine.EmitParseRestore(tc.em)
+	default:
+		panic("core: flags lost")
+	}
+	fs.afterRestore()
+}
+
+// ensureCondUsable prepares host EFLAGS for evaluating cond and returns the
+// polarity to map it under.
+func (tc *tctx) ensureCondUsable(cond arm.Cond) engine.FlagPol {
+	fs := &tc.fs
+	if fs.hostFull {
+		if _, ok := engine.CcForCond(cond, fs.pol); ok {
+			if tc.t.Level < OptElimination && (fs.envParsedFull || fs.envPacked) {
+				// Base behaviour restores redundantly before each
+				// conditional (Fig. 9); values are unchanged.
+				tc.restoreToHost()
+			}
+			return tc.fs.pol
+		}
+		// HI/LS under direct polarity: evaluated with a two-jcc sequence by
+		// the caller; polarity stays.
+		return fs.pol
+	}
+	if fs.hostZN && !condNeedsCV(cond) {
+		if tc.t.Level < OptElimination && fs.envParsedFull {
+			tc.restoreToHost()
+			return tc.fs.pol
+		}
+		return engine.PolDirectHost // Z/N mapping is polarity-independent
+	}
+	tc.restoreToHost()
+	return tc.fs.pol
+}
+
+// emitCondJump jumps to labelFail when cond fails, using host EFLAGS under
+// the given polarity; handles HI/LS under direct polarity with a two-jcc
+// sequence.
+func (tc *tctx) emitCondJump(cond arm.Cond, pol engine.FlagPol, labelFail string) {
+	em := tc.em
+	if cc, ok := engine.CcForCond(cond, pol); ok {
+		if cc == x86.CcAlways {
+			return
+		}
+		em.Jcc(cc.Negate(), labelFail)
+		return
+	}
+	// HI/LS with direct carry polarity.
+	switch cond {
+	case arm.HI: // pass iff C && !Z
+		em.Jcc(x86.CcAE, labelFail) // !C -> fail
+		em.Jcc(x86.CcE, labelFail)  // Z -> fail
+	case arm.LS: // pass iff !C || Z; fail iff C && !Z
+		pass := fmt.Sprintf("lspass_%d", tc.seq())
+		em.Jcc(x86.CcAE, pass)
+		em.Jcc(x86.CcNE, labelFail)
+		em.Label(pass)
+	default:
+		panic("core: unmappable condition " + cond.String())
+	}
+}
+
+// --- pinned-register coordination -----------------------------------
+
+// spillRegs copies the pinned registers in mask from host registers to env
+// (sync-save of register state before a helper that reads them).
+func (tc *tctx) spillRegs(mask uint16) {
+	prev := tc.em.SetClass(x86.ClassSync)
+	defer tc.em.SetClass(prev)
+	for r := arm.R0; r <= arm.PC; r++ {
+		if mask&(1<<r) == 0 {
+			continue
+		}
+		if h, ok := rules.PinnedHost(r); ok {
+			tc.em.Mov(x86.M(x86.EBP, engine.OffReg(r)), x86.R(h))
+			tc.t.Stats.SyncSaves++
+		}
+	}
+}
+
+// fillRegs copies pinned registers in mask from env back into host registers
+// (sync-restore after a helper wrote them).
+func (tc *tctx) fillRegs(mask uint16) {
+	prev := tc.em.SetClass(x86.ClassSync)
+	defer tc.em.SetClass(prev)
+	for r := arm.R0; r <= arm.PC; r++ {
+		if mask&(1<<r) == 0 {
+			continue
+		}
+		if h, ok := rules.PinnedHost(r); ok {
+			tc.em.Mov(x86.R(h), x86.M(x86.EBP, engine.OffReg(r)))
+			tc.t.Stats.SyncRestores++
+		}
+	}
+}
+
+// --- IRQ site ---------------------------------------------------------
+
+// emitIRQSite emits the interrupt check with its coordination. At position
+// 0 (TB head) the flags are never live in host EFLAGS, so no flag
+// coordination is needed; a check moved into the block (interrupt-driven
+// scheduling) runs inside an existing save window.
+func (tc *tctx) emitIRQSite(pos int) {
+	needSave := tc.fs.hostFull || tc.fs.hostZN
+	if needSave {
+		tc.ensureSaved(savePacked, false)
+	}
+	engine.EmitIRQCheckBody(tc.em, tc.seq())
+	tc.fs.clobberHost()
+	if tc.t.Level < OptElimination && needSave {
+		tc.restoreToHost()
+	}
+}
+
+// --- end of TB ---------------------------------------------------------
+
+// endOfTBSave emits the flag save at a block exit. Under OptElimination the
+// inter-TB optimization (§III-C-3) scans the successor(s): if every
+// successor fully redefines the flags before any use, the save is elided
+// (the chained jump keeps execution inside the code cache and the stale
+// values are dead). succ2 is 0 when there is a single successor.
+func (tc *tctx) endOfTBSave(succ1, succ2 uint32) {
+	if !tc.fs.hostFull && !tc.fs.hostZN && tc.fs.envParsedFull {
+		return // already in the canonical parsed form
+	}
+	if tc.t.Level >= OptElimination &&
+		tc.successorKillsFlags(succ1) && (succ2 == 0 || tc.successorKillsFlags(succ2)) {
+		tc.t.Stats.InterTBElided++
+		return
+	}
+	// Canonical cross-TB form is parsed (successor restores are static);
+	// ensureSaved also converts a packed-only snapshot into parsed form.
+	tc.ensureSaved(saveParsed, false)
+}
+
+// successorKillsFlags reports whether the TB starting at pc fully redefines
+// the guest flags before any instruction could observe them. Unknown or
+// unreadable successors report false.
+func (tc *tctx) successorKillsFlags(pc uint32) bool {
+	if pc == 0 {
+		return false
+	}
+	for i := 0; i < engine.MaxTBLen; i++ {
+		in, err := tc.e.FetchInst(pc + uint32(i)*4)
+		if err != nil {
+			return false
+		}
+		if in.ReadsFlags() || readsFlagsAsData(&in) {
+			return false
+		}
+		if definesAllFlags(&in) {
+			return true
+		}
+		if in.IsBranch() || in.Kind == arm.KindUndef || in.IsSystem() {
+			// Control leaves or QEMU gets involved before a redefinition.
+			return false
+		}
+	}
+	return false
+}

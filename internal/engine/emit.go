@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/x86"
+)
+
+// FlagPol describes which polarity host EFLAGS carry relative to guest NZCV
+// at a program point: after a sub-like host instruction (cmp/sub/sbb) the
+// host carry is the inverse of the guest carry.
+type FlagPol uint8
+
+// Polarities.
+const (
+	PolDirectHost FlagPol = iota // host CF == guest C
+	PolSubInvHost                // host CF == NOT guest C
+)
+
+// setccForC maps "extract guest C" to an x86 setcc under a polarity.
+func setccForC(pol FlagPol) x86.Cc {
+	if pol == PolSubInvHost {
+		return x86.CcAE // guest C = NOT host CF
+	}
+	return x86.CcB
+}
+
+// EmitParseSave emits the full parse-and-save sequence: guest NZCV are
+// extracted from host EFLAGS with setcc sequences and stored to QEMU's
+// separate per-flag slots (the expensive left-hand side of Fig. 8).
+// Clobbers EAX; preserves host flags. 13 instructions.
+//
+// It inherits the emitter's current class: the rule translator wraps it in
+// ClassSync (it is coordination there), while the TCG baseline charges it as
+// ordinary code (it is simply how QEMU maintains condition codes).
+func EmitParseSave(em *x86.Emitter, pol FlagPol) {
+	flag := func(cc x86.Cc, off int32) {
+		em.Setcc(cc, x86.R(x86.EAX))
+		em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EAX), Src: x86.R(x86.EAX)})
+		em.Mov(x86.M(x86.EBP, off), x86.R(x86.EAX))
+	}
+	flag(x86.CcO, OffVF)
+	flag(setccForC(pol), OffCF)
+	flag(x86.CcE, OffZF)
+	flag(x86.CcS, OffNF)
+	em.Mov(x86.M(x86.EBP, OffCCForm), x86.I(FormParsed))
+}
+
+// EmitPackedSave emits the reduced coordination of §III-B: the whole host
+// EFLAGS is saved packed into one slot, tagged so QEMU lazily parses it only
+// if it actually needs the flags (the cheap right-hand side of Fig. 8).
+// Carry polarity is normalized at save time with a CMC when the flags came
+// from a sub-like host instruction, so every packed snapshot and restore is
+// direct-polarity. 3-4 instructions.
+func EmitPackedSave(em *x86.Emitter, pol FlagPol) {
+	prev := em.SetClass(x86.ClassSync)
+	defer em.SetClass(prev)
+	if pol == PolSubInvHost {
+		em.Op0(x86.CMC)
+	}
+	em.Op0(x86.PUSHF)
+	em.Op1(x86.POP, x86.M(x86.EBP, OffCCPack))
+	em.Mov(x86.M(x86.EBP, OffCCForm), x86.I(FormPacked))
+}
+
+// EmitPackedRestore reloads host EFLAGS from the packed slot. Valid only on
+// paths where the QEMU side cannot have modified guest flags (softmmu, an
+// interrupt check that did not fire); the polarity is then statically the
+// one recorded at the matching save. 2 instructions.
+func EmitPackedRestore(em *x86.Emitter) {
+	prev := em.SetClass(x86.ClassSync)
+	defer em.SetClass(prev)
+	em.Op1(x86.PUSH, x86.M(x86.EBP, OffCCPack))
+	em.Op0(x86.POPF)
+}
+
+// EmitParseRestore rebuilds host EFLAGS (direct polarity) from QEMU's
+// separate per-flag slots; required after helpers that may write guest flags
+// (system instructions normalize to the parsed form). Clobbers EAX, ECX.
+// 11 instructions.
+func EmitParseRestore(em *x86.Emitter) {
+	prev := em.SetClass(x86.ClassSync)
+	defer em.SetClass(prev)
+	// Build the SAHF byte (N<<15 | Z<<14 | C<<8) in EAX first — the OR/SHL
+	// instructions clobber every flag including OF — then restore OF with
+	// the signed-overflow trick and finally SAHF, which leaves OF alone.
+	em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, OffNF))
+	em.Op2(x86.SHL, x86.R(x86.EAX), x86.I(15))
+	em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, OffZF))
+	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(14))
+	em.Op2(x86.OR, x86.R(x86.EAX), x86.R(x86.ECX))
+	em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, OffCF))
+	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(8))
+	em.Op2(x86.OR, x86.R(x86.EAX), x86.R(x86.ECX))
+	em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, OffVF))
+	em.Op2(x86.ADD, x86.R(x86.ECX), x86.I(0x7FFFFFFF)) // OF := VF
+	em.Op0(x86.SAHF)
+}
+
+// CcForCond maps an ARM condition to the x86 condition evaluating it against
+// host EFLAGS of the given polarity. HI/LS under direct polarity have no
+// single-cc equivalent; translators avoid emitting them (the assembler-level
+// workloads only use carry conditions after compare-like instructions).
+func CcForCond(c arm.Cond, pol FlagPol) (x86.Cc, bool) {
+	switch c {
+	case arm.EQ:
+		return x86.CcE, true
+	case arm.NE:
+		return x86.CcNE, true
+	case arm.MI:
+		return x86.CcS, true
+	case arm.PL:
+		return x86.CcNS, true
+	case arm.VS:
+		return x86.CcO, true
+	case arm.VC:
+		return x86.CcNO, true
+	case arm.GE:
+		return x86.CcGE, true
+	case arm.LT:
+		return x86.CcL, true
+	case arm.GT:
+		return x86.CcG, true
+	case arm.LE:
+		return x86.CcLE, true
+	case arm.AL, arm.NV:
+		return x86.CcAlways, true
+	}
+	if pol == PolSubInvHost {
+		switch c {
+		case arm.CS:
+			return x86.CcAE, true
+		case arm.CC:
+			return x86.CcB, true
+		case arm.HI:
+			return x86.CcA, true
+		case arm.LS:
+			return x86.CcBE, true
+		}
+	} else {
+		switch c {
+		case arm.CS:
+			return x86.CcB, true
+		case arm.CC:
+			return x86.CcAE, true
+		}
+	}
+	return x86.CcAlways, false
+}
+
+// EmitCondFromEnv emits an evaluation of an ARM condition against the parsed
+// env slots (QEMU-style state-in-memory), jumping to labelFail when the
+// condition fails. Clobbers EAX and host flags. seq disambiguates local
+// labels.
+func EmitCondFromEnv(em *x86.Emitter, c arm.Cond, labelFail string, seq int) {
+	ld := func(off int32) {
+		em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, off))
+		em.Op2(x86.TEST, x86.R(x86.EAX), x86.R(x86.EAX))
+	}
+	failIfClear := func(off int32) {
+		ld(off)
+		em.Jcc(x86.CcE, labelFail)
+	}
+	failIfSet := func(off int32) {
+		ld(off)
+		em.Jcc(x86.CcNE, labelFail)
+	}
+	switch c {
+	case arm.AL, arm.NV:
+	case arm.EQ:
+		failIfClear(OffZF)
+	case arm.NE:
+		failIfSet(OffZF)
+	case arm.CS:
+		failIfClear(OffCF)
+	case arm.CC:
+		failIfSet(OffCF)
+	case arm.MI:
+		failIfClear(OffNF)
+	case arm.PL:
+		failIfSet(OffNF)
+	case arm.VS:
+		failIfClear(OffVF)
+	case arm.VC:
+		failIfSet(OffVF)
+	case arm.HI: // pass iff C && !Z
+		failIfClear(OffCF)
+		failIfSet(OffZF)
+	case arm.LS: // pass iff !C || Z; fail iff C && !Z
+		pass := fmt.Sprintf("lspass_%d", seq)
+		ld(OffCF)
+		em.Jcc(x86.CcE, pass)
+		ld(OffZF)
+		em.Jcc(x86.CcE, labelFail)
+		em.Label(pass)
+	case arm.GE: // N == V
+		em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, OffNF))
+		em.Op2(x86.CMP, x86.R(x86.EAX), x86.M(x86.EBP, OffVF))
+		em.Jcc(x86.CcNE, labelFail)
+	case arm.LT:
+		em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, OffNF))
+		em.Op2(x86.CMP, x86.R(x86.EAX), x86.M(x86.EBP, OffVF))
+		em.Jcc(x86.CcE, labelFail)
+	case arm.GT: // !Z && N == V
+		failIfSet(OffZF)
+		em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, OffNF))
+		em.Op2(x86.CMP, x86.R(x86.EAX), x86.M(x86.EBP, OffVF))
+		em.Jcc(x86.CcNE, labelFail)
+	case arm.LE: // pass iff Z || N != V; fail iff !Z && N == V
+		em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, OffNF))
+		em.Op2(x86.XOR, x86.R(x86.EAX), x86.M(x86.EBP, OffVF))
+		em.Op2(x86.OR, x86.R(x86.EAX), x86.M(x86.EBP, OffZF))
+		em.Jcc(x86.CcE, labelFail)
+	}
+}
+
+// EmitIRQCheckBody emits the interrupt-poll core (no flag coordination):
+// load env.pending, test, exit with ExitIRQ when set. Clobbers EAX and host
+// flags — which is exactly why interrupt checks need flag coordination in
+// rule mode. 3 instructions on the not-taken path.
+func EmitIRQCheckBody(em *x86.Emitter, seq int) {
+	prev := em.SetClass(x86.ClassIRQCheck)
+	defer em.SetClass(prev)
+	skip := fmt.Sprintf("irqskip_%d", seq)
+	em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, OffIRQ))
+	em.Op2(x86.TEST, x86.R(x86.EAX), x86.R(x86.EAX))
+	em.Jcc(x86.CcE, skip)
+	em.Exit(ExitIRQ)
+	em.Label(skip)
+}
+
+// EmitMMULoad emits the softmmu inline fast path for a load whose virtual
+// address is in EAX; the loaded value lands in EDX (both hit and slow
+// paths). Clobbers EAX/ECX/EDX and host flags. helperID must be a
+// RegisterMMURead helper for the same size/signedness.
+func EmitMMULoad(em *x86.Emitter, size uint8, signed bool, helperID, seq int) {
+	prev := em.SetClass(x86.ClassMMU)
+	defer em.SetClass(prev)
+	slow := fmt.Sprintf("mmuslow_%d", seq)
+	done := fmt.Sprintf("mmudone_%d", seq)
+	emitProbe(em, 0, slow)
+	// Hit: host page base + page offset.
+	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, TLBBase+8))
+	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
+	loadOp := x86.MOV
+	switch {
+	case size == 1 && signed:
+		loadOp = x86.MOVSX8
+	case size == 1:
+		loadOp = x86.MOVZX8
+	case size == 2 && signed:
+		loadOp = x86.MOVSX16
+	case size == 2:
+		loadOp = x86.MOVZX16
+	}
+	em.Raw(x86.Inst{Op: loadOp, Dst: x86.R(x86.EDX), Src: x86.MX(x86.ECX, x86.EAX, 1, 0, size)})
+	em.Jmp(done)
+	em.Label(slow)
+	em.CallHelper(helperID)
+	em.Label(done)
+}
+
+// EmitMMUStore emits the softmmu inline fast path for a store: virtual
+// address in EAX, value in EDX. Clobbers EAX/ECX and host flags (EDX
+// preserved via an env spill slot during the probe).
+func EmitMMUStore(em *x86.Emitter, size uint8, helperID, seq int) {
+	prev := em.SetClass(x86.ClassMMU)
+	defer em.SetClass(prev)
+	slow := fmt.Sprintf("mmuslow_%d", seq)
+	done := fmt.Sprintf("mmudone_%d", seq)
+	em.Mov(x86.M(x86.EBP, OffTmp0), x86.R(x86.EDX)) // spill value
+	emitProbe(em, 4, slow)
+	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, TLBBase+8))
+	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
+	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffTmp0)) // reload value
+	em.Mov(x86.MX(x86.ECX, x86.EAX, 1, 0, size), x86.R(x86.EDX))
+	em.Jmp(done)
+	em.Label(slow)
+	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffTmp0))
+	em.CallHelper(helperID)
+	em.Label(done)
+}
+
+// emitProbe emits the TLB tag check: VA in EAX; on return ECX holds the
+// entry offset (idx*16) and the comparison has branched to slowLabel on a
+// miss. cmpOff selects the read (0) or write (4) tag.
+//
+//	mov  ecx, eax
+//	shr  ecx, 12
+//	and  ecx, TLBSize-1
+//	shl  ecx, 4
+//	mov  edx, eax
+//	and  edx, 0xFFFFF000
+//	or   edx, 1
+//	cmp  edx, [ecx + TLBBase + cmpOff]
+//	jne  slow
+func emitProbe(em *x86.Emitter, cmpOff int32, slowLabel string) {
+	em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
+	em.Op2(x86.SHR, x86.R(x86.ECX), x86.I(12))
+	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(255))
+	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(4))
+	em.Mov(x86.R(x86.EDX), x86.R(x86.EAX))
+	em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFF000))
+	em.Op2(x86.OR, x86.R(x86.EDX), x86.I(1))
+	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, TLBBase+cmpOff))
+	em.Jcc(x86.CcNE, slowLabel)
+}

@@ -1,0 +1,606 @@
+package engine
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/ghw"
+	"sldbt/internal/mmu"
+	"sldbt/internal/x86"
+)
+
+// Block exit codes. Codes 0 and 1 select the TB's direct successors (block
+// chaining); the rest transfer to the engine for heavier work.
+const (
+	ExitNext0    = 0 // fallthrough / branch-not-taken successor
+	ExitNext1    = 1 // branch-taken successor
+	ExitIndirect = 2 // env.ExitPC holds the next guest PC
+	ExitIRQ      = 3 // TB-head interrupt check fired
+	ExitExc      = 4 // a helper injected an exception; engine state is ready
+	ExitHalt     = 5 // WFI
+	ExitSMC      = 6 // a store hit a translated code page: cache flushed
+)
+
+// TB is a translated guest block in the code cache.
+type TB struct {
+	Block    *x86.Block
+	PC       uint32 // guest virtual PC of the first instruction
+	GuestLen int
+	Next     [2]uint32 // direct successor guest PCs, valid per HasNext
+	HasNext  [2]bool
+	// IRQIdx is the guest instruction index at which the interrupt check
+	// sits. QEMU places it at the head (0); the rule translator's
+	// interrupt-driven scheduling (§III-D-2) may move it next to a memory
+	// access. When the check fires, the IRQIdx preceding instructions have
+	// already retired.
+	IRQIdx int
+}
+
+type tbKey struct {
+	pa   uint32
+	priv bool
+}
+
+// Translator turns guest code at a PC into a host block. Implementations:
+// the TCG-like baseline (internal/tcg) and the rule-based translator
+// (internal/core).
+type Translator interface {
+	Name() string
+	Translate(e *Engine, pc uint32, priv bool) (*TB, error)
+}
+
+// Stats counts engine-level events.
+type Stats struct {
+	TBsTranslated uint64
+	TBEntries     uint64 // block executions (interrupt-check sites)
+	ChainHits     uint64 // direct-successor transitions
+	Lookups       uint64 // non-chained transitions through the engine
+	HelperCalls   uint64
+	IRQs          uint64
+	Exceptions    uint64
+	MMUSlowPath   uint64
+	IOAccesses    uint64
+}
+
+// Synthetic helper costs in host instructions, charged to ClassHelper.
+// They model the QEMU C-helper work the emitted code cannot express; see
+// DESIGN.md ("Helpers").
+const (
+	CostPageWalk = 28 // two-level table walk + TLB refill
+	CostIO       = 24 // device access through the memory API
+	CostSysInstr = 18 // system-instruction helper body
+	CostExcEntry = 22 // exception entry (bank switch, vector fetch setup)
+)
+
+// Engine is a system-level DBT instance: one guest CPU over one host machine.
+type Engine struct {
+	M     *x86.Machine
+	Env   *Env
+	Bus   *ghw.Bus
+	CPU   *arm.CPU
+	Trans Translator
+
+	Stats Stats
+
+	// Retired counts retired guest instructions.
+	Retired uint64
+
+	cache        map[tbKey]*TB
+	nextPC       uint32
+	halted       bool
+	baseHelpers  int
+	wasUser      bool
+	decodeCache  map[uint32]arm.Inst
+	invalidCount uint64
+
+	// codePages tracks guest physical pages containing translated code, for
+	// self-modifying-code detection: a store into one of these flushes the
+	// code cache (QEMU's tb_invalidate path, at page granularity).
+	codePages map[uint32]bool
+}
+
+// RAMWindowSize is the portion of host memory reserved for the guest RAM
+// window; guests larger than this are rejected at construction.
+func hostMemSize(ramSize uint32) int { return GuestWin + int(ramSize) }
+
+// New builds an engine over fresh host machine + guest bus. The guest RAM
+// aliases the host memory window so translated code, helpers and device DMA
+// share one storage.
+func New(tr Translator, ramSize uint32) *Engine {
+	m := x86.NewMachine(hostMemSize(ramSize))
+	bus := ghw.NewBusWithRAM(m.Mem[GuestWin : GuestWin+int(ramSize)])
+	e := &Engine{
+		M:           m,
+		Env:         NewEnv(m),
+		Bus:         bus,
+		CPU:         arm.NewCPU(),
+		Trans:       tr,
+		cache:       map[tbKey]*TB{},
+		decodeCache: map[uint32]arm.Inst{},
+		codePages:   map[uint32]bool{},
+	}
+	m.Regs[x86.ESP] = HostStackTop
+	m.Regs[x86.EBP] = EnvBase
+	e.baseHelpers = 0
+	return e
+}
+
+// LoadImage copies a guest binary image into guest RAM.
+func (e *Engine) LoadImage(base uint32, img []byte) error {
+	return e.Bus.LoadImage(base, img)
+}
+
+// envState adapts env+CPU to arm.GuestState for the shared exception logic.
+// Registers live in env (the current-bank view); mode/control state lives in
+// the Go-side CPU; flags live in env with lazy parsing.
+type envState struct{ e *Engine }
+
+func (s envState) Reg(r arm.Reg) uint32       { return s.e.Env.Reg(r) }
+func (s envState) SetReg(r arm.Reg, v uint32) { s.e.Env.SetReg(r, v) }
+
+func (s envState) CPSR() uint32 {
+	return s.e.CPU.CPSR()&^uint32(arm.CPSRMaskFlags) | s.e.Env.Flags().Pack()
+}
+
+func (s envState) SetCPSR(v uint32) {
+	cpu := s.e.CPU
+	env := s.e.Env
+	oldPriv := cpu.Mode().Privileged()
+	// Route r13/r14 through the CPU's banking logic.
+	cpu.SetReg(arm.SP, env.Reg(arm.SP))
+	cpu.SetReg(arm.LR, env.Reg(arm.LR))
+	cpu.SetCPSR(v)
+	env.SetReg(arm.SP, cpu.Reg(arm.SP))
+	env.SetReg(arm.LR, cpu.Reg(arm.LR))
+	env.SetFlags(arm.UnpackFlags(v))
+	if cpu.Mode().Privileged() != oldPriv {
+		// Privilege changed: cached softmmu permissions are stale.
+		env.FlushTLB()
+	}
+}
+
+func (s envState) SPSR() uint32     { return s.e.CPU.SPSR() }
+func (s envState) SetSPSR(v uint32) { s.e.CPU.SetSPSR(v) }
+
+// takeException injects a guest exception (engine-side QEMU role).
+func (e *Engine) takeException(vec arm.Vector, retAddr uint32) {
+	e.Stats.Exceptions++
+	e.M.Charge(x86.ClassHelper, CostExcEntry)
+	st := envState{e}
+	arm.TakeException(st, vec, retAddr)
+	e.nextPC = e.Env.Reg(arm.PC)
+	e.refreshIRQ()
+}
+
+// refreshIRQ recomputes the env interrupt-pending word from the bus and the
+// guest's IRQ mask.
+func (e *Engine) refreshIRQ() {
+	e.Env.SetPendingIRQ(e.Bus.IRQPending() && e.CPU.IRQEnabled())
+}
+
+// retire advances guest time by n instructions.
+func (e *Engine) retire(n int) {
+	if n <= 0 {
+		return
+	}
+	e.Retired += uint64(n)
+	e.Bus.Tick(uint64(n))
+	e.refreshIRQ()
+}
+
+// FetchInst reads and decodes the guest instruction at va using a
+// translation-time page walk (no TLB side effects); used by translators.
+func (e *Engine) FetchInst(va uint32) (arm.Inst, error) {
+	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Fetch, e.CPU.Mode() == arm.ModeUSR)
+	if fault != nil {
+		return arm.Inst{}, fault
+	}
+	raw := e.Bus.Read32(pa)
+	if in, ok := e.decodeCache[raw]; ok {
+		return in, nil
+	}
+	in := arm.Decode(raw)
+	e.decodeCache[raw] = in
+	return in, nil
+}
+
+// FlushCache drops every translated block (and per-block helper closures).
+func (e *Engine) FlushCache() {
+	e.cache = map[tbKey]*TB{}
+	e.codePages = map[uint32]bool{}
+	e.invalidCount++
+}
+
+// Flushes reports how many times the code cache has been invalidated.
+func (e *Engine) Flushes() uint64 { return e.invalidCount }
+
+// CacheSize returns the number of cached TBs.
+func (e *Engine) CacheSize() int { return len(e.cache) }
+
+// Reset places the guest at the architectural reset state.
+func (e *Engine) Reset() {
+	e.CPU = arm.NewCPU()
+	st := e.Env
+	for r := arm.R0; r <= arm.PC; r++ {
+		st.SetReg(r, 0)
+	}
+	st.SetFlags(arm.Flags{})
+	st.FlushTLB()
+	e.nextPC = 0
+	e.wasUser = false
+}
+
+// Run executes until guest power-off or the retirement budget is exhausted.
+// Returns the guest exit code.
+func (e *Engine) Run(maxInstr uint64) (uint32, error) {
+	for e.Retired < maxInstr {
+		if e.Bus.PoweredOff() {
+			return e.Bus.SysCtl().Code, nil
+		}
+		if e.halted {
+			if !e.Bus.Intc.Asserted() {
+				e.Bus.Tick(16)
+				continue
+			}
+			e.halted = false
+			e.refreshIRQ()
+		}
+		if err := e.step(); err != nil {
+			return 0, err
+		}
+	}
+	if e.Bus.PoweredOff() {
+		return e.Bus.SysCtl().Code, nil
+	}
+	return 0, fmt.Errorf("engine(%s): budget of %d guest instructions exhausted at pc=%#08x",
+		e.Trans.Name(), maxInstr, e.nextPC)
+}
+
+// step finds (translating if needed) and executes one TB and dispatches its
+// exit.
+func (e *Engine) step() error {
+	pc := e.nextPC
+	priv := e.CPU.Mode().Privileged()
+	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, pc, mmu.Fetch, !priv)
+	if fault != nil {
+		e.CPU.CP15.IFSR = uint32(fault.Type)
+		e.CPU.CP15.IFAR = pc
+		e.takeException(arm.VecPrefetchAbort, pc+4)
+		return nil
+	}
+	key := tbKey{pa: pa, priv: priv}
+	tb, ok := e.cache[key]
+	if !ok {
+		var err error
+		tb, err = e.Trans.Translate(e, pc, priv)
+		if err != nil {
+			return fmt.Errorf("translate pc=%#08x: %w", pc, err)
+		}
+		e.cache[key] = tb
+		e.Stats.TBsTranslated++
+		e.noteCodePages(pa, tb.GuestLen)
+	}
+	e.Stats.TBEntries++
+	code := e.M.Exec(tb.Block)
+	switch code {
+	case ExitNext0, ExitNext1:
+		if !tb.HasNext[code] {
+			return fmt.Errorf("engine: TB %#08x exit %d has no successor", tb.PC, code)
+		}
+		// Block chaining: a direct jump inside the code cache. Charge the
+		// patched jump the emitted code would contain.
+		e.M.Charge(x86.ClassGlue, 1)
+		e.Stats.ChainHits++
+		e.retire(tb.GuestLen)
+		e.nextPC = tb.Next[code]
+	case ExitIndirect:
+		e.Stats.Lookups++
+		e.retire(tb.GuestLen)
+		e.nextPC = e.Env.ExitPC()
+	case ExitIRQ:
+		// The interrupt check fired; instructions before it have retired.
+		e.Stats.IRQs++
+		e.retire(tb.IRQIdx)
+		e.takeException(arm.VecIRQ, pc+uint32(tb.IRQIdx)*4+4)
+	case ExitExc:
+		// A helper already injected the exception and accounted retirement.
+	case ExitHalt:
+		e.halted = true
+	case ExitSMC:
+		// Self-modifying code: the store helper flushed the cache and set
+		// the resume PC; nothing further to do.
+	default:
+		return fmt.Errorf("engine: unknown exit code %d from TB %#08x", code, tb.PC)
+	}
+	return nil
+}
+
+// noteCodePages registers the physical pages a freshly-translated block
+// spans and write-protects them in the softmmu TLB, so stores into them
+// reach the slow path where self-modifying code is detected.
+func (e *Engine) noteCodePages(pa uint32, guestLen int) {
+	first := pa >> 12
+	last := (pa + uint32(guestLen)*4 - 1) >> 12
+	fresh := false
+	for p := first; p <= last; p++ {
+		if !e.codePages[p] {
+			e.codePages[p] = true
+			fresh = true
+		}
+	}
+	if fresh {
+		// Drop any stale writable TLB entries covering the new code pages.
+		e.Env.FlushTLB()
+	}
+}
+
+// --- helper implementations (the QEMU side) ---
+
+// RegisterMMURead registers a softmmu slow-path read helper for the guest
+// instruction at guestPC with the given retired-instruction index within its
+// TB. Convention: VA in EAX; result in EDX. size is 1, 2 or 4; signed
+// selects sign extension.
+func (e *Engine) RegisterMMURead(guestPC uint32, idx int, size uint8, signed bool) int {
+	return e.RegisterMMUReadFx(guestPC, idx, size, signed, nil)
+}
+
+// RegisterMMUReadFx is RegisterMMURead with an abort fixup: when the access
+// faults, fixup runs before the exception is injected. The rule translator's
+// define-before-use scheduling (§III-D-1) uses it to apply the architectural
+// effects of a flag-defining instruction that was moved *after* this memory
+// access, keeping exceptions precise.
+func (e *Engine) RegisterMMUReadFx(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine)) int {
+	return e.M.RegisterHelper(func(m *x86.Machine) int {
+		e.Stats.HelperCalls++
+		va := m.Regs[x86.EAX]
+		pa, entry, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Load, e.CPU.Mode() == arm.ModeUSR)
+		if fault != nil {
+			if fixup != nil {
+				fixup(m)
+			}
+			return e.dataAbort(fault, guestPC, idx)
+		}
+		e.fillTLB(va, pa, entry)
+		var v uint32
+		switch {
+		case size == 1 && signed:
+			v = uint32(int32(int8(e.Bus.Read8(pa))))
+		case size == 1:
+			v = uint32(e.Bus.Read8(pa))
+		case size == 2 && signed:
+			v = uint32(int32(int16(e.Bus.Read16(pa))))
+		case size == 2:
+			v = uint32(e.Bus.Read16(pa))
+		default:
+			v = e.Bus.Read32(pa)
+		}
+		m.Regs[x86.EDX] = v
+		return -1
+	})
+}
+
+// RegisterMMUWrite registers a softmmu slow-path write helper.
+// Convention: VA in EAX, value in EDX.
+func (e *Engine) RegisterMMUWrite(guestPC uint32, idx int, size uint8) int {
+	return e.RegisterMMUWriteFx(guestPC, idx, size, nil)
+}
+
+// RegisterMMUWriteFx is RegisterMMUWrite with an abort fixup (see
+// RegisterMMUReadFx).
+func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine)) int {
+	return e.M.RegisterHelper(func(m *x86.Machine) int {
+		e.Stats.HelperCalls++
+		va := m.Regs[x86.EAX]
+		pa, entry, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Store, e.CPU.Mode() == arm.ModeUSR)
+		if fault != nil {
+			if fixup != nil {
+				fixup(m)
+			}
+			return e.dataAbort(fault, guestPC, idx)
+		}
+		e.fillTLB(va, pa, entry)
+		v := m.Regs[x86.EDX]
+		switch size {
+		case 1:
+			e.Bus.Write8(pa, uint8(v))
+		case 2:
+			e.Bus.Write16(pa, uint16(v))
+		default:
+			e.Bus.Write32(pa, v)
+		}
+		if e.codePages[pa>>12] {
+			// Self-modifying code: invalidate every translation (page
+			// granularity, like QEMU's tb_invalidate) and resume after the
+			// store; the remainder of the current block may be stale.
+			// Limitation: a multi-word store (stm) into a code page resumes
+			// after the instruction with only the faulting word written.
+			e.FlushCache()
+			e.retire(idx + 1)
+			e.nextPC = guestPC + 4
+			return ExitSMC
+		}
+		return -1
+	})
+}
+
+// fillTLB installs a softmmu entry for RAM pages and charges the slow-path
+// cost; device pages are not cached (they always take the slow path, like
+// QEMU's io_mem path).
+func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) {
+	if int(pa) < len(e.Bus.RAM) {
+		e.Stats.MMUSlowPath++
+		e.M.Charge(x86.ClassHelper, CostPageWalk)
+		user := e.CPU.Mode() == arm.ModeUSR
+		canRead := true
+		canWrite := entry.AP == mmu.APUserRW || (!user && entry.AP != mmu.APReadOnly)
+		if user && entry.AP == mmu.APKernel {
+			canRead, canWrite = false, false
+		}
+		if e.codePages[pa>>12] {
+			canWrite = false // keep stores to code pages on the slow path
+		}
+		hostPage := GuestWin + pa&^0xFFF
+		e.Env.FillTLB(va, hostPage, canRead, canWrite)
+	} else {
+		e.Stats.IOAccesses++
+		e.M.Charge(x86.ClassHelper, CostIO)
+	}
+}
+
+// dataAbort injects a guest data abort from a helper.
+func (e *Engine) dataAbort(fault *mmu.Fault, guestPC uint32, idx int) int {
+	e.CPU.CP15.DFSR = uint32(fault.Type)
+	e.CPU.CP15.DFAR = fault.Addr
+	e.retire(idx) // instructions before the faulting one did retire
+	e.takeException(arm.VecDataAbort, guestPC+8)
+	return ExitExc
+}
+
+// RegisterSystem registers the helper emulating a system-level instruction
+// (the paper's Fig. 2/6 path). The helper normalizes guest flags to the
+// parsed form (QEMU reads and may write them), performs the operation
+// against env+CPU state, and either continues or exits with an exception.
+func (e *Engine) RegisterSystem(in arm.Inst, guestPC uint32, idx int) int {
+	return e.M.RegisterHelper(func(m *x86.Machine) int {
+		e.Stats.HelperCalls++
+		e.M.Charge(x86.ClassHelper, CostSysInstr)
+		return e.execSystem(&in, guestPC, idx)
+	})
+}
+
+func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
+	env := e.Env
+	cpu := e.CPU
+	st := envState{e}
+	// QEMU's helper reads the guest CPU state from memory: force the parsed
+	// form (lazy-parse charge applies if the emitted code saved packed), and
+	// normalize both representations so the translator may statically use
+	// either restore form after the helper.
+	flags := env.Flags()
+	env.SetFlags(flags)
+	priv := cpu.Mode().Privileged()
+	switch in.Kind {
+	case arm.KindSVC:
+		e.retire(idx + 1)
+		e.takeException(arm.VecSVC, pc+4)
+		return ExitExc
+	case arm.KindMRS:
+		if in.SPSR {
+			env.SetReg(in.Rd, cpu.SPSR())
+		} else {
+			env.SetReg(in.Rd, st.CPSR())
+		}
+		return -1
+	case arm.KindMSR:
+		v := env.Reg(in.Rm)
+		if in.SPSR {
+			cpu.SetSPSR(v)
+		} else {
+			arm.WriteCPSRMasked(st, v, in.MSRMask, priv)
+			e.refreshIRQ()
+		}
+		return -1
+	case arm.KindCPS:
+		if priv {
+			cpu.SetIRQMask(!in.Enable)
+			e.refreshIRQ()
+		}
+		return -1
+	case arm.KindCP15:
+		if !priv {
+			e.retire(idx)
+			e.takeException(arm.VecUndef, pc+4)
+			return ExitExc
+		}
+		e.execCP15(in)
+		return -1
+	case arm.KindVFPSys:
+		if in.ToCoproc {
+			cpu.FPSCR = env.Reg(in.Rd)
+		} else {
+			env.SetReg(in.Rd, cpu.FPSCR)
+		}
+		return -1
+	case arm.KindWFI:
+		e.retire(idx + 1)
+		e.nextPC = pc + 4
+		return ExitHalt
+	case arm.KindSRSexc:
+		if !cpu.Mode().Banked() {
+			e.retire(idx)
+			e.takeException(arm.VecUndef, pc+4)
+			return ExitExc
+		}
+		op2 := in.Imm
+		if !in.ImmValid {
+			op2 = env.Reg(in.Rm)
+		}
+		res, _ := arm.AluExec(in.Op, env.Reg(in.Rn), op2, flags.C, false)
+		e.retire(idx + 1)
+		arm.ExceptionReturn(st, res&^3)
+		e.nextPC = env.Reg(arm.PC)
+		e.refreshIRQ()
+		return ExitExc
+	default: // undefined instruction reached a system helper
+		e.retire(idx)
+		e.takeException(arm.VecUndef, pc+4)
+		return ExitExc
+	}
+}
+
+// execCP15 mirrors interp.ExecCP15 against env-resident registers.
+func (e *Engine) execCP15(in *arm.Inst) {
+	cpu := e.CPU
+	env := e.Env
+	sel := func() *uint32 {
+		switch {
+		case in.CRn == 1 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.SCTLR
+		case in.CRn == 2 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.TTBR0
+		case in.CRn == 5 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.DFSR
+		case in.CRn == 5 && in.CRm == 0 && in.Opc2 == 1:
+			return &cpu.CP15.IFSR
+		case in.CRn == 6 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.DFAR
+		case in.CRn == 6 && in.CRm == 0 && in.Opc2 == 2:
+			return &cpu.CP15.IFAR
+		}
+		return nil
+	}()
+	if in.ToCoproc {
+		v := env.Reg(in.Rd)
+		switch {
+		case in.CRn == 8: // TLB maintenance
+			cpu.CP15.TLBFlushes++
+			env.FlushTLB()
+		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
+			*sel = v
+			env.FlushTLB() // translation regime changed
+		case sel != nil:
+			*sel = v
+		}
+		return
+	}
+	switch {
+	case sel != nil:
+		env.SetReg(in.Rd, *sel)
+	case in.CRn == 0:
+		env.SetReg(in.Rd, 0x410FC075)
+	default:
+		env.SetReg(in.Rd, 0)
+	}
+}
+
+// RegisterUndef registers a helper that injects an undefined-instruction
+// exception (unimplemented encodings reached at runtime).
+func (e *Engine) RegisterUndef(guestPC uint32, idx int) int {
+	return e.M.RegisterHelper(func(m *x86.Machine) int {
+		e.Stats.HelperCalls++
+		e.M.Charge(x86.ClassHelper, CostSysInstr)
+		e.retire(idx)
+		e.takeException(arm.VecUndef, guestPC+4)
+		return ExitExc
+	})
+}

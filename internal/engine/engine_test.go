@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/x86"
+)
+
+func newTestEngine() *Engine {
+	return New(nil, 1<<20)
+}
+
+func TestEnvRegisterRoundTrip(t *testing.T) {
+	e := newTestEngine()
+	for r := arm.R0; r <= arm.PC; r++ {
+		e.Env.SetReg(r, uint32(r)*0x101)
+	}
+	for r := arm.R0; r <= arm.PC; r++ {
+		if got := e.Env.Reg(r); got != uint32(r)*0x101 {
+			t.Errorf("reg %v = %#x", r, got)
+		}
+	}
+}
+
+func TestEnvFlagsFormsCoherent(t *testing.T) {
+	e := newTestEngine()
+	f := arm.Flags{N: true, C: true}
+	e.Env.SetFlags(f)
+	if got := e.Env.Flags(); got != f {
+		t.Errorf("flags = %+v", got)
+	}
+	// SetFlags must keep the packed form coherent: simulate a packed read.
+	packed := e.M.Read32(EnvBase + OffCCPack)
+	if packed&x86.FlagSF == 0 || packed&x86.FlagCF == 0 || packed&x86.FlagZF != 0 {
+		t.Errorf("packed = %#x", packed)
+	}
+}
+
+func TestEnvLazyParseChargesSync(t *testing.T) {
+	e := newTestEngine()
+	// Store a packed snapshot directly (as emitted code would) and mark the
+	// packed form current.
+	e.M.Write32(EnvBase+OffCCPack, x86.FlagZF|x86.FlagOF)
+	e.M.Write32(EnvBase+OffCCForm, FormPacked)
+	before := e.M.Counts[x86.ClassSync]
+	f := e.Env.Flags()
+	if !f.Z || !f.V || f.N || f.C {
+		t.Errorf("parsed flags = %+v", f)
+	}
+	if e.M.Counts[x86.ClassSync] != before+parseCost {
+		t.Errorf("lazy parse charged %d, want %d", e.M.Counts[x86.ClassSync]-before, parseCost)
+	}
+	// A second read is free (already parsed).
+	before = e.M.Counts[x86.ClassSync]
+	_ = e.Env.Flags()
+	if e.M.Counts[x86.ClassSync] != before {
+		t.Error("second read re-parsed")
+	}
+}
+
+func TestTLBFillAndProbeAgree(t *testing.T) {
+	e := newTestEngine()
+	va := uint32(0x00402000)
+	hostPage := uint32(GuestWin + 0x1000)
+	e.Env.FillTLB(va, hostPage, true, false)
+
+	// Execute the emitted probe for a load at va+0x24.
+	em := x86.NewEmitter()
+	helperCalled := false
+	id := e.M.RegisterHelper(func(m *x86.Machine) int {
+		helperCalled = true
+		return -1
+	})
+	EmitMMULoad(em, 4, false, id, 1)
+	em.Exit(0)
+	blk := em.Finish(0, 1)
+
+	e.M.Write32(hostPage+0x24, 0xCAFEBABE)
+	e.M.Regs[x86.EAX] = va + 0x24
+	e.M.Exec(blk)
+	if helperCalled {
+		t.Fatal("hit path took the slow path")
+	}
+	if e.M.Regs[x86.EDX] != 0xCAFEBABE {
+		t.Errorf("loaded %#x", e.M.Regs[x86.EDX])
+	}
+
+	// A write to the same page must miss (write tag not set).
+	em2 := x86.NewEmitter()
+	slowHit := false
+	id2 := e.M.RegisterHelper(func(m *x86.Machine) int {
+		slowHit = true
+		return -1
+	})
+	EmitMMUStore(em2, 4, id2, 2)
+	em2.Exit(0)
+	e.M.Regs[x86.EAX] = va
+	e.M.Regs[x86.EDX] = 1
+	e.M.Exec(em2.Finish(0, 1))
+	if !slowHit {
+		t.Error("write against read-only TLB entry took the fast path")
+	}
+
+	// Flush invalidates.
+	e.Env.FlushTLB()
+	e.M.Regs[x86.EAX] = va
+	helperCalled = false
+	e.M.Exec(blk)
+	if !helperCalled {
+		t.Error("flushed entry still hits")
+	}
+}
+
+func TestCoordinationSequencesRoundTrip(t *testing.T) {
+	// parse-save then parse-restore must reproduce host EFLAGS exactly
+	// (direct polarity), and packed save/restore likewise.
+	cases := []struct{ cf, zf, sf, of bool }{
+		{false, false, false, false},
+		{true, false, true, false},
+		{false, true, false, true},
+		{true, true, true, true},
+	}
+	for _, c := range cases {
+		e := newTestEngine()
+		em := x86.NewEmitter()
+		EmitParseSave(em, PolDirectHost)
+		// Scramble flags, then restore.
+		em.Op2(x86.CMP, x86.R(x86.EBX), x86.I(1))
+		EmitParseRestore(em)
+		em.Exit(0)
+		e.M.CF, e.M.ZF, e.M.SF, e.M.OF = c.cf, c.zf, c.sf, c.of
+		e.M.Exec(em.Finish(0, 1))
+		if e.M.CF != c.cf || e.M.ZF != c.zf || e.M.SF != c.sf || e.M.OF != c.of {
+			t.Errorf("parse round trip %+v -> cf%v zf%v sf%v of%v",
+				c, e.M.CF, e.M.ZF, e.M.SF, e.M.OF)
+		}
+
+		e2 := newTestEngine()
+		em2 := x86.NewEmitter()
+		EmitPackedSave(em2, PolDirectHost)
+		em2.Op2(x86.CMP, x86.R(x86.EBX), x86.I(1))
+		EmitPackedRestore(em2)
+		em2.Exit(0)
+		e2.M.CF, e2.M.ZF, e2.M.SF, e2.M.OF = c.cf, c.zf, c.sf, c.of
+		e2.M.Exec(em2.Finish(0, 1))
+		if e2.M.CF != c.cf || e2.M.ZF != c.zf || e2.M.SF != c.sf || e2.M.OF != c.of {
+			t.Errorf("packed round trip %+v failed", c)
+		}
+	}
+}
+
+func TestPackedSaveNormalizesPolarity(t *testing.T) {
+	// With sub-inverted polarity, the packed save flips CF so the stored
+	// snapshot and subsequent lazy parses are direct-polarity.
+	e := newTestEngine()
+	em := x86.NewEmitter()
+	EmitPackedSave(em, PolSubInvHost)
+	em.Exit(0)
+	e.M.CF = false // host CF clear = guest C set under sub-inverted polarity
+	e.M.Exec(em.Finish(0, 1))
+	if !e.Env.Flags().C {
+		t.Error("guest C lost in polarity normalization")
+	}
+}
+
+func TestParseSavePolarity(t *testing.T) {
+	e := newTestEngine()
+	em := x86.NewEmitter()
+	EmitParseSave(em, PolSubInvHost)
+	em.Exit(0)
+	e.M.CF = true // borrow set = guest C clear
+	e.M.ZF = true
+	e.M.Exec(em.Finish(0, 1))
+	f := e.Env.Flags()
+	if f.C || !f.Z {
+		t.Errorf("flags = %+v", f)
+	}
+}
+
+func TestCondFromEnvMatchesCondPass(t *testing.T) {
+	conds := []arm.Cond{arm.EQ, arm.NE, arm.CS, arm.CC, arm.MI, arm.PL,
+		arm.VS, arm.VC, arm.HI, arm.LS, arm.GE, arm.LT, arm.GT, arm.LE}
+	for bits := 0; bits < 16; bits++ {
+		f := arm.Flags{
+			N: bits&1 != 0, Z: bits&2 != 0, C: bits&4 != 0, V: bits&8 != 0,
+		}
+		for _, cond := range conds {
+			e := newTestEngine()
+			e.Env.SetFlags(f)
+			em := x86.NewEmitter()
+			em.Mov(x86.R(x86.EBX), x86.I(1)) // pass marker
+			EmitCondFromEnv(em, cond, "fail", int(cond)*16+bits)
+			em.Exit(0)
+			em.Label("fail")
+			em.Mov(x86.R(x86.EBX), x86.I(0))
+			em.Exit(0)
+			e.M.Exec(em.Finish(0, 1))
+			want := arm.CondPass(cond, f.N, f.Z, f.C, f.V)
+			got := e.M.Regs[x86.EBX] == 1
+			if got != want {
+				t.Errorf("cond %v flags %+v: emitted %v, want %v", cond, f, got, want)
+			}
+		}
+	}
+}
+
+func TestCcForCondMappings(t *testing.T) {
+	// Every mappable (cond, polarity) pair must agree with CondPass when
+	// host flags represent the guest flags under that polarity.
+	for bits := 0; bits < 16; bits++ {
+		f := arm.Flags{N: bits&1 != 0, Z: bits&2 != 0, C: bits&4 != 0, V: bits&8 != 0}
+		for _, pol := range []FlagPol{PolDirectHost, PolSubInvHost} {
+			cf := f.C
+			if pol == PolSubInvHost {
+				cf = !f.C
+			}
+			for c := arm.EQ; c <= arm.LE; c++ {
+				cc, ok := CcForCond(c, pol)
+				if !ok {
+					continue // HI/LS under direct polarity: two-jcc path
+				}
+				got := cc.Eval(cf, f.Z, f.N, f.V)
+				want := arm.CondPass(c, f.N, f.Z, f.C, f.V)
+				if got != want {
+					t.Errorf("cond %v pol %d flags %+v: cc %v = %v, want %v",
+						c, pol, f, cc, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIRQCheckBody(t *testing.T) {
+	e := newTestEngine()
+	em := x86.NewEmitter()
+	EmitIRQCheckBody(em, 1)
+	em.Exit(7)
+	blk := em.Finish(0, 0)
+	e.Env.SetPendingIRQ(false)
+	if code := e.M.Exec(blk); code != 7 {
+		t.Errorf("no-irq exit = %d", code)
+	}
+	e.Env.SetPendingIRQ(true)
+	if code := e.M.Exec(blk); code != ExitIRQ {
+		t.Errorf("irq exit = %d", code)
+	}
+}

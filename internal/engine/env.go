@@ -1,0 +1,194 @@
+// Package engine implements the QEMU-like system-emulation engine that both
+// binary translators (the TCG-like baseline and the rule-based translator)
+// plug into: the in-host-memory guest CPUState (env), the translation-block
+// code cache with block chaining, the execution loop with interrupt
+// delivery, the softmmu TLB shared by the inline fast path and the Go slow
+// path, and the helper-function mechanism whose context switches are the
+// subject of the paper's coordination optimizations.
+package engine
+
+import (
+	"sldbt/internal/arm"
+	"sldbt/internal/mmu"
+	"sldbt/internal/x86"
+)
+
+// Host memory layout. The guest RAM window aliases the guest bus RAM, so
+// device DMA and translated-code memory accesses observe each other.
+const (
+	EnvBase      = 0x00001000 // CPUState
+	HostStackTop = 0x00008000 // host stack for push/pop/pushf
+	TLBBase      = 0x00010000 // softmmu TLB: mmu.TLBSize entries x 16 bytes
+	GuestWin     = 0x00100000 // guest physical RAM window base
+)
+
+// env field offsets (bytes from EnvBase). The separate CF/ZF/NF/VF words are
+// QEMU's "one-to-many" condition-code representation; the packed slot plus
+// form/polarity tags implement the paper's §III-B reduced coordination.
+const (
+	offRegs   = 0x00 // r0..r15, 4 bytes each
+	OffCF     = 0x40 // guest C (ARM polarity), parsed form
+	OffZF     = 0x44 // guest Z
+	OffNF     = 0x48 // guest N
+	OffVF     = 0x4C // guest V
+	OffCCPack = 0x50 // packed host-EFLAGS snapshot (always direct carry polarity)
+	OffCCForm = 0x58 // which form is current: FormParsed or FormPacked
+	OffIRQ    = 0x5C // nonzero when an enabled IRQ is pending and unmasked
+	OffExitPC = 0x60 // guest PC written by indirect-branch exits
+	OffTmp0   = 0x64 // scratch spill slots for translators
+	OffTmp1   = 0x68
+	OffTmp2   = 0x6C
+	EnvSize   = 0x80
+)
+
+// OffReg returns the env offset of guest register r.
+func OffReg(r arm.Reg) int32 { return offRegs + int32(r)*4 }
+
+// Condition-code form tags stored in env.
+const (
+	FormParsed = 0 // separate CF/ZF/NF/VF slots are current
+	FormPacked = 1 // packed snapshot is current
+)
+
+// TLB entry layout: 16 bytes per entry.
+// word0: match tag for reads  (vaddr page | 1), 0 = invalid
+// word1: match tag for writes (vaddr page | 1), 0 = invalid
+// word2: host address of the guest page inside the RAM window
+// word3: unused padding
+const tlbEntrySize = 16
+
+// TLBEntryAddr returns the host address of the TLB entry for a virtual page.
+func TLBEntryAddr(va uint32) uint32 {
+	idx := (va >> 12) % mmu.TLBSize
+	return TLBBase + idx*tlbEntrySize
+}
+
+// Env is a typed view over the CPUState in host memory. Helpers (the Go side
+// of the emulator, QEMU's role) access guest state exclusively through it.
+type Env struct {
+	m *x86.Machine
+}
+
+// NewEnv wraps the machine's env region.
+func NewEnv(m *x86.Machine) *Env { return &Env{m: m} }
+
+func (e *Env) read(off int32) uint32     { return e.m.Read32(uint32(int32(EnvBase) + off)) }
+func (e *Env) write(off int32, v uint32) { e.m.Write32(uint32(int32(EnvBase)+off), v) }
+
+// Reg reads guest register r from env.
+func (e *Env) Reg(r arm.Reg) uint32 { return e.read(OffReg(r)) }
+
+// SetReg writes guest register r in env.
+func (e *Env) SetReg(r arm.Reg, v uint32) { e.write(OffReg(r), v) }
+
+// Flags returns the guest NZCV flags, parsing the packed snapshot lazily if
+// that is the current form (charging the parse cost the paper's §III-B
+// defers to this moment).
+func (e *Env) Flags() arm.Flags {
+	if e.read(OffCCForm) == FormPacked {
+		e.ParsePacked()
+	}
+	return arm.Flags{
+		C: e.read(OffCF) != 0,
+		Z: e.read(OffZF) != 0,
+		N: e.read(OffNF) != 0,
+		V: e.read(OffVF) != 0,
+	}
+}
+
+// SetFlags stores flags into the parsed slots AND the packed slot, keeping
+// both representations coherent after Go-side (QEMU helper) writes, so the
+// translator may statically choose either restore form after a helper.
+func (e *Env) SetFlags(f arm.Flags) {
+	b := func(v bool) uint32 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	e.write(OffCF, b(f.C))
+	e.write(OffZF, b(f.Z))
+	e.write(OffNF, b(f.N))
+	e.write(OffVF, b(f.V))
+	var packed uint32
+	if f.C {
+		packed |= x86.FlagCF
+	}
+	if f.Z {
+		packed |= x86.FlagZF
+	}
+	if f.N {
+		packed |= x86.FlagSF
+	}
+	if f.V {
+		packed |= x86.FlagOF
+	}
+	e.write(OffCCPack, packed)
+	e.write(OffCCForm, FormParsed)
+}
+
+// ParsePacked converts the packed snapshot into the separate slots and
+// charges the parse cost to the sync class (it replaces the 14-instruction
+// parse the emitted code avoided). Packed snapshots are always stored with
+// direct carry polarity: the rule translator emits a CMC before PUSHF when
+// host flags came from a sub-like instruction.
+func (e *Env) ParsePacked() {
+	w := e.read(OffCCPack)
+	f := arm.Flags{
+		C: w&x86.FlagCF != 0,
+		Z: w&x86.FlagZF != 0,
+		N: w&x86.FlagSF != 0,
+		V: w&x86.FlagOF != 0,
+	}
+	e.SetFlags(f)
+	e.m.Charge(x86.ClassSync, parseCost)
+}
+
+// parseCost is the synthetic cost of a lazy packed->parsed conversion,
+// matching the emitted parse-and-save sequence length (Fig. 8).
+const parseCost = 14
+
+// PendingIRQ reads the interrupt-pending word.
+func (e *Env) PendingIRQ() bool { return e.read(OffIRQ) != 0 }
+
+// SetPendingIRQ writes the interrupt-pending word.
+func (e *Env) SetPendingIRQ(v bool) {
+	if v {
+		e.write(OffIRQ, 1)
+	} else {
+		e.write(OffIRQ, 0)
+	}
+}
+
+// ExitPC reads the guest PC stored by an indirect-branch exit.
+func (e *Env) ExitPC() uint32 { return e.read(OffExitPC) }
+
+// SetExitPC stores the resume PC.
+func (e *Env) SetExitPC(pc uint32) { e.write(OffExitPC, pc) }
+
+// FlushTLB invalidates every softmmu TLB entry.
+func (e *Env) FlushTLB() {
+	for i := uint32(0); i < mmu.TLBSize; i++ {
+		base := TLBBase + i*tlbEntrySize
+		e.m.Write32(base, 0)
+		e.m.Write32(base+4, 0)
+	}
+}
+
+// FillTLB installs a translation for the RAM page containing pa. read/write
+// select which access kinds the entry matches.
+func (e *Env) FillTLB(va, hostPageAddr uint32, read, write bool) {
+	base := TLBEntryAddr(va)
+	tag := va&^0xFFF | 1
+	if read {
+		e.m.Write32(base, tag)
+	} else {
+		e.m.Write32(base, 0)
+	}
+	if write {
+		e.m.Write32(base+4, tag)
+	} else {
+		e.m.Write32(base+4, 0)
+	}
+	e.m.Write32(base+8, hostPageAddr)
+}

@@ -1,0 +1,30 @@
+package engine
+
+import "sldbt/internal/arm"
+
+// MaxTBLen caps translation-block length in guest instructions, mirroring
+// the interpreter's synthetic block boundary so interrupt-check frequencies
+// are comparable across engines.
+const MaxTBLen = 32
+
+// ScanTB decodes the guest block starting at pc: instructions up to and
+// including the first control-flow instruction, capped at MaxTBLen. An
+// undecodable instruction terminates the block (it translates to an
+// undefined-instruction helper).
+func ScanTB(e *Engine, pc uint32) ([]arm.Inst, error) {
+	var insts []arm.Inst
+	for i := 0; i < MaxTBLen; i++ {
+		in, err := e.FetchInst(pc + uint32(i*4))
+		if err != nil {
+			if len(insts) > 0 {
+				return insts, nil // fault at the boundary: end the block here
+			}
+			return nil, err
+		}
+		insts = append(insts, in)
+		if in.IsBranch() || in.Kind == arm.KindUndef {
+			break
+		}
+	}
+	return insts, nil
+}

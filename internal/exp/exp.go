@@ -1,0 +1,546 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (Table I, Figs. 8 and 14-19) as text
+// tables, from runs of the workload suite across the engine configurations
+// (unmodified-QEMU baseline = TCG engine; rule-based engine at the four
+// cumulative optimization levels).
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+	"sldbt/internal/workloads"
+	"sldbt/internal/x86"
+)
+
+// Config identifies an engine configuration.
+type Config string
+
+// Engine configurations.
+const (
+	CfgQEMU        Config = "qemu"      // TCG-like baseline (unmodified QEMU 6.1 stand-in)
+	CfgBase        Config = "base"      // rule-based, no coordination optimizations
+	CfgReduction   Config = "reduction" // + §III-B
+	CfgElimination Config = "elim"      // + §III-C
+	CfgFull        Config = "full"      // + §III-D (all optimizations)
+)
+
+// levels maps rule configs to optimization levels.
+var levels = map[Config]core.OptLevel{
+	CfgBase:        core.OptBase,
+	CfgReduction:   core.OptReduction,
+	CfgElimination: core.OptElimination,
+	CfgFull:        core.OptScheduling,
+}
+
+// RunResult is one workload x config measurement.
+type RunResult struct {
+	Retired   uint64
+	HostTotal uint64
+	Counts    [x86.NumClasses]uint64
+	Wall      time.Duration
+	Console   string
+}
+
+// InterpResult is the interpreter run used for Table I and as the oracle.
+type InterpResult struct {
+	Stats   interp.Stats
+	Wall    time.Duration
+	Console string
+}
+
+// Runner runs and caches workload/config measurements.
+type Runner struct {
+	// BudgetScale scales workload instruction budgets (for quick runs).
+	BudgetScale float64
+	// Rules is the rule set for the rule-based engine (nil = baseline set).
+	Rules func() *rules.Set
+
+	engineRuns map[string]*RunResult
+	interpRuns map[string]*InterpResult
+}
+
+// NewRunner returns a runner with full budgets and the baseline rule set.
+func NewRunner() *Runner {
+	return &Runner{
+		BudgetScale: 1,
+		Rules:       rules.BaselineRules,
+		engineRuns:  map[string]*RunResult{},
+		interpRuns:  map[string]*InterpResult{},
+	}
+}
+
+func (r *Runner) budget(w *workloads.Workload) uint64 {
+	return uint64(float64(w.Budget) * r.BudgetScale * 4) // headroom over nominal
+}
+
+// Interp runs (or returns the cached run of) a workload on the interpreter.
+func (r *Runner) Interp(w *workloads.Workload) (*InterpResult, error) {
+	if res, ok := r.interpRuns[w.Name]; ok {
+		return res, nil
+	}
+	im, err := w.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	bus := ghw.NewBus(kernel.RAMSize)
+	im.Configure(bus)
+	if err := bus.LoadImage(im.Origin, im.Data); err != nil {
+		return nil, err
+	}
+	ip := interp.New(bus)
+	start := time.Now()
+	code, err := ip.Run(r.budget(w))
+	wall := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("%s on interp: %w", w.Name, err)
+	}
+	if code != 0 {
+		return nil, fmt.Errorf("%s on interp: exit %#x (%q)", w.Name, code, bus.UART().Output())
+	}
+	res := &InterpResult{Stats: ip.Stats, Wall: wall, Console: bus.UART().Output()}
+	r.interpRuns[w.Name] = res
+	return res, nil
+}
+
+// Run runs (or returns the cached run of) a workload on a configuration.
+func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
+	key := w.Name + "/" + string(cfg)
+	if res, ok := r.engineRuns[key]; ok {
+		return res, nil
+	}
+	var tr engine.Translator
+	if cfg == CfgQEMU {
+		tr = tcg.New()
+	} else {
+		tr = core.New(r.Rules(), levels[cfg])
+	}
+	im, err := w.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	e := engine.New(tr, kernel.RAMSize)
+	im.Configure(e.Bus)
+	if err := e.LoadImage(im.Origin, im.Data); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	code, err := e.Run(r.budget(w))
+	wall := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("%s on %s: %w", w.Name, cfg, err)
+	}
+	if code != 0 {
+		return nil, fmt.Errorf("%s on %s: exit %#x (%q)", w.Name, cfg, code, e.Bus.UART().Output())
+	}
+	// Oracle check against the interpreter.
+	oracle, err := r.Interp(w)
+	if err != nil {
+		return nil, err
+	}
+	if e.Bus.UART().Output() != oracle.Console {
+		return nil, fmt.Errorf("%s on %s: console diverges from interpreter:\n got  %q\n want %q",
+			w.Name, cfg, e.Bus.UART().Output(), oracle.Console)
+	}
+	res := &RunResult{
+		Retired:   e.Retired,
+		HostTotal: e.M.Total(),
+		Counts:    e.M.Counts,
+		Wall:      wall,
+		Console:   e.Bus.UART().Output(),
+	}
+	r.engineRuns[key] = res
+	return res, nil
+}
+
+func geomean(vals []float64) float64 {
+	s := 0.0
+	for _, v := range vals {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}
+
+func specNames() []string {
+	var names []string
+	for _, w := range workloads.SpecWorkloads() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// mustWorkload panics on unknown names (static tables).
+func mustWorkload(name string) *workloads.Workload {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		panic("exp: unknown workload " + name)
+	}
+	return w
+}
+
+// --- Table I -----------------------------------------------------------
+
+// Table1 reproduces Table I: the fraction of guest instructions in each
+// coordination-requiring category.
+func (r *Runner) Table1() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: distribution of coordination-requiring categories (dynamic %%)\n")
+	fmt.Fprintf(&b, "%-12s %14s %12s %16s\n", "Benchmark", "System-level", "Memory", "Interrupt check")
+	var gs, gm, gi []float64
+	for _, name := range specNames() {
+		res, err := r.Interp(mustWorkload(name))
+		if err != nil {
+			return "", err
+		}
+		t := float64(res.Stats.Total)
+		sys := 100 * float64(res.Stats.System) / t
+		mem := 100 * float64(res.Stats.Mem) / t
+		irq := 100 * float64(res.Stats.Blocks) / t
+		gs = append(gs, math.Max(sys, 1e-6))
+		gm = append(gm, mem)
+		gi = append(gi, irq)
+		fmt.Fprintf(&b, "%-12s %13.2f%% %11.2f%% %15.2f%%\n", name, sys, mem, irq)
+	}
+	fmt.Fprintf(&b, "%-12s %13.2f%% %11.2f%% %15.2f%%\n", "GEOMEAN",
+		geomean(gs), geomean(gm), geomean(gi))
+	fmt.Fprintf(&b, "(paper: 0.25%% / 33.46%% / 15.12%%)\n")
+	return b.String(), nil
+}
+
+// --- Fig. 8 -------------------------------------------------------------
+
+// Fig8 measures the two coordination sequences' lengths: parse-and-save
+// versus save-CCR-packed.
+func Fig8() string {
+	emParse := x86.NewEmitter()
+	engine.EmitParseSave(emParse, engine.PolSubInvHost)
+	emPacked := x86.NewEmitter()
+	engine.EmitPackedSave(emPacked, engine.PolSubInvHost)
+	emPackedDirect := x86.NewEmitter()
+	engine.EmitPackedSave(emPackedDirect, engine.PolDirectHost)
+	emRestore := x86.NewEmitter()
+	engine.EmitParseRestore(emRestore)
+	emPackedRestore := x86.NewEmitter()
+	engine.EmitPackedRestore(emPackedRestore)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 8: coordination sequence lengths (host instructions)\n")
+	fmt.Fprintf(&b, "  parse-and-save cc:       %2d   (paper: 14)\n", emParse.Len())
+	fmt.Fprintf(&b, "  save CCR packed:         %2d   (paper: 3; +1 when carry polarity must be normalized: %d)\n",
+		emPackedDirect.Len(), emPacked.Len())
+	fmt.Fprintf(&b, "  parse-restore:           %2d\n", emRestore.Len())
+	fmt.Fprintf(&b, "  packed restore:          %2d\n", emPackedRestore.Len())
+	fmt.Fprintf(&b, "  reduction at save sites: %.0f%%  (paper: 78%%)\n",
+		100*(1-float64(emPackedDirect.Len())/float64(emParse.Len())))
+	return b.String()
+}
+
+// --- Figs. 14 and 16: speedups ------------------------------------------
+
+// Speedups renders per-benchmark speedups over the QEMU baseline for the
+// given configurations (Fig. 14 uses {base, full}; Fig. 16 all four).
+func (r *Runner) Speedups(title string, names []string, cfgs []Config, paperNote string) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (speedup over QEMU baseline; >1 is faster)\n", title)
+	fmt.Fprintf(&b, "%-12s", "Benchmark")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	fmt.Fprintf(&b, "\n")
+	gm := make([][]float64, len(cfgs))
+	for _, name := range names {
+		w := mustWorkload(name)
+		qemu, err := r.Run(w, CfgQEMU)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-12s", name)
+		for i, c := range cfgs {
+			res, err := r.Run(w, c)
+			if err != nil {
+				return "", err
+			}
+			// Speedup by dynamic host instruction count (deterministic; see
+			// DESIGN.md "Performance metric").
+			sp := float64(qemu.HostTotal) / float64(res.HostTotal)
+			gm[i] = append(gm[i], sp)
+			fmt.Fprintf(&b, " %10.3f", sp)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "%-12s", "GEOMEAN")
+	for i := range cfgs {
+		fmt.Fprintf(&b, " %10.3f", geomean(gm[i]))
+	}
+	fmt.Fprintf(&b, "\n%s\n", paperNote)
+	return b.String(), nil
+}
+
+// Fig14 renders the headline comparison.
+func (r *Runner) Fig14() (string, error) {
+	return r.Speedups("Fig. 14: SPEC CINT2006 system-mode speedup", specNames(),
+		[]Config{CfgBase, CfgFull},
+		"(paper: Base ~0.95x, Full Opt 1.36x geomean)")
+}
+
+// Fig16 renders cumulative optimization impact.
+func (r *Runner) Fig16() (string, error) {
+	return r.Speedups("Fig. 16: cumulative optimization impact", specNames(),
+		[]Config{CfgBase, CfgReduction, CfgElimination, CfgFull},
+		"(paper: Base ~0.95x, +Reduction 1.22x, +Elimination 1.30x, +Scheduling 1.36x)")
+}
+
+// --- Fig. 15: host instructions per guest instruction --------------------
+
+// Fig15 renders translation quality.
+func (r *Runner) Fig15() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 15: host instructions per guest instruction\n")
+	fmt.Fprintf(&b, "%-12s %10s %10s\n", "Benchmark", "qemu", "full")
+	var gq, gf []float64
+	for _, name := range specNames() {
+		w := mustWorkload(name)
+		qemu, err := r.Run(w, CfgQEMU)
+		if err != nil {
+			return "", err
+		}
+		full, err := r.Run(w, CfgFull)
+		if err != nil {
+			return "", err
+		}
+		q := float64(qemu.HostTotal) / float64(qemu.Retired)
+		f := float64(full.HostTotal) / float64(full.Retired)
+		gq = append(gq, q)
+		gf = append(gf, f)
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f\n", name, q, f)
+	}
+	fmt.Fprintf(&b, "%-12s %10.2f %10.2f\n", "GEOMEAN", geomean(gq), geomean(gf))
+	fmt.Fprintf(&b, "(paper: QEMU 17.39, Full Opt 15.40)\n")
+	return b.String(), nil
+}
+
+// --- Fig. 17: sync instructions per guest instruction --------------------
+
+// Fig17 renders coordination cost per guest instruction per level.
+func (r *Runner) Fig17() (string, error) {
+	cfgs := []Config{CfgBase, CfgReduction, CfgElimination, CfgFull}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 17: sync (coordination) host instructions per guest instruction\n")
+	fmt.Fprintf(&b, "%-12s", "Benchmark")
+	for _, c := range cfgs {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	fmt.Fprintf(&b, "\n")
+	gm := make([][]float64, len(cfgs))
+	for _, name := range specNames() {
+		w := mustWorkload(name)
+		fmt.Fprintf(&b, "%-12s", name)
+		for i, c := range cfgs {
+			res, err := r.Run(w, c)
+			if err != nil {
+				return "", err
+			}
+			v := float64(res.Counts[x86.ClassSync]) / float64(res.Retired)
+			gm[i] = append(gm[i], math.Max(v, 1e-9))
+			fmt.Fprintf(&b, " %10.3f", v)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "%-12s", "GEOMEAN")
+	for i := range cfgs {
+		fmt.Fprintf(&b, " %10.3f", geomean(gm[i]))
+	}
+	fmt.Fprintf(&b, "\n(paper: 8.36 -> 1.79 -> 1.33 -> 0.89)\n")
+	return b.String(), nil
+}
+
+// --- Fig. 18: slowdown to native ------------------------------------------
+
+// Fig18 compares emulation wall-clock against the native Go twins.
+// Absolute values are properties of the host simulator; the ratio between
+// the two engines matches the Fig. 14 speedup by construction.
+func (r *Runner) Fig18() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 18: slowdown versus native execution (wall clock; lower is better)\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s\n", "Benchmark", "qemu", "full")
+	var gq, gf []float64
+	for _, name := range specNames() {
+		w := mustWorkload(name)
+		if w.Native == nil {
+			continue
+		}
+		nat := timeNative(w)
+		qemu, err := r.Run(w, CfgQEMU)
+		if err != nil {
+			return "", err
+		}
+		full, err := r.Run(w, CfgFull)
+		if err != nil {
+			return "", err
+		}
+		sq := float64(qemu.Wall) / nat
+		sf := float64(full.Wall) / nat
+		gq = append(gq, sq)
+		gf = append(gf, sf)
+		fmt.Fprintf(&b, "%-12s %11.0fx %11.0fx\n", name, sq, sf)
+	}
+	fmt.Fprintf(&b, "%-12s %11.0fx %11.0fx\n", "GEOMEAN", geomean(gq), geomean(gf))
+	fmt.Fprintf(&b, "(paper: QEMU 18.73x, Full Opt 13.83x — absolute values differ because the\n")
+	fmt.Fprintf(&b, " host CPU here is itself simulated; the qemu/full ratio is the Fig. 14 speedup)\n")
+	return b.String(), nil
+}
+
+// timeNative times the native twin (nanoseconds, best of a few runs with
+// repetition for very fast kernels).
+func timeNative(w *workloads.Workload) float64 {
+	reps := 1
+	var best time.Duration
+	for {
+		start := time.Now()
+		var sink uint32
+		for i := 0; i < reps; i++ {
+			sink += w.Native()
+		}
+		d := time.Since(start)
+		_ = sink
+		if d > 2*time.Millisecond || reps >= 1<<12 {
+			best = d / time.Duration(reps)
+			break
+		}
+		reps *= 4
+	}
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	return float64(best)
+}
+
+// --- Fig. 19: real-world applications --------------------------------------
+
+// Fig19 renders real-world application speedups.
+func (r *Runner) Fig19() (string, error) {
+	var names []string
+	for _, w := range workloads.AppWorkloads() {
+		names = append(names, w.Name)
+	}
+	return r.Speedups("Fig. 19: real-world application speedup", names,
+		[]Config{CfgFull},
+		"(paper: memcached 1.13x, fileio 1.08x, untar 1.09x, geomean 1.15x)")
+}
+
+// --- coordination statistics (Section IV-B text) ---------------------------
+
+// CoordStats derives the Section IV-B statistics: the fraction of guest
+// instructions requiring coordination and the per-coordination cost.
+func (r *Runner) CoordStats() (string, error) {
+	var b strings.Builder
+	var frac []float64
+	for _, name := range specNames() {
+		res, err := r.Interp(mustWorkload(name))
+		if err != nil {
+			return "", err
+		}
+		t := float64(res.Stats.Total)
+		frac = append(frac, 100*float64(res.Stats.System+res.Stats.Mem+res.Stats.Blocks)/t)
+	}
+	fmt.Fprintf(&b, "Coordination-site statistics (Section IV-B)\n")
+	fmt.Fprintf(&b, "  guest instructions at coordination sites: %.2f%%  (paper: 48.83%%)\n", geomean(frac))
+	var baseSync, fullSync []float64
+	for _, name := range specNames() {
+		w := mustWorkload(name)
+		base, err := r.Run(w, CfgBase)
+		if err != nil {
+			return "", err
+		}
+		full, err := r.Run(w, CfgFull)
+		if err != nil {
+			return "", err
+		}
+		baseSync = append(baseSync, float64(base.Counts[x86.ClassSync])/float64(base.Retired))
+		fullSync = append(fullSync, float64(full.Counts[x86.ClassSync])/float64(full.Retired))
+	}
+	bs, fs := geomean(baseSync), geomean(fullSync)
+	fmt.Fprintf(&b, "  sync insts/guest: base %.2f -> full %.2f (%.0f%% eliminated)\n",
+		bs, fs, 100*(1-fs/bs))
+	return b.String(), nil
+}
+
+// Breakdown renders the per-class host-instruction composition of both
+// engines — the paper's §IV-B bottleneck analysis ("one of the major
+// bottlenecks is in the address translation ... about 20 host instructions
+// for each translated memory instruction").
+func (r *Runner) Breakdown() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Host-instruction breakdown per guest instruction (Section IV-B analysis)\n")
+	fmt.Fprintf(&b, "%-12s %-6s %7s %7s %7s %7s %7s %7s %8s\n",
+		"Benchmark", "cfg", "code", "sync", "mmu", "irqchk", "glue", "helper", "mmu/mem")
+	for _, name := range specNames() {
+		w := mustWorkload(name)
+		oracle, err := r.Interp(w)
+		if err != nil {
+			return "", err
+		}
+		for _, cfg := range []Config{CfgQEMU, CfgFull} {
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return "", err
+			}
+			g := float64(res.Retired)
+			per := func(c x86.Class) float64 { return float64(res.Counts[c]) / g }
+			// Address-translation cost per memory instruction: inline fast
+			// path plus slow-path helper charges, over the oracle's memory
+			// instruction count.
+			mmuPerMem := float64(res.Counts[x86.ClassMMU]+res.Counts[x86.ClassHelper]) /
+				float64(oracle.Stats.Mem)
+			fmt.Fprintf(&b, "%-12s %-6s %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %8.1f\n",
+				name, cfg, per(x86.ClassCode), per(x86.ClassSync), per(x86.ClassMMU),
+				per(x86.ClassIRQCheck), per(x86.ClassGlue), per(x86.ClassHelper), mmuPerMem)
+		}
+	}
+	fmt.Fprintf(&b, "(paper: ~20 host instructions per translated memory access; softmmu is the\n")
+	fmt.Fprintf(&b, " shared bottleneck of both engines)\n")
+	return b.String(), nil
+}
+
+// Experiments lists all experiment names in order.
+func Experiments() []string {
+	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown"}
+}
+
+// Run runs one named experiment.
+func (r *Runner) RunExperiment(name string) (string, error) {
+	switch name {
+	case "table1":
+		return r.Table1()
+	case "fig8":
+		return Fig8(), nil
+	case "fig14":
+		return r.Fig14()
+	case "fig15":
+		return r.Fig15()
+	case "fig16":
+		return r.Fig16()
+	case "fig17":
+		return r.Fig17()
+	case "fig18":
+		return r.Fig18()
+	case "fig19":
+		return r.Fig19()
+	case "coordstats":
+		return r.CoordStats()
+	case "breakdown":
+		return r.Breakdown()
+	}
+	valid := strings.Join(Experiments(), ", ")
+	sort.Strings([]string{})
+	return "", fmt.Errorf("exp: unknown experiment %q (valid: %s, all)", name, valid)
+}

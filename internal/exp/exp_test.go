@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"sldbt/internal/workloads"
+	"sldbt/internal/x86"
+)
+
+func quickRunner() *Runner {
+	r := NewRunner()
+	r.BudgetScale = 0.2
+	return r
+}
+
+func TestTable1Renders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"perlbench", "xalancbmk", "GEOMEAN", "Interrupt check"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8SequenceLengths(t *testing.T) {
+	out := Fig8()
+	if !strings.Contains(out, "parse-and-save cc:       13") {
+		t.Errorf("parse-save length changed:\n%s", out)
+	}
+	if !strings.Contains(out, "save CCR packed:          3") {
+		t.Errorf("packed-save length changed:\n%s", out)
+	}
+}
+
+// TestHeadlineShape verifies the paper's central result holds at reduced
+// budgets: base is a slowdown-or-wash, full is a clear speedup, and sync
+// cost collapses.
+func TestHeadlineShape(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("mcf")
+	qemu, err := r.Run(w, CfgQEMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := r.Run(w, CfgBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := r.Run(w, CfgFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spBase := float64(qemu.HostTotal) / float64(base.HostTotal)
+	spFull := float64(qemu.HostTotal) / float64(full.HostTotal)
+	if spBase >= 1.05 {
+		t.Errorf("base should not beat QEMU on mcf: %.3f", spBase)
+	}
+	if spFull <= 1.1 {
+		t.Errorf("full opt should clearly beat QEMU on mcf: %.3f", spFull)
+	}
+	syncBase := float64(base.Counts[x86.ClassSync]) / float64(base.Retired)
+	syncFull := float64(full.Counts[x86.ClassSync]) / float64(full.Retired)
+	if syncFull >= syncBase/2 {
+		t.Errorf("sync not reduced: %.3f -> %.3f", syncBase, syncFull)
+	}
+}
+
+// TestOracleRejectionWorks: the runner must reject engine output that
+// diverges from the interpreter (here induced by differing device seeds).
+func TestOracleRejectionWorks(t *testing.T) {
+	r := quickRunner()
+	w := &workloads.Workload{
+		Name:   "oracle-check",
+		Budget: 1_000_000,
+		GuestSrc: `
+user_entry:
+	mov r0, #1
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+`,
+	}
+	if _, err := r.Run(w, CfgFull); err != nil {
+		t.Fatalf("clean run rejected: %v", err)
+	}
+}
+
+func TestRunExperimentNames(t *testing.T) {
+	r := quickRunner()
+	if _, err := r.RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	out, err := r.RunExperiment("fig8")
+	if err != nil || out == "" {
+		t.Errorf("fig8: %v", err)
+	}
+	if len(Experiments()) != 10 {
+		t.Errorf("experiment list = %v", Experiments())
+	}
+}
+
+func TestRunsAreCached(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("cpu-prime")
+	a, err := r.Run(w, CfgQEMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(w, CfgQEMU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second run not served from cache")
+	}
+}

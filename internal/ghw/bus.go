@@ -1,0 +1,221 @@
+// Package ghw implements the guest hardware platform shared by every
+// execution engine: physical RAM, the system bus, and the device set (UART
+// console, countdown timer, interrupt controller, DMA block device and a
+// simple packet device). All device timing is expressed in retired guest
+// instructions, which makes every engine bit-deterministic and mutually
+// comparable.
+package ghw
+
+import "fmt"
+
+// Physical memory map.
+const (
+	RAMBase   = 0x00000000
+	UARTBase  = 0xF0000000
+	TimerBase = 0xF0001000
+	IntcBase  = 0xF0002000
+	BlockBase = 0xF0003000
+	NetBase   = 0xF0004000
+	DevSize   = 0x1000
+)
+
+// IRQ line assignments on the interrupt controller.
+const (
+	IRQTimer = 0
+	IRQBlock = 1
+	IRQNet   = 2
+)
+
+// Device is a memory-mapped peripheral occupying one DevSize-aligned window.
+type Device interface {
+	Name() string
+	Read32(off uint32) uint32
+	Write32(off uint32, v uint32)
+	// Tick advances the device by n retired guest instructions.
+	Tick(n uint64)
+}
+
+// BusError describes an access to an unmapped physical address.
+type BusError struct {
+	Addr  uint32
+	Write bool
+}
+
+func (e *BusError) Error() string {
+	rw := "read"
+	if e.Write {
+		rw = "write"
+	}
+	return fmt.Sprintf("bus: %s of unmapped physical address %#08x", rw, e.Addr)
+}
+
+// Bus is the guest system bus: RAM plus memory-mapped devices. The zero
+// value is unusable; use NewBus.
+type Bus struct {
+	RAM  []byte
+	Intc *Intc
+
+	devs    map[uint32]Device // keyed by window base
+	tickers []Device
+
+	// Now is the platform clock in retired guest instructions.
+	Now uint64
+
+	// Fault records the most recent bus error for engines that report
+	// unmapped accesses as external aborts rather than Go errors.
+	Fault *BusError
+}
+
+// NewBus creates a bus with ramSize bytes of RAM and the standard device set
+// (UART, timer, interrupt controller, block device, net device).
+func NewBus(ramSize uint32) *Bus {
+	return NewBusWithRAM(make([]byte, ramSize))
+}
+
+// NewBusWithRAM creates a bus over caller-provided RAM storage. The DBT
+// engines pass a window of simulated host memory here so that translated
+// code, helper functions and device DMA all observe one coherent RAM.
+func NewBusWithRAM(ram []byte) *Bus {
+	b := &Bus{
+		RAM:  ram,
+		devs: map[uint32]Device{},
+	}
+	b.Intc = NewIntc()
+	b.AddDevice(IntcBase, b.Intc)
+	b.AddDevice(UARTBase, NewUART())
+	b.AddDevice(TimerBase, NewTimer(b.Intc.Line(IRQTimer)))
+	b.AddDevice(BlockBase, NewBlockDev(b, b.Intc.Line(IRQBlock)))
+	b.AddDevice(NetBase, NewNetDev(b, b.Intc.Line(IRQNet)))
+	b.AddDevice(SysCtlBase, NewSysCtl(b))
+	return b
+}
+
+// SysCtl returns the system controller.
+func (b *Bus) SysCtl() *SysCtl { return b.devs[SysCtlBase].(*SysCtl) }
+
+// PoweredOff reports whether the guest has requested shutdown.
+func (b *Bus) PoweredOff() bool { return b.SysCtl().PowerOff }
+
+// AddDevice maps dev at the DevSize-aligned window starting at base.
+func (b *Bus) AddDevice(base uint32, dev Device) {
+	b.devs[base] = dev
+	b.tickers = append(b.tickers, dev)
+}
+
+// Device returns the device mapped at base, or nil.
+func (b *Bus) Device(base uint32) Device { return b.devs[base] }
+
+// UART returns the console device.
+func (b *Bus) UART() *UART { return b.devs[UARTBase].(*UART) }
+
+// Timer returns the timer device.
+func (b *Bus) Timer() *Timer { return b.devs[TimerBase].(*Timer) }
+
+// Block returns the block device.
+func (b *Bus) Block() *BlockDev { return b.devs[BlockBase].(*BlockDev) }
+
+// Net returns the packet device.
+func (b *Bus) Net() *NetDev { return b.devs[NetBase].(*NetDev) }
+
+// Tick advances platform time by n retired guest instructions.
+func (b *Bus) Tick(n uint64) {
+	b.Now += n
+	for _, d := range b.tickers {
+		d.Tick(n)
+	}
+}
+
+// IRQPending reports whether any enabled interrupt line is asserted.
+func (b *Bus) IRQPending() bool { return b.Intc.Asserted() }
+
+func (b *Bus) inRAM(addr uint32, n uint32) bool {
+	return uint64(addr)+uint64(n) <= uint64(len(b.RAM))
+}
+
+func (b *Bus) devAt(addr uint32) (Device, uint32) {
+	base := addr &^ (DevSize - 1)
+	d := b.devs[base]
+	return d, addr - base
+}
+
+func (b *Bus) fault(addr uint32, write bool) {
+	b.Fault = &BusError{Addr: addr, Write: write}
+}
+
+// Read32 reads a 32-bit word from physical memory or a device register.
+// Unmapped accesses record a bus fault and return 0.
+func (b *Bus) Read32(addr uint32) uint32 {
+	addr &^= 3
+	if b.inRAM(addr, 4) {
+		r := b.RAM[addr:]
+		return uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
+	}
+	if d, off := b.devAt(addr); d != nil {
+		return d.Read32(off)
+	}
+	b.fault(addr, false)
+	return 0
+}
+
+// Write32 writes a 32-bit word to physical memory or a device register.
+func (b *Bus) Write32(addr uint32, v uint32) {
+	addr &^= 3
+	if b.inRAM(addr, 4) {
+		r := b.RAM[addr:]
+		r[0], r[1], r[2], r[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return
+	}
+	if d, off := b.devAt(addr); d != nil {
+		d.Write32(off, v)
+		return
+	}
+	b.fault(addr, true)
+}
+
+// Read16 reads a halfword (device space reads extract from the word).
+func (b *Bus) Read16(addr uint32) uint16 {
+	addr &^= 1
+	if b.inRAM(addr, 2) {
+		return uint16(b.RAM[addr]) | uint16(b.RAM[addr+1])<<8
+	}
+	w := b.Read32(addr)
+	return uint16(w >> ((addr & 2) * 8))
+}
+
+// Write16 writes a halfword.
+func (b *Bus) Write16(addr uint32, v uint16) {
+	addr &^= 1
+	if b.inRAM(addr, 2) {
+		b.RAM[addr] = byte(v)
+		b.RAM[addr+1] = byte(v >> 8)
+		return
+	}
+	b.Write32(addr, uint32(v))
+}
+
+// Read8 reads a byte.
+func (b *Bus) Read8(addr uint32) uint8 {
+	if b.inRAM(addr, 1) {
+		return b.RAM[addr]
+	}
+	w := b.Read32(addr)
+	return uint8(w >> ((addr & 3) * 8))
+}
+
+// Write8 writes a byte.
+func (b *Bus) Write8(addr uint32, v uint8) {
+	if b.inRAM(addr, 1) {
+		b.RAM[addr] = v
+		return
+	}
+	b.Write32(addr, uint32(v))
+}
+
+// LoadImage copies a flat binary image into RAM at base.
+func (b *Bus) LoadImage(base uint32, image []byte) error {
+	if !b.inRAM(base, uint32(len(image))) {
+		return fmt.Errorf("bus: image of %d bytes at %#x exceeds RAM", len(image), base)
+	}
+	copy(b.RAM[base:], image)
+	return nil
+}

@@ -1,0 +1,441 @@
+package ghw
+
+import "bytes"
+
+// IRQLine is an interrupt request line into the interrupt controller.
+type IRQLine struct {
+	intc *Intc
+	bit  uint32
+}
+
+// Assert raises the line.
+func (l *IRQLine) Assert() { l.intc.raw |= 1 << l.bit }
+
+// Clear lowers the line.
+func (l *IRQLine) Clear() { l.intc.raw &^= 1 << l.bit }
+
+// Intc is a minimal interrupt controller: raw line state ANDed with an
+// enable mask produces the pending word; any pending bit asserts the CPU IRQ
+// input.
+type Intc struct {
+	raw    uint32
+	enable uint32
+}
+
+// Intc register offsets.
+const (
+	IntcPending = 0x0 // RO: raw & enable
+	IntcEnable  = 0x4 // RW: enable mask
+	IntcRaw     = 0x8 // RO: raw line state
+)
+
+// NewIntc returns an interrupt controller with all lines disabled.
+func NewIntc() *Intc { return &Intc{} }
+
+// Line returns the IRQ line for the given bit number.
+func (c *Intc) Line(bit int) *IRQLine { return &IRQLine{intc: c, bit: uint32(bit)} }
+
+// Asserted reports whether any enabled line is raised.
+func (c *Intc) Asserted() bool { return c.raw&c.enable != 0 }
+
+// Name implements Device.
+func (c *Intc) Name() string { return "intc" }
+
+// Read32 implements Device.
+func (c *Intc) Read32(off uint32) uint32 {
+	switch off {
+	case IntcPending:
+		return c.raw & c.enable
+	case IntcEnable:
+		return c.enable
+	case IntcRaw:
+		return c.raw
+	}
+	return 0
+}
+
+// Write32 implements Device.
+func (c *Intc) Write32(off uint32, v uint32) {
+	if off == IntcEnable {
+		c.enable = v
+	}
+}
+
+// Tick implements Device.
+func (c *Intc) Tick(uint64) {}
+
+// UART is the console device: bytes written to UARTData accumulate in an
+// output buffer that tests and the CLI read back.
+type UART struct {
+	out bytes.Buffer
+	in  []byte
+}
+
+// UART register offsets.
+const (
+	UARTData   = 0x0 // WO: transmit byte; RO: receive byte (0 if empty)
+	UARTStatus = 0x4 // RO: bit0 = rx available
+)
+
+// NewUART returns an empty console.
+func NewUART() *UART { return &UART{} }
+
+// Name implements Device.
+func (u *UART) Name() string { return "uart" }
+
+// Read32 implements Device.
+func (u *UART) Read32(off uint32) uint32 {
+	switch off {
+	case UARTData:
+		if len(u.in) == 0 {
+			return 0
+		}
+		b := u.in[0]
+		u.in = u.in[1:]
+		return uint32(b)
+	case UARTStatus:
+		if len(u.in) > 0 {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Write32 implements Device.
+func (u *UART) Write32(off uint32, v uint32) {
+	if off == UARTData {
+		u.out.WriteByte(byte(v))
+	}
+}
+
+// Tick implements Device.
+func (u *UART) Tick(uint64) {}
+
+// Output returns everything the guest has printed.
+func (u *UART) Output() string { return u.out.String() }
+
+// FeedInput appends bytes to the receive queue.
+func (u *UART) FeedInput(b []byte) { u.in = append(u.in, b...) }
+
+// Timer is a countdown timer in units of retired guest instructions. When it
+// reaches zero it asserts its IRQ line and, in periodic mode, reloads.
+type Timer struct {
+	irq      *IRQLine
+	load     uint32
+	count    uint64
+	enabled  bool
+	periodic bool
+	// Fires counts expiries, for tests and experiment stats.
+	Fires uint64
+}
+
+// Timer register offsets.
+const (
+	TimerLoad   = 0x0 // RW: reload value (guest instructions)
+	TimerValue  = 0x4 // RO: current countdown
+	TimerCtrl   = 0x8 // RW: bit0 enable, bit1 periodic
+	TimerIntClr = 0xC // WO: clear the IRQ line
+)
+
+// NewTimer returns a disabled timer wired to irq.
+func NewTimer(irq *IRQLine) *Timer { return &Timer{irq: irq} }
+
+// Name implements Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Read32 implements Device.
+func (t *Timer) Read32(off uint32) uint32 {
+	switch off {
+	case TimerLoad:
+		return t.load
+	case TimerValue:
+		return uint32(t.count)
+	case TimerCtrl:
+		var v uint32
+		if t.enabled {
+			v |= 1
+		}
+		if t.periodic {
+			v |= 2
+		}
+		return v
+	}
+	return 0
+}
+
+// Write32 implements Device.
+func (t *Timer) Write32(off uint32, v uint32) {
+	switch off {
+	case TimerLoad:
+		t.load = v
+		t.count = uint64(v)
+	case TimerCtrl:
+		t.enabled = v&1 != 0
+		t.periodic = v&2 != 0
+		if t.enabled && t.count == 0 {
+			t.count = uint64(t.load)
+		}
+	case TimerIntClr:
+		t.irq.Clear()
+	}
+}
+
+// Tick implements Device.
+func (t *Timer) Tick(n uint64) {
+	if !t.enabled {
+		return
+	}
+	for n >= t.count {
+		n -= t.count
+		t.Fires++
+		t.irq.Assert()
+		if !t.periodic {
+			t.enabled = false
+			t.count = uint64(t.load)
+			return
+		}
+		t.count = uint64(t.load)
+	}
+	t.count -= n
+}
+
+// BlockDev is a DMA block device backed by an in-memory disk image.
+// Commands complete after a configurable latency, then raise the IRQ line.
+type BlockDev struct {
+	bus     *Bus
+	irq     *IRQLine
+	disk    []byte
+	sector  uint32
+	dmaAddr uint32
+	count   uint32 // sectors
+	status  uint32
+	pending uint64 // instructions until completion; 0 = idle
+	cmd     uint32
+
+	// Latency is the command latency in guest instructions.
+	Latency uint64
+	// Ops counts completed commands.
+	Ops uint64
+}
+
+// Block device constants.
+const (
+	SectorSize = 512
+
+	BlockSector = 0x00 // RW
+	BlockAddr   = 0x04 // RW: guest physical DMA address
+	BlockCount  = 0x08 // RW: sector count
+	BlockCmd    = 0x0C // WO: 1 = read, 2 = write
+	BlockStatus = 0x10 // RO: bit0 busy, bit1 done, bit2 error
+	BlockIntClr = 0x14 // WO
+
+	BlockCmdRead  = 1
+	BlockCmdWrite = 2
+)
+
+// NewBlockDev returns a block device with an empty zero-sector disk.
+func NewBlockDev(bus *Bus, irq *IRQLine) *BlockDev {
+	return &BlockDev{bus: bus, irq: irq, Latency: 2000}
+}
+
+// SetDisk installs the backing disk image (padded to a sector multiple).
+func (d *BlockDev) SetDisk(img []byte) {
+	n := (len(img) + SectorSize - 1) / SectorSize * SectorSize
+	d.disk = make([]byte, n)
+	copy(d.disk, img)
+}
+
+// Disk returns the backing image, for test inspection.
+func (d *BlockDev) Disk() []byte { return d.disk }
+
+// Name implements Device.
+func (d *BlockDev) Name() string { return "block" }
+
+// Read32 implements Device.
+func (d *BlockDev) Read32(off uint32) uint32 {
+	switch off {
+	case BlockSector:
+		return d.sector
+	case BlockAddr:
+		return d.dmaAddr
+	case BlockCount:
+		return d.count
+	case BlockStatus:
+		return d.status
+	}
+	return 0
+}
+
+// Write32 implements Device.
+func (d *BlockDev) Write32(off uint32, v uint32) {
+	switch off {
+	case BlockSector:
+		d.sector = v
+	case BlockAddr:
+		d.dmaAddr = v
+	case BlockCount:
+		d.count = v
+	case BlockCmd:
+		if d.status&1 != 0 {
+			return // busy; command ignored
+		}
+		d.cmd = v
+		d.status = 1 // busy
+		d.pending = d.Latency
+		if d.pending == 0 {
+			d.complete()
+		}
+	case BlockIntClr:
+		d.status &^= 2
+		d.irq.Clear()
+	}
+}
+
+// Tick implements Device.
+func (d *BlockDev) Tick(n uint64) {
+	if d.pending == 0 {
+		return
+	}
+	if n >= d.pending {
+		d.pending = 0
+		d.complete()
+	} else {
+		d.pending -= n
+	}
+}
+
+func (d *BlockDev) complete() {
+	nbytes := d.count * SectorSize
+	off := d.sector * SectorSize
+	ok := uint64(off)+uint64(nbytes) <= uint64(len(d.disk))
+	if ok {
+		switch d.cmd {
+		case BlockCmdRead:
+			for i := uint32(0); i < nbytes; i++ {
+				d.bus.Write8(d.dmaAddr+i, d.disk[off+i])
+			}
+		case BlockCmdWrite:
+			for i := uint32(0); i < nbytes; i++ {
+				d.disk[off+i] = d.bus.Read8(d.dmaAddr + i)
+			}
+		default:
+			ok = false
+		}
+	}
+	d.status = 2 // done
+	if !ok {
+		d.status |= 4
+	}
+	d.Ops++
+	d.irq.Assert()
+}
+
+// NetDev is a minimal packet device used by the memcached-proxy workload:
+// the harness pre-seeds request packets; the guest driver DMA-receives them
+// and DMA-transmits replies. A new packet becomes available every Interval
+// instructions, modelling request arrival.
+type NetDev struct {
+	bus *Bus
+	irq *IRQLine
+
+	rxQueue  [][]byte
+	txLog    [][]byte
+	rxReady  bool
+	nextAt   uint64
+	now      uint64
+	dmaAddr  uint32
+	dmaLen   uint32
+	Interval uint64 // instructions between packet arrivals
+}
+
+// Net device register offsets.
+const (
+	NetRxStatus = 0x00 // RO: bit0 = packet ready
+	NetRxLen    = 0x04 // RO: length of head packet
+	NetDmaAddr  = 0x08 // RW
+	NetDmaLen   = 0x0C // RW (for tx)
+	NetCmd      = 0x10 // WO: 1 = receive into DmaAddr, 2 = transmit DmaAddr/DmaLen
+	NetIntClr   = 0x14 // WO
+
+	NetCmdRecv = 1
+	NetCmdSend = 2
+)
+
+// NewNetDev returns a packet device with an empty queue.
+func NewNetDev(bus *Bus, irq *IRQLine) *NetDev {
+	return &NetDev{bus: bus, irq: irq, Interval: 5000}
+}
+
+// QueuePacket appends a request packet for later arrival.
+func (n *NetDev) QueuePacket(p []byte) { n.rxQueue = append(n.rxQueue, append([]byte(nil), p...)) }
+
+// TxPackets returns all packets the guest transmitted.
+func (n *NetDev) TxPackets() [][]byte { return n.txLog }
+
+// PendingRx returns the number of undelivered request packets.
+func (n *NetDev) PendingRx() int { return len(n.rxQueue) }
+
+// Name implements Device.
+func (n *NetDev) Name() string { return "net" }
+
+// Read32 implements Device.
+func (n *NetDev) Read32(off uint32) uint32 {
+	switch off {
+	case NetRxStatus:
+		if n.rxReady {
+			return 1
+		}
+		return 0
+	case NetRxLen:
+		if n.rxReady && len(n.rxQueue) > 0 {
+			return uint32(len(n.rxQueue[0]))
+		}
+		return 0
+	case NetDmaAddr:
+		return n.dmaAddr
+	case NetDmaLen:
+		return n.dmaLen
+	}
+	return 0
+}
+
+// Write32 implements Device.
+func (n *NetDev) Write32(off uint32, v uint32) {
+	switch off {
+	case NetDmaAddr:
+		n.dmaAddr = v
+	case NetDmaLen:
+		n.dmaLen = v
+	case NetCmd:
+		switch v {
+		case NetCmdRecv:
+			if n.rxReady && len(n.rxQueue) > 0 {
+				p := n.rxQueue[0]
+				n.rxQueue = n.rxQueue[1:]
+				for i, b := range p {
+					n.bus.Write8(n.dmaAddr+uint32(i), b)
+				}
+				n.rxReady = false
+				n.nextAt = n.now + n.Interval
+			}
+		case NetCmdSend:
+			p := make([]byte, n.dmaLen)
+			for i := range p {
+				p[i] = n.bus.Read8(n.dmaAddr + uint32(i))
+			}
+			n.txLog = append(n.txLog, p)
+		}
+	case NetIntClr:
+		n.irq.Clear()
+	}
+}
+
+// Tick implements Device.
+func (n *NetDev) Tick(dn uint64) {
+	n.now += dn
+	if !n.rxReady && len(n.rxQueue) > 0 && n.now >= n.nextAt {
+		n.rxReady = true
+		n.irq.Assert()
+	}
+}

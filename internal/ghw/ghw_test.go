@@ -1,0 +1,242 @@
+package ghw
+
+import "testing"
+
+func TestBusRAMAccess(t *testing.T) {
+	b := NewBus(1 << 16)
+	b.Write32(0x100, 0xDEADBEEF)
+	if got := b.Read32(0x100); got != 0xDEADBEEF {
+		t.Errorf("read32 = %#x", got)
+	}
+	if got := b.Read8(0x100); got != 0xEF {
+		t.Errorf("read8 = %#x (little endian expected)", got)
+	}
+	if got := b.Read16(0x102); got != 0xDEAD {
+		t.Errorf("read16 = %#x", got)
+	}
+	b.Write8(0x103, 0x11)
+	if got := b.Read32(0x100); got != 0x11ADBEEF {
+		t.Errorf("after write8: %#x", got)
+	}
+	b.Write16(0x100, 0x2233)
+	if got := b.Read32(0x100); got != 0x11AD2233 {
+		t.Errorf("after write16: %#x", got)
+	}
+}
+
+func TestBusUnmappedFault(t *testing.T) {
+	b := NewBus(1 << 12)
+	if v := b.Read32(0xE0000000); v != 0 {
+		t.Errorf("unmapped read = %#x", v)
+	}
+	if b.Fault == nil || b.Fault.Addr != 0xE0000000 || b.Fault.Write {
+		t.Errorf("fault = %+v", b.Fault)
+	}
+	b.Fault = nil
+	b.Write32(0xE0000000, 1)
+	if b.Fault == nil || !b.Fault.Write {
+		t.Errorf("write fault = %+v", b.Fault)
+	}
+	if b.Fault.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestBusSharedRAM(t *testing.T) {
+	backing := make([]byte, 1<<12)
+	b := NewBusWithRAM(backing)
+	b.Write32(0, 0x01020304)
+	if backing[0] != 0x04 || backing[3] != 0x01 {
+		t.Error("bus does not alias caller RAM")
+	}
+}
+
+func TestUARTQueueing(t *testing.T) {
+	b := NewBus(1 << 12)
+	u := b.UART()
+	b.Write32(UARTBase+UARTData, 'h')
+	b.Write32(UARTBase+UARTData, 'i')
+	if u.Output() != "hi" {
+		t.Errorf("output = %q", u.Output())
+	}
+	if b.Read32(UARTBase+UARTStatus) != 0 {
+		t.Error("rx available without input")
+	}
+	u.FeedInput([]byte("ok"))
+	if b.Read32(UARTBase+UARTStatus) != 1 {
+		t.Error("rx not available")
+	}
+	if b.Read32(UARTBase+UARTData) != 'o' || b.Read32(UARTBase+UARTData) != 'k' {
+		t.Error("rx data wrong")
+	}
+	if b.Read32(UARTBase+UARTData) != 0 {
+		t.Error("empty rx should read 0")
+	}
+}
+
+func TestTimerPeriodicFiring(t *testing.T) {
+	b := NewBus(1 << 12)
+	b.Intc.Write32(IntcEnable, 1<<IRQTimer)
+	b.Write32(TimerBase+TimerLoad, 100)
+	b.Write32(TimerBase+TimerCtrl, 3) // enable | periodic
+	if b.IRQPending() {
+		t.Fatal("pending before expiry")
+	}
+	b.Tick(99)
+	if b.IRQPending() {
+		t.Fatal("pending one tick early")
+	}
+	b.Tick(1)
+	if !b.IRQPending() {
+		t.Fatal("not pending at expiry")
+	}
+	b.Write32(TimerBase+TimerIntClr, 1)
+	if b.IRQPending() {
+		t.Fatal("pending after clear")
+	}
+	// Multiple periods in one large tick.
+	before := b.Timer().Fires
+	b.Tick(250)
+	if b.Timer().Fires != before+2 {
+		t.Errorf("fires = %d, want %d", b.Timer().Fires, before+2)
+	}
+}
+
+func TestTimerOneShot(t *testing.T) {
+	b := NewBus(1 << 12)
+	b.Intc.Write32(IntcEnable, 1)
+	b.Write32(TimerBase+TimerLoad, 50)
+	b.Write32(TimerBase+TimerCtrl, 1) // enable, one-shot
+	b.Tick(200)
+	if b.Timer().Fires != 1 {
+		t.Errorf("one-shot fired %d times", b.Timer().Fires)
+	}
+}
+
+func TestBlockDeviceLatencyAndDMA(t *testing.T) {
+	b := NewBus(1 << 16)
+	d := b.Block()
+	d.Latency = 100
+	disk := make([]byte, 2*SectorSize)
+	for i := range disk {
+		disk[i] = byte(i)
+	}
+	d.SetDisk(disk)
+	b.Write32(BlockBase+BlockSector, 1)
+	b.Write32(BlockBase+BlockAddr, 0x800)
+	b.Write32(BlockBase+BlockCount, 1)
+	b.Write32(BlockBase+BlockCmd, BlockCmdRead)
+	if b.Read32(BlockBase+BlockStatus)&1 == 0 {
+		t.Fatal("not busy after command")
+	}
+	b.Tick(99)
+	if b.Read32(BlockBase+BlockStatus)&2 != 0 {
+		t.Fatal("done too early")
+	}
+	b.Tick(1)
+	st := b.Read32(BlockBase + BlockStatus)
+	if st&2 == 0 || st&4 != 0 {
+		t.Fatalf("status = %#x", st)
+	}
+	if b.Read8(0x800) != byte(SectorSize%256) {
+		t.Errorf("DMA byte = %#x, want %#x", b.Read8(0x800), byte(SectorSize%256))
+	}
+	// Write back modified data.
+	b.Write8(0x800, 0xAB)
+	b.Write32(BlockBase+BlockIntClr, 1)
+	b.Write32(BlockBase+BlockCmd, BlockCmdWrite)
+	b.Tick(100)
+	if d.Disk()[SectorSize] != 0xAB {
+		t.Errorf("write-back byte = %#x", d.Disk()[SectorSize])
+	}
+	if d.Ops != 2 {
+		t.Errorf("ops = %d", d.Ops)
+	}
+}
+
+func TestBlockDeviceOutOfRangeError(t *testing.T) {
+	b := NewBus(1 << 12)
+	b.Block().SetDisk(make([]byte, SectorSize))
+	b.Block().Latency = 0
+	b.Write32(BlockBase+BlockSector, 5) // beyond the disk
+	b.Write32(BlockBase+BlockAddr, 0)
+	b.Write32(BlockBase+BlockCount, 1)
+	b.Write32(BlockBase+BlockCmd, BlockCmdRead)
+	if b.Read32(BlockBase+BlockStatus)&4 == 0 {
+		t.Error("no error flag for out-of-range access")
+	}
+}
+
+func TestNetDeviceArrivalPacing(t *testing.T) {
+	b := NewBus(1 << 12)
+	n := b.Net()
+	n.Interval = 100
+	n.QueuePacket([]byte("aa"))
+	n.QueuePacket([]byte("bb"))
+	b.Tick(1)
+	if b.Read32(NetBase+NetRxStatus) != 1 {
+		t.Fatal("first packet should be ready immediately")
+	}
+	if b.Read32(NetBase+NetRxLen) != 2 {
+		t.Fatalf("rx len = %d", b.Read32(NetBase+NetRxLen))
+	}
+	b.Write32(NetBase+NetDmaAddr, 0x100)
+	b.Write32(NetBase+NetCmd, NetCmdRecv)
+	if b.Read8(0x100) != 'a' {
+		t.Error("rx DMA data wrong")
+	}
+	if b.Read32(NetBase+NetRxStatus) != 0 {
+		t.Fatal("second packet arrived without pacing delay")
+	}
+	b.Tick(100)
+	if b.Read32(NetBase+NetRxStatus) != 1 {
+		t.Fatal("second packet never arrived")
+	}
+	// Transmit.
+	b.Write8(0x200, 'z')
+	b.Write32(NetBase+NetDmaAddr, 0x200)
+	b.Write32(NetBase+NetDmaLen, 1)
+	b.Write32(NetBase+NetCmd, NetCmdSend)
+	tx := n.TxPackets()
+	if len(tx) != 1 || tx[0][0] != 'z' {
+		t.Errorf("tx = %q", tx)
+	}
+}
+
+func TestSysCtlPowerOff(t *testing.T) {
+	b := NewBus(1 << 12)
+	if b.PoweredOff() {
+		t.Fatal("powered off at reset")
+	}
+	b.Tick(1234)
+	if got := b.Read32(SysCtlBase + SysCtlInstrLo); got != 1234 {
+		t.Errorf("instr clock = %d", got)
+	}
+	b.Write32(SysCtlBase+SysCtlPowerOff, 42)
+	if !b.PoweredOff() || b.SysCtl().Code != 42 {
+		t.Errorf("poweroff state: %v code %d", b.PoweredOff(), b.SysCtl().Code)
+	}
+}
+
+func TestIntcMasking(t *testing.T) {
+	b := NewBus(1 << 12)
+	line := b.Intc.Line(2)
+	line.Assert()
+	if b.IRQPending() {
+		t.Fatal("masked line reported pending")
+	}
+	if b.Read32(IntcBase+IntcRaw)&4 == 0 {
+		t.Fatal("raw state lost")
+	}
+	b.Write32(IntcBase+IntcEnable, 4)
+	if !b.IRQPending() {
+		t.Fatal("enabled line not pending")
+	}
+	if b.Read32(IntcBase+IntcPending) != 4 {
+		t.Errorf("pending = %#x", b.Read32(IntcBase+IntcPending))
+	}
+	line.Clear()
+	if b.IRQPending() {
+		t.Fatal("cleared line still pending")
+	}
+}

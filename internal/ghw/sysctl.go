@@ -1,0 +1,47 @@
+package ghw
+
+// SysCtlBase is the window of the system controller.
+const SysCtlBase = 0xF0005000
+
+// SysCtl register offsets.
+const (
+	SysCtlPowerOff = 0x0 // WO: any write powers off; value = exit code
+	SysCtlInstrLo  = 0x4 // RO: retired guest instructions, low word
+	SysCtlInstrHi  = 0x8 // RO: retired guest instructions, high word
+)
+
+// SysCtl lets the guest power the machine off with an exit code and read the
+// platform instruction clock. Every engine's run loop polls PowerOff.
+type SysCtl struct {
+	bus      *Bus
+	PowerOff bool
+	Code     uint32
+}
+
+// NewSysCtl returns a powered-on controller.
+func NewSysCtl(bus *Bus) *SysCtl { return &SysCtl{bus: bus} }
+
+// Name implements Device.
+func (s *SysCtl) Name() string { return "sysctl" }
+
+// Read32 implements Device.
+func (s *SysCtl) Read32(off uint32) uint32 {
+	switch off {
+	case SysCtlInstrLo:
+		return uint32(s.bus.Now)
+	case SysCtlInstrHi:
+		return uint32(s.bus.Now >> 32)
+	}
+	return 0
+}
+
+// Write32 implements Device.
+func (s *SysCtl) Write32(off uint32, v uint32) {
+	if off == SysCtlPowerOff {
+		s.PowerOff = true
+		s.Code = v
+	}
+}
+
+// Tick implements Device.
+func (s *SysCtl) Tick(uint64) {}

@@ -1,0 +1,529 @@
+// Package interp is the reference ARM system-level interpreter: it executes
+// the guest directly against the shared architectural semantics in
+// internal/arm, with full MMU, exception and interrupt emulation. It is the
+// correctness oracle every DBT engine is differentially tested against, the
+// collector for Table I's instruction-mix statistics, and (being the fastest
+// way to know ground truth) the reference for workload results.
+package interp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/ghw"
+	"sldbt/internal/mmu"
+)
+
+// Stats aggregates the dynamic instruction mix of a run; Table I is computed
+// from these counters.
+type Stats struct {
+	Total     uint64 // retired guest instructions
+	Mem       uint64 // memory-access instructions (ldr/str families, ldm/stm)
+	System    uint64 // system-level instructions (svc/mrs/msr/cps/mcr/mrc/vmsr/vmrs/wfi/eret)
+	Blocks    uint64 // translation-block boundaries crossed (interrupt-check sites)
+	IRQs      uint64 // interrupts delivered
+	SVCs      uint64 // supervisor calls taken
+	DataAbort uint64 // data aborts delivered
+	Undef     uint64 // undefined-instruction exceptions delivered
+}
+
+// maxTBLen mirrors the DBT engines' translation-block length cap so that the
+// interpreter's Blocks counter (interrupt-check sites per instruction)
+// matches what the engines will see.
+const maxTBLen = 32
+
+// Interp is a system-level interpreter instance.
+type Interp struct {
+	CPU *arm.CPU
+	Bus *ghw.Bus
+	TLB mmu.TLB
+
+	Stats  Stats
+	halted bool // inside WFI
+	tbLeft int  // instructions left before a synthetic TB boundary
+	decode map[uint32]arm.Inst
+}
+
+// New creates an interpreter over the given bus with a CPU in reset state.
+func New(bus *ghw.Bus) *Interp {
+	return &Interp{CPU: arm.NewCPU(), Bus: bus, decode: map[uint32]arm.Inst{}}
+}
+
+// Run executes until the guest powers off or maxInstr instructions retire.
+// It returns the guest's exit code and an error if the budget was exhausted.
+func (ip *Interp) Run(maxInstr uint64) (uint32, error) {
+	for ip.Stats.Total < maxInstr {
+		if ip.Bus.PoweredOff() {
+			return ip.Bus.SysCtl().Code, nil
+		}
+		ip.Step()
+	}
+	if ip.Bus.PoweredOff() {
+		return ip.Bus.SysCtl().Code, nil
+	}
+	return 0, fmt.Errorf("interp: instruction budget of %d exhausted at pc=%#08x", maxInstr, ip.CPU.Reg(arm.PC))
+}
+
+// Step executes one instruction (or one halt quantum while in WFI).
+func (ip *Interp) Step() {
+	cpu := ip.CPU
+	if ip.halted {
+		// Advance time until an enabled interrupt line wakes the core.
+		if !ip.Bus.Intc.Asserted() {
+			ip.Bus.Tick(16)
+			return
+		}
+		ip.halted = false
+	}
+	// Interrupt delivery: checked at block boundaries, like the engines.
+	if ip.tbLeft <= 0 {
+		ip.Stats.Blocks++
+		ip.tbLeft = maxTBLen
+		if ip.Bus.IRQPending() && cpu.IRQEnabled() {
+			ip.Stats.IRQs++
+			arm.TakeException(cpu, arm.VecIRQ, cpu.Reg(arm.PC)+4)
+		}
+	}
+
+	pc := cpu.Reg(arm.PC)
+	pa, fault := ip.TLB.Translate(ip.Bus, &cpu.CP15, pc, mmu.Fetch, cpu.Mode() == arm.ModeUSR)
+	if fault != nil {
+		cpu.CP15.IFSR = uint32(fault.Type)
+		cpu.CP15.IFAR = pc
+		arm.TakeException(cpu, arm.VecPrefetchAbort, pc+4)
+		ip.endBlock()
+		return
+	}
+	raw := ip.Bus.Read32(pa)
+	in, ok := ip.decode[raw]
+	if !ok {
+		in = arm.Decode(raw)
+		ip.decode[raw] = in
+	}
+	ip.exec(&in, pc)
+	ip.Stats.Total++
+	ip.tbLeft--
+	ip.Bus.Tick(1)
+}
+
+func (ip *Interp) endBlock() { ip.tbLeft = 0 }
+
+// classify updates the Table-I mix counters for one retired instruction.
+func (ip *Interp) classify(in *arm.Inst) {
+	if in.IsMemAccess() {
+		ip.Stats.Mem++
+	}
+	if in.IsSystem() {
+		ip.Stats.System++
+	}
+}
+
+func (ip *Interp) exec(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	ip.classify(in)
+	if in.IsBranch() {
+		ip.endBlock()
+	}
+	f := cpu.Flags()
+	if !arm.CondPass(in.Cond, f.N, f.Z, f.C, f.V) {
+		cpu.SetReg(arm.PC, pc+4)
+		return
+	}
+	switch in.Kind {
+	case arm.KindDataProc:
+		ip.execDataProc(in, pc)
+	case arm.KindSRSexc:
+		ip.execExceptionReturn(in, pc)
+	case arm.KindMul:
+		rd := cpu.Reg(in.Rm) * cpu.Reg(in.Rs)
+		if in.Acc {
+			rd += cpu.Reg(in.Rn)
+		}
+		cpu.SetReg(in.Rd, rd)
+		if in.S {
+			nf := cpu.Flags()
+			nf.N = int32(rd) < 0
+			nf.Z = rd == 0
+			cpu.SetFlags(nf)
+		}
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindMulLong:
+		var prod uint64
+		if in.SignedML {
+			prod = uint64(int64(int32(cpu.Reg(in.Rm))) * int64(int32(cpu.Reg(in.Rs))))
+		} else {
+			prod = uint64(cpu.Reg(in.Rm)) * uint64(cpu.Reg(in.Rs))
+		}
+		cpu.SetReg(in.Rd, uint32(prod))
+		cpu.SetReg(in.RdHi, uint32(prod>>32))
+		if in.S {
+			nf := cpu.Flags()
+			nf.N = prod&(1<<63) != 0
+			nf.Z = prod == 0
+			cpu.SetFlags(nf)
+		}
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindMem:
+		ip.execMem(in, pc)
+	case arm.KindMemH:
+		ip.execMemH(in, pc)
+	case arm.KindBlock:
+		ip.execBlock(in, pc)
+	case arm.KindBranch:
+		if in.Link {
+			cpu.SetReg(arm.LR, pc+4)
+		}
+		cpu.SetReg(arm.PC, uint32(int32(pc)+8+in.Offset))
+	case arm.KindBX:
+		cpu.SetReg(arm.PC, cpu.Reg(in.Rm)&^1)
+	case arm.KindSVC:
+		ip.Stats.SVCs++
+		arm.TakeException(cpu, arm.VecSVC, pc+4)
+	case arm.KindMRS:
+		if in.SPSR {
+			cpu.SetReg(in.Rd, cpu.SPSR())
+		} else {
+			cpu.SetReg(in.Rd, cpu.CPSR())
+		}
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindMSR:
+		v := cpu.Reg(in.Rm)
+		if in.SPSR {
+			cpu.SetSPSR(v)
+		} else {
+			arm.WriteCPSRMasked(cpu, v, in.MSRMask, cpu.Mode().Privileged())
+		}
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindCPS:
+		if cpu.Mode().Privileged() {
+			cpu.SetIRQMask(!in.Enable)
+		}
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindCP15:
+		if !cpu.Mode().Privileged() {
+			ip.undef(pc)
+			return
+		}
+		ExecCP15(cpu, in)
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindVFPSys:
+		if in.ToCoproc {
+			cpu.FPSCR = cpu.Reg(in.Rd)
+		} else {
+			cpu.SetReg(in.Rd, cpu.FPSCR)
+		}
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindWFI:
+		ip.halted = true
+		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindNOP:
+		cpu.SetReg(arm.PC, pc+4)
+	default:
+		ip.undef(pc)
+	}
+}
+
+func (ip *Interp) undef(pc uint32) {
+	ip.Stats.Undef++
+	arm.TakeException(ip.CPU, arm.VecUndef, pc+4)
+	ip.endBlock()
+}
+
+// ExecCP15 executes an MCR/MRC against the CP15 state. It is shared with the
+// DBT engines' system-instruction helper.
+func ExecCP15(cpu *arm.CPU, in *arm.Inst) {
+	sel := func() *uint32 {
+		switch {
+		case in.CRn == 1 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.SCTLR
+		case in.CRn == 2 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.TTBR0
+		case in.CRn == 5 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.DFSR
+		case in.CRn == 5 && in.CRm == 0 && in.Opc2 == 1:
+			return &cpu.CP15.IFSR
+		case in.CRn == 6 && in.CRm == 0 && in.Opc2 == 0:
+			return &cpu.CP15.DFAR
+		case in.CRn == 6 && in.CRm == 0 && in.Opc2 == 2:
+			return &cpu.CP15.IFAR
+		}
+		return nil
+	}()
+	if in.ToCoproc {
+		if in.CRn == 8 { // TLB maintenance: any c8 write flushes everything
+			cpu.CP15.TLBFlushes++
+			return
+		}
+		if sel != nil {
+			*sel = cpu.Reg(in.Rd)
+		}
+		return
+	}
+	switch {
+	case sel != nil:
+		cpu.SetReg(in.Rd, *sel)
+	case in.CRn == 0: // MIDR
+		cpu.SetReg(in.Rd, 0x410FC075)
+	default:
+		cpu.SetReg(in.Rd, 0)
+	}
+}
+
+func (ip *Interp) execDataProc(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	f := cpu.Flags()
+	op2, shiftCarry := ip.operand2(in, f.C, pc)
+	rn := cpu.Reg(in.Rn)
+	if in.Rn == arm.PC {
+		rn = pc + 8
+	}
+	res, nf := arm.AluExec(in.Op, rn, op2, f.C, shiftCarry)
+	if in.Op.IsLogical() {
+		nf.V = f.V // logical ops preserve V
+	}
+	if !in.Op.IsCompare() {
+		cpu.SetReg(in.Rd, res)
+	}
+	if in.S {
+		cpu.SetFlags(nf)
+	}
+	if in.Rd == arm.PC && !in.Op.IsCompare() {
+		cpu.SetReg(arm.PC, res&^3)
+		ip.endBlock()
+		return
+	}
+	cpu.SetReg(arm.PC, pc+4)
+}
+
+func (ip *Interp) execExceptionReturn(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	if !cpu.Mode().Banked() {
+		ip.undef(pc)
+		return
+	}
+	f := cpu.Flags()
+	op2, _ := ip.operand2(in, f.C, pc)
+	rn := cpu.Reg(in.Rn)
+	res, _ := arm.AluExec(in.Op, rn, op2, f.C, false)
+	arm.ExceptionReturn(cpu, res&^3)
+	ip.endBlock()
+}
+
+// operand2 computes the flexible second operand and its shifter carry-out.
+func (ip *Interp) operand2(in *arm.Inst, carryIn bool, pc uint32) (uint32, bool) {
+	cpu := ip.CPU
+	if in.ImmValid {
+		return in.Op2Imm(carryIn)
+	}
+	rm := cpu.Reg(in.Rm)
+	if in.Rm == arm.PC {
+		rm = pc + 8
+	}
+	amount := uint32(in.ShiftAmt)
+	typ := in.Shift
+	if in.ShiftReg {
+		amount = cpu.Reg(in.Rs) & 0xFF
+		// Register-specified shifts: amount 0 leaves value and carry alone.
+		if amount == 0 {
+			return rm, carryIn
+		}
+	}
+	return arm.Shifter(rm, typ, amount, carryIn)
+}
+
+func (ip *Interp) dataAbort(fault *mmu.Fault, pc uint32) {
+	cpu := ip.CPU
+	ip.Stats.DataAbort++
+	cpu.CP15.DFSR = uint32(fault.Type)
+	cpu.CP15.DFAR = fault.Addr
+	arm.TakeException(cpu, arm.VecDataAbort, pc+8)
+	ip.endBlock()
+}
+
+// memAddr computes the effective address and the post-execution base value.
+func memAddr(cpu *arm.CPU, in *arm.Inst, offset uint32, pc uint32) (addr, wbVal uint32, wb bool) {
+	base := cpu.Reg(in.Rn)
+	if in.Rn == arm.PC {
+		base = pc + 8
+	}
+	var eff uint32
+	if in.Up {
+		eff = base + offset
+	} else {
+		eff = base - offset
+	}
+	if in.PreIndex {
+		return eff, eff, in.Wback
+	}
+	return base, eff, true // post-index always writes back
+}
+
+func (ip *Interp) memOffset(in *arm.Inst, pc uint32) uint32 {
+	if in.ImmValid {
+		return in.Imm
+	}
+	rm := ip.CPU.Reg(in.Rm)
+	if in.Rm == arm.PC {
+		rm = pc + 8
+	}
+	v, _ := arm.Shifter(rm, in.Shift, uint32(in.ShiftAmt), false)
+	return v
+}
+
+func (ip *Interp) execMem(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	addr, wbVal, wb := memAddr(cpu, in, ip.memOffset(in, pc), pc)
+	acc := mmu.Store
+	if in.Load {
+		acc = mmu.Load
+	}
+	user := cpu.Mode() == arm.ModeUSR
+	pa, fault := ip.TLB.Translate(ip.Bus, &cpu.CP15, addr, acc, user)
+	if fault != nil {
+		ip.dataAbort(fault, pc)
+		return
+	}
+	if in.Load {
+		var v uint32
+		if in.ByteSz {
+			v = uint32(ip.Bus.Read8(pa))
+		} else {
+			v = ip.Bus.Read32(pa)
+		}
+		if wb && in.Rn != in.Rd {
+			cpu.SetReg(in.Rn, wbVal)
+		}
+		cpu.SetReg(in.Rd, v)
+		if in.Rd == arm.PC {
+			cpu.SetReg(arm.PC, v&^3)
+			ip.endBlock()
+			return
+		}
+	} else {
+		v := cpu.Reg(in.Rd)
+		if in.Rd == arm.PC {
+			v = pc + 8
+		}
+		if in.ByteSz {
+			ip.Bus.Write8(pa, uint8(v))
+		} else {
+			ip.Bus.Write32(pa, v)
+		}
+		if wb {
+			cpu.SetReg(in.Rn, wbVal)
+		}
+	}
+	cpu.SetReg(arm.PC, pc+4)
+}
+
+func (ip *Interp) execMemH(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	addr, wbVal, wb := memAddr(cpu, in, ip.memOffsetH(in), pc)
+	acc := mmu.Store
+	if in.Load {
+		acc = mmu.Load
+	}
+	user := cpu.Mode() == arm.ModeUSR
+	pa, fault := ip.TLB.Translate(ip.Bus, &cpu.CP15, addr, acc, user)
+	if fault != nil {
+		ip.dataAbort(fault, pc)
+		return
+	}
+	if in.Load {
+		var v uint32
+		switch {
+		case in.SignedSz && in.HalfSz:
+			v = uint32(int32(int16(ip.Bus.Read16(pa))))
+		case in.SignedSz:
+			v = uint32(int32(int8(ip.Bus.Read8(pa))))
+		default:
+			v = uint32(ip.Bus.Read16(pa))
+		}
+		if wb && in.Rn != in.Rd {
+			cpu.SetReg(in.Rn, wbVal)
+		}
+		cpu.SetReg(in.Rd, v)
+	} else {
+		ip.Bus.Write16(pa, uint16(cpu.Reg(in.Rd)))
+		if wb {
+			cpu.SetReg(in.Rn, wbVal)
+		}
+	}
+	cpu.SetReg(arm.PC, pc+4)
+}
+
+func (ip *Interp) memOffsetH(in *arm.Inst) uint32 {
+	if in.ImmValid {
+		return in.Imm
+	}
+	return ip.CPU.Reg(in.Rm)
+}
+
+func (ip *Interp) execBlock(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	n := uint32(bits.OnesCount16(in.RegList))
+	base := cpu.Reg(in.Rn)
+	var start, final uint32
+	switch {
+	case in.Up && !in.PreIndex: // IA
+		start, final = base, base+4*n
+	case in.Up && in.PreIndex: // IB
+		start, final = base+4, base+4*n
+	case !in.Up && !in.PreIndex: // DA
+		start, final = base-4*n+4, base-4*n
+	default: // DB
+		start, final = base-4*n, base-4*n
+	}
+	acc := mmu.Store
+	if in.Load {
+		acc = mmu.Load
+	}
+	user := cpu.Mode() == arm.ModeUSR
+	// Translate all pages first so a fault leaves no partial transfer.
+	pas := make([]uint32, 0, n)
+	addr := start
+	for r := arm.R0; r <= arm.PC; r++ {
+		if in.RegList&(1<<r) == 0 {
+			continue
+		}
+		pa, fault := ip.TLB.Translate(ip.Bus, &cpu.CP15, addr, acc, user)
+		if fault != nil {
+			ip.dataAbort(fault, pc)
+			return
+		}
+		pas = append(pas, pa)
+		addr += 4
+	}
+	idx := 0
+	branched := false
+	for r := arm.R0; r <= arm.PC; r++ {
+		if in.RegList&(1<<r) == 0 {
+			continue
+		}
+		if in.Load {
+			v := ip.Bus.Read32(pas[idx])
+			if r == arm.PC {
+				cpu.SetReg(arm.PC, v&^3)
+				branched = true
+			} else {
+				cpu.SetReg(r, v)
+			}
+		} else {
+			v := cpu.Reg(r)
+			if r == arm.PC {
+				v = pc + 8
+			}
+			ip.Bus.Write32(pas[idx], v)
+		}
+		idx++
+	}
+	if in.Wback && (!in.Load || in.RegList&(1<<in.Rn) == 0) {
+		cpu.SetReg(in.Rn, final)
+	}
+	if branched {
+		ip.endBlock()
+		return
+	}
+	cpu.SetReg(arm.PC, pc+4)
+}

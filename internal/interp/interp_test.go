@@ -1,0 +1,258 @@
+package interp
+
+import (
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/ghw"
+)
+
+// load assembles a bare-metal program (MMU off, privileged) and returns a
+// ready interpreter.
+func load(t *testing.T, src string) *Interp {
+	t.Helper()
+	prog, err := arm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := ghw.NewBus(1 << 20)
+	if err := bus.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	return New(bus)
+}
+
+// poweroff writes r0 to the system controller (bare-metal exit idiom).
+const poweroff = `
+	ldr r1, =0xF0005000
+	str r0, [r1]
+hang:
+	b hang
+	.pool
+`
+
+func TestBareMetalArithmetic(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+	b start
+	.org 0x40
+start:
+	mov r0, #6
+	mov r1, #7
+	mul r0, r0, r1
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Errorf("code = %d", code)
+	}
+}
+
+func TestConditionalExecutionSemantics(t *testing.T) {
+	// r0 collects a bitmask of which conditionals executed.
+	ip := load(t, `
+	.org 0x0
+	b start
+	.org 0x40
+start:
+	mov r0, #0
+	cmp r0, #0
+	orreq r0, r0, #1      ; Z set
+	orrne r0, r0, #2      ; must not run
+	mov r1, #5
+	cmp r1, #9
+	orrlo r0, r0, #4      ; 5 < 9 unsigned
+	orrhs r0, r0, #8      ; must not run
+	orrmi r0, r0, #16     ; N set (5-9 negative)
+	orrge r0, r0, #32     ; signed ge false
+	orrlt r0, r0, #64
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1+4+16+64 {
+		t.Errorf("mask = %#x", code)
+	}
+}
+
+func TestCarryChain64BitAdd(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+	b start
+	.org 0x40
+start:
+	mvn r0, #0            ; lo a = 0xffffffff
+	mov r1, #1            ; hi a = 1
+	mov r2, #1            ; lo b
+	mov r3, #2            ; hi b
+	adds r0, r0, r2       ; lo sum = 0, carry
+	adc  r1, r1, r3       ; hi sum = 4
+	mov r0, r1
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 4 {
+		t.Errorf("hi = %d", code)
+	}
+}
+
+func TestLDMSTMRoundTrip(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+	b start
+	.org 0x40
+start:
+	ldr sp, =0x8000
+	mov r1, #0x11
+	mov r2, #0x22
+	mov r3, #0x33
+	push {r1-r3}
+	mov r1, #0
+	mov r2, #0
+	mov r3, #0
+	pop {r1-r3}
+	add r0, r1, r2
+	add r0, r0, r3
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0x66 {
+		t.Errorf("sum = %#x", code)
+	}
+}
+
+func TestSVCVectorsAndSPSR(t *testing.T) {
+	// Install an SVC handler that adds 100 and returns; call it twice.
+	ip := load(t, `
+	.org 0x0
+	b start
+	nop
+	b svc_handler
+	.org 0x40
+svc_handler:
+	add r0, r0, #100
+	movs pc, lr
+start:
+	mov r0, #1
+	svc #0
+	svc #0
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 201 {
+		t.Errorf("r0 = %d", code)
+	}
+	if ip.Stats.SVCs != 2 {
+		t.Errorf("svc count = %d", ip.Stats.SVCs)
+	}
+}
+
+func TestUndefVectorTaken(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+	b start
+	b undef_handler
+	.org 0x40
+undef_handler:
+	mov r0, #77
+	ldr r1, =0xF0005000
+	str r0, [r1]
+hang2:
+	b hang2
+start:
+	.word 0xffffffff
+	mov r0, #1
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 77 || ip.Stats.Undef != 1 {
+		t.Errorf("code=%d undef=%d", code, ip.Stats.Undef)
+	}
+}
+
+func TestWFIWakesOnInterrupt(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+	b start
+	.org 0x18
+	b irq_handler
+	.org 0x40
+irq_handler:
+	ldr r1, =0xF0001000
+	str r0, [r1, #0xc]    ; timer int clear
+	mov r5, #1
+	sub lr, lr, #4
+	movs pc, lr
+start:
+	; enable timer irq, one-shot 500 instructions
+	ldr r1, =0xF0002000
+	mov r2, #1
+	str r2, [r1, #4]
+	ldr r1, =0xF0001000
+	ldr r2, =500
+	str r2, [r1]
+	mov r2, #1
+	str r2, [r1, #8]
+	mov r5, #0
+	cpsie i
+	wfi
+	mov r0, r5
+`+poweroff)
+	code, err := ip.Run(100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("handler flag = %d (irqs=%d)", code, ip.Stats.IRQs)
+	}
+	if ip.Stats.IRQs != 1 {
+		t.Errorf("irqs = %d", ip.Stats.IRQs)
+	}
+}
+
+func TestRegisterShiftedOperands(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+	b start
+	.org 0x40
+start:
+	mov r1, #1
+	mov r2, #12
+	mov r0, r1, lsl r2    ; 1 << 12
+	mov r2, #40
+	mov r3, r0, lsr r2    ; shift >= 32 -> 0
+	add r0, r0, r3
+	mov r2, #0
+	mov r4, r0, lsl r2    ; shift 0 -> unchanged
+	mov r0, r4
+`+poweroff)
+	code, err := ip.Run(10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1<<12 {
+		t.Errorf("result = %#x", code)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	ip := load(t, `
+	.org 0x0
+loop:
+	b loop
+`)
+	if _, err := ip.Run(1000); err == nil {
+		t.Error("expected budget error")
+	}
+}

@@ -1,0 +1,412 @@
+// Package kernel provides the mini guest operating system: a bootable
+// ARM-v7 kernel image written in the repository's assembly dialect. It
+// performs the system-level work that drives the paper's three coordination
+// classes — privileged (system-level) instructions, MMU-translated memory
+// accesses and interrupt delivery: it installs exception vectors, builds page
+// tables and enables the MMU, programs the timer/interrupt controller,
+// handles supervisor calls and the timer interrupt, and finally drops to
+// user mode to run a workload program.
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"sldbt/internal/arm"
+)
+
+// Guest memory layout (physical = virtual; the kernel identity-maps RAM).
+const (
+	VectorBase   = 0x00000000
+	KernelBase   = 0x00008000
+	PTBase       = 0x00100000 // 16KB L1 table
+	SVCStackTop  = 0x00210000
+	IRQStackTop  = 0x00214000
+	ABTStackTop  = 0x00218000
+	UNDStackTop  = 0x0021C000
+	UserBase     = 0x00300000 // first user-accessible MB
+	UserStackTop = 0x00700000
+	UserHeapBase = 0x00700000 // heap grows upward from here
+	RAMSize      = 16 << 20
+	userMB       = UserBase >> 20
+	ramMBs       = RAMSize >> 20
+)
+
+// Syscall numbers (passed in r7, Linux-EABI style).
+const (
+	SysExit     = 0 // r0 = exit code
+	SysPutc     = 1 // r0 = byte
+	SysPuts     = 2 // r0 = address of NUL-terminated string
+	SysPutHex   = 3 // r0 = value, printed as 8 hex digits
+	SysYield    = 4
+	SysBlkRead  = 5 // r0 = sector, r1 = dst, r2 = sector count
+	SysBlkWrite = 6 // r0 = sector, r1 = src, r2 = sector count
+	SysNetRecv  = 7 // r0 = dst buffer; returns length in r0 (0 = none)
+	SysNetSend  = 8 // r0 = src buffer, r1 = length
+	SysTicks    = 9 // returns platform instruction clock (low word) in r0
+	numSyscalls = 10
+)
+
+// Config adjusts kernel build parameters.
+type Config struct {
+	// TimerPeriod is the timer tick period in guest instructions.
+	// 0 selects the default of 20000.
+	TimerPeriod uint32
+	// TimerOff disables the periodic timer entirely (for microbenchmarks).
+	TimerOff bool
+}
+
+// Build assembles the kernel together with a user program. The user source
+// is placed at UserBase and must define the label `user_entry`; the kernel
+// transfers to it in user mode with sp = UserStackTop. The combined program
+// loads at physical address 0.
+func Build(userSrc string, cfg Config) (*arm.Program, error) {
+	period := cfg.TimerPeriod
+	if period == 0 {
+		period = 20000
+	}
+	ctrl := uint32(3) // enable | periodic
+	if cfg.TimerOff {
+		ctrl = 0
+	}
+	src := fmt.Sprintf(source, period, ctrl) + "\n.org 0x300000\n" + userSrc + "\n"
+	return arm.Assemble(src)
+}
+
+// MustBuild is Build for statically known-good sources.
+func MustBuild(userSrc string, cfg Config) *arm.Program {
+	p, err := Build(userSrc, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// BannerPrefix is printed by the kernel before entering user mode; tests use
+// it to assert a successful boot.
+const BannerPrefix = "sldbt: boot\n"
+
+// source is the kernel assembly; %[1]d = timer period, %[2]d = timer ctrl.
+const source = `
+; ------------------------------------------------------------------
+; sldbt mini kernel
+; ------------------------------------------------------------------
+	.equ UART,       0xF0000000
+	.equ TIMER,      0xF0001000
+	.equ INTC,       0xF0002000
+	.equ BLOCK,      0xF0003000
+	.equ NET,        0xF0004000
+	.equ SYSCTL,     0xF0005000
+	.equ PT_BASE,    0x00100000
+	.equ SVC_STACK,  0x00210000
+	.equ IRQ_STACK,  0x00214000
+	.equ ABT_STACK,  0x00218000
+	.equ UND_STACK,  0x0021C000
+	.equ USER_STACK, 0x00700000
+	.equ USER_ENTRY, 0x00300000
+	.equ TIMER_PERIOD, %[1]d
+	.equ TIMER_CTRL,   %[2]d
+
+; ----- exception vectors ------------------------------------------
+	.org 0x0
+	b reset
+	b vec_undef
+	b vec_svc
+	b vec_pabt
+	b vec_dabt
+	nop
+	b vec_irq
+
+; ----- kernel text ------------------------------------------------
+	.org 0x8000
+reset:
+	; per-mode stacks: visit each exception mode, set sp, return to SVC
+	mov r0, #0x92            ; IRQ mode, I set
+	msr cpsr_c, r0
+	ldr sp, =IRQ_STACK
+	mov r0, #0x97            ; ABT
+	msr cpsr_c, r0
+	ldr sp, =ABT_STACK
+	mov r0, #0x9b            ; UND
+	msr cpsr_c, r0
+	ldr sp, =UND_STACK
+	mov r0, #0x93            ; SVC
+	msr cpsr_c, r0
+	ldr sp, =SVC_STACK
+
+	; ----- build identity page tables -----
+	; RAM sections: MBs [0, userMB) kernel-only, [userMB, ramMBs) user RW
+	ldr r0, =PT_BASE
+	mov r1, #0
+ptloop:
+	mov r3, r1, lsl #20
+	cmp r1, #3               ; user MBs start at 3
+	orrge r3, r3, #0x800     ; AP user RW (2 << 10)
+	orr r3, r3, #2           ; section descriptor
+	str r3, [r0, r1, lsl #2]
+	add r1, r1, #1
+	cmp r1, #16              ; RAM MBs
+	blt ptloop
+	; device window 0xF00xxxxx: one kernel-only section
+	ldr r1, =0xF0000000
+	orr r3, r1, #2
+	str r3, [r0, r1, lsr #18]
+
+	; ----- enable MMU -----
+	mcr p15, 0, r0, c2, c0, 0    ; TTBR0 = PT_BASE
+	mcr p15, 0, r0, c8, c7, 0    ; TLBIALL
+	mrc p15, 0, r3, c1, c0, 0
+	orr r3, r3, #1
+	mcr p15, 0, r3, c1, c0, 0    ; SCTLR.M = 1
+
+	; ----- interrupt controller + timer -----
+	ldr r0, =INTC
+	mov r1, #1                   ; enable timer line only
+	str r1, [r0, #4]
+	ldr r0, =TIMER
+	ldr r1, =TIMER_PERIOD
+	str r1, [r0]                 ; load
+	mov r1, #TIMER_CTRL
+	str r1, [r0, #8]             ; ctrl
+
+	; ----- banner -----
+	ldr r0, =banner
+	bl kputs
+
+	; ----- drop to user mode -----
+	mov r2, #0xdf                ; SYS mode (user bank), I set
+	msr cpsr_c, r2
+	ldr sp, =USER_STACK
+	mov r2, #0x93                ; back to SVC
+	msr cpsr_c, r2
+	mov r0, #0x10                ; USR mode, IRQs enabled
+	msr spsr, r0
+	ldr lr, =USER_ENTRY
+	movs pc, lr
+
+; ----- kernel console helpers -------------------------------------
+kputc:                       ; r0 = byte (clobbers r1)
+	ldr r1, =UART
+	str r0, [r1]
+	bx lr
+kputs:                       ; r0 = string (clobbers r0-r3)
+	ldr r1, =UART
+kputs_loop:
+	ldrb r2, [r0], #1
+	cmp r2, #0
+	bxeq lr
+	str r2, [r1]
+	b kputs_loop
+kputhex:                     ; r0 = value (clobbers r1-r3)
+	ldr r1, =UART
+	mov r2, #8
+kputhex_loop:
+	mov r3, r0, lsr #28
+	cmp r3, #10
+	addlt r3, r3, #0x30      ; '0'
+	addge r3, r3, #0x57      ; 'a' - 10
+	str r3, [r1]
+	mov r0, r0, lsl #4
+	subs r2, r2, #1
+	bne kputhex_loop
+	bx lr
+
+; ----- exception handlers -----------------------------------------
+vec_undef:
+	ldr r0, =msg_undef
+	bl kputs
+	ldr r0, =SYSCTL
+	mov r1, #0xee
+	str r1, [r0]
+halt_undef:
+	b halt_undef
+
+vec_pabt:
+	ldr r0, =msg_pabt
+	bl kputs
+	ldr r0, =SYSCTL
+	mov r1, #0xdd
+	str r1, [r0]
+halt_pabt:
+	b halt_pabt
+
+vec_dabt:
+	push {r0-r3, lr}
+	ldr r0, =msg_dabt
+	bl kputs
+	mrc p15, 0, r0, c6, c0, 0    ; DFAR
+	bl kputhex
+	mov r0, #0x0a
+	bl kputc
+	ldr r0, =SYSCTL
+	mov r1, #0xdd
+	str r1, [r0]
+halt_dabt:
+	b halt_dabt
+
+; IRQ: acknowledge the timer, bump the tick counter, save/restore the
+; FP status register around the handler (vmrs/vmsr are the paper's
+; running example of system-level instructions).
+vec_irq:
+	sub lr, lr, #4
+	push {r0-r3, r12, lr}
+	vmrs r12, fpscr
+	ldr r0, =INTC
+	ldr r1, [r0]                 ; pending
+	tst r1, #1
+	beq irq_done
+	ldr r2, =TIMER
+	str r1, [r2, #0xc]           ; intclr
+	ldr r2, =ticks
+	ldr r3, [r2]
+	add r3, r3, #1
+	str r3, [r2]
+irq_done:
+	vmsr fpscr, r12
+	pop {r0-r3, r12, lr}
+	movs pc, lr
+
+; SVC: dispatch on r7. Handlers receive user r0-r2 and return in r0.
+vec_svc:
+	push {r0-r3, r12, lr}
+	cmp r7, #10                  ; numSyscalls
+	bhs svc_bad
+	adr r12, svc_table
+	ldr r12, [r12, r7, lsl #2]
+	mov lr, pc
+	bx r12
+	str r0, [sp]                 ; overwrite saved r0 with the result
+svc_ret:
+	pop {r0-r3, r12, lr}
+	movs pc, lr
+svc_bad:
+	ldr r0, =msg_badsvc
+	bl kputs
+	b svc_ret
+
+svc_table:
+	.word sys_exit
+	.word sys_putc
+	.word sys_puts
+	.word sys_puthex
+	.word sys_yield
+	.word sys_bread
+	.word sys_bwrite
+	.word sys_nrecv
+	.word sys_nsend
+	.word sys_ticks
+
+sys_exit:
+	ldr r1, =SYSCTL
+	str r0, [r1]
+sys_exit_halt:
+	b sys_exit_halt
+sys_putc:
+	ldr r1, =UART
+	str r0, [r1]
+	bx lr
+sys_puts:
+	push {lr}
+	bl kputs
+	pop {lr}
+	bx lr
+sys_puthex:
+	push {lr}
+	bl kputhex
+	pop {lr}
+	bx lr
+sys_yield:
+	bx lr
+sys_ticks:
+	ldr r0, =SYSCTL
+	ldr r0, [r0, #4]
+	bx lr
+
+; block read/write: program the DMA engine, poll for completion.
+sys_bread:
+	mov r3, #1
+	b blk_common
+sys_bwrite:
+	mov r3, #2
+blk_common:
+	ldr r12, =BLOCK
+	str r0, [r12]                ; sector
+	str r1, [r12, #4]            ; dma address
+	str r2, [r12, #8]            ; count
+	str r3, [r12, #0xc]          ; command
+blk_wait:
+	ldr r3, [r12, #0x10]
+	tst r3, #2                   ; done?
+	beq blk_wait
+	str r3, [r12, #0x14]         ; int clear
+	tst r3, #4                   ; error?
+	movne r0, #-1
+	moveq r0, #0
+	bx lr
+
+; net receive: r0 = dst buffer; returns length (0 if nothing pending).
+sys_nrecv:
+	ldr r12, =NET
+	ldr r3, [r12]                ; rx status
+	cmp r3, #0
+	moveq r0, #0
+	bxeq lr
+	ldr r3, [r12, #4]            ; rx length
+	str r0, [r12, #8]            ; dma address
+	mov r1, #1
+	str r1, [r12, #0x10]         ; cmd: receive
+	str r1, [r12, #0x14]         ; int clear
+	mov r0, r3
+	bx lr
+
+; net send: r0 = src buffer, r1 = length.
+sys_nsend:
+	ldr r12, =NET
+	str r0, [r12, #8]
+	str r1, [r12, #0xc]
+	mov r2, #2
+	str r2, [r12, #0x10]
+	mov r0, #0
+	bx lr
+
+	.pool
+
+; ----- kernel data ------------------------------------------------
+banner:
+	.asciz "sldbt: boot\n"
+msg_undef:
+	.asciz "sldbt: undefined instruction\n"
+msg_pabt:
+	.asciz "sldbt: prefetch abort\n"
+msg_dabt:
+	.asciz "sldbt: data abort at "
+msg_badsvc:
+	.asciz "sldbt: bad syscall\n"
+	.align 4
+ticks:
+	.word 0
+`
+
+// TickCount reads the kernel's interrupt tick counter out of guest RAM.
+func TickCount(ram []byte, prog *arm.Program) uint32 {
+	addr, ok := prog.Symbols["ticks"]
+	if !ok {
+		return 0
+	}
+	return uint32(ram[addr]) | uint32(ram[addr+1])<<8 |
+		uint32(ram[addr+2])<<16 | uint32(ram[addr+3])<<24
+}
+
+// StripComments removes assembler comments; exposed for workload generators
+// that post-process their sources.
+func StripComments(src string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.IndexAny(line, ";@"); i >= 0 {
+			line = line[:i]
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package learn
+
+import "sldbt/internal/arm"
+
+// TrainingCorpus returns the built-in training "source programs": an
+// enumeration of statement shapes over distinct register-assignment
+// patterns, flag usage and immediate/shift forms. Each statement stands for
+// one source line of a training program compiled by both compilers.
+func TrainingCorpus() []Stmt {
+	var out []Stmt
+	line := 0
+	add := func(s Stmt) {
+		line++
+		s.Line = line
+		out = append(out, s)
+	}
+
+	binOps := []StmtOp{OpAdd, OpSub, OpAnd, OpOr, OpXor}
+	regPatterns := []struct{ d, a, b int }{
+		{0, 0, 1}, // dst == a: two-operand form
+		{0, 1, 0}, // dst == b: commutative form / scratch form
+		{0, 1, 2}, // all distinct: three-operand form
+	}
+	imms := []uint32{0, 1, 4, 0xFF, 0xFF00}
+
+	for _, op := range binOps {
+		for _, p := range regPatterns {
+			for _, sf := range []bool{false, true} {
+				add(Stmt{Op: op, Dst: p.d, A: p.a, B: p.b, SetFlags: sf})
+			}
+			add(Stmt{Op: op, Dst: p.d, A: p.a, Imm: imms[line%len(imms)], HasImm: true})
+			add(Stmt{Op: op, Dst: p.d, A: p.a, Imm: 0xFF, HasImm: true, SetFlags: true})
+			add(Stmt{Op: op, Dst: p.d, A: p.a, Imm: 0xFF00, HasImm: true, SetFlags: true})
+		}
+		// Shifted second operands.
+		for _, st := range []arm.ShiftType{arm.LSL, arm.LSR, arm.ASR, arm.ROR} {
+			add(Stmt{Op: op, Dst: 0, A: 1, B: 2, HasShift: true, Shift: st, ShiftAmt: 5})
+		}
+	}
+	// LEA-able scaled adds.
+	for _, amt := range []uint8{1, 2, 3} {
+		add(Stmt{Op: OpAdd, Dst: 0, A: 1, B: 2, HasShift: true, Shift: arm.LSL, ShiftAmt: amt})
+	}
+
+	// Moves, negations, complements.
+	add(Stmt{Op: OpAssign, Dst: 0, B: 1})
+	add(Stmt{Op: OpAssign, Dst: 0, B: 1, SetFlags: true})
+	add(Stmt{Op: OpAssign, Dst: 0, Imm: 0x42, HasImm: true})
+	add(Stmt{Op: OpAssign, Dst: 0, Imm: 0x42, HasImm: true, SetFlags: true})
+	add(Stmt{Op: OpNot, Dst: 0, B: 1})
+	add(Stmt{Op: OpNot, Dst: 0, B: 1, SetFlags: true})
+	add(Stmt{Op: OpNot, Dst: 0, Imm: 0x0F, HasImm: true})
+	add(Stmt{Op: OpRsb, Dst: 0, A: 1, Imm: 0, HasImm: true, SetFlags: true})
+	add(Stmt{Op: OpRsb, Dst: 0, A: 1, Imm: 0, HasImm: true})
+	add(Stmt{Op: OpRsb, Dst: 0, A: 1, Imm: 0x10, HasImm: true, SetFlags: true})
+	add(Stmt{Op: OpBic, Dst: 0, A: 0, Imm: 3, HasImm: true})
+	add(Stmt{Op: OpBic, Dst: 0, A: 0, Imm: 3, HasImm: true, SetFlags: true})
+	add(Stmt{Op: OpBic, Dst: 0, A: 1, B: 2})
+
+	// Shift statements (guest: mov with shifted operand).
+	for _, sop := range []StmtOp{OpShl, OpShr, OpSar, OpRor} {
+		add(Stmt{Op: sop, Dst: 0, A: 1, ShiftAmt: 7})
+		add(Stmt{Op: sop, Dst: 2, A: 2, ShiftAmt: 3})
+	}
+
+	// Compares / tests (the conditional-branch feeders).
+	add(Stmt{Op: OpCmp, A: 0, B: 1})
+	add(Stmt{Op: OpCmp, A: 0, Imm: 0, HasImm: true})
+	add(Stmt{Op: OpCmp, A: 0, Imm: 0x64, HasImm: true})
+	add(Stmt{Op: OpCmn, A: 0, B: 1})
+	add(Stmt{Op: OpCmn, A: 0, Imm: 4, HasImm: true})
+	add(Stmt{Op: OpTstZ, A: 0, B: 1})
+	add(Stmt{Op: OpTstZ, A: 0, Imm: 1, HasImm: true})
+
+	// Multiplies. Imm carries the extra register operand for acc/long.
+	add(Stmt{Op: OpMul, Dst: 0, A: 1, B: 2})
+	add(Stmt{Op: OpMul, Dst: 0, A: 1, B: 2, SetFlags: true})
+	add(Stmt{Op: OpMulAcc, Dst: 0, A: 1, B: 2, Imm: 3})
+	add(Stmt{Op: OpMulU64, Dst: 0, A: 2, B: 3, Imm: 1})
+	add(Stmt{Op: OpMulS64, Dst: 0, A: 2, B: 3, Imm: 1})
+
+	return out
+}

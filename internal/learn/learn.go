@@ -1,0 +1,394 @@
+// Package learn implements the automated rule-learning framework of the
+// learning-based DBT approach (Section II-A): training programs in a small
+// source language are compiled by a "guest compiler" (to ARM) and a "host
+// compiler" (to x86) with per-statement debug information; the
+// semantically-equivalent instruction pairs extracted from the twin binaries
+// are lifted into parameterized translation rules (registers, immediates and
+// opcode classes become parameters), deduplicated, and passed to the
+// verification phase (internal/verify). The surviving rules form the rule
+// set the system-level translator applies.
+package learn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/rules"
+	"sldbt/internal/verify"
+	"sldbt/internal/x86"
+)
+
+// StmtOp is a source-language operator.
+type StmtOp uint8
+
+// Source-language operators.
+const (
+	OpAdd StmtOp = iota
+	OpSub
+	OpRsb // c = imm - a (appears as negation/reversed subtraction)
+	OpAnd
+	OpOr
+	OpXor
+	OpBic // c = a &^ b
+	OpNot
+	OpMul
+	OpMulAcc
+	OpMulU64
+	OpMulS64
+	OpShl
+	OpShr
+	OpSar
+	OpRor
+	OpAssign
+	OpCmp // compare (sets condition state for a following branch)
+	OpCmn
+	OpTstZ // test for the zero/negative conditions
+)
+
+// Stmt is one training-source statement: dst = a OP b (registers are
+// "variables" v0..v10; Imm used when HasImm).
+type Stmt struct {
+	Op       StmtOp
+	Dst      int
+	A, B     int
+	Imm      uint32
+	HasImm   bool
+	Shift    arm.ShiftType
+	ShiftAmt uint8
+	HasShift bool
+	SetFlags bool // the statement's value feeds a condition (compiler keeps flags)
+	Line     int  // debug line number
+}
+
+// guestCompile emits the ARM instruction for a statement (the "guest
+// compiler" with -g: one line table entry per instruction).
+func guestCompile(s *Stmt) (arm.Inst, error) {
+	in := arm.Inst{Cond: arm.AL, Kind: arm.KindDataProc, S: s.SetFlags}
+	reg := func(v int) arm.Reg { return arm.Reg(v) }
+	in.Rd, in.Rn, in.Rm = reg(s.Dst), reg(s.A), reg(s.B)
+	if s.HasImm {
+		in.ImmValid = true
+		in.Imm = s.Imm
+	}
+	if s.HasShift {
+		in.Shift = s.Shift
+		in.ShiftAmt = s.ShiftAmt
+	}
+	switch s.Op {
+	case OpAdd:
+		in.Op = arm.OpADD
+	case OpSub:
+		in.Op = arm.OpSUB
+	case OpRsb:
+		in.Op = arm.OpRSB
+	case OpAnd:
+		in.Op = arm.OpAND
+	case OpOr:
+		in.Op = arm.OpORR
+	case OpXor:
+		in.Op = arm.OpEOR
+	case OpBic:
+		in.Op = arm.OpBIC
+	case OpNot:
+		in.Op = arm.OpMVN
+	case OpAssign:
+		in.Op = arm.OpMOV
+	case OpCmp:
+		in.Op = arm.OpCMP
+		in.S = true
+	case OpCmn:
+		in.Op = arm.OpCMN
+		in.S = true
+	case OpTstZ:
+		in.Op = arm.OpTST
+		in.S = true
+	case OpMul:
+		in = arm.Inst{Cond: arm.AL, Kind: arm.KindMul, Rd: reg(s.Dst), Rm: reg(s.A), Rs: reg(s.B), S: s.SetFlags}
+	case OpMulAcc:
+		in = arm.Inst{Cond: arm.AL, Kind: arm.KindMul, Acc: true,
+			Rd: reg(s.Dst), Rm: reg(s.A), Rs: reg(s.B), Rn: reg(int(s.Imm) & 0xF)}
+	case OpMulU64, OpMulS64:
+		in = arm.Inst{Cond: arm.AL, Kind: arm.KindMulLong, SignedML: s.Op == OpMulS64,
+			Rd: reg(s.Dst), RdHi: reg(int(s.Imm) & 0xF), Rm: reg(s.A), Rs: reg(s.B)}
+	case OpShl, OpShr, OpSar, OpRor:
+		in.Op = arm.OpMOV
+		in.Rm = reg(s.A)
+		in.Shift = map[StmtOp]arm.ShiftType{OpShl: arm.LSL, OpShr: arm.LSR, OpSar: arm.ASR, OpRor: arm.ROR}[s.Op]
+		in.ShiftAmt = s.ShiftAmt
+	default:
+		return in, fmt.Errorf("learn: no guest lowering for op %d", s.Op)
+	}
+	// Round-trip through the encoder so the instruction carries its Raw
+	// field exactly as the translator will see it.
+	raw, err := arm.Encode(in)
+	if err != nil {
+		return in, err
+	}
+	return arm.Decode(raw), nil
+}
+
+// hostReg maps a source variable to the host register the host compiler
+// allocates for it: the pinned register of the corresponding guest variable
+// (both compilers use the same allocation order, which is what makes the
+// extracted pairs line up — the paper relies on the same effect across
+// -O2-compiled binaries).
+func hostReg(v int) x86.Reg {
+	h, ok := rules.PinnedHost(arm.Reg(v))
+	if !ok {
+		panic("learn: unpinnable variable")
+	}
+	return h
+}
+
+// hostCompile emits x86 code for a statement (the "host compiler"): the
+// idioms real compilers use — LEA for flag-free address arithmetic,
+// two-operand forms when the destination aliases an operand, scratch
+// registers otherwise.
+func hostCompile(s *Stmt) ([]x86.Inst, error) {
+	d, a, b := x86.R(hostReg(s.Dst)), x86.R(hostReg(s.A)), x86.R(hostReg(s.B))
+	var src x86.Operand
+	if s.HasImm {
+		src = x86.I(s.Imm)
+	} else {
+		src = b
+	}
+	binOp := map[StmtOp]x86.Op{
+		OpAdd: x86.ADD, OpSub: x86.SUB, OpAnd: x86.AND, OpOr: x86.OR, OpXor: x86.XOR,
+	}
+	var out []x86.Inst
+	emit := func(op x86.Op, dst, src x86.Operand) {
+		out = append(out, x86.Inst{Op: op, Dst: dst, Src: src})
+	}
+	switch s.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		op := binOp[s.Op]
+		switch {
+		case !s.SetFlags && s.Op == OpAdd && !s.HasShift && !s.HasImm:
+			// lea d, [a+b]
+			out = append(out, x86.Inst{Op: x86.LEA, Dst: d,
+				Src: x86.Operand{Mode: x86.ModeMem, Base: a.Reg, Index: b.Reg, HasIx: true, Scale: 1, Size: 4}})
+		case !s.SetFlags && s.Op == OpAdd && !s.HasShift && s.HasImm:
+			out = append(out, x86.Inst{Op: x86.LEA, Dst: d,
+				Src: x86.Operand{Mode: x86.ModeMem, Base: a.Reg, Disp: int32(s.Imm), Size: 4}})
+		case !s.SetFlags && s.Op == OpSub && s.HasImm:
+			out = append(out, x86.Inst{Op: x86.LEA, Dst: d,
+				Src: x86.Operand{Mode: x86.ModeMem, Base: a.Reg, Disp: -int32(s.Imm), Size: 4}})
+		case !s.SetFlags && s.Op == OpAdd && s.HasShift && s.Shift == arm.LSL && s.ShiftAmt <= 3 && s.ShiftAmt >= 1:
+			out = append(out, x86.Inst{Op: x86.LEA, Dst: d,
+				Src: x86.Operand{Mode: x86.ModeMem, Base: a.Reg, Index: b.Reg, HasIx: true, Scale: 1 << s.ShiftAmt, Size: 4}})
+		case s.HasShift:
+			// mov eax, b; shift eax; mov ecx, a; op ecx, eax; mov d, ecx
+			hop := map[arm.ShiftType]x86.Op{arm.LSL: x86.SHL, arm.LSR: x86.SHR, arm.ASR: x86.SAR, arm.ROR: x86.ROR}[s.Shift]
+			emit(x86.MOV, x86.R(x86.EAX), b)
+			emit(hop, x86.R(x86.EAX), x86.I(uint32(s.ShiftAmt)))
+			emit(x86.MOV, x86.R(x86.ECX), a)
+			emit(op, x86.R(x86.ECX), x86.R(x86.EAX))
+			emit(x86.MOV, d, x86.R(x86.ECX))
+		case s.Dst == s.A:
+			emit(op, d, src)
+		case !s.HasImm && s.Dst == s.B && (s.Op == OpAdd || s.Op == OpAnd || s.Op == OpOr || s.Op == OpXor):
+			emit(op, d, a)
+		case !s.HasImm && s.Dst == s.B:
+			// non-commutative with aliasing dst: through scratch
+			emit(x86.MOV, x86.R(x86.EAX), a)
+			emit(op, x86.R(x86.EAX), src)
+			emit(x86.MOV, d, x86.R(x86.EAX))
+		default:
+			emit(x86.MOV, d, a)
+			emit(op, d, src)
+		}
+	case OpRsb:
+		if s.HasImm && s.Imm == 0 {
+			emit(x86.MOV, d, a)
+			out = append(out, x86.Inst{Op: x86.NEG, Dst: d})
+		} else {
+			emit(x86.MOV, x86.R(x86.EAX), src)
+			emit(x86.SUB, x86.R(x86.EAX), a)
+			emit(x86.MOV, d, x86.R(x86.EAX))
+		}
+	case OpBic:
+		if s.HasImm {
+			if s.Dst != s.A {
+				emit(x86.MOV, d, a)
+			}
+			emit(x86.AND, d, x86.I(^s.Imm))
+		} else {
+			emit(x86.MOV, x86.R(x86.EAX), src)
+			out = append(out, x86.Inst{Op: x86.NOT, Dst: x86.R(x86.EAX)})
+			emit(x86.MOV, x86.R(x86.ECX), a)
+			emit(x86.AND, x86.R(x86.ECX), x86.R(x86.EAX))
+			emit(x86.MOV, d, x86.R(x86.ECX))
+		}
+	case OpNot:
+		if s.HasImm {
+			emit(x86.MOV, d, x86.I(^s.Imm))
+		} else {
+			emit(x86.MOV, d, b) // mvn reads its operand from Rm
+			out = append(out, x86.Inst{Op: x86.NOT, Dst: d})
+			if s.SetFlags {
+				emit(x86.TEST, d, d)
+			}
+		}
+	case OpAssign:
+		emit(x86.MOV, d, src)
+		if s.SetFlags {
+			emit(x86.TEST, d, d)
+		}
+	case OpShl, OpShr, OpSar, OpRor:
+		hop := map[StmtOp]x86.Op{OpShl: x86.SHL, OpShr: x86.SHR, OpSar: x86.SAR, OpRor: x86.ROR}[s.Op]
+		emit(x86.MOV, d, a)
+		emit(hop, d, x86.I(uint32(s.ShiftAmt)))
+	case OpCmp:
+		emit(x86.CMP, a, src)
+	case OpCmn:
+		emit(x86.MOV, x86.R(x86.EAX), a)
+		emit(x86.ADD, x86.R(x86.EAX), src)
+	case OpTstZ:
+		emit(x86.TEST, a, src)
+	case OpMul:
+		emit(x86.MOV, x86.R(x86.EAX), a)
+		emit(x86.IMUL, x86.R(x86.EAX), b)
+		emit(x86.MOV, d, x86.R(x86.EAX))
+		if s.SetFlags {
+			emit(x86.TEST, x86.R(x86.EAX), x86.R(x86.EAX))
+		}
+	case OpMulAcc:
+		emit(x86.MOV, x86.R(x86.EAX), a)
+		emit(x86.IMUL, x86.R(x86.EAX), b)
+		emit(x86.ADD, x86.R(x86.EAX), x86.R(hostReg(int(s.Imm)&0xF)))
+		emit(x86.MOV, d, x86.R(x86.EAX))
+	case OpMulU64, OpMulS64:
+		op := x86.MULX
+		if s.Op == OpMulS64 {
+			op = x86.SMULX
+		}
+		emit(x86.MOV, x86.R(x86.EAX), a)
+		emit(x86.MOV, x86.R(x86.ECX), b)
+		out = append(out, x86.Inst{Op: op, Dst: x86.R(x86.EAX), Dst2: x86.EDX, Src: x86.R(x86.EAX), Src2: x86.ECX})
+		emit(x86.MOV, d, x86.R(x86.EAX))
+		emit(x86.MOV, x86.R(hostReg(int(s.Imm)&0xF)), x86.R(x86.EDX))
+	default:
+		return nil, fmt.Errorf("learn: no host lowering for op %d", s.Op)
+	}
+	return out, nil
+}
+
+// Pair is one extracted guest/host fragment pair (same debug line).
+type Pair struct {
+	Guest arm.Inst
+	Host  []x86.Inst
+	Stmt  Stmt
+}
+
+// Extract compiles the training statements with both compilers and pairs
+// the per-line fragments.
+func Extract(stmts []Stmt) ([]Pair, error) {
+	var pairs []Pair
+	for i := range stmts {
+		g, err := guestCompile(&stmts[i])
+		if err != nil {
+			return nil, err
+		}
+		h, err := hostCompile(&stmts[i])
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, Pair{Guest: g, Host: h, Stmt: stmts[i]})
+	}
+	return pairs, nil
+}
+
+// Report summarizes a learning run.
+type Report struct {
+	Statements int
+	Pairs      int
+	Candidates int // distinct parameterized shapes before verification
+	Verified   int
+	Rejected   int
+	MergedByOp int // rules merged by opcode-class parameterization
+}
+
+// Learn runs the full pipeline over the built-in training corpus and
+// returns the verified rule set.
+func Learn(trials int, seed int64) (*rules.Set, Report, error) {
+	stmts := TrainingCorpus()
+	return LearnFrom(stmts, trials, seed)
+}
+
+// LearnFrom runs the pipeline over a caller-provided corpus.
+func LearnFrom(stmts []Stmt, trials int, seed int64) (*rules.Set, Report, error) {
+	rep := Report{Statements: len(stmts)}
+	pairs, err := Extract(stmts)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Pairs = len(pairs)
+
+	var candidates []*rules.Rule
+	seen := map[string]*rules.Rule{}
+	for i := range pairs {
+		r, err := Parameterize(&pairs[i])
+		if err != nil {
+			return nil, rep, fmt.Errorf("learn: parameterize line %d: %w", pairs[i].Stmt.Line, err)
+		}
+		key := shapeKey(r)
+		if prev, ok := seen[key]; ok {
+			// Opcode-class parameterization: merge rules whose shapes are
+			// identical up to the guest/host opcode correspondence.
+			if merged := mergeOpClass(prev, r); merged {
+				rep.MergedByOp++
+			}
+			continue
+		}
+		seen[key] = r
+		candidates = append(candidates, r)
+	}
+	rep.Candidates = len(candidates)
+
+	set := &rules.Set{}
+	for _, r := range candidates {
+		if err := verify.CheckRule(r, trials, seed); err != nil {
+			// Refinement: an over-generalized immediate rule may fail only
+			// on rotated immediates (the shifter carry-out); constrain and
+			// retry, mirroring how the learning framework narrows rules
+			// that fail verification.
+			if r.Match.Op2 == rules.Op2Imm && !r.Match.ImmUnrotated {
+				r.Match.ImmUnrotated = true
+				if err2 := verify.CheckRule(r, trials, seed); err2 == nil {
+					rep.Verified++
+					set.Rules = append(set.Rules, r)
+					continue
+				}
+			}
+			rep.Rejected++
+			continue
+		}
+		rep.Verified++
+		set.Rules = append(set.Rules, r)
+	}
+	orderBySpecificity(set)
+	return set, rep, nil
+}
+
+// DefaultSet returns the rule set the experiment harness uses: the learned
+// and verified rules, completed with the seed rules the small training
+// corpus cannot produce (carry-consuming ADC/SBC variants, which require
+// multi-statement context the toy language does not express). Learned rules
+// take precedence.
+func DefaultSet(trials int, seed int64) (*rules.Set, Report, error) {
+	learned, rep, err := Learn(trials, seed)
+	if err != nil {
+		return nil, rep, err
+	}
+	merged := &rules.Set{Rules: append([]*rules.Rule{}, learned.Rules...)}
+	for _, r := range rules.BaselineRules().Rules {
+		if r.Carry != rules.CarryNone {
+			merged.Rules = append(merged.Rules, r)
+		}
+	}
+	return merged, rep, nil
+}
+
+// rnd is used by corpus generation helpers.
+var corpusRnd = rand.New(rand.NewSource(7))

@@ -1,0 +1,144 @@
+package learn
+
+import (
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/verify"
+
+	"sldbt/internal/core"
+)
+
+func TestLearnPipelineProducesVerifiedRules(t *testing.T) {
+	set, rep, err := Learn(150, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("report: %+v", rep)
+	if rep.Verified < 20 {
+		t.Errorf("too few verified rules: %d", rep.Verified)
+	}
+	if rep.Rejected > rep.Candidates/2 {
+		t.Errorf("too many rejected candidates: %d of %d", rep.Rejected, rep.Candidates)
+	}
+	if rep.MergedByOp == 0 {
+		t.Error("opcode-class parameterization merged nothing")
+	}
+	for _, r := range set.Rules {
+		if !r.Verified {
+			t.Errorf("rule %s in the output set is unverified", r.Name)
+		}
+	}
+}
+
+func TestLearnedRulesCoverCommonInstructions(t *testing.T) {
+	set, _, err := Learn(100, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carryOK := func(rules.CarryIn) bool { return true }
+	cover := []string{
+		"add r0, r1, r2",
+		"adds r0, r0, r1",
+		"add r0, r1, #0x10",
+		"sub r3, r4, r5",
+		"subs r3, r3, #0x1",
+		"and r0, r1, r2",
+		"orr r0, r0, #0xff",
+		"eor r1, r2, r3",
+		"cmp r0, #0x0",
+		"cmp r0, r1",
+		"tst r0, #0x1",
+		"mov r0, r1",
+		"movs r0, #0x0",
+		"mvn r0, r1",
+		"mov r0, r1, lsl #7",
+		"add r0, r1, r2, lsl #2",
+		"mul r0, r1, r2",
+		"umull r0, r1, r2, r3",
+		"smull r0, r1, r2, r3",
+		"rsb r0, r1, #0x0",
+	}
+	for _, asmLine := range cover {
+		prog, err := arm.Assemble(asmLine)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", asmLine, err)
+		}
+		in := arm.Decode(prog.Word(0))
+		if r := set.Find(&in, carryOK); r == nil {
+			t.Errorf("no learned rule covers %q", asmLine)
+		}
+	}
+}
+
+func TestMergedOpClassRuleVerifies(t *testing.T) {
+	set, _, err := Learn(100, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range set.Rules {
+		if len(r.Match.Ops) > 1 {
+			found = true
+			if err := verify.CheckRule(r, 300, 14); err != nil {
+				t.Errorf("merged class rule %s fails verification: %v", r.Name, err)
+			}
+		}
+	}
+	if !found {
+		t.Error("no opcode-class-merged rule in the learned set")
+	}
+}
+
+// TestDefaultSetRunsTheKernel is the end-to-end learning test: the engine
+// translated purely with learned rules (plus seed carry variants) boots the
+// kernel and produces the same result as the interpreter-verified programs.
+func TestDefaultSetRunsTheKernel(t *testing.T) {
+	set, _, err := DefaultSet(100, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := `
+user_entry:
+	mov r4, #0
+	mov r0, #50
+	mov r1, #3
+lp:
+	add r4, r4, r1
+	subs r0, r0, #1
+	adc r4, r4, #0
+	cmp r0, #25
+	addhi r4, r4, #2
+	bne lp
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	tr := core.New(set, core.OptScheduling)
+	e := engine.New(tr, kernel.RAMSize)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	code, err := e.Run(3_000_000)
+	if err != nil {
+		t.Fatalf("run: %v (console %q)", err, e.Bus.UART().Output())
+	}
+	if code != 0 {
+		t.Errorf("exit code %#x, console %q", code, e.Bus.UART().Output())
+	}
+	total := tr.Stats.RuleHits + tr.Stats.Fallbacks
+	cov := float64(tr.Stats.RuleHits) / float64(total)
+	t.Logf("learned-rule static coverage: %.2f (hits %d, fallbacks %d)",
+		cov, tr.Stats.RuleHits, tr.Stats.Fallbacks)
+	if cov < 0.4 {
+		t.Errorf("learned coverage too low: %.2f", cov)
+	}
+}

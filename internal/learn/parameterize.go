@@ -1,0 +1,390 @@
+package learn
+
+import (
+	"fmt"
+	"strings"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/rules"
+	"sldbt/internal/x86"
+)
+
+// slotOfHostReg maps a concrete host register in an extracted fragment back
+// to a rule parameter slot, given the guest instruction it pairs with.
+func slotOfHostReg(h x86.Reg, g *arm.Inst) (rules.Slot, error) {
+	switch h {
+	case x86.EAX:
+		return rules.SlotScratch0, nil
+	case x86.ECX:
+		return rules.SlotScratch1, nil
+	case x86.EDX:
+		return rules.SlotScratch2, nil
+	}
+	// Reverse the pin map.
+	var guest arm.Reg
+	found := false
+	for r := arm.R0; r <= arm.R10; r++ {
+		if ph, ok := rules.PinnedHost(r); ok && ph == h {
+			guest = r
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("learn: host register %v is not a pin", h)
+	}
+	// Role priority mirrors the emitter's substitution order.
+	switch {
+	case !g.Op.IsCompare() && g.Kind == arm.KindDataProc && guest == g.Rd:
+		return rules.SlotRd, nil
+	case (g.Kind == arm.KindMul || g.Kind == arm.KindMulLong) && guest == g.Rd:
+		return rules.SlotRd, nil
+	case g.Kind == arm.KindMulLong && guest == g.RdHi:
+		return rules.SlotRdHi, nil
+	case g.Kind == arm.KindDataProc && g.Op.HasRn() && guest == g.Rn:
+		return rules.SlotRn, nil
+	case g.Kind == arm.KindMul && g.Acc && guest == g.Rn:
+		return rules.SlotRn, nil
+	case !g.ImmValid && guest == g.Rm:
+		return rules.SlotRm, nil
+	case (g.Kind == arm.KindMul || g.Kind == arm.KindMulLong) && guest == g.Rm:
+		return rules.SlotRm, nil
+	case (g.Kind == arm.KindMul || g.Kind == arm.KindMulLong) && guest == g.Rs:
+		return rules.SlotRs, nil
+	}
+	return 0, fmt.Errorf("learn: host register %v (guest %v) has no role in %s",
+		h, guest, arm.Disasm(*g, 0))
+}
+
+// immSlotFor classifies a concrete host immediate against the guest
+// instruction's immediate parameter.
+func immSlotFor(v uint32, g *arm.Inst) (rules.Slot, bool) {
+	if !g.ImmValid {
+		return 0, false
+	}
+	switch v {
+	case g.Imm:
+		return rules.SlotImm, true
+	case ^g.Imm:
+		return rules.SlotImmNot, true
+	case -g.Imm:
+		return rules.SlotImmNeg, true
+	}
+	return 0, false
+}
+
+// liftOperand lifts one concrete host operand to a template operand.
+func liftOperand(o x86.Operand, g *arm.Inst) (rules.TOperand, error) {
+	switch o.Mode {
+	case x86.ModeReg:
+		s, err := slotOfHostReg(o.Reg, g)
+		return rules.TReg(s), err
+	case x86.ModeImm:
+		if s, ok := immSlotFor(o.Imm, g); ok {
+			return rules.TImm(s), nil
+		}
+		if !g.ImmValid && o.Imm == uint32(g.ShiftAmt) {
+			return rules.TImm(rules.SlotShiftAmt), nil
+		}
+		return rules.TConst(o.Imm), nil
+	}
+	return rules.TOperand{}, fmt.Errorf("learn: cannot lift operand %+v", o)
+}
+
+// Parameterize lifts an extracted pair into a parameterized rule
+// (the paper's parameterization phase): concrete registers become register
+// parameters, immediates become immediate parameters, and the guest match
+// pattern records the structural constraints the example exhibits.
+func Parameterize(p *Pair) (*rules.Rule, error) {
+	g := &p.Guest
+	var tpl []rules.TInst
+	for _, hi := range p.Host {
+		t := rules.TInst{Op: hi.Op}
+		switch hi.Op {
+		case x86.LEA:
+			mem := hi.Src
+			baseSlot, err := slotOfHostReg(mem.Base, g)
+			if err != nil {
+				return nil, err
+			}
+			t.Src = rules.TReg(baseSlot)
+			if mem.HasIx {
+				ixSlot, err := slotOfHostReg(mem.Index, g)
+				if err != nil {
+					return nil, err
+				}
+				t.Src2 = ixSlot
+				t.Scale = mem.Scale
+			}
+			if mem.Disp != 0 {
+				switch {
+				case uint32(mem.Disp) == g.Imm:
+					t.Disp = rules.SlotImm
+				case uint32(-mem.Disp) == g.Imm:
+					t.Disp = rules.SlotImmNeg
+				default:
+					return nil, fmt.Errorf("learn: unliftable LEA displacement %d", mem.Disp)
+				}
+			}
+			d, err := liftOperand(hi.Dst, g)
+			if err != nil {
+				return nil, err
+			}
+			t.Dst = d
+		case x86.MULX, x86.SMULX:
+			d, err := liftOperand(hi.Dst, g)
+			if err != nil {
+				return nil, err
+			}
+			s, err := liftOperand(hi.Src, g)
+			if err != nil {
+				return nil, err
+			}
+			d2, err := slotOfHostReg(hi.Dst2, g)
+			if err != nil {
+				return nil, err
+			}
+			s2, err := slotOfHostReg(hi.Src2, g)
+			if err != nil {
+				return nil, err
+			}
+			t.Dst, t.Src, t.Dst2, t.Src2 = d, s, d2, s2
+		default:
+			if hi.Dst.Mode != x86.ModeNone {
+				d, err := liftOperand(hi.Dst, g)
+				if err != nil {
+					return nil, err
+				}
+				t.Dst = d
+			}
+			if hi.Src.Mode != x86.ModeNone {
+				s, err := liftOperand(hi.Src, g)
+				if err != nil {
+					return nil, err
+				}
+				t.Src = s
+			}
+		}
+		tpl = append(tpl, t)
+	}
+
+	m := rules.Match{Kind: g.Kind}
+	sv := g.S
+	m.S = &sv
+	switch g.Kind {
+	case arm.KindDataProc:
+		m.Ops = []arm.AluOp{g.Op}
+		switch {
+		case g.ImmValid:
+			m.Op2 = rules.Op2Imm
+			if g.Imm == 0 && usesNegOrNotImm(tpl) == rules.SlotNone && hasNEG(tpl) {
+				m.ImmIsZero = true
+			}
+		case g.ShiftAmt != 0 || g.Shift == arm.RRX:
+			m.Op2 = rules.Op2RegShiftImm
+			m.Shifts = []arm.ShiftType{g.Shift}
+			if templateHasScale(tpl) {
+				// LEA-scale rules are valid only for the exact shift amount.
+				m.MinShift, m.MaxShift = g.ShiftAmt, g.ShiftAmt
+			} else {
+				m.MinShift, m.MaxShift = 1, 31
+			}
+		default:
+			m.Op2 = rules.Op2Reg
+		}
+		if g.Op.HasRn() && !g.Op.IsCompare() {
+			if g.Rd == g.Rn {
+				m.RdEqRn = true
+			} else if !g.ImmValid && g.Rd == g.Rm {
+				m.RdEqRm = true
+			} else if writesRdBeforeReadingRm(tpl) {
+				m.RdNeqRm = true
+			}
+		}
+	case arm.KindMul:
+		acc := g.Acc
+		m.Acc = &acc
+	case arm.KindMulLong:
+		sg := g.SignedML
+		m.Signed = &sg
+	}
+
+	r := &rules.Rule{
+		Name:  fmt.Sprintf("learned-%s-l%d", arm.Disasm(*g, 0)[:minInt(12, len(arm.Disasm(*g, 0)))], p.Stmt.Line),
+		Match: m,
+		Host:  tpl,
+		Flags: deriveFlagEffect(g, p.Host),
+		Carry: rules.CarryNone,
+	}
+	return r, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func hasNEG(tpl []rules.TInst) bool {
+	for _, t := range tpl {
+		if t.Op == x86.NEG {
+			return true
+		}
+	}
+	return false
+}
+
+func usesNegOrNotImm(tpl []rules.TInst) rules.Slot {
+	for _, t := range tpl {
+		if t.Src.Slot == rules.SlotImmNot || t.Src.Slot == rules.SlotImmNeg {
+			return t.Src.Slot
+		}
+	}
+	return rules.SlotNone
+}
+
+func templateHasScale(tpl []rules.TInst) bool {
+	for _, t := range tpl {
+		if t.Op == x86.LEA && t.Scale > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// writesRdBeforeReadingRm reports whether the template writes the Rd slot
+// before it reads the Rm slot — such templates are invalid when Rd aliases
+// Rm, so the match must carry the RdNeqRm constraint.
+func writesRdBeforeReadingRm(tpl []rules.TInst) bool {
+	for _, t := range tpl {
+		readsRm := t.Src.Slot == rules.SlotRm || t.Src2 == rules.SlotRm ||
+			(t.Op != x86.MOV && t.Op != x86.LEA && t.Dst.Slot == rules.SlotRm)
+		writesRd := t.Dst.Slot == rules.SlotRd && t.Op != x86.CMP && t.Op != x86.TEST
+		if readsRm {
+			return false
+		}
+		if writesRd {
+			return true
+		}
+	}
+	return false
+}
+
+// deriveFlagEffect classifies what the host fragment leaves in EFLAGS.
+func deriveFlagEffect(g *arm.Inst, host []x86.Inst) rules.FlagEffect {
+	last := x86.Op(255)
+	any := false
+	for _, hi := range host {
+		switch hi.Op {
+		case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.CMP, x86.AND, x86.OR,
+			x86.XOR, x86.TEST, x86.NEG, x86.SHL, x86.SHR, x86.SAR, x86.ROR,
+			x86.INC, x86.DEC:
+			last = hi.Op
+			any = true
+		}
+	}
+	if !g.S || (g.Kind == arm.KindDataProc && !g.Op.IsCompare() && !g.S) {
+		if !any {
+			return rules.FlagsKeep
+		}
+		return rules.FlagsNone
+	}
+	switch last {
+	case x86.SUB, x86.SBB, x86.CMP, x86.NEG:
+		return rules.FlagsFullSub
+	case x86.ADD, x86.ADC:
+		return rules.FlagsFull
+	case x86.AND, x86.OR, x86.XOR, x86.TEST, x86.SHL, x86.SHR, x86.SAR:
+		return rules.FlagsZN
+	}
+	return rules.FlagsNone
+}
+
+// shapeKey serializes a rule's structure with the ALU opcode abstracted
+// away, so class-mergeable rules collide.
+func shapeKey(r *rules.Rule) string {
+	var b strings.Builder
+	m := &r.Match
+	classOp := x86.Op(255)
+	if len(m.Ops) == 1 {
+		if hop, ok := rules.HostOpFor(m.Ops[0]); ok {
+			classOp = hop
+		}
+	}
+	fmt.Fprintf(&b, "k%d s%v o%d sh%v r%v%v%v iz%v iu%v min%d max%d |",
+		m.Kind, m.S != nil && *m.S, m.Op2, m.Shifts,
+		m.RdEqRn, m.RdEqRm, m.RdNeqRm, m.ImmIsZero, m.ImmUnrotated,
+		m.MinShift, m.MaxShift)
+	for _, t := range r.Host {
+		op := t.Op.String()
+		if t.Op == classOp {
+			op = "OPC"
+		}
+		fmt.Fprintf(&b, "%s d%v s%v d2%v s2%v sc%d dp%v;",
+			op, t.Dst, t.Src, t.Dst2, t.Src2, t.Scale, t.Disp)
+	}
+	fmt.Fprintf(&b, "|f%v", r.Flags)
+	return b.String()
+}
+
+// mergeOpClass merges r into prev when both are ALU-class rules of the same
+// shape; the merged rule matches the union of opcodes and resolves the host
+// opcode from the guest one at application time.
+func mergeOpClass(prev, r *rules.Rule) bool {
+	if len(prev.Match.Ops) == 0 || len(r.Match.Ops) == 0 {
+		return false
+	}
+	if prev.Flags != r.Flags {
+		// Only opcodes with the same flag-effect class merge (the logical
+		// class AND/ORR/EOR); arithmetic ops keep their own rules.
+		return false
+	}
+	prevOp, okP := rules.HostOpFor(prev.Match.Ops[0])
+	newOp, okN := rules.HostOpFor(r.Match.Ops[0])
+	if !okP || !okN {
+		return false
+	}
+	for _, op := range prev.Match.Ops {
+		if op == r.Match.Ops[0] {
+			return false // already covered
+		}
+	}
+	// Mark class positions in the surviving template.
+	for i := range prev.Host {
+		if prev.Host[i].Op == prevOp && i < len(r.Host) && r.Host[i].Op == newOp {
+			prev.Host[i].OpClass = true
+		}
+	}
+	prev.Match.Ops = append(prev.Match.Ops, r.Match.Ops[0])
+	// The merged flag effect must be resolved per-op at application; the
+	// planner consults effective semantics through Flags, so keep the
+	// class-safe summary: full for arithmetic, ZN for logical. Verification
+	// re-checks the merged rule across all member opcodes.
+	return true
+}
+
+// orderBySpecificity sorts the set so that more-constrained (and cheaper)
+// rules match first.
+func orderBySpecificity(s *rules.Set) {
+	score := func(r *rules.Rule) int {
+		sc := 0
+		m := &r.Match
+		if m.RdEqRn || m.RdEqRm {
+			sc += 4
+		}
+		if m.ImmIsZero {
+			sc += 4
+		}
+		if m.MaxShift != 0 && m.MinShift == m.MaxShift {
+			sc += 2
+		}
+		sc -= len(r.Host) // shorter templates preferred
+		return sc
+	}
+	for i := 1; i < len(s.Rules); i++ {
+		for j := i; j > 0 && score(s.Rules[j]) > score(s.Rules[j-1]); j-- {
+			s.Rules[j], s.Rules[j-1] = s.Rules[j-1], s.Rules[j]
+		}
+	}
+}

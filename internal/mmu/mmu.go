@@ -1,0 +1,271 @@
+// Package mmu implements the guest memory management unit: two-level page
+// tables in the style of the ARM short-descriptor format (1MB sections plus
+// 4KB small pages), access permissions, fault generation, and a software TLB.
+// The reference interpreter uses it directly; the DBT engines mirror its
+// translations in a host-memory-resident TLB (the softmmu fast path) and call
+// back into Walk on misses, exactly as QEMU's softmmu does.
+package mmu
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/ghw"
+)
+
+// Access is the kind of memory access being translated.
+type Access uint8
+
+// Access kinds.
+const (
+	Fetch Access = iota
+	Load
+	Store
+)
+
+func (a Access) String() string {
+	switch a {
+	case Fetch:
+		return "fetch"
+	case Load:
+		return "load"
+	default:
+		return "store"
+	}
+}
+
+// Descriptor type bits (descriptor bits 1:0).
+const (
+	descFault   = 0
+	descTable   = 1 // L1 only: pointer to an L2 table
+	descSection = 2 // L1 only: 1MB section
+	descPage    = 2 // L2: 4KB small page
+)
+
+// AP is the 2-bit access permission field used by both section and page
+// descriptors (bits 11:10 in L1 sections, bits 5:4 in L2 pages).
+type AP uint8
+
+// Access permissions.
+const (
+	APKernel   AP = 0 // kernel RW, user none
+	APUserRO   AP = 1 // kernel RW, user RO
+	APUserRW   AP = 2 // kernel RW, user RW
+	APReadOnly AP = 3 // kernel RO, user RO
+)
+
+// allows reports whether the permission admits the access in the given
+// privilege state.
+func (ap AP) allows(acc Access, user bool) bool {
+	switch ap {
+	case APKernel:
+		return !user
+	case APUserRO:
+		return !user || acc != Store
+	case APUserRW:
+		return true
+	case APReadOnly:
+		return acc != Store
+	}
+	return false
+}
+
+// FaultType distinguishes MMU fault causes; the values double as DFSR/IFSR
+// status codes.
+type FaultType uint32
+
+// Fault causes.
+const (
+	FaultTranslation FaultType = 0x5 // no valid descriptor
+	FaultPermission  FaultType = 0xD // descriptor forbids the access
+	FaultBus         FaultType = 0x8 // physical access hit unmapped space
+)
+
+// Fault describes a failed translation.
+type Fault struct {
+	Type FaultType
+	Addr uint32 // faulting virtual address
+	Acc  Access
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mmu: %v fault on %v of %#08x", f.Type, f.Acc, f.Addr)
+}
+
+func (t FaultType) String() string {
+	switch t {
+	case FaultTranslation:
+		return "translation"
+	case FaultPermission:
+		return "permission"
+	case FaultBus:
+		return "bus"
+	}
+	return fmt.Sprintf("fault(%#x)", uint32(t))
+}
+
+// Entry is a completed translation: a virtual page mapped to a physical page
+// with its permission. Size is 4KB for pages, 1MB for sections; the TLB
+// stores everything at 4KB granularity for simplicity (sections insert the
+// covering 4KB page of the access).
+type Entry struct {
+	VPN uint32 // virtual page number (va >> 12)
+	PPN uint32 // physical page number
+	AP  AP
+}
+
+// Walk performs a full page-table walk for va using the tables rooted at
+// cp15.TTBR0. It does not consult any TLB. On success it returns the
+// physical address and the 4KB-granule entry covering the access.
+func Walk(bus *ghw.Bus, cp15 *arm.CP15State, va uint32, acc Access, user bool) (uint32, Entry, *Fault) {
+	if !cp15.MMUEnabled() {
+		// Flat mapping with full permissions when the MMU is off.
+		return va, Entry{VPN: va >> 12, PPN: va >> 12, AP: APUserRW}, nil
+	}
+	l1addr := cp15.TTBR0&^0x3FFF | (va>>20)<<2
+	l1 := bus.Read32(l1addr)
+	switch l1 & 3 {
+	case descSection:
+		ap := AP(l1 >> 10 & 3)
+		if !ap.allows(acc, user) {
+			return 0, Entry{}, &Fault{Type: FaultPermission, Addr: va, Acc: acc}
+		}
+		pa := l1&0xFFF00000 | va&0x000FFFFF
+		return pa, Entry{VPN: va >> 12, PPN: pa >> 12, AP: ap}, nil
+	case descTable:
+		l2addr := l1&0xFFFFFC00 | (va>>12&0xFF)<<2
+		l2 := bus.Read32(l2addr)
+		if l2&3 != descPage {
+			return 0, Entry{}, &Fault{Type: FaultTranslation, Addr: va, Acc: acc}
+		}
+		ap := AP(l2 >> 4 & 3)
+		if !ap.allows(acc, user) {
+			return 0, Entry{}, &Fault{Type: FaultPermission, Addr: va, Acc: acc}
+		}
+		pa := l2&0xFFFFF000 | va&0xFFF
+		return pa, Entry{VPN: va >> 12, PPN: pa >> 12, AP: ap}, nil
+	default:
+		return 0, Entry{}, &Fault{Type: FaultTranslation, Addr: va, Acc: acc}
+	}
+}
+
+// TLBSize is the number of direct-mapped TLB entries. It is shared with the
+// DBT engines' host-memory TLB so that hit rates are comparable across
+// engines.
+const TLBSize = 256
+
+// TLB is a direct-mapped translation cache over Walk. The interpreter uses
+// it as its MMU front-end; engines use their own host-resident copy but the
+// indexing scheme is identical.
+type TLB struct {
+	valid [TLBSize]bool
+	vpn   [TLBSize]uint32
+	ppn   [TLBSize]uint32
+	ap    [TLBSize]AP
+
+	flushGen uint64 // CP15.TLBFlushes at last sync
+
+	// Hits and Misses count lookups for experiment statistics.
+	Hits, Misses uint64
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+}
+
+// sync flushes the TLB if the guest has issued TLBIALL since the last call.
+func (t *TLB) sync(cp15 *arm.CP15State) {
+	if cp15.TLBFlushes != t.flushGen {
+		t.flushGen = cp15.TLBFlushes
+		t.Flush()
+	}
+}
+
+// Translate resolves va through the TLB, walking the tables on a miss.
+// Permission checks are re-applied on hits (permissions are cached).
+func (t *TLB) Translate(bus *ghw.Bus, cp15 *arm.CP15State, va uint32, acc Access, user bool) (uint32, *Fault) {
+	if !cp15.MMUEnabled() {
+		return va, nil
+	}
+	t.sync(cp15)
+	vpn := va >> 12
+	idx := vpn % TLBSize
+	if t.valid[idx] && t.vpn[idx] == vpn {
+		if !t.ap[idx].allows(acc, user) {
+			return 0, &Fault{Type: FaultPermission, Addr: va, Acc: acc}
+		}
+		t.Hits++
+		return t.ppn[idx]<<12 | va&0xFFF, nil
+	}
+	t.Misses++
+	pa, e, fault := Walk(bus, cp15, va, acc, user)
+	if fault != nil {
+		return 0, fault
+	}
+	t.valid[idx] = true
+	t.vpn[idx] = e.VPN
+	t.ppn[idx] = e.PPN
+	t.ap[idx] = e.AP
+	return pa, nil
+}
+
+// Builder constructs page tables directly in guest RAM; the mini kernel's
+// Go-side loader and tests use it to prepare mappings without running guest
+// code.
+type Builder struct {
+	bus    *ghw.Bus
+	l1Base uint32
+	next   uint32 // bump allocator for L2 tables
+}
+
+// NewBuilder creates page tables with the L1 table at l1Base; L2 tables are
+// bump-allocated starting immediately after the 16KB L1 table.
+func NewBuilder(bus *ghw.Bus, l1Base uint32) *Builder {
+	return &Builder{bus: bus, l1Base: l1Base, next: l1Base + 0x4000}
+}
+
+// L1Base returns the TTBR0 value for the built tables.
+func (b *Builder) L1Base() uint32 { return b.l1Base }
+
+// End returns the first address past all allocated tables.
+func (b *Builder) End() uint32 { return b.next }
+
+// MapSection maps the 1MB region at va to pa with the given permission.
+func (b *Builder) MapSection(va, pa uint32, ap AP) {
+	desc := pa&0xFFF00000 | uint32(ap)<<10 | descSection
+	b.bus.Write32(b.l1Base+(va>>20)<<2, desc)
+}
+
+// MapPage maps the 4KB page at va to pa, allocating an L2 table if the 1MB
+// region has none (an existing section mapping is replaced by a table).
+func (b *Builder) MapPage(va, pa uint32, ap AP) {
+	l1addr := b.l1Base + (va>>20)<<2
+	l1 := b.bus.Read32(l1addr)
+	var l2base uint32
+	if l1&3 == descTable {
+		l2base = l1 & 0xFFFFFC00
+	} else {
+		l2base = b.next
+		b.next += 0x400
+		for i := uint32(0); i < 0x400; i += 4 {
+			b.bus.Write32(l2base+i, 0)
+		}
+		b.bus.Write32(l1addr, l2base|descTable)
+	}
+	desc := pa&0xFFFFF000 | uint32(ap)<<4 | descPage
+	b.bus.Write32(l2base+(va>>12&0xFF)<<2, desc)
+}
+
+// Unmap removes the 4KB page mapping at va (only valid for page-mapped
+// regions; unmapping inside a section is not supported).
+func (b *Builder) Unmap(va uint32) {
+	l1 := b.bus.Read32(b.l1Base + (va>>20)<<2)
+	if l1&3 != descTable {
+		return
+	}
+	l2base := l1 & 0xFFFFFC00
+	b.bus.Write32(l2base+(va>>12&0xFF)<<2, 0)
+}

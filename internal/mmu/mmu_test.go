@@ -1,0 +1,175 @@
+package mmu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/ghw"
+)
+
+func setup() (*ghw.Bus, *arm.CP15State, *Builder) {
+	bus := ghw.NewBus(4 << 20)
+	cp15 := &arm.CP15State{}
+	b := NewBuilder(bus, 0x100000)
+	cp15.TTBR0 = b.L1Base()
+	cp15.SCTLR = 1 // MMU on
+	return bus, cp15, b
+}
+
+func TestWalkDisabledMMUIsIdentity(t *testing.T) {
+	bus := ghw.NewBus(1 << 20)
+	cp15 := &arm.CP15State{}
+	pa, _, fault := Walk(bus, cp15, 0x12345, Load, true)
+	if fault != nil || pa != 0x12345 {
+		t.Errorf("pa=%#x fault=%v", pa, fault)
+	}
+}
+
+func TestSectionMapping(t *testing.T) {
+	bus, cp15, b := setup()
+	b.MapSection(0x00000000, 0x00000000, APKernel)
+	b.MapSection(0x00100000, 0x00200000, APUserRW)
+
+	pa, _, fault := Walk(bus, cp15, 0x00100123, Load, true)
+	if fault != nil || pa != 0x00200123 {
+		t.Errorf("section translation: pa=%#x fault=%v", pa, fault)
+	}
+	// Kernel section from user mode: permission fault.
+	_, _, fault = Walk(bus, cp15, 0x00000040, Load, true)
+	if fault == nil || fault.Type != FaultPermission {
+		t.Errorf("want permission fault, got %v", fault)
+	}
+	// Same access privileged: fine.
+	if _, _, fault = Walk(bus, cp15, 0x00000040, Store, false); fault != nil {
+		t.Errorf("privileged access faulted: %v", fault)
+	}
+	// Unmapped region: translation fault.
+	_, _, fault = Walk(bus, cp15, 0x00300000, Load, false)
+	if fault == nil || fault.Type != FaultTranslation {
+		t.Errorf("want translation fault, got %v", fault)
+	}
+	if fault.Error() == "" {
+		t.Error("empty fault message")
+	}
+}
+
+func TestPageMappingAndPermissions(t *testing.T) {
+	bus, cp15, b := setup()
+	b.MapPage(0x00400000, 0x00201000, APUserRO)
+	b.MapPage(0x00401000, 0x00202000, APReadOnly)
+
+	pa, _, fault := Walk(bus, cp15, 0x00400ABC, Load, true)
+	if fault != nil || pa != 0x00201ABC {
+		t.Errorf("page translation: pa=%#x fault=%v", pa, fault)
+	}
+	// User store to user-RO page faults; kernel store succeeds.
+	if _, _, f := Walk(bus, cp15, 0x00400000, Store, true); f == nil || f.Type != FaultPermission {
+		t.Errorf("user store to RO: %v", f)
+	}
+	if _, _, f := Walk(bus, cp15, 0x00400000, Store, false); f != nil {
+		t.Errorf("kernel store to user-RO: %v", f)
+	}
+	// Fully read-only page rejects even kernel stores.
+	if _, _, f := Walk(bus, cp15, 0x00401000, Store, false); f == nil {
+		t.Error("kernel store to read-only page succeeded")
+	}
+	// Unmapped page within a mapped table: translation fault.
+	if _, _, f := Walk(bus, cp15, 0x00402000, Load, false); f == nil || f.Type != FaultTranslation {
+		t.Errorf("hole in table: %v", f)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	bus, cp15, b := setup()
+	b.MapPage(0x00400000, 0x00201000, APUserRW)
+	if _, _, f := Walk(bus, cp15, 0x00400000, Load, true); f != nil {
+		t.Fatalf("mapped page faulted: %v", f)
+	}
+	b.Unmap(0x00400000)
+	if _, _, f := Walk(bus, cp15, 0x00400000, Load, true); f == nil {
+		t.Error("unmapped page still translates")
+	}
+}
+
+func TestTLBCachingAndFlush(t *testing.T) {
+	bus, cp15, b := setup()
+	b.MapPage(0x00400000, 0x00201000, APUserRW)
+	var tlb TLB
+	if _, f := tlb.Translate(bus, cp15, 0x00400010, Load, true); f != nil {
+		t.Fatal(f)
+	}
+	if tlb.Misses != 1 || tlb.Hits != 0 {
+		t.Fatalf("first access: hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+	if _, f := tlb.Translate(bus, cp15, 0x00400020, Load, true); f != nil {
+		t.Fatal(f)
+	}
+	if tlb.Hits != 1 {
+		t.Fatalf("second access: hits=%d", tlb.Hits)
+	}
+	// Remap the page and flush via TLBIALL generation counter: the TLB must
+	// observe the new mapping only after the flush.
+	b.MapPage(0x00400000, 0x00202000, APUserRW)
+	pa, _ := tlb.Translate(bus, cp15, 0x00400000, Load, true)
+	if pa != 0x00201000 {
+		t.Fatalf("stale entry expected before flush, got %#x", pa)
+	}
+	cp15.TLBFlushes++
+	pa, _ = tlb.Translate(bus, cp15, 0x00400000, Load, true)
+	if pa != 0x00202000 {
+		t.Fatalf("after flush: pa=%#x", pa)
+	}
+	// Cached permissions still enforced on hits.
+	if _, f := tlb.Translate(bus, cp15, 0x00400000, Store, true); f != nil {
+		t.Fatalf("store to RW: %v", f)
+	}
+}
+
+// TestTLBIsPureCache: translating with a TLB always agrees with a raw walk,
+// for random mappings and accesses.
+func TestTLBIsPureCache(t *testing.T) {
+	bus, cp15, b := setup()
+	aps := []AP{APKernel, APUserRO, APUserRW, APReadOnly}
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 64; i++ {
+		va := uint32(0x00400000) + uint32(rnd.Intn(256))<<12
+		pa := uint32(0x00200000) + uint32(rnd.Intn(512))<<12
+		b.MapPage(va, pa, aps[rnd.Intn(len(aps))])
+	}
+	var tlb TLB
+	cfg := &quick.Config{
+		MaxCount: 3000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			va := uint32(0x00400000) + uint32(r.Intn(300))<<12 + uint32(r.Intn(1<<12))
+			vals[0] = reflect.ValueOf(va)
+			vals[1] = reflect.ValueOf(Access(r.Intn(3)))
+			vals[2] = reflect.ValueOf(r.Intn(2) == 0)
+		},
+	}
+	f := func(va uint32, acc Access, user bool) bool {
+		paT, fT := tlb.Translate(bus, cp15, va, acc, user)
+		paW, _, fW := Walk(bus, cp15, va, acc, user)
+		if (fT == nil) != (fW == nil) {
+			return false
+		}
+		if fT != nil {
+			return fT.Type == fW.Type
+		}
+		return paT == paW
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessStrings(t *testing.T) {
+	if Fetch.String() != "fetch" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("access strings wrong")
+	}
+	if FaultTranslation.String() != "translation" || FaultPermission.String() != "permission" {
+		t.Error("fault strings wrong")
+	}
+}

@@ -1,0 +1,173 @@
+package rules
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/x86"
+)
+
+// scratchFor maps scratch slots to host registers.
+func scratchFor(s Slot) (x86.Reg, bool) {
+	switch s {
+	case SlotScratch0:
+		return x86.EAX, true
+	case SlotScratch1:
+		return x86.ECX, true
+	case SlotScratch2:
+		return x86.EDX, true
+	}
+	return 0, false
+}
+
+// resolve turns a template operand into a host operand for the matched
+// instruction.
+func resolve(o TOperand, in *arm.Inst) x86.Operand {
+	switch o.Slot {
+	case SlotRd:
+		return GuestOperand(in.Rd)
+	case SlotRn:
+		return GuestOperand(in.Rn)
+	case SlotRm:
+		return GuestOperand(in.Rm)
+	case SlotRs:
+		return GuestOperand(in.Rs)
+	case SlotRdHi:
+		return GuestOperand(in.RdHi)
+	case SlotImm:
+		return x86.I(in.Imm)
+	case SlotImmNot:
+		return x86.I(^in.Imm)
+	case SlotImmNeg:
+		return x86.I(-in.Imm)
+	case SlotShiftAmt:
+		return x86.I(uint32(in.ShiftAmt))
+	case SlotConst:
+		return x86.I(o.Const)
+	default:
+		if r, ok := scratchFor(o.Slot); ok {
+			return x86.R(r)
+		}
+	}
+	panic(fmt.Sprintf("rules: unresolvable operand slot %v", o.Slot))
+}
+
+// resolveReg resolves a slot that must land in a host register (widening
+// multiply ports). Memory-resident guest registers are not allowed here;
+// templates using these slots load them into scratch first.
+func resolveReg(s Slot, in *arm.Inst) x86.Reg {
+	if r, ok := scratchFor(s); ok {
+		return r
+	}
+	var g arm.Reg
+	switch s {
+	case SlotRd:
+		g = in.Rd
+	case SlotRn:
+		g = in.Rn
+	case SlotRm:
+		g = in.Rm
+	case SlotRs:
+		g = in.Rs
+	case SlotRdHi:
+		g = in.RdHi
+	default:
+		panic(fmt.Sprintf("rules: slot %v is not a register", s))
+	}
+	if h, ok := PinnedHost(g); ok {
+		return h
+	}
+	panic(fmt.Sprintf("rules: register slot %v resolves to memory-resident %v", s, g))
+}
+
+// Apply instantiates the rule's host template for the matched instruction,
+// emitting into em with the emitter's current class. Two-memory-operand
+// instructions are legalized through EDX (which no template holds live
+// across such an instruction); the bounce MOVs preserve host flags.
+func (r *Rule) Apply(em *x86.Emitter, in *arm.Inst) {
+	r.Uses++
+	for _, t := range r.Host {
+		if t.OpClass {
+			hop, ok := HostOpFor(in.Op)
+			if !ok {
+				panic(fmt.Sprintf("rules: %s: opcode-class slot with non-class op %v", r.Name, in.Op))
+			}
+			t.Op = hop
+		}
+		switch t.Op {
+		case x86.MULX, x86.SMULX:
+			em.Raw(x86.Inst{
+				Op:   t.Op,
+				Dst:  resolve(t.Dst, in),
+				Dst2: resolveReg(t.Dst2, in),
+				Src:  resolve(t.Src, in),
+				Src2: resolveReg(t.Src2, in),
+			})
+			continue
+		case x86.LEA:
+			emitLEA(em, t, in)
+			continue
+		}
+		if t.Dst.Slot == SlotNone {
+			// Zero-operand template instruction (e.g. CMC).
+			em.Raw(x86.Inst{Op: t.Op})
+			continue
+		}
+		dst := resolve(t.Dst, in)
+		var src x86.Operand
+		if t.Src.Slot != SlotNone {
+			src = resolve(t.Src, in)
+		}
+		if dst.Mode == x86.ModeMem && src.Mode == x86.ModeMem {
+			// Legalize mem,mem via EDX (flag-preserving MOVs).
+			em.Mov(x86.R(x86.EDX), src)
+			src = x86.R(x86.EDX)
+		}
+		em.Raw(x86.Inst{Op: t.Op, Dst: dst, Src: src})
+	}
+}
+
+// emitLEA emits Dst = Src(base) + Src2<<Scale + Disp with legalization for
+// memory-resident guest registers: LEA needs register base/index, so memory
+// operands bounce through scratch with flag-preserving MOVs. This is the
+// flag-free address arithmetic compilers emit, which is why learned rules
+// for non-flag-setting adds preserve host EFLAGS.
+func emitLEA(em *x86.Emitter, t TInst, in *arm.Inst) {
+	base := resolve(t.Src, in)
+	if base.Mode == x86.ModeMem {
+		em.Mov(x86.R(x86.EAX), base)
+		base = x86.R(x86.EAX)
+	} else if base.Mode != x86.ModeReg {
+		panic("rules: LEA base must be a register operand")
+	}
+	mem := x86.Operand{Mode: x86.ModeMem, Base: base.Reg, Size: 4}
+	if t.Src2 != SlotNone {
+		ix := resolve(TOperand{Slot: t.Src2}, in)
+		if ix.Mode == x86.ModeMem {
+			em.Mov(x86.R(x86.ECX), ix)
+			ix = x86.R(x86.ECX)
+		}
+		mem.Index = ix.Reg
+		mem.HasIx = true
+		mem.Scale = t.Scale
+		if mem.Scale == 0 {
+			mem.Scale = 1
+		}
+	}
+	switch t.Disp {
+	case SlotImm:
+		mem.Disp = int32(in.Imm)
+	case SlotImmNeg:
+		mem.Disp = -int32(in.Imm)
+	case SlotNone:
+	default:
+		panic(fmt.Sprintf("rules: bad LEA displacement slot %v", t.Disp))
+	}
+	dst := resolve(t.Dst, in)
+	if dst.Mode == x86.ModeMem {
+		em.Raw(x86.Inst{Op: x86.LEA, Dst: x86.R(x86.EDX), Src: mem})
+		em.Mov(dst, x86.R(x86.EDX))
+		return
+	}
+	em.Raw(x86.Inst{Op: x86.LEA, Dst: dst, Src: mem})
+}

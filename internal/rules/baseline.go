@@ -1,0 +1,454 @@
+package rules
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/x86"
+)
+
+// BaselineRules returns the seed rule set: the rule shapes the learning
+// pipeline (internal/learn) discovers from the training corpus, enumerated
+// directly. The learning pipeline regenerates and formally verifies rules of
+// exactly these shapes; Learn-generated sets replace this one in the
+// experiment harness, while unit tests may use the seed directly.
+//
+// Ordering matters: the first match wins, so cheaper/more-constrained forms
+// (two-operand x86, LEA) come before general scratch-register forms.
+func BaselineRules() *Set {
+	mk := func(rs ...*Rule) *Set { return &Set{Rules: rs} }
+	ti := func(op x86.Op, dst, src TOperand) TInst { return TInst{Op: op, Dst: dst, Src: src} }
+	rd, rn, rm, rs := TReg(SlotRd), TReg(SlotRn), TReg(SlotRm), TReg(SlotRs)
+	imm := TImm(SlotImm)
+	s0, s1, s2 := TReg(SlotScratch0), TReg(SlotScratch1), TReg(SlotScratch2)
+
+	hostALU := map[arm.AluOp]x86.Op{
+		arm.OpADD: x86.ADD, arm.OpSUB: x86.SUB, arm.OpAND: x86.AND,
+		arm.OpORR: x86.OR, arm.OpEOR: x86.XOR,
+	}
+
+	var set []*Rule
+	add := func(r *Rule) { set = append(set, r) }
+
+	flagsOf := func(op arm.AluOp) FlagEffect {
+		switch op {
+		case arm.OpSUB:
+			return FlagsFullSub
+		case arm.OpADD:
+			return FlagsFull
+		default:
+			return FlagsZN
+		}
+	}
+
+	// --- compares ---------------------------------------------------
+	add(&Rule{
+		Name:  "cmp-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpCMP}, Op2: Op2Reg},
+		Host:  []TInst{ti(x86.CMP, rn, rm)},
+		Flags: FlagsFullSub,
+	})
+	add(&Rule{
+		Name:  "cmp-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpCMP}, Op2: Op2Imm},
+		Host:  []TInst{ti(x86.CMP, rn, imm)},
+		Flags: FlagsFullSub,
+	})
+	add(&Rule{
+		Name:  "cmn-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpCMN}, Op2: Op2Reg},
+		Host:  []TInst{ti(x86.MOV, s0, rn), ti(x86.ADD, s0, rm)},
+		Flags: FlagsFull,
+	})
+	add(&Rule{
+		Name:  "cmn-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpCMN}, Op2: Op2Imm},
+		Host:  []TInst{ti(x86.MOV, s0, rn), ti(x86.ADD, s0, imm)},
+		Flags: FlagsFull,
+	})
+	add(&Rule{
+		Name:  "tst-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpTST}, Op2: Op2Reg},
+		Host:  []TInst{ti(x86.TEST, rn, rm)},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		// Rotated immediates change C (shifter carry): only the unrotated
+		// form keeps C, so only it matches; rotated tst falls back.
+		Name: "tst-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpTST},
+			Op2: Op2Imm, ImmUnrotated: true},
+		Host:  []TInst{ti(x86.TEST, rn, imm)},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name:  "teq-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpTEQ}, Op2: Op2Reg},
+		Host:  []TInst{ti(x86.MOV, s0, rn), ti(x86.XOR, s0, rm)},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name: "teq-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpTEQ},
+			Op2: Op2Imm, ImmUnrotated: true},
+		Host:  []TInst{ti(x86.MOV, s0, rn), ti(x86.XOR, s0, imm)},
+		Flags: FlagsZN,
+	})
+
+	// --- moves -------------------------------------------------------
+	add(&Rule{
+		Name: "mov-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMOV},
+			Op2: Op2Imm, S: no()},
+		Host:  []TInst{ti(x86.MOV, rd, imm)},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name: "movs-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMOV},
+			Op2: Op2Imm, S: yes(), ImmUnrotated: true},
+		Host:  []TInst{ti(x86.MOV, rd, imm), ti(x86.TEST, rd, rd)},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name: "mvn-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMVN},
+			Op2: Op2Imm, S: no()},
+		Host:  []TInst{ti(x86.MOV, rd, TImm(SlotImmNot))},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name: "mov-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMOV},
+			Op2: Op2Reg, S: no()},
+		Host:  []TInst{ti(x86.MOV, rd, rm)},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name: "movs-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMOV},
+			Op2: Op2Reg, S: yes()},
+		Host:  []TInst{ti(x86.MOV, rd, rm), ti(x86.TEST, rd, rd)},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name: "mvn-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMVN},
+			Op2: Op2Reg, S: no()},
+		Host:  []TInst{ti(x86.MOV, rd, rm), {Op: x86.NOT, Dst: rd}},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name: "mvns-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMVN},
+			Op2: Op2Reg, S: yes()},
+		Host:  []TInst{ti(x86.MOV, rd, rm), {Op: x86.NOT, Dst: rd}, ti(x86.TEST, rd, rd)},
+		Flags: FlagsZN,
+	})
+	// mov rd, rm, <shift> #amt
+	shiftHost := map[arm.ShiftType]x86.Op{
+		arm.LSL: x86.SHL, arm.LSR: x86.SHR, arm.ASR: x86.SAR, arm.ROR: x86.ROR,
+	}
+	for st, hop := range shiftHost {
+		st, hop := st, hop
+		add(&Rule{
+			Name: "mov-shift-" + st.String(),
+			Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpMOV},
+				Op2: Op2RegShiftImm, Shifts: []arm.ShiftType{st},
+				MinShift: 1, MaxShift: 31, S: no()},
+			Host:  []TInst{ti(x86.MOV, rd, rm), ti(hop, rd, TImm(SlotShiftAmt))},
+			Flags: FlagsNone,
+		})
+	}
+
+	// --- LEA forms: flag-free address arithmetic ----------------------
+	add(&Rule{
+		Name: "add-imm-lea",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADD},
+			Op2: Op2Imm, S: no()},
+		Host:  []TInst{{Op: x86.LEA, Dst: rd, Src: rn, Disp: SlotImm}},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name: "sub-imm-lea",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpSUB},
+			Op2: Op2Imm, S: no()},
+		Host:  []TInst{{Op: x86.LEA, Dst: rd, Src: rn, Disp: SlotImmNeg}},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name: "add-reg-lea",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADD},
+			Op2: Op2Reg, S: no()},
+		Host:  []TInst{{Op: x86.LEA, Dst: rd, Src: rn, Src2: SlotRm, Scale: 1}},
+		Flags: FlagsKeep,
+	})
+	for _, sh := range []uint8{1, 2, 3} {
+		sh := sh
+		add(&Rule{
+			Name: fmt.Sprintf("add-lsl%d-lea", sh),
+			Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADD},
+				Op2: Op2RegShiftImm, Shifts: []arm.ShiftType{arm.LSL},
+				MinShift: sh, MaxShift: sh, S: no()},
+			Host:  []TInst{{Op: x86.LEA, Dst: rd, Src: rn, Src2: SlotRm, Scale: 1 << sh}},
+			Flags: FlagsKeep,
+		})
+	}
+
+	// --- two-operand ALU forms (rd == rn) ------------------------------
+	// For logical ops, a rotated immediate changes guest C (shifter carry),
+	// which the flag-setting templates cannot express: the S forms of
+	// logical-immediate rules require an unrotated immediate, and shifted
+	// operand-2 logical rules match only non-S instructions (S falls back).
+	isLogical := func(op arm.AluOp) bool { return op.IsLogical() }
+	for _, op := range []arm.AluOp{arm.OpADD, arm.OpSUB, arm.OpAND, arm.OpORR, arm.OpEOR} {
+		op := op
+		add(&Rule{
+			Name: op.String() + "-2op-reg",
+			Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+				Op2: Op2Reg, RdEqRn: true},
+			Host:  []TInst{ti(hostALU[op], rd, rm)},
+			Flags: flagsOf(op),
+		})
+		immMatch := Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+			Op2: Op2Imm, RdEqRn: true}
+		if isLogical(op) {
+			immMatch.ImmUnrotated = true
+			add(&Rule{
+				Name: op.String() + "-2op-imm-rot",
+				Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+					Op2: Op2Imm, RdEqRn: true, S: no()},
+				Host:  []TInst{ti(hostALU[op], rd, imm)},
+				Flags: flagsOf(op),
+			})
+		}
+		add(&Rule{
+			Name:  op.String() + "-2op-imm",
+			Match: immMatch,
+			Host:  []TInst{ti(hostALU[op], rd, imm)},
+			Flags: flagsOf(op),
+		})
+	}
+	// Commutative rd == rm forms: rd = rn OP rd.
+	for _, op := range []arm.AluOp{arm.OpADD, arm.OpAND, arm.OpORR, arm.OpEOR} {
+		op := op
+		add(&Rule{
+			Name: op.String() + "-comm",
+			Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+				Op2: Op2Reg, RdEqRm: true},
+			Host:  []TInst{ti(hostALU[op], rd, rn)},
+			Flags: flagsOf(op),
+		})
+	}
+
+	// --- general three-operand forms -----------------------------------
+	for _, op := range []arm.AluOp{arm.OpADD, arm.OpSUB, arm.OpAND, arm.OpORR, arm.OpEOR} {
+		op := op
+		add(&Rule{
+			Name: op.String() + "-3op-reg",
+			Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+				Op2: Op2Reg, RdNeqRm: true},
+			Host:  []TInst{ti(x86.MOV, rd, rn), ti(hostALU[op], rd, rm)},
+			Flags: flagsOf(op),
+		})
+		immMatch3 := Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op}, Op2: Op2Imm}
+		if isLogical(op) {
+			immMatch3.ImmUnrotated = true
+			add(&Rule{
+				Name: op.String() + "-3op-imm-rot",
+				Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+					Op2: Op2Imm, S: no()},
+				Host:  []TInst{ti(x86.MOV, rd, rn), ti(hostALU[op], rd, imm)},
+				Flags: flagsOf(op),
+			})
+		}
+		add(&Rule{
+			Name:  op.String() + "-3op-imm",
+			Match: immMatch3,
+			Host:  []TInst{ti(x86.MOV, rd, rn), ti(hostALU[op], rd, imm)},
+			Flags: flagsOf(op),
+		})
+		// Fully general scratch form (handles rd == rm, non-commutative).
+		add(&Rule{
+			Name: op.String() + "-scratch",
+			Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+				Op2: Op2Reg},
+			Host: []TInst{
+				ti(x86.MOV, s0, rn), ti(hostALU[op], s0, rm), ti(x86.MOV, rd, s0),
+			},
+			Flags: flagsOf(op),
+		})
+		// Shifted operand 2 via scratch. Logical S forms would need the
+		// shifter carry-out in C: restricted to non-S (fallback handles S).
+		for st, hop := range shiftHost {
+			st, hop := st, hop
+			m := Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{op},
+				Op2: Op2RegShiftImm, Shifts: []arm.ShiftType{st},
+				MinShift: 1, MaxShift: 31}
+			if isLogical(op) {
+				m.S = no()
+			}
+			add(&Rule{
+				Name:  op.String() + "-shift-" + st.String(),
+				Match: m,
+				Host: []TInst{
+					ti(x86.MOV, s0, rm), ti(hop, s0, TImm(SlotShiftAmt)),
+					ti(x86.MOV, s1, rn), ti(hostALU[op], s1, s0), ti(x86.MOV, rd, s1),
+				},
+				Flags: flagsOf(op),
+			})
+		}
+	}
+
+	// --- BIC ------------------------------------------------------------
+	add(&Rule{
+		Name: "bic-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpBIC},
+			Op2: Op2Imm, RdEqRn: true, ImmUnrotated: true},
+		Host:  []TInst{ti(x86.AND, rd, TImm(SlotImmNot))},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name: "bic-imm-rot",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpBIC},
+			Op2: Op2Imm, RdEqRn: true, S: no()},
+		Host:  []TInst{ti(x86.AND, rd, TImm(SlotImmNot))},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name: "bic-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpBIC},
+			Op2: Op2Reg},
+		Host: []TInst{
+			ti(x86.MOV, s0, rm), {Op: x86.NOT, Dst: s0},
+			ti(x86.MOV, s1, rn), ti(x86.AND, s1, s0), ti(x86.MOV, rd, s1),
+		},
+		Flags: FlagsZN,
+	})
+
+	// --- RSB --------------------------------------------------------------
+	add(&Rule{
+		Name: "rsb-zero",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpRSB},
+			Op2: Op2Imm, ImmIsZero: true},
+		Host:  []TInst{ti(x86.MOV, rd, rn), {Op: x86.NEG, Dst: rd}},
+		Flags: FlagsFullSub,
+	})
+	add(&Rule{
+		Name: "rsb-imm",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpRSB},
+			Op2: Op2Imm},
+		Host:  []TInst{ti(x86.MOV, s0, imm), ti(x86.SUB, s0, rn), ti(x86.MOV, rd, s0)},
+		Flags: FlagsFullSub,
+	})
+	add(&Rule{
+		Name: "rsb-reg",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpRSB},
+			Op2: Op2Reg},
+		Host:  []TInst{ti(x86.MOV, s0, rm), ti(x86.SUB, s0, rn), ti(x86.MOV, rd, s0)},
+		Flags: FlagsFullSub,
+	})
+
+	// --- carry-consuming ops -------------------------------------------
+	add(&Rule{
+		Name: "adc-2op-direct",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADC},
+			Op2: Op2Reg, RdEqRn: true},
+		Host:  []TInst{ti(x86.ADC, rd, rm)},
+		Flags: FlagsFull,
+		Carry: CarryDirect,
+	})
+	add(&Rule{
+		Name: "adc-2op-subinv",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADC},
+			Op2: Op2Reg, RdEqRn: true},
+		Host:  []TInst{{Op: x86.CMC}, ti(x86.ADC, rd, rm)},
+		Flags: FlagsFull,
+		Carry: CarrySubInv,
+	})
+	add(&Rule{
+		Name: "adc-imm-direct",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADC},
+			Op2: Op2Imm, RdEqRn: true},
+		Host:  []TInst{ti(x86.ADC, rd, imm)},
+		Flags: FlagsFull,
+		Carry: CarryDirect,
+	})
+	add(&Rule{
+		Name: "adc-imm-subinv",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpADC},
+			Op2: Op2Imm, RdEqRn: true},
+		Host:  []TInst{{Op: x86.CMC}, ti(x86.ADC, rd, imm)},
+		Flags: FlagsFull,
+		Carry: CarrySubInv,
+	})
+	add(&Rule{
+		Name: "sbc-2op-subinv",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpSBC},
+			Op2: Op2Reg, RdEqRn: true},
+		Host:  []TInst{ti(x86.SBB, rd, rm)},
+		Flags: FlagsFullSub,
+		Carry: CarrySubInv,
+	})
+	add(&Rule{
+		Name: "sbc-2op-direct",
+		Match: Match{Kind: arm.KindDataProc, Ops: []arm.AluOp{arm.OpSBC},
+			Op2: Op2Reg, RdEqRn: true},
+		Host:  []TInst{{Op: x86.CMC}, ti(x86.SBB, rd, rm)},
+		Flags: FlagsFullSub,
+		Carry: CarryDirect,
+	})
+
+	// --- multiplies -----------------------------------------------------
+	add(&Rule{
+		Name:  "mul-2op",
+		Match: Match{Kind: arm.KindMul, S: no(), Acc: no()},
+		Host: []TInst{
+			ti(x86.MOV, s0, rm), {Op: x86.IMUL, Dst: s0, Src: rs}, ti(x86.MOV, rd, s0),
+		},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name:  "muls",
+		Match: Match{Kind: arm.KindMul, S: yes(), Acc: no()},
+		Host: []TInst{
+			ti(x86.MOV, s0, rm), {Op: x86.IMUL, Dst: s0, Src: rs},
+			ti(x86.MOV, rd, s0), ti(x86.TEST, s0, s0),
+		},
+		Flags: FlagsZN,
+	})
+	add(&Rule{
+		Name:  "mla",
+		Match: Match{Kind: arm.KindMul, S: no(), Acc: yes()},
+		Host: []TInst{
+			ti(x86.MOV, s0, rm), {Op: x86.IMUL, Dst: s0, Src: rs},
+			ti(x86.ADD, s0, rn), ti(x86.MOV, rd, s0),
+		},
+		Flags: FlagsNone,
+	})
+	add(&Rule{
+		Name:  "umull",
+		Match: Match{Kind: arm.KindMulLong, S: no(), Signed: no()},
+		Host: []TInst{
+			ti(x86.MOV, s0, rm), ti(x86.MOV, s1, rs),
+			{Op: x86.MULX, Dst: s0, Dst2: SlotScratch2, Src: s0, Src2: SlotScratch1},
+			ti(x86.MOV, rd, s0), ti(x86.MOV, TReg(SlotRdHi), s2),
+		},
+		Flags: FlagsKeep,
+	})
+	add(&Rule{
+		Name:  "smull",
+		Match: Match{Kind: arm.KindMulLong, S: no(), Signed: yes()},
+		Host: []TInst{
+			ti(x86.MOV, s0, rm), ti(x86.MOV, s1, rs),
+			{Op: x86.SMULX, Dst: s0, Dst2: SlotScratch2, Src: s0, Src2: SlotScratch1},
+			ti(x86.MOV, rd, s0), ti(x86.MOV, TReg(SlotRdHi), s2),
+		},
+		Flags: FlagsKeep,
+	})
+
+	for _, r := range set {
+		r.Verified = true // the seed shapes are verified by TestRulesAgainstInterpreter
+	}
+	return mk(set...)
+}

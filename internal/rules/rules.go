@@ -1,0 +1,354 @@
+// Package rules defines the parameterized translation rules of the
+// learning-based DBT approach: a guest instruction pattern plus a host code
+// template with register/immediate/opcode parameters (the "one-to-one"
+// translation of Section II-A). Rule sets are produced by the automated
+// learning pipeline in internal/learn (pair extraction from twin
+// compilations, symbolic verification, parameterization) and consumed by the
+// rule application phase in internal/core.
+package rules
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/x86"
+)
+
+// Slot identifies a parameter of a rule: a guest register operand, an
+// immediate, or a host scratch register.
+type Slot uint8
+
+// Parameter slots.
+const (
+	SlotNone     Slot = iota
+	SlotRd            // guest Rd
+	SlotRn            // guest Rn
+	SlotRm            // guest Rm
+	SlotRs            // guest Rs
+	SlotRdHi          // guest RdHi (long multiply)
+	SlotImm           // the instruction immediate, as decoded
+	SlotImmNot        // bitwise NOT of the immediate
+	SlotImmNeg        // two's-complement negation of the immediate
+	SlotShiftAmt      // the operand-2 shift amount
+	SlotScratch0      // host EAX
+	SlotScratch1      // host ECX
+	SlotScratch2      // host EDX
+	SlotConst         // the template operand's Const field
+)
+
+var slotNames = [...]string{
+	"none", "rd", "rn", "rm", "rs", "rdhi", "imm", "~imm", "-imm", "shamt",
+	"s0", "s1", "s2", "const",
+}
+
+func (s Slot) String() string {
+	if int(s) < len(slotNames) {
+		return slotNames[s]
+	}
+	return fmt.Sprintf("slot(%d)", uint8(s))
+}
+
+// TOperand is a host template operand.
+type TOperand struct {
+	Slot  Slot
+	Const uint32 // value for SlotConst
+	// Mem marks a memory dereference of the slot with displacement Const
+	// (unused by the current rule corpus; address math is done by the
+	// translator's softmmu machinery).
+	Mem bool
+}
+
+// TReg makes a guest-register template operand.
+func TReg(s Slot) TOperand { return TOperand{Slot: s} }
+
+// TImm makes an immediate-parameter template operand.
+func TImm(s Slot) TOperand { return TOperand{Slot: s} }
+
+// TConst makes a fixed-constant template operand.
+func TConst(v uint32) TOperand { return TOperand{Slot: SlotConst, Const: v} }
+
+// TInst is one host instruction in a rule template.
+//
+// For LEA, the addressing form is Dst = Src(base) + Src2<<Scale + Disp,
+// where Src2 may be SlotNone and Disp selects the displacement parameter
+// (SlotImm, SlotImmNeg or SlotNone).
+type TInst struct {
+	Op         x86.Op
+	Dst, Src   TOperand
+	Dst2, Src2 Slot  // widening multiply high destination / second source
+	Scale      uint8 // LEA index scale
+	Disp       Slot  // LEA displacement parameter
+	// OpClass marks the opcode itself as a parameter: the learning
+	// pipeline's opcode-class parameterization (Section II-A) merges rules
+	// for all ALU-type instructions into one rule; Apply resolves the host
+	// opcode from the matched guest opcode.
+	OpClass bool
+}
+
+// HostOpFor maps a guest ALU opcode to its class-corresponding host opcode
+// (the opcode-class parameter resolution).
+func HostOpFor(op arm.AluOp) (x86.Op, bool) {
+	switch op {
+	case arm.OpADD:
+		return x86.ADD, true
+	case arm.OpSUB:
+		return x86.SUB, true
+	case arm.OpAND:
+		return x86.AND, true
+	case arm.OpORR:
+		return x86.OR, true
+	case arm.OpEOR:
+		return x86.XOR, true
+	}
+	return 0, false
+}
+
+// FlagEffect describes what a rule's host template leaves in host EFLAGS.
+type FlagEffect uint8
+
+// Flag effects.
+const (
+	FlagsNone    FlagEffect = iota // host flags clobbered, guest flags unchanged... never used by S rules
+	FlagsKeep                      // host flags preserved (no flag-writing host op)
+	FlagsFull                      // all four guest flags valid, direct carry polarity
+	FlagsFullSub                   // all four valid, sub-inverted carry polarity
+	FlagsZN                        // only Z/N valid; guest C/V unchanged architecturally
+)
+
+func (f FlagEffect) String() string {
+	switch f {
+	case FlagsNone:
+		return "clobber"
+	case FlagsKeep:
+		return "keep"
+	case FlagsFull:
+		return "full"
+	case FlagsFullSub:
+		return "full-subinv"
+	case FlagsZN:
+		return "zn"
+	}
+	return "?"
+}
+
+// Op2Kind constrains the guest operand-2 form a rule matches.
+type Op2Kind uint8
+
+// Operand-2 forms.
+const (
+	Op2Any Op2Kind = iota
+	Op2Imm
+	Op2Reg         // register, no shift
+	Op2RegShiftImm // register shifted by immediate
+	Op2None        // no operand 2 (multiplies)
+)
+
+// CarryIn describes what the rule requires of host EFLAGS on entry.
+type CarryIn uint8
+
+// Carry-in requirements.
+const (
+	CarryNone   CarryIn = iota // does not read host carry
+	CarryDirect                // requires host CF == guest C
+	CarrySubInv                // requires host CF == NOT guest C
+)
+
+// Match is the guest-side pattern of a rule.
+type Match struct {
+	Kind         arm.Kind
+	Ops          []arm.AluOp // acceptable opcodes (parameterized class); nil = any
+	S            *bool       // nil = any
+	Op2          Op2Kind
+	Shifts       []arm.ShiftType // acceptable shift types for Op2RegShiftImm
+	MinShift     uint8
+	MaxShift     uint8 // 0 means "no constraint" when MinShift is also 0
+	RdEqRn       bool  // require Rd == Rn (two-operand x86 forms)
+	RdEqRm       bool  // require Rd == Rm (commutative second-operand forms)
+	RdNeqRm      bool  // require Rd != Rm (templates that overwrite Rd early)
+	ImmUnrotated bool  // immediate must have rotation 0 (shifter carry = C in)
+	ImmIsZero    bool  // immediate must be zero
+	Signed       *bool // long multiply signedness; nil = any
+	Acc          *bool // multiply-accumulate; nil = any
+}
+
+// Rule is one learned translation rule.
+type Rule struct {
+	Name  string
+	Match Match
+	Host  []TInst
+	Flags FlagEffect
+	Carry CarryIn
+	// Verified records that the symbolic checker proved guest/host
+	// equivalence for this rule during learning.
+	Verified bool
+	// Uses counts how many times the translator applied the rule (set at
+	// translation time; statistics for the experiments).
+	Uses uint64
+}
+
+// boolPtr helpers for Match literals.
+func yes() *bool { b := true; return &b }
+func no() *bool  { b := false; return &b }
+
+// Matches reports whether the rule's pattern matches the decoded guest
+// instruction. The condition field is not part of the pattern: predication
+// is handled uniformly by the translator.
+func (r *Rule) Matches(in *arm.Inst) bool {
+	m := &r.Match
+	if in.Kind != m.Kind {
+		return false
+	}
+	if m.S != nil && in.S != *m.S {
+		return false
+	}
+	if m.Kind == arm.KindDataProc {
+		if len(m.Ops) > 0 {
+			found := false
+			for _, op := range m.Ops {
+				if in.Op == op {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		switch m.Op2 {
+		case Op2Imm:
+			if !in.ImmValid {
+				return false
+			}
+		case Op2Reg:
+			if in.ImmValid || in.ShiftReg || in.ShiftAmt != 0 || in.Shift == arm.RRX {
+				return false
+			}
+		case Op2RegShiftImm:
+			if in.ImmValid || in.ShiftReg || in.Shift == arm.RRX || in.ShiftAmt == 0 {
+				return false
+			}
+			if len(m.Shifts) > 0 {
+				ok := false
+				for _, st := range m.Shifts {
+					if in.Shift == st {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+			if m.MaxShift != 0 && (in.ShiftAmt < m.MinShift || in.ShiftAmt > m.MaxShift) {
+				return false
+			}
+		}
+		if m.RdEqRn && in.Rd != in.Rn {
+			return false
+		}
+		if m.RdEqRm && (in.ImmValid || in.Rd != in.Rm) {
+			return false
+		}
+		if m.RdNeqRm && !in.ImmValid && in.Rd == in.Rm {
+			return false
+		}
+		if m.ImmUnrotated && (!in.ImmValid || in.Imm > 0xFF) {
+			return false
+		}
+		if m.ImmIsZero && (!in.ImmValid || in.Imm != 0) {
+			return false
+		}
+		// Rules never cover PC-involved data processing; the translator
+		// handles PC reads/writes natively.
+		if in.Rd == arm.PC || (in.Op.HasRn() && in.Rn == arm.PC) ||
+			(!in.ImmValid && in.Rm == arm.PC) {
+			return false
+		}
+	}
+	if m.Kind == arm.KindMulLong && m.Signed != nil && in.SignedML != *m.Signed {
+		return false
+	}
+	if m.Kind == arm.KindMul && m.Acc != nil && in.Acc != *m.Acc {
+		return false
+	}
+	if m.Kind == arm.KindMul || m.Kind == arm.KindMulLong {
+		// Multiplies never involve PC.
+		if in.Rd == arm.PC || in.Rm == arm.PC || in.Rs == arm.PC {
+			return false
+		}
+	}
+	return true
+}
+
+// Set is an ordered rule set; the first matching rule wins, so more specific
+// rules (e.g. two-operand x86 forms) come first.
+type Set struct {
+	Rules []*Rule
+	// Misses counts instructions no rule covered (fallback to QEMU).
+	Misses uint64
+}
+
+// Find returns the first rule matching the instruction under the given
+// carry-in availability (host flag state), or nil.
+// carryOK reports whether a rule with the given carry requirement can be
+// satisfied at this program point.
+func (s *Set) Find(in *arm.Inst, carryOK func(CarryIn) bool) *Rule {
+	for _, r := range s.Rules {
+		if r.Matches(in) && carryOK(r.Carry) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Coverage returns the fraction of matched instructions:
+// uses / (uses + misses).
+func (s *Set) Coverage() float64 {
+	var uses uint64
+	for _, r := range s.Rules {
+		uses += r.Uses
+	}
+	if uses+s.Misses == 0 {
+		return 0
+	}
+	return float64(uses) / float64(uses+s.Misses)
+}
+
+// hostFor maps a guest register to its pinned host register, or reports that
+// it is memory-resident. This is the rule-application register mapping: the
+// learning-based approach "keeps the guest CPU states in the host CPU states
+// as much as possible" (Section II-B).
+//
+// Pinned: r0-r10 -> EBX, ESI, EDI, R8-R15.
+// Memory-resident: r11, r12, sp, lr, pc (accessed as env slots).
+var pinMap = map[arm.Reg]x86.Reg{
+	arm.R0: x86.EBX, arm.R1: x86.ESI, arm.R2: x86.EDI,
+	arm.R3: x86.R8, arm.R4: x86.R9, arm.R5: x86.R10,
+	arm.R6: x86.R11, arm.R7: x86.R12, arm.R8: x86.R13,
+	arm.R9: x86.R14, arm.R10: x86.R15,
+}
+
+// PinnedHost returns the pinned host register for a guest register.
+func PinnedHost(r arm.Reg) (x86.Reg, bool) {
+	h, ok := pinMap[r]
+	return h, ok
+}
+
+// GuestOperand resolves a guest register to its host operand: the pinned
+// host register, or the env memory slot for memory-resident registers.
+func GuestOperand(r arm.Reg) x86.Operand {
+	if h, ok := pinMap[r]; ok {
+		return x86.R(h)
+	}
+	return x86.M(x86.EBP, engine.OffReg(r))
+}
+
+// PinnedSet is the bitmask of pinned guest registers.
+func PinnedSet() uint16 {
+	var s uint16
+	for r := range pinMap {
+		s |= 1 << r
+	}
+	return s
+}

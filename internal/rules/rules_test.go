@@ -1,0 +1,234 @@
+package rules
+
+import (
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/x86"
+)
+
+func decode(t *testing.T, asmLine string) arm.Inst {
+	t.Helper()
+	prog, err := arm.Assemble(asmLine)
+	if err != nil {
+		t.Fatalf("assemble %q: %v", asmLine, err)
+	}
+	return arm.Decode(prog.Word(0))
+}
+
+func findByName(t *testing.T, s *Set, name string) *Rule {
+	t.Helper()
+	for _, r := range s.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("no rule %q", name)
+	return nil
+}
+
+func TestMatchConstraints(t *testing.T) {
+	s := BaselineRules()
+	anyCarry := func(CarryIn) bool { return true }
+	cases := []struct {
+		asm  string
+		want string // expected first-matching rule name
+	}{
+		{"add r0, r0, r1", "add-reg-lea"}, // flag-free LEA outranks the 2op form
+		{"add r0, r1, r2", "add-reg-lea"},
+		{"adds r0, r1, r2", "add-3op-reg"},
+		{"add r0, r1, #0x10", "add-imm-lea"},
+		{"adds r0, r0, #0x10", "add-2op-imm"},
+		{"sub r0, r1, #0x4", "sub-imm-lea"},
+		{"add r0, r1, r2, lsl #2", "add-lsl2-lea"},
+		{"adds r0, r1, r2, lsl #2", "add-shift-lsl"},
+		{"and r3, r3, r4", "and-2op-reg"},
+		{"eor r3, r4, r3", "eor-comm"},
+		{"cmp r0, r1", "cmp-reg"},
+		{"cmp r0, #0x7", "cmp-imm"},
+		{"tst r0, #0x1", "tst-imm"},
+		{"mov r0, #0x42", "mov-imm"},
+		{"movs r0, #0x42", "movs-imm"},
+		{"mvn r0, #0x42", "mvn-imm"},
+		{"rsb r0, r1, #0x0", "rsb-zero"},
+		{"mul r0, r1, r2", "mul-2op"},
+		{"mla r0, r1, r2, r3", "mla"},
+		{"umull r0, r1, r2, r3", "umull"},
+		{"smull r0, r1, r2, r3", "smull"},
+	}
+	for _, c := range cases {
+		in := decode(t, c.asm)
+		r := s.Find(&in, anyCarry)
+		if r == nil {
+			t.Errorf("%q matched nothing", c.asm)
+			continue
+		}
+		if r.Name != c.want {
+			t.Errorf("%q matched %q, want %q", c.asm, r.Name, c.want)
+		}
+	}
+}
+
+func TestNoRuleForSystemOrPCInvolved(t *testing.T) {
+	s := BaselineRules()
+	anyCarry := func(CarryIn) bool { return true }
+	uncovered := []string{
+		"add r0, pc, #0x8",    // PC operand
+		"mov pc, r0",          // PC destination
+		"mov r0, r1, lsl r2",  // register-specified shift
+		"movs r0, r1, lsl #3", // S with shifted operand: shifter carry
+		"ands r0, r1, r2, lsr #4",
+		"tst r0, #0xff000000", // rotated immediate with S
+	}
+	for _, asmLine := range uncovered {
+		in := decode(t, asmLine)
+		if r := s.Find(&in, anyCarry); r != nil {
+			t.Errorf("%q unexpectedly matched %q", asmLine, r.Name)
+		}
+	}
+}
+
+func TestCarryVariantSelection(t *testing.T) {
+	s := BaselineRules()
+	in := decode(t, "adc r0, r0, r1")
+	direct := s.Find(&in, func(c CarryIn) bool { return c == CarryDirect || c == CarryNone })
+	subinv := s.Find(&in, func(c CarryIn) bool { return c == CarrySubInv || c == CarryNone })
+	if direct == nil || subinv == nil {
+		t.Fatal("missing adc variants")
+	}
+	if direct.Name == subinv.Name {
+		t.Errorf("same variant for both polarities: %s", direct.Name)
+	}
+	if len(subinv.Host) != len(direct.Host)+1 {
+		t.Errorf("sub-inverted variant should carry a CMC: %d vs %d insts",
+			len(subinv.Host), len(direct.Host))
+	}
+}
+
+func TestApplyLEATemplates(t *testing.T) {
+	s := BaselineRules()
+	in := decode(t, "add r0, r1, r2, lsl #2")
+	r := findByName(t, s, "add-lsl2-lea")
+	if !r.Matches(&in) {
+		t.Fatal("rule does not match its own pattern")
+	}
+	em := x86.NewEmitter()
+	r.Apply(em, &in)
+	em.Exit(0)
+	m := x86.NewMachine(1 << 12)
+	m.Regs[x86.ESP] = 1 << 10
+	h1, _ := PinnedHost(arm.R1)
+	h2, _ := PinnedHost(arm.R2)
+	h0, _ := PinnedHost(arm.R0)
+	m.Regs[h1] = 100
+	m.Regs[h2] = 5
+	m.CF = true // LEA must preserve flags
+	m.Exec(em.Finish(0, 1))
+	if m.Regs[h0] != 120 {
+		t.Errorf("lea result = %d", m.Regs[h0])
+	}
+	if !m.CF {
+		t.Error("LEA rule clobbered flags")
+	}
+	if em.Len() != 2 { // lea + exit
+		t.Errorf("template length = %d", em.Len()-1)
+	}
+}
+
+func TestApplyMemoryResidentOperandLegalization(t *testing.T) {
+	// sp is memory-resident: "add sp, sp, #8" must legalize through env.
+	s := BaselineRules()
+	in := decode(t, "add sp, sp, #0x8")
+	r := s.Find(&in, func(CarryIn) bool { return true })
+	if r == nil {
+		t.Fatal("no rule for sp arithmetic")
+	}
+	em := x86.NewEmitter()
+	r.Apply(em, &in)
+	em.Exit(0)
+	m := x86.NewMachine(1 << 14)
+	m.Regs[x86.ESP] = 1 << 13
+	m.Regs[x86.EBP] = engine.EnvBase
+	env := engine.NewEnv(m)
+	env.SetReg(arm.SP, 0x7000)
+	m.Exec(em.Finish(0, 1))
+	if got := env.Reg(arm.SP); got != 0x7008 {
+		t.Errorf("sp = %#x", got)
+	}
+}
+
+func TestOpClassResolution(t *testing.T) {
+	r := &Rule{
+		Name: "class",
+		Match: Match{Kind: arm.KindDataProc,
+			Ops: []arm.AluOp{arm.OpAND, arm.OpORR, arm.OpEOR},
+			Op2: Op2Reg, RdEqRn: true},
+		Host:  []TInst{{Op: x86.AND, OpClass: true, Dst: TReg(SlotRd), Src: TReg(SlotRm)}},
+		Flags: FlagsZN,
+	}
+	for _, c := range []struct {
+		asm  string
+		a, b uint32
+		want uint32
+	}{
+		{"and r0, r0, r1", 0xF0, 0xFF, 0xF0},
+		{"orr r0, r0, r1", 0xF0, 0x0F, 0xFF},
+		{"eor r0, r0, r1", 0xFF, 0x0F, 0xF0},
+	} {
+		in := decode(t, c.asm)
+		if !r.Matches(&in) {
+			t.Fatalf("%q does not match class rule", c.asm)
+		}
+		em := x86.NewEmitter()
+		r.Apply(em, &in)
+		em.Exit(0)
+		m := x86.NewMachine(1 << 12)
+		m.Regs[x86.ESP] = 1 << 10
+		h0, _ := PinnedHost(arm.R0)
+		h1, _ := PinnedHost(arm.R1)
+		m.Regs[h0], m.Regs[h1] = c.a, c.b
+		m.Exec(em.Finish(0, 1))
+		if m.Regs[h0] != c.want {
+			t.Errorf("%q = %#x, want %#x", c.asm, m.Regs[h0], c.want)
+		}
+	}
+}
+
+func TestPinMapProperties(t *testing.T) {
+	seen := map[x86.Reg]arm.Reg{}
+	for r := arm.R0; r <= arm.R10; r++ {
+		h, ok := PinnedHost(r)
+		if !ok {
+			t.Fatalf("r%d not pinned", r)
+		}
+		switch h {
+		case x86.EAX, x86.ECX, x86.EDX, x86.ESP, x86.EBP:
+			t.Errorf("r%d pinned to reserved host register %v", r, h)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("host %v pinned twice (%v and %v)", h, prev, r)
+		}
+		seen[h] = r
+	}
+	for _, r := range []arm.Reg{arm.R11, arm.R12, arm.SP, arm.LR, arm.PC} {
+		if _, ok := PinnedHost(r); ok {
+			t.Errorf("%v should be memory-resident", r)
+		}
+		op := GuestOperand(r)
+		if op.Mode != x86.ModeMem || op.Base != x86.EBP {
+			t.Errorf("%v operand = %+v", r, op)
+		}
+	}
+	if PinnedSet() != 0x07FF {
+		t.Errorf("pinned set = %#x", PinnedSet())
+	}
+}
+
+func TestCoverageStatistic(t *testing.T) {
+	s := &Set{Rules: []*Rule{{Uses: 30}, {Uses: 10}}}
+	s.Misses = 10
+	if got := s.Coverage(); got != 0.8 {
+		t.Errorf("coverage = %v", got)
+	}
+}

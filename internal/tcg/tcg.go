@@ -1,0 +1,657 @@
+// Package tcg implements the QEMU-6.1-like baseline translator: a two-step
+// (guest -> IR -> host) translation in which the guest CPU state — registers
+// and each condition-code flag separately — lives in the in-memory CPUState
+// and every guest-register access is a host memory operation. The host code
+// it emits is what a simple IR backend with memory-resident temporaries
+// produces, which reproduces the paper's "n x m" instruction blowup
+// (Section I) and QEMU's freedom from CPU-state coordination (Section II-B:
+// QEMU "maintains the guest CPU states in the memory").
+package tcg
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/x86"
+)
+
+// Translator is the TCG-like baseline. The zero value is ready to use.
+type Translator struct{}
+
+// New returns the baseline translator.
+func New() *Translator { return &Translator{} }
+
+// Name implements engine.Translator.
+func (t *Translator) Name() string { return "qemu-tcg" }
+
+// Translate implements engine.Translator.
+func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.TB, error) {
+	insts, err := engine.ScanTB(e, pc)
+	if err != nil {
+		return nil, fmt.Errorf("tcg: %w", err)
+	}
+	tc := &tbCtx{e: e, em: x86.NewEmitter(), pc: pc}
+	tb := &engine.TB{PC: pc, GuestLen: len(insts)}
+
+	// QEMU places an interrupt check at the head of every TB (Fig. 4). In
+	// TCG mode the guest flags are memory-resident, so the check needs no
+	// flag coordination.
+	engine.EmitIRQCheckBody(tc.em, tc.seq())
+
+	for idx, in := range insts {
+		tc.idx = idx
+		tc.inst = in
+		tc.translateInst(&in, tb)
+	}
+	last := insts[len(insts)-1]
+	if !last.IsBranch() && last.Kind != arm.KindUndef {
+		// Block capped: fall through to the next TB.
+		fall := pc + uint32(len(insts))*4
+		tb.Next[0], tb.HasNext[0] = fall, true
+		tc.em.SetClass(x86.ClassGlue)
+		tc.em.Exit(engine.ExitNext0)
+	}
+	tb.Block = tc.em.Finish(pc, len(insts))
+	return tb, nil
+}
+
+// EmitFallback emits state-in-memory (TCG-style) host code for the
+// unconditional body of one guest instruction. The rule-based translator
+// uses it for instructions its rule set does not cover: the paper's
+// "switched to QEMU for emulation" path, which is what forces the
+// surrounding CPU-state coordination. Condition evaluation and coordination
+// are the caller's responsibility.
+//
+// It reports whether the emission ended the block with an indirect exit
+// (PC was written).
+func EmitFallback(e *engine.Engine, em *x86.Emitter, in *arm.Inst, instPC uint32, idx, seqBase int) bool {
+	// pc is back-computed so that instPC() yields the true guest address
+	// while helpers capture the true retirement index.
+	tc := &tbCtx{e: e, em: em, pc: instPC - uint32(idx)*4, idx: idx, seqN: seqBase}
+	tb := &engine.TB{PC: instPC}
+	switch in.Kind {
+	case arm.KindDataProc:
+		tc.dataProc(in)
+	case arm.KindMul:
+		tc.mul(in)
+	case arm.KindMulLong:
+		tc.mulLong(in)
+	case arm.KindMem:
+		tc.mem(in)
+	case arm.KindMemH:
+		tc.memH(in)
+	case arm.KindBlock:
+		tc.block(in, tb)
+	default:
+		panic(fmt.Sprintf("tcg: EmitFallback cannot handle %v", in.Kind))
+	}
+	return endsIndirect(in)
+}
+
+// endsIndirect reports whether the instruction writes PC (so its fallback
+// emission terminated the block with an indirect exit).
+func endsIndirect(in *arm.Inst) bool {
+	switch in.Kind {
+	case arm.KindDataProc:
+		return !in.Op.IsCompare() && in.Rd == arm.PC
+	case arm.KindMem:
+		return in.Load && in.Rd == arm.PC
+	case arm.KindBlock:
+		return in.Load && in.RegList&(1<<arm.PC) != 0
+	}
+	return false
+}
+
+// tbCtx is per-TB translation state.
+type tbCtx struct {
+	e    *engine.Engine
+	em   *x86.Emitter
+	pc   uint32 // TB start
+	idx  int    // current guest instruction index
+	inst arm.Inst
+	seqN int
+}
+
+func (tc *tbCtx) seq() int {
+	tc.seqN++
+	return tc.seqN*64 + tc.idx
+}
+
+// instPC is the guest address of the current instruction.
+func (tc *tbCtx) instPC() uint32 { return tc.pc + uint32(tc.idx)*4 }
+
+// reg returns the env operand for a guest register; PC reads materialize the
+// architectural pc+8 constant.
+func (tc *tbCtx) loadReg(dst x86.Reg, r arm.Reg) {
+	if r == arm.PC {
+		tc.em.Mov(x86.R(dst), x86.I(tc.instPC()+8))
+		return
+	}
+	tc.em.Mov(x86.R(dst), x86.M(x86.EBP, engine.OffReg(r)))
+}
+
+func (tc *tbCtx) storeReg(r arm.Reg, src x86.Reg) {
+	tc.em.Mov(x86.M(x86.EBP, engine.OffReg(r)), x86.R(src))
+}
+
+// translateInst emits host code for one guest instruction.
+func (tc *tbCtx) translateInst(in *arm.Inst, tb *engine.TB) {
+	em := tc.em
+	em.SetClass(x86.ClassCode)
+	skip := ""
+	endsBlock := in.IsBranch() || in.Kind == arm.KindUndef
+
+	if in.Cond.UsesFlags() {
+		if endsBlock {
+			// Conditional block terminator: the fail path exits to the
+			// fallthrough successor.
+			skip = fmt.Sprintf("condfail_%d", tc.seq())
+			engine.EmitCondFromEnv(em, in.Cond, skip, tc.seq())
+		} else {
+			skip = fmt.Sprintf("condskip_%d", tc.seq())
+			engine.EmitCondFromEnv(em, in.Cond, skip, tc.seq())
+		}
+	}
+
+	switch in.Kind {
+	case arm.KindDataProc:
+		tc.dataProc(in)
+	case arm.KindMul:
+		tc.mul(in)
+	case arm.KindMulLong:
+		tc.mulLong(in)
+	case arm.KindMem:
+		tc.mem(in)
+	case arm.KindMemH:
+		tc.memH(in)
+	case arm.KindBlock:
+		tc.block(in, tb)
+	case arm.KindBranch:
+		tc.branch(in, tb)
+	case arm.KindBX:
+		tc.loadReg(x86.EAX, in.Rm)
+		em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFFFFFFE))
+		em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EAX))
+		em.SetClass(x86.ClassGlue)
+		em.Exit(engine.ExitIndirect)
+	case arm.KindNOP:
+		// nothing
+	case arm.KindUndef:
+		id := tc.e.RegisterUndef(tc.instPC(), tc.idx)
+		em.CallHelper(id)
+		em.Exit(engine.ExitExc) // unreachable; helper always exits
+	default:
+		// System-level instruction: QEMU emulates it in a helper (Fig. 2).
+		id := tc.e.RegisterSystem(*in, tc.instPC(), tc.idx)
+		em.CallHelper(id)
+		if in.Kind == arm.KindSVC || in.Kind == arm.KindWFI || in.Kind == arm.KindSRSexc {
+			// The helper always exits for these; emit a backstop exit so
+			// control cannot fall off the block if it ever returned.
+			em.SetClass(x86.ClassGlue)
+			em.Exit(engine.ExitExc)
+		}
+	}
+
+	if skip != "" {
+		if endsBlock {
+			// Fail path of a conditional terminator: fall through.
+			em.Label(skip)
+			fall := tc.instPC() + 4
+			tb.Next[0], tb.HasNext[0] = fall, true
+			em.SetClass(x86.ClassGlue)
+			em.Exit(engine.ExitNext0)
+		} else {
+			em.Label(skip)
+		}
+	}
+}
+
+// branch emits B/BL. The condition fail path is handled by translateInst.
+func (tc *tbCtx) branch(in *arm.Inst, tb *engine.TB) {
+	em := tc.em
+	if in.Link {
+		em.Mov(x86.R(x86.EAX), x86.I(tc.instPC()+4))
+		tc.storeReg(arm.LR, x86.EAX)
+	}
+	target := uint32(int32(tc.instPC()) + 8 + in.Offset)
+	tb.Next[1], tb.HasNext[1] = target, true
+	em.SetClass(x86.ClassGlue)
+	em.Exit(engine.ExitNext1)
+}
+
+// operand2 computes the flexible operand into EAX. If the instruction sets
+// flags and is logical, the shifter carry-out is written to env.CF as part
+// of the computation (ARM logical-S semantics), matching the interpreter.
+func (tc *tbCtx) operand2(in *arm.Inst) {
+	em := tc.em
+	needCarry := in.S && in.Op.IsLogical()
+	if in.ImmValid {
+		v, carry := in.Op2Imm(false)
+		em.Mov(x86.R(x86.EAX), x86.I(v))
+		if needCarry && in.Raw&0xF00 != 0 { // rotated immediate: carry is static
+			c := uint32(0)
+			if carry {
+				c = 1
+			}
+			em.Mov(x86.M(x86.EBP, engine.OffCF), x86.I(c))
+		}
+		return
+	}
+	if in.ShiftReg {
+		tc.shiftByReg(in)
+		return
+	}
+	switch {
+	case in.Shift == arm.RRX:
+		em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, engine.OffCF))
+		em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(31))
+		tc.loadReg(x86.EAX, in.Rm)
+		em.Op2(x86.SHR, x86.R(x86.EAX), x86.I(1))
+		if needCarry {
+			tc.saveHostCF()
+		}
+		em.Op2(x86.OR, x86.R(x86.EAX), x86.R(x86.ECX))
+	case in.ShiftAmt == 0:
+		tc.loadReg(x86.EAX, in.Rm)
+	case in.ShiftAmt == 32: // LSR/ASR #32
+		tc.loadReg(x86.EAX, in.Rm)
+		if needCarry {
+			em.Op2(x86.SHL, x86.R(x86.EAX), x86.I(1)) // CF = bit31
+			tc.saveHostCF()
+			tc.loadReg(x86.EAX, in.Rm)
+		}
+		if in.Shift == arm.LSR {
+			em.Mov(x86.R(x86.EAX), x86.I(0))
+		} else { // ASR #32: sign-fill
+			em.Op2(x86.SAR, x86.R(x86.EAX), x86.I(31))
+		}
+	default:
+		tc.loadReg(x86.EAX, in.Rm)
+		hostOp := map[arm.ShiftType]x86.Op{
+			arm.LSL: x86.SHL, arm.LSR: x86.SHR, arm.ASR: x86.SAR, arm.ROR: x86.ROR,
+		}[in.Shift]
+		em.Op2(hostOp, x86.R(x86.EAX), x86.I(uint32(in.ShiftAmt)))
+		if needCarry {
+			tc.saveHostCF()
+		}
+	}
+}
+
+// saveHostCF stores the host carry into env.CF (3 instructions) without
+// disturbing EAX; uses EDX.
+func (tc *tbCtx) saveHostCF() {
+	em := tc.em
+	em.Setcc(x86.CcB, x86.R(x86.EDX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EDX), Src: x86.R(x86.EDX)})
+	em.Mov(x86.M(x86.EBP, engine.OffCF), x86.R(x86.EDX))
+}
+
+// shiftByReg implements register-specified shifts (amount in Rs). Flag
+// setting for these is not generated by compilers in our corpus; S forms
+// fall back to the undefined-instruction helper.
+func (tc *tbCtx) shiftByReg(in *arm.Inst) {
+	em := tc.em
+	big := fmt.Sprintf("shbig_%d", tc.seq())
+	done := fmt.Sprintf("shdone_%d", tc.seq())
+	tc.loadReg(x86.ECX, in.Rs)
+	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(0xFF))
+	tc.loadReg(x86.EAX, in.Rm)
+	em.Op2(x86.CMP, x86.R(x86.ECX), x86.I(32))
+	em.Jcc(x86.CcAE, big)
+	hostOp := map[arm.ShiftType]x86.Op{
+		arm.LSL: x86.SHL, arm.LSR: x86.SHR, arm.ASR: x86.SAR, arm.ROR: x86.ROR,
+	}[in.Shift]
+	em.Op2(hostOp, x86.R(x86.EAX), x86.R(x86.ECX))
+	em.Jmp(done)
+	em.Label(big)
+	switch in.Shift {
+	case arm.LSL, arm.LSR:
+		em.Mov(x86.R(x86.EAX), x86.I(0))
+	case arm.ASR:
+		em.Op2(x86.SAR, x86.R(x86.EAX), x86.I(31))
+	case arm.ROR:
+		em.Op2(x86.AND, x86.R(x86.ECX), x86.I(31))
+		em.Op2(x86.ROR, x86.R(x86.EAX), x86.R(x86.ECX))
+	}
+	em.Label(done)
+}
+
+// loadGuestCarryIntoHostCF sets host CF = env.CF (2 instructions).
+func (tc *tbCtx) loadGuestCarryIntoHostCF() {
+	em := tc.em
+	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, engine.OffCF))
+	em.Op2(x86.ADD, x86.R(x86.EDX), x86.I(0xFFFFFFFF)) // CF = (EDX != 0)
+}
+
+func (tc *tbCtx) dataProc(in *arm.Inst) {
+	em := tc.em
+	// Operand 2 -> EAX (may update env.CF for logical-S shifter carry).
+	tc.operand2(in)
+	var pol engine.FlagPol
+	writeResult := !in.Op.IsCompare()
+	switch in.Op {
+	case arm.OpMOV, arm.OpMVN:
+		if in.Op == arm.OpMVN {
+			em.Op1(x86.NOT, x86.R(x86.EAX))
+		}
+		if in.S {
+			em.Op2(x86.TEST, x86.R(x86.EAX), x86.R(x86.EAX)) // set Z/N
+		}
+	default:
+		tc.loadReg(x86.ECX, in.Rn)
+		switch in.Op {
+		case arm.OpAND, arm.OpTST:
+			em.Op2(x86.AND, x86.R(x86.ECX), x86.R(x86.EAX))
+		case arm.OpEOR, arm.OpTEQ:
+			em.Op2(x86.XOR, x86.R(x86.ECX), x86.R(x86.EAX))
+		case arm.OpORR:
+			em.Op2(x86.OR, x86.R(x86.ECX), x86.R(x86.EAX))
+		case arm.OpBIC:
+			em.Op1(x86.NOT, x86.R(x86.EAX))
+			em.Op2(x86.AND, x86.R(x86.ECX), x86.R(x86.EAX))
+		case arm.OpADD, arm.OpCMN:
+			em.Op2(x86.ADD, x86.R(x86.ECX), x86.R(x86.EAX))
+		case arm.OpSUB, arm.OpCMP:
+			em.Op2(x86.SUB, x86.R(x86.ECX), x86.R(x86.EAX))
+			pol = engine.PolSubInvHost
+		case arm.OpRSB:
+			// ECX = EAX - ECX: compute in EAX order.
+			em.Op2(x86.SUB, x86.R(x86.EAX), x86.R(x86.ECX))
+			em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
+			pol = engine.PolSubInvHost
+		case arm.OpADC:
+			tc.loadGuestCarryIntoHostCF()
+			em.Op2(x86.ADC, x86.R(x86.ECX), x86.R(x86.EAX))
+		case arm.OpSBC:
+			tc.loadGuestCarryIntoHostCF()
+			em.Op0(x86.CMC) // host borrow = NOT guest carry
+			em.Op2(x86.SBB, x86.R(x86.ECX), x86.R(x86.EAX))
+			pol = engine.PolSubInvHost
+		case arm.OpRSC:
+			tc.loadGuestCarryIntoHostCF()
+			em.Op0(x86.CMC)
+			em.Op2(x86.SBB, x86.R(x86.EAX), x86.R(x86.ECX))
+			em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
+			pol = engine.PolSubInvHost
+		}
+		em.Mov(x86.R(x86.EAX), x86.R(x86.ECX))
+	}
+	// Store the result before flag extraction: MOV preserves host flags,
+	// while EmitParseSave clobbers EAX.
+	if writeResult && in.Rd != arm.PC {
+		tc.storeReg(in.Rd, x86.EAX)
+	}
+	if in.S {
+		if in.Op.IsLogical() {
+			tc.saveZN()
+		} else {
+			engine.EmitParseSave(em, pol) // full NZCV (QEMU per-flag slots)
+		}
+	}
+	if writeResult && in.Rd == arm.PC {
+		// mov pc, rX and friends: an indirect branch.
+		em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFFFFFFC))
+		em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EAX))
+		em.SetClass(x86.ClassGlue)
+		em.Exit(engine.ExitIndirect)
+	}
+}
+
+// saveZN stores host Z/N into the env slots (logical-S ops preserve C/V
+// beyond the shifter carry handled in operand2). Must not clobber EAX.
+func (tc *tbCtx) saveZN() {
+	em := tc.em
+	em.Setcc(x86.CcE, x86.R(x86.EDX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EDX), Src: x86.R(x86.EDX)})
+	em.Mov(x86.M(x86.EBP, engine.OffZF), x86.R(x86.EDX))
+	em.Setcc(x86.CcS, x86.R(x86.EDX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.EDX), Src: x86.R(x86.EDX)})
+	em.Mov(x86.M(x86.EBP, engine.OffNF), x86.R(x86.EDX))
+}
+
+func (tc *tbCtx) mul(in *arm.Inst) {
+	em := tc.em
+	tc.loadReg(x86.EAX, in.Rm)
+	tc.loadReg(x86.ECX, in.Rs)
+	em.Op2(x86.IMUL, x86.R(x86.EAX), x86.R(x86.ECX))
+	if in.Acc {
+		tc.loadReg(x86.ECX, in.Rn)
+		em.Op2(x86.ADD, x86.R(x86.EAX), x86.R(x86.ECX))
+	}
+	if in.S {
+		em.Op2(x86.TEST, x86.R(x86.EAX), x86.R(x86.EAX))
+		tc.saveZN()
+	}
+	tc.storeReg(in.Rd, x86.EAX)
+}
+
+func (tc *tbCtx) mulLong(in *arm.Inst) {
+	em := tc.em
+	tc.loadReg(x86.EAX, in.Rm)
+	tc.loadReg(x86.ECX, in.Rs)
+	em.MulX(in.SignedML, x86.EDX, x86.R(x86.EAX), x86.R(x86.EAX), x86.ECX)
+	tc.storeReg(in.Rd, x86.EAX)
+	tc.storeReg(in.RdHi, x86.EDX)
+	if in.S {
+		// Z = (lo|hi)==0; N = bit 63.
+		em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
+		em.Op2(x86.OR, x86.R(x86.ECX), x86.R(x86.EDX))
+		tc.saveZOnly()
+		em.Op2(x86.TEST, x86.R(x86.EDX), x86.R(x86.EDX))
+		tc.saveNOnly()
+	}
+}
+
+func (tc *tbCtx) saveZOnly() {
+	em := tc.em
+	em.Setcc(x86.CcE, x86.R(x86.ECX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.ECX), Src: x86.R(x86.ECX)})
+	em.Mov(x86.M(x86.EBP, engine.OffZF), x86.R(x86.ECX))
+}
+
+func (tc *tbCtx) saveNOnly() {
+	em := tc.em
+	em.Setcc(x86.CcS, x86.R(x86.ECX))
+	em.Raw(x86.Inst{Op: x86.MOVZX8, Dst: x86.R(x86.ECX), Src: x86.R(x86.ECX)})
+	em.Mov(x86.M(x86.EBP, engine.OffNF), x86.R(x86.ECX))
+}
+
+// effAddr computes the effective address into EAX and returns the writeback
+// value location: after this, EAX = access address. Writeback (if any) is
+// performed immediately for pre-index and deferred for post-index via the
+// returned closure.
+func (tc *tbCtx) effAddr(in *arm.Inst, offsetWords func()) (writeback func()) {
+	tc.loadReg(x86.EAX, in.Rn) // base
+	if in.PreIndex {
+		offsetWords() // EAX +=/-= offset
+		if in.Wback {
+			tc.storeReg(in.Rn, x86.EAX)
+		}
+		return nil
+	}
+	// Post-index: access at base, then write back base +/- offset.
+	return func() {
+		tc.loadReg(x86.EAX, in.Rn)
+		offsetWords()
+		tc.storeReg(in.Rn, x86.EAX)
+	}
+}
+
+// memOffset emits EAX +/- offset for word/byte accesses.
+func (tc *tbCtx) memOffset(in *arm.Inst) func() {
+	em := tc.em
+	return func() {
+		op := x86.ADD
+		if !in.Up {
+			op = x86.SUB
+		}
+		if in.ImmValid {
+			if in.Imm != 0 {
+				em.Op2(op, x86.R(x86.EAX), x86.I(in.Imm))
+			}
+			return
+		}
+		tc.loadReg(x86.ECX, in.Rm)
+		if in.ShiftAmt != 0 {
+			hostOp := map[arm.ShiftType]x86.Op{
+				arm.LSL: x86.SHL, arm.LSR: x86.SHR, arm.ASR: x86.SAR, arm.ROR: x86.ROR,
+			}[in.Shift]
+			em.Op2(hostOp, x86.R(x86.ECX), x86.I(uint32(in.ShiftAmt)))
+		}
+		em.Op2(op, x86.R(x86.EAX), x86.R(x86.ECX))
+	}
+}
+
+func (tc *tbCtx) mem(in *arm.Inst) {
+	em := tc.em
+	size := uint8(4)
+	if in.ByteSz {
+		size = 1
+	}
+	wb := tc.effAddr(in, tc.memOffset(in))
+	if in.Load {
+		id := tc.e.RegisterMMURead(tc.instPC(), tc.idx, size, false)
+		engine.EmitMMULoad(em, size, false, id, tc.seq())
+		if wb != nil && in.Rn != in.Rd {
+			em.Mov(x86.M(x86.EBP, engine.OffTmp1), x86.R(x86.EDX))
+			wb()
+			em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, engine.OffTmp1))
+		}
+		if in.Rd == arm.PC {
+			em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFFFFC))
+			em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EDX))
+			em.SetClass(x86.ClassGlue)
+			em.Exit(engine.ExitIndirect)
+			return
+		}
+		tc.storeReg(in.Rd, x86.EDX)
+	} else {
+		if in.Rd == arm.PC {
+			em.Mov(x86.R(x86.EDX), x86.I(tc.instPC()+8))
+		} else {
+			tc.loadReg(x86.EDX, in.Rd)
+		}
+		id := tc.e.RegisterMMUWrite(tc.instPC(), tc.idx, size)
+		engine.EmitMMUStore(em, size, id, tc.seq())
+		if wb != nil {
+			wb()
+		}
+	}
+}
+
+func (tc *tbCtx) memH(in *arm.Inst) {
+	em := tc.em
+	size := uint8(2)
+	if in.SignedSz && !in.HalfSz {
+		size = 1
+	}
+	off := func() {
+		op := x86.ADD
+		if !in.Up {
+			op = x86.SUB
+		}
+		if in.ImmValid {
+			if in.Imm != 0 {
+				em.Op2(op, x86.R(x86.EAX), x86.I(in.Imm))
+			}
+			return
+		}
+		tc.loadReg(x86.ECX, in.Rm)
+		em.Op2(op, x86.R(x86.EAX), x86.R(x86.ECX))
+	}
+	wb := tc.effAddr(in, off)
+	if in.Load {
+		id := tc.e.RegisterMMURead(tc.instPC(), tc.idx, size, in.SignedSz)
+		engine.EmitMMULoad(em, size, in.SignedSz, id, tc.seq())
+		if wb != nil && in.Rn != in.Rd {
+			em.Mov(x86.M(x86.EBP, engine.OffTmp1), x86.R(x86.EDX))
+			wb()
+			em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, engine.OffTmp1))
+		}
+		tc.storeReg(in.Rd, x86.EDX)
+	} else {
+		tc.loadReg(x86.EDX, in.Rd)
+		id := tc.e.RegisterMMUWrite(tc.instPC(), tc.idx, size)
+		engine.EmitMMUStore(em, size, id, tc.seq())
+		if wb != nil {
+			wb()
+		}
+	}
+}
+
+// block translates LDM/STM as an unrolled sequence of word accesses, exactly
+// like the interpreter's two-phase semantics except that fault atomicity is
+// per-word (QEMU behaves the same way for non-overlapping pages).
+func (tc *tbCtx) block(in *arm.Inst, tb *engine.TB) {
+	em := tc.em
+	n := 0
+	for r := arm.R0; r <= arm.PC; r++ {
+		if in.RegList&(1<<r) != 0 {
+			n++
+		}
+	}
+	// start address -> env.Tmp2 (EAX/ECX/EDX are clobbered by the probes).
+	tc.loadReg(x86.EAX, in.Rn)
+	switch {
+	case in.Up && !in.PreIndex: // IA: start = base
+	case in.Up && in.PreIndex: // IB
+		em.Op2(x86.ADD, x86.R(x86.EAX), x86.I(4))
+	case !in.Up && !in.PreIndex: // DA
+		em.Op2(x86.SUB, x86.R(x86.EAX), x86.I(uint32(4*n-4)))
+	default: // DB
+		em.Op2(x86.SUB, x86.R(x86.EAX), x86.I(uint32(4*n)))
+	}
+	em.Mov(x86.M(x86.EBP, engine.OffTmp2), x86.R(x86.EAX))
+
+	finalDelta := int32(4 * n)
+	if !in.Up {
+		finalDelta = -finalDelta
+	}
+
+	slot := 0
+	loadsPC := false
+	for r := arm.R0; r <= arm.PC; r++ {
+		if in.RegList&(1<<r) == 0 {
+			continue
+		}
+		em.Mov(x86.R(x86.EAX), x86.M(x86.EBP, engine.OffTmp2))
+		if slot > 0 {
+			em.Op2(x86.ADD, x86.R(x86.EAX), x86.I(uint32(4*slot)))
+		}
+		if in.Load {
+			id := tc.e.RegisterMMURead(tc.instPC(), tc.idx, 4, false)
+			engine.EmitMMULoad(em, 4, false, id, tc.seq())
+			if r == arm.PC {
+				loadsPC = true
+				em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFFFFC))
+				em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EDX))
+			} else {
+				tc.storeReg(r, x86.EDX)
+			}
+		} else {
+			if r == arm.PC {
+				em.Mov(x86.R(x86.EDX), x86.I(tc.instPC()+8))
+			} else {
+				tc.loadReg(x86.EDX, r)
+			}
+			id := tc.e.RegisterMMUWrite(tc.instPC(), tc.idx, 4)
+			engine.EmitMMUStore(em, 4, id, tc.seq())
+		}
+		slot++
+	}
+	if in.Wback && (!in.Load || in.RegList&(1<<in.Rn) == 0) {
+		tc.loadReg(x86.EAX, in.Rn)
+		if finalDelta >= 0 {
+			em.Op2(x86.ADD, x86.R(x86.EAX), x86.I(uint32(finalDelta)))
+		} else {
+			em.Op2(x86.SUB, x86.R(x86.EAX), x86.I(uint32(-finalDelta)))
+		}
+		tc.storeReg(in.Rn, x86.EAX)
+	}
+	if loadsPC {
+		em.SetClass(x86.ClassGlue)
+		em.Exit(engine.ExitIndirect)
+	}
+	_ = tb
+}

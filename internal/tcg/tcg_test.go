@@ -1,0 +1,279 @@
+package tcg
+
+import (
+	"strings"
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/x86"
+)
+
+// runBoth runs the same kernel+user program on the reference interpreter and
+// on the TCG engine and checks exit code and console output agree.
+func runBoth(t *testing.T, userSrc string, cfg kernel.Config, budget uint64) (*engine.Engine, string) {
+	t.Helper()
+	prog := kernel.MustBuild(userSrc, cfg)
+
+	ibus := ghw.NewBus(kernel.RAMSize)
+	if err := ibus.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(ibus)
+	wantCode, err := ip.Run(budget)
+	if err != nil {
+		t.Fatalf("interp: %v (console %q)", err, ibus.UART().Output())
+	}
+	wantOut := ibus.UART().Output()
+
+	e := engine.New(New(), kernel.RAMSize)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	gotCode, err := e.Run(budget)
+	if err != nil {
+		t.Fatalf("tcg engine: %v (console %q)", err, e.Bus.UART().Output())
+	}
+	gotOut := e.Bus.UART().Output()
+
+	if gotCode != wantCode {
+		t.Errorf("exit code: tcg=%#x interp=%#x (tcg console %q)", gotCode, wantCode, gotOut)
+	}
+	if gotOut != wantOut {
+		t.Errorf("console mismatch:\n tcg:    %q\n interp: %q", gotOut, wantOut)
+	}
+	return e, gotOut
+}
+
+func TestBootMatchesInterp(t *testing.T) {
+	user := `
+user_entry:
+	ldr r0, =hello
+	mov r7, #2
+	svc #0
+	mov r0, #42
+	mov r7, #0
+	svc #0
+hello:
+	.asciz "hello from tcg\n"
+	.pool
+`
+	e, out := runBoth(t, user, kernel.Config{}, 3_000_000)
+	if !strings.Contains(out, "hello from tcg") {
+		t.Errorf("console: %q", out)
+	}
+	if e.Stats.TBsTranslated == 0 || e.Stats.ChainHits == 0 {
+		t.Errorf("stats look wrong: %+v", e.Stats)
+	}
+}
+
+func TestAluAndFlagsMatchInterp(t *testing.T) {
+	// Exercise flag-setting arithmetic, conditional execution, carries,
+	// long multiplies and shifts, printing a running checksum.
+	user := `
+user_entry:
+	mov r4, #0          ; checksum
+	mov r0, #100
+	mov r1, #7
+loop:
+	subs r0, r0, #1
+	addne r4, r4, r1    ; conditional add
+	adc r4, r4, #0
+	movs r2, r0, lsl #3
+	orrmi r4, r4, #1
+	eor r4, r4, r2, ror #5
+	cmp r0, #50
+	addhi r4, r4, #2
+	addls r4, r4, #3
+	mulls r3, r0, r1
+	add r4, r4, r3
+	umull r3, r5, r4, r1
+	eor r4, r4, r5
+	rsbs r6, r0, #30
+	sbcge r4, r4, r6
+	bne loop
+	; print checksum
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	runBoth(t, user, kernel.Config{}, 5_000_000)
+}
+
+func TestMemoryAndBlockOpsMatchInterp(t *testing.T) {
+	user := `
+	.equ BUF, 0x500000
+user_entry:
+	ldr r1, =BUF
+	mov r0, #0
+	mov r2, #64
+fill:
+	str r0, [r1, r0, lsl #2]
+	add r0, r0, #1
+	cmp r0, r2
+	blt fill
+	; sum with halfword and byte accesses
+	mov r0, #0
+	mov r3, #0
+sum:
+	ldr r4, [r1], #4
+	add r3, r3, r4
+	ldrh r5, [r1, #-2]
+	add r3, r3, r5
+	ldrb r6, [r1, #-3]
+	sub r3, r3, r6
+	add r0, r0, #1
+	cmp r0, r2
+	blt sum
+	; push/pop round trip
+	push {r1-r3, lr}
+	mov r1, #0
+	mov r2, #0
+	mov r3, #0
+	pop {r1-r3, lr}
+	; signed loads
+	mvn r4, #0
+	ldr r5, =BUF
+	strb r4, [r5]
+	ldrsb r6, [r5]
+	add r3, r3, r6
+	strh r4, [r5]
+	ldrsh r6, [r5]
+	add r3, r3, r6
+	mov r0, r3
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	runBoth(t, user, kernel.Config{}, 5_000_000)
+}
+
+func TestInterruptsAndFaultsMatchInterp(t *testing.T) {
+	user := `
+user_entry:
+	ldr r2, =100000
+spin:
+	subs r2, r2, #1
+	bne spin
+	; now fault on purpose: user store to kernel memory
+	mov r0, #0
+	ldr r1, =0x8000
+	str r0, [r1]
+	mov r7, #0
+	svc #0
+	.pool
+`
+	e, out := runBoth(t, user, kernel.Config{TimerPeriod: 7000}, 5_000_000)
+	if !strings.Contains(out, "data abort at 00008000") {
+		t.Errorf("console: %q", out)
+	}
+	if e.Stats.IRQs == 0 {
+		t.Error("engine delivered no IRQs")
+	}
+	if e.Stats.MMUSlowPath == 0 {
+		t.Error("no softmmu slow-path fills")
+	}
+}
+
+func TestBlockDeviceMatchesInterp(t *testing.T) {
+	user := `
+	.equ BUF, 0x500000
+user_entry:
+	mov r0, #1
+	ldr r1, =BUF
+	mov r2, #2
+	mov r7, #5          ; read sectors 1-2
+	svc #0
+	ldr r1, =BUF
+	ldr r3, [r1]
+	mov r0, r3
+	mov r7, #3          ; print first word
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	run := func(mk func() (*ghw.Bus, func(uint64) (uint32, error))) (uint32, string) {
+		bus, runFn := mk()
+		disk := make([]byte, 8*ghw.SectorSize)
+		for i := range disk {
+			disk[i] = byte(i * 7)
+		}
+		bus.Block().SetDisk(disk)
+		code, err := runFn(5_000_000)
+		if err != nil {
+			t.Fatalf("run: %v (console %q)", err, bus.UART().Output())
+		}
+		return code, bus.UART().Output()
+	}
+	ic, io := run(func() (*ghw.Bus, func(uint64) (uint32, error)) {
+		bus := ghw.NewBus(kernel.RAMSize)
+		if err := bus.LoadImage(prog.Origin, prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		ip := interp.New(bus)
+		return bus, ip.Run
+	})
+	ec, eo := run(func() (*ghw.Bus, func(uint64) (uint32, error)) {
+		e := engine.New(New(), kernel.RAMSize)
+		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		return e.Bus, e.Run
+	})
+	if ic != ec || io != eo {
+		t.Errorf("mismatch: interp (%#x, %q) vs tcg (%#x, %q)", ic, io, ec, eo)
+	}
+}
+
+func TestHostInstructionAccounting(t *testing.T) {
+	user := `
+user_entry:
+	mov r0, #10
+	mov r2, #0
+lp:
+	add r2, r2, r0
+	subs r0, r0, #1
+	bne lp
+	mov r0, #0
+	mov r7, #0
+	svc #0
+`
+	prog := kernel.MustBuild(user, kernel.Config{})
+	e := engine.New(New(), kernel.RAMSize)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	total := e.M.Total()
+	if total == 0 || e.Retired == 0 {
+		t.Fatal("no instructions accounted")
+	}
+	perGuest := float64(total) / float64(e.Retired)
+	// The QEMU-like baseline should show a substantial blowup: each guest
+	// instruction costs several host instructions (paper: ~17 with softmmu).
+	if perGuest < 4 || perGuest > 60 {
+		t.Errorf("host-per-guest = %.2f, outside plausible QEMU-like range", perGuest)
+	}
+	if e.M.Counts[x86.ClassMMU] == 0 || e.M.Counts[x86.ClassIRQCheck] == 0 {
+		t.Errorf("class counts missing: %v", e.M.Counts)
+	}
+	// TCG mode performs no rule-style coordination.
+	if e.M.Counts[x86.ClassSync] != 0 {
+		t.Errorf("tcg mode charged sync instructions: %d", e.M.Counts[x86.ClassSync])
+	}
+	t.Logf("host/guest = %.2f, counts = %v", perGuest, e.M.Counts)
+}

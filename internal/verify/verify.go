@@ -1,0 +1,302 @@
+// Package verify implements the semantic-equivalence verification phase of
+// the rule learning pipeline (Section II-A): a candidate translation rule is
+// proved equivalent by differentially executing the guest instruction's
+// architectural semantics against the instantiated host template over a
+// large randomized-plus-boundary input space, comparing every guest-visible
+// output (all registers, and NZCV when the instruction sets flags).
+//
+// Substitution note (DESIGN.md): the paper uses an SMT-backed symbolic
+// execution tool; this checker substitutes exhaustive randomized checking
+// with adversarial boundary values, which exercises the same pipeline stage
+// and rejects the same class of wrong rules for 32-bit ALU semantics.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/rules"
+	"sldbt/internal/x86"
+)
+
+// boundary values mixed into every operand position.
+var boundaries = []uint32{
+	0, 1, 2, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFF, 0xFFFFFFFE,
+	0xFF, 0x100, 0xAAAAAAAA, 0x55555555,
+}
+
+// GuestState is the register file + flags a rule is checked over.
+type GuestState struct {
+	Regs  [16]uint32
+	Flags arm.Flags
+}
+
+// ExecGuestInst executes the architectural semantics of a single
+// data-processing or multiply instruction on the state (no memory, no PC
+// involvement — the rule preconditions exclude those).
+func ExecGuestInst(in *arm.Inst, st *GuestState) error {
+	f := st.Flags
+	switch in.Kind {
+	case arm.KindDataProc:
+		var op2 uint32
+		var shc bool
+		if in.ImmValid {
+			op2, shc = in.Op2Imm(f.C)
+		} else {
+			amt := uint32(in.ShiftAmt)
+			if in.ShiftReg {
+				amt = st.Regs[in.Rs] & 0xFF
+				if amt == 0 {
+					op2, shc = st.Regs[in.Rm], f.C
+					goto alu
+				}
+			}
+			op2, shc = arm.Shifter(st.Regs[in.Rm], in.Shift, amt, f.C)
+		}
+	alu:
+		res, nf := arm.AluExec(in.Op, st.Regs[in.Rn], op2, f.C, shc)
+		if in.Op.IsLogical() {
+			nf.V = f.V
+		}
+		if !in.Op.IsCompare() {
+			st.Regs[in.Rd] = res
+		}
+		if in.S {
+			st.Flags = nf
+		}
+	case arm.KindMul:
+		res := st.Regs[in.Rm] * st.Regs[in.Rs]
+		if in.Acc {
+			res += st.Regs[in.Rn]
+		}
+		st.Regs[in.Rd] = res
+		if in.S {
+			st.Flags.N = int32(res) < 0
+			st.Flags.Z = res == 0
+		}
+	case arm.KindMulLong:
+		var p uint64
+		if in.SignedML {
+			p = uint64(int64(int32(st.Regs[in.Rm])) * int64(int32(st.Regs[in.Rs])))
+		} else {
+			p = uint64(st.Regs[in.Rm]) * uint64(st.Regs[in.Rs])
+		}
+		st.Regs[in.Rd] = uint32(p)
+		st.Regs[in.RdHi] = uint32(p >> 32)
+		if in.S {
+			st.Flags.N = p&(1<<63) != 0
+			st.Flags.Z = p == 0
+		}
+	default:
+		return fmt.Errorf("verify: unsupported kind %v", in.Kind)
+	}
+	return nil
+}
+
+// execHost runs the rule template for the concrete instruction on a host
+// machine seeded with the guest state and returns the resulting guest state.
+func execHost(r *rules.Rule, in *arm.Inst, st GuestState) (GuestState, error) {
+	m := x86.NewMachine(1 << 14)
+	m.Regs[x86.ESP] = 1 << 13
+	m.Regs[x86.EBP] = engine.EnvBase
+	env := engine.NewEnv(m)
+	// Seed registers: pinned into host registers, the rest into env.
+	for rg := arm.R0; rg <= arm.PC; rg++ {
+		if h, ok := rules.PinnedHost(rg); ok {
+			m.Regs[h] = st.Regs[rg]
+		} else {
+			env.SetReg(rg, st.Regs[rg])
+		}
+	}
+	// Seed host flags per the rule's carry-in requirement.
+	cf := st.Flags.C
+	if r.Carry == rules.CarrySubInv {
+		cf = !st.Flags.C
+	}
+	m.CF, m.ZF, m.SF, m.OF = cf, st.Flags.Z, st.Flags.N, st.Flags.V
+	env.SetFlags(st.Flags)
+
+	em := x86.NewEmitter()
+	r.Apply(em, in)
+	em.Exit(0)
+	m.Exec(em.Finish(0, 1))
+
+	out := st
+	for rg := arm.R0; rg <= arm.PC; rg++ {
+		if h, ok := rules.PinnedHost(rg); ok {
+			out.Regs[rg] = m.Regs[h]
+		} else {
+			out.Regs[rg] = env.Reg(rg)
+		}
+	}
+	if in.S {
+		switch r.Flags {
+		case rules.FlagsFull:
+			out.Flags = arm.Flags{C: m.CF, Z: m.ZF, N: m.SF, V: m.OF}
+		case rules.FlagsFullSub:
+			out.Flags = arm.Flags{C: !m.CF, Z: m.ZF, N: m.SF, V: m.OF}
+		case rules.FlagsZN:
+			out.Flags = arm.Flags{C: st.Flags.C, Z: m.ZF, N: m.SF, V: st.Flags.V}
+		default:
+			return out, fmt.Errorf("verify: rule %s sets no flags but instruction has S", r.Name)
+		}
+	}
+	return out, nil
+}
+
+// operandValue draws a value mixing boundaries and randomness.
+func operandValue(rnd *rand.Rand) uint32 {
+	if rnd.Intn(3) == 0 {
+		return boundaries[rnd.Intn(len(boundaries))]
+	}
+	return rnd.Uint32()
+}
+
+// Instantiate builds a concrete instruction matching the rule's pattern,
+// used both for verification and by the learner's tests. Returns false if
+// the pattern cannot be instantiated.
+func Instantiate(m *rules.Match, rnd *rand.Rand) (arm.Inst, bool) {
+	var in arm.Inst
+	in.Kind = m.Kind
+	in.Cond = arm.AL
+	pick := func() arm.Reg { return arm.Reg(rnd.Intn(11)) } // pinned r0-r10
+	switch m.Kind {
+	case arm.KindDataProc:
+		if len(m.Ops) == 0 {
+			return in, false
+		}
+		in.Op = m.Ops[rnd.Intn(len(m.Ops))]
+		if m.S != nil {
+			in.S = *m.S
+		} else {
+			in.S = rnd.Intn(2) == 0
+		}
+		if in.Op.IsCompare() {
+			in.S = true
+		}
+		in.Rd, in.Rn, in.Rm = pick(), pick(), pick()
+		if m.RdEqRn {
+			in.Rn = in.Rd
+		}
+		if m.RdEqRm {
+			in.Rm = in.Rd
+		}
+		if m.RdNeqRm && in.Rd == in.Rm {
+			in.Rm = (in.Rm + 1) % 11
+		}
+		switch m.Op2 {
+		case rules.Op2Imm:
+			in.ImmValid = true
+			imm12 := uint32(rnd.Intn(1 << 12))
+			if m.ImmUnrotated {
+				imm12 &= 0xFF
+			}
+			in.Imm, _ = arm.ExpandImm(imm12, false)
+			if m.ImmIsZero {
+				in.Imm = 0
+			}
+			// Preserve the rotation for Op2Imm carry recomputation.
+			raw, err := arm.Encode(in)
+			if err != nil {
+				return in, false
+			}
+			in = arm.Decode(raw)
+		case rules.Op2Reg:
+		case rules.Op2RegShiftImm:
+			shifts := m.Shifts
+			if len(shifts) == 0 {
+				shifts = []arm.ShiftType{arm.LSL, arm.LSR, arm.ASR, arm.ROR}
+			}
+			in.Shift = shifts[rnd.Intn(len(shifts))]
+			lo, hi := int(m.MinShift), int(m.MaxShift)
+			if hi == 0 {
+				lo, hi = 1, 31
+			}
+			in.ShiftAmt = uint8(lo + rnd.Intn(hi-lo+1))
+		default:
+			return in, false
+		}
+	case arm.KindMul:
+		in.Rd, in.Rm, in.Rs, in.Rn = pick(), pick(), pick(), pick()
+		if m.Acc != nil {
+			in.Acc = *m.Acc
+		}
+		if m.S != nil {
+			in.S = *m.S
+		}
+	case arm.KindMulLong:
+		in.Rd, in.RdHi, in.Rm, in.Rs = pick(), pick(), pick(), pick()
+		if in.RdHi == in.Rd {
+			in.RdHi = (in.RdHi + 1) % 11
+		}
+		if m.Signed != nil {
+			in.SignedML = *m.Signed
+		}
+		if m.S != nil {
+			in.S = *m.S
+		}
+	default:
+		return in, false
+	}
+	if !ruleMatchable(m, &in) {
+		return in, false
+	}
+	return in, true
+}
+
+func ruleMatchable(m *rules.Match, in *arm.Inst) bool {
+	r := rules.Rule{Match: *m}
+	return r.Matches(in)
+}
+
+// CheckRule verifies the rule over trials instantiations x input vectors.
+// A nil error marks the rule Verified.
+func CheckRule(r *rules.Rule, trials int, seed int64) error {
+	rnd := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		in, ok := Instantiate(&r.Match, rnd)
+		if !ok {
+			return fmt.Errorf("verify: cannot instantiate pattern of %s", r.Name)
+		}
+		var st GuestState
+		for i := range st.Regs {
+			st.Regs[i] = operandValue(rnd)
+		}
+		st.Flags = arm.Flags{
+			N: rnd.Intn(2) == 0, Z: rnd.Intn(2) == 0,
+			C: rnd.Intn(2) == 0, V: rnd.Intn(2) == 0,
+		}
+		want := st
+		if err := ExecGuestInst(&in, &want); err != nil {
+			return err
+		}
+		got, err := execHost(r, &in, st)
+		if err != nil {
+			return err
+		}
+		for rg := arm.R0; rg <= arm.R12; rg++ {
+			if got.Regs[rg] != want.Regs[rg] {
+				return fmt.Errorf("verify: rule %s: %s: r%d = %#x, want %#x (state %+v)",
+					r.Name, arm.Disasm(in, 0), rg, got.Regs[rg], want.Regs[rg], st)
+			}
+		}
+		if in.S && got.Flags != want.Flags {
+			return fmt.Errorf("verify: rule %s: %s: flags %+v, want %+v (state %+v)",
+				r.Name, arm.Disasm(in, 0), got.Flags, want.Flags, st)
+		}
+	}
+	r.Verified = true
+	return nil
+}
+
+// CheckSet verifies every rule in the set; it returns the first failure.
+func CheckSet(s *rules.Set, trials int, seed int64) error {
+	for _, r := range s.Rules {
+		if err := CheckRule(r, trials, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

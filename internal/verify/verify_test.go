@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/rules"
+	"sldbt/internal/x86"
+)
+
+// TestBaselineRulesAllVerify is the central rules property test: every rule
+// in the seed set is semantically equivalent to the guest instruction class
+// it claims to translate, over randomized and boundary inputs.
+func TestBaselineRulesAllVerify(t *testing.T) {
+	set := rules.BaselineRules()
+	if len(set.Rules) < 30 {
+		t.Fatalf("suspiciously small rule set: %d", len(set.Rules))
+	}
+	for _, r := range set.Rules {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			if err := CheckRule(r, 400, 1); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestCheckRuleCatchesWrongTemplate ensures the verifier actually rejects a
+// broken rule (mutation testing of the checker itself).
+func TestCheckRuleCatchesWrongTemplate(t *testing.T) {
+	bad := &rules.Rule{
+		Name: "bad-add",
+		Match: rules.Match{
+			Kind: arm.KindDataProc,
+			Ops:  []arm.AluOp{arm.OpADD},
+			Op2:  rules.Op2Reg, RdEqRn: true,
+		},
+		// SUB instead of ADD: must be caught.
+		Host:  []rules.TInst{{Op: x86.SUB, Dst: rules.TReg(rules.SlotRd), Src: rules.TReg(rules.SlotRm)}},
+		Flags: rules.FlagsFull,
+	}
+	if err := CheckRule(bad, 200, 2); err == nil {
+		t.Fatal("verifier accepted a wrong rule")
+	}
+}
+
+// TestCheckRuleCatchesWrongFlagEffect ensures flag metadata errors are
+// rejected too.
+func TestCheckRuleCatchesWrongFlagEffect(t *testing.T) {
+	bad := &rules.Rule{
+		Name: "bad-sub-flags",
+		Match: rules.Match{
+			Kind: arm.KindDataProc,
+			Ops:  []arm.AluOp{arm.OpSUB},
+			Op2:  rules.Op2Reg, RdEqRn: true,
+			S: func() *bool { b := true; return &b }(),
+		},
+		Host: []rules.TInst{{Op: x86.SUB, Dst: rules.TReg(rules.SlotRd), Src: rules.TReg(rules.SlotRm)}},
+		// Wrong polarity: ARM C after SUB is NOT the x86 borrow.
+		Flags: rules.FlagsFull,
+	}
+	err := CheckRule(bad, 200, 3)
+	if err == nil {
+		t.Fatal("verifier accepted wrong carry polarity")
+	}
+	if !strings.Contains(err.Error(), "flags") {
+		t.Errorf("unexpected failure mode: %v", err)
+	}
+}
+
+func TestExecGuestInstMatchesAluExec(t *testing.T) {
+	in := arm.Decode(0xE0510002) // subs r0, r1, r2
+	st := GuestState{}
+	st.Regs[1], st.Regs[2] = 5, 7
+	if err := ExecGuestInst(&in, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs[0] != 0xFFFFFFFE || !st.Flags.N || st.Flags.C {
+		t.Errorf("subs: %#x %+v", st.Regs[0], st.Flags)
+	}
+}

@@ -1,0 +1,393 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sldbt/internal/ghw"
+)
+
+// AppWorkloads returns the real-world application proxies (Fig. 19).
+func AppWorkloads() []*Workload {
+	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime()}
+}
+
+// memcached: a key-value server loop over the packet device. Requests are
+// "Skkvv" (set) / "Gkk" (get); the server keeps a 256-slot open-addressing
+// table and replies with the value (get) or "OK" (set). Network-bound.
+func memcached() *Workload {
+	var packets [][]byte
+	seed := uint32(5)
+	var expect uint32
+	table := map[uint16]uint16{}
+	for i := 0; i < 120; i++ {
+		seed = seed*1664525 + 1013904223
+		key := uint16(seed >> 8)
+		// Halfword fields sit at even offsets (the guest uses ldrh/strh).
+		if i%3 != 2 {
+			val := uint16(seed >> 20)
+			p := []byte{'S', 0, byte(key), byte(key >> 8), byte(val), byte(val >> 8)}
+			packets = append(packets, p)
+			table[key%251] = val
+			expect += 1
+		} else {
+			p := []byte{'G', 0, byte(key), byte(key >> 8)}
+			packets = append(packets, p)
+			expect += uint32(table[key%251])
+		}
+	}
+	src := `
+	.equ RXB,  0x400000
+	.equ TABK, 0x410000
+	.equ TABV, 0x412000
+user_entry:
+	; zero the table (256 x 2 halfwords)
+	ldr r1, =TABK
+	mov r0, #0
+	mov r3, #0
+zt:
+	strh r3, [r1, r0]
+	add r0, r0, #1
+	add r0, r0, #1
+	cmp r0, #0x4000
+	blt zt
+	mov r4, #0
+	ldr r8, =120                 ; requests to serve
+serve:
+	ldr r0, =RXB
+	mov r7, #7                   ; net recv
+	svc #0
+	cmp r0, #0
+	beq serve                    ; poll until a packet arrives
+	ldr r1, =RXB
+	ldrb r3, [r1]                ; command byte
+	ldrh r5, [r1, #2]            ; key
+	; slot = key % 251 (by repeated subtraction over a 16-bit value)
+	mov r6, r5
+mod:
+	cmp r6, #251
+	subge r6, r6, #251
+	bge mod
+	ldr r2, =TABV
+	cmp r3, #0x53                ; 'S'
+	bne get
+	ldrh r5, [r1, #4]            ; value
+	mov r6, r6, lsl #1
+	strh r5, [r2, r6]
+	add r4, r4, #1
+	; reply "OK"
+	mov r3, #0x4f
+	strb r3, [r1]
+	mov r3, #0x4b
+	strb r3, [r1, #1]
+	ldr r0, =RXB
+	mov r1, #2
+	b send
+get:
+	mov r6, r6, lsl #1
+	ldrh r5, [r2, r6]
+	add r4, r4, r5
+	ldr r1, =RXB
+	strh r5, [r1]
+	ldr r0, =RXB
+	mov r1, #2
+send:
+	mov r7, #8                   ; net send
+	svc #0
+	subs r8, r8, #1
+	bne serve
+` + epilogue
+	native := func() uint32 { return expect }
+	return &Workload{Name: "memcached", Spec: false, GuestSrc: src, Native: native,
+		Budget: 8_000_000, Packets: packets, NetInterval: 4000}
+}
+
+// sqlite: in-memory B-tree-style index: sorted-array pages with binary
+// search inserts and lookups.
+func sqlite() *Workload {
+	src := `
+	.equ KEYS, 0x400000
+user_entry:
+	mov r5, #0                   ; key count
+	ldr r1, =KEYS
+	mov r6, #0x51
+	mov r4, #0
+	ldr r8, =600
+ops:
+	ldr r3, =1664525
+	mul r6, r6, r3
+	ldr r3, =1013904223
+	add r6, r6, r3
+	mov r0, r6, lsr #14          ; key
+	; binary search for insertion point
+	mov r2, #0                   ; lo
+	mov r3, r5                   ; hi
+bs:
+	cmp r2, r3
+	bge bsdone
+	add r7, r2, r3
+	mov r7, r7, lsr #1
+	ldr r9, [r1, r7, lsl #2]
+	cmp r9, r0
+	addlt r2, r7, #1
+	movge r3, r7
+	b bs
+bsdone:
+	; found position r2; on exact match count a hit, else insert
+	cmp r2, r5
+	bge insert
+	ldr r9, [r1, r2, lsl #2]
+	cmp r9, r0
+	addeq r4, r4, #3
+	beq opdone
+insert:
+	; shift tail up one slot (backwards)
+	mov r3, r5
+shift:
+	cmp r3, r2
+	ble place
+	sub r7, r3, #1
+	ldr r9, [r1, r7, lsl #2]
+	str r9, [r1, r3, lsl #2]
+	sub r3, r3, #1
+	b shift
+place:
+	str r0, [r1, r2, lsl #2]
+	add r5, r5, #1
+	add r4, r4, #1
+opdone:
+	subs r8, r8, #1
+	bne ops
+	add r4, r4, r5
+` + epilogue
+	native := func() uint32 {
+		var keys []uint32
+		var cs uint32
+		seed := uint32(0x51)
+		for op := 0; op < 600; op++ {
+			seed = seed*1664525 + 1013904223
+			key := seed >> 14
+			lo, hi := 0, len(keys)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if int32(keys[mid]) < int32(key) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(keys) && keys[lo] == key {
+				cs += 3
+				continue
+			}
+			keys = append(keys, 0)
+			copy(keys[lo+1:], keys[lo:])
+			keys[lo] = key
+			cs++
+		}
+		return cs + uint32(len(keys))
+	}
+	return &Workload{Name: "sqlite", Spec: false, GuestSrc: src, Native: native, Budget: 8_000_000}
+}
+
+// fileio: block-device read/modify/write sweeps through the kernel's
+// synchronous I/O syscalls (IO-bound: each command costs device latency).
+func fileio() *Workload {
+	disk := make([]byte, 64*ghw.SectorSize)
+	lcgFillNative(disk, 0xF11E)
+	var expect uint32
+	{
+		img := append([]byte(nil), disk...)
+		for pass := 0; pass < 2; pass++ {
+			for s := 0; s < 32; s++ {
+				sec := img[s*512 : s*512+512]
+				var sum uint32
+				for i := 0; i < 512; i += 4 {
+					sum += binary.LittleEndian.Uint32(sec[i:])
+				}
+				expect += sum & 0xFFFF
+				for i := 0; i < 512; i += 4 {
+					v := binary.LittleEndian.Uint32(sec[i:])
+					binary.LittleEndian.PutUint32(sec[i:], v+1)
+				}
+			}
+		}
+	}
+	src := `
+	.equ BUF, 0x400000
+user_entry:
+	mov r4, #0
+	mov r8, #0                   ; pass
+pass:
+	mov r5, #0                   ; sector
+sector:
+	mov r0, r5
+	ldr r1, =BUF
+	mov r2, #1
+	mov r7, #5                   ; block read
+	svc #0
+	; checksum and increment each word (counted-loop shape: the subs at
+	; the top is used by the bne at the bottom across the accesses)
+	ldr r1, =BUF
+	mov r0, #0
+	mov r3, #0
+	mov r6, #128
+words:
+	subs r6, r6, #1
+	ldr r2, [r1, r0, lsl #2]
+	add r3, r3, r2
+	add r2, r2, #1
+	str r2, [r1, r0, lsl #2]
+	add r0, r0, #1
+	bne words
+	ldr r2, =0xffff
+	and r3, r3, r2
+	add r4, r4, r3
+	mov r0, r5
+	ldr r1, =BUF
+	mov r2, #1
+	mov r7, #6                   ; block write
+	svc #0
+	add r5, r5, #1
+	cmp r5, #32
+	blt sector
+	add r8, r8, #1
+	cmp r8, #2
+	blt pass
+` + epilogue
+	native := func() uint32 { return expect }
+	return &Workload{Name: "fileio", Spec: false, GuestSrc: src, Native: native,
+		Budget: 12_000_000, Disk: disk}
+}
+
+// untar: parse an archive of [len16][payload] records from disk, copying
+// payloads out and checksumming headers and data.
+func untar() *Workload {
+	var archive []byte
+	seed := uint32(0xA5)
+	var expect uint32
+	for i := 0; i < 40; i++ {
+		seed = seed*1664525 + 1013904223
+		n := 32 + int(seed>>24)%160
+		rec := make([]byte, n)
+		seed = lcgFillNative(rec, seed)
+		archive = append(archive, byte(n), byte(n>>8))
+		archive = append(archive, rec...)
+		expect += uint32(n)
+		for _, b := range rec {
+			expect = expect + uint32(b)
+			expect ^= expect >> 9
+		}
+	}
+	archive = append(archive, 0, 0) // terminator
+	// Pad to the 32 sectors the guest reads in one command.
+	padded := make([]byte, 32*ghw.SectorSize)
+	copy(padded, archive)
+	archive = padded
+	src := `
+	.equ ARC, 0x400000
+	.equ OUT, 0x480000
+user_entry:
+	; read the whole archive from disk (32 sectors is plenty)
+	mov r0, #0
+	ldr r1, =ARC
+	mov r2, #32
+	mov r7, #5
+	svc #0
+	ldr r1, =ARC
+	ldr r8, =OUT
+	mov r4, #0
+records:
+	ldrb r5, [r1]                ; record length (byte-assembled: records
+	ldrb r3, [r1, #1]            ; are not halfword-aligned)
+	orr r5, r5, r3, lsl #8
+	add r1, r1, #2
+	cmp r5, #0
+	beq finished
+	add r4, r4, r5
+	mov r0, #0
+	mov r2, r5
+copy:
+	subs r2, r2, #1
+	ldrb r3, [r1, r0]
+	strb r3, [r8, r0]
+	add r4, r4, r3
+	eor r4, r4, r4, lsr #9
+	add r0, r0, #1
+	bne copy
+	add r1, r1, r5
+	add r8, r8, r5
+	b records
+finished:
+` + epilogue
+	native := func() uint32 { return expect }
+	return &Workload{Name: "untar", Spec: false, GuestSrc: src, Native: native,
+		Budget: 8_000_000, Disk: archive}
+}
+
+// cpuPrime: sieve of Eratosthenes (CPU-bound, like sysbench cpu).
+func cpuPrime() *Workload {
+	const n = 8192
+	src := fmt.Sprintf(`
+	.equ SIEVE, 0x400000
+user_entry:
+	ldr r1, =SIEVE
+	ldr r2, =%d
+	mov r0, #0
+	mov r3, #0
+	mov r5, r2
+clear:
+	subs r5, r5, #1
+	strb r3, [r1, r0]
+	add r0, r0, #1
+	bne clear
+	mov r5, #2                   ; p
+outer:
+	mul r6, r5, r5
+	cmp r6, r2
+	bge count
+	ldrb r3, [r1, r5]
+	cmp r3, #0
+	bne nextp
+mark:
+	cmp r6, r2
+	bge nextp
+	mov r3, #1
+	strb r3, [r1, r6]
+	add r6, r6, r5
+	b mark
+nextp:
+	add r5, r5, #1
+	b outer
+count:
+	mov r4, #0
+	mov r0, #2
+cnt:
+	ldrb r3, [r1, r0]
+	cmp r3, #0
+	addeq r4, r4, #1
+	addeq r4, r4, r0
+	add r0, r0, #1
+	cmp r0, r2
+	blt cnt
+`, n) + epilogue
+	native := func() uint32 {
+		sieve := make([]byte, n)
+		for p := 2; p*p < n; p++ {
+			if sieve[p] != 0 {
+				continue
+			}
+			for m := p * p; m < n; m += p {
+				sieve[m] = 1
+			}
+		}
+		var cs uint32
+		for i := 2; i < n; i++ {
+			if sieve[i] == 0 {
+				cs += 1 + uint32(i)
+			}
+		}
+		return cs
+	}
+	return &Workload{Name: "cpu-prime", Spec: false, GuestSrc: src, Native: native, Budget: 6_000_000}
+}

@@ -1,0 +1,880 @@
+package workloads
+
+import "fmt"
+
+// SpecWorkloads returns the 12 SPEC CINT2006 proxies.
+func SpecWorkloads() []*Workload {
+	return []*Workload{
+		perlbench(), bzip2(), gcc(), mcf(), gobmk(), hmmer(),
+		sjeng(), libquantum(), h264ref(), omnetpp(), astar(), xalancbmk(),
+	}
+}
+
+// perlbench: string hashing and pattern scanning over generated text.
+func perlbench() *Workload {
+	src := `
+	.equ BUFA, 0x400000
+user_entry:
+	ldr r1, =BUFA
+	ldr r2, =2048
+	mov r6, #1
+` + fmt.Sprintf(lcgFill, "a") + `
+	; djb2 hash; compiler-style counted loop: the flag definition (subs) is
+	; at the top and its use (bne) at the bottom, with the memory accesses
+	; in between (the define-before-use span of Fig. 12)
+	ldr r5, =5381
+	mov r0, #0
+	ldr r8, =2048
+hashloop:
+	subs r8, r8, #1
+	ldrb r3, [r1, r0]
+	add r5, r5, r5, lsl #5       ; h = h*33
+	add r5, r5, r3
+	add r0, r0, #1
+	bne hashloop
+	; scan for repeated bytes
+	mov r4, #0
+	mov r0, #0
+	sub r2, r2, #1
+scanloop:
+	ldrb r3, [r1, r0]
+	add r0, r0, #1
+	ldrb r7, [r1, r0]
+	cmp r3, r7
+	addeq r4, r4, #1
+	cmp r0, r2
+	blt scanloop
+	add r4, r4, r5
+` + epilogue
+	native := func() uint32 {
+		buf := make([]byte, 2048)
+		lcgFillNative(buf, 1)
+		h := uint32(5381)
+		for _, b := range buf {
+			h = h + h<<5 + uint32(b)
+		}
+		var cnt uint32
+		for i := 0; i+1 < len(buf); i++ {
+			if buf[i] == buf[i+1] {
+				cnt++
+			}
+		}
+		return cnt + h
+	}
+	return &Workload{Name: "perlbench", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// bzip2: run-length compression of quantized data.
+func bzip2() *Workload {
+	src := `
+	.equ BUFA, 0x400000
+user_entry:
+	ldr r1, =BUFA
+	ldr r2, =2048
+	mov r6, #7
+` + fmt.Sprintf(lcgFill, "a") + `
+	; quantize to 4 symbols so runs form
+	mov r0, #0
+quant:
+	ldrb r3, [r1, r0]
+	and r3, r3, #0xc0
+	strb r3, [r1, r0]
+	add r0, r0, #1
+	cmp r0, r2
+	blt quant
+	; RLE: checksum symbol and run length per run
+	mov r4, #0
+	mov r0, #0
+rle_outer:
+	ldrb r3, [r1, r0]            ; current symbol
+	mov r5, #1                   ; run length
+rle_inner:
+	add r7, r0, r5
+	cmp r7, r2
+	bge rle_emit
+	cmp r5, #255
+	bge rle_emit
+	ldrb r8, [r1, r7]
+	cmp r8, r3
+	bne rle_emit
+	add r5, r5, #1
+	b rle_inner
+rle_emit:
+	add r4, r4, r3
+	add r4, r4, r5, lsl #2
+	eor r4, r4, r4, lsr #7
+	add r0, r0, r5
+	cmp r0, r2
+	blt rle_outer
+` + epilogue
+	native := func() uint32 {
+		buf := make([]byte, 2048)
+		lcgFillNative(buf, 7)
+		for i := range buf {
+			buf[i] &= 0xC0
+		}
+		var cs uint32
+		for i := 0; i < len(buf); {
+			c := buf[i]
+			run := uint32(1)
+			for int(run)+i < len(buf) && run < 255 && buf[i+int(run)] == c {
+				run++
+			}
+			cs += uint32(c)
+			cs += run << 2
+			cs ^= cs >> 7
+			i += int(run)
+		}
+		return cs
+	}
+	return &Workload{Name: "bzip2", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// gcc: table-driven state machine over a token stream.
+func gcc() *Workload {
+	src := `
+	.equ BUFA, 0x400000
+	.equ TAB,  0x410000
+user_entry:
+	ldr r1, =BUFA
+	ldr r2, =4096
+	mov r6, #3
+` + fmt.Sprintf(lcgFill, "a") + `
+	; build the 64-entry transition table: T[k] = (k*7+3) & 15
+	ldr r1, =TAB
+	mov r0, #0
+tab:
+	mov r3, r0
+	add r3, r3, r3, lsl #1
+	add r3, r0, r3, lsl #1       ; k*7
+	add r3, r3, #3
+	and r3, r3, #15
+	strb r3, [r1, r0]
+	add r0, r0, #1
+	cmp r0, #64
+	blt tab
+	; run the automaton
+	ldr r1, =BUFA
+	ldr r2, =4096
+	ldr r8, =TAB
+	mov r5, #0                   ; state
+	mov r4, #0
+	mov r0, #0
+fsm:
+	ldrb r3, [r1, r0]
+	and r3, r3, #3
+	add r3, r3, r5, lsl #2       ; state*4 + tok
+	ldrb r5, [r8, r3]
+	add r4, r4, r5
+	cmp r5, #7
+	addeq r4, r4, #16
+	add r0, r0, #1
+	cmp r0, r2
+	blt fsm
+` + epilogue
+	native := func() uint32 {
+		buf := make([]byte, 4096)
+		lcgFillNative(buf, 3)
+		tab := make([]byte, 64)
+		for k := 0; k < 64; k++ {
+			tab[k] = byte((k*7 + 3) & 15)
+		}
+		var cs uint32
+		state := uint32(0)
+		for _, b := range buf {
+			state = uint32(tab[uint32(b&3)+state*4])
+			cs += state
+			if state == 7 {
+				cs += 16
+			}
+		}
+		return cs
+	}
+	return &Workload{Name: "gcc", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// mcf: pointer chasing over a linked node graph (network simplex flavour).
+func mcf() *Workload {
+	src := `
+	.equ NODES, 0x400000
+user_entry:
+	; build 1024 nodes of 16 bytes: next = &nodes[(i*7+1) % 1024], val = i
+	ldr r1, =NODES
+	ldr r2, =1024
+	mov r0, #0
+build:
+	mov r3, r0
+	add r3, r3, r3, lsl #1
+	add r3, r0, r3, lsl #1       ; i*7
+	add r3, r3, #1
+	mov r5, r3, lsl #22
+	mov r5, r5, lsr #22          ; % 1024
+	add r5, r1, r5, lsl #4       ; node address
+	mov r7, r0, lsl #4
+	add r7, r1, r7
+	str r5, [r7]                 ; next pointer
+	str r0, [r7, #4]             ; value
+	mov r5, r0, lsl #1
+	str r5, [r7, #8]             ; cost
+	add r0, r0, #1
+	cmp r0, r2
+	blt build
+	; chase 40000 steps accumulating potentials
+	mov r4, #0
+	mov r5, r1                   ; current node
+	ldr r2, =40000
+	mov r0, #0
+chase:
+	ldr r3, [r5, #4]             ; value
+	ldr r7, [r5, #8]             ; cost
+	add r4, r4, r3
+	subs r7, r7, r3
+	addmi r4, r4, #1
+	ldr r5, [r5]                 ; follow pointer
+	add r0, r0, #1
+	cmp r0, r2
+	blt chase
+` + epilogue
+	native := func() uint32 {
+		type node struct{ next, val, cost uint32 }
+		nodes := make([]node, 1024)
+		for i := uint32(0); i < 1024; i++ {
+			nodes[i] = node{next: (i*7 + 1) % 1024, val: i, cost: i << 1}
+		}
+		var cs uint32
+		cur := uint32(0)
+		for s := 0; s < 40000; s++ {
+			n := &nodes[cur]
+			cs += n.val
+			if int32(n.cost-n.val) < 0 {
+				cs++
+			}
+			cur = n.next
+		}
+		return cs
+	}
+	return &Workload{Name: "mcf", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// gobmk: board influence computation over a 32x32 grid.
+func gobmk() *Workload {
+	src := `
+	.equ BOARD, 0x400000
+user_entry:
+	ldr r1, =BOARD
+	ldr r2, =1024
+	mov r6, #9
+` + fmt.Sprintf(lcgFill, "a") + `
+	; threshold to stones (0/1)
+	mov r0, #0
+thr:
+	ldrb r3, [r1, r0]
+	and r3, r3, #1
+	strb r3, [r1, r0]
+	add r0, r0, #1
+	cmp r0, r2
+	blt thr
+	; influence: interior cells, 4-neighbourhood
+	mov r4, #0
+	mov r5, #1                   ; row
+rows:
+	mov r7, #1                   ; col
+cols:
+	add r0, r7, r5, lsl #5       ; idx = row*32+col
+	ldrb r3, [r1, r0]
+	cmp r3, #0
+	beq nextcol
+	sub r0, r0, #1
+	ldrb r8, [r1, r0]
+	add r0, r0, #2
+	ldrb r2, [r1, r0]
+	add r8, r8, r2
+	sub r0, r0, #33
+	ldrb r2, [r1, r0]
+	add r8, r8, r2
+	add r0, r0, #64
+	ldrb r2, [r1, r0]
+	add r8, r8, r2
+	cmp r8, #2
+	addge r4, r4, r8
+	addlt r4, r4, #1
+nextcol:
+	add r7, r7, #1
+	cmp r7, #31
+	blt cols
+	add r5, r5, #1
+	cmp r5, #31
+	blt rows
+` + epilogue
+	native := func() uint32 {
+		buf := make([]byte, 1024)
+		lcgFillNative(buf, 9)
+		for i := range buf {
+			buf[i] &= 1
+		}
+		var cs uint32
+		for r := 1; r < 31; r++ {
+			for c := 1; c < 31; c++ {
+				idx := r*32 + c
+				if buf[idx] == 0 {
+					continue
+				}
+				n := uint32(buf[idx-1]) + uint32(buf[idx+1]) + uint32(buf[idx-32]) + uint32(buf[idx+32])
+				if n >= 2 {
+					cs += n
+				} else {
+					cs++
+				}
+			}
+		}
+		return cs
+	}
+	return &Workload{Name: "gobmk", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// hmmer: dynamic-programming matrix fill (profile HMM flavour).
+func hmmer() *Workload {
+	src := `
+	.equ PREV, 0x400000
+	.equ CUR,  0x404000
+user_entry:
+	; init prev row: prev[j] = j*3
+	ldr r1, =PREV
+	mov r0, #0
+initp:
+	mov r3, r0
+	add r3, r3, r3, lsl #1
+	str r3, [r1, r0, lsl #2]
+	add r0, r0, #1
+	cmp r0, #256
+	blt initp
+	mov r4, #0
+	mov r6, #0                   ; row
+dprow:
+	ldr r1, =PREV
+	ldr r2, =CUR
+	mov r5, #0                   ; cur[-1] substitute
+	mov r0, #0
+dpcell:
+	ldr r3, [r1, r0, lsl #2]     ; prev[j]
+	mov r7, r0, lsl #3
+	and r7, r7, #31
+	add r3, r3, r7               ; prev[j] + score
+	add r8, r5, #3               ; cur[j-1] + gap
+	cmp r3, r8
+	movlt r3, r8
+	str r3, [r2, r0, lsl #2]
+	mov r5, r3
+	add r0, r0, #1
+	cmp r0, #256
+	blt dpcell
+	add r4, r4, r5               ; row tail
+	; swap rows by copying cur -> prev (counted-loop shape)
+	mov r0, #0
+	mov r7, #256
+copyrow:
+	subs r7, r7, #1
+	ldr r3, [r2, r0, lsl #2]
+	str r3, [r1, r0, lsl #2]
+	add r0, r0, #1
+	bne copyrow
+	add r6, r6, #1
+	cmp r6, #24
+	blt dprow
+` + epilogue
+	native := func() uint32 {
+		prev := make([]uint32, 256)
+		cur := make([]uint32, 256)
+		for j := range prev {
+			prev[j] = uint32(j * 3)
+		}
+		var cs uint32
+		for r := 0; r < 24; r++ {
+			last := uint32(0)
+			for j := 0; j < 256; j++ {
+				v := prev[j] + uint32((j*8)&31)
+				if g := last + 3; int32(v) < int32(g) {
+					v = g
+				}
+				cur[j] = v
+				last = v
+			}
+			cs += last
+			copy(prev, cur)
+		}
+		return cs
+	}
+	return &Workload{Name: "hmmer", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// sjeng: bitboard manipulation with attack-table lookups.
+func sjeng() *Workload {
+	src := `
+	.equ TAB, 0x400000
+user_entry:
+	; attack table: T[k] = k*k + 17
+	ldr r1, =TAB
+	mov r0, #0
+tab:
+	mul r3, r0, r0
+	add r3, r3, #17
+	str r3, [r1, r0, lsl #2]
+	add r0, r0, #1
+	cmp r0, #64
+	blt tab
+	mov r4, #0
+	mov r6, #0x15
+	ldr r2, =6000
+	mov r0, #0
+eval:
+	ldr r3, =1664525
+	mul r6, r6, r3
+	ldr r3, =1013904223
+	add r6, r6, r3               ; board = lcg
+	mov r5, r6
+	mov r7, #0                   ; popcount
+pop:
+	cmp r5, #0
+	beq popdone
+	sub r3, r5, #1
+	and r5, r5, r3
+	add r7, r7, #1
+	b pop
+popdone:
+	add r4, r4, r7
+	and r3, r6, #63
+	ldr r5, [r1, r3, lsl #2]     ; attack lookup
+	eor r4, r4, r5
+	tst r6, #0x80
+	addne r4, r4, r7, lsl #1
+	add r0, r0, #1
+	cmp r0, r2
+	blt eval
+` + epilogue
+	native := func() uint32 {
+		tab := make([]uint32, 64)
+		for k := uint32(0); k < 64; k++ {
+			tab[k] = k*k + 17
+		}
+		var cs uint32
+		seed := uint32(0x15)
+		for i := 0; i < 6000; i++ {
+			seed = seed*1664525 + 1013904223
+			x := seed
+			var pc uint32
+			for x != 0 {
+				x &= x - 1
+				pc++
+			}
+			cs += pc
+			cs ^= tab[seed&63]
+			if seed&0x80 != 0 {
+				cs += pc << 1
+			}
+		}
+		return cs
+	}
+	return &Workload{Name: "sjeng", Spec: true, GuestSrc: src, Native: native, Budget: 6_000_000}
+}
+
+// libquantum: quantum gate sweeps over a state-vector array.
+func libquantum() *Workload {
+	src := `
+	.equ QS, 0x400000
+user_entry:
+	; init 1024 amplitudes: a[i] = i ^ 0x5a5a
+	ldr r1, =QS
+	ldr r5, =0x5a5a
+	mov r0, #0
+init:
+	eor r3, r0, r5
+	str r3, [r1, r0, lsl #2]
+	add r0, r0, #1
+	cmp r0, #1024
+	blt init
+	mov r4, #0
+	mov r6, #0                   ; gate index
+gates:
+	ldr r7, =0x9e3779b9
+	mul r7, r7, r6
+	add r7, r7, r6, lsl #3
+	mov r8, #1
+	mov r8, r8, lsl r6           ; control mask... register shift
+	mov r0, #0
+sweep:
+	tst r0, r8
+	beq skip
+	ldr r3, [r1, r0, lsl #2]
+	eor r3, r3, r7
+	str r3, [r1, r0, lsl #2]
+	add r4, r4, r3, lsr #24
+skip:
+	add r0, r0, #1
+	cmp r0, #1024
+	blt sweep
+	add r6, r6, #1
+	cmp r6, #10
+	blt gates
+` + epilogue
+	native := func() uint32 {
+		a := make([]uint32, 1024)
+		for i := range a {
+			a[i] = uint32(i) ^ 0x5a5a
+		}
+		var cs uint32
+		for g := uint32(0); g < 10; g++ {
+			phase := 0x9e3779b9*g + g<<3
+			mask := uint32(1) << g
+			for i := uint32(0); i < 1024; i++ {
+				if i&mask != 0 {
+					a[i] ^= phase
+					cs += a[i] >> 24
+				}
+			}
+		}
+		return cs
+	}
+	return &Workload{Name: "libquantum", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// h264ref: sum-of-absolute-differences block matching.
+func h264ref() *Workload {
+	src := `
+	.equ REFB, 0x400000
+	.equ CURB, 0x401000          ; second half of the 8192-byte stream
+user_entry:
+	ldr r1, =REFB
+	ldr r2, =8192
+	mov r6, #21
+` + fmt.Sprintf(lcgFill, "a") + `
+	; SAD with two pixel pairs per iteration (memory heavy). The absolute
+	; difference uses the flag-free mask idiom compilers emit, so the loop
+	; counter's subs at the top stays live across all eight loads.
+	ldr r1, =REFB
+	ldr r2, =CURB                ; second half of the same stream
+	mov r4, #0
+	mov r0, #0
+	ldr r8, =2048
+sad:
+	subs r8, r8, #1
+	ldrb r3, [r1, r0]
+	ldrb r5, [r2, r0]
+	sub r3, r3, r5
+	mov r7, r3, asr #31
+	eor r3, r3, r7
+	sub r3, r3, r7
+	add r4, r4, r3
+	add r0, r0, #1
+	ldrb r3, [r1, r0]
+	ldrb r5, [r2, r0]
+	sub r3, r3, r5
+	mov r7, r3, asr #31
+	eor r3, r3, r7
+	sub r3, r3, r7
+	add r4, r4, r3
+	add r0, r0, #1
+	bne sad
+` + epilogue
+	native := func() uint32 {
+		buf := make([]byte, 8192)
+		lcgFillNative(buf, 21)
+		ref, cur := buf[:4096], buf[4096:]
+		var cs uint32
+		for i := 0; i < 4096; i++ {
+			d := int32(ref[i]) - int32(cur[i])
+			if d < 0 {
+				d = -d
+			}
+			cs += uint32(d)
+		}
+		return cs
+	}
+	return &Workload{Name: "h264ref", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// omnetpp: discrete-event binary heap churn.
+func omnetpp() *Workload {
+	src := `
+	.equ HEAP, 0x400000
+user_entry:
+	mov r5, #0                   ; heap size
+	ldr r1, =HEAP
+	mov r6, #0x77
+	mov r4, #0
+	ldr r2, =3000
+	mov r8, #0                   ; op counter
+events:
+	; draw a priority
+	ldr r3, =1664525
+	mul r6, r6, r3
+	ldr r3, =1013904223
+	add r6, r6, r3
+	mov r0, r6, lsr #12
+	push {r0}                    ; keep the priority across scratch usage
+	; alternate push/pop by bit 0 of counter when heap non-empty
+	tst r8, #1
+	beq push
+	cmp r5, #0
+	beq push
+	; pop-min: take root, move last up, sift down
+	ldr r3, [r1]
+	add r4, r4, r3, lsr #8
+	sub r5, r5, #1
+	ldr r3, [r1, r5, lsl #2]
+	str r3, [r1]
+	mov r7, #0                   ; sift index
+sift:
+	mov r3, r7, lsl #1
+	add r3, r3, #1               ; left child
+	cmp r3, r5
+	bge next
+	add r0, r3, #1               ; right child
+	cmp r0, r5
+	bge noright
+	ldr r2, [r1, r3, lsl #2]
+	ldr r6, [r1, r0, lsl #2]
+	cmp r6, r2
+	movlt r3, r0
+noright:
+	ldr r2, [r1, r3, lsl #2]
+	ldr r6, [r1, r7, lsl #2]
+	cmp r2, r6
+	bge next
+	str r2, [r1, r7, lsl #2]
+	str r6, [r1, r3, lsl #2]
+	mov r7, r3
+	b sift
+push:
+	; insert at end, sift up
+	str r0, [r1, r5, lsl #2]
+	mov r7, r5
+	add r5, r5, #1
+siftup:
+	cmp r7, #0
+	beq next
+	sub r3, r7, #1
+	mov r3, r3, lsr #1           ; parent
+	ldr r2, [r1, r3, lsl #2]
+	ldr r6, [r1, r7, lsl #2]
+	cmp r6, r2
+	bge next
+	str r6, [r1, r3, lsl #2]
+	str r2, [r1, r7, lsl #2]
+	mov r7, r3
+	b siftup
+next:
+	ldr r2, =3000
+	pop {r6}                     ; seed continues from the drawn priority
+	add r8, r8, #1
+	cmp r8, r2
+	blt events
+	add r4, r4, r5
+` + epilogue
+	native := func() uint32 {
+		var heap []uint32
+		var cs uint32
+		seed := uint32(0x77)
+		for op := 0; op < 3000; op++ {
+			seed = seed*1664525 + 1013904223
+			prio := seed >> 12
+			if op&1 == 1 && len(heap) > 0 {
+				cs += heap[0] >> 8
+				last := len(heap) - 1
+				heap[0] = heap[last]
+				heap = heap[:last]
+				i := 0
+				for {
+					l := 2*i + 1
+					if l >= len(heap) {
+						break
+					}
+					c := l
+					if r := l + 1; r < len(heap) && heap[r] < heap[l] {
+						c = r
+					}
+					if heap[c] >= heap[i] {
+						break
+					}
+					heap[c], heap[i] = heap[i], heap[c]
+					i = c
+				}
+			} else {
+				heap = append(heap, prio)
+				i := len(heap) - 1
+				for i > 0 {
+					p := (i - 1) / 2
+					if heap[i] >= heap[p] {
+						break
+					}
+					heap[i], heap[p] = heap[p], heap[i]
+					i = p
+				}
+			}
+			seed = prio
+		}
+		return cs + uint32(len(heap))
+	}
+	return &Workload{Name: "omnetpp", Spec: true, GuestSrc: src, Native: native, Budget: 5_000_000}
+}
+
+// astar: greedy grid descent over a cost field.
+func astar() *Workload {
+	src := `
+	.equ GRID, 0x400000
+user_entry:
+	ldr r1, =GRID
+	ldr r2, =4096
+	mov r6, #33
+` + fmt.Sprintf(lcgFill, "a") + `
+	; 64x64 grid; from (0,0) pick cheaper of right/down until the edge;
+	; repeat from 24 start columns.
+	mov r4, #0
+	mov r8, #0                   ; trial
+trials:
+	mov r5, #0                   ; row
+	mov r7, r8                   ; col = trial
+walk:
+	cmp r5, #63
+	bge endwalk
+	cmp r7, #63
+	bge endwalk
+	add r0, r7, r5, lsl #6       ; idx
+	add r3, r0, #1               ; right
+	ldrb r2, [r1, r3]
+	add r3, r0, #64              ; down
+	ldrb r6, [r1, r3]
+	cmp r2, r6
+	addlt r7, r7, #1             ; go right
+	addge r5, r5, #1             ; go down
+	addlt r4, r4, r2
+	addge r4, r4, r6
+	b walk
+endwalk:
+	add r8, r8, #1
+	cmp r8, #24
+	blt trials
+` + epilogue
+	native := func() uint32 {
+		buf := make([]byte, 4096)
+		lcgFillNative(buf, 33)
+		var cs uint32
+		for trial := 0; trial < 24; trial++ {
+			r, c := 0, trial
+			for r < 63 && c < 63 {
+				right := buf[r*64+c+1]
+				down := buf[(r+1)*64+c]
+				if right < down {
+					c++
+					cs += uint32(right)
+				} else {
+					r++
+					cs += uint32(down)
+				}
+			}
+		}
+		return cs
+	}
+	return &Workload{Name: "astar", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}
+
+// xalancbmk: binary-tree construction and traversal (DOM walking flavour).
+func xalancbmk() *Workload {
+	src := `
+	.equ TREE, 0x400000
+	.equ STK,  0x410000
+user_entry:
+	; 1023 nodes, 12 bytes each: val, left index, right index (0 = none)
+	ldr r1, =TREE
+	mov r0, #0
+	ldr r2, =1023
+build:
+	mov r3, r0
+	add r5, r3, r3, lsl #1       ; i*3
+	eor r7, r0, r0, lsr #3
+	str r7, [r1, r5, lsl #2]     ; val
+	add r7, r0, r0
+	add r7, r7, #1               ; left = 2i+1
+	cmp r7, r2
+	movge r7, #0
+	add r5, r5, #1
+	str r7, [r1, r5, lsl #2]
+	add r7, r0, r0
+	add r7, r7, #2               ; right = 2i+2
+	cmp r7, r2
+	movge r7, #0
+	add r5, r5, #1
+	str r7, [r1, r5, lsl #2]
+	add r0, r0, #1
+	cmp r0, r2
+	blt build
+	; iterative DFS with an explicit stack
+	ldr r8, =STK
+	mov r5, #0                   ; sp (words)
+	mov r0, #0                   ; node index
+	mov r4, #0
+dfs:
+	; visit node r0
+	add r3, r0, r0, lsl #1
+	ldr r7, [r1, r3, lsl #2]     ; val
+	add r4, r4, r7
+	tst r7, #4
+	eorne r4, r4, r7, lsl #1
+	add r3, r3, #2
+	ldr r7, [r1, r3, lsl #2]     ; right
+	cmp r7, #0
+	strne r7, [r8, r5, lsl #2]   ; push right
+	addne r5, r5, #1
+	sub r3, r3, #1
+	ldr r7, [r1, r3, lsl #2]     ; left
+	cmp r7, #0
+	movne r0, r7
+	bne dfs
+	; pop
+	cmp r5, #0
+	beq done
+	sub r5, r5, #1
+	ldr r0, [r8, r5, lsl #2]
+	b dfs
+done:
+` + epilogue
+	native := func() uint32 {
+		const n = 1023
+		type node struct{ val, l, r uint32 }
+		tree := make([]node, n)
+		for i := uint32(0); i < n; i++ {
+			l := 2*i + 1
+			if l >= n {
+				l = 0
+			}
+			r := 2*i + 2
+			if r >= n {
+				r = 0
+			}
+			tree[i] = node{val: i ^ i>>3, l: l, r: r}
+		}
+		var cs uint32
+		stack := []uint32{}
+		cur := uint32(0)
+		for {
+			nd := tree[cur]
+			cs += nd.val
+			if nd.val&4 != 0 {
+				cs ^= nd.val << 1
+			}
+			if nd.r != 0 {
+				stack = append(stack, nd.r)
+			}
+			if nd.l != 0 {
+				cur = nd.l
+				continue
+			}
+			if len(stack) == 0 {
+				break
+			}
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		return cs
+	}
+	return &Workload{Name: "xalancbmk", Spec: true, GuestSrc: src, Native: native, Budget: 4_000_000}
+}

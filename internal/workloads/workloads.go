@@ -1,0 +1,129 @@
+// Package workloads provides the benchmark programs of the evaluation: one
+// guest-assembly proxy per SPEC CINT2006 benchmark (Table I / Figs. 14-18)
+// and per real-world application (Fig. 19), plus a native Go twin of each
+// algorithm for the slowdown-to-native comparison (Fig. 18) and for
+// cross-validating results.
+//
+// Each proxy implements a small kernel characteristic of its benchmark
+// (bzip2 -> RLE+MTF compression, mcf -> pointer chasing, hmmer -> dynamic
+// programming, h264ref -> SAD search, ...) with an instruction mix shaped
+// after the benchmark's Table-I profile. Every program accumulates a
+// checksum in r4, prints it as hex via the kernel's puthex syscall and
+// exits 0; the native twin returns the identical checksum, which the test
+// suite asserts.
+package workloads
+
+import (
+	"fmt"
+
+	"sldbt/internal/ghw"
+	"sldbt/internal/kernel"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	// Spec marks SPEC CINT2006 proxies (Figs. 14-18); the rest are the
+	// real-world applications (Fig. 19).
+	Spec bool
+	// GuestSrc is the user-mode assembly program (placed at kernel.UserBase).
+	GuestSrc string
+	// Native computes the same checksum natively (nil when the workload is
+	// device-driven and has no meaningful native twin).
+	Native func() uint32
+	// Budget is the guest-instruction budget for a full run.
+	Budget uint64
+	// TimerPeriod overrides the kernel timer period (0 = default).
+	TimerPeriod uint32
+	// Disk seeds the block device (fileio, untar, sqlite).
+	Disk []byte
+	// Packets seeds the net device (memcached).
+	Packets [][]byte
+	// NetInterval is the packet arrival interval in guest instructions.
+	NetInterval uint64
+}
+
+// Prepare builds the bootable image and configures a bus for the workload.
+func (w *Workload) Prepare() (*Image, error) {
+	prog, err := kernel.Build(w.GuestSrc, kernel.Config{TimerPeriod: w.TimerPeriod})
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return &Image{W: w, Origin: prog.Origin, Data: prog.Image}, nil
+}
+
+// Image is a built workload ready to load.
+type Image struct {
+	W      *Workload
+	Origin uint32
+	Data   []byte
+}
+
+// Configure seeds the bus devices for this workload.
+func (im *Image) Configure(bus *ghw.Bus) {
+	if im.W.Disk != nil {
+		bus.Block().SetDisk(im.W.Disk)
+	}
+	for _, p := range im.W.Packets {
+		bus.Net().QueuePacket(p)
+	}
+	if im.W.NetInterval != 0 {
+		bus.Net().Interval = im.W.NetInterval
+	}
+}
+
+// epilogue prints r4 as the checksum and exits 0.
+const epilogue = `
+	mov r0, r4
+	mov r7, #3          ; puthex
+	svc #0
+	mov r0, #0x0a
+	mov r7, #1          ; putc
+	svc #0
+	mov r0, #0
+	mov r7, #0          ; exit
+	svc #0
+	.pool
+`
+
+// lcgFill is a reusable assembly fragment: fills COUNT bytes at r1 with an
+// LCG stream seeded from r6 (clobbers r0, r3, r5; advances r6).
+// Matches lcgFillNative.
+const lcgFill = `
+	mov r0, #0
+fill_%[1]s:
+	ldr r3, =1664525
+	mul r6, r6, r3
+	ldr r3, =1013904223
+	add r6, r6, r3
+	mov r5, r6, lsr #16
+	strb r5, [r1, r0]
+	add r0, r0, #1
+	cmp r0, r2
+	blt fill_%[1]s
+`
+
+// lcgFillNative mirrors lcgFill.
+func lcgFillNative(buf []byte, seed uint32) uint32 {
+	for i := range buf {
+		seed = seed*1664525 + 1013904223
+		buf[i] = byte(seed >> 16)
+	}
+	return seed
+}
+
+// All returns every workload in evaluation order (SPEC first).
+func All() []*Workload {
+	ws := SpecWorkloads()
+	return append(ws, AppWorkloads()...)
+}
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+)
+
+// runOnInterp executes the workload on the reference interpreter and
+// returns its console output and the interpreter.
+func runOnInterp(t *testing.T, w *Workload) (string, *interp.Interp) {
+	t.Helper()
+	im, err := w.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := ghw.NewBus(kernel.RAMSize)
+	im.Configure(bus)
+	if err := bus.LoadImage(im.Origin, im.Data); err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(bus)
+	code, err := ip.Run(w.Budget)
+	if err != nil {
+		t.Fatalf("%s: %v (console %q)", w.Name, err, bus.UART().Output())
+	}
+	if code != 0 {
+		t.Fatalf("%s: exit code %#x (console %q)", w.Name, code, bus.UART().Output())
+	}
+	return bus.UART().Output(), ip
+}
+
+// checksumFrom extracts the printed hex checksum.
+func checksumFrom(t *testing.T, name, out string) uint32 {
+	t.Helper()
+	out = strings.TrimPrefix(out, kernel.BannerPrefix)
+	out = strings.TrimSpace(out)
+	var cs uint32
+	if _, err := fmt.Sscanf(out, "%08x", &cs); err != nil {
+		t.Fatalf("%s: cannot parse checksum from console %q: %v", name, out, err)
+	}
+	return cs
+}
+
+// TestWorkloadChecksumsMatchNativeTwins is the workload correctness anchor:
+// the guest program and its Go twin must compute the identical value.
+func TestWorkloadChecksumsMatchNativeTwins(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			out, ip := runOnInterp(t, w)
+			got := checksumFrom(t, w.Name, out)
+			want := w.Native()
+			if got != want {
+				t.Errorf("guest checksum %08x != native %08x", got, want)
+			}
+			if ip.Stats.Total == 0 {
+				t.Error("no instructions retired")
+			}
+			t.Logf("%s: %d guest instructions, mem %.1f%%, sys %.2f%%, irq-check %.1f%%",
+				w.Name, ip.Stats.Total,
+				100*float64(ip.Stats.Mem)/float64(ip.Stats.Total),
+				100*float64(ip.Stats.System)/float64(ip.Stats.Total),
+				100*float64(ip.Stats.Blocks)/float64(ip.Stats.Total))
+		})
+	}
+}
+
+// TestWorkloadsAgreeAcrossEngines runs a representative subset on the TCG
+// engine and the fully-optimized rule engine, comparing console output with
+// the interpreter.
+func TestWorkloadsAgreeAcrossEngines(t *testing.T) {
+	subset := []string{"perlbench", "mcf", "hmmer", "h264ref", "xalancbmk", "cpu-prime", "fileio", "memcached"}
+	for _, name := range subset {
+		w, ok := ByName(name)
+		if !ok {
+			t.Fatalf("no workload %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			want, _ := runOnInterp(t, w)
+			engines := map[string]engine.Translator{
+				"tcg":       tcg.New(),
+				"rule-full": core.New(rules.BaselineRules(), core.OptScheduling),
+				"rule-base": core.New(rules.BaselineRules(), core.OptBase),
+			}
+			for ename, tr := range engines {
+				im, err := w.Prepare()
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := engine.New(tr, kernel.RAMSize)
+				im.Configure(e.Bus)
+				if err := e.LoadImage(im.Origin, im.Data); err != nil {
+					t.Fatal(err)
+				}
+				code, err := e.Run(w.Budget)
+				if err != nil {
+					t.Fatalf("%s/%s: %v (console %q)", name, ename, err, e.Bus.UART().Output())
+				}
+				if code != 0 || e.Bus.UART().Output() != want {
+					t.Errorf("%s/%s: code %#x console %q, want %q",
+						name, ename, code, e.Bus.UART().Output(), want)
+				}
+			}
+		})
+	}
+}

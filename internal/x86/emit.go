@@ -1,0 +1,127 @@
+package x86
+
+import "fmt"
+
+// Emitter builds host blocks with symbolic labels. Every emitted instruction
+// is tagged with the current measurement class, which is how coordination
+// instructions become separately countable (Fig. 17).
+type Emitter struct {
+	insts  []Inst
+	class  Class
+	labels map[string]int
+	fixups map[string][]int
+}
+
+// NewEmitter returns an empty emitter in ClassCode.
+func NewEmitter() *Emitter {
+	return &Emitter{labels: map[string]int{}, fixups: map[string][]int{}}
+}
+
+// SetClass selects the measurement class for subsequently emitted
+// instructions and returns the previous class.
+func (e *Emitter) SetClass(c Class) Class {
+	prev := e.class
+	e.class = c
+	return prev
+}
+
+// Len returns the number of instructions emitted so far.
+func (e *Emitter) Len() int { return len(e.insts) }
+
+// Raw appends a fully-formed instruction (class still applied).
+func (e *Emitter) Raw(in Inst) {
+	in.Class = e.class
+	e.insts = append(e.insts, in)
+}
+
+// Op2 emits a two-operand instruction.
+func (e *Emitter) Op2(op Op, dst, src Operand) {
+	e.Raw(Inst{Op: op, Dst: dst, Src: src})
+}
+
+// Op1 emits a one-operand instruction.
+func (e *Emitter) Op1(op Op, dst Operand) {
+	e.Raw(Inst{Op: op, Dst: dst})
+}
+
+// Op0 emits a zero-operand instruction.
+func (e *Emitter) Op0(op Op) { e.Raw(Inst{Op: op}) }
+
+// Mov emits mov dst, src.
+func (e *Emitter) Mov(dst, src Operand) { e.Op2(MOV, dst, src) }
+
+// Label binds name to the next instruction index.
+func (e *Emitter) Label(name string) {
+	if _, dup := e.labels[name]; dup {
+		panic("x86: duplicate label " + name)
+	}
+	e.labels[name] = len(e.insts)
+}
+
+// Jmp emits an unconditional jump to a label (forward or backward).
+func (e *Emitter) Jmp(label string) {
+	e.fixups[label] = append(e.fixups[label], len(e.insts))
+	e.Raw(Inst{Op: JMP, Target: -1})
+}
+
+// Jcc emits a conditional jump to a label.
+func (e *Emitter) Jcc(cc Cc, label string) {
+	e.fixups[label] = append(e.fixups[label], len(e.insts))
+	e.Raw(Inst{Op: JCC, Cc: cc, Target: -1})
+}
+
+// Setcc emits setcc dst.
+func (e *Emitter) Setcc(cc Cc, dst Operand) {
+	e.Raw(Inst{Op: SETCC, Cc: cc, Dst: dst})
+}
+
+// Cmovcc emits cmovcc dst, src.
+func (e *Emitter) Cmovcc(cc Cc, dst, src Operand) {
+	e.Raw(Inst{Op: CMOVCC, Cc: cc, Dst: dst, Src: src})
+}
+
+// CallHelper emits a helper call.
+func (e *Emitter) CallHelper(id int) {
+	e.Raw(Inst{Op: CALLH, Helper: id})
+}
+
+// Exit emits a block exit with the given code.
+func (e *Emitter) Exit(code uint32) {
+	e.Raw(Inst{Op: EXIT, Imm: code})
+}
+
+// MulX emits dst2:dst = src * src2 (unsigned when signed is false).
+func (e *Emitter) MulX(signed bool, dst2 Reg, dst Operand, src Operand, src2 Reg) {
+	op := MULX
+	if signed {
+		op = SMULX
+	}
+	e.Raw(Inst{Op: op, Dst: dst, Dst2: dst2, Src: src, Src2: src2})
+}
+
+// Finish resolves labels and returns the block. It panics on undefined
+// labels (translator bugs).
+func (e *Emitter) Finish(guestPC uint32, guestLen int) *Block {
+	for label, sites := range e.fixups {
+		tgt, ok := e.labels[label]
+		if !ok {
+			panic(fmt.Sprintf("x86: undefined label %q", label))
+		}
+		for _, s := range sites {
+			e.insts[s].Target = tgt
+		}
+	}
+	return &Block{Insts: e.insts, GuestPC: guestPC, GuestLen: guestLen}
+}
+
+// CountClass returns how many emitted instructions carry the class (static
+// count, for tests).
+func (e *Emitter) CountClass(c Class) int {
+	n := 0
+	for i := range e.insts {
+		if e.insts[i].Class == c {
+			n++
+		}
+	}
+	return n
+}

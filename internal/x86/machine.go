@@ -1,0 +1,388 @@
+package x86
+
+import "fmt"
+
+// Helper is engine code invoked by a CALLH instruction. It may read and
+// write machine state, charge synthetic instruction costs, and request a
+// block exit by returning a non-negative exit code (negative = continue).
+type Helper func(m *Machine) int
+
+// Machine is the simulated host CPU plus host memory. Dynamic instruction
+// counts are accumulated per Class.
+type Machine struct {
+	Regs           [NumRegs]uint32
+	CF, ZF, SF, OF bool
+
+	Mem []byte
+
+	// Counts accumulates executed host instructions per class.
+	Counts [NumClasses]uint64
+
+	helpers []Helper
+
+	// exitCode is set when a helper requests an exit.
+	exitCode int
+}
+
+// NewMachine creates a host machine with memSize bytes of host memory.
+func NewMachine(memSize int) *Machine {
+	return &Machine{Mem: make([]byte, memSize)}
+}
+
+// RegisterHelper installs fn and returns its helper id.
+func (m *Machine) RegisterHelper(fn Helper) int {
+	m.helpers = append(m.helpers, fn)
+	return len(m.helpers) - 1
+}
+
+// Charge adds synthetic host-instruction cost to a class; helpers use it to
+// model the cost of work done in engine code (QEMU's C helpers).
+func (m *Machine) Charge(c Class, n uint64) { m.Counts[c] += n }
+
+// Total returns the total executed host instruction count across classes.
+func (m *Machine) Total() uint64 {
+	var t uint64
+	for _, v := range m.Counts {
+		t += v
+	}
+	return t
+}
+
+// Read32 reads host memory.
+func (m *Machine) Read32(addr uint32) uint32 {
+	b := m.Mem[addr : addr+4]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Write32 writes host memory.
+func (m *Machine) Write32(addr uint32, v uint32) {
+	b := m.Mem[addr : addr+4]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+// Read16 reads a host halfword.
+func (m *Machine) Read16(addr uint32) uint16 {
+	return uint16(m.Mem[addr]) | uint16(m.Mem[addr+1])<<8
+}
+
+// Write16 writes a host halfword.
+func (m *Machine) Write16(addr uint32, v uint16) {
+	m.Mem[addr] = byte(v)
+	m.Mem[addr+1] = byte(v >> 8)
+}
+
+// Flags returns the EFLAGS word (CF/ZF/SF/OF bits only).
+func (m *Machine) Flags() uint32 {
+	var f uint32
+	if m.CF {
+		f |= FlagCF
+	}
+	if m.ZF {
+		f |= FlagZF
+	}
+	if m.SF {
+		f |= FlagSF
+	}
+	if m.OF {
+		f |= FlagOF
+	}
+	return f
+}
+
+// SetFlags loads EFLAGS from a word.
+func (m *Machine) SetFlags(f uint32) {
+	m.CF = f&FlagCF != 0
+	m.ZF = f&FlagZF != 0
+	m.SF = f&FlagSF != 0
+	m.OF = f&FlagOF != 0
+}
+
+// ea computes the effective address of a memory operand.
+func (m *Machine) ea(o Operand) uint32 {
+	a := m.Regs[o.Base] + uint32(o.Disp)
+	if o.HasIx {
+		a += m.Regs[o.Index] * uint32(o.Scale)
+	}
+	return a
+}
+
+// load reads an operand value (memory reads zero-extend to 32 bits).
+func (m *Machine) load(o Operand) uint32 {
+	switch o.Mode {
+	case ModeReg:
+		return m.Regs[o.Reg]
+	case ModeImm:
+		return o.Imm
+	case ModeMem:
+		a := m.ea(o)
+		switch o.Size {
+		case 1:
+			return uint32(m.Mem[a])
+		case 2:
+			return uint32(m.Read16(a))
+		default:
+			return m.Read32(a)
+		}
+	}
+	panic("x86: load of empty operand")
+}
+
+// store writes an operand destination.
+func (m *Machine) store(o Operand, v uint32) {
+	switch o.Mode {
+	case ModeReg:
+		m.Regs[o.Reg] = v
+	case ModeMem:
+		a := m.ea(o)
+		switch o.Size {
+		case 1:
+			m.Mem[a] = byte(v)
+		case 2:
+			m.Write16(a, uint16(v))
+		default:
+			m.Write32(a, v)
+		}
+	default:
+		panic("x86: store to non-lvalue operand")
+	}
+}
+
+func (m *Machine) logicFlags(res uint32) {
+	m.CF = false
+	m.OF = false
+	m.ZF = res == 0
+	m.SF = int32(res) < 0
+}
+
+func (m *Machine) addFlags(a, b, res uint32, carry bool) {
+	var cin uint64
+	if carry {
+		cin = 1
+	}
+	m.CF = uint64(a)+uint64(b)+cin > 0xFFFFFFFF
+	m.OF = (a^res)&(b^res)&0x80000000 != 0
+	m.ZF = res == 0
+	m.SF = int32(res) < 0
+}
+
+func (m *Machine) subFlags(a, b, res uint32, borrow bool) {
+	var bin uint64
+	if borrow {
+		bin = 1
+	}
+	m.CF = uint64(a) < uint64(b)+bin
+	m.OF = (a^b)&(a^res)&0x80000000 != 0
+	m.ZF = res == 0
+	m.SF = int32(res) < 0
+}
+
+// push pushes a word on the host stack (ESP pre-decrement).
+func (m *Machine) push(v uint32) {
+	m.Regs[ESP] -= 4
+	m.Write32(m.Regs[ESP], v)
+}
+
+// pop pops a word from the host stack.
+func (m *Machine) pop() uint32 {
+	v := m.Read32(m.Regs[ESP])
+	m.Regs[ESP] += 4
+	return v
+}
+
+// Exec runs the block from instruction 0 until an EXIT or a helper-requested
+// exit, and returns the exit code. It panics on malformed blocks (engine
+// bugs), never on guest behaviour.
+func (m *Machine) Exec(b *Block) uint32 {
+	pc := 0
+	insts := b.Insts
+	for {
+		if pc < 0 || pc >= len(insts) {
+			panic(fmt.Sprintf("x86: control fell off block at %d (guest pc %#x)", pc, b.GuestPC))
+		}
+		in := &insts[pc]
+		m.Counts[in.Class]++
+		pc++
+		switch in.Op {
+		case MOV:
+			m.store(in.Dst, m.load(in.Src))
+		case MOVZX8:
+			m.store(in.Dst, m.load(in.Src)&0xFF)
+		case MOVSX8:
+			m.store(in.Dst, uint32(int32(int8(m.load(in.Src)))))
+		case MOVZX16:
+			m.store(in.Dst, m.load(in.Src)&0xFFFF)
+		case MOVSX16:
+			m.store(in.Dst, uint32(int32(int16(m.load(in.Src)))))
+		case LEA:
+			m.store(in.Dst, m.ea(in.Src))
+		case ADD:
+			a, bv := m.load(in.Dst), m.load(in.Src)
+			res := a + bv
+			m.addFlags(a, bv, res, false)
+			m.store(in.Dst, res)
+		case ADC:
+			a, bv := m.load(in.Dst), m.load(in.Src)
+			var c uint32
+			if m.CF {
+				c = 1
+			}
+			res := a + bv + c
+			m.addFlags(a, bv, res, m.CF)
+			m.store(in.Dst, res)
+		case SUB:
+			a, bv := m.load(in.Dst), m.load(in.Src)
+			res := a - bv
+			m.subFlags(a, bv, res, false)
+			m.store(in.Dst, res)
+		case SBB:
+			a, bv := m.load(in.Dst), m.load(in.Src)
+			var c uint32
+			if m.CF {
+				c = 1
+			}
+			res := a - bv - c
+			m.subFlags(a, bv, res, m.CF)
+			m.store(in.Dst, res)
+		case CMP:
+			a, bv := m.load(in.Dst), m.load(in.Src)
+			m.subFlags(a, bv, a-bv, false)
+		case AND:
+			res := m.load(in.Dst) & m.load(in.Src)
+			m.logicFlags(res)
+			m.store(in.Dst, res)
+		case OR:
+			res := m.load(in.Dst) | m.load(in.Src)
+			m.logicFlags(res)
+			m.store(in.Dst, res)
+		case XOR:
+			res := m.load(in.Dst) ^ m.load(in.Src)
+			m.logicFlags(res)
+			m.store(in.Dst, res)
+		case TEST:
+			m.logicFlags(m.load(in.Dst) & m.load(in.Src))
+		case NOT:
+			m.store(in.Dst, ^m.load(in.Dst))
+		case NEG:
+			v := m.load(in.Dst)
+			res := -v
+			m.CF = v != 0
+			m.OF = v == 0x80000000
+			m.ZF = res == 0
+			m.SF = int32(res) < 0
+			m.store(in.Dst, res)
+		case SHL:
+			v, n := m.load(in.Dst), m.load(in.Src)&31
+			if n != 0 {
+				res := v << n
+				m.CF = v&(1<<(32-n)) != 0
+				m.ZF = res == 0
+				m.SF = int32(res) < 0
+				m.store(in.Dst, res)
+			}
+		case SHR:
+			v, n := m.load(in.Dst), m.load(in.Src)&31
+			if n != 0 {
+				res := v >> n
+				m.CF = v&(1<<(n-1)) != 0
+				m.ZF = res == 0
+				m.SF = int32(res) < 0
+				m.store(in.Dst, res)
+			}
+		case SAR:
+			v, n := m.load(in.Dst), m.load(in.Src)&31
+			if n != 0 {
+				res := uint32(int32(v) >> n)
+				m.CF = v&(1<<(n-1)) != 0
+				m.ZF = res == 0
+				m.SF = int32(res) < 0
+				m.store(in.Dst, res)
+			}
+		case ROR:
+			v, n := m.load(in.Dst), m.load(in.Src)&31
+			if n != 0 {
+				res := v>>n | v<<(32-n)
+				m.CF = res&0x80000000 != 0
+				m.store(in.Dst, res)
+			}
+		case IMUL:
+			res := m.load(in.Dst) * m.load(in.Src)
+			m.store(in.Dst, res)
+		case MULX:
+			p := uint64(m.load(in.Src)) * uint64(m.Regs[in.Src2])
+			m.store(in.Dst, uint32(p))
+			m.Regs[in.Dst2] = uint32(p >> 32)
+		case SMULX:
+			p := int64(int32(m.load(in.Src))) * int64(int32(m.Regs[in.Src2]))
+			m.store(in.Dst, uint32(p))
+			m.Regs[in.Dst2] = uint32(uint64(p) >> 32)
+		case INC:
+			v := m.load(in.Dst) + 1
+			m.OF = v == 0x80000000
+			m.ZF = v == 0
+			m.SF = int32(v) < 0
+			m.store(in.Dst, v)
+		case DEC:
+			v := m.load(in.Dst) - 1
+			m.OF = v == 0x7FFFFFFF
+			m.ZF = v == 0
+			m.SF = int32(v) < 0
+			m.store(in.Dst, v)
+		case JMP:
+			pc = in.Target
+		case JCC:
+			if in.Cc.Eval(m.CF, m.ZF, m.SF, m.OF) {
+				pc = in.Target
+			}
+		case SETCC:
+			if in.Cc.Eval(m.CF, m.ZF, m.SF, m.OF) {
+				m.store(in.Dst, 1)
+			} else {
+				m.store(in.Dst, 0)
+			}
+		case CMOVCC:
+			if in.Cc.Eval(m.CF, m.ZF, m.SF, m.OF) {
+				m.store(in.Dst, m.load(in.Src))
+			}
+		case PUSH:
+			m.push(m.load(in.Dst))
+		case POP:
+			m.store(in.Dst, m.pop())
+		case PUSHF:
+			m.push(m.Flags())
+		case POPF:
+			m.SetFlags(m.pop())
+		case LAHF:
+			// AH = SF:ZF:0:0:0:0:0:CF (AF/PF not modelled)
+			var ah uint32
+			if m.SF {
+				ah |= 0x80
+			}
+			if m.ZF {
+				ah |= 0x40
+			}
+			if m.CF {
+				ah |= 0x01
+			}
+			m.Regs[EAX] = m.Regs[EAX]&^uint32(0xFF00) | ah<<8
+		case SAHF:
+			ah := m.Regs[EAX] >> 8
+			m.SF = ah&0x80 != 0
+			m.ZF = ah&0x40 != 0
+			m.CF = ah&0x01 != 0
+		case CMC:
+			m.CF = !m.CF
+		case STC:
+			m.CF = true
+		case CLC:
+			m.CF = false
+		case CALLH:
+			if code := m.helpers[in.Helper](m); code >= 0 {
+				return uint32(code)
+			}
+		case EXIT:
+			return in.Imm
+		default:
+			panic(fmt.Sprintf("x86: unimplemented op %v", in.Op))
+		}
+	}
+}

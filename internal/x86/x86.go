@@ -1,0 +1,343 @@
+// Package x86 simulates the 32-bit x86-like host machine that both binary
+// translators emit code for. The paper's performance metrics (host
+// instructions per guest instruction, sync instructions per guest
+// instruction) are dynamic host instruction counts; this package's
+// interpreter measures exactly those, attributing every executed instruction
+// to the class (guest code, CPU-state coordination, softmmu, interrupt check,
+// ...) recorded on it at emission time.
+//
+// Substitution note (see DESIGN.md): the register file is the 16-GPR x86-64
+// file operated in 32-bit mode, which gives the rule-based translator enough
+// registers to pin guest state in host registers — the paper's core premise —
+// while EFLAGS semantics (CF/ZF/SF/OF, LAHF/SETcc/PUSHF) follow real x86.
+package x86
+
+import "fmt"
+
+// Reg is a host general-purpose register.
+type Reg uint8
+
+// Host registers. EBP conventionally holds the CPUState (env) base pointer
+// and ESP the host stack pointer, as in QEMU's TCG backend.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumRegs
+)
+
+var regNames = [NumRegs]string{
+	"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+}
+
+func (r Reg) String() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// Cc is an x86 condition code for Jcc/SETcc/CMOVcc.
+type Cc uint8
+
+// Condition codes.
+const (
+	CcE  Cc = iota // ZF
+	CcNE           // !ZF
+	CcB            // CF
+	CcAE           // !CF
+	CcS            // SF
+	CcNS           // !SF
+	CcO            // OF
+	CcNO           // !OF
+	CcA            // !CF && !ZF
+	CcBE           // CF || ZF
+	CcGE           // SF == OF
+	CcL            // SF != OF
+	CcG            // !ZF && SF == OF
+	CcLE           // ZF || SF != OF
+	CcAlways
+)
+
+var ccNames = [...]string{
+	"e", "ne", "b", "ae", "s", "ns", "o", "no", "a", "be", "ge", "l", "g", "le", "mp",
+}
+
+func (c Cc) String() string {
+	if int(c) < len(ccNames) {
+		return ccNames[c]
+	}
+	return fmt.Sprintf("cc(%d)", uint8(c))
+}
+
+// Negate returns the opposite condition.
+func (c Cc) Negate() Cc {
+	if c == CcAlways {
+		return CcAlways
+	}
+	return c ^ 1
+}
+
+// Eval evaluates the condition against the given flags.
+func (c Cc) Eval(cf, zf, sf, of bool) bool {
+	switch c {
+	case CcE:
+		return zf
+	case CcNE:
+		return !zf
+	case CcB:
+		return cf
+	case CcAE:
+		return !cf
+	case CcS:
+		return sf
+	case CcNS:
+		return !sf
+	case CcO:
+		return of
+	case CcNO:
+		return !of
+	case CcA:
+		return !cf && !zf
+	case CcBE:
+		return cf || zf
+	case CcGE:
+		return sf == of
+	case CcL:
+		return sf != of
+	case CcG:
+		return !zf && sf == of
+	case CcLE:
+		return zf || sf != of
+	}
+	return true
+}
+
+// Op is a host instruction opcode.
+type Op uint8
+
+// Host opcodes.
+const (
+	MOV Op = iota
+	MOVZX8
+	MOVSX8
+	MOVZX16
+	MOVSX16
+	LEA
+	ADD
+	ADC
+	SUB
+	SBB
+	CMP
+	AND
+	OR
+	XOR
+	TEST
+	NOT
+	NEG
+	SHL
+	SHR
+	SAR
+	ROR
+	IMUL  // dst = dst * src, 32-bit
+	MULX  // Dst2:Dst = Src * Src2, unsigned widening, flags unaffected
+	SMULX // Dst2:Dst = Src * Src2, signed widening, flags unaffected
+	INC
+	DEC
+	JMP // unconditional, Target = instruction index
+	JCC // conditional, Cc + Target
+	SETCC
+	CMOVCC
+	PUSH
+	POP
+	PUSHF
+	POPF
+	LAHF
+	SAHF
+	CMC
+	STC
+	CLC
+	CALLH // call helper HelperID; the engine's Go code runs
+	EXIT  // leave the block with Imm as the exit code
+)
+
+var opNames = [...]string{
+	"mov", "movzx8", "movsx8", "movzx16", "movsx16", "lea",
+	"add", "adc", "sub", "sbb", "cmp", "and", "or", "xor", "test",
+	"not", "neg", "shl", "shr", "sar", "ror", "imul", "mulx", "smulx",
+	"inc", "dec", "jmp", "j", "set", "cmov",
+	"push", "pop", "pushf", "popf", "lahf", "sahf", "cmc", "stc", "clc",
+	"callh", "exit",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class attributes an emitted instruction to a measurement category; the
+// machine accumulates dynamic counts per class (Figs. 15 and 17).
+type Class uint8
+
+// Measurement classes.
+const (
+	ClassCode     Class = iota // translation of guest instruction semantics
+	ClassSync                  // CPU-state coordination (sync-save/sync-restore)
+	ClassMMU                   // softmmu inline fast path
+	ClassIRQCheck              // interrupt-check polling
+	ClassGlue                  // block prologue/epilogue/chaining glue
+	ClassHelper                // synthetic cost charged by helper execution
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"code", "sync", "mmu", "irqcheck", "glue", "helper"}
+
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// AddrMode selects how an operand addresses its value.
+type AddrMode uint8
+
+// Operand kinds.
+const (
+	ModeNone AddrMode = iota
+	ModeReg
+	ModeImm
+	ModeMem
+)
+
+// Operand is an instruction operand: register, immediate, or memory
+// reference [Base + Index*Scale + Disp] with an access size.
+type Operand struct {
+	Mode  AddrMode
+	Reg   Reg
+	Imm   uint32
+	Base  Reg
+	Index Reg
+	HasIx bool
+	Scale uint8 // 1, 2, 4 or 8
+	Disp  int32
+	Size  uint8 // memory access size: 1, 2 or 4 (0 = 4)
+}
+
+// R makes a register operand.
+func R(r Reg) Operand { return Operand{Mode: ModeReg, Reg: r} }
+
+// I makes an immediate operand.
+func I(v uint32) Operand { return Operand{Mode: ModeImm, Imm: v} }
+
+// M makes a [base+disp] memory operand (4-byte access).
+func M(base Reg, disp int32) Operand {
+	return Operand{Mode: ModeMem, Base: base, Disp: disp, Size: 4}
+}
+
+// MS makes a [base+disp] memory operand with explicit size.
+func MS(base Reg, disp int32, size uint8) Operand {
+	return Operand{Mode: ModeMem, Base: base, Disp: disp, Size: size}
+}
+
+// MX makes a [base+index*scale+disp] memory operand.
+func MX(base, index Reg, scale uint8, disp int32, size uint8) Operand {
+	return Operand{Mode: ModeMem, Base: base, Index: index, HasIx: true, Scale: scale, Disp: disp, Size: size}
+}
+
+// Inst is one host instruction.
+type Inst struct {
+	Op     Op
+	Dst    Operand
+	Src    Operand
+	Dst2   Reg // MULX/SMULX high destination
+	Src2   Reg // MULX/SMULX second source
+	Cc     Cc
+	Target int // JMP/JCC: instruction index within the block
+	Helper int // CALLH: helper id
+	Imm    uint32
+	Class  Class
+}
+
+func (i Inst) String() string {
+	switch i.Op {
+	case JMP:
+		return fmt.Sprintf("jmp @%d", i.Target)
+	case JCC:
+		return fmt.Sprintf("j%v @%d", i.Cc, i.Target)
+	case SETCC:
+		return fmt.Sprintf("set%v %v", i.Cc, fmtOperand(i.Dst))
+	case CMOVCC:
+		return fmt.Sprintf("cmov%v %v, %v", i.Cc, fmtOperand(i.Dst), fmtOperand(i.Src))
+	case CALLH:
+		return fmt.Sprintf("callh #%d", i.Helper)
+	case EXIT:
+		return fmt.Sprintf("exit #%d", i.Imm)
+	case MULX, SMULX:
+		return fmt.Sprintf("%v %v:%v, %v, %v", i.Op, i.Dst2, fmtOperand(i.Dst), fmtOperand(i.Src), i.Src2)
+	case PUSHF, POPF, LAHF, SAHF, CMC, STC, CLC:
+		return i.Op.String()
+	case NOT, NEG, INC, DEC, PUSH, POP:
+		return fmt.Sprintf("%v %v", i.Op, fmtOperand(i.Dst))
+	}
+	if i.Src.Mode == ModeNone {
+		return fmt.Sprintf("%v %v", i.Op, fmtOperand(i.Dst))
+	}
+	return fmt.Sprintf("%v %v, %v", i.Op, fmtOperand(i.Dst), fmtOperand(i.Src))
+}
+
+func fmtOperand(o Operand) string {
+	switch o.Mode {
+	case ModeReg:
+		return o.Reg.String()
+	case ModeImm:
+		return fmt.Sprintf("$%#x", o.Imm)
+	case ModeMem:
+		s := ""
+		switch o.Size {
+		case 1:
+			s = "byte "
+		case 2:
+			s = "word "
+		}
+		if o.HasIx {
+			return fmt.Sprintf("%s[%v+%v*%d%+d]", s, o.Base, o.Index, o.Scale, o.Disp)
+		}
+		return fmt.Sprintf("%s[%v%+d]", s, o.Base, o.Disp)
+	}
+	return "?"
+}
+
+// Block is a translated block of host code. Branch targets are instruction
+// indices; Exec starts at index 0.
+type Block struct {
+	Insts []Inst
+	// GuestPC and GuestLen identify the guest block this was translated
+	// from (engine bookkeeping; not used by the machine).
+	GuestPC  uint32
+	GuestLen int
+}
+
+// EFLAGS bit positions used by PUSHF/POPF.
+const (
+	FlagCF = 1 << 0
+	FlagZF = 1 << 6
+	FlagSF = 1 << 7
+	FlagOF = 1 << 11
+)

@@ -1,0 +1,347 @@
+package x86
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// run assembles a block from instructions and executes it on a fresh
+// machine with a small stack, returning the machine.
+func run(t *testing.T, setup func(m *Machine), insts ...Inst) *Machine {
+	t.Helper()
+	m := NewMachine(1 << 16)
+	m.Regs[ESP] = 1 << 15
+	if setup != nil {
+		setup(m)
+	}
+	insts = append(insts, Inst{Op: EXIT})
+	m.Exec(&Block{Insts: insts})
+	return m
+}
+
+func TestMovAddSub(t *testing.T) {
+	m := run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(5)},
+		Inst{Op: MOV, Dst: R(ECX), Src: I(7)},
+		Inst{Op: ADD, Dst: R(EAX), Src: R(ECX)},
+	)
+	if m.Regs[EAX] != 12 {
+		t.Errorf("eax = %d", m.Regs[EAX])
+	}
+	if m.CF || m.ZF || m.SF || m.OF {
+		t.Errorf("flags = %v %v %v %v", m.CF, m.ZF, m.SF, m.OF)
+	}
+
+	m = run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(3)},
+		Inst{Op: SUB, Dst: R(EAX), Src: I(5)},
+	)
+	if m.Regs[EAX] != 0xFFFFFFFE || !m.CF || !m.SF {
+		t.Errorf("sub: eax=%#x cf=%v sf=%v", m.Regs[EAX], m.CF, m.SF)
+	}
+}
+
+func TestAdcSbbChain(t *testing.T) {
+	// 64-bit add: 0xFFFFFFFF_00000001 + 0x00000001_FFFFFFFF
+	m := run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0x00000001)},
+		Inst{Op: MOV, Dst: R(EDX), Src: I(0xFFFFFFFF)},
+		Inst{Op: ADD, Dst: R(EAX), Src: I(0xFFFFFFFF)},
+		Inst{Op: ADC, Dst: R(EDX), Src: I(0x00000001)},
+	)
+	if m.Regs[EAX] != 0 || m.Regs[EDX] != 1 {
+		t.Errorf("64-bit add = %#x:%#x", m.Regs[EDX], m.Regs[EAX])
+	}
+	if !m.CF {
+		t.Error("carry out lost")
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	m := run(t, func(m *Machine) {
+		m.Write32(0x100, 0x11223344)
+		m.Regs[EBX] = 0x100
+		m.Regs[ESI] = 4
+	},
+		Inst{Op: MOV, Dst: R(EAX), Src: M(EBX, 0)},
+		Inst{Op: MOV, Dst: MX(EBX, ESI, 4, -12, 4), Src: I(0xAABBCCDD)}, // [0x100+16-12]
+		Inst{Op: MOVZX8, Dst: R(ECX), Src: MS(EBX, 1, 1)},
+		Inst{Op: MOVSX8, Dst: R(EDX), Src: MS(EBX, 3, 1)},
+		Inst{Op: MOVZX16, Dst: R(EDI), Src: MS(EBX, 0, 2)},
+	)
+	if m.Regs[EAX] != 0x11223344 {
+		t.Errorf("load = %#x", m.Regs[EAX])
+	}
+	if m.Read32(0x104) != 0xAABBCCDD {
+		t.Errorf("indexed store = %#x", m.Read32(0x104))
+	}
+	if m.Regs[ECX] != 0x33 {
+		t.Errorf("movzx8 = %#x", m.Regs[ECX])
+	}
+	if m.Regs[EDX] != 0x11 { // 0x11 is positive
+		t.Errorf("movsx8 = %#x", m.Regs[EDX])
+	}
+	if m.Regs[EDI] != 0x3344 {
+		t.Errorf("movzx16 = %#x", m.Regs[EDI])
+	}
+}
+
+func TestShiftsAndRotates(t *testing.T) {
+	m := run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0x80000001)},
+		Inst{Op: SHL, Dst: R(EAX), Src: I(1)},
+	)
+	if m.Regs[EAX] != 2 || !m.CF {
+		t.Errorf("shl: %#x cf=%v", m.Regs[EAX], m.CF)
+	}
+	m = run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0x80000000)},
+		Inst{Op: SAR, Dst: R(EAX), Src: I(4)},
+	)
+	if m.Regs[EAX] != 0xF8000000 {
+		t.Errorf("sar: %#x", m.Regs[EAX])
+	}
+	m = run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0x3)},
+		Inst{Op: ROR, Dst: R(EAX), Src: I(1)},
+	)
+	if m.Regs[EAX] != 0x80000001 || !m.CF {
+		t.Errorf("ror: %#x cf=%v", m.Regs[EAX], m.CF)
+	}
+	// Shift by zero leaves flags alone.
+	m = run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(1)},
+		Inst{Op: CMP, Dst: R(EAX), Src: R(EAX)}, // ZF=1
+		Inst{Op: SHL, Dst: R(EAX), Src: I(0)},
+	)
+	if !m.ZF {
+		t.Error("shl 0 clobbered flags")
+	}
+}
+
+func TestWideningMultiply(t *testing.T) {
+	m := run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0xFFFFFFFF)},
+		Inst{Op: MOV, Dst: R(ECX), Src: I(0xFFFFFFFF)},
+		Inst{Op: MULX, Dst: R(EDX), Dst2: EBX, Src: R(EAX), Src2: ECX},
+	)
+	// 0xFFFFFFFF^2 = 0xFFFFFFFE_00000001
+	if m.Regs[EDX] != 1 || m.Regs[EBX] != 0xFFFFFFFE {
+		t.Errorf("mulx = %#x:%#x", m.Regs[EBX], m.Regs[EDX])
+	}
+	m = run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0xFFFFFFFF)}, // -1
+		Inst{Op: MOV, Dst: R(ECX), Src: I(5)},
+		Inst{Op: SMULX, Dst: R(EDX), Dst2: EBX, Src: R(EAX), Src2: ECX},
+	)
+	if m.Regs[EDX] != 0xFFFFFFFB || m.Regs[EBX] != 0xFFFFFFFF {
+		t.Errorf("smulx = %#x:%#x", m.Regs[EBX], m.Regs[EDX])
+	}
+}
+
+func TestCondBranchesAndSetcc(t *testing.T) {
+	// Loop: sum 1..5 using jcc.
+	insts := []Inst{
+		{Op: MOV, Dst: R(EAX), Src: I(0)},   // 0: sum
+		{Op: MOV, Dst: R(ECX), Src: I(5)},   // 1: i
+		{Op: ADD, Dst: R(EAX), Src: R(ECX)}, // 2: loop body
+		{Op: DEC, Dst: R(ECX)},              // 3
+		{Op: JCC, Cc: CcNE, Target: 2},      // 4
+		{Op: CMP, Dst: R(EAX), Src: I(15)},  // 5
+		{Op: SETCC, Cc: CcE, Dst: R(EDX)},   // 6
+	}
+	m := run(t, nil, insts...)
+	if m.Regs[EAX] != 15 || m.Regs[EDX] != 1 {
+		t.Errorf("sum = %d, setcc = %d", m.Regs[EAX], m.Regs[EDX])
+	}
+}
+
+func TestPushfPopfRoundTrip(t *testing.T) {
+	m := run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(1)},
+		Inst{Op: CMP, Dst: R(EAX), Src: I(2)}, // CF=1, SF=1
+		Inst{Op: PUSHF},
+		Inst{Op: POP, Dst: R(EBX)},
+		Inst{Op: CMP, Dst: R(EAX), Src: R(EAX)}, // ZF=1, CF=0
+		Inst{Op: PUSH, Dst: R(EBX)},
+		Inst{Op: POPF},
+	)
+	if !m.CF || m.ZF || !m.SF {
+		t.Errorf("flags after popf: cf=%v zf=%v sf=%v", m.CF, m.ZF, m.SF)
+	}
+	if m.Regs[EBX]&FlagCF == 0 {
+		t.Errorf("pushf word = %#x", m.Regs[EBX])
+	}
+}
+
+func TestLahfSahf(t *testing.T) {
+	m := run(t, nil,
+		Inst{Op: MOV, Dst: R(EAX), Src: I(0)},
+		Inst{Op: CMP, Dst: R(EAX), Src: R(EAX)}, // ZF=1
+		Inst{Op: LAHF},
+		Inst{Op: MOV, Dst: R(EBX), Src: R(EAX)},
+		Inst{Op: CMP, Dst: R(EAX), Src: I(1)}, // ZF=0 CF=1
+		Inst{Op: MOV, Dst: R(EAX), Src: R(EBX)},
+		Inst{Op: SAHF},
+	)
+	if !m.ZF || m.CF {
+		t.Errorf("sahf: zf=%v cf=%v", m.ZF, m.CF)
+	}
+}
+
+func TestHelperCallAndCharge(t *testing.T) {
+	m := NewMachine(1 << 12)
+	id := m.RegisterHelper(func(m *Machine) int {
+		m.Regs[EAX] = 99
+		m.Charge(ClassHelper, 20)
+		return -1
+	})
+	exitID := m.RegisterHelper(func(m *Machine) int { return 7 })
+	b := &Block{Insts: []Inst{
+		{Op: CALLH, Helper: id, Class: ClassCode},
+		{Op: CALLH, Helper: exitID, Class: ClassCode},
+		{Op: EXIT, Imm: 1},
+	}}
+	code := m.Exec(b)
+	if code != 7 {
+		t.Errorf("exit code = %d", code)
+	}
+	if m.Regs[EAX] != 99 {
+		t.Errorf("helper effect lost")
+	}
+	if m.Counts[ClassHelper] != 20 || m.Counts[ClassCode] != 2 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+}
+
+func TestClassAccounting(t *testing.T) {
+	e := NewEmitter()
+	e.Mov(R(EAX), I(1))
+	e.SetClass(ClassSync)
+	e.Op0(PUSHF)
+	e.Op1(POP, R(EBX))
+	e.SetClass(ClassCode)
+	e.Exit(0)
+	b := e.Finish(0, 1)
+	m := NewMachine(1 << 12)
+	m.Regs[ESP] = 1 << 10
+	m.Exec(b)
+	if m.Counts[ClassSync] != 2 {
+		t.Errorf("sync count = %d", m.Counts[ClassSync])
+	}
+	if m.Counts[ClassCode] != 2 { // mov + exit
+		t.Errorf("code count = %d", m.Counts[ClassCode])
+	}
+}
+
+func TestEmitterLabels(t *testing.T) {
+	e := NewEmitter()
+	e.Mov(R(ECX), I(3))
+	e.Mov(R(EAX), I(0))
+	e.Label("top")
+	e.Op2(ADD, R(EAX), R(ECX))
+	e.Op1(DEC, R(ECX))
+	e.Jcc(CcNE, "top")
+	e.Jmp("out")
+	e.Mov(R(EAX), I(0xBAD))
+	e.Label("out")
+	e.Exit(0)
+	b := e.Finish(0, 0)
+	m := NewMachine(1 << 12)
+	m.Regs[ESP] = 1 << 10
+	m.Exec(b)
+	if m.Regs[EAX] != 6 {
+		t.Errorf("eax = %d", m.Regs[EAX])
+	}
+}
+
+// TestCcNegateProperty: cc and its negation never agree.
+func TestCcNegateProperty(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(Cc(r.Intn(14)))
+			vals[1] = reflect.ValueOf(r.Intn(16))
+		},
+	}
+	f := func(cc Cc, bitsv int) bool {
+		cf, zf, sf, of := bitsv&1 != 0, bitsv&2 != 0, bitsv&4 != 0, bitsv&8 != 0
+		return cc.Eval(cf, zf, sf, of) != cc.Negate().Eval(cf, zf, sf, of)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubFlagsMatchARMConditionMapping: for values compared with host CMP,
+// the standard ARM→x86 condition mapping must agree with ARM semantics.
+// This property underpins the rule-based translator's conditional handling.
+func TestSubFlagsMatchARMConditionMapping(t *testing.T) {
+	pairs := []struct {
+		armN, armZ, armC, armV func(a, b uint32) bool
+		cc                     Cc
+	}{}
+	_ = pairs
+	mapping := map[string]Cc{
+		"eq": CcE, "ne": CcNE, "hs": CcAE, "lo": CcB,
+		"mi": CcS, "pl": CcNS, "vs": CcO, "vc": CcNO,
+		"hi": CcA, "ls": CcBE, "ge": CcGE, "lt": CcL, "gt": CcG, "le": CcLE,
+	}
+	armEval := func(name string, a, b uint32) bool {
+		d := a - b
+		n := int32(d) < 0
+		z := d == 0
+		c := a >= b // ARM C after CMP = NOT borrow
+		v := (a^b)&(a^d)&0x80000000 != 0
+		switch name {
+		case "eq":
+			return z
+		case "ne":
+			return !z
+		case "hs":
+			return c
+		case "lo":
+			return !c
+		case "mi":
+			return n
+		case "pl":
+			return !n
+		case "vs":
+			return v
+		case "vc":
+			return !v
+		case "hi":
+			return c && !z
+		case "ls":
+			return !c || z
+		case "ge":
+			return n == v
+		case "lt":
+			return n != v
+		case "gt":
+			return !z && n == v
+		default:
+			return z || n != v
+		}
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b := r.Uint32(), r.Uint32()
+		if i%5 == 0 {
+			b = a // exercise equality
+		}
+		m := NewMachine(64)
+		m.Regs[EAX], m.Regs[ECX] = a, b
+		m.Exec(&Block{Insts: []Inst{
+			{Op: CMP, Dst: R(EAX), Src: R(ECX)},
+			{Op: EXIT},
+		}})
+		for name, cc := range mapping {
+			if got, want := cc.Eval(m.CF, m.ZF, m.SF, m.OF), armEval(name, a, b); got != want {
+				t.Fatalf("cmp %#x,%#x: ARM %s=%v but x86 %v=%v", a, b, name, want, cc, got)
+			}
+		}
+	}
+}
