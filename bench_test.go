@@ -201,6 +201,32 @@ func BenchmarkLearningPipeline(b *testing.B) {
 	b.ReportMetric(nrules, "rules")
 }
 
+// BenchmarkChaining measures translation-block chaining on a loop-heavy
+// workload: the fraction of direct-successor transitions served by a patched
+// in-cache jump and the resulting drop in dispatcher re-entries.
+func BenchmarkChaining(b *testing.B) {
+	var rate, drop float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		w, _ := workloads.ByName("mcf")
+		full, err := r.Run(w, exp.CfgFull)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chain, err := r.Run(w, exp.CfgChain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if chain.Retired != full.Retired {
+			b.Fatalf("chained run retired %d, unchained %d", chain.Retired, full.Retired)
+		}
+		rate = chain.Engine.ChainRate()
+		drop = 1 - float64(chain.Engine.Dispatches)/float64(full.Engine.Dispatches)
+	}
+	b.ReportMetric(rate, "chain-rate")
+	b.ReportMetric(drop, "dispatch-drop")
+}
+
 // BenchmarkEngineThroughput measures raw emulation speed of the two engines
 // (guest instructions per second), the quantity behind Fig. 18.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sldbt -workload mcf -engine rule -opt scheduling
+//	sldbt -workload mcf -engine rule -opt scheduling -chain
 //	sldbt -asm prog.s -engine tcg
 //
 // With -asm, the file must contain a user-mode program defining user_entry
@@ -35,6 +35,7 @@ func main() {
 	asmFile := flag.String("asm", "", "assembly file with a user_entry program")
 	engName := flag.String("engine", "rule", "engine: interp | tcg | rule")
 	opt := flag.String("opt", "scheduling", "rule-engine optimization level: base | reduction | elimination | scheduling")
+	chain := flag.Bool("chain", false, "enable translation-block chaining (direct block linking)")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
 	stats := flag.Bool("stats", true, "print execution statistics")
 	list := flag.Bool("list", false, "list built-in workloads")
@@ -117,6 +118,7 @@ func main() {
 			tr = core.New(rules.BaselineRules(), lvl)
 		}
 		e := engine.New(tr, kernel.RAMSize)
+		e.EnableChaining(*chain)
 		im.Configure(e.Bus)
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
@@ -134,9 +136,12 @@ func main() {
 			fmt.Printf("-- host classes: code %d, sync %d, mmu %d, irqcheck %d, glue %d, helper %d\n",
 				e.M.Counts[x86.ClassCode], e.M.Counts[x86.ClassSync], e.M.Counts[x86.ClassMMU],
 				e.M.Counts[x86.ClassIRQCheck], e.M.Counts[x86.ClassGlue], e.M.Counts[x86.ClassHelper])
-			fmt.Printf("-- engine: %d TBs, %d entries, %d chained, %d helper calls, %d IRQs\n",
-				e.Stats.TBsTranslated, e.Stats.TBEntries, e.Stats.ChainHits,
+			fmt.Printf("-- engine: %d TBs, %d entries, %d dispatches, %d helper calls, %d IRQs\n",
+				e.Stats.TBsTranslated, e.Stats.TBEntries, e.Stats.Dispatches,
 				e.Stats.HelperCalls, e.Stats.IRQs)
+			fmt.Printf("-- chaining: %d links, %d chained exits, %d dispatcher exits, %d breaks (chain rate %.1f%%)\n",
+				e.Stats.ChainLinks, e.Stats.ChainedExits, e.Stats.ChainHits,
+				e.Stats.ChainBreaks, 100*e.Stats.ChainRate())
 			if rt, ok := tr.(*core.Translator); ok {
 				fmt.Printf("-- rules: %d hits, %d fallbacks, coverage %.1f%%; sync saves %d, restores %d, elided %d+%d, inter-TB %d, sched moves %d\n",
 					rt.Stats.RuleHits, rt.Stats.Fallbacks,

@@ -10,5 +10,6 @@
 // (internal/learn, internal/verify, internal/rules), the rule-based
 // system-level translator with the paper's coordination optimizations
 // (internal/core), the benchmark workloads (internal/workloads) and the
-// experiment harness (internal/exp). See README.md and DESIGN.md.
+// experiment harness (internal/exp). See README.md, DESIGN.md and
+// EXPERIMENTS.md.
 package sldbt

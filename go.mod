@@ -1,0 +1,3 @@
+module sldbt
+
+go 1.22

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+)
+
+// runChained is runRule with translation-block chaining enabled.
+func runChained(t *testing.T, image []byte, origin uint32, budget uint64, level OptLevel) (*engine.Engine, uint32, string) {
+	t.Helper()
+	tr := New(rules.BaselineRules(), level)
+	e := engine.New(tr, kernel.RAMSize)
+	e.EnableChaining(true)
+	if err := e.LoadImage(origin, image); err != nil {
+		t.Fatal(err)
+	}
+	code, err := e.Run(budget)
+	if err != nil {
+		t.Fatalf("chained rule-%v: %v (console %q)", level, err, e.Bus.UART().Output())
+	}
+	return e, code, e.Bus.UART().Output()
+}
+
+// chainLoopProg is branch- and flag-heavy so the hot path is a chained cycle.
+const chainLoopProg = `
+user_entry:
+	mov r4, #0
+	ldr r2, =40000
+loop:
+	tst r2, #3
+	addne r4, r4, #1
+	cmp r2, #0x4E00
+	addhi r4, r4, #2
+	eor r4, r4, r2, lsl #1
+	subs r2, r2, #1
+	bne loop
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+
+// TestChainingMatchesUnchained: identical architectural results (exit code,
+// console, retired instruction count, user registers) with and without
+// chaining, at every optimization level, and the chained run must actually
+// chain.
+func TestChainingMatchesUnchained(t *testing.T) {
+	prog := kernel.MustBuild(chainLoopProg, kernel.Config{TimerPeriod: 9000})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 8_000_000)
+	for _, level := range allLevels {
+		plain, _, code, out := runRule(t, prog.Image, prog.Origin, 8_000_000, level)
+		if code != wantCode || out != wantOut {
+			t.Fatalf("level %v unchained diverges from interpreter", level)
+		}
+		chained, ccode, cout := runChained(t, prog.Image, prog.Origin, 8_000_000, level)
+		if ccode != wantCode {
+			t.Errorf("level %v chained exit %#x, want %#x", level, ccode, wantCode)
+		}
+		if cout != wantOut {
+			t.Errorf("level %v chained console mismatch:\n got:  %q\n want: %q", level, cout, wantOut)
+		}
+		if chained.Retired != plain.Retired {
+			t.Errorf("level %v retired %d chained vs %d unchained", level, chained.Retired, plain.Retired)
+		}
+		if chained.Stats.ChainedExits == 0 {
+			t.Errorf("level %v: loop workload never took a chained exit", level)
+		}
+		if chained.Stats.Dispatches >= plain.Stats.Dispatches {
+			t.Errorf("level %v: dispatcher re-entries did not drop (%d chained vs %d unchained)",
+				level, chained.Stats.Dispatches, plain.Stats.Dispatches)
+		}
+	}
+}
+
+// TestChainingSMCInvalidation: a store into a translated code page must
+// still flush the cache (dropping every installed link) and the rewritten
+// code must execute afterwards, with chaining enabled.
+func TestChainingSMCInvalidation(t *testing.T) {
+	user := `
+user_entry:
+	mov r5, #0
+outer:
+	bl victim
+	add r6, r6, r0
+	ldr r1, =victim
+	ldr r2, =0xE3A00002  ; mov r0, #2
+	str r2, [r1]
+	bl victim
+	add r6, r6, r0, lsl #4
+	add r5, r5, #1
+	cmp r5, #1
+	blt outer
+	mov r0, r6           ; expect 0x21
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+victim:
+	mov r0, #1
+	bx lr
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{TimerOff: true})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	e, code, out := runChained(t, prog.Image, prog.Origin, 2_000_000, OptScheduling)
+	if code != wantCode || out != wantOut {
+		t.Errorf("chained SMC run: code %#x out %q, want %#x %q", code, out, wantCode, wantOut)
+	}
+	if e.Flushes() == 0 {
+		t.Error("self-modifying store did not flush the code cache")
+	}
+}
+
+// TestChainingIRQPromptness: with a fast timer, a chained run must deliver
+// exactly as many IRQs as the unchained run — every chained crossing retires
+// guest time and the successor's interrupt-check site observes the pending
+// word, so delivery latency is unchanged.
+func TestChainingIRQPromptness(t *testing.T) {
+	prog := kernel.MustBuild(chainLoopProg, kernel.Config{TimerPeriod: 5000})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 8_000_000)
+	plain, _, _, _ := runRule(t, prog.Image, prog.Origin, 8_000_000, OptScheduling)
+	chained, code, out := runChained(t, prog.Image, prog.Origin, 8_000_000, OptScheduling)
+	if code != wantCode || out != wantOut {
+		t.Fatalf("chained IRQ run diverges: code %#x out %q", code, out)
+	}
+	if chained.Stats.IRQs == 0 {
+		t.Fatal("timer never fired under chaining")
+	}
+	if chained.Stats.IRQs != plain.Stats.IRQs {
+		t.Errorf("IRQ count %d chained vs %d unchained", chained.Stats.IRQs, plain.Stats.IRQs)
+	}
+}

@@ -357,7 +357,7 @@ func (tc *tctx) emitSystem(i int) {
 		fall := tc.instPC(i) + 4
 		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
 		tc.em.SetClass(x86.ClassGlue)
-		tc.em.Exit(engine.ExitNext0)
+		tc.em.ExitChainable(engine.ExitNext0)
 		tc.exited = true
 		return
 	}
@@ -389,7 +389,7 @@ func (tc *tctx) emitBranch(i int) {
 		tc.tb.Next[1], tc.tb.HasNext[1] = taken, true
 		tc.endOfTBSave(taken, 0)
 		tc.em.SetClass(x86.ClassGlue)
-		tc.em.Exit(engine.ExitNext1)
+		tc.em.ExitChainable(engine.ExitNext1)
 		tc.exited = true
 		return
 	}
@@ -406,9 +406,9 @@ func (tc *tctx) emitBranch(i int) {
 		tc.em.Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
 	}
 	tc.em.SetClass(x86.ClassGlue)
-	tc.em.Exit(engine.ExitNext1)
+	tc.em.ExitChainable(engine.ExitNext1)
 	tc.em.Label(fail)
-	tc.em.Exit(engine.ExitNext0)
+	tc.em.ExitChainable(engine.ExitNext0)
 	tc.exited = true
 }
 
@@ -437,7 +437,7 @@ func (tc *tctx) emitBX(i int) {
 	if skipLbl != "" {
 		tc.em.Label(skipLbl)
 		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
-		tc.em.Exit(engine.ExitNext0)
+		tc.em.ExitChainable(engine.ExitNext0)
 	}
 	tc.exited = true
 }

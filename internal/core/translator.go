@@ -109,7 +109,7 @@ func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.
 		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true
 		tc.endOfTBSave(fall, 0)
 		tc.em.SetClass(x86.ClassGlue)
-		tc.em.Exit(engine.ExitNext0)
+		tc.em.ExitChainable(engine.ExitNext0)
 	}
 	tc.tb.IRQIdx = 0
 	if irqPos > 0 && irqPos <= len(tc.origIdx) {

@@ -1,0 +1,140 @@
+package engine
+
+import "sldbt/internal/x86"
+
+// Translation-block chaining (direct block linking).
+//
+// Without chaining, every direct-successor exit (ExitNext0/1) returns to the
+// dispatcher for a cache lookup before the next block runs. With chaining
+// enabled, the engine patches the predecessor's exit stub — the EXIT
+// instruction recorded in Block.ChainSite — into a CHAIN instruction that
+// jumps straight to the successor's host code, QEMU's tb_add_jump/goto_tb
+// path. A small Go-side glue closure runs at every chained crossing to keep
+// the system-level invariants that the dispatcher used to enforce:
+//
+//   - guest time advances (retire ticks the bus and refreshes env.pending, so
+//     the successor's interrupt-check site still takes IRQs promptly),
+//   - the run budget and guest power-off are honoured,
+//   - runs of chained blocks are bounded (maxChainRun) so control returns to
+//     the dispatcher at least that often.
+//
+// Links are torn down whenever they could go stale: FlushCache (including the
+// self-modifying-code path) drops every block, and unlinkChains reverts the
+// patches when the guest changes its translation regime (TTBR/SCTLR writes,
+// TLB maintenance, reset), since a link bakes in the successor's
+// virtual-to-physical mapping that the dispatcher would otherwise re-walk.
+
+// maxChainRun bounds how many chained crossings may happen per dispatcher
+// entry. IRQ delivery does not depend on it (every TB polls env.pending and
+// every crossing retires), but it keeps Run's power-off/halt handling fresh.
+const maxChainRun = 64
+
+// chainLink records one patched exit for unlinkChains.
+type chainLink struct {
+	from *TB
+	slot int
+}
+
+// EnableChaining switches direct block linking on or off. Turning it off
+// unlinks every patched block, so execution falls back to dispatcher-driven
+// transitions immediately.
+func (e *Engine) EnableChaining(on bool) {
+	e.chain = on
+	if !on {
+		e.unlinkChains()
+	}
+}
+
+// ChainingEnabled reports whether direct block linking is active.
+func (e *Engine) ChainingEnabled() bool { return e.chain }
+
+// Links reports how many patched block links are currently installed.
+func (e *Engine) Links() int { return len(e.links) }
+
+// noteDirectExit remembers a dispatcher-handled direct transition so the next
+// lookup can link the predecessor to whatever block it resolves to.
+func (e *Engine) noteDirectExit(tb *TB, slot int) {
+	if e.chain && tb.ChainTo[slot] == nil && tb.Block.ChainSite[slot] >= 0 {
+		e.lastTB, e.lastSlot = tb, slot
+	}
+}
+
+// linkPending patches the previously-noted predecessor exit to jump directly
+// to tb, which the dispatcher resolved at guest address pc under privilege
+// priv.
+func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
+	from, slot := e.lastTB, e.lastSlot
+	e.lastTB = nil
+	if from == nil || from.ChainTo[slot] != nil || from.Next[slot] != pc {
+		return
+	}
+	site := from.Block.ChainSite[slot]
+	if site < 0 {
+		return
+	}
+	id := from.glueID[slot] - 1
+	if id < 0 {
+		id = e.M.RegisterHelper(e.chainGlue(from, slot))
+		from.glueID[slot] = id + 1
+	}
+	from.Block.Insts[site] = x86.Inst{
+		Op: x86.CHAIN, Helper: id, Chain: tb.Block,
+		Imm: uint32(slot), Class: x86.ClassGlue,
+	}
+	from.ChainTo[slot] = tb
+	from.chainPriv[slot] = priv
+	e.links = append(e.links, chainLink{from, slot})
+	e.Stats.ChainLinks++
+}
+
+// chainGlue builds the Go-side glue run when the patched exit of from's
+// successor slot executes. It performs the bookkeeping the dispatcher used to
+// do for this transition and decides whether the direct jump may be taken.
+func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
+	return func(m *x86.Machine) int {
+		// The transition's bookkeeping is unconditional, exactly like the
+		// dispatcher's direct-exit path: the predecessor's instructions
+		// retire whether or not the jump is taken. Only then is the crossing
+		// decided, so a chained run stops at the same retirement boundary an
+		// unchained run would (Run checks the budget after each retirement).
+		e.retire(from.GuestLen)
+		// The privilege check mirrors the dispatcher's privilege-keyed cache
+		// lookup: a mid-block mode change (MSR writing the CPSR mode bits)
+		// means the linked successor — translated under the old privilege —
+		// is no longer the block the dispatcher would select.
+		if e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
+			e.CPU.Mode().Privileged() != from.chainPriv[slot] {
+			e.nextPC = from.Next[slot]
+			e.Stats.ChainBreaks++
+			return ExitChainBreak
+		}
+		e.chainSteps++
+		e.Stats.ChainedExits++
+		e.Stats.TBEntries++
+		e.curTB = from.ChainTo[slot]
+		e.curPC = from.Next[slot]
+		return -1
+	}
+}
+
+// unlinkChains reverts every patched exit stub to its original EXIT. Called
+// when links could be stale: the guest changed its translation regime, or
+// chaining was turned off.
+func (e *Engine) unlinkChains() {
+	for _, l := range e.links {
+		site := l.from.Block.ChainSite[l.slot]
+		l.from.Block.Insts[site] = x86.Inst{
+			Op: x86.EXIT, Imm: uint32(l.slot), Class: x86.ClassGlue,
+		}
+		l.from.ChainTo[l.slot] = nil
+	}
+	e.links = e.links[:0]
+	e.lastTB = nil
+}
+
+// dropChains forgets all link bookkeeping without rewriting blocks; used by
+// FlushCache, which discards the blocks themselves.
+func (e *Engine) dropChains() {
+	e.links = e.links[:0]
+	e.lastTB = nil
+}

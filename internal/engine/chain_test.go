@@ -1,0 +1,357 @@
+package engine
+
+import (
+	"testing"
+
+	"sldbt/internal/x86"
+)
+
+// chainStubTrans emits, for any guest pc, a block that performs no guest
+// work and falls through to pc+4 via a chainable direct exit. It is enough
+// to exercise the link/patch/unlink machinery without a real guest program.
+type chainStubTrans struct{}
+
+func (chainStubTrans) Name() string { return "chain-stub" }
+
+func (chainStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	em := x86.NewEmitter()
+	em.SetClass(x86.ClassGlue)
+	em.ExitChainable(ExitNext0)
+	tb := &TB{Block: em.Finish(pc, 1), PC: pc, GuestLen: 1}
+	tb.Next[0], tb.HasNext[0] = pc+4, true
+	return tb, nil
+}
+
+func newChainEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(chainStubTrans{}, 1<<20)
+	e.EnableChaining(true)
+	e.runLimit = 1 << 40
+	return e
+}
+
+// TestChainLinkOnSecondDispatch: a direct exit followed by a lookup patches
+// the predecessor's exit stub into a CHAIN targeting the successor block.
+func TestChainLinkOnSecondDispatch(t *testing.T) {
+	e := newChainEngine(t)
+	if err := e.step(); err != nil { // translate+run TB@0, exit Next0
+		t.Fatal(err)
+	}
+	if err := e.step(); err != nil { // lookup TB@4: links TB@0 -> TB@4
+		t.Fatal(err)
+	}
+	tb0 := e.cache[tbKey{pa: 0, priv: true}]
+	tb1 := e.cache[tbKey{pa: 4, priv: true}]
+	if tb0 == nil || tb1 == nil {
+		t.Fatal("TBs missing from cache")
+	}
+	if tb0.ChainTo[0] != tb1 {
+		t.Fatalf("TB@0 not linked to TB@4 (ChainTo=%v)", tb0.ChainTo)
+	}
+	site := tb0.Block.ChainSite[0]
+	if in := tb0.Block.Insts[site]; in.Op != x86.CHAIN || in.Chain != tb1.Block {
+		t.Fatalf("exit stub not patched: %v", in)
+	}
+	if e.Links() != 1 || e.Stats.ChainLinks != 1 {
+		t.Errorf("links = %d, stat = %d", e.Links(), e.Stats.ChainLinks)
+	}
+}
+
+// TestChainedRunSkipsDispatcher: once linked, re-running the predecessor
+// crosses into the successor without re-entering the dispatcher.
+func TestChainedRunSkipsDispatcher(t *testing.T) {
+	e := newChainEngine(t)
+	for i := 0; i < 2; i++ { // translate TB@0, TB@4 and install the link
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.nextPC = 0
+	dispatches, entries := e.Stats.Dispatches, e.Stats.TBEntries
+	if err := e.step(); err != nil { // TB@0 chains into TB@4, then exits
+		t.Fatal(err)
+	}
+	if got := e.Stats.Dispatches - dispatches; got != 1 {
+		t.Errorf("dispatcher entered %d times, want 1", got)
+	}
+	if got := e.Stats.TBEntries - entries; got != 2 {
+		t.Errorf("block entries = %d, want 2 (TB@0 and chained TB@4)", got)
+	}
+	if e.Stats.ChainedExits != 1 {
+		t.Errorf("chained exits = %d, want 1", e.Stats.ChainedExits)
+	}
+	if e.nextPC != 8 {
+		t.Errorf("nextPC = %#x, want 0x8 (exit dispatched for the chained TB)", e.nextPC)
+	}
+	if e.Retired != 4 { // two TBs in steps 1-2, two more in the chained step
+		t.Errorf("retired = %d, want 4 (chain glue must retire)", e.Retired)
+	}
+}
+
+// TestFlushCacheDropsLinks: invalidation forgets every link, and freshly
+// retranslated blocks start out unpatched.
+func TestFlushCacheDropsLinks(t *testing.T) {
+	e := newChainEngine(t)
+	for i := 0; i < 3; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Links() == 0 {
+		t.Fatal("no links installed before flush")
+	}
+	e.FlushCache()
+	if e.Links() != 0 {
+		t.Errorf("links survive FlushCache: %d", e.Links())
+	}
+	e.nextPC = 0
+	if err := e.step(); err != nil { // retranslate TB@0
+		t.Fatal(err)
+	}
+	tb0 := e.cache[tbKey{pa: 0, priv: true}]
+	if in := tb0.Block.Insts[tb0.Block.ChainSite[0]]; in.Op != x86.EXIT {
+		t.Errorf("fresh TB already patched: %v", in)
+	}
+}
+
+// TestFlushCacheReleasesHelpers: invalidation truncates the helper table
+// back to its pre-translation baseline (releasing chain-glue closures and
+// translation-time helpers), and fresh translations re-register cleanly.
+func TestFlushCacheReleasesHelpers(t *testing.T) {
+	flip := false
+	e := New(privFlipTrans{flip: &flip}, 1<<20) // registers one helper per TB
+	e.EnableChaining(true)
+	e.runLimit = 1 << 40
+	for i := 0; i < 3; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.M.Helpers() == 0 {
+		t.Fatal("no helpers registered by translation/linking")
+	}
+	e.FlushCache()
+	if got := e.M.Helpers(); got != 0 {
+		t.Errorf("flush left %d helpers registered", got)
+	}
+	e.nextPC = 0
+	for i := 0; i < 3; i++ { // retranslate and relink after the flush
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.cache[tbKey{pa: 0, priv: true}].ChainTo[0] == nil {
+		t.Error("relinking after flush failed")
+	}
+}
+
+// TestChainBudgetBoundaryMatchesDispatcher: a budget that lands mid-chain
+// must stop at exactly the retirement boundary the unchained engine stops
+// at — the glue retires the predecessor, then refuses the crossing.
+func TestChainBudgetBoundaryMatchesDispatcher(t *testing.T) {
+	run := func(chain bool) uint64 {
+		e := New(chainStubTrans{}, 1<<20)
+		e.EnableChaining(chain)
+		e.runLimit = 1 << 40
+		for i := 0; i < 8; i++ { // warm the cache (and links, if chaining)
+			if err := e.step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.nextPC = 0
+		e.Retired = 0
+		e.runLimit = 5 // budget lands mid-chain
+		for e.Retired < e.runLimit {
+			if err := e.step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Retired
+	}
+	plain, chained := run(false), run(true)
+	if plain != chained {
+		t.Errorf("retired at budget: %d unchained vs %d chained", plain, chained)
+	}
+}
+
+// TestUnlinkRestoresExitStub: unlinkChains reverts the patch in place, so the
+// next execution of the predecessor goes back through the dispatcher.
+func TestUnlinkRestoresExitStub(t *testing.T) {
+	e := newChainEngine(t)
+	for i := 0; i < 2; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb0 := e.cache[tbKey{pa: 0, priv: true}]
+	e.unlinkChains()
+	site := tb0.Block.ChainSite[0]
+	if in := tb0.Block.Insts[site]; in.Op != x86.EXIT || in.Imm != ExitNext0 {
+		t.Fatalf("stub not restored: %v", in)
+	}
+	if tb0.ChainTo[0] != nil || e.Links() != 0 {
+		t.Error("link bookkeeping not cleared")
+	}
+	// The restored stub must execute as a plain dispatcher exit again.
+	e.nextPC = 0
+	chained := e.Stats.ChainedExits
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ChainedExits != chained {
+		t.Error("unlinked block still chained")
+	}
+}
+
+// TestChainGlueHonoursBudget: the glue refuses the direct jump once the run
+// budget is exhausted, completing the transition dispatcher-side instead.
+func TestChainGlueHonoursBudget(t *testing.T) {
+	e := newChainEngine(t)
+	for i := 0; i < 2; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.nextPC = 0
+	e.runLimit = e.Retired // budget exhausted from the glue's point of view
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ChainedExits != 0 {
+		t.Error("glue followed the link past the budget")
+	}
+	if e.Stats.ChainBreaks != 1 {
+		t.Errorf("chain breaks = %d, want 1", e.Stats.ChainBreaks)
+	}
+	if e.nextPC != 4 {
+		t.Errorf("nextPC = %#x, want 0x4 (break must complete the transition)", e.nextPC)
+	}
+}
+
+// TestChainRunBounded: a linked loop returns to the dispatcher at least every
+// maxChainRun crossings.
+func TestChainRunBounded(t *testing.T) {
+	e := newChainEngine(t)
+	// Build a long straight-line chain and execute it end to end repeatedly.
+	for i := 0; i < 3*maxChainRun; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.nextPC = 0
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.chainSteps > maxChainRun {
+		t.Errorf("chained run of %d crossings exceeds bound %d", e.chainSteps, maxChainRun)
+	}
+	if e.Stats.ChainBreaks == 0 {
+		t.Error("long chain never broke back to the dispatcher")
+	}
+}
+
+// privFlipTrans is chainStubTrans plus a helper that, when armed, switches
+// the CPU to user mode mid-block — the MSR-mode-write scenario.
+type privFlipTrans struct{ flip *bool }
+
+func (privFlipTrans) Name() string { return "priv-flip-stub" }
+
+func (tr privFlipTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	em := x86.NewEmitter()
+	id := e.M.RegisterHelper(func(m *x86.Machine) int {
+		if *tr.flip {
+			e.CPU.SetCPSR(0x10) // USR mode
+		}
+		return -1
+	})
+	em.CallHelper(id)
+	em.SetClass(x86.ClassGlue)
+	em.ExitChainable(ExitNext0)
+	tb := &TB{Block: em.Finish(pc, 1), PC: pc, GuestLen: 1}
+	tb.Next[0], tb.HasNext[0] = pc+4, true
+	return tb, nil
+}
+
+// TestChainGlueBreaksOnPrivilegeChange: a mid-block mode change must stop a
+// chained run — the linked successor was translated and keyed under the old
+// privilege, so the dispatcher has to re-walk and re-select.
+func TestChainGlueBreaksOnPrivilegeChange(t *testing.T) {
+	flip := false
+	e := New(privFlipTrans{flip: &flip}, 1<<20)
+	e.EnableChaining(true)
+	e.runLimit = 1 << 40
+	for i := 0; i < 2; i++ { // link TB@0 -> TB@4, both privileged
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb0 := e.cache[tbKey{pa: 0, priv: true}]
+	if tb0.ChainTo[0] == nil {
+		t.Fatal("link not installed")
+	}
+	e.nextPC = 0
+	flip = true // this execution of TB@0 drops to user mode mid-block
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ChainedExits != 0 {
+		t.Error("glue followed a link across a privilege change")
+	}
+	if e.Stats.ChainBreaks != 1 {
+		t.Errorf("chain breaks = %d, want 1", e.Stats.ChainBreaks)
+	}
+	if e.nextPC != 4 {
+		t.Errorf("nextPC = %#x, want 0x4", e.nextPC)
+	}
+}
+
+// TestRelinkReusesGlueHelper: unlink/relink churn must not grow the host
+// machine's helper table — the glue closure is registered once per
+// (TB, slot).
+func TestRelinkReusesGlueHelper(t *testing.T) {
+	e := newChainEngine(t)
+	for i := 0; i < 2; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb0 := e.cache[tbKey{pa: 0, priv: true}]
+	firstID := tb0.glueID[0]
+	if firstID == 0 {
+		t.Fatal("glue not registered on first link")
+	}
+	helpers := e.M.Helpers()
+	for i := 0; i < 5; i++ {
+		e.unlinkChains()
+		e.nextPC = 0
+		for j := 0; j < 2; j++ { // exit TB@0 directly, then relink at lookup
+			if err := e.step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tb0.ChainTo[0] == nil {
+		t.Fatal("relink did not happen")
+	}
+	if tb0.glueID[0] != firstID {
+		t.Errorf("glue id changed across relinks: %d -> %d", firstID, tb0.glueID[0])
+	}
+	if got := e.M.Helpers(); got != helpers {
+		t.Errorf("helper table grew by %d across relinks", got-helpers)
+	}
+}
+
+// TestChainingDisabledNeverLinks: with chaining off the engine behaves as
+// before — every transition is a dispatcher exit.
+func TestChainingDisabledNeverLinks(t *testing.T) {
+	e := New(chainStubTrans{}, 1<<20)
+	e.runLimit = 1 << 40
+	for i := 0; i < 4; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Links() != 0 || e.Stats.ChainedExits != 0 || e.Stats.ChainLinks != 0 {
+		t.Errorf("chaining active while disabled: links=%d chained=%d", e.Links(), e.Stats.ChainedExits)
+	}
+}

@@ -12,13 +12,14 @@ import (
 // Block exit codes. Codes 0 and 1 select the TB's direct successors (block
 // chaining); the rest transfer to the engine for heavier work.
 const (
-	ExitNext0    = 0 // fallthrough / branch-not-taken successor
-	ExitNext1    = 1 // branch-taken successor
-	ExitIndirect = 2 // env.ExitPC holds the next guest PC
-	ExitIRQ      = 3 // TB-head interrupt check fired
-	ExitExc      = 4 // a helper injected an exception; engine state is ready
-	ExitHalt     = 5 // WFI
-	ExitSMC      = 6 // a store hit a translated code page: cache flushed
+	ExitNext0      = 0 // fallthrough / branch-not-taken successor
+	ExitNext1      = 1 // branch-taken successor
+	ExitIndirect   = 2 // env.ExitPC holds the next guest PC
+	ExitIRQ        = 3 // TB-head interrupt check fired
+	ExitExc        = 4 // a helper injected an exception; engine state is ready
+	ExitHalt       = 5 // WFI
+	ExitSMC        = 6 // a store hit a translated code page: cache flushed
+	ExitChainBreak = 7 // chain glue stopped a linked run; state is ready
 )
 
 // TB is a translated guest block in the code cache.
@@ -28,6 +29,18 @@ type TB struct {
 	GuestLen int
 	Next     [2]uint32 // direct successor guest PCs, valid per HasNext
 	HasNext  [2]bool
+	// ChainTo[s] is the successor TB this block's exit s has been patched to
+	// jump into directly (nil when unlinked).
+	ChainTo [2]*TB
+	// chainPriv[s] is the privilege the link for slot s was made under (the
+	// successor's cache-key privilege); the chain glue refuses the jump when
+	// the current mode no longer matches, mirroring the dispatcher's
+	// privilege-keyed lookup.
+	chainPriv [2]bool
+	// glueID[s] is 1 + the chain-glue helper id registered for slot s (0 =
+	// none yet); one closure per slot, reused across relinks so link churn
+	// does not grow the machine's helper table.
+	glueID [2]int
 	// IRQIdx is the guest instruction index at which the interrupt check
 	// sits. QEMU places it at the head (0); the rule translator's
 	// interrupt-driven scheduling (§III-D-2) may move it next to a memory
@@ -53,13 +66,27 @@ type Translator interface {
 type Stats struct {
 	TBsTranslated uint64
 	TBEntries     uint64 // block executions (interrupt-check sites)
-	ChainHits     uint64 // direct-successor transitions
-	Lookups       uint64 // non-chained transitions through the engine
+	Dispatches    uint64 // dispatcher entries (Engine.step calls)
+	ChainHits     uint64 // direct-successor transitions through the dispatcher
+	ChainedExits  uint64 // direct-successor transitions via a patched chain
+	ChainLinks    uint64 // exit stubs patched to a successor block
+	ChainBreaks   uint64 // chained runs stopped by the glue (budget/bounds)
+	Lookups       uint64 // indirect transitions through the engine
 	HelperCalls   uint64
 	IRQs          uint64
 	Exceptions    uint64
 	MMUSlowPath   uint64
 	IOAccesses    uint64
+}
+
+// ChainRate is the fraction of direct-successor transitions served by a
+// patched chain instead of a dispatcher lookup.
+func (s *Stats) ChainRate() float64 {
+	direct := s.ChainHits + s.ChainedExits + s.ChainBreaks
+	if direct == 0 {
+		return 0
+	}
+	return float64(s.ChainedExits) / float64(direct)
 }
 
 // Synthetic helper costs in host instructions, charged to ClassHelper.
@@ -92,6 +119,16 @@ type Engine struct {
 	wasUser      bool
 	decodeCache  map[uint32]arm.Inst
 	invalidCount uint64
+
+	// Block-chaining state (see chain.go).
+	chain      bool      // chaining enabled
+	runLimit   uint64    // Run's retirement budget, honoured by chain glue
+	chainSteps int       // chained crossings since the last dispatcher entry
+	lastTB     *TB       // predecessor of a pending link (direct exit seen)
+	lastSlot   int       // which successor slot of lastTB to link
+	curTB      *TB       // TB currently executing (advanced by chain glue)
+	curPC      uint32    // guest VA the current TB was entered at
+	links      []chainLink
 
 	// codePages tracks guest physical pages containing translated code, for
 	// self-modifying-code detection: a store into one of these flushes the
@@ -204,11 +241,16 @@ func (e *Engine) FetchInst(va uint32) (arm.Inst, error) {
 	return in, nil
 }
 
-// FlushCache drops every translated block (and per-block helper closures).
+// FlushCache drops every translated block and the helper closures registered
+// for them (translation-time MMU/system helpers and link-time chain glue) —
+// with every block gone, no emitted callh/chain can reference the dropped
+// ids. Installed chain links die with the blocks that carry them.
 func (e *Engine) FlushCache() {
 	e.cache = map[tbKey]*TB{}
 	e.codePages = map[uint32]bool{}
 	e.invalidCount++
+	e.dropChains()
+	e.M.TruncateHelpers(e.baseHelpers)
 }
 
 // Flushes reports how many times the code cache has been invalidated.
@@ -226,6 +268,7 @@ func (e *Engine) Reset() {
 	}
 	st.SetFlags(arm.Flags{})
 	st.FlushTLB()
+	e.unlinkChains()
 	e.nextPC = 0
 	e.wasUser = false
 }
@@ -233,6 +276,7 @@ func (e *Engine) Reset() {
 // Run executes until guest power-off or the retirement budget is exhausted.
 // Returns the guest exit code.
 func (e *Engine) Run(maxInstr uint64) (uint32, error) {
+	e.runLimit = maxInstr
 	for e.Retired < maxInstr {
 		if e.Bus.PoweredOff() {
 			return e.Bus.SysCtl().Code, nil
@@ -256,13 +300,15 @@ func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 		e.Trans.Name(), maxInstr, e.nextPC)
 }
 
-// step finds (translating if needed) and executes one TB and dispatches its
-// exit.
+// step finds (translating if needed) and executes one TB — plus, with
+// chaining, any run of linked successors — and dispatches the final exit.
 func (e *Engine) step() error {
+	e.Stats.Dispatches++
 	pc := e.nextPC
 	priv := e.CPU.Mode().Privileged()
 	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, pc, mmu.Fetch, !priv)
 	if fault != nil {
+		e.lastTB = nil
 		e.CPU.CP15.IFSR = uint32(fault.Type)
 		e.CPU.CP15.IFAR = pc
 		e.takeException(arm.VecPrefetchAbort, pc+4)
@@ -280,19 +326,31 @@ func (e *Engine) step() error {
 		e.Stats.TBsTranslated++
 		e.noteCodePages(pa, tb.GuestLen)
 	}
+	// A direct exit dispatched here last step resolves to this block: patch
+	// the predecessor's exit stub to jump straight to it next time.
+	if e.lastTB != nil {
+		e.linkPending(tb, pc, priv)
+	}
 	e.Stats.TBEntries++
+	e.curTB, e.curPC = tb, pc
+	e.chainSteps = 0
 	code := e.M.Exec(tb.Block)
+	// Chained crossings advance curTB/curPC; dispatch the exit against the
+	// block that actually produced it.
+	tb, pc = e.curTB, e.curPC
 	switch code {
 	case ExitNext0, ExitNext1:
 		if !tb.HasNext[code] {
 			return fmt.Errorf("engine: TB %#08x exit %d has no successor", tb.PC, code)
 		}
-		// Block chaining: a direct jump inside the code cache. Charge the
-		// patched jump the emitted code would contain.
+		// Direct transition through the dispatcher. Charge the jump the
+		// emitted code would contain, and remember the site so the next
+		// lookup can link it.
 		e.M.Charge(x86.ClassGlue, 1)
 		e.Stats.ChainHits++
 		e.retire(tb.GuestLen)
 		e.nextPC = tb.Next[code]
+		e.noteDirectExit(tb, int(code))
 	case ExitIndirect:
 		e.Stats.Lookups++
 		e.retire(tb.GuestLen)
@@ -309,6 +367,9 @@ func (e *Engine) step() error {
 	case ExitSMC:
 		// Self-modifying code: the store helper flushed the cache and set
 		// the resume PC; nothing further to do.
+	case ExitChainBreak:
+		// The chain glue completed the transition (retire + nextPC) before
+		// stopping the linked run; nothing further to do.
 	default:
 		return fmt.Errorf("engine: unknown exit code %d from TB %#08x", code, tb.PC)
 	}
@@ -575,9 +636,13 @@ func (e *Engine) execCP15(in *arm.Inst) {
 		case in.CRn == 8: // TLB maintenance
 			cpu.CP15.TLBFlushes++
 			env.FlushTLB()
+			// Chained jumps bake in successor translations; re-resolve them
+			// through the dispatcher under the new mapping.
+			e.unlinkChains()
 		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
 			*sel = v
 			env.FlushTLB() // translation regime changed
+			e.unlinkChains()
 		case sel != nil:
 			*sel = v
 		}

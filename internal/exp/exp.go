@@ -8,7 +8,6 @@ package exp
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 	"time"
 
@@ -33,6 +32,7 @@ const (
 	CfgReduction   Config = "reduction" // + §III-B
 	CfgElimination Config = "elim"      // + §III-C
 	CfgFull        Config = "full"      // + §III-D (all optimizations)
+	CfgChain       Config = "chain"     // full optimizations + TB chaining
 )
 
 // levels maps rule configs to optimization levels.
@@ -41,6 +41,7 @@ var levels = map[Config]core.OptLevel{
 	CfgReduction:   core.OptReduction,
 	CfgElimination: core.OptElimination,
 	CfgFull:        core.OptScheduling,
+	CfgChain:       core.OptScheduling,
 }
 
 // RunResult is one workload x config measurement.
@@ -48,6 +49,7 @@ type RunResult struct {
 	Retired   uint64
 	HostTotal uint64
 	Counts    [x86.NumClasses]uint64
+	Engine    engine.Stats
 	Wall      time.Duration
 	Console   string
 }
@@ -130,6 +132,7 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		return nil, err
 	}
 	e := engine.New(tr, kernel.RAMSize)
+	e.EnableChaining(cfg == CfgChain)
 	im.Configure(e.Bus)
 	if err := e.LoadImage(im.Origin, im.Data); err != nil {
 		return nil, err
@@ -156,6 +159,7 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		Retired:   e.Retired,
 		HostTotal: e.M.Total(),
 		Counts:    e.M.Counts,
+		Engine:    e.Stats,
 		Wall:      wall,
 		Console:   e.Bus.UART().Output(),
 	}
@@ -511,9 +515,50 @@ func (r *Runner) Breakdown() (string, error) {
 	return b.String(), nil
 }
 
+// --- TB chaining (engine dispatch-loop optimization) -----------------------
+
+// ChainStats compares the rule engine with and without translation-block
+// chaining: dispatcher re-entries, the fraction of direct-successor
+// transitions served by a patched in-cache jump, and a same-result check
+// (both runs are additionally oracle-checked against the interpreter).
+func (r *Runner) ChainStats() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TB chaining: dispatcher re-entries with and without direct block linking\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %9s %11s %10s\n",
+		"Benchmark", "disp(full)", "disp(chain)", "drop", "chained", "chainrate")
+	var rates, drops []float64
+	for _, name := range specNames() {
+		w := mustWorkload(name)
+		full, err := r.Run(w, CfgFull)
+		if err != nil {
+			return "", err
+		}
+		chain, err := r.Run(w, CfgChain)
+		if err != nil {
+			return "", err
+		}
+		if chain.Retired != full.Retired {
+			return "", fmt.Errorf("chain: %s retired %d guest instructions, unchained %d",
+				name, chain.Retired, full.Retired)
+		}
+		drop := 1 - float64(chain.Engine.Dispatches)/float64(full.Engine.Dispatches)
+		rate := chain.Engine.ChainRate()
+		rates = append(rates, math.Max(rate, 1e-9))
+		drops = append(drops, math.Max(drop, 1e-9))
+		fmt.Fprintf(&b, "%-12s %12d %12d %8.1f%% %11d %9.1f%%\n",
+			name, full.Engine.Dispatches, chain.Engine.Dispatches,
+			100*drop, chain.Engine.ChainedExits, 100*rate)
+	}
+	fmt.Fprintf(&b, "%-12s %12s %12s %8.1f%% %11s %9.1f%%\n",
+		"GEOMEAN", "", "", 100*geomean(drops), "", 100*geomean(rates))
+	fmt.Fprintf(&b, "(architectural results are identical chained vs. unchained; both runs are\n")
+	fmt.Fprintf(&b, " oracle-checked against the interpreter)\n")
+	return b.String(), nil
+}
+
 // Experiments lists all experiment names in order.
 func Experiments() []string {
-	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown"}
+	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain"}
 }
 
 // Run runs one named experiment.
@@ -539,8 +584,9 @@ func (r *Runner) RunExperiment(name string) (string, error) {
 		return r.CoordStats()
 	case "breakdown":
 		return r.Breakdown()
+	case "chain":
+		return r.ChainStats()
 	}
 	valid := strings.Join(Experiments(), ", ")
-	sort.Strings([]string{})
 	return "", fmt.Errorf("exp: unknown experiment %q (valid: %s, all)", name, valid)
 }

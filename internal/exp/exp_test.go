@@ -101,7 +101,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 10 {
+	if len(Experiments()) != 11 {
 		t.Errorf("experiment list = %v", Experiments())
 	}
 }
@@ -119,5 +119,55 @@ func TestRunsAreCached(t *testing.T) {
 	}
 	if a != b {
 		t.Error("second run not served from cache")
+	}
+}
+
+// TestChainingIdenticalOnAllWorkloads: chained and unchained full-opt runs
+// must retire the same guest instruction stream on every built-in workload
+// (console output is already oracle-checked against the interpreter inside
+// Run), and loop-heavy workloads must show a nonzero chain rate.
+func TestChainingIdenticalOnAllWorkloads(t *testing.T) {
+	r := quickRunner()
+	anyChained := false
+	for _, w := range workloads.All() {
+		full, err := r.Run(w, CfgFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := r.Run(w, CfgChain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chain.Retired != full.Retired {
+			t.Errorf("%s: retired %d chained vs %d unchained", w.Name, chain.Retired, full.Retired)
+		}
+		if chain.Console != full.Console {
+			t.Errorf("%s: console diverges under chaining", w.Name)
+		}
+		if chain.Engine.ChainedExits > 0 {
+			anyChained = true
+		}
+		if chain.Engine.Dispatches > full.Engine.Dispatches {
+			t.Errorf("%s: chaining increased dispatcher re-entries (%d vs %d)",
+				w.Name, chain.Engine.Dispatches, full.Engine.Dispatches)
+		}
+	}
+	if !anyChained {
+		t.Error("no workload took a chained exit")
+	}
+}
+
+// TestChainExperimentRenders: the chain experiment table must render and
+// include the dispatcher-drop column.
+func TestChainExperimentRenders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.RunExperiment("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"disp(full)", "disp(chain)", "chainrate", "GEOMEAN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chain table missing %q:\n%s", want, out)
+		}
 	}
 }

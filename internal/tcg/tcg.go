@@ -50,7 +50,7 @@ func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.
 		fall := pc + uint32(len(insts))*4
 		tb.Next[0], tb.HasNext[0] = fall, true
 		tc.em.SetClass(x86.ClassGlue)
-		tc.em.Exit(engine.ExitNext0)
+		tc.em.ExitChainable(engine.ExitNext0)
 	}
 	tb.Block = tc.em.Finish(pc, len(insts))
 	return tb, nil
@@ -200,7 +200,7 @@ func (tc *tbCtx) translateInst(in *arm.Inst, tb *engine.TB) {
 			fall := tc.instPC() + 4
 			tb.Next[0], tb.HasNext[0] = fall, true
 			em.SetClass(x86.ClassGlue)
-			em.Exit(engine.ExitNext0)
+			em.ExitChainable(engine.ExitNext0)
 		} else {
 			em.Label(skip)
 		}
@@ -217,7 +217,7 @@ func (tc *tbCtx) branch(in *arm.Inst, tb *engine.TB) {
 	target := uint32(int32(tc.instPC()) + 8 + in.Offset)
 	tb.Next[1], tb.HasNext[1] = target, true
 	em.SetClass(x86.ClassGlue)
-	em.Exit(engine.ExitNext1)
+	em.ExitChainable(engine.ExitNext1)
 }
 
 // operand2 computes the flexible operand into EAX. If the instruction sets

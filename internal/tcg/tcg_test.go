@@ -277,3 +277,57 @@ lp:
 	}
 	t.Logf("host/guest = %.2f, counts = %v", perGuest, e.M.Counts)
 }
+
+// TestChainingMatchesInterp: the TCG baseline with translation-block
+// chaining enabled must still agree with the interpreter, while serving most
+// direct transitions from patched in-cache jumps.
+func TestChainingMatchesInterp(t *testing.T) {
+	user := `
+user_entry:
+	mov r4, #0
+	ldr r2, =30000
+spin:
+	tst r2, #1
+	addne r4, r4, #3
+	subs r2, r2, #1
+	bne spin
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(user, kernel.Config{TimerPeriod: 7000})
+
+	ibus := ghw.NewBus(kernel.RAMSize)
+	if err := ibus.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New(ibus)
+	wantCode, err := ip.Run(5_000_000)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+
+	e := engine.New(New(), kernel.RAMSize)
+	e.EnableChaining(true)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	gotCode, err := e.Run(5_000_000)
+	if err != nil {
+		t.Fatalf("tcg chained: %v (console %q)", err, e.Bus.UART().Output())
+	}
+	if gotCode != wantCode || e.Bus.UART().Output() != ibus.UART().Output() {
+		t.Errorf("chained tcg diverges: code %#x/%#x console %q/%q",
+			gotCode, wantCode, e.Bus.UART().Output(), ibus.UART().Output())
+	}
+	if e.Stats.ChainedExits == 0 {
+		t.Error("no chained exits on a loop workload")
+	}
+	if rate := e.Stats.ChainRate(); rate < 0.5 {
+		t.Errorf("chain rate %.2f too low for a tight loop", rate)
+	}
+}

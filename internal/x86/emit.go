@@ -6,15 +6,20 @@ import "fmt"
 // is tagged with the current measurement class, which is how coordination
 // instructions become separately countable (Fig. 17).
 type Emitter struct {
-	insts  []Inst
-	class  Class
-	labels map[string]int
-	fixups map[string][]int
+	insts      []Inst
+	class      Class
+	labels     map[string]int
+	fixups     map[string][]int
+	chainSites [2]int
 }
 
 // NewEmitter returns an empty emitter in ClassCode.
 func NewEmitter() *Emitter {
-	return &Emitter{labels: map[string]int{}, fixups: map[string][]int{}}
+	return &Emitter{
+		labels:     map[string]int{},
+		fixups:     map[string][]int{},
+		chainSites: [2]int{-1, -1},
+	}
 }
 
 // SetClass selects the measurement class for subsequently emitted
@@ -90,6 +95,21 @@ func (e *Emitter) Exit(code uint32) {
 	e.Raw(Inst{Op: EXIT, Imm: code})
 }
 
+// ExitChainable emits a block exit for direct successor 0 or 1 and records
+// its position as the block's patchable chain site, so the engine can later
+// rewrite it into a direct jump to the translated successor. A block may have
+// at most one chainable site per successor slot.
+func (e *Emitter) ExitChainable(code uint32) {
+	if code > 1 {
+		panic(fmt.Sprintf("x86: exit code %d is not a direct-successor exit", code))
+	}
+	if e.chainSites[code] >= 0 {
+		panic(fmt.Sprintf("x86: duplicate chainable exit for successor %d", code))
+	}
+	e.chainSites[code] = len(e.insts)
+	e.Exit(code)
+}
+
 // MulX emits dst2:dst = src * src2 (unsigned when signed is false).
 func (e *Emitter) MulX(signed bool, dst2 Reg, dst Operand, src Operand, src2 Reg) {
 	op := MULX
@@ -111,7 +131,7 @@ func (e *Emitter) Finish(guestPC uint32, guestLen int) *Block {
 			e.insts[s].Target = tgt
 		}
 	}
-	return &Block{Insts: e.insts, GuestPC: guestPC, GuestLen: guestLen}
+	return &Block{Insts: e.insts, GuestPC: guestPC, GuestLen: guestLen, ChainSite: e.chainSites}
 }
 
 // CountClass returns how many emitted instructions carry the class (static

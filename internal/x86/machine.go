@@ -35,6 +35,20 @@ func (m *Machine) RegisterHelper(fn Helper) int {
 	return len(m.helpers) - 1
 }
 
+// Helpers returns the number of registered helpers.
+func (m *Machine) Helpers() int { return len(m.helpers) }
+
+// TruncateHelpers discards helpers registered after the first n, releasing
+// their closures. The caller must guarantee no reachable block still calls
+// the dropped ids (the engine does this by truncating only when the whole
+// code cache is invalidated).
+func (m *Machine) TruncateHelpers(n int) {
+	for i := n; i < len(m.helpers); i++ {
+		m.helpers[i] = nil
+	}
+	m.helpers = m.helpers[:n]
+}
+
 // Charge adds synthetic host-instruction cost to a class; helpers use it to
 // model the cost of work done in engine code (QEMU's C helpers).
 func (m *Machine) Charge(c Class, n uint64) { m.Counts[c] += n }
@@ -381,6 +395,17 @@ func (m *Machine) Exec(b *Block) uint32 {
 			}
 		case EXIT:
 			return in.Imm
+		case CHAIN:
+			// Patched block chaining: the glue helper does the engine-side
+			// bookkeeping (retire, budget/IRQ bounds) and either approves the
+			// direct jump (negative return) or forces an exit back to the
+			// dispatcher.
+			if code := m.helpers[in.Helper](m); code >= 0 {
+				return uint32(code)
+			}
+			b = in.Chain
+			insts = b.Insts
+			pc = 0
 		default:
 			panic(fmt.Sprintf("x86: unimplemented op %v", in.Op))
 		}

@@ -173,6 +173,7 @@ const (
 	CLC
 	CALLH // call helper HelperID; the engine's Go code runs
 	EXIT  // leave the block with Imm as the exit code
+	CHAIN // patched direct jump into another block (TB chaining)
 )
 
 var opNames = [...]string{
@@ -181,7 +182,7 @@ var opNames = [...]string{
 	"not", "neg", "shl", "shr", "sar", "ror", "imul", "mulx", "smulx",
 	"inc", "dec", "jmp", "j", "set", "cmov",
 	"push", "pop", "pushf", "popf", "lahf", "sahf", "cmc", "stc", "clc",
-	"callh", "exit",
+	"callh", "exit", "chain",
 }
 
 func (o Op) String() string {
@@ -270,8 +271,9 @@ type Inst struct {
 	Src2   Reg // MULX/SMULX second source
 	Cc     Cc
 	Target int // JMP/JCC: instruction index within the block
-	Helper int // CALLH: helper id
+	Helper int // CALLH: helper id; CHAIN: glue helper run before the jump
 	Imm    uint32
+	Chain  *Block // CHAIN: the successor block jumped into
 	Class  Class
 }
 
@@ -289,6 +291,8 @@ func (i Inst) String() string {
 		return fmt.Sprintf("callh #%d", i.Helper)
 	case EXIT:
 		return fmt.Sprintf("exit #%d", i.Imm)
+	case CHAIN:
+		return fmt.Sprintf("chain #%d -> %#x", i.Imm, i.Chain.GuestPC)
 	case MULX, SMULX:
 		return fmt.Sprintf("%v %v:%v, %v, %v", i.Op, i.Dst2, fmtOperand(i.Dst), fmtOperand(i.Src), i.Src2)
 	case PUSHF, POPF, LAHF, SAHF, CMC, STC, CLC:
@@ -332,6 +336,11 @@ type Block struct {
 	// from (engine bookkeeping; not used by the machine).
 	GuestPC  uint32
 	GuestLen int
+	// ChainSite[s] is the instruction index of the patchable exit stub for
+	// direct successor s (EXIT with code s), or -1 when the block has none.
+	// The engine rewrites the instruction there to a CHAIN when it links the
+	// block to its translated successor, and back to an EXIT on unlink.
+	ChainSite [2]int
 }
 
 // EFLAGS bit positions used by PUSHF/POPF.
