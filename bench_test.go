@@ -227,6 +227,34 @@ func BenchmarkChaining(b *testing.B) {
 	b.ReportMetric(drop, "dispatch-drop")
 }
 
+// BenchmarkSMCInvalidate measures page-granular TB invalidation on the
+// SMC-heavy workload: the factor by which retranslations drop versus the
+// legacy whole-cache flush, and the page-invalidation count.
+func BenchmarkSMCInvalidate(b *testing.B) {
+	var drop, pageInv, links float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		w, _ := workloads.ByName("smc")
+		flush, err := r.Run(w, exp.CfgFlushSMC)
+		if err != nil {
+			b.Fatal(err)
+		}
+		page, err := r.Run(w, exp.CfgChain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if page.Console != flush.Console {
+			b.Fatal("invalidation policy changed console output")
+		}
+		drop = float64(flush.Engine.Retranslations) / math.Max(float64(page.Engine.Retranslations), 1)
+		pageInv = float64(page.Engine.PageInvalidations)
+		links = float64(page.Engine.ChainLinks)
+	}
+	b.ReportMetric(drop, "retrans-drop")
+	b.ReportMetric(pageInv, "page-invalidations")
+	b.ReportMetric(links, "chain-links")
+}
+
 // BenchmarkEngineThroughput measures raw emulation speed of the two engines
 // (guest instructions per second), the quantity behind Fig. 18.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -36,6 +36,8 @@ func main() {
 	engName := flag.String("engine", "rule", "engine: interp | tcg | rule")
 	opt := flag.String("opt", "scheduling", "rule-engine optimization level: base | reduction | elimination | scheduling")
 	chain := flag.Bool("chain", false, "enable translation-block chaining (direct block linking)")
+	cacheCap := flag.Int("cache-cap", 0, "bound the code cache to N translated blocks, evicting FIFO (0 = unbounded)")
+	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
 	stats := flag.Bool("stats", true, "print execution statistics")
 	list := flag.Bool("list", false, "list built-in workloads")
@@ -119,6 +121,8 @@ func main() {
 		}
 		e := engine.New(tr, kernel.RAMSize)
 		e.EnableChaining(*chain)
+		e.SetCacheCapacity(*cacheCap)
+		e.SetFullFlushSMC(*smcFlush)
 		im.Configure(e.Bus)
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
@@ -142,6 +146,9 @@ func main() {
 			fmt.Printf("-- chaining: %d links, %d chained exits, %d dispatcher exits, %d breaks (chain rate %.1f%%)\n",
 				e.Stats.ChainLinks, e.Stats.ChainedExits, e.Stats.ChainHits,
 				e.Stats.ChainBreaks, 100*e.Stats.ChainRate())
+			fmt.Printf("-- cache: %d TBs live (cap %d), %d retranslations, %d page invalidations, %d evictions, %d full flushes\n",
+				e.CacheSize(), e.CacheCapacity(), e.Stats.Retranslations,
+				e.Stats.PageInvalidations, e.Stats.Evictions, e.Flushes())
 			if rt, ok := tr.(*core.Translator); ok {
 				fmt.Printf("-- rules: %d hits, %d fallbacks, coverage %.1f%%; sync saves %d, restores %d, elided %d+%d, inter-TB %d, sched moves %d\n",
 					rt.Stats.RuleHits, rt.Stats.Fallbacks,

@@ -79,8 +79,8 @@ func TestChainingMatchesUnchained(t *testing.T) {
 }
 
 // TestChainingSMCInvalidation: a store into a translated code page must
-// still flush the cache (dropping every installed link) and the rewritten
-// code must execute afterwards, with chaining enabled.
+// invalidate that page's blocks (unpatching the links into them) and the
+// rewritten code must execute afterwards, with chaining enabled.
 func TestChainingSMCInvalidation(t *testing.T) {
 	user := `
 user_entry:
@@ -113,8 +113,11 @@ victim:
 	if code != wantCode || out != wantOut {
 		t.Errorf("chained SMC run: code %#x out %q, want %#x %q", code, out, wantCode, wantOut)
 	}
-	if e.Flushes() == 0 {
-		t.Error("self-modifying store did not flush the code cache")
+	if e.Stats.PageInvalidations == 0 {
+		t.Error("self-modifying store did not invalidate the stored-to page")
+	}
+	if e.CacheSize() == 0 {
+		t.Error("page-granular invalidation emptied the whole cache")
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sldbt/internal/engine"
@@ -144,6 +145,106 @@ func TestFuzzEnginesAgree(t *testing.T) {
 	}
 }
 
+// smcFuzzProgram generates a random self-modifying guest: a victim routine
+// of patchable instruction slots straddling a page boundary (a random
+// number of slots before the boundary), and a body that randomly patches
+// slots with well-defined `mov rD, #imm` encodings, runs ALU noise, calls
+// the victim and accumulates its outputs. Deterministic for a given rand.
+func smcFuzzProgram(r *rand.Rand) string {
+	const slots = 8
+	straddle := 1 + r.Intn(4) // victim slots left of the page boundary
+	var b strings.Builder
+	b.WriteString("user_entry:\n\tmov r4, #0\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "\tmov r%d, #%d\n", i, r.Intn(256))
+	}
+	rounds := 6 + r.Intn(6)
+	for i := 0; i < rounds; i++ {
+		if r.Intn(2) == 0 {
+			// Patch a random victim slot: both sides of the page boundary
+			// are hit across rounds, exercising straddling invalidation.
+			enc := 0xE3A00000 | uint32(r.Intn(4))<<12 | uint32(r.Intn(256))
+			fmt.Fprintf(&b, "\tldr r5, =victim\n")
+			fmt.Fprintf(&b, "\tldr r6, =0x%08X\n", enc)
+			fmt.Fprintf(&b, "\tstr r6, [r5, #%d]\n", r.Intn(slots)*4)
+		}
+		fmt.Fprintf(&b, "\tadd r%d, r%d, #%d\n", r.Intn(4), r.Intn(4), r.Intn(64))
+		b.WriteString("\tbl victim\n")
+		for j := 0; j < 4; j++ {
+			fmt.Fprintf(&b, "\tadd r4, r4, r%d\n", j)
+		}
+	}
+	b.WriteString(`	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`)
+	fmt.Fprintf(&b, "\t.align 4096\n\t.space %d\nvictim:\n", 4096-4*straddle)
+	for i := 0; i < slots; i++ {
+		fmt.Fprintf(&b, "\tmov r%d, #%d\n", i%4, i)
+	}
+	b.WriteString("\tbx lr\n")
+	return b.String()
+}
+
+// TestFuzzSMCEnginesAgree is the differential SMC fuzz: randomized guests
+// that patch their own code at random offsets (including page-straddling
+// victim blocks) must print identical architectural state under the
+// interpreter (oracle), the TCG baseline and the rule engine, with chaining
+// off and on, and the translating engines must take the page-granular
+// invalidation path.
+func TestFuzzSMCEnginesAgree(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(1000 + seed)))
+			body := smcFuzzProgram(r)
+			prog, err := kernel.Build(body, kernel.Config{TimerOff: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, body)
+			}
+			wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 3_000_000)
+			mk := []func() engine.Translator{
+				func() engine.Translator { return tcg.New() },
+				func() engine.Translator { return New(rules.BaselineRules(), OptBase) },
+				func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
+			}
+			for _, newTr := range mk {
+				for _, chain := range []bool{false, true} {
+					tr := newTr()
+					e := engine.New(tr, kernel.RAMSize)
+					e.EnableChaining(chain)
+					if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+						t.Fatal(err)
+					}
+					code, err := e.Run(3_000_000)
+					if err != nil {
+						t.Fatalf("seed %d on %s (chain=%v): %v", seed, tr.Name(), chain, err)
+					}
+					got := e.Bus.UART().Output()
+					if code != wantCode || got != wantOut {
+						t.Errorf("seed %d: %s (chain=%v) diverged\n got  %q\n want %q\nprogram:\n%s",
+							seed, tr.Name(), chain, got, wantOut, body)
+					}
+					if e.Stats.PageInvalidations == 0 {
+						t.Errorf("seed %d: %s (chain=%v) never invalidated a page", seed, tr.Name(), chain)
+					}
+					if e.Flushes() != 0 {
+						t.Errorf("seed %d: %s (chain=%v) took a whole-cache flush", seed, tr.Name(), chain)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestSelfModifyingCodeInvalidation patches an instruction in place and
 // checks the engines retranslate (QEMU's tb_invalidate behaviour).
 func TestSelfModifyingCodeInvalidation(t *testing.T) {
@@ -188,8 +289,14 @@ victim:
 			t.Errorf("%s: code %#x out %q, want %#x %q",
 				tr.Name(), code, e.Bus.UART().Output(), wantCode, wantOut)
 		}
-		if e.Flushes() == 0 {
-			t.Errorf("%s: self-modifying store did not flush the code cache", tr.Name())
+		if e.Stats.PageInvalidations == 0 {
+			t.Errorf("%s: self-modifying store did not invalidate the stored-to page", tr.Name())
+		}
+		if e.Flushes() != 0 {
+			t.Errorf("%s: SMC store took the whole-cache flush path (%d flushes)", tr.Name(), e.Flushes())
+		}
+		if e.Stats.Retranslations == 0 {
+			t.Errorf("%s: patched code was not retranslated", tr.Name())
 		}
 	}
 }

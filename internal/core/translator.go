@@ -79,7 +79,9 @@ func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.
 		em: x86.NewEmitter(),
 		pc: pc,
 		fs: entryState(),
-		tb: &engine.TB{PC: pc, GuestLen: len(insts)},
+		// SrcPages: the physical pages ScanTB fetched the source from, so
+		// page-granular invalidation covers page-straddling blocks.
+		tb: &engine.TB{PC: pc, GuestLen: len(insts), SrcPages: e.TranslationPages()},
 	}
 	tc.origIdx = make([]int, len(insts))
 	for i := range insts {

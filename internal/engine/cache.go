@@ -1,0 +1,214 @@
+package engine
+
+import "sldbt/internal/x86"
+
+// Page-granular TB invalidation and the bounded code cache.
+//
+// The code cache used to be invalidated with a sledgehammer: any store into
+// a translated page dropped every TB, every chain link and every helper
+// closure. This file replaces that with QEMU-like page granularity:
+//
+//   - pageTBs is the reverse map from guest physical page to the TBs whose
+//     source bytes touch it (including the second page of a straddling
+//     block, recorded by FetchInst during translation).
+//   - A store into a translated page retires only that page's TBs
+//     (InvalidatePage). Chain links are torn down selectively: each TB
+//     tracks its incoming chain sites, so only the stubs that jump into a
+//     retired block are unpatched — the rest of the chain graph stays live.
+//   - The cache can be bounded (SetCacheCapacity): insertions over the
+//     bound evict the oldest TBs in FIFO order.
+//   - Every retirement path — page invalidation, eviction, full flush —
+//     releases the TB's helper closures (translation-time MMU/system
+//     helpers and link-time chain glue) back to the host machine.
+//
+// Whole-cache FlushCache remains only for reset (and the legacy
+// SetFullFlushSMC baseline); translation-regime changes (TTBR/SCTLR writes,
+// TLB maintenance) only unlink chains, since the cache is keyed by physical
+// address and stays valid across them.
+
+// SetCacheCapacity bounds the code cache to at most n TBs (0 = unbounded).
+// When an insertion would exceed the bound, the oldest TBs (FIFO order) are
+// evicted, releasing their chain links and helper closures.
+func (e *Engine) SetCacheCapacity(n int) {
+	e.cacheCap = n
+	if n > 0 {
+		for len(e.cache) > n && e.evictOne(nil) {
+		}
+	}
+}
+
+// CacheCapacity returns the configured cache bound (0 = unbounded).
+func (e *Engine) CacheCapacity() int { return e.cacheCap }
+
+// SetFullFlushSMC selects the legacy whole-cache flush on self-modifying
+// stores instead of page-granular invalidation — the baseline the `smc`
+// experiment measures against.
+func (e *Engine) SetFullFlushSMC(on bool) { e.fullFlushSMC = on }
+
+// insertTB indexes a freshly-translated block: the (pa, priv) cache slot,
+// the per-page reverse map, the FIFO eviction order, and the SMC
+// write-protection set. New code pages flush the softmmu TLB so stale
+// writable entries cannot bypass SMC detection.
+func (e *Engine) insertTB(tb *TB) {
+	e.cache[tb.key] = tb
+	if len(e.fifo) > 2*len(e.cache)+16 {
+		e.compactFIFO()
+	}
+	e.fifo = append(e.fifo, tb)
+	fresh := false
+	for _, p := range tb.pages {
+		set := e.pageTBs[p]
+		if set == nil {
+			set = map[*TB]struct{}{}
+			e.pageTBs[p] = set
+		}
+		set[tb] = struct{}{}
+		if !e.codePages[p] {
+			e.codePages[p] = true
+			fresh = true
+		}
+	}
+	if fresh {
+		e.Env.FlushTLB()
+	}
+	if e.cacheCap > 0 {
+		for len(e.cache) > e.cacheCap && e.evictOne(tb) {
+		}
+	}
+}
+
+// compactFIFO rebuilds the eviction queue with only live entries, in order.
+// Retirement leaves stale entries behind (O(1) dequeues skip them); this
+// periodic rebuild keeps the queue — and the retired TBs it would otherwise
+// pin — bounded by the live cache size.
+func (e *Engine) compactFIFO() {
+	live := make([]*TB, 0, len(e.cache))
+	for _, tb := range e.fifo {
+		if e.cache[tb.key] == tb {
+			live = append(live, tb)
+		}
+	}
+	e.fifo = live
+}
+
+// evictOne retires the oldest cached TB (skipping entries already retired
+// by invalidation, and keep, the block about to run). Reports whether a
+// victim was found.
+func (e *Engine) evictOne(keep *TB) bool {
+	for len(e.fifo) > 0 {
+		victim := e.fifo[0]
+		e.fifo = e.fifo[1:]
+		if e.cache[victim.key] != victim {
+			continue // already retired; stale FIFO entry
+		}
+		if victim == keep {
+			e.fifo = append(e.fifo, victim)
+			continue
+		}
+		e.retireTB(victim)
+		e.Stats.Evictions++
+		return true
+	}
+	return false
+}
+
+// InvalidatePage retires every TB whose guest source bytes touch the given
+// physical page — QEMU's tb_invalidate. Only chain stubs jumping into the
+// retired blocks are unpatched; translations and links on other pages stay
+// live. Returns the number of TBs retired.
+func (e *Engine) InvalidatePage(page uint32) int {
+	set := e.pageTBs[page]
+	if len(set) == 0 {
+		// Stale write protection with no live translations (e.g. after
+		// eviction): just drop it so stores become plain again.
+		delete(e.codePages, page)
+		return 0
+	}
+	victims := make([]*TB, 0, len(set))
+	for tb := range set {
+		victims = append(victims, tb)
+	}
+	for _, tb := range victims {
+		e.retireTB(tb)
+	}
+	e.Stats.PageInvalidations++
+	return len(victims)
+}
+
+// invalidateOnStore is the SMC path taken by the softmmu store helper when
+// a store hits a translated page.
+func (e *Engine) invalidateOnStore(pa uint32) {
+	if e.fullFlushSMC {
+		e.FlushCache()
+		return
+	}
+	e.InvalidatePage(pa >> PageBits)
+}
+
+// retireTB removes one TB from every cache structure and releases
+// everything it owns: reverse-map entries, incoming and outgoing chain
+// links, translation-time helper closures and link-time chain glue. All
+// retirement paths (page invalidation, eviction, full flush via
+// TruncateHelpers) funnel helper release through here or FlushCache.
+func (e *Engine) retireTB(tb *TB) {
+	delete(e.cache, tb.key)
+	// Unpatch only the predecessors chained into this block; the rest of
+	// the chain graph is untouched.
+	for _, s := range tb.in {
+		if s.from.ChainTo[s.slot] == tb {
+			e.unpatch(s.from, s.slot)
+		}
+	}
+	tb.in = nil
+	for slot := 0; slot < 2; slot++ {
+		if succ := tb.ChainTo[slot]; succ != nil {
+			succ.dropIncoming(tb, slot)
+			tb.ChainTo[slot] = nil
+			e.linkCount--
+		}
+		if tb.glueID[slot] > 0 {
+			e.M.FreeHelper(tb.glueID[slot] - 1)
+			tb.glueID[slot] = 0
+		}
+	}
+	for _, id := range tb.helperIDs {
+		e.M.FreeHelper(id)
+	}
+	tb.helperIDs = nil
+	// Drop reverse-map entries; a page with no remaining translations stops
+	// being a code page, so stores there become plain slow-path writes and
+	// the next TLB fill restores the inline fast path.
+	for _, p := range tb.pages {
+		if set := e.pageTBs[p]; set != nil {
+			delete(set, tb)
+			if len(set) == 0 {
+				delete(e.pageTBs, p)
+				delete(e.codePages, p)
+			}
+		}
+	}
+	if e.lastTB == tb {
+		e.lastTB = nil // don't link a retired predecessor
+	}
+}
+
+// unpatch reverts one patched exit stub to its original EXIT instruction.
+// The successor's incoming list is maintained by the caller.
+func (e *Engine) unpatch(from *TB, slot int) {
+	site := from.Block.ChainSite[slot]
+	from.Block.Insts[site] = x86.Inst{
+		Op: x86.EXIT, Imm: uint32(slot), Class: x86.ClassGlue,
+	}
+	from.ChainTo[slot] = nil
+	e.linkCount--
+}
+
+// dropIncoming removes one recorded incoming chain site.
+func (t *TB) dropIncoming(from *TB, slot int) {
+	for i, s := range t.in {
+		if s.from == from && s.slot == slot {
+			t.in = append(t.in[:i], t.in[i+1:]...)
+			return
+		}
+	}
+}

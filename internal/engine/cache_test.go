@@ -1,0 +1,275 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sldbt/internal/x86"
+)
+
+// pageStubTrans translates any pc into a no-op block with a chainable
+// fallthrough exit `stride` bytes ahead, spanning `guestLen` guest
+// instructions and registering `helpers` engine-tracked helper closures —
+// enough to exercise the reverse map, eviction and helper-lifetime paths
+// without a real guest program.
+type pageStubTrans struct {
+	stride   uint32
+	guestLen int
+	helpers  int
+}
+
+func (pageStubTrans) Name() string { return "page-stub" }
+
+func (p pageStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	for i := 0; i < p.helpers; i++ {
+		e.RegisterMMURead(pc, 0, 4, false)
+	}
+	em := x86.NewEmitter()
+	em.SetClass(x86.ClassGlue)
+	em.ExitChainable(ExitNext0)
+	gl := p.guestLen
+	if gl == 0 {
+		gl = 1
+	}
+	tb := &TB{Block: em.Finish(pc, gl), PC: pc, GuestLen: gl}
+	tb.Next[0], tb.HasNext[0] = pc+p.stride, true
+	return tb, nil
+}
+
+func newPagedEngine(t *testing.T, tr Translator) *Engine {
+	t.Helper()
+	e := New(tr, 1<<20)
+	e.EnableChaining(true)
+	e.runLimit = 1 << 40
+	return e
+}
+
+// checkCacheInvariants asserts the structural invariants of the cache
+// subsystem: every cached TB is indexed under every page its guest bytes
+// span, the reverse map holds no stale entries, write protection matches
+// the reverse map exactly, the capacity bound holds, link bookkeeping is
+// consistent, and the host machine's live helper count equals exactly what
+// the cached TBs own (no leaks on any retirement path).
+func checkCacheInvariants(t *testing.T, e *Engine) {
+	t.Helper()
+	helpers, glues, links := 0, 0, 0
+	for key, tb := range e.cache {
+		if tb.key != key {
+			t.Fatalf("TB %#x cached under key %+v but carries key %+v", tb.PC, key, tb.key)
+		}
+		for _, p := range tb.pages {
+			if _, ok := e.pageTBs[p][tb]; !ok {
+				t.Fatalf("cached TB %#x (pages %#x) not indexed under page %#x", tb.PC, tb.pages, p)
+			}
+			if !e.codePages[p] {
+				t.Fatalf("page %#x holds TB %#x but is not write-protected", p, tb.PC)
+			}
+		}
+		helpers += len(tb.helperIDs)
+		for s := 0; s < 2; s++ {
+			if tb.glueID[s] != 0 {
+				glues++
+			}
+			if tb.ChainTo[s] != nil {
+				links++
+			}
+		}
+	}
+	for p, set := range e.pageTBs {
+		if len(set) == 0 {
+			t.Fatalf("empty reverse-map bucket for page %#x", p)
+		}
+		for tb := range set {
+			if e.cache[tb.key] != tb {
+				t.Fatalf("stale reverse-map entry: page %#x still lists retired TB %#x", p, tb.PC)
+			}
+			found := false
+			for _, q := range tb.pages {
+				if q == p {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("page %#x lists TB %#x whose span %#x excludes it", p, tb.PC, tb.pages)
+			}
+		}
+		if !e.codePages[p] {
+			t.Fatalf("reverse-mapped page %#x not write-protected", p)
+		}
+	}
+	if len(e.codePages) != len(e.pageTBs) {
+		t.Fatalf("write protection covers %d pages, reverse map %d", len(e.codePages), len(e.pageTBs))
+	}
+	if links != e.linkCount {
+		t.Fatalf("linkCount %d but %d ChainTo slots installed", e.linkCount, links)
+	}
+	if got := e.M.Helpers(); got != helpers+glues {
+		t.Fatalf("live helpers %d, want %d translation + %d glue (leak or double free)", got, helpers, glues)
+	}
+	if e.cacheCap > 0 && len(e.cache) > e.cacheCap {
+		t.Fatalf("cache holds %d TBs over capacity %d", len(e.cache), e.cacheCap)
+	}
+}
+
+// TestHelperLifetimeAcrossRetirementPaths: every TB retirement path — page
+// invalidation, eviction, whole-cache flush — must release the TB's helper
+// closures (translation-time helpers and link-time chain glue), counted
+// live on the host machine.
+func TestHelperLifetimeAcrossRetirementPaths(t *testing.T) {
+	e := newPagedEngine(t, pageStubTrans{stride: 0x1000, helpers: 1})
+	for i := 0; i < 3; i++ { // A@0 -> B@0x1000 -> C@0x2000, links A->B, B->C
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 3 translation helpers + 2 glue closures.
+	if got := e.M.Helpers(); got != 5 {
+		t.Fatalf("live helpers after warmup = %d, want 5", got)
+	}
+	checkCacheInvariants(t, e)
+
+	// Page invalidation retires B: its translation helper and its B->C glue
+	// must be freed; A keeps its glue (reused on relink).
+	if n := e.InvalidatePage(1); n != 1 {
+		t.Fatalf("InvalidatePage(1) retired %d TBs, want 1", n)
+	}
+	if got := e.M.Helpers(); got != 3 {
+		t.Errorf("live helpers after page invalidation = %d, want 3", got)
+	}
+	checkCacheInvariants(t, e)
+
+	// Eviction retires A (FIFO oldest): its helper and glue must be freed.
+	e.SetCacheCapacity(1)
+	if e.Stats.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", e.Stats.Evictions)
+	}
+	if got := e.M.Helpers(); got != 1 {
+		t.Errorf("live helpers after eviction = %d, want 1 (C's)", got)
+	}
+	checkCacheInvariants(t, e)
+
+	// Full flush drops the rest.
+	e.FlushCache()
+	if got := e.M.Helpers(); got != 0 {
+		t.Errorf("live helpers after flush = %d, want 0", got)
+	}
+	checkCacheInvariants(t, e)
+}
+
+// failTrans registers helpers, then fails.
+type failTrans struct{}
+
+func (failTrans) Name() string { return "fail-stub" }
+
+func (failTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	e.RegisterMMURead(pc, 0, 4, false)
+	e.RegisterMMUWrite(pc, 0, 4)
+	return nil, fmt.Errorf("stub failure")
+}
+
+// TestFailedTranslationReleasesHelpers: a translation that errors out must
+// not leak the helpers it registered before failing.
+func TestFailedTranslationReleasesHelpers(t *testing.T) {
+	e := New(failTrans{}, 1<<20)
+	e.runLimit = 1 << 40
+	if err := e.step(); err == nil {
+		t.Fatal("failed translation reported no error")
+	}
+	if got := e.M.Helpers(); got != 0 {
+		t.Errorf("failed translation leaked %d helpers", got)
+	}
+}
+
+// TestPageStraddlingBlockIndexedUnderBothPages: a block whose guest bytes
+// cross a page boundary must be invalidated by a store into either page.
+func TestPageStraddlingBlockIndexedUnderBothPages(t *testing.T) {
+	for _, page := range []uint32{0, 1} {
+		e := newPagedEngine(t, pageStubTrans{stride: 0x1000, guestLen: 32})
+		e.nextPC = 0xFC0 // 32 instructions = 128 bytes: spans pages 0 and 1
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+		tb := e.cache[tbKey{pa: 0xFC0, priv: true}]
+		if tb == nil {
+			t.Fatal("straddling TB not cached")
+		}
+		if len(tb.pages) != 2 || tb.pages[0] != 0 || tb.pages[1] != 1 {
+			t.Fatalf("straddling TB pages = %#x, want [0 1]", tb.pages)
+		}
+		checkCacheInvariants(t, e)
+		if n := e.InvalidatePage(page); n != 1 {
+			t.Errorf("store into page %d of a straddling block retired %d TBs, want 1", page, n)
+		}
+		if e.CacheSize() != 0 {
+			t.Errorf("straddling TB survived invalidation of page %d", page)
+		}
+		checkCacheInvariants(t, e)
+	}
+}
+
+// TestFIFOBoundedUnderChurn: with an unbounded cache, invalidate/retranslate
+// churn must not grow the eviction queue (and the retired TBs it would pin)
+// without limit — the periodic compaction keeps it proportional to the live
+// cache.
+func TestFIFOBoundedUnderChurn(t *testing.T) {
+	e := newPagedEngine(t, pageStubTrans{stride: 0x1000, helpers: 1})
+	for i := 0; i < 4; i++ { // a small persistent working set
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 500; round++ { // SMC-style churn on page 0
+		e.InvalidatePage(0)
+		e.nextPC = 0
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+		if max := 2*len(e.cache) + 17; len(e.fifo) > max {
+			t.Fatalf("round %d: eviction queue holds %d entries for %d live TBs (bound %d)",
+				round, len(e.fifo), len(e.cache), max)
+		}
+	}
+	checkCacheInvariants(t, e)
+}
+
+// TestReverseMapInvariantUnderRandomOps is the reverse-map property test:
+// after arbitrary translate / invalidate / evict / flush / re-cap
+// sequences, every cached TB is indexed under every page its guest bytes
+// span, no stale entries remain, and helper accounting stays exact.
+func TestReverseMapInvariantUnderRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	e := newPagedEngine(t, pageStubTrans{stride: 0x1000, guestLen: 32, helpers: 1})
+	randPC := func() uint32 {
+		page := uint32(r.Intn(8))
+		if r.Intn(2) == 0 {
+			return page<<PageBits + 0xFC0 // straddles into page+1
+		}
+		return page << PageBits
+	}
+	steps := 400
+	if testing.Short() {
+		steps = 120
+	}
+	for i := 0; i < steps; i++ {
+		switch op := r.Intn(10); {
+		case op < 6:
+			e.nextPC = randPC()
+			if err := e.step(); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8:
+			e.InvalidatePage(uint32(r.Intn(10)))
+		case op < 9:
+			caps := []int{0, 2, 3, 5, 8}
+			e.SetCacheCapacity(caps[r.Intn(len(caps))])
+		default:
+			e.FlushCache()
+		}
+		checkCacheInvariants(t, e)
+	}
+	if e.Stats.Evictions == 0 || e.Stats.PageInvalidations == 0 || e.Stats.Retranslations == 0 {
+		t.Errorf("walk did not exercise all paths: evict=%d pageinv=%d retrans=%d",
+			e.Stats.Evictions, e.Stats.PageInvalidations, e.Stats.Retranslations)
+	}
+}

@@ -18,19 +18,22 @@ import "sldbt/internal/x86"
 //   - runs of chained blocks are bounded (maxChainRun) so control returns to
 //     the dispatcher at least that often.
 //
-// Links are torn down whenever they could go stale: FlushCache (including the
-// self-modifying-code path) drops every block, and unlinkChains reverts the
-// patches when the guest changes its translation regime (TTBR/SCTLR writes,
-// TLB maintenance, reset), since a link bakes in the successor's
-// virtual-to-physical mapping that the dispatcher would otherwise re-walk.
+// Teardown is selective: every TB records its incoming chain sites, so when
+// page-granular invalidation (cache.go) retires a block, only the stubs that
+// jump into it are unpatched — links between surviving blocks stay live.
+// unlinkChains still reverts every patch when the guest changes its
+// translation regime (TTBR/SCTLR writes, TLB maintenance), since a link
+// bakes in the successor's virtual-to-physical mapping that the dispatcher
+// would otherwise re-walk; FlushCache (reset, legacy SMC baseline) drops
+// every block and its links outright.
 
 // maxChainRun bounds how many chained crossings may happen per dispatcher
 // entry. IRQ delivery does not depend on it (every TB polls env.pending and
 // every crossing retires), but it keeps Run's power-off/halt handling fresh.
 const maxChainRun = 64
 
-// chainLink records one patched exit for unlinkChains.
-type chainLink struct {
+// chainSite identifies one patchable exit stub: slot s of block from.
+type chainSite struct {
 	from *TB
 	slot int
 }
@@ -49,7 +52,7 @@ func (e *Engine) EnableChaining(on bool) {
 func (e *Engine) ChainingEnabled() bool { return e.chain }
 
 // Links reports how many patched block links are currently installed.
-func (e *Engine) Links() int { return len(e.links) }
+func (e *Engine) Links() int { return e.linkCount }
 
 // noteDirectExit remembers a dispatcher-handled direct transition so the next
 // lookup can link the predecessor to whatever block it resolves to.
@@ -61,7 +64,8 @@ func (e *Engine) noteDirectExit(tb *TB, slot int) {
 
 // linkPending patches the previously-noted predecessor exit to jump directly
 // to tb, which the dispatcher resolved at guest address pc under privilege
-// priv.
+// priv. The link is recorded on both ends: the predecessor's ChainTo slot
+// and the successor's incoming-site list (for selective teardown).
 func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
 	from, slot := e.lastTB, e.lastSlot
 	e.lastTB = nil
@@ -83,7 +87,8 @@ func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
 	}
 	from.ChainTo[slot] = tb
 	from.chainPriv[slot] = priv
-	e.links = append(e.links, chainLink{from, slot})
+	tb.in = append(tb.in, chainSite{from, slot})
+	e.linkCount++
 	e.Stats.ChainLinks++
 }
 
@@ -118,23 +123,18 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 }
 
 // unlinkChains reverts every patched exit stub to its original EXIT. Called
-// when links could be stale: the guest changed its translation regime, or
-// chaining was turned off.
+// when all links could be stale at once: the guest changed its translation
+// regime, or chaining was turned off. (Single-block teardown happens in
+// retireTB via the per-TB incoming lists instead.)
 func (e *Engine) unlinkChains() {
-	for _, l := range e.links {
-		site := l.from.Block.ChainSite[l.slot]
-		l.from.Block.Insts[site] = x86.Inst{
-			Op: x86.EXIT, Imm: uint32(l.slot), Class: x86.ClassGlue,
+	for _, tb := range e.cache {
+		for slot := 0; slot < 2; slot++ {
+			if tb.ChainTo[slot] != nil {
+				e.unpatch(tb, slot)
+			}
 		}
-		l.from.ChainTo[l.slot] = nil
+		tb.in = tb.in[:0]
 	}
-	e.links = e.links[:0]
-	e.lastTB = nil
-}
-
-// dropChains forgets all link bookkeeping without rewriting blocks; used by
-// FlushCache, which discards the blocks themselves.
-func (e *Engine) dropChains() {
-	e.links = e.links[:0]
+	e.linkCount = 0
 	e.lastTB = nil
 }

@@ -341,6 +341,78 @@ func TestRelinkReusesGlueHelper(t *testing.T) {
 	}
 }
 
+// TestChainTeardownPrecision: with an A→B→C→D chain graph across separate
+// pages, invalidating B's page must unpatch only A's stub (the one link
+// into B) and drop B's own outgoing link — C stays cached and chained to D,
+// and execution falls back through the dispatcher to retranslate B.
+func TestChainTeardownPrecision(t *testing.T) {
+	e := newPagedEngine(t, pageStubTrans{stride: 0x1000})
+	for i := 0; i < 4; i++ { // A@0, B@0x1000, C@0x2000, D@0x3000
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := func(pa uint32) tbKey { return tbKey{pa: pa, priv: true} }
+	tbA, tbB := e.cache[key(0)], e.cache[key(0x1000)]
+	tbC, tbD := e.cache[key(0x2000)], e.cache[key(0x3000)]
+	if tbA.ChainTo[0] != tbB || tbB.ChainTo[0] != tbC || tbC.ChainTo[0] != tbD {
+		t.Fatalf("chain graph not built: A→%v B→%v C→%v", tbA.ChainTo[0], tbB.ChainTo[0], tbC.ChainTo[0])
+	}
+	if e.Links() != 3 {
+		t.Fatalf("links = %d, want 3", e.Links())
+	}
+
+	if n := e.InvalidatePage(1); n != 1 { // B's page
+		t.Fatalf("InvalidatePage retired %d TBs, want 1 (B)", n)
+	}
+	// A survives, unpatched: its stub must be a plain EXIT again.
+	if e.cache[key(0)] != tbA {
+		t.Fatal("A dropped by B's invalidation")
+	}
+	if tbA.ChainTo[0] != nil {
+		t.Error("A still chained into retired B")
+	}
+	if in := tbA.Block.Insts[tbA.Block.ChainSite[0]]; in.Op != x86.EXIT {
+		t.Errorf("A's stub not unpatched: %v", in)
+	}
+	// B is gone; C and D survive with their link intact.
+	if e.cache[key(0x1000)] != nil {
+		t.Error("B survived its page invalidation")
+	}
+	if e.cache[key(0x2000)] != tbC || e.cache[key(0x3000)] != tbD {
+		t.Error("C or D dropped by B's invalidation")
+	}
+	if tbC.ChainTo[0] != tbD {
+		t.Error("surviving C→D link torn down")
+	}
+	if in := tbC.Block.Insts[tbC.Block.ChainSite[0]]; in.Op != x86.CHAIN || in.Chain != tbD.Block {
+		t.Errorf("C's patched stub disturbed: %v", in)
+	}
+	if e.Links() != 1 {
+		t.Errorf("links = %d, want 1 (C→D)", e.Links())
+	}
+
+	// Execution falls back through the dispatcher: A's next run exits to the
+	// engine, which retranslates B and relinks.
+	e.nextPC = 0
+	dispatches := e.Stats.Dispatches
+	for i := 0; i < 2; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats.Dispatches - dispatches; got != 2 {
+		t.Errorf("dispatcher entries after teardown = %d, want 2 (A then new B)", got)
+	}
+	if e.Stats.Retranslations != 1 {
+		t.Errorf("retranslations = %d, want 1 (B only)", e.Stats.Retranslations)
+	}
+	newB := e.cache[key(0x1000)]
+	if newB == nil || tbA.ChainTo[0] != newB {
+		t.Error("A did not relink to the retranslated B")
+	}
+}
+
 // TestChainingDisabledNeverLinks: with chaining off the engine behaves as
 // before — every transition is a dispatcher exit.
 func TestChainingDisabledNeverLinks(t *testing.T) {

@@ -18,7 +18,7 @@ const (
 	ExitIRQ        = 3 // TB-head interrupt check fired
 	ExitExc        = 4 // a helper injected an exception; engine state is ready
 	ExitHalt       = 5 // WFI
-	ExitSMC        = 6 // a store hit a translated code page: cache flushed
+	ExitSMC        = 6 // a store hit a translated code page: page invalidated
 	ExitChainBreak = 7 // chain glue stopped a linked run; state is ready
 )
 
@@ -27,6 +27,12 @@ type TB struct {
 	Block    *x86.Block
 	PC       uint32 // guest virtual PC of the first instruction
 	GuestLen int
+	// SrcPages lists the guest physical pages the block's source bytes were
+	// fetched from, recorded by the translator (via Engine.TranslationPages)
+	// so page-granular invalidation finds page-straddling blocks even under
+	// non-contiguous mappings. When empty, the engine falls back to a
+	// contiguous span derived from the block's start address.
+	SrcPages []uint32
 	Next     [2]uint32 // direct successor guest PCs, valid per HasNext
 	HasNext  [2]bool
 	// ChainTo[s] is the successor TB this block's exit s has been patched to
@@ -47,6 +53,18 @@ type TB struct {
 	// access. When the check fires, the IRQIdx preceding instructions have
 	// already retired.
 	IRQIdx int
+
+	// key is the cache slot the engine indexed the TB under.
+	key tbKey
+	// pages is the resolved physical page span (SrcPages, or derived from
+	// the start address) the reverse map indexes the TB under.
+	pages []uint32
+	// helperIDs are the translation-time helper closures owned by this TB,
+	// released when the TB is retired (invalidation, eviction, full flush).
+	helperIDs []int
+	// in records the predecessors whose exit stubs are patched to jump into
+	// this TB, so invalidating it unpatches only those stubs.
+	in []chainSite
 }
 
 type tbKey struct {
@@ -64,19 +82,22 @@ type Translator interface {
 
 // Stats counts engine-level events.
 type Stats struct {
-	TBsTranslated uint64
-	TBEntries     uint64 // block executions (interrupt-check sites)
-	Dispatches    uint64 // dispatcher entries (Engine.step calls)
-	ChainHits     uint64 // direct-successor transitions through the dispatcher
-	ChainedExits  uint64 // direct-successor transitions via a patched chain
-	ChainLinks    uint64 // exit stubs patched to a successor block
-	ChainBreaks   uint64 // chained runs stopped by the glue (budget/bounds)
-	Lookups       uint64 // indirect transitions through the engine
-	HelperCalls   uint64
-	IRQs          uint64
-	Exceptions    uint64
-	MMUSlowPath   uint64
-	IOAccesses    uint64
+	TBsTranslated     uint64
+	Retranslations    uint64 // translations of a (pa, priv) key translated before
+	PageInvalidations uint64 // page-granular SMC invalidations
+	Evictions         uint64 // TBs dropped by the cache capacity bound
+	TBEntries         uint64 // block executions (interrupt-check sites)
+	Dispatches        uint64 // dispatcher entries (Engine.step calls)
+	ChainHits         uint64 // direct-successor transitions through the dispatcher
+	ChainedExits      uint64 // direct-successor transitions via a patched chain
+	ChainLinks        uint64 // exit stubs patched to a successor block
+	ChainBreaks       uint64 // chained runs stopped by the glue (budget/bounds)
+	Lookups           uint64 // indirect transitions through the engine
+	HelperCalls       uint64
+	IRQs              uint64
+	Exceptions        uint64
+	MMUSlowPath       uint64
+	IOAccesses        uint64
 }
 
 // ChainRate is the fraction of direct-successor transitions served by a
@@ -121,18 +142,35 @@ type Engine struct {
 	invalidCount uint64
 
 	// Block-chaining state (see chain.go).
-	chain      bool      // chaining enabled
-	runLimit   uint64    // Run's retirement budget, honoured by chain glue
-	chainSteps int       // chained crossings since the last dispatcher entry
-	lastTB     *TB       // predecessor of a pending link (direct exit seen)
-	lastSlot   int       // which successor slot of lastTB to link
-	curTB      *TB       // TB currently executing (advanced by chain glue)
-	curPC      uint32    // guest VA the current TB was entered at
-	links      []chainLink
+	chain      bool   // chaining enabled
+	runLimit   uint64 // Run's retirement budget, honoured by chain glue
+	chainSteps int    // chained crossings since the last dispatcher entry
+	lastTB     *TB    // predecessor of a pending link (direct exit seen)
+	lastSlot   int    // which successor slot of lastTB to link
+	curTB      *TB    // TB currently executing (advanced by chain glue)
+	curPC      uint32 // guest VA the current TB was entered at
+	linkCount  int    // installed chain links across the cache
+
+	// Cache bookkeeping (see cache.go): the reverse map from guest physical
+	// page to the TBs whose source bytes touch it, the FIFO eviction order,
+	// the capacity bound, and the SMC invalidation policy.
+	pageTBs      map[uint32]map[*TB]struct{}
+	fifo         []*TB
+	cacheCap     int  // max cached TBs (0 = unbounded)
+	fullFlushSMC bool // legacy whole-cache flush on SMC (baseline for exp)
+	seenKeys     map[tbKey]bool
+
+	// Translation-time recording: while Trans.Translate runs, FetchInst
+	// accumulates the fetched physical pages and the Register* methods the
+	// registered helper ids, so the finished TB owns both.
+	translating  bool
+	transPages   []uint32
+	transHelpers []int
 
 	// codePages tracks guest physical pages containing translated code, for
-	// self-modifying-code detection: a store into one of these flushes the
-	// code cache (QEMU's tb_invalidate path, at page granularity).
+	// self-modifying-code detection: stores into one of these are kept on
+	// the softmmu slow path, where they invalidate that page's TBs (QEMU's
+	// tb_invalidate at page granularity).
 	codePages map[uint32]bool
 }
 
@@ -155,6 +193,8 @@ func New(tr Translator, ramSize uint32) *Engine {
 		cache:       map[tbKey]*TB{},
 		decodeCache: map[uint32]arm.Inst{},
 		codePages:   map[uint32]bool{},
+		pageTBs:     map[uint32]map[*TB]struct{}{},
+		seenKeys:    map[tbKey]bool{},
 	}
 	m.Regs[x86.ESP] = HostStackTop
 	m.Regs[x86.EBP] = EnvBase
@@ -227,10 +267,15 @@ func (e *Engine) retire(n int) {
 
 // FetchInst reads and decodes the guest instruction at va using a
 // translation-time page walk (no TLB side effects); used by translators.
+// During a Translate call it records the fetched physical page, building the
+// source span page-granular invalidation indexes the TB under.
 func (e *Engine) FetchInst(va uint32) (arm.Inst, error) {
 	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Fetch, e.CPU.Mode() == arm.ModeUSR)
 	if fault != nil {
 		return arm.Inst{}, fault
+	}
+	if e.translating {
+		e.noteTransPage(pa >> PageBits)
 	}
 	raw := e.Bus.Read32(pa)
 	if in, ok := e.decodeCache[raw]; ok {
@@ -244,22 +289,32 @@ func (e *Engine) FetchInst(va uint32) (arm.Inst, error) {
 // FlushCache drops every translated block and the helper closures registered
 // for them (translation-time MMU/system helpers and link-time chain glue) —
 // with every block gone, no emitted callh/chain can reference the dropped
-// ids. Installed chain links die with the blocks that carry them.
+// ids. Installed chain links die with the blocks that carry them. This
+// whole-cache path remains for Reset and the legacy SetFullFlushSMC
+// baseline; stores into translated pages take the page-granular
+// InvalidatePage path, and translation-regime changes (TTBR/SCTLR, TLB
+// maintenance) only unlink chains — the cache is keyed by physical address,
+// so its translations stay valid across them.
 func (e *Engine) FlushCache() {
 	e.cache = map[tbKey]*TB{}
+	e.pageTBs = map[uint32]map[*TB]struct{}{}
 	e.codePages = map[uint32]bool{}
+	e.fifo = nil
 	e.invalidCount++
-	e.dropChains()
+	e.linkCount = 0
+	e.lastTB = nil
 	e.M.TruncateHelpers(e.baseHelpers)
 }
 
-// Flushes reports how many times the code cache has been invalidated.
+// Flushes reports how many times the whole code cache has been invalidated
+// (page-granular invalidations are counted in Stats.PageInvalidations).
 func (e *Engine) Flushes() uint64 { return e.invalidCount }
 
 // CacheSize returns the number of cached TBs.
 func (e *Engine) CacheSize() int { return len(e.cache) }
 
-// Reset places the guest at the architectural reset state.
+// Reset places the guest at the architectural reset state, fully flushing
+// the code cache.
 func (e *Engine) Reset() {
 	e.CPU = arm.NewCPU()
 	st := e.Env
@@ -268,7 +323,7 @@ func (e *Engine) Reset() {
 	}
 	st.SetFlags(arm.Flags{})
 	st.FlushTLB()
-	e.unlinkChains()
+	e.FlushCache()
 	e.nextPC = 0
 	e.wasUser = false
 }
@@ -318,13 +373,10 @@ func (e *Engine) step() error {
 	tb, ok := e.cache[key]
 	if !ok {
 		var err error
-		tb, err = e.Trans.Translate(e, pc, priv)
+		tb, err = e.translate(pc, priv, key)
 		if err != nil {
 			return fmt.Errorf("translate pc=%#08x: %w", pc, err)
 		}
-		e.cache[key] = tb
-		e.Stats.TBsTranslated++
-		e.noteCodePages(pa, tb.GuestLen)
 	}
 	// A direct exit dispatched here last step resolves to this block: patch
 	// the predecessor's exit stub to jump straight to it next time.
@@ -376,23 +428,66 @@ func (e *Engine) step() error {
 	return nil
 }
 
-// noteCodePages registers the physical pages a freshly-translated block
-// spans and write-protects them in the softmmu TLB, so stores into them
-// reach the slow path where self-modifying code is detected.
-func (e *Engine) noteCodePages(pa uint32, guestLen int) {
-	first := pa >> 12
-	last := (pa + uint32(guestLen)*4 - 1) >> 12
-	fresh := false
-	for p := first; p <= last; p++ {
-		if !e.codePages[p] {
-			e.codePages[p] = true
-			fresh = true
+// translate runs the translator for (pc, priv), recording the helper ids
+// and source pages the new TB owns, and inserts it into the cache (evicting
+// under the capacity bound).
+func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
+	e.translating = true
+	e.transPages = e.transPages[:0]
+	e.transHelpers = e.transHelpers[:0]
+	tb, err := e.Trans.Translate(e, pc, priv)
+	e.translating = false
+	if err != nil {
+		// Release the helpers a failed translation registered.
+		for _, id := range e.transHelpers {
+			e.M.FreeHelper(id)
+		}
+		return nil, err
+	}
+	tb.key = key
+	tb.helperIDs = append([]int(nil), e.transHelpers...)
+	tb.pages = tb.SrcPages
+	if len(tb.pages) == 0 {
+		// Stub translators that never call FetchInst: assume a contiguous
+		// physical span from the block start.
+		tb.pages = SpanPages(key.pa, tb.GuestLen)
+	}
+	e.insertTB(tb)
+	e.Stats.TBsTranslated++
+	if e.seenKeys[key] {
+		e.Stats.Retranslations++
+	} else {
+		e.seenKeys[key] = true
+	}
+	return tb, nil
+}
+
+// noteTransPage records a physical page fetched during translation (deduped;
+// a TB touches at most a handful of pages).
+func (e *Engine) noteTransPage(page uint32) {
+	for _, p := range e.transPages {
+		if p == page {
+			return
 		}
 	}
-	if fresh {
-		// Drop any stale writable TLB entries covering the new code pages.
-		e.Env.FlushTLB()
+	e.transPages = append(e.transPages, page)
+}
+
+// TranslationPages returns the guest physical pages FetchInst has touched
+// during the current Translate call. Translators store it in TB.SrcPages so
+// page-granular invalidation can index page-straddling blocks correctly.
+func (e *Engine) TranslationPages() []uint32 {
+	return append([]uint32(nil), e.transPages...)
+}
+
+// registerHelper installs an engine helper, attributing it to the TB under
+// translation so retiring that TB can release the closure.
+func (e *Engine) registerHelper(fn x86.Helper) int {
+	id := e.M.RegisterHelper(fn)
+	if e.translating {
+		e.transHelpers = append(e.transHelpers, id)
 	}
+	return id
 }
 
 // --- helper implementations (the QEMU side) ---
@@ -411,7 +506,7 @@ func (e *Engine) RegisterMMURead(guestPC uint32, idx int, size uint8, signed boo
 // effects of a flag-defining instruction that was moved *after* this memory
 // access, keeping exceptions precise.
 func (e *Engine) RegisterMMUReadFx(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine)) int {
-	return e.M.RegisterHelper(func(m *x86.Machine) int {
+	return e.registerHelper(func(m *x86.Machine) int {
 		e.Stats.HelperCalls++
 		va := m.Regs[x86.EAX]
 		pa, entry, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Load, e.CPU.Mode() == arm.ModeUSR)
@@ -449,7 +544,7 @@ func (e *Engine) RegisterMMUWrite(guestPC uint32, idx int, size uint8) int {
 // RegisterMMUWriteFx is RegisterMMUWrite with an abort fixup (see
 // RegisterMMUReadFx).
 func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine)) int {
-	return e.M.RegisterHelper(func(m *x86.Machine) int {
+	return e.registerHelper(func(m *x86.Machine) int {
 		e.Stats.HelperCalls++
 		va := m.Regs[x86.EAX]
 		pa, entry, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Store, e.CPU.Mode() == arm.ModeUSR)
@@ -469,13 +564,13 @@ func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup f
 		default:
 			e.Bus.Write32(pa, v)
 		}
-		if e.codePages[pa>>12] {
-			// Self-modifying code: invalidate every translation (page
-			// granularity, like QEMU's tb_invalidate) and resume after the
-			// store; the remainder of the current block may be stale.
+		if e.codePages[pa>>PageBits] {
+			// Self-modifying code: invalidate the stored-to page's TBs
+			// (QEMU's tb_invalidate granularity; see cache.go) and resume
+			// after the store — the current block may itself be stale.
 			// Limitation: a multi-word store (stm) into a code page resumes
 			// after the instruction with only the faulting word written.
-			e.FlushCache()
+			e.invalidateOnStore(pa)
 			e.retire(idx + 1)
 			e.nextPC = guestPC + 4
 			return ExitSMC
@@ -497,7 +592,7 @@ func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) {
 		if user && entry.AP == mmu.APKernel {
 			canRead, canWrite = false, false
 		}
-		if e.codePages[pa>>12] {
+		if e.codePages[pa>>PageBits] {
 			canWrite = false // keep stores to code pages on the slow path
 		}
 		hostPage := GuestWin + pa&^0xFFF
@@ -522,7 +617,7 @@ func (e *Engine) dataAbort(fault *mmu.Fault, guestPC uint32, idx int) int {
 // parsed form (QEMU reads and may write them), performs the operation
 // against env+CPU state, and either continues or exits with an exception.
 func (e *Engine) RegisterSystem(in arm.Inst, guestPC uint32, idx int) int {
-	return e.M.RegisterHelper(func(m *x86.Machine) int {
+	return e.registerHelper(func(m *x86.Machine) int {
 		e.Stats.HelperCalls++
 		e.M.Charge(x86.ClassHelper, CostSysInstr)
 		return e.execSystem(&in, guestPC, idx)
@@ -661,7 +756,7 @@ func (e *Engine) execCP15(in *arm.Inst) {
 // RegisterUndef registers a helper that injects an undefined-instruction
 // exception (unimplemented encodings reached at runtime).
 func (e *Engine) RegisterUndef(guestPC uint32, idx int) int {
-	return e.M.RegisterHelper(func(m *x86.Machine) int {
+	return e.registerHelper(func(m *x86.Machine) int {
 		e.Stats.HelperCalls++
 		e.M.Charge(x86.ClassHelper, CostSysInstr)
 		e.retire(idx)

@@ -7,6 +7,28 @@ import "sldbt/internal/arm"
 // are comparable across engines.
 const MaxTBLen = 32
 
+// PageBits is the guest page granularity of TB invalidation (4 KiB, the
+// MMU's small-page size).
+const PageBits = 12
+
+// SpanPages lists the physical pages covered by guestLen instructions
+// starting at pa, assuming a physically contiguous span. It is the fallback
+// the engine uses for blocks whose translator recorded no fetch pages;
+// translators that scan through FetchInst get the true (possibly
+// non-contiguous) span via Engine.TranslationPages.
+func SpanPages(pa uint32, guestLen int) []uint32 {
+	if guestLen < 1 {
+		guestLen = 1
+	}
+	first := pa >> PageBits
+	last := (pa + uint32(guestLen)*4 - 1) >> PageBits
+	pages := make([]uint32, 0, last-first+1)
+	for p := first; p <= last; p++ {
+		pages = append(pages, p)
+	}
+	return pages
+}
+
 // ScanTB decodes the guest block starting at pc: instructions up to and
 // including the first control-flow instruction, capped at MaxTBLen. An
 // undecodable instruction terminates the block (it translates to an

@@ -33,6 +33,10 @@ const (
 	CfgElimination Config = "elim"      // + §III-C
 	CfgFull        Config = "full"      // + §III-D (all optimizations)
 	CfgChain       Config = "chain"     // full optimizations + TB chaining
+	// CfgFlushSMC is CfgChain with the legacy whole-cache flush on
+	// self-modifying stores instead of page-granular invalidation — the
+	// baseline the `smc` experiment measures retranslation savings against.
+	CfgFlushSMC Config = "flushsmc"
 )
 
 // levels maps rule configs to optimization levels.
@@ -42,6 +46,7 @@ var levels = map[Config]core.OptLevel{
 	CfgElimination: core.OptElimination,
 	CfgFull:        core.OptScheduling,
 	CfgChain:       core.OptScheduling,
+	CfgFlushSMC:    core.OptScheduling,
 }
 
 // RunResult is one workload x config measurement.
@@ -50,6 +55,7 @@ type RunResult struct {
 	HostTotal uint64
 	Counts    [x86.NumClasses]uint64
 	Engine    engine.Stats
+	Flushes   uint64 // whole-cache invalidations
 	Wall      time.Duration
 	Console   string
 }
@@ -67,6 +73,9 @@ type Runner struct {
 	BudgetScale float64
 	// Rules is the rule set for the rule-based engine (nil = baseline set).
 	Rules func() *rules.Set
+	// CacheCap bounds every engine's code cache to this many TBs
+	// (0 = unbounded); the `smc` experiment uses it to measure eviction.
+	CacheCap int
 
 	engineRuns map[string]*RunResult
 	interpRuns map[string]*InterpResult
@@ -132,7 +141,11 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		return nil, err
 	}
 	e := engine.New(tr, kernel.RAMSize)
-	e.EnableChaining(cfg == CfgChain)
+	e.EnableChaining(cfg == CfgChain || cfg == CfgFlushSMC)
+	e.SetFullFlushSMC(cfg == CfgFlushSMC)
+	if r.CacheCap > 0 {
+		e.SetCacheCapacity(r.CacheCap)
+	}
 	im.Configure(e.Bus)
 	if err := e.LoadImage(im.Origin, im.Data); err != nil {
 		return nil, err
@@ -160,6 +173,7 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		HostTotal: e.M.Total(),
 		Counts:    e.M.Counts,
 		Engine:    e.Stats,
+		Flushes:   e.Flushes(),
 		Wall:      wall,
 		Console:   e.Bus.UART().Output(),
 	}
@@ -556,9 +570,55 @@ func (r *Runner) ChainStats() (string, error) {
 	return b.String(), nil
 }
 
+// --- SMC invalidation (page-granular TB invalidation + bounded cache) ------
+
+// SMCStats measures page-granular TB invalidation on the self-modifying-code
+// workload: the legacy whole-cache flush retranslates the entire hot path
+// after every SMC store, while page-granular invalidation retranslates only
+// the victim page's block. A third, cache-capped run shows the bounded
+// cache evicting instead of growing without limit. All three runs are
+// oracle-checked against the interpreter by Run.
+func (r *Runner) SMCStats() (string, error) {
+	w := mustWorkload("smc")
+	flush, err := r.Run(w, CfgFlushSMC)
+	if err != nil {
+		return "", err
+	}
+	page, err := r.Run(w, CfgChain)
+	if err != nil {
+		return "", err
+	}
+	capped := NewRunner()
+	capped.BudgetScale = r.BudgetScale
+	capped.Rules = r.Rules
+	capped.CacheCap = 24
+	cappedRes, err := capped.Run(w, CfgChain)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMC invalidation: whole-cache flush vs page-granular (smc workload, chaining on)\n")
+	fmt.Fprintf(&b, "%-22s %9s %9s %9s %9s %9s %9s\n",
+		"config", "tbs", "retrans", "pageinv", "flushes", "evict", "links")
+	row := func(name string, res *RunResult) {
+		s := res.Engine
+		fmt.Fprintf(&b, "%-22s %9d %9d %9d %9d %9d %9d\n", name,
+			s.TBsTranslated, s.Retranslations, s.PageInvalidations,
+			res.Flushes, s.Evictions, s.ChainLinks)
+	}
+	row("whole-flush (legacy)", flush)
+	row("page-granular", page)
+	row("page-granular cap=24", cappedRes)
+	drop := float64(flush.Engine.Retranslations) / math.Max(float64(page.Engine.Retranslations), 1)
+	fmt.Fprintf(&b, "retranslation drop: %.1fx (whole-flush retranslates the hot path after\n", drop)
+	fmt.Fprintf(&b, "every SMC store; page-granular retires only the victim page's TBs, so\n")
+	fmt.Fprintf(&b, "links between surviving blocks stay patched)\n")
+	return b.String(), nil
+}
+
 // Experiments lists all experiment names in order.
 func Experiments() []string {
-	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain"}
+	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain", "smc"}
 }
 
 // Run runs one named experiment.
@@ -586,6 +646,8 @@ func (r *Runner) RunExperiment(name string) (string, error) {
 		return r.Breakdown()
 	case "chain":
 		return r.ChainStats()
+	case "smc":
+		return r.SMCStats()
 	}
 	valid := strings.Join(Experiments(), ", ")
 	return "", fmt.Errorf("exp: unknown experiment %q (valid: %s, all)", name, valid)

@@ -101,7 +101,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 11 {
+	if len(Experiments()) != 12 {
 		t.Errorf("experiment list = %v", Experiments())
 	}
 }
@@ -154,6 +154,80 @@ func TestChainingIdenticalOnAllWorkloads(t *testing.T) {
 	}
 	if !anyChained {
 		t.Error("no workload took a chained exit")
+	}
+}
+
+// TestSMCPageInvalidationBeatsWholeFlush is the acceptance check for
+// page-granular TB invalidation: on the SMC-heavy workload, a store into a
+// translated page invalidates only that page's TBs, so retranslations drop
+// by at least 10x versus the whole-flush baseline while the console stays
+// oracle-identical (Run already rejects divergence from the interpreter).
+func TestSMCPageInvalidationBeatsWholeFlush(t *testing.T) {
+	r := quickRunner()
+	w, ok := workloads.ByName("smc")
+	if !ok {
+		t.Fatal("smc workload missing")
+	}
+	flush, err := r.Run(w, CfgFlushSMC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := r.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Console != flush.Console || page.Retired != flush.Retired {
+		t.Errorf("invalidation policy changed architectural results: retired %d vs %d",
+			page.Retired, flush.Retired)
+	}
+	if page.Flushes != 0 {
+		t.Errorf("page-granular run took %d whole-cache flushes", page.Flushes)
+	}
+	if flush.Engine.PageInvalidations != 0 {
+		t.Errorf("whole-flush baseline took %d page invalidations", flush.Engine.PageInvalidations)
+	}
+	if page.Engine.PageInvalidations == 0 {
+		t.Error("smc workload never triggered a page invalidation")
+	}
+	if flush.Engine.Retranslations < 10*page.Engine.Retranslations {
+		t.Errorf("retranslation drop below 10x: whole-flush %d vs page-granular %d",
+			flush.Engine.Retranslations, page.Engine.Retranslations)
+	}
+	// Links into surviving blocks stay patched: the page-granular run must
+	// not relink the hot path every round like the whole-flush run does.
+	if page.Engine.ChainLinks >= flush.Engine.ChainLinks {
+		t.Errorf("chain links not preserved: %d page-granular vs %d whole-flush",
+			page.Engine.ChainLinks, flush.Engine.ChainLinks)
+	}
+}
+
+// TestSMCExperimentRenders: the smc experiment table must render with all
+// three policy rows, and the capped run must actually evict.
+func TestSMCExperimentRenders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.RunExperiment("smc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"whole-flush (legacy)", "page-granular", "cap=24", "retranslation drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smc table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCacheCapBoundsLiveTBs: a capped runner completes the workload with
+// evictions and an oracle-identical console.
+func TestCacheCapBoundsLiveTBs(t *testing.T) {
+	r := quickRunner()
+	r.CacheCap = 24
+	w, _ := workloads.ByName("smc")
+	res, err := r.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.Evictions == 0 {
+		t.Error("capped cache never evicted")
 	}
 }
 

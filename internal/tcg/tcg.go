@@ -32,7 +32,10 @@ func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.
 		return nil, fmt.Errorf("tcg: %w", err)
 	}
 	tc := &tbCtx{e: e, em: x86.NewEmitter(), pc: pc}
-	tb := &engine.TB{PC: pc, GuestLen: len(insts)}
+	// Record the physical pages the block's source bytes were fetched from
+	// (ScanTB walked them through FetchInst), so page-granular invalidation
+	// indexes this TB under every page it straddles.
+	tb := &engine.TB{PC: pc, GuestLen: len(insts), SrcPages: e.TranslationPages()}
 
 	// QEMU places an interrupt check at the head of every TB (Fig. 4). In
 	// TCG mode the guest flags are memory-resident, so the check needs no

@@ -7,9 +7,10 @@ import (
 	"sldbt/internal/ghw"
 )
 
-// AppWorkloads returns the real-world application proxies (Fig. 19).
+// AppWorkloads returns the real-world application proxies (Fig. 19) plus
+// the self-modifying-code stress workload behind the `smc` experiment.
 func AppWorkloads() []*Workload {
-	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime()}
+	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime(), smc()}
 }
 
 // memcached: a key-value server loop over the packet device. Requests are

@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// smcIters is the number of self-modification rounds the smc workload runs.
+const smcIters = 200
+
+// smcStations is the number of single-TB hot-path stations; each ends in a
+// branch, so the hot path alone spans this many translation blocks that all
+// survive a page-granular victim invalidation (and all die under the legacy
+// whole-cache flush).
+const smcStations = 16
+
+// smc: a self-modifying-code stress workload. Every round patches the first
+// instruction of a victim routine — isolated on its own 4 KiB page — to
+// `mov r0, #(round & 0xff)`, calls it, then runs a hot path of many small
+// blocks on untouched pages. Under page-granular invalidation only the
+// victim page's block is retranslated each round; under a whole-cache flush
+// the entire hot path is retranslated every round as well, which is the
+// retranslation gap the `smc` experiment measures.
+func smc() *Workload {
+	var hot strings.Builder
+	for i := 0; i < smcStations; i++ {
+		fmt.Fprintf(&hot, "hot%d:\n", i)
+		fmt.Fprintf(&hot, "\tadd r4, r4, #%d\n", i+1)
+		fmt.Fprintf(&hot, "\teor r4, r4, r4, lsl #%d\n", i%5+1)
+		fmt.Fprintf(&hot, "\tadd r4, r4, r5, lsl #%d\n", i%3)
+		fmt.Fprintf(&hot, "\tb hot%d\n", i+1)
+	}
+	fmt.Fprintf(&hot, "hot%d:\n\tbx lr\n", smcStations)
+
+	src := fmt.Sprintf(`
+user_entry:
+	mov r4, #0
+	mov r5, #0
+	ldr r8, =%d
+smc_loop:
+	; encode "mov r0, #(r5 & 0xff)" and store it over victim's first word —
+	; an SMC store into the victim page
+	and r0, r5, #0xff
+	ldr r1, =0xE3A00000
+	orr r0, r0, r1
+	ldr r1, =victim
+	str r0, [r1]
+	bl victim
+	add r4, r4, r0
+	bl hot0
+	add r5, r5, #1
+	cmp r5, r8
+	blt smc_loop
+`, smcIters) + epilogue + hot.String() + `
+	.pool
+	.align 4096
+victim:
+	mov r0, #0
+	bx lr
+`
+	native := func() uint32 {
+		var r4 uint32
+		for r5 := uint32(0); r5 < smcIters; r5++ {
+			r4 += r5 & 0xff
+			for i := 0; i < smcStations; i++ {
+				r4 += uint32(i + 1)
+				r4 ^= r4 << uint(i%5+1)
+				r4 += r5 << uint(i%3)
+			}
+		}
+		return r4
+	}
+	return &Workload{Name: "smc", Spec: false, GuestSrc: src, Native: native, Budget: 4_000_000}
+}

@@ -18,7 +18,9 @@ type Machine struct {
 	// Counts accumulates executed host instructions per class.
 	Counts [NumClasses]uint64
 
-	helpers []Helper
+	helpers     []Helper
+	freeHelpers []int // recycled helper ids (their closures were released)
+	liveHelpers int
 
 	// exitCode is set when a helper requests an exit.
 	exitCode int
@@ -29,24 +31,60 @@ func NewMachine(memSize int) *Machine {
 	return &Machine{Mem: make([]byte, memSize)}
 }
 
-// RegisterHelper installs fn and returns its helper id.
+// RegisterHelper installs fn and returns its helper id, reusing an id freed
+// by FreeHelper when one is available so per-block invalidation does not
+// grow the table without bound.
 func (m *Machine) RegisterHelper(fn Helper) int {
+	m.liveHelpers++
+	if n := len(m.freeHelpers); n > 0 {
+		id := m.freeHelpers[n-1]
+		m.freeHelpers = m.freeHelpers[:n-1]
+		m.helpers[id] = fn
+		return id
+	}
 	m.helpers = append(m.helpers, fn)
 	return len(m.helpers) - 1
 }
 
-// Helpers returns the number of registered helpers.
-func (m *Machine) Helpers() int { return len(m.helpers) }
+// Helpers returns the number of live (registered and not freed) helpers.
+func (m *Machine) Helpers() int { return m.liveHelpers }
+
+// FreeHelper releases one helper closure and recycles its id. The caller
+// must guarantee no reachable block still calls the id (the engine frees a
+// block's helpers only when the block itself is retired from the cache).
+func (m *Machine) FreeHelper(id int) {
+	if id < 0 || id >= len(m.helpers) || m.helpers[id] == nil {
+		return // already freed or never registered
+	}
+	m.helpers[id] = nil
+	m.freeHelpers = append(m.freeHelpers, id)
+	m.liveHelpers--
+}
 
 // TruncateHelpers discards helpers registered after the first n, releasing
-// their closures. The caller must guarantee no reachable block still calls
-// the dropped ids (the engine does this by truncating only when the whole
-// code cache is invalidated).
+// their closures, and forgets free-list ids beyond the new length. The
+// caller must guarantee no reachable block still calls the dropped ids (the
+// engine does this by truncating only when the whole code cache is
+// invalidated).
 func (m *Machine) TruncateHelpers(n int) {
 	for i := n; i < len(m.helpers); i++ {
 		m.helpers[i] = nil
 	}
 	m.helpers = m.helpers[:n]
+	keep := m.freeHelpers[:0]
+	for _, id := range m.freeHelpers {
+		if id < n {
+			keep = append(keep, id)
+		}
+	}
+	m.freeHelpers = keep
+	live := 0
+	for _, h := range m.helpers {
+		if h != nil {
+			live++
+		}
+	}
+	m.liveHelpers = live
 }
 
 // Charge adds synthetic host-instruction cost to a class; helpers use it to
@@ -390,7 +428,11 @@ func (m *Machine) Exec(b *Block) uint32 {
 		case CLC:
 			m.CF = false
 		case CALLH:
-			if code := m.helpers[in.Helper](m); code >= 0 {
+			fn := m.helpers[in.Helper]
+			if fn == nil {
+				panic(fmt.Sprintf("x86: callh to freed helper %d (guest pc %#x)", in.Helper, b.GuestPC))
+			}
+			if code := fn(m); code >= 0 {
 				return uint32(code)
 			}
 		case EXIT:
@@ -400,7 +442,11 @@ func (m *Machine) Exec(b *Block) uint32 {
 			// bookkeeping (retire, budget/IRQ bounds) and either approves the
 			// direct jump (negative return) or forces an exit back to the
 			// dispatcher.
-			if code := m.helpers[in.Helper](m); code >= 0 {
+			fn := m.helpers[in.Helper]
+			if fn == nil {
+				panic(fmt.Sprintf("x86: chain glue helper %d freed while patched (guest pc %#x)", in.Helper, b.GuestPC))
+			}
+			if code := fn(m); code >= 0 {
 				return uint32(code)
 			}
 			b = in.Chain
