@@ -255,6 +255,39 @@ func BenchmarkSMCInvalidate(b *testing.B) {
 	b.ReportMetric(links, "chain-links")
 }
 
+// BenchmarkJumpCache measures the inline indirect-branch fast path on the
+// indirect-heavy workload: the factor by which dispatcher lookups drop with
+// the jump cache on, and the fraction of indirect transitions served inline
+// with the return-address stack layered on top.
+func BenchmarkJumpCache(b *testing.B) {
+	var drop, inline, rasShare float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		w, ok := workloads.ByName("dispatch")
+		if !ok {
+			b.Fatal("dispatch workload missing")
+		}
+		base, err := r.Run(w, exp.CfgChain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jc, err := r.Run(w, exp.CfgJCRAS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if jc.Retired != base.Retired {
+			b.Fatalf("jc run retired %d, baseline %d", jc.Retired, base.Retired)
+		}
+		drop = float64(base.Engine.Lookups) / math.Max(float64(jc.Engine.Lookups), 1)
+		inline = jc.Engine.JCRate()
+		rasShare = float64(jc.Engine.RASHits) /
+			math.Max(float64(jc.Engine.JCHits+jc.Engine.RASHits), 1)
+	}
+	b.ReportMetric(drop, "lookup-drop")
+	b.ReportMetric(inline, "inline-rate")
+	b.ReportMetric(rasShare, "ras-share")
+}
+
 // BenchmarkEngineThroughput measures raw emulation speed of the two engines
 // (guest instructions per second), the quantity behind Fig. 18.
 func BenchmarkEngineThroughput(b *testing.B) {

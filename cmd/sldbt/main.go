@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sldbt -workload mcf -engine rule -opt scheduling -chain
+//	sldbt -workload dispatch -engine rule -chain -ras
 //	sldbt -asm prog.s -engine tcg
 //
 // With -asm, the file must contain a user-mode program defining user_entry
@@ -36,6 +37,8 @@ func main() {
 	engName := flag.String("engine", "rule", "engine: interp | tcg | rule")
 	opt := flag.String("opt", "scheduling", "rule-engine optimization level: base | reduction | elimination | scheduling")
 	chain := flag.Bool("chain", false, "enable translation-block chaining (direct block linking)")
+	jc := flag.Bool("jc", false, "enable the inline indirect-branch jump cache")
+	ras := flag.Bool("ras", false, "enable return-address-stack prediction (implies -jc)")
 	cacheCap := flag.Int("cache-cap", 0, "bound the code cache to N translated blocks, evicting FIFO (0 = unbounded)")
 	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
@@ -121,6 +124,8 @@ func main() {
 		}
 		e := engine.New(tr, kernel.RAMSize)
 		e.EnableChaining(*chain)
+		e.EnableJumpCache(*jc)
+		e.EnableRAS(*ras)
 		e.SetCacheCapacity(*cacheCap)
 		e.SetFullFlushSMC(*smcFlush)
 		im.Configure(e.Bus)
@@ -146,6 +151,9 @@ func main() {
 			fmt.Printf("-- chaining: %d links, %d chained exits, %d dispatcher exits, %d breaks (chain rate %.1f%%)\n",
 				e.Stats.ChainLinks, e.Stats.ChainedExits, e.Stats.ChainHits,
 				e.Stats.ChainBreaks, 100*e.Stats.ChainRate())
+			fmt.Printf("-- indirect: %d lookups, %d jc hits, %d ras hits, %d misses, %d breaks (inline rate %.1f%%)\n",
+				e.Stats.Lookups, e.Stats.JCHits, e.Stats.RASHits,
+				e.Stats.JCMisses, e.Stats.JCBreaks, 100*e.Stats.JCRate())
 			fmt.Printf("-- cache: %d TBs live (cap %d), %d retranslations, %d page invalidations, %d evictions, %d full flushes\n",
 				e.CacheSize(), e.CacheCapacity(), e.Stats.Retranslations,
 				e.Stats.PageInvalidations, e.Stats.Evictions, e.Flushes())

@@ -191,7 +191,7 @@ func (tc *tctx) emitMem(i int) {
 			tc.em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EDX))
 			tc.fs.clobberHost()
 			tc.em.SetClass(x86.ClassGlue)
-			tc.em.Exit(engine.ExitIndirect)
+			tc.e.EmitIndirectExit(tc.em, engine.IsReturn(in), tc.seq())
 			tc.exited = true
 			return
 		}
@@ -385,6 +385,7 @@ func (tc *tctx) emitBranch(i int) {
 	if in.Cond == arm.AL {
 		if in.Link {
 			tc.codeEm().Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
+			tc.tb.RetPush[1] = fall
 		}
 		tc.tb.Next[1], tc.tb.HasNext[1] = taken, true
 		tc.endOfTBSave(taken, 0)
@@ -404,6 +405,7 @@ func (tc *tctx) emitBranch(i int) {
 	tc.emitCondJump(in.Cond, pol, fail)
 	if in.Link {
 		tc.em.Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
+		tc.tb.RetPush[1] = fall
 	}
 	tc.em.SetClass(x86.ClassGlue)
 	tc.em.ExitChainable(engine.ExitNext1)
@@ -433,7 +435,7 @@ func (tc *tctx) emitBX(i int) {
 	// taken path used them already, and endOfTBSave preserved a copy.
 	tc.fs.clobberHost()
 	tc.em.SetClass(x86.ClassGlue)
-	tc.em.Exit(engine.ExitIndirect)
+	tc.e.EmitIndirectExit(tc.em, engine.IsReturn(in), tc.seq())
 	if skipLbl != "" {
 		tc.em.Label(skipLbl)
 		tc.tb.Next[0], tc.tb.HasNext[0] = fall, true

@@ -216,28 +216,142 @@ func TestFuzzSMCEnginesAgree(t *testing.T) {
 				func() engine.Translator { return New(rules.BaselineRules(), OptBase) },
 				func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
 			}
+			cfgs := []struct{ chain, jc, ras bool }{
+				{false, false, false},
+				{true, false, false},
+				{true, true, true}, // SMC invalidation must purge jc/RAS entries too
+			}
 			for _, newTr := range mk {
-				for _, chain := range []bool{false, true} {
+				for _, cfg := range cfgs {
 					tr := newTr()
 					e := engine.New(tr, kernel.RAMSize)
-					e.EnableChaining(chain)
+					e.EnableChaining(cfg.chain)
+					e.EnableJumpCache(cfg.jc)
+					e.EnableRAS(cfg.ras)
 					if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 						t.Fatal(err)
 					}
 					code, err := e.Run(3_000_000)
 					if err != nil {
-						t.Fatalf("seed %d on %s (chain=%v): %v", seed, tr.Name(), chain, err)
+						t.Fatalf("seed %d on %s (%+v): %v", seed, tr.Name(), cfg, err)
 					}
 					got := e.Bus.UART().Output()
 					if code != wantCode || got != wantOut {
-						t.Errorf("seed %d: %s (chain=%v) diverged\n got  %q\n want %q\nprogram:\n%s",
-							seed, tr.Name(), chain, got, wantOut, body)
+						t.Errorf("seed %d: %s (%+v) diverged\n got  %q\n want %q\nprogram:\n%s",
+							seed, tr.Name(), cfg, got, wantOut, body)
 					}
 					if e.Stats.PageInvalidations == 0 {
-						t.Errorf("seed %d: %s (chain=%v) never invalidated a page", seed, tr.Name(), chain)
+						t.Errorf("seed %d: %s (%+v) never invalidated a page", seed, tr.Name(), cfg)
 					}
 					if e.Flushes() != 0 {
-						t.Errorf("seed %d: %s (chain=%v) took a whole-cache flush", seed, tr.Name(), chain)
+						t.Errorf("seed %d: %s (%+v) took a whole-cache flush", seed, tr.Name(), cfg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// indirectFuzzProgram generates a random indirect-branch-heavy guest: ALU
+// noise interleaved with (possibly conditional) bl calls into leaf functions
+// that return through varied idioms (bx lr, mov pc, lr, pop {pc}) and
+// computed jumps through a handler table with manually-threaded return
+// addresses — the shapes the jump cache and return-address stack serve.
+func indirectFuzzProgram(r *rand.Rand) string {
+	const leaves = 3
+	var body strings.Builder
+	nDispatch := 0
+	for i := 0; i < 25; i++ {
+		switch r.Intn(4) {
+		case 0:
+			cond := []string{"", "", "eq", "ne", "cs", "ge"}[r.Intn(6)]
+			fmt.Fprintf(&body, "\tbl%s leaf%d\n", cond, r.Intn(leaves))
+		case 1:
+			fmt.Fprintf(&body, `	and r10, r%d, #3
+	ldr r11, =ftab
+	ldr lr, =fcont%d
+	ldr pc, [r11, r10, lsl #2]
+fcont%d:
+`, r.Intn(9), nDispatch, nDispatch)
+			nDispatch++
+		default:
+			body.WriteString(randALU(r) + "\n")
+		}
+	}
+	prog := fuzzProgram(body.String())
+	var tail strings.Builder
+	rets := []string{"\tbx lr\n", "\tmov pc, lr\n", "\tpush {lr}\n\tpop {pc}\n"}
+	for i := 0; i < leaves; i++ {
+		fmt.Fprintf(&tail, "leaf%d:\n", i)
+		for j := 0; j < 2; j++ {
+			tail.WriteString(randALU(r) + "\n")
+		}
+		tail.WriteString(rets[i%len(rets)])
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&tail, "fh%d:\n\tadd r%d, r%d, #%d\n\tbx lr\n", i, r.Intn(9), r.Intn(9), r.Intn(64))
+	}
+	tail.WriteString("\t.align 4\nftab:\n")
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&tail, "\t.word fh%d\n", i)
+	}
+	return prog + tail.String()
+}
+
+// TestFuzzIndirectEnginesAgree is the indirect-branch differential fuzz:
+// randomized call/return/dispatch guests must print identical architectural
+// state under the interpreter (oracle), the TCG baseline and the rule
+// engine, with the jump cache and return-address stack off and on — with
+// the periodic timer running, so IRQ exceptions cross privilege mid-loop
+// and exercise the (PC, privilege) keying.
+func TestFuzzIndirectEnginesAgree(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(5000 + seed)))
+			body := indirectFuzzProgram(r)
+			prog, err := kernel.Build(body, kernel.Config{})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, body)
+			}
+			wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 3_000_000)
+			mk := []func() engine.Translator{
+				func() engine.Translator { return tcg.New() },
+				func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
+			}
+			cfgs := []struct{ chain, jc, ras bool }{
+				{false, false, false},
+				{true, true, false},
+				{true, true, true},
+			}
+			for _, newTr := range mk {
+				for _, cfg := range cfgs {
+					tr := newTr()
+					e := engine.New(tr, kernel.RAMSize)
+					e.EnableChaining(cfg.chain)
+					e.EnableJumpCache(cfg.jc)
+					e.EnableRAS(cfg.ras)
+					if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+						t.Fatal(err)
+					}
+					code, err := e.Run(3_000_000)
+					if err != nil {
+						t.Fatalf("seed %d on %s (%+v): %v", seed, tr.Name(), cfg, err)
+					}
+					got := e.Bus.UART().Output()
+					if code != wantCode || got != wantOut {
+						t.Errorf("seed %d: %s (%+v) diverged\n got  %q\n want %q\nprogram:\n%s",
+							seed, tr.Name(), cfg, got, wantOut, body)
+					}
+					if cfg.jc && e.Stats.JCHits == 0 {
+						t.Errorf("seed %d: %s (%+v): jump cache never hit", seed, tr.Name(), cfg)
+					}
+					if cfg.ras && e.Stats.RASHits == 0 {
+						t.Errorf("seed %d: %s (%+v): return-address stack never hit", seed, tr.Name(), cfg)
 					}
 				}
 			}

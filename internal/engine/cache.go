@@ -51,6 +51,7 @@ func (e *Engine) SetFullFlushSMC(on bool) { e.fullFlushSMC = on }
 // writable entries cannot bypass SMC detection.
 func (e *Engine) insertTB(tb *TB) {
 	e.cache[tb.key] = tb
+	e.allocHandle(tb)
 	if len(e.fifo) > 2*len(e.cache)+16 {
 		e.compactFIFO()
 	}
@@ -152,6 +153,10 @@ func (e *Engine) invalidateOnStore(pa uint32) {
 // TruncateHelpers) funnel helper release through here or FlushCache.
 func (e *Engine) retireTB(tb *TB) {
 	delete(e.cache, tb.key)
+	// Purge the jump-cache/RAS entries addressing this block before its
+	// handle is recycled — a stale entry must never outlive its target.
+	e.purgeTB(tb)
+	e.freeHandle(tb)
 	// Unpatch only the predecessors chained into this block; the rest of
 	// the chain graph is untouched.
 	for _, s := range tb.in {

@@ -104,8 +104,9 @@ func checkCacheInvariants(t *testing.T, e *Engine) {
 	if links != e.linkCount {
 		t.Fatalf("linkCount %d but %d ChainTo slots installed", e.linkCount, links)
 	}
-	if got := e.M.Helpers(); got != helpers+glues {
-		t.Fatalf("live helpers %d, want %d translation + %d glue (leak or double free)", got, helpers, glues)
+	if got := e.M.Helpers(); got != helpers+glues+e.baseHelpers {
+		t.Fatalf("live helpers %d, want %d translation + %d glue + %d engine-lifetime (leak or double free)",
+			got, helpers, glues, e.baseHelpers)
 	}
 	if e.cacheCap > 0 && len(e.cache) > e.cacheCap {
 		t.Fatalf("cache holds %d TBs over capacity %d", len(e.cache), e.cacheCap)

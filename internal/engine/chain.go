@@ -103,6 +103,9 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		// decided, so a chained run stops at the same retirement boundary an
 		// unchained run would (Run checks the budget after each retirement).
 		e.retire(from.GuestLen)
+		// A call-terminated block pushes its return address whether or not
+		// the direct jump is approved — the call happens either way.
+		e.rasPushFor(from, slot)
 		// The privilege check mirrors the dispatcher's privilege-keyed cache
 		// lookup: a mid-block mode change (MSR writing the CPSR mode bits)
 		// means the linked successor — translated under the old privilege —

@@ -35,6 +35,10 @@ type TB struct {
 	SrcPages []uint32
 	Next     [2]uint32 // direct successor guest PCs, valid per HasNext
 	HasNext  [2]bool
+	// RetPush[s] is the return address a crossing out of exit s pushes onto
+	// the return-address stack (nonzero only when the block ends in a
+	// branch-with-link); see jc.go.
+	RetPush [2]uint32
 	// ChainTo[s] is the successor TB this block's exit s has been patched to
 	// jump into directly (nil when unlinked).
 	ChainTo [2]*TB
@@ -65,6 +69,12 @@ type TB struct {
 	// in records the predecessors whose exit stubs are patched to jump into
 	// this TB, so invalidating it unpatches only those stubs.
 	in []chainSite
+	// handle is the TB's slot in the engine's handle table — the simulated
+	// host code address jump-cache entries store and jmpt jumps through.
+	handle int
+	// jcSlots lists the jump-cache slots filled with this TB, so retiring it
+	// purges exactly those entries (see jc.go).
+	jcSlots []uint32
 }
 
 type tbKey struct {
@@ -93,6 +103,10 @@ type Stats struct {
 	ChainLinks        uint64 // exit stubs patched to a successor block
 	ChainBreaks       uint64 // chained runs stopped by the glue (budget/bounds)
 	Lookups           uint64 // indirect transitions through the engine
+	JCHits            uint64 // indirect transitions served by the inline jump-cache probe
+	JCMisses          uint64 // inline probes that fell back to the dispatcher (jump cache on)
+	JCBreaks          uint64 // inline indirect jumps refused by glue (budget/bounds/re-validation)
+	RASHits           uint64 // indirect transitions served by the return-address stack
 	HelperCalls       uint64
 	IRQs              uint64
 	Exceptions        uint64
@@ -108,6 +122,17 @@ func (s *Stats) ChainRate() float64 {
 		return 0
 	}
 	return float64(s.ChainedExits) / float64(direct)
+}
+
+// JCRate is the fraction of indirect transitions served inline (jump-cache
+// or return-address-stack hit) instead of falling back to the dispatcher —
+// by a probe miss or a glue refusal.
+func (s *Stats) JCRate() float64 {
+	total := s.JCHits + s.RASHits + s.JCMisses + s.JCBreaks
+	if total == 0 {
+		return 0
+	}
+	return float64(s.JCHits+s.RASHits) / float64(total)
 }
 
 // Synthetic helper costs in host instructions, charged to ClassHelper.
@@ -160,6 +185,17 @@ type Engine struct {
 	fullFlushSMC bool // legacy whole-cache flush on SMC (baseline for exp)
 	seenKeys     map[tbKey]bool
 
+	// Indirect-branch fast-path state (see jc.go): the env-resident jump
+	// cache and return-address stack, the handle table emitted probes jump
+	// through, and the pending fill noted by a missed indirect exit.
+	jc            bool // jump cache enabled
+	ras           bool // return-address-stack prediction enabled
+	jcGlueID      int  // 1 + helper id of the jump-cache glue (0 = none)
+	rasGlueID     int  // 1 + helper id of the RAS glue
+	tbHandles     []*TB
+	freeHandles   []int
+	pendingJCFill bool // the last exit was an indirect miss: fill on resolve
+
 	// Translation-time recording: while Trans.Translate runs, FetchInst
 	// accumulates the fetched physical pages and the Register* methods the
 	// registered helper ids, so the finished TB owns both.
@@ -199,6 +235,7 @@ func New(tr Translator, ramSize uint32) *Engine {
 	m.Regs[x86.ESP] = HostStackTop
 	m.Regs[x86.EBP] = EnvBase
 	e.baseHelpers = 0
+	e.syncPrivTag()
 	return e
 }
 
@@ -231,9 +268,12 @@ func (s envState) SetCPSR(v uint32) {
 	env.SetReg(arm.LR, cpu.Reg(arm.LR))
 	env.SetFlags(arm.UnpackFlags(v))
 	if cpu.Mode().Privileged() != oldPriv {
-		// Privilege changed: cached softmmu permissions are stale.
+		// Privilege changed: cached softmmu permissions are stale. Jump-cache
+		// entries stay — they are keyed by privilege through their tags — but
+		// the probes' comparison word must follow the new mode.
 		env.FlushTLB()
 	}
+	s.e.syncPrivTag()
 }
 
 func (s envState) SPSR() uint32     { return s.e.CPU.SPSR() }
@@ -241,6 +281,7 @@ func (s envState) SetSPSR(v uint32) { s.e.CPU.SetSPSR(v) }
 
 // takeException injects a guest exception (engine-side QEMU role).
 func (e *Engine) takeException(vec arm.Vector, retAddr uint32) {
+	e.pendingJCFill = false // the vector lookup is not the missed target
 	e.Stats.Exceptions++
 	e.M.Charge(x86.ClassHelper, CostExcEntry)
 	st := envState{e}
@@ -303,6 +344,10 @@ func (e *Engine) FlushCache() {
 	e.invalidCount++
 	e.linkCount = 0
 	e.lastTB = nil
+	e.tbHandles = nil
+	e.freeHandles = nil
+	e.pendingJCFill = false
+	e.flushJC()
 	e.M.TruncateHelpers(e.baseHelpers)
 }
 
@@ -326,6 +371,7 @@ func (e *Engine) Reset() {
 	e.FlushCache()
 	e.nextPC = 0
 	e.wasUser = false
+	e.syncPrivTag()
 }
 
 // Run executes until guest power-off or the retirement budget is exhausted.
@@ -378,6 +424,12 @@ func (e *Engine) step() error {
 			return fmt.Errorf("translate pc=%#08x: %w", pc, err)
 		}
 	}
+	// An indirect exit missed the jump cache last step: fill the entry with
+	// the block the lookup resolved, so the next probe hits inline.
+	if e.pendingJCFill {
+		e.pendingJCFill = false
+		e.jcFill(pc, tb)
+	}
 	// A direct exit dispatched here last step resolves to this block: patch
 	// the predecessor's exit stub to jump straight to it next time.
 	if e.lastTB != nil {
@@ -402,9 +454,17 @@ func (e *Engine) step() error {
 		e.Stats.ChainHits++
 		e.retire(tb.GuestLen)
 		e.nextPC = tb.Next[code]
+		e.rasPushFor(tb, int(code))
 		e.noteDirectExit(tb, int(code))
 	case ExitIndirect:
+		// The engine-side target resolution is QEMU's lookup helper: charge
+		// its synthetic cost so the inline fast path's saving is measurable.
 		e.Stats.Lookups++
+		e.M.Charge(x86.ClassHelper, CostIndirectLookup)
+		if e.jc {
+			e.Stats.JCMisses++
+			e.pendingJCFill = true
+		}
 		e.retire(tb.GuestLen)
 		e.nextPC = e.Env.ExitPC()
 	case ExitIRQ:
@@ -731,13 +791,16 @@ func (e *Engine) execCP15(in *arm.Inst) {
 		case in.CRn == 8: // TLB maintenance
 			cpu.CP15.TLBFlushes++
 			env.FlushTLB()
-			// Chained jumps bake in successor translations; re-resolve them
-			// through the dispatcher under the new mapping.
+			// Chained jumps and jump-cache entries bake in successor
+			// translations keyed by virtual PC; re-resolve them through the
+			// dispatcher under the new mapping.
 			e.unlinkChains()
+			e.flushJC()
 		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
 			*sel = v
 			env.FlushTLB() // translation regime changed
 			e.unlinkChains()
+			e.flushJC()
 		case sel != nil:
 			*sel = v
 		}

@@ -1,10 +1,12 @@
 // Package engine implements the QEMU-like system-emulation engine that both
 // binary translators (the TCG-like baseline and the rule-based translator)
 // plug into: the in-host-memory guest CPUState (env), the translation-block
-// code cache with block chaining, the execution loop with interrupt
-// delivery, the softmmu TLB shared by the inline fast path and the Go slow
-// path, and the helper-function mechanism whose context switches are the
-// subject of the paper's coordination optimizations.
+// code cache with block chaining, page-granular invalidation and the inline
+// indirect-branch fast path (jump cache + return-address stack), the
+// execution loop with interrupt delivery, the softmmu TLB shared by the
+// inline fast path and the Go slow path, and the helper-function mechanism
+// whose context switches are the subject of the paper's coordination
+// optimizations.
 package engine
 
 import (
@@ -19,6 +21,8 @@ const (
 	EnvBase      = 0x00001000 // CPUState
 	HostStackTop = 0x00008000 // host stack for push/pop/pushf
 	TLBBase      = 0x00010000 // softmmu TLB: mmu.TLBSize entries x 16 bytes
+	JCBase       = 0x00020000 // TB jump cache: JCSize entries x 8 bytes (jc.go)
+	RASBase      = 0x00022000 // return-address stack: RASSize entries x 8 bytes
 	GuestWin     = 0x00100000 // guest physical RAM window base
 )
 
@@ -26,19 +30,21 @@ const (
 // QEMU's "one-to-many" condition-code representation; the packed slot plus
 // form/polarity tags implement the paper's §III-B reduced coordination.
 const (
-	offRegs   = 0x00 // r0..r15, 4 bytes each
-	OffCF     = 0x40 // guest C (ARM polarity), parsed form
-	OffZF     = 0x44 // guest Z
-	OffNF     = 0x48 // guest N
-	OffVF     = 0x4C // guest V
-	OffCCPack = 0x50 // packed host-EFLAGS snapshot (always direct carry polarity)
-	OffCCForm = 0x58 // which form is current: FormParsed or FormPacked
-	OffIRQ    = 0x5C // nonzero when an enabled IRQ is pending and unmasked
-	OffExitPC = 0x60 // guest PC written by indirect-branch exits
-	OffTmp0   = 0x64 // scratch spill slots for translators
-	OffTmp1   = 0x68
-	OffTmp2   = 0x6C
-	EnvSize   = 0x80
+	offRegs    = 0x00 // r0..r15, 4 bytes each
+	OffCF      = 0x40 // guest C (ARM polarity), parsed form
+	OffZF      = 0x44 // guest Z
+	OffNF      = 0x48 // guest N
+	OffVF      = 0x4C // guest V
+	OffCCPack  = 0x50 // packed host-EFLAGS snapshot (always direct carry polarity)
+	OffCCForm  = 0x58 // which form is current: FormParsed or FormPacked
+	OffIRQ     = 0x5C // nonzero when an enabled IRQ is pending and unmasked
+	OffExitPC  = 0x60 // guest PC written by indirect-branch exits
+	OffTmp0    = 0x64 // scratch spill slots for translators
+	OffTmp1    = 0x68
+	OffTmp2    = 0x6C
+	OffRASTop  = 0x70 // return-address-stack top, pre-scaled to a byte offset
+	OffPrivTag = 0x74 // current privilege as a jump-cache tag bit: (priv<<1)|1
+	EnvSize    = 0x80
 )
 
 // OffReg returns the env offset of guest register r.

@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/mmu"
+	"sldbt/internal/x86"
+)
+
+// IsReturn reports whether an indirect-branch instruction is return-like —
+// the shapes the return-address stack predicts: `bx lr`, `mov pc, lr`, and
+// stack pops into PC (`ldr pc, [sp...]`, `ldm sp!, {..., pc}`). Used by both
+// translators to decide whether an indirect-exit epilogue probes the RAS.
+// A wrong guess costs only the probe: entries are tag-checked hints.
+func IsReturn(in *arm.Inst) bool {
+	switch in.Kind {
+	case arm.KindBX:
+		return in.Rm == arm.LR
+	case arm.KindDataProc:
+		return in.Op == arm.OpMOV && in.Rd == arm.PC && !in.ImmValid &&
+			!in.ShiftReg && in.ShiftAmt == 0 && in.Rm == arm.LR
+	case arm.KindMem:
+		return in.Load && in.Rd == arm.PC && in.Rn == arm.SP
+	case arm.KindBlock:
+		return in.Load && in.RegList&(1<<arm.PC) != 0 && in.Rn == arm.SP
+	}
+	return false
+}
+
+// The inline indirect-branch fast path: a TB jump cache plus a small
+// return-address stack, both resident in env memory and probed by emitted
+// code, so hot indirect transitions (function returns, computed jumps) stay
+// inside the code cache instead of exiting to the Go dispatcher.
+//
+//   - The jump cache is a direct-mapped guest-PC -> host-block table at
+//     JCBase (QEMU's env->tb_jmp_cache probed by lookup_tb_ptr/goto_ptr).
+//     Every indirect-exit epilogue emits a probe: index the table by the
+//     target PC, compare the tag, and on a hit jump through the stored block
+//     handle with a `jmpt` instruction. A Go-side glue runs at each crossing
+//     to keep the dispatcher's invariants (retire, budget, bounded runs) and
+//     to re-validate the entry (PC and privilege) before approving the jump.
+//   - A miss exits with ExitIndirect as before; the dispatcher resolves the
+//     target (charging the synthetic lookup cost) and fills the entry it
+//     missed on, so the next visit hits inline.
+//   - The return-address stack predicts `bl`/`bx lr` pairs: every direct
+//     crossing out of a bl-terminated block pushes the return address (and
+//     the return-site block, if already translated); return-like epilogues
+//     probe the RAS top before the jump cache. A push whose return site is
+//     not yet translated still advances the stack (with an invalid tag) so
+//     the stack stays aligned with the call depth.
+//
+// Entries are keyed by (PC, privilege): the tag carries the privilege the
+// entry was filled under, and the probe compares against the current
+// privilege (the env OffPrivTag word), so user and kernel entries coexist
+// and mode switches invalidate nothing. Entries are nevertheless only ever
+// hints — the glue re-validates the resolved TB against the target PC and
+// the current privilege before approving a jump — and coherence is
+// maintained eagerly anyway: every TB retirement path (page invalidation,
+// eviction, whole-cache flush) purges the entries addressing the retired
+// block, and translation-regime changes purge both structures outright, so
+// a stale entry never survives long enough to be probed (the coherence
+// tests assert exactly this).
+
+// Jump-cache geometry: JCSize direct-mapped entries of 8 bytes at JCBase.
+// word0: tag (target guest PC | privilege<<1 | 1), 0 = invalid — guest PCs
+//
+//	are word-aligned, so bit 1 carries the privilege half of the
+//	(PC, privilege) key and bit 0 the valid flag. The emitted probe
+//	builds its comparison tag by OR-ing the target PC with the
+//	env-resident OffPrivTag word the engine maintains on every mode
+//	change, so user and kernel entries coexist and a privilege switch
+//	invalidates nothing (mirroring the chain layer, whose links are
+//	privilege-consistent by construction).
+//
+// word1: block handle + 1 (index into the engine's handle table), 0 = none
+const (
+	JCBits      = 10
+	JCSize      = 1 << JCBits
+	jcEntrySize = 8
+)
+
+// privTagBits returns the tag low bits for a privilege: valid bit plus the
+// privilege key bit.
+func privTagBits(priv bool) uint32 {
+	if priv {
+		return 3
+	}
+	return 1
+}
+
+// syncPrivTag refreshes the env privilege-tag word the emitted probes OR
+// into their comparison tags. Called wherever the guest's privilege can
+// change (CPSR writes cover exceptions, returns and MSR) and at reset.
+func (e *Engine) syncPrivTag() {
+	e.Env.write(OffPrivTag, privTagBits(e.CPU.Mode().Privileged()))
+}
+
+// Return-address-stack geometry: RASSize circular entries of 8 bytes at
+// RASBase, same entry layout as the jump cache. env.OffRASTop holds the top
+// entry's byte offset (pre-scaled, so the emitted probe indexes directly).
+const (
+	RASBits      = 4
+	RASSize      = 1 << RASBits
+	rasEntrySize = 8
+	rasTopMask   = (RASSize - 1) * rasEntrySize
+)
+
+// CostIndirectLookup is the synthetic cost of one dispatcher-side indirect
+// target resolution (QEMU's helper_lookup_tb_ptr: hash, map probe, compare),
+// charged to ClassHelper whenever an indirect transition leaves translated
+// code. The inline jump-cache hit path replaces it with the emitted probe.
+const CostIndirectLookup = 20
+
+// costRASPush is the synthetic cost of the inline return-address push a real
+// implementation would emit at each bl exit (load top, advance, store tag
+// and target), charged to ClassGlue per call crossing while the RAS is on.
+const costRASPush = 4
+
+// jcIndex returns the jump-cache slot for a guest PC: the word index with
+// the page-level bits folded in (QEMU's tb_jmp_cache hash), so PCs one page
+// apart — different functions — do not collide in the direct-mapped table.
+func jcIndex(pc uint32) uint32 { return ((pc ^ (pc >> JCBits)) >> 2) & (JCSize - 1) }
+
+// jcEntryAddr returns the host address of the jump-cache entry for pc.
+func jcEntryAddr(pc uint32) uint32 { return JCBase + jcIndex(pc)*jcEntrySize }
+
+// EnableJumpCache switches the inline indirect-branch fast path on or off.
+// Toggling flushes the code cache: blocks must be re-emitted with (or
+// without) the probe epilogues.
+func (e *Engine) EnableJumpCache(on bool) {
+	if on == e.jc {
+		return
+	}
+	if len(e.cache) > 0 {
+		e.FlushCache()
+	}
+	e.jc = on
+	if !on {
+		// The RAS layers on the jump cache (its probe is only emitted inside
+		// the jc epilogue): disabling one disables both.
+		e.ras = false
+	}
+	if on && e.jcGlueID == 0 {
+		// The glue helpers are engine-lifetime (every translated probe
+		// references them), registered below baseHelpers so whole-cache
+		// flushes keep them. Truncate first: with the cache empty no TB owns
+		// a helper, and a leftover free list would otherwise hand the glues
+		// recycled ids above the new baseHelpers, which the next flush would
+		// release out from under the emitted probes.
+		e.M.TruncateHelpers(e.baseHelpers)
+		e.jcGlueID = e.M.RegisterHelper(e.indirectGlue(&e.Stats.JCHits)) + 1
+		e.rasGlueID = e.M.RegisterHelper(e.indirectGlue(&e.Stats.RASHits)) + 1
+		e.baseHelpers += 2
+	}
+	e.flushJC()
+}
+
+// JumpCacheEnabled reports whether the inline fast path is active.
+func (e *Engine) JumpCacheEnabled() bool { return e.jc }
+
+// EnableRAS switches return-address-stack prediction on or off. The RAS
+// layers on the jump cache (its hit path uses the same handle dispatch), so
+// enabling it enables the jump cache too.
+func (e *Engine) EnableRAS(on bool) {
+	if on {
+		e.EnableJumpCache(true)
+	}
+	if on == e.ras {
+		return
+	}
+	if len(e.cache) > 0 {
+		e.FlushCache()
+	}
+	e.ras = on
+	e.flushJC()
+}
+
+// RASEnabled reports whether return-address-stack prediction is active.
+func (e *Engine) RASEnabled() bool { return e.ras }
+
+// EmitIndirectExit emits the indirect-branch epilogue for a block whose
+// target guest PC has been stored to env.ExitPC. With the jump cache off it
+// is the plain ExitIndirect of old; with it on it emits the inline probe
+// (and, for return-like exits with the RAS on, the return-stack probe
+// first), falling back to ExitIndirect on a miss. Clobbers ECX/EDX and host
+// flags — callers have already coordinated flag state, as they must for any
+// block exit. Everything is charged to ClassGlue.
+func (e *Engine) EmitIndirectExit(em *x86.Emitter, isReturn bool, seq int) {
+	prev := em.SetClass(x86.ClassGlue)
+	defer em.SetClass(prev)
+	if !e.jc {
+		em.Exit(ExitIndirect)
+		return
+	}
+	if e.ras && isReturn {
+		// Return-address-stack probe: compare the top entry's tag against
+		// the target PC; on a hit pop the entry and jump through its handle.
+		rasMiss := fmt.Sprintf("rasmiss_%d", seq)
+		em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, OffRASTop))
+		em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffExitPC))
+		em.Op2(x86.OR, x86.R(x86.EDX), x86.M(x86.EBP, OffPrivTag))
+		em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RASBase))
+		em.Jcc(x86.CcNE, rasMiss)
+		em.Mov(x86.R(x86.EDX), x86.M(x86.ECX, RASBase+4)) // handle (1-biased)
+		em.Op2(x86.SUB, x86.R(x86.ECX), x86.I(rasEntrySize))
+		em.Op2(x86.AND, x86.R(x86.ECX), x86.I(rasTopMask))
+		em.Mov(x86.M(x86.EBP, OffRASTop), x86.R(x86.ECX))
+		em.Mov(x86.R(x86.ECX), x86.R(x86.EDX))
+		em.Raw(x86.Inst{Op: x86.JMPT, Dst: x86.R(x86.ECX), Helper: e.rasGlueID - 1})
+		em.Label(rasMiss)
+	}
+	// Jump-cache probe: hash the target PC to a slot, build the comparison
+	// tag (PC | privilege bits from env) and compare; on a hit jump through
+	// the stored handle. A matching tag implies a filled handle (entries are
+	// written whole and purged whole).
+	miss := fmt.Sprintf("jcmiss_%d", seq)
+	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffExitPC))
+	em.Mov(x86.R(x86.ECX), x86.R(x86.EDX))
+	em.Op2(x86.SHR, x86.R(x86.ECX), x86.I(JCBits))
+	em.Op2(x86.XOR, x86.R(x86.ECX), x86.R(x86.EDX))
+	em.Op2(x86.SHR, x86.R(x86.ECX), x86.I(2))
+	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(JCSize-1))
+	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(3))
+	em.Op2(x86.OR, x86.R(x86.EDX), x86.M(x86.EBP, OffPrivTag))
+	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, JCBase))
+	em.Jcc(x86.CcNE, miss)
+	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, JCBase+4))
+	em.Raw(x86.Inst{Op: x86.JMPT, Dst: x86.R(x86.ECX), Helper: e.jcGlueID - 1})
+	em.Label(miss)
+	em.Exit(ExitIndirect)
+}
+
+// indirectGlue builds the Go-side glue run when an inline fast-path jump
+// executes (jump-cache and RAS hits share it; only the hit counter differs).
+// It performs the transition bookkeeping the dispatcher used to do,
+// re-validates the probed entry against the resolved TB, and either stages
+// the target block for the jmpt or completes the transition itself and
+// returns to the dispatcher (ExitChainBreak), exactly like the chain glue.
+func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
+	return func(m *x86.Machine) int {
+		from := e.curTB
+		e.retire(from.GuestLen)
+		pc := e.Env.ExitPC()
+		var to *TB
+		if h := int(m.Regs[x86.ECX]); h >= 1 && h <= len(e.tbHandles) {
+			to = e.tbHandles[h-1]
+		}
+		// The entry is a hint: the jump is taken only if the handle resolves
+		// to a live TB for exactly this (PC, privilege) — the dispatcher's
+		// lookup key — and the run bounds the chain glue enforces still hold.
+		if to == nil || to.PC != pc || to.key.priv != e.CPU.Mode().Privileged() ||
+			e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun {
+			e.nextPC = pc
+			e.Stats.JCBreaks++
+			return ExitChainBreak
+		}
+		e.chainSteps++
+		*hits++
+		e.Stats.TBEntries++
+		e.curTB, e.curPC = to, pc
+		m.SetNextBlock(to.Block)
+		return -1
+	}
+}
+
+// --- handle table -------------------------------------------------------
+
+// allocHandle assigns tb a slot in the handle table — the simulated "host
+// code address" emitted probes jump through. Recycled like helper ids.
+func (e *Engine) allocHandle(tb *TB) {
+	if n := len(e.freeHandles); n > 0 {
+		tb.handle = e.freeHandles[n-1]
+		e.freeHandles = e.freeHandles[:n-1]
+		e.tbHandles[tb.handle] = tb
+		return
+	}
+	tb.handle = len(e.tbHandles)
+	e.tbHandles = append(e.tbHandles, tb)
+}
+
+// freeHandle releases tb's handle-table slot.
+func (e *Engine) freeHandle(tb *TB) {
+	if tb.handle >= 0 && tb.handle < len(e.tbHandles) && e.tbHandles[tb.handle] == tb {
+		e.tbHandles[tb.handle] = nil
+		e.freeHandles = append(e.freeHandles, tb.handle)
+	}
+	tb.handle = -1
+}
+
+// --- fill and purge -----------------------------------------------------
+
+// jcFill installs (pc -> tb) in the jump cache after the dispatcher resolved
+// a missed indirect transition, and records the slot on the TB so retiring
+// it can purge exactly the entries that address it.
+func (e *Engine) jcFill(pc uint32, tb *TB) {
+	idx := jcIndex(pc)
+	base := JCBase + idx*jcEntrySize
+	e.M.Write32(base, pc|privTagBits(tb.key.priv))
+	e.M.Write32(base+4, uint32(tb.handle+1))
+	for _, s := range tb.jcSlots {
+		if s == idx {
+			return
+		}
+	}
+	tb.jcSlots = append(tb.jcSlots, idx)
+}
+
+// purgeTB removes every jump-cache and RAS entry addressing tb, called on
+// every TB retirement path (page invalidation, eviction, flush funnels
+// through FlushCache's wholesale purge instead).
+func (e *Engine) purgeTB(tb *TB) {
+	for _, idx := range tb.jcSlots {
+		base := JCBase + idx*jcEntrySize
+		if e.M.Read32(base+4) == uint32(tb.handle+1) {
+			e.M.Write32(base, 0)
+			e.M.Write32(base+4, 0)
+		}
+	}
+	tb.jcSlots = nil
+	if e.ras {
+		for i := uint32(0); i < RASSize; i++ {
+			base := RASBase + i*rasEntrySize
+			if e.M.Read32(base+4) == uint32(tb.handle+1) {
+				e.M.Write32(base, 0)
+				e.M.Write32(base+4, 0)
+			}
+		}
+	}
+}
+
+// flushJC invalidates every jump-cache and RAS entry. Called when all
+// entries could be stale at once: whole-cache flush, fast-path toggles, and
+// translation-regime changes (the table is keyed by virtual PC, so a new
+// mapping strands every entry). Privilege changes purge nothing: the
+// privilege lives in the entry tags, so entries of the other privilege
+// simply stop matching.
+func (e *Engine) flushJC() {
+	for i := uint32(0); i < JCSize; i++ {
+		base := JCBase + i*jcEntrySize
+		e.M.Write32(base, 0)
+		e.M.Write32(base+4, 0)
+	}
+	for i := uint32(0); i < RASSize; i++ {
+		base := RASBase + i*rasEntrySize
+		e.M.Write32(base, 0)
+		e.M.Write32(base+4, 0)
+	}
+	e.Env.write(OffRASTop, 0)
+}
+
+// --- return-address-stack push ------------------------------------------
+
+// rasPushFor pushes the return address recorded on a call-terminated block's
+// exit slot, at every crossing out of that slot (dispatcher-handled or glue-
+// approved) — the engine-side stand-in for the inline push the call's
+// epilogue would contain, charged accordingly.
+func (e *Engine) rasPushFor(tb *TB, slot int) {
+	if !e.ras {
+		return
+	}
+	ret := tb.RetPush[slot]
+	if ret == 0 {
+		return
+	}
+	top := (e.Env.read(OffRASTop) + rasEntrySize) & rasTopMask
+	e.Env.write(OffRASTop, top)
+	var tag, handle uint32
+	// Resolve the return-site block if it is already translated (a real
+	// implementation pushes the translated return address patched in at
+	// translation time). An unresolved push still advances the stack with an
+	// invalid tag, keeping it aligned with the call depth.
+	priv := e.CPU.Mode().Privileged()
+	if pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, ret, mmu.Fetch, !priv); fault == nil {
+		if to := e.cache[tbKey{pa: pa, priv: priv}]; to != nil {
+			tag, handle = ret|privTagBits(priv), uint32(to.handle+1)
+		}
+	}
+	e.M.Write32(RASBase+top, tag)
+	e.M.Write32(RASBase+top+4, handle)
+	e.M.Charge(x86.ClassGlue, costRASPush)
+}

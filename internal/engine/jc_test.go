@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/x86"
+)
+
+// indirectStubTrans translates any pc into a block that exits indirectly to
+// a target computed by hop, going through the full emitted probe epilogue
+// (EmitIndirectExit). Blocks span one guest instruction.
+type indirectStubTrans struct {
+	hop func(pc uint32) uint32
+	seq *int
+}
+
+func (indirectStubTrans) Name() string { return "indirect-stub" }
+
+func (s indirectStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	*s.seq++
+	em := x86.NewEmitter()
+	em.Mov(x86.R(x86.EAX), x86.I(s.hop(pc)))
+	em.Mov(x86.M(x86.EBP, OffExitPC), x86.R(x86.EAX))
+	e.EmitIndirectExit(em, false, *s.seq)
+	return &TB{Block: em.Finish(pc, 1), PC: pc, GuestLen: 1}, nil
+}
+
+// callRetStub models a bl / bx lr pair across three blocks:
+//
+//	caller  — direct slot-1 exit to callee, pushing retSite (a call)
+//	callee  — return-like indirect exit to retSite
+//	retSite — direct slot-0 exit back to caller (the loop)
+type callRetStub struct {
+	caller, callee, retSite uint32
+	seq                     *int
+}
+
+func (callRetStub) Name() string { return "callret-stub" }
+
+func (s callRetStub) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	*s.seq++
+	em := x86.NewEmitter()
+	tb := &TB{PC: pc, GuestLen: 1}
+	switch pc {
+	case s.caller:
+		em.SetClass(x86.ClassGlue)
+		em.ExitChainable(ExitNext1)
+		tb.Next[1], tb.HasNext[1] = s.callee, true
+		tb.RetPush[1] = s.retSite
+	case s.callee:
+		em.Mov(x86.R(x86.EAX), x86.I(s.retSite))
+		em.Mov(x86.M(x86.EBP, OffExitPC), x86.R(x86.EAX))
+		e.EmitIndirectExit(em, true, *s.seq)
+	default: // retSite
+		em.SetClass(x86.ClassGlue)
+		em.ExitChainable(ExitNext0)
+		tb.Next[0], tb.HasNext[0] = s.caller, true
+	}
+	tb.Block = em.Finish(pc, 1)
+	return tb, nil
+}
+
+func newJCEngine(t *testing.T, tr Translator, ras bool) *Engine {
+	t.Helper()
+	e := New(tr, 1<<20)
+	e.EnableJumpCache(true)
+	e.EnableRAS(ras)
+	e.runLimit = 1 << 40
+	return e
+}
+
+// checkJCInvariants asserts that no stale fast-path entry exists: every
+// valid jump-cache entry resolves through the handle table to a live cached
+// TB whose (PC, privilege) matches the tag, and every valid RAS entry
+// resolves to a live TB. This is the "no stale entry survives" property the
+// retirement paths must maintain.
+func checkJCInvariants(t *testing.T, e *Engine) {
+	t.Helper()
+	for i := uint32(0); i < JCSize; i++ {
+		base := JCBase + i*jcEntrySize
+		tag, h := e.M.Read32(base), e.M.Read32(base+4)
+		if tag == 0 {
+			if h != 0 {
+				t.Fatalf("jc slot %d: handle %d with invalid tag", i, h)
+			}
+			continue
+		}
+		if h == 0 || int(h) > len(e.tbHandles) {
+			t.Fatalf("jc slot %d (tag %#x): dangling handle %d", i, tag, h)
+		}
+		tb := e.tbHandles[h-1]
+		if tb == nil {
+			t.Fatalf("jc slot %d (tag %#x): handle %d was freed", i, tag, h)
+		}
+		if e.cache[tb.key] != tb {
+			t.Fatalf("jc slot %d (tag %#x): stale entry for retired TB %#x", i, tag, tb.PC)
+		}
+		if want := tb.PC | privTagBits(tb.key.priv); tag != want {
+			t.Fatalf("jc slot %d: tag %#x does not match TB %#x (want %#x)", i, tag, tb.PC, want)
+		}
+	}
+	for i := uint32(0); i < RASSize; i++ {
+		base := RASBase + i*rasEntrySize
+		tag, h := e.M.Read32(base), e.M.Read32(base+4)
+		if tag == 0 {
+			continue
+		}
+		if h == 0 || int(h) > len(e.tbHandles) {
+			t.Fatalf("ras slot %d (tag %#x): dangling handle %d", i, tag, h)
+		}
+		tb := e.tbHandles[h-1]
+		if tb == nil || e.cache[tb.key] != tb {
+			t.Fatalf("ras slot %d (tag %#x): stale entry", i, tag)
+		}
+	}
+}
+
+// jcTag reads the jump-cache tag word for a guest pc.
+func jcTag(e *Engine, pc uint32) uint32 {
+	return e.M.Read32(JCBase + jcIndex(pc)*jcEntrySize)
+}
+
+// TestJCFillAndInlineHit: the first visit to an indirect target misses and
+// fills; subsequent visits are served by the emitted probe without entering
+// the dispatcher's lookup path.
+func TestJCFillAndInlineHit(t *testing.T) {
+	seq := 0
+	// Three blocks in a ring: 0 -> 0x1000 -> 0x2000 -> 0.
+	e := newJCEngine(t, indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x3000 }, seq: &seq}, false)
+	for i := 0; i < 30; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.JCMisses != 3 {
+		t.Errorf("misses = %d, want 3 (one first-touch miss per ring member)", e.Stats.JCMisses)
+	}
+	if e.Stats.JCHits == 0 {
+		t.Error("no inline hits on a hot indirect ring")
+	}
+	if e.Stats.Lookups != e.Stats.JCMisses {
+		t.Errorf("lookups %d != misses %d: a hit still reached the dispatcher lookup",
+			e.Stats.Lookups, e.Stats.JCMisses)
+	}
+	for _, pc := range []uint32{0, 0x1000, 0x2000} {
+		if jcTag(e, pc) != pc|privTagBits(true) {
+			t.Errorf("pc %#x not resident in the jump cache after warmup", pc)
+		}
+	}
+	checkJCInvariants(t, e)
+}
+
+// TestJCCoherenceAcrossRetirementPaths: page invalidation, FIFO eviction and
+// the whole-cache flush must each purge the retired blocks' jump-cache
+// entries — a probe after the purge must miss, never jump stale.
+func TestJCCoherenceAcrossRetirementPaths(t *testing.T) {
+	seq := 0
+	e := newJCEngine(t, indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x3000 }, seq: &seq}, false)
+	for i := 0; i < 12; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Page invalidation retires the block on page 1; its entry must go.
+	if n := e.InvalidatePage(1); n != 1 {
+		t.Fatalf("InvalidatePage(1) retired %d TBs, want 1", n)
+	}
+	if jcTag(e, 0x1000) != 0 {
+		t.Error("page invalidation left a stale jump-cache entry")
+	}
+	if jcTag(e, 0x2000) == 0 {
+		t.Error("page invalidation purged an unrelated entry")
+	}
+	checkJCInvariants(t, e)
+
+	// Eviction: bound the cache below its population; evicted blocks' entries
+	// must go with them.
+	e.SetCacheCapacity(1)
+	checkJCInvariants(t, e)
+	live := 0
+	for _, pc := range []uint32{0, 0x2000} {
+		if jcTag(e, pc) != 0 {
+			live++
+		}
+	}
+	if live > 1 {
+		t.Errorf("%d entries survive a cache capped at 1 TB", live)
+	}
+
+	// Execution straight through the purged entries stays correct.
+	e.SetCacheCapacity(0)
+	for i := 0; i < 12; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkJCInvariants(t, e)
+
+	// Whole-cache flush: everything goes.
+	e.FlushCache()
+	for i := uint32(0); i < JCSize; i++ {
+		if tag := e.M.Read32(JCBase + i*jcEntrySize); tag != 0 {
+			t.Fatalf("flush left jump-cache slot %d tagged %#x", i, tag)
+		}
+	}
+	checkJCInvariants(t, e)
+}
+
+// TestJCRegimeChangePurges: TLB maintenance and TTBR/SCTLR writes re-map
+// virtual addresses, so the VA-keyed jump cache must be purged through the
+// same hook that unlinks chains.
+func TestJCRegimeChangePurges(t *testing.T) {
+	seq := 0
+	e := newJCEngine(t, indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x3000 }, seq: &seq}, false)
+	for i := 0; i < 9; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jcTag(e, 0x1000) == 0 {
+		t.Fatal("warmup did not populate the jump cache")
+	}
+	// TLB maintenance (mcr p15, c8): the regime-change path.
+	in := arm.Inst{Kind: arm.KindCP15, ToCoproc: true, CRn: 8}
+	e.execCP15(&in)
+	for _, pc := range []uint32{0, 0x1000, 0x2000} {
+		if jcTag(e, pc) != 0 {
+			t.Errorf("regime change left entry for %#x", pc)
+		}
+	}
+	checkJCInvariants(t, e)
+}
+
+// TestJCPrivilegeKeying: entries filled under one privilege must stop
+// matching after a mode switch (the privilege is part of the tag), without
+// being purged — switching back revives them.
+func TestJCPrivilegeKeying(t *testing.T) {
+	seq := 0
+	e := newJCEngine(t, indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x3000 }, seq: &seq}, false)
+	for i := 0; i < 9; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := e.Stats.JCHits
+	if hits == 0 || jcTag(e, 0x1000) == 0 {
+		t.Fatal("warmup did not populate the jump cache")
+	}
+	// Drop to user mode: entries stay resident, but the probe's comparison
+	// tag (OffPrivTag) no longer matches them.
+	st := envState{e}
+	st.SetCPSR(st.CPSR()&^uint32(0x1F) | uint32(arm.ModeUSR))
+	if jcTag(e, 0x1000) == 0 {
+		t.Error("privilege switch purged a keyed entry")
+	}
+	if got := e.Env.read(OffPrivTag); got != privTagBits(false) {
+		t.Errorf("priv tag word = %#x after drop to user, want %#x", got, privTagBits(false))
+	}
+	// The very next probe targets a PC whose resident entry carries the
+	// privileged tag: it must MISS (no cross-privilege hit), resolve through
+	// the dispatcher as a fresh (pa, user) translation, and refill.
+	missesBefore := e.Stats.JCMisses
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.JCHits != hits {
+		t.Error("a privileged entry served a user-mode probe")
+	}
+	if e.Stats.JCMisses != missesBefore+1 {
+		t.Errorf("user-mode probe against a privileged entry: misses %d -> %d, want one miss",
+			missesBefore, e.Stats.JCMisses)
+	}
+	// Steady user-mode execution builds its own hitting entries.
+	for i := 0; i < 9; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.JCHits <= hits {
+		t.Error("no inline hits after the user-mode entries were filled")
+	}
+	checkJCInvariants(t, e)
+}
+
+// TestRASPredictsCallReturn: the caller's crossing pushes the return
+// address; once the return site is translated, the callee's return-like
+// exit is served by the return-address stack — with the direct legs both
+// dispatcher-driven and chained.
+func TestRASPredictsCallReturn(t *testing.T) {
+	for _, chain := range []bool{false, true} {
+		seq := 0
+		s := callRetStub{caller: 0, callee: 0x1000, retSite: 0x2000, seq: &seq}
+		e := newJCEngine(t, s, true)
+		e.EnableChaining(chain)
+		for i := 0; i < 60; i++ {
+			if err := e.step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if e.Stats.RASHits == 0 {
+			t.Errorf("chain=%v: return-address stack never hit", chain)
+		}
+		if e.Stats.JCMisses > 4 {
+			t.Errorf("chain=%v: %d dispatcher misses on a steady call/return loop", chain, e.Stats.JCMisses)
+		}
+		checkJCInvariants(t, e)
+		// Retiring the return site must purge the RAS entries predicting it.
+		if n := e.InvalidatePage(s.retSite >> PageBits); n != 1 {
+			t.Fatalf("chain=%v: InvalidatePage retired %d TBs, want 1", chain, n)
+		}
+		for i := uint32(0); i < RASSize; i++ {
+			base := RASBase + i*rasEntrySize
+			if tag := e.M.Read32(base); tag&^3 == s.retSite && tag != 0 {
+				t.Errorf("chain=%v: stale RAS entry for the retired return site", chain)
+			}
+		}
+		checkJCInvariants(t, e)
+	}
+}
+
+// TestJCInvariantUnderRandomOps is the fast-path property test: arbitrary
+// execute / invalidate / evict / re-cap / flush / regime-change sequences
+// must never leave a stale jump-cache or RAS entry (every valid entry keeps
+// resolving to a live, matching TB).
+func TestJCInvariantUnderRandomOps(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	seq := 0
+	e := newJCEngine(t, indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x8000 }, seq: &seq}, false)
+	// Deterministic warmup around the ring so fills and inline hits happen
+	// even under the shortened -short walk.
+	for i := 0; i < 24; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := 400
+	if testing.Short() {
+		steps = 120
+	}
+	for i := 0; i < steps; i++ {
+		switch op := r.Intn(12); {
+		case op < 7:
+			if err := e.step(); err != nil {
+				t.Fatal(err)
+			}
+		case op < 9:
+			e.InvalidatePage(uint32(r.Intn(9)))
+		case op < 10:
+			caps := []int{0, 2, 3, 5}
+			e.SetCacheCapacity(caps[r.Intn(len(caps))])
+		case op < 11:
+			in := arm.Inst{Kind: arm.KindCP15, ToCoproc: true, CRn: 8}
+			e.execCP15(&in)
+		default:
+			e.FlushCache()
+		}
+		checkJCInvariants(t, e)
+	}
+	if e.Stats.JCHits == 0 || e.Stats.PageInvalidations == 0 || e.Stats.Evictions == 0 {
+		t.Errorf("walk did not exercise all paths: hits=%d pageinv=%d evict=%d",
+			e.Stats.JCHits, e.Stats.PageInvalidations, e.Stats.Evictions)
+	}
+}
+
+// indirectHelperStub is indirectStubTrans plus a per-TB engine helper, so
+// retirement populates the machine's helper free list.
+type indirectHelperStub struct{ indirectStubTrans }
+
+func (s indirectHelperStub) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	e.RegisterMMURead(pc, 0, 4, false)
+	return s.indirectStubTrans.Translate(e, pc, priv)
+}
+
+// TestJCEnableAfterHelperChurn: enabling the jump cache on an engine whose
+// helper free list is populated (all TBs retired page-granularly) must not
+// hand the engine-lifetime glue helpers recycled ids that the next
+// whole-cache flush would release out from under the emitted probes.
+func TestJCEnableAfterHelperChurn(t *testing.T) {
+	seq := 0
+	tr := indirectHelperStub{indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x3000 }, seq: &seq}}
+	e := New(tr, 1<<20)
+	e.runLimit = 1 << 40
+	for i := 0; i < 6; i++ { // translate the ring, registering helpers
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := uint32(0); p < 3; p++ { // retire everything page-granularly
+		e.InvalidatePage(p)
+	}
+	if e.CacheSize() != 0 || e.M.Helpers() != 0 {
+		t.Fatalf("churn setup failed: %d TBs, %d helpers live", e.CacheSize(), e.M.Helpers())
+	}
+	e.EnableJumpCache(true) // free list is populated, cache is empty
+	for i := 0; i < 9; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.FlushCache()           // must keep the glue helpers alive
+	for i := 0; i < 9; i++ { // re-translate and take inline jumps again
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.JCHits == 0 {
+		t.Error("no inline hits after the flush")
+	}
+	checkJCInvariants(t, e)
+}
+
+// TestJCDisableAlsoDisablesRAS: the RAS probe only exists inside the jc
+// epilogue, so turning the jump cache off must turn the RAS off too — no
+// push cost for a predictor that can never hit.
+func TestJCDisableAlsoDisablesRAS(t *testing.T) {
+	e := New(indirectStubTrans{}, 1<<20)
+	e.EnableRAS(true)
+	if !e.JumpCacheEnabled() || !e.RASEnabled() {
+		t.Fatal("EnableRAS did not enable both structures")
+	}
+	e.EnableJumpCache(false)
+	if e.RASEnabled() {
+		t.Error("RAS still enabled with the jump cache off")
+	}
+}
+
+// TestJCDisabledEmitsPlainExit: with the fast path off the epilogue is the
+// single exit instruction of old — no probe overhead for the baseline.
+func TestJCDisabledEmitsPlainExit(t *testing.T) {
+	e := New(indirectStubTrans{}, 1<<20)
+	em := x86.NewEmitter()
+	e.EmitIndirectExit(em, true, 1)
+	if em.Len() != 1 {
+		t.Errorf("jc-off epilogue is %d instructions, want 1", em.Len())
+	}
+}

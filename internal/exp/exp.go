@@ -37,6 +37,11 @@ const (
 	// self-modifying stores instead of page-granular invalidation — the
 	// baseline the `smc` experiment measures retranslation savings against.
 	CfgFlushSMC Config = "flushsmc"
+	// CfgJC is CfgChain plus the inline indirect-branch jump cache; CfgJCRAS
+	// additionally enables return-address-stack prediction. The `jc`
+	// experiment measures both against CfgChain.
+	CfgJC    Config = "jc"
+	CfgJCRAS Config = "jcras"
 )
 
 // levels maps rule configs to optimization levels.
@@ -47,6 +52,8 @@ var levels = map[Config]core.OptLevel{
 	CfgFull:        core.OptScheduling,
 	CfgChain:       core.OptScheduling,
 	CfgFlushSMC:    core.OptScheduling,
+	CfgJC:          core.OptScheduling,
+	CfgJCRAS:       core.OptScheduling,
 }
 
 // RunResult is one workload x config measurement.
@@ -141,7 +148,9 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		return nil, err
 	}
 	e := engine.New(tr, kernel.RAMSize)
-	e.EnableChaining(cfg == CfgChain || cfg == CfgFlushSMC)
+	e.EnableChaining(cfg == CfgChain || cfg == CfgFlushSMC || cfg == CfgJC || cfg == CfgJCRAS)
+	e.EnableJumpCache(cfg == CfgJC || cfg == CfgJCRAS)
+	e.EnableRAS(cfg == CfgJCRAS)
 	e.SetFullFlushSMC(cfg == CfgFlushSMC)
 	if r.CacheCap > 0 {
 		e.SetCacheCapacity(r.CacheCap)
@@ -616,9 +625,65 @@ func (r *Runner) SMCStats() (string, error) {
 	return b.String(), nil
 }
 
+// --- indirect-branch fast path (jump cache + return-address stack) ---------
+
+// JCStats measures the inline indirect-branch fast path on the
+// indirect-heavy workload plus two call-heavy SPEC proxies: dispatcher
+// Lookups with the jump cache off/on (acceptance: ≥10x drop on `dispatch`),
+// inline hit rates with and without the return-address stack, and the
+// glue/helper host-instruction shift (probe cost moves into glue; the
+// synthetic dispatcher-lookup cost leaves helper). All runs are
+// oracle-checked against the interpreter by Run.
+func (r *Runner) JCStats() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Indirect-branch fast path: dispatcher lookups with the jump cache off/on\n")
+	fmt.Fprintf(&b, "%-10s %-7s %9s %9s %9s %8s %9s %9s %9s\n",
+		"Benchmark", "cfg", "lookups", "jchit", "rashit", "inline", "glue/g", "helper/g", "host/g")
+	// dispatch is the stress case; memcached is the call-heaviest real
+	// application; smc adds per-round invalidation (the victim's jump-cache
+	// entry is purged and refilled every round — the coherence path).
+	for _, name := range []string{"dispatch", "memcached", "smc"} {
+		w := mustWorkload(name)
+		base, err := r.Run(w, CfgChain)
+		if err != nil {
+			return "", err
+		}
+		for _, cfg := range []Config{CfgChain, CfgJC, CfgJCRAS} {
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return "", err
+			}
+			if res.Retired != base.Retired {
+				return "", fmt.Errorf("jc: %s on %s retired %d guest instructions, baseline %d",
+					name, cfg, res.Retired, base.Retired)
+			}
+			g := float64(res.Retired)
+			s := res.Engine
+			fmt.Fprintf(&b, "%-10s %-7s %9d %9d %9d %7.1f%% %9.3f %9.3f %9.2f\n",
+				name, cfg, s.Lookups, s.JCHits, s.RASHits, 100*s.JCRate(),
+				float64(res.Counts[x86.ClassGlue])/g,
+				float64(res.Counts[x86.ClassHelper])/g,
+				float64(res.HostTotal)/g)
+		}
+	}
+	disp, err := r.Run(mustWorkload("dispatch"), CfgChain)
+	if err != nil {
+		return "", err
+	}
+	dispJC, err := r.Run(mustWorkload("dispatch"), CfgJC)
+	if err != nil {
+		return "", err
+	}
+	drop := float64(disp.Engine.Lookups) / math.Max(float64(dispJC.Engine.Lookups), 1)
+	fmt.Fprintf(&b, "lookup drop on dispatch: %.1fx (every indirect transition used to exit to the\n", drop)
+	fmt.Fprintf(&b, "Go dispatcher for a map lookup; the emitted probe now serves them in-cache,\n")
+	fmt.Fprintf(&b, "falling back only on first-touch misses and post-purge refills)\n")
+	return b.String(), nil
+}
+
 // Experiments lists all experiment names in order.
 func Experiments() []string {
-	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain", "smc"}
+	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain", "smc", "jc"}
 }
 
 // Run runs one named experiment.
@@ -648,6 +713,8 @@ func (r *Runner) RunExperiment(name string) (string, error) {
 		return r.ChainStats()
 	case "smc":
 		return r.SMCStats()
+	case "jc":
+		return r.JCStats()
 	}
 	valid := strings.Join(Experiments(), ", ")
 	return "", fmt.Errorf("exp: unknown experiment %q (valid: %s, all)", name, valid)

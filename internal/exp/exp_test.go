@@ -101,7 +101,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 12 {
+	if len(Experiments()) != 13 {
 		t.Errorf("experiment list = %v", Experiments())
 	}
 }
@@ -154,6 +154,97 @@ func TestChainingIdenticalOnAllWorkloads(t *testing.T) {
 	}
 	if !anyChained {
 		t.Error("no workload took a chained exit")
+	}
+}
+
+// TestJumpCacheIdenticalOnAllWorkloads: runs with the inline indirect fast
+// path (jump cache + RAS) must retire the same guest instruction stream and
+// console as the chained baseline on every built-in workload (the console
+// is additionally oracle-checked against the interpreter inside Run), and
+// must not add dispatcher lookups anywhere.
+func TestJumpCacheIdenticalOnAllWorkloads(t *testing.T) {
+	r := quickRunner()
+	anyHit := false
+	for _, w := range workloads.All() {
+		base, err := r.Run(w, CfgChain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc, err := r.Run(w, CfgJCRAS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if jc.Retired != base.Retired {
+			t.Errorf("%s: retired %d with jc vs %d without", w.Name, jc.Retired, base.Retired)
+		}
+		if jc.Console != base.Console {
+			t.Errorf("%s: console diverges under the jump cache", w.Name)
+		}
+		if jc.Engine.Lookups > base.Engine.Lookups {
+			t.Errorf("%s: jump cache increased dispatcher lookups (%d vs %d)",
+				w.Name, jc.Engine.Lookups, base.Engine.Lookups)
+		}
+		if jc.Engine.JCHits+jc.Engine.RASHits > 0 {
+			anyHit = true
+		}
+	}
+	if !anyHit {
+		t.Error("no workload took an inline indirect hit")
+	}
+}
+
+// TestJumpCacheLookupDrop is the acceptance check for the inline indirect
+// fast path: on the indirect-heavy workload, dispatcher lookups drop by at
+// least 10x with the jump cache on, with (oracle-checked) identical console
+// output, and the RAS run predicts returns.
+func TestJumpCacheLookupDrop(t *testing.T) {
+	r := quickRunner()
+	w, ok := workloads.ByName("dispatch")
+	if !ok {
+		t.Fatal("dispatch workload missing")
+	}
+	base, err := r.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := r.Run(w, CfgJC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ras, err := r.Run(w, CfgJCRAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Engine.Lookups == 0 {
+		t.Fatal("indirect-heavy workload produced no dispatcher lookups at baseline")
+	}
+	if jc.Engine.Lookups*10 > base.Engine.Lookups {
+		t.Errorf("lookup drop below 10x: %d -> %d", base.Engine.Lookups, jc.Engine.Lookups)
+	}
+	if jc.Engine.Lookups != jc.Engine.JCMisses {
+		t.Errorf("lookups %d != inline misses %d with the jump cache on",
+			jc.Engine.Lookups, jc.Engine.JCMisses)
+	}
+	if ras.Engine.RASHits == 0 {
+		t.Error("return-address stack never predicted a bl/bx lr pair")
+	}
+	if jc.Engine.RASHits != 0 {
+		t.Errorf("RAS hits (%d) without the RAS enabled", jc.Engine.RASHits)
+	}
+}
+
+// TestJCExperimentRenders: the jc experiment table must render all three
+// configuration rows and the headline drop factor.
+func TestJCExperimentRenders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.RunExperiment("jc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dispatch", "memcached", "jcras", "lookup drop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("jc table missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -177,7 +177,7 @@ func (tc *tbCtx) translateInst(in *arm.Inst, tb *engine.TB) {
 		em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFFFFFFE))
 		em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EAX))
 		em.SetClass(x86.ClassGlue)
-		em.Exit(engine.ExitIndirect)
+		tc.e.EmitIndirectExit(em, engine.IsReturn(in), tc.seq())
 	case arm.KindNOP:
 		// nothing
 	case arm.KindUndef:
@@ -216,6 +216,7 @@ func (tc *tbCtx) branch(in *arm.Inst, tb *engine.TB) {
 	if in.Link {
 		em.Mov(x86.R(x86.EAX), x86.I(tc.instPC()+4))
 		tc.storeReg(arm.LR, x86.EAX)
+		tb.RetPush[1] = tc.instPC() + 4 // crossing this exit is a call
 	}
 	target := uint32(int32(tc.instPC()) + 8 + in.Offset)
 	tb.Next[1], tb.HasNext[1] = target, true
@@ -397,7 +398,7 @@ func (tc *tbCtx) dataProc(in *arm.Inst) {
 		em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFFFFFFC))
 		em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EAX))
 		em.SetClass(x86.ClassGlue)
-		em.Exit(engine.ExitIndirect)
+		tc.e.EmitIndirectExit(em, engine.IsReturn(in), tc.seq())
 	}
 }
 
@@ -525,7 +526,7 @@ func (tc *tbCtx) mem(in *arm.Inst) {
 			em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFFFFC))
 			em.Mov(x86.M(x86.EBP, engine.OffExitPC), x86.R(x86.EDX))
 			em.SetClass(x86.ClassGlue)
-			em.Exit(engine.ExitIndirect)
+			tc.e.EmitIndirectExit(em, engine.IsReturn(in), tc.seq())
 			return
 		}
 		tc.storeReg(in.Rd, x86.EDX)
@@ -654,7 +655,7 @@ func (tc *tbCtx) block(in *arm.Inst, tb *engine.TB) {
 	}
 	if loadsPC {
 		em.SetClass(x86.ClassGlue)
-		em.Exit(engine.ExitIndirect)
+		tc.e.EmitIndirectExit(em, engine.IsReturn(in), tc.seq())
 	}
 	_ = tb
 }

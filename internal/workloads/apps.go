@@ -10,7 +10,7 @@ import (
 // AppWorkloads returns the real-world application proxies (Fig. 19) plus
 // the self-modifying-code stress workload behind the `smc` experiment.
 func AppWorkloads() []*Workload {
-	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime(), smc()}
+	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime(), smc(), dispatch()}
 }
 
 // memcached: a key-value server loop over the packet device. Requests are

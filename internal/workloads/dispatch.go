@@ -1,0 +1,85 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// dispatchIters is the number of outer rounds the dispatch workload runs.
+const dispatchIters = 2000
+
+// dispatchLeaves is the number of bl/bx-lr leaf functions per round.
+const dispatchLeaves = 6
+
+// dispatchHandlers is the size of the computed-jump handler table.
+const dispatchHandlers = 8
+
+// dispatch: an indirect-branch-heavy workload, the stress case for the
+// inline jump cache and return-address stack. Each round makes a chain of
+// `bl` calls into small leaf functions that return with `bx lr` (the
+// call/return pattern the RAS predicts), then drives a byte-code-style
+// dispatch loop: `ldr pc, [table, op, lsl #2]` through a handler table with
+// manually-threaded return addresses (the computed-jump pattern only the
+// jump cache can serve). Without the fast path every one of those
+// transitions is a dispatcher Lookup.
+func dispatch() *Workload {
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+user_entry:
+	mov r4, #0
+	mov r5, #0
+	ldr r8, =%d
+outer:
+`, dispatchIters)
+	// Call/return phase: a chain of leaf calls.
+	for i := 0; i < dispatchLeaves; i++ {
+		fmt.Fprintf(&b, "\tbl leaf%d\n", i)
+	}
+	// Dispatch phase: 4 table-driven handler invocations per round, opcode
+	// derived from the evolving checksum.
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, `	and r0, r4, #%d
+	ldr r1, =table
+	ldr lr, =cont%d
+	ldr pc, [r1, r0, lsl #2]
+cont%d:
+`, dispatchHandlers-1, i, i)
+	}
+	fmt.Fprintf(&b, `	add r5, r5, #1
+	cmp r5, r8
+	blt outer
+`)
+	b.WriteString(epilogue)
+	// Leaf functions: distinct arithmetic so the checksum orders calls.
+	for i := 0; i < dispatchLeaves; i++ {
+		fmt.Fprintf(&b, "leaf%d:\n\tadd r4, r4, #%d\n\teor r4, r4, r4, lsl #%d\n\tbx lr\n",
+			i, i+1, i%5+1)
+	}
+	// Handlers: return through lr like the leaves (set up by the dispatcher).
+	for i := 0; i < dispatchHandlers; i++ {
+		fmt.Fprintf(&b, "h%d:\n\tadd r4, r4, #%d\n\teor r4, r4, r4, lsr #%d\n\tbx lr\n",
+			i, i*3+7, i%4+1)
+	}
+	b.WriteString("\t.align 4\ntable:\n")
+	for i := 0; i < dispatchHandlers; i++ {
+		fmt.Fprintf(&b, "\t.word h%d\n", i)
+	}
+	b.WriteString("\t.pool\n")
+
+	native := func() uint32 {
+		var r4 uint32
+		for r5 := uint32(0); r5 < dispatchIters; r5++ {
+			for i := 0; i < dispatchLeaves; i++ {
+				r4 += uint32(i + 1)
+				r4 ^= r4 << uint(i%5+1)
+			}
+			for i := 0; i < 4; i++ {
+				op := r4 & (dispatchHandlers - 1)
+				r4 += op*3 + 7
+				r4 ^= r4 >> (op%4 + 1)
+			}
+		}
+		return r4
+	}
+	return &Workload{Name: "dispatch", Spec: false, GuestSrc: b.String(), Native: native, Budget: 4_000_000}
+}

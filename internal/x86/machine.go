@@ -22,9 +22,19 @@ type Machine struct {
 	freeHelpers []int // recycled helper ids (their closures were released)
 	liveHelpers int
 
+	// nextBlock is the jump target resolved by a JMPT glue helper: the
+	// engine-side glue translates the block handle carried in the emitted
+	// register into the host block the handle addresses (the simulation of
+	// "jmp reg" into the code cache) before approving the jump.
+	nextBlock *Block
+
 	// exitCode is set when a helper requests an exit.
 	exitCode int
 }
+
+// SetNextBlock stages the block a JMPT will continue at. Only meaningful
+// inside a JMPT glue helper that is about to approve the jump.
+func (m *Machine) SetNextBlock(b *Block) { m.nextBlock = b }
 
 // NewMachine creates a host machine with memSize bytes of host memory.
 func NewMachine(memSize int) *Machine {
@@ -450,6 +460,29 @@ func (m *Machine) Exec(b *Block) uint32 {
 				return uint32(code)
 			}
 			b = in.Chain
+			insts = b.Insts
+			pc = 0
+		case JMPT:
+			// Jump-cache dispatch: an indirect jump through the block handle
+			// the emitted probe loaded into a register. The glue helper does
+			// the engine-side bookkeeping (retire, budget/IRQ bounds), resolves
+			// the handle against its table and either stages the target via
+			// SetNextBlock (negative return) or forces an exit back to the
+			// dispatcher.
+			fn := m.helpers[in.Helper]
+			if fn == nil {
+				panic(fmt.Sprintf("x86: jmpt glue helper %d freed (guest pc %#x)", in.Helper, b.GuestPC))
+			}
+			if code := fn(m); code >= 0 {
+				m.nextBlock = nil
+				return uint32(code)
+			}
+			nb := m.nextBlock
+			m.nextBlock = nil
+			if nb == nil {
+				panic(fmt.Sprintf("x86: jmpt approved without a target block (guest pc %#x)", b.GuestPC))
+			}
+			b = nb
 			insts = b.Insts
 			pc = 0
 		default:

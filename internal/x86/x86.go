@@ -174,6 +174,7 @@ const (
 	CALLH // call helper HelperID; the engine's Go code runs
 	EXIT  // leave the block with Imm as the exit code
 	CHAIN // patched direct jump into another block (TB chaining)
+	JMPT  // indirect jump through a block handle in a register (jump cache)
 )
 
 var opNames = [...]string{
@@ -182,7 +183,7 @@ var opNames = [...]string{
 	"not", "neg", "shl", "shr", "sar", "ror", "imul", "mulx", "smulx",
 	"inc", "dec", "jmp", "j", "set", "cmov",
 	"push", "pop", "pushf", "popf", "lahf", "sahf", "cmc", "stc", "clc",
-	"callh", "exit", "chain",
+	"callh", "exit", "chain", "jmpt",
 }
 
 func (o Op) String() string {
@@ -293,6 +294,8 @@ func (i Inst) String() string {
 		return fmt.Sprintf("exit #%d", i.Imm)
 	case CHAIN:
 		return fmt.Sprintf("chain #%d -> %#x", i.Imm, i.Chain.GuestPC)
+	case JMPT:
+		return fmt.Sprintf("jmpt %v", fmtOperand(i.Dst))
 	case MULX, SMULX:
 		return fmt.Sprintf("%v %v:%v, %v, %v", i.Op, i.Dst2, fmtOperand(i.Dst), fmtOperand(i.Src), i.Src2)
 	case PUSHF, POPF, LAHF, SAHF, CMC, STC, CLC:
