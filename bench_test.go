@@ -288,6 +288,39 @@ func BenchmarkJumpCache(b *testing.B) {
 	b.ReportMetric(rasShare, "ras-share")
 }
 
+// BenchmarkSMP measures deterministic multi-vCPU execution on the spinlock
+// workload at 4 vCPUs (rule engine, chaining + jump cache + RAS): scheduler
+// switches, exclusive-store contention, and the shared-cache reuse factor
+// (translations at 4 vCPUs over translations at 1 — near 1.0 because one
+// physically-keyed cache serves every core).
+func BenchmarkSMP(b *testing.B) {
+	var switches, strexf, reuse float64
+	for i := 0; i < b.N; i++ {
+		w, ok := workloads.ByName("smp-spinlock")
+		if !ok {
+			b.Fatal("smp-spinlock workload missing")
+		}
+		solo := newRunner(b)
+		solo.SMPCPUs = 1
+		one, err := solo.Run(w, exp.CfgSMP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		quad := newRunner(b)
+		quad.SMPCPUs = 4
+		four, err := quad.Run(w, exp.CfgSMP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switches = float64(four.Engine.Switches)
+		strexf = float64(four.Engine.StrexFailures)
+		reuse = float64(four.Engine.TBsTranslated) / math.Max(float64(one.Engine.TBsTranslated), 1)
+	}
+	b.ReportMetric(switches, "vcpu-switches")
+	b.ReportMetric(strexf, "strex-failures")
+	b.ReportMetric(reuse, "tb-ratio-4v1")
+}
+
 // BenchmarkEngineThroughput measures raw emulation speed of the two engines
 // (guest instructions per second), the quantity behind Fig. 18.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -6,10 +6,13 @@
 //
 //	sldbt -workload mcf -engine rule -opt scheduling -chain
 //	sldbt -workload dispatch -engine rule -chain -ras
+//	sldbt -workload smp-spinlock -engine rule -smp 4 -chain -jc
 //	sldbt -asm prog.s -engine tcg
 //
 // With -asm, the file must contain a user-mode program defining user_entry
-// (it is linked against the built-in mini kernel).
+// (it is linked against the built-in mini kernel). With -smp N > 1 the
+// machine boots N guest CPUs (every engine, including the interpreter,
+// which becomes the SMP oracle); user_entry receives the CPU index in r0.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"sldbt/internal/interp"
 	"sldbt/internal/kernel"
 	"sldbt/internal/rules"
+	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
 	"sldbt/internal/workloads"
 	"sldbt/internal/x86"
@@ -39,6 +43,7 @@ func main() {
 	chain := flag.Bool("chain", false, "enable translation-block chaining (direct block linking)")
 	jc := flag.Bool("jc", false, "enable the inline indirect-branch jump cache")
 	ras := flag.Bool("ras", false, "enable return-address-stack prediction (implies -jc)")
+	smpN := flag.Int("smp", 1, "number of guest vCPUs (deterministic round-robin scheduler, shared code cache)")
 	cacheCap := flag.Int("cache-cap", 0, "bound the code cache to N translated blocks, evicting FIFO (0 = unbounded)")
 	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
@@ -89,6 +94,10 @@ func main() {
 		"elimination": core.OptElimination, "scheduling": core.OptScheduling,
 	}
 
+	if *smpN < 1 || *smpN > engine.MaxVCPUs {
+		log.Fatalf("-smp %d outside [1, %d]", *smpN, engine.MaxVCPUs)
+	}
+
 	start := time.Now()
 	switch *engName {
 	case "interp":
@@ -96,6 +105,23 @@ func main() {
 		im.Configure(bus)
 		if err := bus.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
+		}
+		if *smpN > 1 {
+			o := smp.NewOracle(bus, *smpN)
+			code, err := o.Run(*budget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(bus.UART().Output())
+			if *stats {
+				fmt.Printf("-- exit %d in %v via smp-interp; %d guest instructions\n",
+					code, time.Since(start).Round(time.Millisecond), o.Retired())
+				for i, c := range o.CPUs {
+					fmt.Printf("-- vcpu%d: retired %d, strex failures %d, ipis %d\n",
+						i, c.Stats.Total, c.Stats.StrexFailures, bus.Intc.IPIs(i))
+				}
+			}
+			return
 		}
 		ip := interp.New(bus)
 		code, err := ip.Run(*budget)
@@ -122,7 +148,7 @@ func main() {
 			}
 			tr = core.New(rules.BaselineRules(), lvl)
 		}
-		e := engine.New(tr, kernel.RAMSize)
+		e := engine.NewSMP(tr, kernel.RAMSize, *smpN)
 		e.EnableChaining(*chain)
 		e.EnableJumpCache(*jc)
 		e.EnableRAS(*ras)
@@ -157,6 +183,14 @@ func main() {
 			fmt.Printf("-- cache: %d TBs live (cap %d), %d retranslations, %d page invalidations, %d evictions, %d full flushes\n",
 				e.CacheSize(), e.CacheCapacity(), e.Stats.Retranslations,
 				e.Stats.PageInvalidations, e.Stats.Evictions, e.Flushes())
+			if *smpN > 1 {
+				fmt.Printf("-- smp: %d vcpus, %d switches, %d exclusives, %d strex failures\n",
+					*smpN, e.Stats.Switches, e.Stats.Exclusives, e.Stats.StrexFailures)
+				for _, v := range e.VCPUs() {
+					fmt.Printf("-- vcpu%d: retired %d, strex failures %d, ipis %d\n",
+						v.Index, v.Retired, v.StrexFailures, e.IPIs(v.Index))
+				}
+			}
 			if rt, ok := tr.(*core.Translator); ok {
 				fmt.Printf("-- rules: %d hits, %d fallbacks, coverage %.1f%%; sync saves %d, restores %d, elided %d+%d, inter-TB %d, sched moves %d\n",
 					rt.Stats.RuleHits, rt.Stats.Fallbacks,

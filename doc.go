@@ -6,11 +6,13 @@
 // assembler (internal/arm), guest hardware and MMU (internal/ghw,
 // internal/mmu), the reference interpreter (internal/interp), the simulated
 // x86 host machine (internal/x86), the QEMU-like engine and TCG baseline
-// (internal/engine, internal/tcg), the rule learning pipeline
-// (internal/learn, internal/verify, internal/rules), the rule-based
-// system-level translator with the paper's coordination optimizations
-// (internal/core), the benchmark workloads (internal/workloads) and the
-// experiment harness (internal/exp).
+// (internal/engine, internal/tcg), the SMP layer — deterministic
+// multi-vCPU machines over the shared code cache plus the SMP interpreter
+// oracle (internal/engine/smp.go, internal/smp) — the rule learning
+// pipeline (internal/learn, internal/verify, internal/rules), the
+// rule-based system-level translator with the paper's coordination
+// optimizations (internal/core), the benchmark workloads
+// (internal/workloads) and the experiment harness (internal/exp).
 //
 // On top of the paper's pipeline, the engine's dispatch loop has grown the
 // optimizations a production DBT needs, each measurable through its own
@@ -36,6 +38,16 @@
 //     bl/bx-lr pairs on top; misses fall back to the dispatcher, which
 //     fills the entry. The `jc` experiment measures dispatcher lookups down
 //     >100x on indirect-heavy workloads.
+//   - Deterministic multi-vCPU execution (internal/engine/smp.go,
+//     internal/smp): N guest vCPUs under a round-robin scheduler — QEMU's
+//     single-threaded TCG model — sharing one physically-keyed code cache,
+//     each with a private env/TLB/jump-cache/RAS region addressed
+//     EBP-relative by the shared translations; the ARMv7 exclusive-access
+//     primitives (ldrex/strex/clrex) run against a global monitor, a CP15
+//     CPU-ID register and software IPIs let guests coordinate, and the SMP
+//     interpreter oracle makes every run differentially checkable. The
+//     `smp` experiment measures scheduling, contention and shared-cache
+//     reuse.
 //
 // See README.md for the user-facing tour (including the counters glossary
 // and the cmd/sldbt flag reference), DESIGN.md for the architecture

@@ -219,12 +219,16 @@ const (
 	KindWFI                  // wait for interrupt
 	KindNOP                  // architectural nop
 	KindSRSexc               // exception-return data processing (e.g. SUBS pc, lr, #n)
+	KindLDREX                // LDREX (exclusive load, word)
+	KindSTREX                // STREX (exclusive store, word)
+	KindCLREX                // CLREX (clear exclusive monitor)
 	KindUndef                // undefined / unimplemented encoding
 )
 
 var kindNames = [...]string{
 	"dataproc", "mul", "mullong", "mem", "memh", "block", "branch", "bx",
-	"svc", "mrs", "msr", "cps", "cp15", "vfpsys", "wfi", "nop", "eret", "undef",
+	"svc", "mrs", "msr", "cps", "cp15", "vfpsys", "wfi", "nop", "eret",
+	"ldrex", "strex", "clrex", "undef",
 }
 
 func (k Kind) String() string {
@@ -296,10 +300,13 @@ func (i *Inst) IsMemAccess() bool {
 
 // IsSystem reports whether the instruction is a system-level instruction in
 // the paper's sense: it must be emulated by a helper function and cannot be
-// covered by rules learned from user-level code.
+// covered by rules learned from user-level code. The exclusive-access
+// primitives are included: they carry monitor side effects no learned
+// user-level rule can express, so every engine emulates them in a helper.
 func (i *Inst) IsSystem() bool {
 	switch i.Kind {
-	case KindSVC, KindMRS, KindMSR, KindCPS, KindCP15, KindVFPSys, KindWFI, KindSRSexc:
+	case KindSVC, KindMRS, KindMSR, KindCPS, KindCP15, KindVFPSys, KindWFI, KindSRSexc,
+		KindLDREX, KindSTREX, KindCLREX:
 		return true
 	}
 	return false

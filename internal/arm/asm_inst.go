@@ -9,6 +9,7 @@ import (
 // wins over "ldr" and "bl" is tried before "b"; a base only matches when its
 // suffix (condition and/or "s") is legal for that base.
 var baseMnemonics = []string{
+	"ldrex", "strex", "clrex",
 	"ldrsb", "ldrsh", "ldrb", "ldrh", "strb", "strh", "ldr", "str",
 	"ldmia", "ldmib", "ldmda", "ldmdb", "ldmfd", "stmia", "stmib", "stmda", "stmdb", "stmfd",
 	"ldm", "stm", "push", "pop",
@@ -129,6 +130,11 @@ func (a *asm) instruction(mnemonic, operands string) error {
 		return a.asmMul(in, base, args)
 	case "umull", "smull":
 		return a.asmMulLong(in, base == "smull", args)
+	case "ldrex", "strex":
+		return a.asmExclusive(in, base, args)
+	case "clrex":
+		in.Kind = KindCLREX
+		return a.emitInst(in)
 	case "ldr", "str", "ldrb", "strb":
 		return a.asmMem(in, base, args)
 	case "ldrh", "strh", "ldrsb", "ldrsh":
@@ -448,6 +454,36 @@ func (a *asm) asmMulLong(in Inst, signed bool, args []string) error {
 		return err
 	}
 	if in.Rs, err = a.reg(args[3]); err != nil {
+		return err
+	}
+	return a.emitInst(in)
+}
+
+// asmExclusive parses the exclusive-access word forms:
+// "ldrex rd, [rn]" and "strex rd, rm, [rn]" (offset forms do not exist).
+func (a *asm) asmExclusive(in Inst, base string, args []string) error {
+	var err error
+	if in.Rd, err = a.reg(args[0]); err != nil {
+		return err
+	}
+	idx := 1
+	if base == "strex" {
+		in.Kind = KindSTREX
+		if len(args) < 3 {
+			return a.errf("strex needs rd, rm, [rn]")
+		}
+		if in.Rm, err = a.reg(args[1]); err != nil {
+			return err
+		}
+		idx = 2
+	} else {
+		in.Kind = KindLDREX
+	}
+	addr := strings.TrimSpace(strings.Join(args[idx:], ","))
+	if !strings.HasPrefix(addr, "[") || !strings.HasSuffix(addr, "]") {
+		return a.errf("%s needs a plain [rn] address, got %q", base, addr)
+	}
+	if in.Rn, err = a.reg(addr[1 : len(addr)-1]); err != nil {
 		return err
 	}
 	return a.emitInst(in)

@@ -28,6 +28,7 @@ type CPU struct {
 // fault reporting.
 type CP15State struct {
 	SCTLR uint32 // c1,c0,0: bit 0 = MMU enable
+	MPIDR uint32 // c0,c0,5: multiprocessor affinity (bit 31 set; low bits = CPU index)
 	TTBR0 uint32 // c2,c0,0: translation table base
 	DFSR  uint32 // c5,c0,0: data fault status
 	DFAR  uint32 // c6,c0,0: data fault address
@@ -45,6 +46,7 @@ func (c *CP15State) MMUEnabled() bool { return c.SCTLR&1 != 0 }
 func NewCPU() *CPU {
 	c := &CPU{}
 	c.cpsr = uint32(ModeSVC) | CPSRBitI
+	c.CP15.MPIDR = 0x80000000 // uniprocessor default: CPU index 0
 	return c
 }
 

@@ -7,7 +7,7 @@ func Decode(raw uint32) Inst {
 	i := Inst{Raw: raw, Cond: Cond(raw >> 28)}
 
 	if i.Cond == NV {
-		// Unconditional space: only CPSIE/CPSID i are implemented.
+		// Unconditional space: only CPSIE/CPSID i and CLREX are implemented.
 		switch raw {
 		case 0xF1080080:
 			i.Kind = KindCPS
@@ -17,6 +17,10 @@ func Decode(raw uint32) Inst {
 		case 0xF10C0080:
 			i.Kind = KindCPS
 			i.Enable = false
+			i.Cond = AL
+			return i
+		case 0xF57FF01F:
+			i.Kind = KindCLREX
 			i.Cond = AL
 			return i
 		}
@@ -64,6 +68,21 @@ func decode00(raw uint32, i Inst) Inst {
 		// Register forms; check the special bit7/bit4 patterns first.
 		if raw&0x0FFFFFF0 == 0x012FFF10 {
 			i.Kind = KindBX
+			i.Rm = Reg(raw & 0xF)
+			return i
+		}
+		// Exclusive access (ARMv6 word forms): checked before the multiply and
+		// halfword patterns, whose bit-7/bit-4 signatures they share.
+		if raw&0x0FF00FFF == 0x01900F9F {
+			i.Kind = KindLDREX
+			i.Rn = Reg(raw >> 16 & 0xF)
+			i.Rd = Reg(raw >> 12 & 0xF)
+			return i
+		}
+		if raw&0x0FF00FF0 == 0x01800F90 {
+			i.Kind = KindSTREX
+			i.Rn = Reg(raw >> 16 & 0xF)
+			i.Rd = Reg(raw >> 12 & 0xF)
 			i.Rm = Reg(raw & 0xF)
 			return i
 		}

@@ -105,6 +105,12 @@ func Disasm(i Inst, addr uint32) string {
 			return fmt.Sprintf("vmsr%s fpscr, %s", c, i.Rd)
 		}
 		return fmt.Sprintf("vmrs%s %s, fpscr", c, i.Rd)
+	case KindLDREX:
+		return fmt.Sprintf("ldrex%s %s, [%s]", c, i.Rd, i.Rn)
+	case KindSTREX:
+		return fmt.Sprintf("strex%s %s, %s, [%s]", c, i.Rd, i.Rm, i.Rn)
+	case KindCLREX:
+		return "clrex"
 	case KindWFI:
 		return "wfi"
 	case KindNOP:

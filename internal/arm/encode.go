@@ -176,6 +176,15 @@ func Encode(i Inst) (uint32, error) {
 		}
 		return c | 0x0EF10A10 | uint32(i.Rd)<<12, nil
 
+	case KindLDREX:
+		return c | 0x01900F9F | uint32(i.Rn)<<16 | uint32(i.Rd)<<12, nil
+
+	case KindSTREX:
+		return c | 0x01800F90 | uint32(i.Rn)<<16 | uint32(i.Rd)<<12 | uint32(i.Rm), nil
+
+	case KindCLREX:
+		return 0xF57FF01F, nil
+
 	case KindWFI:
 		return c | 0x0320F003, nil
 

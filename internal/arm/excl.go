@@ -1,0 +1,75 @@
+package arm
+
+// Exclusive is the global exclusive monitor shared by every CPU of an SMP
+// machine: the architectural state behind LDREX/STREX/CLREX. Each CPU owns
+// one monitor record (a word-granule physical address plus an active flag);
+// the monitor is *global* in that a successful exclusive store — or any
+// ordinary store observed by the memory system — clears every CPU's record
+// for the stored-to granule, which is what makes STREX-based spinlocks and
+// lock-free counters coherent across cores.
+//
+// Semantics (deterministic, shared verbatim by the reference interpreter and
+// the DBT engines so differential oracles stay exact):
+//
+//   - MarkLoad(cpu, pa): LDREX tags cpu's monitor with pa's word granule.
+//   - StoreOK(cpu, pa): STREX succeeds iff cpu's monitor is active on pa's
+//     granule; success clears every monitor on that granule (including the
+//     storer's), failure clears only the storer's (ARM's local-monitor
+//     behaviour). The caller performs the store only on success.
+//   - Observe(pa): an ordinary store; clears every monitor on the granule.
+//     Intervening stores between LDREX and STREX therefore force the STREX
+//     to fail, on the storing CPU and on every other CPU alike.
+//   - Clear(cpu): CLREX, and exception entry (the engines clear the monitor
+//     whenever a CPU takes an exception, so an interrupted LDREX/STREX
+//     sequence cannot succeed spuriously after the handler returns).
+//
+// The granule is one word (pa &^ 3) — smaller than hardware's exclusive
+// reservation granule, which is architecturally permitted slack in the other
+// direction only; a word granule makes tests maximally precise. Device DMA
+// writes are not observed by the monitor (neither engine routes them through
+// guest store paths); guests must not place exclusives on DMA buffers.
+type Exclusive struct {
+	active []bool
+	addr   []uint32 // word-granule physical address per CPU
+}
+
+// NewExclusive returns a monitor for n CPUs, all records inactive.
+func NewExclusive(n int) *Exclusive {
+	return &Exclusive{active: make([]bool, n), addr: make([]uint32, n)}
+}
+
+func granule(pa uint32) uint32 { return pa &^ 3 }
+
+// MarkLoad records an exclusive load by cpu from pa.
+func (x *Exclusive) MarkLoad(cpu int, pa uint32) {
+	x.active[cpu] = true
+	x.addr[cpu] = granule(pa)
+}
+
+// Clear deactivates cpu's monitor (CLREX, exception entry).
+func (x *Exclusive) Clear(cpu int) { x.active[cpu] = false }
+
+// StoreOK decides an exclusive store by cpu to pa. On success every monitor
+// on the granule is cleared; on failure only cpu's own.
+func (x *Exclusive) StoreOK(cpu int, pa uint32) bool {
+	g := granule(pa)
+	if !x.active[cpu] || x.addr[cpu] != g {
+		x.active[cpu] = false
+		return false
+	}
+	x.observe(g)
+	return true
+}
+
+// Observe reports an ordinary store to pa, clearing every monitor on the
+// stored-to granule.
+func (x *Exclusive) Observe(pa uint32) { x.observe(granule(pa)) }
+
+func (x *Exclusive) observe(g uint32) {
+	for i := range x.active {
+		if x.active[i] && x.addr[i] == g {
+			x.active[i] = false
+		}
+	}
+}
+

@@ -42,6 +42,11 @@ func (i *Inst) SrcRegs() uint16 {
 		}
 	case KindBX:
 		add(i.Rm)
+	case KindLDREX:
+		add(i.Rn)
+	case KindSTREX:
+		add(i.Rn)
+		add(i.Rm)
 	case KindMSR:
 		add(i.Rm)
 	case KindVFPSys:
@@ -94,6 +99,8 @@ func (i *Inst) DstRegs() uint16 {
 		add(PC)
 	case KindBX:
 		add(PC)
+	case KindLDREX, KindSTREX:
+		add(i.Rd)
 	case KindMRS:
 		add(i.Rd)
 	case KindVFPSys:

@@ -22,6 +22,8 @@ func (tc *tctx) emitInst(i int) {
 		tc.emitBX(i)
 	case in.Kind == arm.KindUndef:
 		tc.emitUndef(i)
+	case in.Kind == arm.KindLDREX || in.Kind == arm.KindSTREX || in.Kind == arm.KindCLREX:
+		tc.emitExclusive(i)
 	case in.IsSystem():
 		tc.emitSystem(i)
 	case in.Kind == arm.KindBlock:
@@ -363,6 +365,34 @@ func (tc *tctx) emitSystem(i int) {
 	}
 	if tc.t.Level < OptElimination && in.Cond == arm.AL {
 		tc.restoreToHost() // eager sync-restore (Fig. 6)
+	}
+}
+
+// emitExclusive emits an exclusive-access instruction (LDREX/STREX/CLREX)
+// through the engine's monitor helper, with the same coordination shape as
+// any system helper: packed flag save (the helper may inject a data abort),
+// pinned-register spill of the operands and refill of the result.
+func (tc *tctx) emitExclusive(i int) {
+	in := tc.insts[i]
+	tc.ensureSaved(savePacked, true)
+	tc.spillRegs(in.SrcRegs())
+	skip := ""
+	if in.Cond != arm.AL {
+		skip = fmt.Sprintf("exskip_%d", tc.seq())
+		tc.codeEm()
+		engine.EmitCondFromEnv(tc.em, in.Cond, skip, tc.seq())
+	}
+	id := tc.e.RegisterExclusive(in, tc.instPC(i), tc.origIdx[i])
+	tc.codeEm()
+	tc.em.CallHelper(id)
+	tc.fillRegs(in.DstRegs())
+	if skip != "" {
+		tc.em.Label(skip)
+	}
+	// The helper normalized the env forms (like every system helper).
+	tc.fs = flagState{envParsedFull: true, envParsedCV: true, envPacked: true}
+	if tc.t.Level < OptElimination && in.Cond == arm.AL {
+		tc.restoreToHost()
 	}
 }
 

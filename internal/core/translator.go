@@ -40,6 +40,11 @@ func New(rs *rules.Set, level OptLevel) *Translator {
 // Name implements engine.Translator.
 func (t *Translator) Name() string { return "rule-" + t.Level.String() }
 
+// PinnedRegs implements engine.RegPinner: the rule engine keeps r0-r10 in
+// host registers across translation blocks, so the SMP scheduler must swap
+// them through env at every vCPU switch.
+func (t *Translator) PinnedRegs() ([]arm.Reg, []x86.Reg) { return rules.PinnedList() }
+
 // tctx is per-TB translation context.
 type tctx struct {
 	t    *Translator

@@ -70,7 +70,10 @@ func (e *Engine) insertTB(tb *TB) {
 		}
 	}
 	if fresh {
-		e.Env.FlushTLB()
+		// A page just became code on a machine with a shared cache: every
+		// vCPU's cached writable entries for it must go, or an inline store
+		// could bypass SMC detection.
+		e.flushAllTLBs()
 	}
 	if e.cacheCap > 0 {
 		for len(e.cache) > e.cacheCap && e.evictOne(tb) {

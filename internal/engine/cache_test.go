@@ -187,7 +187,7 @@ func TestFailedTranslationReleasesHelpers(t *testing.T) {
 func TestPageStraddlingBlockIndexedUnderBothPages(t *testing.T) {
 	for _, page := range []uint32{0, 1} {
 		e := newPagedEngine(t, pageStubTrans{stride: 0x1000, guestLen: 32})
-		e.nextPC = 0xFC0 // 32 instructions = 128 bytes: spans pages 0 and 1
+		e.cur.nextPC = 0xFC0 // 32 instructions = 128 bytes: spans pages 0 and 1
 		if err := e.step(); err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func TestFIFOBoundedUnderChurn(t *testing.T) {
 	}
 	for round := 0; round < 500; round++ { // SMC-style churn on page 0
 		e.InvalidatePage(0)
-		e.nextPC = 0
+		e.cur.nextPC = 0
 		if err := e.step(); err != nil {
 			t.Fatal(err)
 		}
@@ -255,7 +255,7 @@ func TestReverseMapInvariantUnderRandomOps(t *testing.T) {
 	for i := 0; i < steps; i++ {
 		switch op := r.Intn(10); {
 		case op < 6:
-			e.nextPC = randPC()
+			e.cur.nextPC = randPC()
 			if err := e.step(); err != nil {
 				t.Fatal(err)
 			}

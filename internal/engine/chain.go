@@ -87,6 +87,7 @@ func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
 	}
 	from.ChainTo[slot] = tb
 	from.chainPriv[slot] = priv
+	from.chainRegime[slot] = e.regimeKey()
 	tb.in = append(tb.in, chainSite{from, slot})
 	e.linkCount++
 	e.Stats.ChainLinks++
@@ -109,10 +110,15 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		// The privilege check mirrors the dispatcher's privilege-keyed cache
 		// lookup: a mid-block mode change (MSR writing the CPSR mode bits)
 		// means the linked successor — translated under the old privilege —
-		// is no longer the block the dispatcher would select.
+		// is no longer the block the dispatcher would select. The regime
+		// check keeps shared links honest on SMP machines: a link made under
+		// another vCPU's page tables resolves the successor VA to a physical
+		// block this vCPU's regime may not map there. The slice check keeps
+		// chained runs inside the SMP scheduler's round-robin quantum.
 		if e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
-			e.CPU.Mode().Privileged() != from.chainPriv[slot] {
-			e.nextPC = from.Next[slot]
+			e.CPU.Mode().Privileged() != from.chainPriv[slot] ||
+			e.regimeKey() != from.chainRegime[slot] || e.sliceExpired() {
+			e.cur.nextPC = from.Next[slot]
 			e.Stats.ChainBreaks++
 			return ExitChainBreak
 		}

@@ -66,7 +66,7 @@ func TestChainedRunSkipsDispatcher(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	dispatches, entries := e.Stats.Dispatches, e.Stats.TBEntries
 	if err := e.step(); err != nil { // TB@0 chains into TB@4, then exits
 		t.Fatal(err)
@@ -80,8 +80,8 @@ func TestChainedRunSkipsDispatcher(t *testing.T) {
 	if e.Stats.ChainedExits != 1 {
 		t.Errorf("chained exits = %d, want 1", e.Stats.ChainedExits)
 	}
-	if e.nextPC != 8 {
-		t.Errorf("nextPC = %#x, want 0x8 (exit dispatched for the chained TB)", e.nextPC)
+	if e.cur.nextPC != 8 {
+		t.Errorf("nextPC = %#x, want 0x8 (exit dispatched for the chained TB)", e.cur.nextPC)
 	}
 	if e.Retired != 4 { // two TBs in steps 1-2, two more in the chained step
 		t.Errorf("retired = %d, want 4 (chain glue must retire)", e.Retired)
@@ -104,7 +104,7 @@ func TestFlushCacheDropsLinks(t *testing.T) {
 	if e.Links() != 0 {
 		t.Errorf("links survive FlushCache: %d", e.Links())
 	}
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	if err := e.step(); err != nil { // retranslate TB@0
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestFlushCacheReleasesHelpers(t *testing.T) {
 	if got := e.M.Helpers(); got != 0 {
 		t.Errorf("flush left %d helpers registered", got)
 	}
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	for i := 0; i < 3; i++ { // retranslate and relink after the flush
 		if err := e.step(); err != nil {
 			t.Fatal(err)
@@ -158,7 +158,7 @@ func TestChainBudgetBoundaryMatchesDispatcher(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		e.nextPC = 0
+		e.cur.nextPC = 0
 		e.Retired = 0
 		e.runLimit = 5 // budget lands mid-chain
 		for e.Retired < e.runLimit {
@@ -193,7 +193,7 @@ func TestUnlinkRestoresExitStub(t *testing.T) {
 		t.Error("link bookkeeping not cleared")
 	}
 	// The restored stub must execute as a plain dispatcher exit again.
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	chained := e.Stats.ChainedExits
 	if err := e.step(); err != nil {
 		t.Fatal(err)
@@ -212,7 +212,7 @@ func TestChainGlueHonoursBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	e.runLimit = e.Retired // budget exhausted from the glue's point of view
 	if err := e.step(); err != nil {
 		t.Fatal(err)
@@ -223,8 +223,8 @@ func TestChainGlueHonoursBudget(t *testing.T) {
 	if e.Stats.ChainBreaks != 1 {
 		t.Errorf("chain breaks = %d, want 1", e.Stats.ChainBreaks)
 	}
-	if e.nextPC != 4 {
-		t.Errorf("nextPC = %#x, want 0x4 (break must complete the transition)", e.nextPC)
+	if e.cur.nextPC != 4 {
+		t.Errorf("nextPC = %#x, want 0x4 (break must complete the transition)", e.cur.nextPC)
 	}
 }
 
@@ -238,7 +238,7 @@ func TestChainRunBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	if err := e.step(); err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestChainGlueBreaksOnPrivilegeChange(t *testing.T) {
 	if tb0.ChainTo[0] == nil {
 		t.Fatal("link not installed")
 	}
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	flip = true // this execution of TB@0 drops to user mode mid-block
 	if err := e.step(); err != nil {
 		t.Fatal(err)
@@ -300,8 +300,8 @@ func TestChainGlueBreaksOnPrivilegeChange(t *testing.T) {
 	if e.Stats.ChainBreaks != 1 {
 		t.Errorf("chain breaks = %d, want 1", e.Stats.ChainBreaks)
 	}
-	if e.nextPC != 4 {
-		t.Errorf("nextPC = %#x, want 0x4", e.nextPC)
+	if e.cur.nextPC != 4 {
+		t.Errorf("nextPC = %#x, want 0x4", e.cur.nextPC)
 	}
 }
 
@@ -323,7 +323,7 @@ func TestRelinkReusesGlueHelper(t *testing.T) {
 	helpers := e.M.Helpers()
 	for i := 0; i < 5; i++ {
 		e.unlinkChains()
-		e.nextPC = 0
+		e.cur.nextPC = 0
 		for j := 0; j < 2; j++ { // exit TB@0 directly, then relink at lookup
 			if err := e.step(); err != nil {
 				t.Fatal(err)
@@ -394,7 +394,7 @@ func TestChainTeardownPrecision(t *testing.T) {
 
 	// Execution falls back through the dispatcher: A's next run exits to the
 	// engine, which retranslates B and relinks.
-	e.nextPC = 0
+	e.cur.nextPC = 0
 	dispatches := e.Stats.Dispatches
 	for i := 0; i < 2; i++ {
 		if err := e.step(); err != nil {

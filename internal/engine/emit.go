@@ -241,7 +241,7 @@ func EmitMMULoad(em *x86.Emitter, size uint8, signed bool, helperID, seq int) {
 	done := fmt.Sprintf("mmudone_%d", seq)
 	emitProbe(em, 0, slow)
 	// Hit: host page base + page offset.
-	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, TLBBase+8))
+	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, RelTLB+8))
 	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
 	loadOp := x86.MOV
 	switch {
@@ -271,7 +271,7 @@ func EmitMMUStore(em *x86.Emitter, size uint8, helperID, seq int) {
 	done := fmt.Sprintf("mmudone_%d", seq)
 	em.Mov(x86.M(x86.EBP, OffTmp0), x86.R(x86.EDX)) // spill value
 	emitProbe(em, 4, slow)
-	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, TLBBase+8))
+	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, RelTLB+8))
 	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
 	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffTmp0)) // reload value
 	em.Mov(x86.MX(x86.ECX, x86.EAX, 1, 0, size), x86.R(x86.EDX))
@@ -282,27 +282,31 @@ func EmitMMUStore(em *x86.Emitter, size uint8, helperID, seq int) {
 	em.Label(done)
 }
 
-// emitProbe emits the TLB tag check: VA in EAX; on return ECX holds the
-// entry offset (idx*16) and the comparison has branched to slowLabel on a
-// miss. cmpOff selects the read (0) or write (4) tag.
+// emitProbe emits the TLB tag check: VA in EAX; on return ECX holds EBP plus
+// the entry offset (idx*16) — the running vCPU's TLB is addressed relative
+// to its env base, so one shared translation probes whichever vCPU executes
+// it — and the comparison has branched to slowLabel on a miss. cmpOff
+// selects the read (0) or write (4) tag.
 //
 //	mov  ecx, eax
 //	shr  ecx, 12
 //	and  ecx, TLBSize-1
 //	shl  ecx, 4
+//	add  ecx, ebp
 //	mov  edx, eax
 //	and  edx, 0xFFFFF000
 //	or   edx, 1
-//	cmp  edx, [ecx + TLBBase + cmpOff]
+//	cmp  edx, [ecx + RelTLB + cmpOff]
 //	jne  slow
 func emitProbe(em *x86.Emitter, cmpOff int32, slowLabel string) {
 	em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
 	em.Op2(x86.SHR, x86.R(x86.ECX), x86.I(12))
 	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(255))
 	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(4))
+	em.Op2(x86.ADD, x86.R(x86.ECX), x86.R(x86.EBP))
 	em.Mov(x86.R(x86.EDX), x86.R(x86.EAX))
 	em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFF000))
 	em.Op2(x86.OR, x86.R(x86.EDX), x86.I(1))
-	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, TLBBase+cmpOff))
+	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RelTLB+cmpOff))
 	em.Jcc(x86.CcNE, slowLabel)
 }

@@ -47,6 +47,13 @@ type TB struct {
 	// the current mode no longer matches, mirroring the dispatcher's
 	// privilege-keyed lookup.
 	chainPriv [2]bool
+	// chainRegime[s] is the translation regime the link was made under
+	// (regimeKey of the linking vCPU). A link bakes a virtual-to-physical
+	// resolution; on an SMP machine another vCPU may hold a different
+	// regime, so the glue refuses the jump when the executing vCPU's regime
+	// differs (page-table *content* changes are covered separately: TLB
+	// maintenance unlinks all chains).
+	chainRegime [2]uint64
 	// glueID[s] is 1 + the chain-glue helper id registered for slot s (0 =
 	// none yet); one closure per slot, reused across relinks so link churn
 	// does not grow the machine's helper table.
@@ -90,7 +97,8 @@ type Translator interface {
 	Translate(e *Engine, pc uint32, priv bool) (*TB, error)
 }
 
-// Stats counts engine-level events.
+// Stats counts engine-level events, aggregated across every vCPU (the
+// per-vCPU split lives on VCPU).
 type Stats struct {
 	TBsTranslated     uint64
 	Retranslations    uint64 // translations of a (pa, priv) key translated before
@@ -112,6 +120,9 @@ type Stats struct {
 	Exceptions        uint64
 	MMUSlowPath       uint64
 	IOAccesses        uint64
+	Exclusives        uint64 // LDREX/STREX/CLREX helper executions
+	StrexFailures     uint64 // exclusive stores refused by the monitor
+	Switches          uint64 // vCPU context switches performed by the scheduler
 }
 
 // ChainRate is the fraction of direct-successor transitions served by a
@@ -145,24 +156,48 @@ const (
 	CostExcEntry = 22 // exception entry (bank switch, vector fetch setup)
 )
 
-// Engine is a system-level DBT instance: one guest CPU over one host machine.
+// Engine is a system-level DBT instance: one or more guest vCPUs over one
+// host machine, executed by a deterministic round-robin scheduler (the
+// classic single-threaded TCG model) over one shared, physically-keyed code
+// cache. Env, CPU and the per-vCPU scalar state below always describe the
+// *currently scheduled* vCPU — on a uniprocessor engine (New) that is simply
+// the machine's only CPU, so every existing single-CPU caller reads them
+// unchanged.
 type Engine struct {
 	M     *x86.Machine
-	Env   *Env
-	Bus   *ghw.Bus
-	CPU   *arm.CPU
+	Env   *Env     // the running vCPU's CPUState view
+	Bus   *ghw.Bus // shared by every vCPU
+	CPU   *arm.CPU // the running vCPU's architectural state
 	Trans Translator
 
 	Stats Stats
 
-	// Retired counts retired guest instructions.
+	// Retired counts retired guest instructions across every vCPU — the
+	// platform clock (per-vCPU counts live on VCPU.Retired).
 	Retired uint64
 
+	// vcpus are the machine's guest processors (see smp.go); cur is the one
+	// scheduled now.
+	vcpus []*VCPU
+	cur   *VCPU
+
+	// excl is the global exclusive monitor shared by the vCPUs, and
+	// monitorPages marks guest physical pages that have held a monitor
+	// (sticky until Reset): stores there are kept on the softmmu slow path
+	// (like codePages) so the Go helper observes them and clears the
+	// monitors — an inline TLB-hit store can never race past an exclusive
+	// reservation.
+	excl         *arm.Exclusive
+	monitorPages map[uint32]bool
+
+	// pinGuest/pinHost describe the translator's cross-TB register pinning
+	// (RegPinner); the scheduler spills and refills these host registers at
+	// every vCPU switch.
+	pinGuest []arm.Reg
+	pinHost  []x86.Reg
+
 	cache        map[tbKey]*TB
-	nextPC       uint32
-	halted       bool
 	baseHelpers  int
-	wasUser      bool
 	decodeCache  map[uint32]arm.Inst
 	invalidCount uint64
 
@@ -186,15 +221,14 @@ type Engine struct {
 	seenKeys     map[tbKey]bool
 
 	// Indirect-branch fast-path state (see jc.go): the env-resident jump
-	// cache and return-address stack, the handle table emitted probes jump
-	// through, and the pending fill noted by a missed indirect exit.
-	jc            bool // jump cache enabled
-	ras           bool // return-address-stack prediction enabled
-	jcGlueID      int  // 1 + helper id of the jump-cache glue (0 = none)
-	rasGlueID     int  // 1 + helper id of the RAS glue
-	tbHandles     []*TB
-	freeHandles   []int
-	pendingJCFill bool // the last exit was an indirect miss: fill on resolve
+	// cache and return-address stack, and the handle table emitted probes
+	// jump through (the pending-fill flag is per-vCPU, on VCPU).
+	jc          bool // jump cache enabled
+	ras         bool // return-address-stack prediction enabled
+	jcGlueID    int  // 1 + helper id of the jump-cache glue (0 = none)
+	rasGlueID   int  // 1 + helper id of the RAS glue
+	tbHandles   []*TB
+	freeHandles []int
 
 	// Translation-time recording: while Trans.Translate runs, FetchInst
 	// accumulates the fetched physical pages and the Register* methods the
@@ -214,28 +248,49 @@ type Engine struct {
 // window; guests larger than this are rejected at construction.
 func hostMemSize(ramSize uint32) int { return GuestWin + int(ramSize) }
 
-// New builds an engine over fresh host machine + guest bus. The guest RAM
-// aliases the host memory window so translated code, helpers and device DMA
-// share one storage.
-func New(tr Translator, ramSize uint32) *Engine {
+// New builds a uniprocessor engine over fresh host machine + guest bus. The
+// guest RAM aliases the host memory window so translated code, helpers and
+// device DMA share one storage. It is NewSMP with one vCPU.
+func New(tr Translator, ramSize uint32) *Engine { return NewSMP(tr, ramSize, 1) }
+
+// NewSMP builds an engine with n guest vCPUs (1 <= n <= MaxVCPUs) sharing
+// one bus, one exclusive monitor and one physically-keyed code cache, each
+// owning a private CPUState/TLB/jump-cache/RAS region. vCPU 0 is scheduled
+// first; the secondaries' MPIDR identifies their index to the guest.
+func NewSMP(tr Translator, ramSize uint32, n int) *Engine {
+	if n < 1 || n > MaxVCPUs {
+		panic(fmt.Sprintf("engine: vCPU count %d outside [1, %d]", n, MaxVCPUs))
+	}
 	m := x86.NewMachine(hostMemSize(ramSize))
 	bus := ghw.NewBusWithRAM(m.Mem[GuestWin : GuestWin+int(ramSize)])
+	bus.Intc.NumCPU = n
 	e := &Engine{
-		M:           m,
-		Env:         NewEnv(m),
-		Bus:         bus,
-		CPU:         arm.NewCPU(),
-		Trans:       tr,
-		cache:       map[tbKey]*TB{},
-		decodeCache: map[uint32]arm.Inst{},
-		codePages:   map[uint32]bool{},
-		pageTBs:     map[uint32]map[*TB]struct{}{},
-		seenKeys:    map[tbKey]bool{},
+		M:            m,
+		Bus:          bus,
+		Trans:        tr,
+		excl:         arm.NewExclusive(n),
+		monitorPages: map[uint32]bool{},
+		cache:        map[tbKey]*TB{},
+		decodeCache:  map[uint32]arm.Inst{},
+		codePages:    map[uint32]bool{},
+		pageTBs:      map[uint32]map[*TB]struct{}{},
+		seenKeys:     map[tbKey]bool{},
+	}
+	if p, ok := tr.(RegPinner); ok {
+		e.pinGuest, e.pinHost = p.PinnedRegs()
+	}
+	for i := 0; i < n; i++ {
+		e.vcpus = append(e.vcpus, newVCPU(m, i))
 	}
 	m.Regs[x86.ESP] = HostStackTop
-	m.Regs[x86.EBP] = EnvBase
 	e.baseHelpers = 0
-	e.syncPrivTag()
+	v := e.vcpus[0]
+	e.cur = v
+	e.Env, e.CPU = v.Env, v.CPU
+	m.Regs[x86.EBP] = v.Env.base
+	for _, v := range e.vcpus {
+		e.syncPrivTagOf(v)
+	}
 	return e
 }
 
@@ -279,29 +334,34 @@ func (s envState) SetCPSR(v uint32) {
 func (s envState) SPSR() uint32     { return s.e.CPU.SPSR() }
 func (s envState) SetSPSR(v uint32) { s.e.CPU.SetSPSR(v) }
 
-// takeException injects a guest exception (engine-side QEMU role).
+// takeException injects a guest exception on the running vCPU (engine-side
+// QEMU role). Exception entry clears the vCPU's exclusive monitor, so an
+// interrupted LDREX/STREX sequence cannot succeed spuriously afterwards.
 func (e *Engine) takeException(vec arm.Vector, retAddr uint32) {
-	e.pendingJCFill = false // the vector lookup is not the missed target
+	e.cur.pendingJCFill = false // the vector lookup is not the missed target
+	e.excl.Clear(e.cur.Index)
 	e.Stats.Exceptions++
 	e.M.Charge(x86.ClassHelper, CostExcEntry)
 	st := envState{e}
 	arm.TakeException(st, vec, retAddr)
-	e.nextPC = e.Env.Reg(arm.PC)
+	e.cur.nextPC = e.Env.Reg(arm.PC)
 	e.refreshIRQ()
 }
 
-// refreshIRQ recomputes the env interrupt-pending word from the bus and the
-// guest's IRQ mask.
+// refreshIRQ recomputes the running vCPU's env interrupt-pending word from
+// its bus IRQ input and its guest IRQ mask.
 func (e *Engine) refreshIRQ() {
-	e.Env.SetPendingIRQ(e.Bus.IRQPending() && e.CPU.IRQEnabled())
+	e.Env.SetPendingIRQ(e.Bus.IRQPendingFor(e.cur.Index) && e.CPU.IRQEnabled())
 }
 
-// retire advances guest time by n instructions.
+// retire advances guest time by n instructions on the running vCPU.
 func (e *Engine) retire(n int) {
 	if n <= 0 {
 		return
 	}
 	e.Retired += uint64(n)
+	e.cur.Retired += uint64(n)
+	e.cur.sliceRet += uint64(n)
 	e.Bus.Tick(uint64(n))
 	e.refreshIRQ()
 }
@@ -346,7 +406,9 @@ func (e *Engine) FlushCache() {
 	e.lastTB = nil
 	e.tbHandles = nil
 	e.freeHandles = nil
-	e.pendingJCFill = false
+	for _, v := range e.vcpus {
+		v.pendingJCFill = false
+	}
 	e.flushJC()
 	e.M.TruncateHelpers(e.baseHelpers)
 }
@@ -358,37 +420,47 @@ func (e *Engine) Flushes() uint64 { return e.invalidCount }
 // CacheSize returns the number of cached TBs.
 func (e *Engine) CacheSize() int { return len(e.cache) }
 
-// Reset places the guest at the architectural reset state, fully flushing
+// Reset places every vCPU at the architectural reset state, fully flushing
 // the code cache.
 func (e *Engine) Reset() {
-	e.CPU = arm.NewCPU()
-	st := e.Env
-	for r := arm.R0; r <= arm.PC; r++ {
-		st.SetReg(r, 0)
+	for _, v := range e.vcpus {
+		v.CPU = arm.NewCPU()
+		v.CPU.CP15.MPIDR = 0x80000000 | uint32(v.Index)
+		for r := arm.R0; r <= arm.PC; r++ {
+			v.Env.SetReg(r, 0)
+		}
+		v.Env.SetFlags(arm.Flags{})
+		v.Env.FlushTLB()
+		v.nextPC = 0
+		v.halted = false
+		v.sliceRet = 0
+		e.excl.Clear(v.Index)
 	}
-	st.SetFlags(arm.Flags{})
-	st.FlushTLB()
+	e.monitorPages = map[uint32]bool{}
 	e.FlushCache()
-	e.nextPC = 0
-	e.wasUser = false
-	e.syncPrivTag()
+	e.cur = e.vcpus[0]
+	e.Env, e.CPU = e.cur.Env, e.cur.CPU
+	e.M.Regs[x86.EBP] = e.cur.Env.base
+	for _, v := range e.vcpus {
+		e.syncPrivTagOf(v)
+	}
 }
 
-// Run executes until guest power-off or the retirement budget is exhausted.
-// Returns the guest exit code.
+// Run executes until guest power-off or the retirement budget (summed over
+// every vCPU) is exhausted, scheduling the vCPUs round-robin in SliceQuantum
+// time slices at translation-block boundaries (see smp.go). Returns the
+// guest exit code.
 func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 	e.runLimit = maxInstr
 	for e.Retired < maxInstr {
 		if e.Bus.PoweredOff() {
 			return e.Bus.SysCtl().Code, nil
 		}
-		if e.halted {
-			if !e.Bus.Intc.Asserted() {
-				e.Bus.Tick(16)
-				continue
-			}
-			e.halted = false
-			e.refreshIRQ()
+		if e.schedule() == nil {
+			// Every vCPU is halted in WFI with no IRQ input asserted:
+			// advance platform time until a device wakes one.
+			e.Bus.Tick(ghw.IdleTickQuantum)
+			continue
 		}
 		if err := e.step(); err != nil {
 			return 0, err
@@ -398,14 +470,15 @@ func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 		return e.Bus.SysCtl().Code, nil
 	}
 	return 0, fmt.Errorf("engine(%s): budget of %d guest instructions exhausted at pc=%#08x",
-		e.Trans.Name(), maxInstr, e.nextPC)
+		e.Trans.Name(), maxInstr, e.cur.nextPC)
 }
 
-// step finds (translating if needed) and executes one TB — plus, with
-// chaining, any run of linked successors — and dispatches the final exit.
+// step finds (translating if needed) and executes one TB on the running
+// vCPU — plus, with chaining, any run of linked successors — and dispatches
+// the final exit.
 func (e *Engine) step() error {
 	e.Stats.Dispatches++
-	pc := e.nextPC
+	pc := e.cur.nextPC
 	priv := e.CPU.Mode().Privileged()
 	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, pc, mmu.Fetch, !priv)
 	if fault != nil {
@@ -426,8 +499,8 @@ func (e *Engine) step() error {
 	}
 	// An indirect exit missed the jump cache last step: fill the entry with
 	// the block the lookup resolved, so the next probe hits inline.
-	if e.pendingJCFill {
-		e.pendingJCFill = false
+	if e.cur.pendingJCFill {
+		e.cur.pendingJCFill = false
 		e.jcFill(pc, tb)
 	}
 	// A direct exit dispatched here last step resolves to this block: patch
@@ -453,7 +526,7 @@ func (e *Engine) step() error {
 		e.M.Charge(x86.ClassGlue, 1)
 		e.Stats.ChainHits++
 		e.retire(tb.GuestLen)
-		e.nextPC = tb.Next[code]
+		e.cur.nextPC = tb.Next[code]
 		e.rasPushFor(tb, int(code))
 		e.noteDirectExit(tb, int(code))
 	case ExitIndirect:
@@ -463,10 +536,10 @@ func (e *Engine) step() error {
 		e.M.Charge(x86.ClassHelper, CostIndirectLookup)
 		if e.jc {
 			e.Stats.JCMisses++
-			e.pendingJCFill = true
+			e.cur.pendingJCFill = true
 		}
 		e.retire(tb.GuestLen)
-		e.nextPC = e.Env.ExitPC()
+		e.cur.nextPC = e.Env.ExitPC()
 	case ExitIRQ:
 		// The interrupt check fired; instructions before it have retired.
 		e.Stats.IRQs++
@@ -475,7 +548,7 @@ func (e *Engine) step() error {
 	case ExitExc:
 		// A helper already injected the exception and accounted retirement.
 	case ExitHalt:
-		e.halted = true
+		e.cur.halted = true
 	case ExitSMC:
 		// Self-modifying code: the store helper flushed the cache and set
 		// the resume PC; nothing further to do.
@@ -615,6 +688,10 @@ func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup f
 			return e.dataAbort(fault, guestPC, idx)
 		}
 		e.fillTLB(va, pa, entry)
+		// The memory system observes the store: any exclusive monitor on the
+		// granule is cleared (stores to monitored pages are denied the inline
+		// fast path, so they always reach this helper).
+		e.excl.Observe(pa)
 		v := m.Regs[x86.EDX]
 		switch size {
 		case 1:
@@ -632,7 +709,7 @@ func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup f
 			// after the instruction with only the faulting word written.
 			e.invalidateOnStore(pa)
 			e.retire(idx + 1)
-			e.nextPC = guestPC + 4
+			e.cur.nextPC = guestPC + 4
 			return ExitSMC
 		}
 		return -1
@@ -654,6 +731,11 @@ func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) {
 		}
 		if e.codePages[pa>>PageBits] {
 			canWrite = false // keep stores to code pages on the slow path
+		}
+		if e.monitorPages[pa>>PageBits] {
+			// An exclusive monitor is active on this page: stores must reach
+			// the Go helper so the monitor observes them.
+			canWrite = false
 		}
 		hostPage := GuestWin + pa&^0xFFF
 		e.Env.FillTLB(va, hostPage, canRead, canWrite)
@@ -739,7 +821,7 @@ func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
 		return -1
 	case arm.KindWFI:
 		e.retire(idx + 1)
-		e.nextPC = pc + 4
+		e.cur.nextPC = pc + 4
 		return ExitHalt
 	case arm.KindSRSexc:
 		if !cpu.Mode().Banked() {
@@ -754,7 +836,7 @@ func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
 		res, _ := arm.AluExec(in.Op, env.Reg(in.Rn), op2, flags.C, false)
 		e.retire(idx + 1)
 		arm.ExceptionReturn(st, res&^3)
-		e.nextPC = env.Reg(arm.PC)
+		e.cur.nextPC = env.Reg(arm.PC)
 		e.refreshIRQ()
 		return ExitExc
 	default: // undefined instruction reached a system helper
@@ -793,14 +875,16 @@ func (e *Engine) execCP15(in *arm.Inst) {
 			env.FlushTLB()
 			// Chained jumps and jump-cache entries bake in successor
 			// translations keyed by virtual PC; re-resolve them through the
-			// dispatcher under the new mapping.
+			// dispatcher under the new mapping. The jump cache is the
+			// maintaining vCPU's own; chains are shared by every vCPU, so
+			// they are unlinked globally (conservative).
 			e.unlinkChains()
-			e.flushJC()
+			e.flushJCOf(e.cur)
 		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
 			*sel = v
 			env.FlushTLB() // translation regime changed
 			e.unlinkChains()
-			e.flushJC()
+			e.flushJCOf(e.cur)
 		case sel != nil:
 			*sel = v
 		}
@@ -809,6 +893,10 @@ func (e *Engine) execCP15(in *arm.Inst) {
 	switch {
 	case sel != nil:
 		env.SetReg(in.Rd, *sel)
+	case in.CRn == 0 && in.Opc2 == 5:
+		// MPIDR: which core am I? Guests use it to pick boot paths and
+		// per-CPU stacks.
+		env.SetReg(in.Rd, cpu.CP15.MPIDR)
 	case in.CRn == 0:
 		env.SetReg(in.Rd, 0x410FC075)
 	default:

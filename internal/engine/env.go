@@ -17,14 +17,37 @@ import (
 
 // Host memory layout. The guest RAM window aliases the guest bus RAM, so
 // device DMA and translated-code memory accesses observe each other.
+//
+// Everything a vCPU owns privately — CPUState, softmmu TLB, jump cache,
+// return-address stack — lives in one per-vCPU region of CPUStride bytes
+// starting at CPUBase(i); the constants below name vCPU 0's region, which is
+// also the whole layout of a uniprocessor engine. Emitted code addresses all
+// of it EBP-relative (EBP holds the running vCPU's CPUBase), so one shared
+// translation executes correctly on whichever vCPU is scheduled; the Rel*
+// offsets are the EBP-relative displacements of the TLB/jc/RAS blocks.
 const (
-	EnvBase      = 0x00001000 // CPUState
-	HostStackTop = 0x00008000 // host stack for push/pop/pushf
-	TLBBase      = 0x00010000 // softmmu TLB: mmu.TLBSize entries x 16 bytes
-	JCBase       = 0x00020000 // TB jump cache: JCSize entries x 8 bytes (jc.go)
-	RASBase      = 0x00022000 // return-address stack: RASSize entries x 8 bytes
+	EnvBase      = 0x00001000 // CPUState of vCPU 0
+	HostStackTop = 0x00008000 // host stack for push/pop/pushf (shared; one vCPU runs at a time)
+	TLBBase      = 0x00010000 // vCPU 0 softmmu TLB: mmu.TLBSize entries x 16 bytes
+	JCBase       = 0x00020000 // vCPU 0 TB jump cache: JCSize entries x 8 bytes (jc.go)
+	RASBase      = 0x00022000 // vCPU 0 return-address stack: RASSize entries x 8 bytes
 	GuestWin     = 0x00100000 // guest physical RAM window base
+
+	// RelTLB/RelJC/RelRAS are the per-vCPU blocks' offsets from the vCPU's
+	// env base — the displacements emitted probes use with EBP added in.
+	RelTLB = TLBBase - EnvBase
+	RelJC  = JCBase - EnvBase
+	RelRAS = RASBase - EnvBase
+
+	// CPUStride separates consecutive vCPU regions; MaxVCPUs regions fit
+	// below the guest RAM window.
+	CPUStride = 0x00030000
+	MaxVCPUs  = 4
 )
+
+// CPUBase returns the env base address of vCPU i (its EBP value while
+// scheduled).
+func CPUBase(i int) uint32 { return EnvBase + uint32(i)*CPUStride }
 
 // env field offsets (bytes from EnvBase). The separate CF/ZF/NF/VF words are
 // QEMU's "one-to-many" condition-code representation; the packed slot plus
@@ -63,23 +86,34 @@ const (
 // word3: unused padding
 const tlbEntrySize = 16
 
-// TLBEntryAddr returns the host address of the TLB entry for a virtual page.
-func TLBEntryAddr(va uint32) uint32 {
+// TLBEntryAddr returns the host address of this env's TLB entry for a
+// virtual page.
+func (e *Env) TLBEntryAddr(va uint32) uint32 {
 	idx := (va >> 12) % mmu.TLBSize
-	return TLBBase + idx*tlbEntrySize
+	return e.base + RelTLB + idx*tlbEntrySize
 }
 
-// Env is a typed view over the CPUState in host memory. Helpers (the Go side
-// of the emulator, QEMU's role) access guest state exclusively through it.
+// Env is a typed view over one vCPU's CPUState in host memory. Helpers (the
+// Go side of the emulator, QEMU's role) access guest state exclusively
+// through it.
 type Env struct {
 	m *x86.Machine
+	// base is the vCPU's env base address (CPUBase of its index); the TLB,
+	// jump-cache and RAS blocks sit at the Rel* offsets above it.
+	base uint32
 }
 
-// NewEnv wraps the machine's env region.
-func NewEnv(m *x86.Machine) *Env { return &Env{m: m} }
+// NewEnv wraps the machine's vCPU-0 env region.
+func NewEnv(m *x86.Machine) *Env { return NewEnvAt(m, EnvBase) }
 
-func (e *Env) read(off int32) uint32     { return e.m.Read32(uint32(int32(EnvBase) + off)) }
-func (e *Env) write(off int32, v uint32) { e.m.Write32(uint32(int32(EnvBase)+off), v) }
+// NewEnvAt wraps the env region at the given base (CPUBase of a vCPU).
+func NewEnvAt(m *x86.Machine, base uint32) *Env { return &Env{m: m, base: base} }
+
+// Base returns the env's base address (the vCPU's EBP value while running).
+func (e *Env) Base() uint32 { return e.base }
+
+func (e *Env) read(off int32) uint32     { return e.m.Read32(uint32(int32(e.base) + off)) }
+func (e *Env) write(off int32, v uint32) { e.m.Write32(uint32(int32(e.base)+off), v) }
 
 // Reg reads guest register r from env.
 func (e *Env) Reg(r arm.Reg) uint32 { return e.read(OffReg(r)) }
@@ -172,10 +206,10 @@ func (e *Env) ExitPC() uint32 { return e.read(OffExitPC) }
 // SetExitPC stores the resume PC.
 func (e *Env) SetExitPC(pc uint32) { e.write(OffExitPC, pc) }
 
-// FlushTLB invalidates every softmmu TLB entry.
+// FlushTLB invalidates every softmmu TLB entry of this env's vCPU.
 func (e *Env) FlushTLB() {
 	for i := uint32(0); i < mmu.TLBSize; i++ {
-		base := TLBBase + i*tlbEntrySize
+		base := e.base + RelTLB + i*tlbEntrySize
 		e.m.Write32(base, 0)
 		e.m.Write32(base+4, 0)
 	}
@@ -184,7 +218,7 @@ func (e *Env) FlushTLB() {
 // FillTLB installs a translation for the RAM page containing pa. read/write
 // select which access kinds the entry matches.
 func (e *Env) FillTLB(va, hostPageAddr uint32, read, write bool) {
-	base := TLBEntryAddr(va)
+	base := e.TLBEntryAddr(va)
 	tag := va&^0xFFF | 1
 	if read {
 		e.m.Write32(base, tag)

@@ -122,9 +122,6 @@ const costRASPush = 4
 // apart — different functions — do not collide in the direct-mapped table.
 func jcIndex(pc uint32) uint32 { return ((pc ^ (pc >> JCBits)) >> 2) & (JCSize - 1) }
 
-// jcEntryAddr returns the host address of the jump-cache entry for pc.
-func jcEntryAddr(pc uint32) uint32 { return JCBase + jcIndex(pc)*jcEntrySize }
-
 // EnableJumpCache switches the inline indirect-branch fast path on or off.
 // Toggling flushes the code cache: blocks must be re-emitted with (or
 // without) the probe epilogues.
@@ -196,13 +193,17 @@ func (e *Engine) EmitIndirectExit(em *x86.Emitter, isReturn bool, seq int) {
 	if e.ras && isReturn {
 		// Return-address-stack probe: compare the top entry's tag against
 		// the target PC; on a hit pop the entry and jump through its handle.
+		// The RAS is addressed EBP-relative (each vCPU owns one), so the top
+		// offset is biased by EBP before indexing.
 		rasMiss := fmt.Sprintf("rasmiss_%d", seq)
 		em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, OffRASTop))
+		em.Op2(x86.ADD, x86.R(x86.ECX), x86.R(x86.EBP))
 		em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffExitPC))
 		em.Op2(x86.OR, x86.R(x86.EDX), x86.M(x86.EBP, OffPrivTag))
-		em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RASBase))
+		em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RelRAS))
 		em.Jcc(x86.CcNE, rasMiss)
-		em.Mov(x86.R(x86.EDX), x86.M(x86.ECX, RASBase+4)) // handle (1-biased)
+		em.Mov(x86.R(x86.EDX), x86.M(x86.ECX, RelRAS+4)) // handle (1-biased)
+		em.Op2(x86.SUB, x86.R(x86.ECX), x86.R(x86.EBP))
 		em.Op2(x86.SUB, x86.R(x86.ECX), x86.I(rasEntrySize))
 		em.Op2(x86.AND, x86.R(x86.ECX), x86.I(rasTopMask))
 		em.Mov(x86.M(x86.EBP, OffRASTop), x86.R(x86.ECX))
@@ -213,7 +214,8 @@ func (e *Engine) EmitIndirectExit(em *x86.Emitter, isReturn bool, seq int) {
 	// Jump-cache probe: hash the target PC to a slot, build the comparison
 	// tag (PC | privilege bits from env) and compare; on a hit jump through
 	// the stored handle. A matching tag implies a filled handle (entries are
-	// written whole and purged whole).
+	// written whole and purged whole). The slot index is biased by EBP so
+	// the probe reads the running vCPU's private jump cache.
 	miss := fmt.Sprintf("jcmiss_%d", seq)
 	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffExitPC))
 	em.Mov(x86.R(x86.ECX), x86.R(x86.EDX))
@@ -222,10 +224,11 @@ func (e *Engine) EmitIndirectExit(em *x86.Emitter, isReturn bool, seq int) {
 	em.Op2(x86.SHR, x86.R(x86.ECX), x86.I(2))
 	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(JCSize-1))
 	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(3))
+	em.Op2(x86.ADD, x86.R(x86.ECX), x86.R(x86.EBP))
 	em.Op2(x86.OR, x86.R(x86.EDX), x86.M(x86.EBP, OffPrivTag))
-	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, JCBase))
+	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RelJC))
 	em.Jcc(x86.CcNE, miss)
-	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, JCBase+4))
+	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, RelJC+4))
 	em.Raw(x86.Inst{Op: x86.JMPT, Dst: x86.R(x86.ECX), Helper: e.jcGlueID - 1})
 	em.Label(miss)
 	em.Exit(ExitIndirect)
@@ -248,10 +251,13 @@ func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
 		}
 		// The entry is a hint: the jump is taken only if the handle resolves
 		// to a live TB for exactly this (PC, privilege) — the dispatcher's
-		// lookup key — and the run bounds the chain glue enforces still hold.
+		// lookup key — and the run bounds the chain glue enforces still hold
+		// (including the SMP scheduler's slice, so a linked run cannot
+		// overstay the vCPU's turn).
 		if to == nil || to.PC != pc || to.key.priv != e.CPU.Mode().Privileged() ||
-			e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun {
-			e.nextPC = pc
+			e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
+			e.sliceExpired() {
+			e.cur.nextPC = pc
 			e.Stats.JCBreaks++
 			return ExitChainBreak
 		}
@@ -290,28 +296,34 @@ func (e *Engine) freeHandle(tb *TB) {
 
 // --- fill and purge -----------------------------------------------------
 
-// jcFill installs (pc -> tb) in the jump cache after the dispatcher resolved
-// a missed indirect transition, and records the slot on the TB so retiring
-// it can purge exactly the entries that address it.
+// jcFill installs (pc -> tb) in the running vCPU's jump cache after the
+// dispatcher resolved a missed indirect transition, and records the
+// (vCPU, slot) pair on the TB so retiring it can purge exactly the entries
+// that address it — on every vCPU, since the cache is shared and each vCPU
+// may have filled its own entry for the block.
 func (e *Engine) jcFill(pc uint32, tb *TB) {
 	idx := jcIndex(pc)
-	base := JCBase + idx*jcEntrySize
+	base := e.cur.Env.base + RelJC + idx*jcEntrySize
 	e.M.Write32(base, pc|privTagBits(tb.key.priv))
 	e.M.Write32(base+4, uint32(tb.handle+1))
+	slot := uint32(e.cur.Index)<<JCBits | idx
 	for _, s := range tb.jcSlots {
-		if s == idx {
+		if s == slot {
 			return
 		}
 	}
-	tb.jcSlots = append(tb.jcSlots, idx)
+	tb.jcSlots = append(tb.jcSlots, slot)
 }
 
-// purgeTB removes every jump-cache and RAS entry addressing tb, called on
-// every TB retirement path (page invalidation, eviction, flush funnels
-// through FlushCache's wholesale purge instead).
+// purgeTB removes every jump-cache and RAS entry addressing tb — across all
+// vCPUs — called on every TB retirement path (page invalidation, eviction,
+// flush funnels through FlushCache's wholesale purge instead). This is the
+// cross-vCPU coherence rule: a block invalidated by any vCPU must not stay
+// reachable through any other vCPU's inline fast path.
 func (e *Engine) purgeTB(tb *TB) {
-	for _, idx := range tb.jcSlots {
-		base := JCBase + idx*jcEntrySize
+	for _, s := range tb.jcSlots {
+		cpu, idx := int(s>>JCBits), s&(JCSize-1)
+		base := e.vcpus[cpu].Env.base + RelJC + idx*jcEntrySize
 		if e.M.Read32(base+4) == uint32(tb.handle+1) {
 			e.M.Write32(base, 0)
 			e.M.Write32(base+4, 0)
@@ -319,34 +331,45 @@ func (e *Engine) purgeTB(tb *TB) {
 	}
 	tb.jcSlots = nil
 	if e.ras {
-		for i := uint32(0); i < RASSize; i++ {
-			base := RASBase + i*rasEntrySize
-			if e.M.Read32(base+4) == uint32(tb.handle+1) {
-				e.M.Write32(base, 0)
-				e.M.Write32(base+4, 0)
+		for _, v := range e.vcpus {
+			for i := uint32(0); i < RASSize; i++ {
+				base := v.Env.base + RelRAS + i*rasEntrySize
+				if e.M.Read32(base+4) == uint32(tb.handle+1) {
+					e.M.Write32(base, 0)
+					e.M.Write32(base+4, 0)
+				}
 			}
 		}
 	}
 }
 
-// flushJC invalidates every jump-cache and RAS entry. Called when all
-// entries could be stale at once: whole-cache flush, fast-path toggles, and
-// translation-regime changes (the table is keyed by virtual PC, so a new
-// mapping strands every entry). Privilege changes purge nothing: the
-// privilege lives in the entry tags, so entries of the other privilege
-// simply stop matching.
-func (e *Engine) flushJC() {
+// flushJCOf invalidates every jump-cache and RAS entry of one vCPU. Called
+// when all of that vCPU's entries could be stale at once — in particular a
+// translation-regime change (the table is keyed by virtual PC, so a new
+// mapping strands every entry), which is a per-vCPU event: other vCPUs'
+// regimes did not change. Privilege changes purge nothing: the privilege
+// lives in the entry tags, so entries of the other privilege simply stop
+// matching.
+func (e *Engine) flushJCOf(v *VCPU) {
 	for i := uint32(0); i < JCSize; i++ {
-		base := JCBase + i*jcEntrySize
+		base := v.Env.base + RelJC + i*jcEntrySize
 		e.M.Write32(base, 0)
 		e.M.Write32(base+4, 0)
 	}
 	for i := uint32(0); i < RASSize; i++ {
-		base := RASBase + i*rasEntrySize
+		base := v.Env.base + RelRAS + i*rasEntrySize
 		e.M.Write32(base, 0)
 		e.M.Write32(base+4, 0)
 	}
-	e.Env.write(OffRASTop, 0)
+	v.Env.write(OffRASTop, 0)
+}
+
+// flushJC invalidates every vCPU's jump cache and RAS (whole-cache flush,
+// fast-path toggles).
+func (e *Engine) flushJC() {
+	for _, v := range e.vcpus {
+		e.flushJCOf(v)
+	}
 }
 
 // --- return-address-stack push ------------------------------------------
@@ -376,7 +399,8 @@ func (e *Engine) rasPushFor(tb *TB, slot int) {
 			tag, handle = ret|privTagBits(priv), uint32(to.handle+1)
 		}
 	}
-	e.M.Write32(RASBase+top, tag)
-	e.M.Write32(RASBase+top+4, handle)
+	base := e.cur.Env.base + RelRAS + top
+	e.M.Write32(base, tag)
+	e.M.Write32(base+4, handle)
 	e.M.Charge(x86.ClassGlue, costRASPush)
 }

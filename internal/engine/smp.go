@@ -1,0 +1,307 @@
+package engine
+
+import (
+	"sldbt/internal/arm"
+	"sldbt/internal/ghw"
+	"sldbt/internal/mmu"
+	"sldbt/internal/x86"
+)
+
+// Deterministic multi-vCPU execution (SMP) over the shared code cache.
+//
+// The engine runs N guest vCPUs with one host machine, one bus and ONE
+// physically-keyed TB cache — QEMU's classic single-threaded TCG model: a
+// round-robin scheduler executes exactly one vCPU at a time, switching at
+// translation-block boundaries once the running vCPU has retired a
+// SliceQuantum of instructions. Because every engine and the SMP
+// interpreter oracle (internal/smp) partition the instruction stream into
+// the same blocks and count retirement identically, the interleaving is
+// bit-deterministic and differentially comparable.
+//
+// What is shared and what is private:
+//
+//   - Shared: host machine + helpers, bus/devices, the TB cache with its
+//     chain links and handle table, the page reverse map, the decode cache,
+//     and the global exclusive monitor. A block translated by vCPU 0 is
+//     executed directly by vCPU 1 — emitted code addresses all per-vCPU
+//     state EBP-relative, and the scheduler repoints EBP at each switch.
+//   - Private per vCPU: architectural state (arm.CPU + env), the softmmu
+//     TLB, the jump cache, the return-address stack, and the scalar
+//     dispatch state (resume PC, WFI halt, pending jump-cache fill).
+//
+// Cross-vCPU coherence rules (asserted by the smp tests):
+//
+//   - An SMC store or page invalidation by ANY vCPU retires the page's TBs
+//     and purges every vCPU's jump-cache/RAS entries for them (purgeTB), and
+//     unpatches the chain stubs that jump into them.
+//   - A fresh code page write-protects every vCPU's TLB (flushAllTLBs in
+//     insertTB), so no vCPU's cached writable entry can bypass SMC
+//     detection.
+//   - An active exclusive monitor keeps its page on the store slow path for
+//     every vCPU (monitorPages), so any intervening store is observed and
+//     clears the reservation.
+//   - A translation-regime change (TTBR/SCTLR, TLB maintenance) is per-vCPU
+//     for the TLB and jump cache, but conservatively unlinks all chains:
+//     links bake virtual successor addresses, and the cache is shared.
+
+// SliceQuantum is the round-robin time slice in retired guest instructions:
+// a vCPU runs until the first block boundary at or past this many retired
+// instructions, then yields. It is derived from the platform's idle-tick
+// quantum so scheduling and idle time advance on one scale; the dispatcher,
+// the chain/jump-cache glue and the SMP interpreter oracle all enforce the
+// same bound, which keeps the interleaving identical across engines.
+const SliceQuantum = 8 * ghw.IdleTickQuantum
+
+// VCPU is one guest processor of the engine: its architectural state, its
+// private env region, and its per-vCPU counters.
+type VCPU struct {
+	Index int
+	CPU   *arm.CPU
+	Env   *Env
+
+	// Retired counts guest instructions retired by this vCPU.
+	Retired uint64
+	// StrexFailures counts exclusive stores by this vCPU refused by the
+	// monitor.
+	StrexFailures uint64
+
+	nextPC        uint32
+	halted        bool
+	pendingJCFill bool   // the last exit was an indirect miss: fill on resolve
+	sliceRet      uint64 // instructions retired in the current scheduler slice
+}
+
+// newVCPU builds vCPU i over its carved-out env region.
+func newVCPU(m *x86.Machine, i int) *VCPU {
+	cpu := arm.NewCPU()
+	cpu.CP15.MPIDR = 0x80000000 | uint32(i)
+	return &VCPU{Index: i, CPU: cpu, Env: NewEnvAt(m, CPUBase(i))}
+}
+
+// VCPUs returns the engine's vCPUs in index order.
+func (e *Engine) VCPUs() []*VCPU { return e.vcpus }
+
+// Cur returns the currently scheduled vCPU.
+func (e *Engine) Cur() *VCPU { return e.cur }
+
+// IPIs returns how many software interrupts have targeted the vCPU.
+func (e *Engine) IPIs(i int) uint64 { return e.Bus.Intc.IPIs(i) }
+
+// RegPinner is implemented by translators that keep guest registers pinned
+// in host registers across translation blocks (the rule-based translator);
+// the scheduler spills and refills those host registers at every vCPU
+// switch, since the pinned values belong to the outgoing vCPU.
+type RegPinner interface {
+	// PinnedRegs returns the pinned guest registers and their host
+	// registers, index-aligned.
+	PinnedRegs() ([]arm.Reg, []x86.Reg)
+}
+
+// sliceExpired reports whether the running vCPU has used up its scheduler
+// slice. Uniprocessor engines never expire: the seed single-CPU dispatch
+// behaviour (chain runs, break counts) is preserved exactly.
+func (e *Engine) sliceExpired() bool {
+	return len(e.vcpus) > 1 && e.cur.sliceRet >= SliceQuantum
+}
+
+// regimeKey identifies the running vCPU's translation regime for chain-link
+// validation: links made under one regime must not be crossed under
+// another. Page-table *content* changes need no key bump — the guest must
+// issue TLB maintenance for them, which unlinks every chain.
+func (e *Engine) regimeKey() uint64 {
+	cp := &e.CPU.CP15
+	if !cp.MMUEnabled() {
+		return 1 << 63 // identity mapping
+	}
+	return uint64(cp.TTBR0)
+}
+
+// schedule picks the vCPU to run next and makes it current: round-robin
+// rotation when the running vCPU's slice is spent, skipping vCPUs halted in
+// WFI (waking those whose IRQ input is asserted). Returns nil when every
+// vCPU is halted with nothing pending — the caller advances platform time.
+func (e *Engine) schedule() *VCPU {
+	n := len(e.vcpus)
+	start := e.cur.Index
+	if n > 1 && e.cur.sliceRet >= SliceQuantum {
+		e.cur.sliceRet = 0
+		start = (start + 1) % n
+	}
+	for k := 0; k < n; k++ {
+		v := e.vcpus[(start+k)%n]
+		if v.halted {
+			if !e.Bus.Intc.AssertedFor(v.Index) {
+				continue
+			}
+			v.halted = false
+		}
+		e.switchTo(v)
+		// The vCPU's pending word may be stale: time advanced while other
+		// vCPUs ran, and wake-ups must deliver their IRQ at the next
+		// block-head check.
+		e.refreshIRQ()
+		return v
+	}
+	return nil
+}
+
+// switchTo makes v the running vCPU: repoints the engine's current-state
+// views and the emitted code's EBP base, and swaps the translator's pinned
+// guest registers (host-register-resident state belongs to one vCPU at a
+// time). A pending chain link is dropped — it recorded the previous vCPU's
+// control flow.
+func (e *Engine) switchTo(v *VCPU) {
+	if v == e.cur {
+		return
+	}
+	e.spillPinned()
+	e.cur = v
+	e.Env, e.CPU = v.Env, v.CPU
+	e.M.Regs[x86.EBP] = v.Env.base
+	e.fillPinned()
+	e.lastTB = nil
+	e.Stats.Switches++
+}
+
+// spillPinned copies the running vCPU's pinned guest registers from their
+// host registers into its env, making env the complete architectural state.
+func (e *Engine) spillPinned() {
+	for i, r := range e.pinGuest {
+		e.Env.SetReg(r, e.M.Regs[e.pinHost[i]])
+	}
+}
+
+// fillPinned loads the (new) running vCPU's pinned guest registers from its
+// env into their host registers.
+func (e *Engine) fillPinned() {
+	for i, r := range e.pinGuest {
+		e.M.Regs[e.pinHost[i]] = e.Env.Reg(r)
+	}
+}
+
+// FlushPinned spills the running vCPU's pinned registers to env, so env
+// holds the complete architectural state (used by state snapshots and
+// differential comparisons; a no-op for state-in-memory translators).
+func (e *Engine) FlushPinned() { e.spillPinned() }
+
+// syncPinnedReg copies one guest register from env into its pinned host
+// register (no-op when the register is memory-resident or the translator
+// does not pin). Helpers that exit a block early — skipping the emitted
+// env->host refill — use it to keep the pinned copy current.
+func (e *Engine) syncPinnedReg(r arm.Reg) {
+	for i, g := range e.pinGuest {
+		if g == r {
+			e.M.Regs[e.pinHost[i]] = e.Env.Reg(r)
+			return
+		}
+	}
+}
+
+// syncPrivTagOf refreshes one vCPU's env privilege-tag word (see jc.go).
+func (e *Engine) syncPrivTagOf(v *VCPU) {
+	v.Env.write(OffPrivTag, privTagBits(v.CPU.Mode().Privileged()))
+}
+
+// flushAllTLBs invalidates every vCPU's softmmu TLB — required when a page
+// changes a machine-global property every vCPU's fills must respect (new
+// code page, new exclusive-monitor page).
+func (e *Engine) flushAllTLBs() {
+	for _, v := range e.vcpus {
+		v.Env.FlushTLB()
+	}
+}
+
+// Snapshot returns the vCPU's user-visible register file plus CPSR, in the
+// same layout as arm.CPU.Snapshot, for differential comparison against the
+// SMP interpreter oracle. The caller must FlushPinned first if the
+// translator pins registers and the vCPU is the running one.
+func (v *VCPU) Snapshot() [17]uint32 {
+	var s [17]uint32
+	for r := arm.R0; r <= arm.PC; r++ {
+		s[r] = v.Env.Reg(r)
+	}
+	s[16] = v.CPU.CPSR()&^uint32(arm.CPSRMaskFlags) | v.Env.Flags().Pack()
+	return s
+}
+
+// --- exclusive-access helper (LDREX/STREX/CLREX) -------------------------
+
+// CostExclusive is the synthetic helper cost of one exclusive-access
+// instruction: a softmmu-bypassing walk plus the monitor transaction.
+const CostExclusive = 30
+
+// RegisterExclusive registers the helper emulating an exclusive-access
+// instruction against the engine's global monitor. Both translators call it
+// for KindLDREX/KindSTREX/KindCLREX: like all system-level instructions the
+// exclusives are helper-emulated, because their monitor side effects (and
+// the cross-vCPU SMC check on the store path) cannot live in emitted code.
+func (e *Engine) RegisterExclusive(in arm.Inst, guestPC uint32, idx int) int {
+	return e.registerHelper(func(m *x86.Machine) int {
+		e.Stats.HelperCalls++
+		e.Stats.Exclusives++
+		e.M.Charge(x86.ClassHelper, CostExclusive)
+		env := e.Env
+		cpu := e.CPU
+		// Normalize the guest flag forms like every system helper (QEMU reads
+		// the CPU state from memory), so the translator may statically use
+		// either restore form after the call.
+		env.SetFlags(env.Flags())
+		switch in.Kind {
+		case arm.KindCLREX:
+			e.excl.Clear(e.cur.Index)
+			return -1
+		case arm.KindLDREX:
+			va := env.Reg(in.Rn)
+			pa, _, fault := mmu.Walk(e.Bus, &cpu.CP15, va, mmu.Load, cpu.Mode() == arm.ModeUSR)
+			if fault != nil {
+				return e.dataAbort(fault, guestPC, idx)
+			}
+			e.excl.MarkLoad(e.cur.Index, pa)
+			e.noteMonitorPage(pa >> PageBits)
+			env.SetReg(in.Rd, e.Bus.Read32(pa))
+			return -1
+		default: // KindSTREX
+			va := env.Reg(in.Rn)
+			pa, _, fault := mmu.Walk(e.Bus, &cpu.CP15, va, mmu.Store, cpu.Mode() == arm.ModeUSR)
+			if fault != nil {
+				return e.dataAbort(fault, guestPC, idx)
+			}
+			if !e.excl.StoreOK(e.cur.Index, pa) {
+				e.cur.StrexFailures++
+				e.Stats.StrexFailures++
+				env.SetReg(in.Rd, 1)
+				return -1
+			}
+			e.Bus.Write32(pa, env.Reg(in.Rm))
+			env.SetReg(in.Rd, 0)
+			if e.codePages[pa>>PageBits] {
+				// Exclusive store into translated code: same page-granular
+				// invalidate-and-resume as the ordinary store helper. The
+				// ExitSMC return unwinds past the block's emitted env->host
+				// refill of Rd, so a pinned status register must be synced
+				// here — the next block assumes pinned registers are current.
+				e.syncPinnedReg(in.Rd)
+				e.invalidateOnStore(pa)
+				e.retire(idx + 1)
+				e.cur.nextPC = guestPC + 4
+				return ExitSMC
+			}
+			return -1
+		}
+	})
+}
+
+// noteMonitorPage marks a page as a monitor target, flushing every vCPU's
+// TLB on the first mark so cached writable entries cannot let an inline
+// store bypass the monitor. The mark is sticky until Reset: a page that has
+// ever been LDREX'd keeps its stores on the slow path, which costs a helper
+// call per store to that page but avoids re-flushing every TLB each time a
+// lock on the page is re-acquired (monitored pages are lock words — their
+// stores are a tiny, contended minority).
+func (e *Engine) noteMonitorPage(page uint32) {
+	if e.monitorPages[page] {
+		return
+	}
+	e.monitorPages[page] = true
+	e.flushAllTLBs()
+}

@@ -17,6 +17,7 @@ import (
 	"sldbt/internal/interp"
 	"sldbt/internal/kernel"
 	"sldbt/internal/rules"
+	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
 	"sldbt/internal/workloads"
 	"sldbt/internal/x86"
@@ -42,6 +43,11 @@ const (
 	// experiment measures both against CfgChain.
 	CfgJC    Config = "jc"
 	CfgJCRAS Config = "jcras"
+	// CfgSMP is CfgJCRAS on a multi-vCPU machine (Runner.SMPCPUs guest
+	// processors, deterministic round-robin over the shared code cache),
+	// oracle-checked against the SMP interpreter. The `smp` experiment
+	// measures it across vCPU counts.
+	CfgSMP Config = "smp"
 )
 
 // levels maps rule configs to optimization levels.
@@ -54,6 +60,7 @@ var levels = map[Config]core.OptLevel{
 	CfgFlushSMC:    core.OptScheduling,
 	CfgJC:          core.OptScheduling,
 	CfgJCRAS:       core.OptScheduling,
+	CfgSMP:         core.OptScheduling,
 }
 
 // RunResult is one workload x config measurement.
@@ -65,6 +72,15 @@ type RunResult struct {
 	Flushes   uint64 // whole-cache invalidations
 	Wall      time.Duration
 	Console   string
+	// PerVCPU carries the per-vCPU counters of CfgSMP runs (nil otherwise).
+	PerVCPU []VCPUStat
+}
+
+// VCPUStat is one vCPU's share of an SMP run.
+type VCPUStat struct {
+	Retired       uint64
+	StrexFailures uint64
+	IPIs          uint64
 }
 
 // InterpResult is the interpreter run used for Table I and as the oracle.
@@ -83,9 +99,12 @@ type Runner struct {
 	// CacheCap bounds every engine's code cache to this many TBs
 	// (0 = unbounded); the `smc` experiment uses it to measure eviction.
 	CacheCap int
+	// SMPCPUs is the vCPU count CfgSMP machines boot with (0 = 2).
+	SMPCPUs int
 
 	engineRuns map[string]*RunResult
 	interpRuns map[string]*InterpResult
+	oracleRuns map[string]*smp.Oracle
 }
 
 // NewRunner returns a runner with full budgets and the baseline rule set.
@@ -95,7 +114,43 @@ func NewRunner() *Runner {
 		Rules:       rules.BaselineRules,
 		engineRuns:  map[string]*RunResult{},
 		interpRuns:  map[string]*InterpResult{},
+		oracleRuns:  map[string]*smp.Oracle{},
 	}
+}
+
+func (r *Runner) smpCPUs() int {
+	if r.SMPCPUs <= 0 {
+		return 2
+	}
+	return r.SMPCPUs
+}
+
+// Oracle runs (or returns the cached run of) a workload on the n-CPU SMP
+// interpreter oracle.
+func (r *Runner) Oracle(w *workloads.Workload, n int) (*smp.Oracle, error) {
+	key := fmt.Sprintf("%s/%d", w.Name, n)
+	if o, ok := r.oracleRuns[key]; ok {
+		return o, nil
+	}
+	im, err := w.Prepare()
+	if err != nil {
+		return nil, err
+	}
+	bus := ghw.NewBus(kernel.RAMSize)
+	im.Configure(bus)
+	if err := bus.LoadImage(im.Origin, im.Data); err != nil {
+		return nil, err
+	}
+	o := smp.NewOracle(bus, n)
+	code, err := o.Run(r.budget(w))
+	if err != nil {
+		return nil, fmt.Errorf("%s on %d-cpu oracle: %w", w.Name, n, err)
+	}
+	if code != 0 {
+		return nil, fmt.Errorf("%s on %d-cpu oracle: exit %#x (%q)", w.Name, n, code, bus.UART().Output())
+	}
+	r.oracleRuns[key] = o
+	return o, nil
 }
 
 func (r *Runner) budget(w *workloads.Workload) uint64 {
@@ -134,6 +189,9 @@ func (r *Runner) Interp(w *workloads.Workload) (*InterpResult, error) {
 // Run runs (or returns the cached run of) a workload on a configuration.
 func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 	key := w.Name + "/" + string(cfg)
+	if cfg == CfgSMP {
+		key = fmt.Sprintf("%s/%d", key, r.smpCPUs())
+	}
 	if res, ok := r.engineRuns[key]; ok {
 		return res, nil
 	}
@@ -147,10 +205,14 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := engine.New(tr, kernel.RAMSize)
-	e.EnableChaining(cfg == CfgChain || cfg == CfgFlushSMC || cfg == CfgJC || cfg == CfgJCRAS)
-	e.EnableJumpCache(cfg == CfgJC || cfg == CfgJCRAS)
-	e.EnableRAS(cfg == CfgJCRAS)
+	n := 1
+	if cfg == CfgSMP {
+		n = r.smpCPUs()
+	}
+	e := engine.NewSMP(tr, kernel.RAMSize, n)
+	e.EnableChaining(cfg == CfgChain || cfg == CfgFlushSMC || cfg == CfgJC || cfg == CfgJCRAS || cfg == CfgSMP)
+	e.EnableJumpCache(cfg == CfgJC || cfg == CfgJCRAS || cfg == CfgSMP)
+	e.EnableRAS(cfg == CfgJCRAS || cfg == CfgSMP)
 	e.SetFullFlushSMC(cfg == CfgFlushSMC)
 	if r.CacheCap > 0 {
 		e.SetCacheCapacity(r.CacheCap)
@@ -168,15 +230,6 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 	if code != 0 {
 		return nil, fmt.Errorf("%s on %s: exit %#x (%q)", w.Name, cfg, code, e.Bus.UART().Output())
 	}
-	// Oracle check against the interpreter.
-	oracle, err := r.Interp(w)
-	if err != nil {
-		return nil, err
-	}
-	if e.Bus.UART().Output() != oracle.Console {
-		return nil, fmt.Errorf("%s on %s: console diverges from interpreter:\n got  %q\n want %q",
-			w.Name, cfg, e.Bus.UART().Output(), oracle.Console)
-	}
 	res := &RunResult{
 		Retired:   e.Retired,
 		HostTotal: e.M.Total(),
@@ -185,6 +238,32 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		Flushes:   e.Flushes(),
 		Wall:      wall,
 		Console:   e.Bus.UART().Output(),
+	}
+	if cfg == CfgSMP {
+		// Oracle check against the SMP interpreter: console plus per-vCPU
+		// register state.
+		o, err := r.Oracle(w, n)
+		if err != nil {
+			return nil, err
+		}
+		if err := smp.CompareState(e, o, false); err != nil {
+			return nil, fmt.Errorf("%s on %s (%d vcpus): %w", w.Name, cfg, n, err)
+		}
+		for _, v := range e.VCPUs() {
+			res.PerVCPU = append(res.PerVCPU, VCPUStat{
+				Retired: v.Retired, StrexFailures: v.StrexFailures, IPIs: e.IPIs(v.Index),
+			})
+		}
+	} else {
+		// Oracle check against the interpreter.
+		oracle, err := r.Interp(w)
+		if err != nil {
+			return nil, err
+		}
+		if e.Bus.UART().Output() != oracle.Console {
+			return nil, fmt.Errorf("%s on %s: console diverges from interpreter:\n got  %q\n want %q",
+				w.Name, cfg, e.Bus.UART().Output(), oracle.Console)
+		}
 	}
 	r.engineRuns[key] = res
 	return res, nil
@@ -681,9 +760,61 @@ func (r *Runner) JCStats() (string, error) {
 	return b.String(), nil
 }
 
+// --- SMP (deterministic multi-vCPU execution, shared code cache) -----------
+
+// SMPStats measures the SMP subsystem on the multi-core workload suite
+// across vCPU counts: scheduling (per-vCPU retirement spread, context
+// switches), exclusive-access contention (STREX failures, IPIs), and
+// shared-cache reuse (translations grow marginally with the vCPU count —
+// one block serves every core). Every run is differentially checked against
+// the SMP interpreter oracle (console + per-vCPU register state) by Run.
+func (r *Runner) SMPStats() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SMP: deterministic multi-vCPU execution over the shared code cache\n")
+	fmt.Fprintf(&b, "%-14s %5s %9s %9s %9s %9s %9s %9s %9s\n",
+		"Workload", "cpus", "retired", "spread", "tbs", "switches", "strexf", "ipis", "host/g")
+	// The vCPU count is part of the cache key, so sweeping it on the
+	// receiver reuses (and feeds) the runner's memoization.
+	saved := r.SMPCPUs
+	defer func() { r.SMPCPUs = saved }()
+	for _, w := range workloads.SMPWorkloads() {
+		for _, n := range []int{1, 2, 4} {
+			r.SMPCPUs = n
+			res, err := r.Run(w, CfgSMP)
+			if err != nil {
+				return "", err
+			}
+			var lo, hi, strexf, ipis uint64
+			lo = ^uint64(0)
+			for _, v := range res.PerVCPU {
+				if v.Retired < lo {
+					lo = v.Retired
+				}
+				if v.Retired > hi {
+					hi = v.Retired
+				}
+				strexf += v.StrexFailures
+				ipis += v.IPIs
+			}
+			spread := "-"
+			if hi > 0 {
+				spread = fmt.Sprintf("%.2f", float64(hi-lo)/float64(hi))
+			}
+			fmt.Fprintf(&b, "%-14s %5d %9d %9s %9d %9d %9d %9d %9.2f\n",
+				w.Name, n, res.Retired, spread, res.Engine.TBsTranslated,
+				res.Engine.Switches, strexf, ipis,
+				float64(res.HostTotal)/float64(res.Retired))
+		}
+	}
+	fmt.Fprintf(&b, "(every run is oracle-checked against the SMP interpreter: identical console\n")
+	fmt.Fprintf(&b, " and per-vCPU register state; the TB count barely grows with the vCPU count\n")
+	fmt.Fprintf(&b, " because one shared, physically-keyed cache serves every core)\n")
+	return b.String(), nil
+}
+
 // Experiments lists all experiment names in order.
 func Experiments() []string {
-	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain", "smc", "jc"}
+	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "chain", "smc", "jc", "smp"}
 }
 
 // Run runs one named experiment.
@@ -715,6 +846,8 @@ func (r *Runner) RunExperiment(name string) (string, error) {
 		return r.SMCStats()
 	case "jc":
 		return r.JCStats()
+	case "smp":
+		return r.SMPStats()
 	}
 	valid := strings.Join(Experiments(), ", ")
 	return "", fmt.Errorf("exp: unknown experiment %q (valid: %s, all)", name, valid)

@@ -101,8 +101,24 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 13 {
+	if len(Experiments()) != 14 {
 		t.Errorf("experiment list = %v", Experiments())
+	}
+}
+
+// TestSMPExperimentRenders: the smp experiment runs the multi-core workload
+// suite at 1/2/4 vCPUs (each run oracle-checked against the SMP interpreter
+// inside Run) and reports the per-vCPU and shared-cache statistics.
+func TestSMPExperimentRenders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.RunExperiment("smp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"smp-spinlock", "smp-worksteal", "smp-ring", "oracle-checked"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("smp table missing %q:\n%s", want, out)
+		}
 	}
 }
 

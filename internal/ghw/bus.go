@@ -26,6 +26,15 @@ const (
 	IRQNet   = 2
 )
 
+// IdleTickQuantum is how many retired-instruction-equivalents of platform
+// time advance per poll while every CPU is halted in WFI waiting for an
+// interrupt. It is the one clock the execution layers share when no guest
+// instruction is retiring: the engine dispatcher's and the interpreter's
+// halt loops tick by it, and the SMP scheduler both idles by it and derives
+// its round-robin time slice from it (engine.SliceQuantum), so idle time and
+// slice accounting stay commensurable across every engine.
+const IdleTickQuantum = 16
+
 // Device is a memory-mapped peripheral occupying one DevSize-aligned window.
 type Device interface {
 	Name() string
@@ -125,8 +134,12 @@ func (b *Bus) Tick(n uint64) {
 	}
 }
 
-// IRQPending reports whether any enabled interrupt line is asserted.
+// IRQPending reports whether CPU 0's IRQ input is asserted (the
+// uniprocessor view; SMP callers use IRQPendingFor).
 func (b *Bus) IRQPending() bool { return b.Intc.Asserted() }
+
+// IRQPendingFor reports whether the IRQ input of the given CPU is asserted.
+func (b *Bus) IRQPendingFor(cpu int) bool { return b.Intc.AssertedFor(cpu) }
 
 func (b *Bus) inRAM(addr uint32, n uint32) bool {
 	return uint64(addr)+uint64(n) <= uint64(len(b.RAM))

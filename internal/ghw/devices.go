@@ -15,28 +15,61 @@ func (l *IRQLine) Assert() { l.intc.raw |= 1 << l.bit }
 func (l *IRQLine) Clear() { l.intc.raw &^= 1 << l.bit }
 
 // Intc is a minimal interrupt controller: raw line state ANDed with an
-// enable mask produces the pending word; any pending bit asserts the CPU IRQ
-// input.
+// enable mask produces the pending word; any pending bit asserts every CPU's
+// IRQ input. On top of the shared lines it carries one software-generated
+// interrupt (IPI) line per CPU: writing a CPU mask to IntcSoftSet asserts
+// the IRQ input of exactly those CPUs until they clear their own line via
+// IntcSoftClr, which is how SMP guests kick each other (wakeups out of WFI,
+// cross-CPU notifications). Soft lines bypass the enable mask — they are a
+// dedicated per-CPU signal, not a shared device line.
 type Intc struct {
 	raw    uint32
 	enable uint32
+	soft   uint32 // per-CPU software IRQ lines (bit i = CPU i)
+
+	// NumCPU is the number of CPUs on the platform, exposed read-only to the
+	// guest (the SMP layer sets it; 1 for uniprocessor machines).
+	NumCPU int
+
+	// ipis counts software interrupts raised per target CPU, for the
+	// per-vCPU stats the engines report.
+	ipis [32]uint64
 }
 
 // Intc register offsets.
 const (
-	IntcPending = 0x0 // RO: raw & enable
-	IntcEnable  = 0x4 // RW: enable mask
-	IntcRaw     = 0x8 // RO: raw line state
+	IntcPending = 0x00 // RO: raw & enable
+	IntcEnable  = 0x04 // RW: enable mask
+	IntcRaw     = 0x08 // RO: raw line state
+	IntcSoftSet = 0x0C // WO: CPU mask — raise the soft (IPI) line of each CPU in the mask
+	IntcSoftClr = 0x10 // WO: CPU mask — clear soft lines (a CPU writes 1<<own_id to ack)
+	IntcSoft    = 0x14 // RO: soft line mask
+	IntcNumCPU  = 0x18 // RO: number of CPUs on the platform
 )
 
 // NewIntc returns an interrupt controller with all lines disabled.
-func NewIntc() *Intc { return &Intc{} }
+func NewIntc() *Intc { return &Intc{NumCPU: 1} }
 
 // Line returns the IRQ line for the given bit number.
 func (c *Intc) Line(bit int) *IRQLine { return &IRQLine{intc: c, bit: uint32(bit)} }
 
-// Asserted reports whether any enabled line is raised.
-func (c *Intc) Asserted() bool { return c.raw&c.enable != 0 }
+// Asserted reports whether CPU 0's IRQ input is asserted (the uniprocessor
+// view; SMP callers use AssertedFor).
+func (c *Intc) Asserted() bool { return c.AssertedFor(0) }
+
+// AssertedFor reports whether the IRQ input of the given CPU is asserted:
+// any enabled shared line, or the CPU's own soft line.
+func (c *Intc) AssertedFor(cpu int) bool {
+	return c.raw&c.enable != 0 || c.soft>>uint(cpu)&1 != 0
+}
+
+// IPIs returns how many software interrupts have been raised targeting cpu.
+func (c *Intc) IPIs(cpu int) uint64 {
+	if cpu < 0 || cpu >= len(c.ipis) {
+		return 0
+	}
+	return c.ipis[cpu]
+}
 
 // Name implements Device.
 func (c *Intc) Name() string { return "intc" }
@@ -50,14 +83,29 @@ func (c *Intc) Read32(off uint32) uint32 {
 		return c.enable
 	case IntcRaw:
 		return c.raw
+	case IntcSoft:
+		return c.soft
+	case IntcNumCPU:
+		return uint32(c.NumCPU)
 	}
 	return 0
 }
 
 // Write32 implements Device.
 func (c *Intc) Write32(off uint32, v uint32) {
-	if off == IntcEnable {
+	switch off {
+	case IntcEnable:
 		c.enable = v
+	case IntcSoftSet:
+		v &= 1<<uint(c.NumCPU) - 1 // lines beyond the platform's CPUs don't exist
+		c.soft |= v
+		for i := 0; i < c.NumCPU; i++ {
+			if v>>uint(i)&1 != 0 {
+				c.ipis[i]++
+			}
+		}
+	case IntcSoftClr:
+		c.soft &^= v
 	}
 }
 

@@ -20,12 +20,15 @@ import (
 type Stats struct {
 	Total     uint64 // retired guest instructions
 	Mem       uint64 // memory-access instructions (ldr/str families, ldm/stm)
-	System    uint64 // system-level instructions (svc/mrs/msr/cps/mcr/mrc/vmsr/vmrs/wfi/eret)
+	System    uint64 // system-level instructions (svc/mrs/msr/cps/mcr/mrc/vmsr/vmrs/wfi/eret/ldrex/strex/clrex)
 	Blocks    uint64 // translation-block boundaries crossed (interrupt-check sites)
 	IRQs      uint64 // interrupts delivered
 	SVCs      uint64 // supervisor calls taken
 	DataAbort uint64 // data aborts delivered
 	Undef     uint64 // undefined-instruction exceptions delivered
+	// StrexFailures counts failed exclusive stores (monitor lost between
+	// LDREX and STREX).
+	StrexFailures uint64
 }
 
 // maxTBLen mirrors the DBT engines' translation-block length cap so that the
@@ -33,11 +36,19 @@ type Stats struct {
 // matches what the engines will see.
 const maxTBLen = 32
 
-// Interp is a system-level interpreter instance.
+// Interp is a system-level interpreter instance — one CPU. Several instances
+// sharing one bus and one exclusive monitor form the SMP oracle
+// (internal/smp), scheduled round-robin from outside via RunBlock.
 type Interp struct {
 	CPU *arm.CPU
 	Bus *ghw.Bus
 	TLB mmu.TLB
+
+	// CPUIndex is this CPU's index on the shared bus (IRQ routing, exclusive
+	// monitor slot). 0 for uniprocessor instances.
+	CPUIndex int
+	// Excl is the exclusive monitor shared by every CPU of the machine.
+	Excl *arm.Exclusive
 
 	Stats  Stats
 	halted bool // inside WFI
@@ -45,9 +56,16 @@ type Interp struct {
 	decode map[uint32]arm.Inst
 }
 
-// New creates an interpreter over the given bus with a CPU in reset state.
-func New(bus *ghw.Bus) *Interp {
-	return &Interp{CPU: arm.NewCPU(), Bus: bus, decode: map[uint32]arm.Inst{}}
+// New creates a uniprocessor interpreter over the given bus with a CPU in
+// reset state.
+func New(bus *ghw.Bus) *Interp { return NewVCPU(bus, 0, arm.NewExclusive(1)) }
+
+// NewVCPU creates one CPU of an SMP machine: interpreter index idx over the
+// shared bus and exclusive monitor, with MPIDR identifying the core.
+func NewVCPU(bus *ghw.Bus, idx int, excl *arm.Exclusive) *Interp {
+	cpu := arm.NewCPU()
+	cpu.CP15.MPIDR = 0x80000000 | uint32(idx)
+	return &Interp{CPU: cpu, Bus: bus, CPUIndex: idx, Excl: excl, decode: map[uint32]arm.Inst{}}
 }
 
 // Run executes until the guest powers off or maxInstr instructions retire.
@@ -70,8 +88,8 @@ func (ip *Interp) Step() {
 	cpu := ip.CPU
 	if ip.halted {
 		// Advance time until an enabled interrupt line wakes the core.
-		if !ip.Bus.Intc.Asserted() {
-			ip.Bus.Tick(16)
+		if !ip.Bus.Intc.AssertedFor(ip.CPUIndex) {
+			ip.Bus.Tick(ghw.IdleTickQuantum)
 			return
 		}
 		ip.halted = false
@@ -80,9 +98,9 @@ func (ip *Interp) Step() {
 	if ip.tbLeft <= 0 {
 		ip.Stats.Blocks++
 		ip.tbLeft = maxTBLen
-		if ip.Bus.IRQPending() && cpu.IRQEnabled() {
+		if ip.Bus.IRQPendingFor(ip.CPUIndex) && cpu.IRQEnabled() {
 			ip.Stats.IRQs++
-			arm.TakeException(cpu, arm.VecIRQ, cpu.Reg(arm.PC)+4)
+			ip.takeExc(arm.VecIRQ, cpu.Reg(arm.PC)+4)
 		}
 	}
 
@@ -91,7 +109,7 @@ func (ip *Interp) Step() {
 	if fault != nil {
 		cpu.CP15.IFSR = uint32(fault.Type)
 		cpu.CP15.IFAR = pc
-		arm.TakeException(cpu, arm.VecPrefetchAbort, pc+4)
+		ip.takeExc(arm.VecPrefetchAbort, pc+4)
 		ip.endBlock()
 		return
 	}
@@ -108,6 +126,36 @@ func (ip *Interp) Step() {
 }
 
 func (ip *Interp) endBlock() { ip.tbLeft = 0 }
+
+// AtBlockBoundary reports whether the next Step begins a new synthetic
+// translation block — the only points the SMP scheduler may rotate at.
+func (ip *Interp) AtBlockBoundary() bool { return ip.tbLeft <= 0 }
+
+// Halted reports whether the CPU is waiting in WFI.
+func (ip *Interp) Halted() bool { return ip.halted }
+
+// Wake clears the WFI halt (the SMP scheduler calls it when the CPU's IRQ
+// input asserts, mirroring Step's own wake path).
+func (ip *Interp) Wake() { ip.halted = false }
+
+// RunBlock executes guest instructions until the next block boundary (or
+// until the CPU halts in WFI). The caller must not invoke it on a halted
+// CPU.
+func (ip *Interp) RunBlock() {
+	for {
+		ip.Step()
+		if ip.halted || ip.tbLeft <= 0 {
+			return
+		}
+	}
+}
+
+// takeExc injects an exception, clearing the CPU's exclusive monitor —
+// exception entry invalidates an in-flight LDREX/STREX sequence.
+func (ip *Interp) takeExc(vec arm.Vector, retAddr uint32) {
+	ip.Excl.Clear(ip.CPUIndex)
+	arm.TakeException(ip.CPU, vec, retAddr)
+}
 
 // classify updates the Table-I mix counters for one retired instruction.
 func (ip *Interp) classify(in *arm.Inst) {
@@ -179,7 +227,7 @@ func (ip *Interp) exec(in *arm.Inst, pc uint32) {
 		cpu.SetReg(arm.PC, cpu.Reg(in.Rm)&^1)
 	case arm.KindSVC:
 		ip.Stats.SVCs++
-		arm.TakeException(cpu, arm.VecSVC, pc+4)
+		ip.takeExc(arm.VecSVC, pc+4)
 	case arm.KindMRS:
 		if in.SPSR {
 			cpu.SetReg(in.Rd, cpu.SPSR())
@@ -214,6 +262,11 @@ func (ip *Interp) exec(in *arm.Inst, pc uint32) {
 			cpu.SetReg(in.Rd, cpu.FPSCR)
 		}
 		cpu.SetReg(arm.PC, pc+4)
+	case arm.KindLDREX, arm.KindSTREX:
+		ip.execExclusive(in, pc)
+	case arm.KindCLREX:
+		ip.Excl.Clear(ip.CPUIndex)
+		cpu.SetReg(arm.PC, pc+4)
 	case arm.KindWFI:
 		ip.halted = true
 		cpu.SetReg(arm.PC, pc+4)
@@ -224,9 +277,38 @@ func (ip *Interp) exec(in *arm.Inst, pc uint32) {
 	}
 }
 
+// execExclusive implements LDREX/STREX against the shared monitor. The
+// address register form is plain [rn]; the MMU walk and fault behaviour
+// match the ordinary word access path.
+func (ip *Interp) execExclusive(in *arm.Inst, pc uint32) {
+	cpu := ip.CPU
+	addr := cpu.Reg(in.Rn)
+	acc := mmu.Store
+	if in.Kind == arm.KindLDREX {
+		acc = mmu.Load
+	}
+	user := cpu.Mode() == arm.ModeUSR
+	pa, fault := ip.TLB.Translate(ip.Bus, &cpu.CP15, addr, acc, user)
+	if fault != nil {
+		ip.dataAbort(fault, pc)
+		return
+	}
+	if in.Kind == arm.KindLDREX {
+		ip.Excl.MarkLoad(ip.CPUIndex, pa)
+		cpu.SetReg(in.Rd, ip.Bus.Read32(pa))
+	} else if ip.Excl.StoreOK(ip.CPUIndex, pa) {
+		ip.Bus.Write32(pa, cpu.Reg(in.Rm))
+		cpu.SetReg(in.Rd, 0)
+	} else {
+		ip.Stats.StrexFailures++
+		cpu.SetReg(in.Rd, 1)
+	}
+	cpu.SetReg(arm.PC, pc+4)
+}
+
 func (ip *Interp) undef(pc uint32) {
 	ip.Stats.Undef++
-	arm.TakeException(ip.CPU, arm.VecUndef, pc+4)
+	ip.takeExc(arm.VecUndef, pc+4)
 	ip.endBlock()
 }
 
@@ -263,6 +345,8 @@ func ExecCP15(cpu *arm.CPU, in *arm.Inst) {
 	switch {
 	case sel != nil:
 		cpu.SetReg(in.Rd, *sel)
+	case in.CRn == 0 && in.Opc2 == 5: // MPIDR: which core am I?
+		cpu.SetReg(in.Rd, cpu.CP15.MPIDR)
 	case in.CRn == 0: // MIDR
 		cpu.SetReg(in.Rd, 0x410FC075)
 	default:
@@ -337,7 +421,7 @@ func (ip *Interp) dataAbort(fault *mmu.Fault, pc uint32) {
 	ip.Stats.DataAbort++
 	cpu.CP15.DFSR = uint32(fault.Type)
 	cpu.CP15.DFAR = fault.Addr
-	arm.TakeException(cpu, arm.VecDataAbort, pc+8)
+	ip.takeExc(arm.VecDataAbort, pc+8)
 	ip.endBlock()
 }
 
@@ -405,6 +489,7 @@ func (ip *Interp) execMem(in *arm.Inst, pc uint32) {
 		if in.Rd == arm.PC {
 			v = pc + 8
 		}
+		ip.Excl.Observe(pa)
 		if in.ByteSz {
 			ip.Bus.Write8(pa, uint8(v))
 		} else {
@@ -445,6 +530,7 @@ func (ip *Interp) execMemH(in *arm.Inst, pc uint32) {
 		}
 		cpu.SetReg(in.Rd, v)
 	} else {
+		ip.Excl.Observe(pa)
 		ip.Bus.Write16(pa, uint16(cpu.Reg(in.Rd)))
 		if wb {
 			cpu.SetReg(in.Rn, wbVal)
@@ -514,6 +600,7 @@ func (ip *Interp) execBlock(in *arm.Inst, pc uint32) {
 			if r == arm.PC {
 				v = pc + 8
 			}
+			ip.Excl.Observe(pas[idx])
 			ip.Bus.Write32(pas[idx], v)
 		}
 		idx++

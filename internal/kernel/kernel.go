@@ -34,17 +34,19 @@ const (
 
 // Syscall numbers (passed in r7, Linux-EABI style).
 const (
-	SysExit     = 0 // r0 = exit code
-	SysPutc     = 1 // r0 = byte
-	SysPuts     = 2 // r0 = address of NUL-terminated string
-	SysPutHex   = 3 // r0 = value, printed as 8 hex digits
+	SysExit     = 0  // r0 = exit code
+	SysPutc     = 1  // r0 = byte
+	SysPuts     = 2  // r0 = address of NUL-terminated string
+	SysPutHex   = 3  // r0 = value, printed as 8 hex digits
 	SysYield    = 4
-	SysBlkRead  = 5 // r0 = sector, r1 = dst, r2 = sector count
-	SysBlkWrite = 6 // r0 = sector, r1 = src, r2 = sector count
-	SysNetRecv  = 7 // r0 = dst buffer; returns length in r0 (0 = none)
-	SysNetSend  = 8 // r0 = src buffer, r1 = length
-	SysTicks    = 9 // returns platform instruction clock (low word) in r0
-	numSyscalls = 10
+	SysBlkRead  = 5  // r0 = sector, r1 = dst, r2 = sector count
+	SysBlkWrite = 6  // r0 = sector, r1 = src, r2 = sector count
+	SysNetRecv  = 7  // r0 = dst buffer; returns length in r0 (0 = none)
+	SysNetSend  = 8  // r0 = src buffer, r1 = length
+	SysTicks    = 9  // returns platform instruction clock (low word) in r0
+	SysNumCPU   = 10 // returns the number of CPUs on the platform in r0
+	SysIPI      = 11 // r0 = CPU mask: raise a software interrupt on those CPUs
+	numSyscalls = 12
 )
 
 // Config adjusts kernel build parameters.
@@ -120,7 +122,16 @@ const source = `
 ; ----- kernel text ------------------------------------------------
 	.org 0x8000
 reset:
+	; SMP: every core starts here. Core 0 does the full platform bring-up;
+	; secondaries set their own stacks, wait for the page tables, enable
+	; their MMU and park until core 0 releases them to user mode.
+	mrc p15, 0, r0, c0, c0, 5    ; MPIDR
+	and r10, r0, #3              ; r10 = cpu index
+	cmp r10, #0
+	bne secondary
+
 	; per-mode stacks: visit each exception mode, set sp, return to SVC
+	; (each core's stacks sit id<<10 below the shared tops)
 	mov r0, #0x92            ; IRQ mode, I set
 	msr cpsr_c, r0
 	ldr sp, =IRQ_STACK
@@ -152,6 +163,11 @@ ptloop:
 	orr r3, r1, #2
 	str r3, [r0, r1, lsr #18]
 
+	; page tables are ready: let the secondaries enable their MMUs
+	ldr r1, =smp_pt
+	mov r2, #1
+	str r2, [r1]
+
 	; ----- enable MMU -----
 	mcr p15, 0, r0, c2, c0, 0    ; TTBR0 = PT_BASE
 	mcr p15, 0, r0, c8, c7, 0    ; TLBIALL
@@ -173,14 +189,67 @@ ptloop:
 	ldr r0, =banner
 	bl kputs
 
-	; ----- drop to user mode -----
+	; ----- release the secondaries, drop to user mode -----
+	ldr r1, =smp_go
+	mov r2, #1
+	str r2, [r1]
 	mov r2, #0xdf                ; SYS mode (user bank), I set
 	msr cpsr_c, r2
 	ldr sp, =USER_STACK
 	mov r2, #0x93                ; back to SVC
 	msr cpsr_c, r2
-	mov r0, #0x10                ; USR mode, IRQs enabled
-	msr spsr, r0
+	mov r2, #0x10                ; USR mode, IRQs enabled
+	msr spsr, r2
+	mov r0, #0                   ; user_entry receives the cpu index in r0
+	ldr lr, =USER_ENTRY
+	movs pc, lr
+
+; ----- secondary core bring-up ------------------------------------
+; r10 = cpu index throughout. Stacks: each exception mode's sp sits
+; id<<10 below the shared top; the user stack id<<16 below USER_STACK.
+secondary:
+	mov r1, r10, lsl #10
+	mov r0, #0x92                ; IRQ
+	msr cpsr_c, r0
+	ldr sp, =IRQ_STACK
+	sub sp, sp, r1
+	mov r0, #0x97                ; ABT
+	msr cpsr_c, r0
+	ldr sp, =ABT_STACK
+	sub sp, sp, r1
+	mov r0, #0x9b                ; UND
+	msr cpsr_c, r0
+	ldr sp, =UND_STACK
+	sub sp, sp, r1
+	mov r0, #0x93                ; SVC
+	msr cpsr_c, r0
+	ldr sp, =SVC_STACK
+	sub sp, sp, r1
+sec_wait_pt:                     ; wait for core 0's page tables
+	ldr r2, =smp_pt
+	ldr r2, [r2]
+	cmp r2, #0
+	beq sec_wait_pt
+	ldr r2, =PT_BASE             ; enable this core's MMU
+	mcr p15, 0, r2, c2, c0, 0
+	mcr p15, 0, r2, c8, c7, 0
+	mrc p15, 0, r3, c1, c0, 0
+	orr r3, r3, #1
+	mcr p15, 0, r3, c1, c0, 0
+sec_wait_go:                     ; park until core 0 finishes bring-up
+	ldr r2, =smp_go
+	ldr r2, [r2]
+	cmp r2, #0
+	beq sec_wait_go
+	mov r2, #0xdf                ; SYS mode: set this core's user sp
+	msr cpsr_c, r2
+	ldr sp, =USER_STACK
+	sub sp, sp, r10, lsl #16
+	mov r2, #0x93
+	msr cpsr_c, r2
+	mov r2, #0x10                ; USR mode, IRQs enabled
+	msr spsr, r2
+	mov r0, r10                  ; user_entry receives the cpu index in r0
 	ldr lr, =USER_ENTRY
 	movs pc, lr
 
@@ -244,9 +313,10 @@ vec_dabt:
 halt_dabt:
 	b halt_dabt
 
-; IRQ: acknowledge the timer, bump the tick counter, save/restore the
-; FP status register around the handler (vmrs/vmsr are the paper's
-; running example of system-level instructions).
+; IRQ: acknowledge the timer, bump the tick counter, clear this core's
+; soft (IPI) line, and save/restore the FP status register around the
+; handler (vmrs/vmsr are the paper's running example of system-level
+; instructions).
 vec_irq:
 	sub lr, lr, #4
 	push {r0-r3, r12, lr}
@@ -254,14 +324,19 @@ vec_irq:
 	ldr r0, =INTC
 	ldr r1, [r0]                 ; pending
 	tst r1, #1
-	beq irq_done
+	beq irq_soft
 	ldr r2, =TIMER
 	str r1, [r2, #0xc]           ; intclr
 	ldr r2, =ticks
 	ldr r3, [r2]
 	add r3, r3, #1
 	str r3, [r2]
-irq_done:
+irq_soft:
+	mrc p15, 0, r2, c0, c0, 5    ; MPIDR
+	and r2, r2, #3
+	mov r3, #1
+	mov r3, r3, lsl r2
+	str r3, [r0, #0x10]          ; soft clear own line
 	vmsr fpscr, r12
 	pop {r0-r3, r12, lr}
 	movs pc, lr
@@ -269,7 +344,7 @@ irq_done:
 ; SVC: dispatch on r7. Handlers receive user r0-r2 and return in r0.
 vec_svc:
 	push {r0-r3, r12, lr}
-	cmp r7, #10                  ; numSyscalls
+	cmp r7, #12                  ; numSyscalls
 	bhs svc_bad
 	adr r12, svc_table
 	ldr r12, [r12, r7, lsl #2]
@@ -295,6 +370,8 @@ svc_table:
 	.word sys_nrecv
 	.word sys_nsend
 	.word sys_ticks
+	.word sys_ncpu
+	.word sys_ipi
 
 sys_exit:
 	ldr r1, =SYSCTL
@@ -320,6 +397,15 @@ sys_yield:
 sys_ticks:
 	ldr r0, =SYSCTL
 	ldr r0, [r0, #4]
+	bx lr
+sys_ncpu:                        ; number of CPUs on the platform
+	ldr r1, =INTC
+	ldr r0, [r1, #0x18]
+	bx lr
+sys_ipi:                         ; r0 = CPU mask: raise soft interrupts
+	ldr r1, =INTC
+	str r0, [r1, #0xc]
+	mov r0, #0
 	bx lr
 
 ; block read/write: program the DMA engine, poll for completion.
@@ -384,6 +470,12 @@ msg_badsvc:
 	.asciz "sldbt: bad syscall\n"
 	.align 4
 ticks:
+	.word 0
+; SMP bring-up flags: core 0 sets smp_pt once the page tables exist and
+; smp_go once the platform is initialized; secondaries poll them.
+smp_pt:
+	.word 0
+smp_go:
 	.word 0
 `
 

@@ -344,6 +344,21 @@ func GuestOperand(r arm.Reg) x86.Operand {
 	return x86.M(x86.EBP, engine.OffReg(r))
 }
 
+// PinnedList returns the pinned guest registers and their host registers,
+// index-aligned, in guest-register order (deterministic — the SMP scheduler
+// iterates it on every vCPU context switch).
+func PinnedList() ([]arm.Reg, []x86.Reg) {
+	var gs []arm.Reg
+	var hs []x86.Reg
+	for r := arm.R0; r <= arm.PC; r++ {
+		if h, ok := pinMap[r]; ok {
+			gs = append(gs, r)
+			hs = append(hs, h)
+		}
+	}
+	return gs, hs
+}
+
 // PinnedSet is the bitmask of pinned guest registers.
 func PinnedSet() uint16 {
 	var s uint16

@@ -1,0 +1,153 @@
+// Package smp is the SMP-facing layer over the execution engines: the SMP
+// *interpreter oracle* — N reference interpreters over one shared bus and
+// exclusive monitor, scheduled by exactly the same deterministic round-robin
+// rules as the engine's dispatcher (engine.NewSMP) — and the differential
+// comparison utilities the SMP tests and experiments assert coherence with.
+//
+// Determinism contract: the engine and the oracle partition the guest
+// instruction stream into identical translation blocks (branch-terminated,
+// capped at engine.MaxTBLen), rotate vCPUs only at block boundaries once the
+// running vCPU has retired engine.SliceQuantum instructions in its slice,
+// wake WFI-halted vCPUs from the same per-CPU IRQ inputs, and advance
+// platform time by ghw.IdleTickQuantum when everyone is halted. With
+// identical inputs the interleavings are therefore identical, and final
+// memory plus per-vCPU register state must match bit-for-bit (IRQ-free
+// programs) or up to IRQ-delivery sites (the rule translator may move an
+// interrupt check inside a block, shifting delivery by a few instructions;
+// workloads compared under IRQs are written so final state is
+// schedule-insensitive).
+package smp
+
+import (
+	"bytes"
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
+	"sldbt/internal/interp"
+)
+
+// Oracle is the SMP reference machine: N interpreters sharing one bus and
+// one exclusive monitor, scheduled round-robin in engine.SliceQuantum
+// slices.
+type Oracle struct {
+	Bus  *ghw.Bus
+	CPUs []*interp.Interp
+
+	cur      int
+	sliceRet []uint64
+}
+
+// NewOracle builds an n-CPU oracle over the given bus. The bus's Intc is
+// told the CPU count (guests read it via the kernel's ncpu syscall).
+func NewOracle(bus *ghw.Bus, n int) *Oracle {
+	bus.Intc.NumCPU = n
+	excl := arm.NewExclusive(n)
+	o := &Oracle{Bus: bus, sliceRet: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		o.CPUs = append(o.CPUs, interp.NewVCPU(bus, i, excl))
+	}
+	return o
+}
+
+// Retired returns the total instructions retired across every CPU.
+func (o *Oracle) Retired() uint64 {
+	var t uint64
+	for _, c := range o.CPUs {
+		t += c.Stats.Total
+	}
+	return t
+}
+
+// schedule mirrors engine.Engine.schedule exactly: rotate when the current
+// CPU's slice is spent, skip halted CPUs, wake those with an asserted IRQ
+// input. Returns -1 when every CPU is halted with nothing pending.
+func (o *Oracle) schedule() int {
+	n := len(o.CPUs)
+	start := o.cur
+	if n > 1 && o.sliceRet[o.cur] >= engine.SliceQuantum {
+		o.sliceRet[o.cur] = 0
+		start = (start + 1) % n
+	}
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		c := o.CPUs[i]
+		if c.Halted() {
+			if !o.Bus.Intc.AssertedFor(i) {
+				continue
+			}
+			c.Wake()
+		}
+		o.cur = i
+		return i
+	}
+	return -1
+}
+
+// Run executes until guest power-off or the (machine-total) retirement
+// budget is exhausted, returning the guest exit code.
+func (o *Oracle) Run(maxInstr uint64) (uint32, error) {
+	for o.Retired() < maxInstr {
+		if o.Bus.PoweredOff() {
+			return o.Bus.SysCtl().Code, nil
+		}
+		i := o.schedule()
+		if i < 0 {
+			o.Bus.Tick(ghw.IdleTickQuantum)
+			continue
+		}
+		c := o.CPUs[i]
+		before := c.Stats.Total
+		c.RunBlock()
+		o.sliceRet[i] += c.Stats.Total - before
+	}
+	if o.Bus.PoweredOff() {
+		return o.Bus.SysCtl().Code, nil
+	}
+	return 0, fmt.Errorf("smp oracle: budget of %d guest instructions exhausted at cpu%d pc=%#08x",
+		maxInstr, o.cur, o.CPUs[o.cur].CPU.Reg(arm.PC))
+}
+
+// Snapshot returns CPU i's register file + CPSR.
+func (o *Oracle) Snapshot(i int) [17]uint32 { return o.CPUs[i].CPU.Snapshot() }
+
+// CompareState differentially compares an engine run against an oracle run
+// of the same guest: console output, per-vCPU register state, and (when
+// fullRAM is set — exact-interleave runs, i.e. IRQ-free guests) every byte
+// of guest RAM, so stale-TB or lost-monitor coherence violations cannot
+// hide. Returns nil when the states agree.
+func CompareState(e *engine.Engine, o *Oracle, fullRAM bool) error {
+	if got, want := e.Bus.UART().Output(), o.Bus.UART().Output(); got != want {
+		return fmt.Errorf("console diverges:\n got  %q\n want %q", got, want)
+	}
+	if len(e.VCPUs()) != len(o.CPUs) {
+		return fmt.Errorf("vCPU count %d vs oracle %d", len(e.VCPUs()), len(o.CPUs))
+	}
+	e.FlushPinned()
+	for i, v := range e.VCPUs() {
+		got, want := v.Snapshot(), o.Snapshot(i)
+		// Two fields are not comparable at an arbitrary stop point: PC (the
+		// engines keep it implicit in block dispatch; env.PC materializes
+		// only at exceptions) and the NZCV flags (the rule translator's
+		// inter-TB elision deliberately leaves *dead* flag values
+		// unmaterialized in env). r0-r14 and the CPSR mode/mask bits must
+		// match; live flag values are covered by the guests' own printed
+		// flag checks.
+		got[arm.PC], want[arm.PC] = 0, 0
+		got[16] &^= uint32(arm.CPSRMaskFlags)
+		want[16] &^= uint32(arm.CPSRMaskFlags)
+		if got != want {
+			return fmt.Errorf("vcpu%d register state diverges:\n got  %08x\n want %08x", i, got, want)
+		}
+	}
+	if fullRAM && !bytes.Equal(e.Bus.RAM, o.Bus.RAM) {
+		for a := 0; a < len(e.Bus.RAM); a++ {
+			if e.Bus.RAM[a] != o.Bus.RAM[a] {
+				return fmt.Errorf("guest RAM diverges first at %#08x: got %#02x want %#02x",
+					a, e.Bus.RAM[a], o.Bus.RAM[a])
+			}
+		}
+	}
+	return nil
+}

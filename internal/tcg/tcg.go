@@ -180,6 +180,11 @@ func (tc *tbCtx) translateInst(in *arm.Inst, tb *engine.TB) {
 		tc.e.EmitIndirectExit(em, engine.IsReturn(in), tc.seq())
 	case arm.KindNOP:
 		// nothing
+	case arm.KindLDREX, arm.KindSTREX, arm.KindCLREX:
+		// Exclusive access: helper-emulated against the engine's global
+		// monitor (the monitor transaction cannot live in emitted code).
+		id := tc.e.RegisterExclusive(*in, tc.instPC(), tc.idx)
+		em.CallHelper(id)
 	case arm.KindUndef:
 		id := tc.e.RegisterUndef(tc.instPC(), tc.idx)
 		em.CallHelper(id)

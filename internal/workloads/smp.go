@@ -1,0 +1,324 @@
+package workloads
+
+import "fmt"
+
+// SMP workloads: multi-core guest programs over the exclusive-access
+// primitives (LDREX/STREX) and the platform's inter-processor interrupts.
+// Every core enters user_entry with its CPU index in r0 (the kernel's SMP
+// boot contract); shared state lives at a fixed user-RAM address. All three
+// programs also run correctly on one CPU, and their final shared-memory
+// state and printed checksum are schedule-insensitive by construction
+// (commutative updates, per-task result slots), so differential comparison
+// against the SMP interpreter oracle is meaningful at any vCPU count.
+//
+// The periodic timer is off: with no asynchronous IRQs the engine and the
+// oracle interleave bit-identically, and the differential tests compare
+// every byte of guest RAM (smp-ring, which exercises IPIs, is the
+// exception — its IRQ arrival points are the test's point).
+
+// Shared-memory layout (SMPShared in user RAM, zero-initialized).
+const smpSharedEqu = `
+	.equ SHARED, 0x00580000
+	.equ S_LOCK,    0x00   ; spinlock word (0 = free)
+	.equ S_COUNT,   0x04   ; spinlock-protected counter
+	.equ S_DONE,    0x08   ; cores finished (exclusive increment)
+	.equ S_NEXT,    0x0C   ; work-stealing: next task index
+	.equ S_CHECK,   0x10   ; accumulated checksum
+	.equ S_HEAD,    0x14   ; ring: consumer index
+	.equ S_TAIL,    0x18   ; ring: producer index
+	.equ S_PROD,    0x1C   ; ring: producer finished flag
+	.equ S_ARR,     0x100  ; task results / ring storage
+`
+
+// smpPark parks a finished secondary core forever (WFI keeps it off the
+// scheduler; nothing ever asserts its IRQ input again once the run ends).
+const smpPark = `
+spark:
+	wfi
+	b spark
+`
+
+// spinlock acquire/release over [r8, #S_LOCK]; clobbers r2, r3.
+const smpLockAsm = `
+lock_acquire:
+	ldrex r2, [r11]
+	cmp r2, #0
+	bne lock_acquire
+	mov r2, #1
+	strex r3, r2, [r11]
+	cmp r3, #0
+	bne lock_acquire
+	bx lr
+lock_release:
+	mov r2, #0
+	str r2, [r11]
+	bx lr
+`
+
+const spinlockIters = 300
+
+// smpSpinlock: every core increments one shared counter spinlockIters times
+// under a LDREX/STREX spinlock, then joins an exclusive-increment barrier;
+// core 0 waits for all cores and prints the counter (ncpu * iters). The
+// stress case for cross-vCPU monitor clearing: an unlock store by one core
+// must fail every other core's in-flight STREX.
+func smpSpinlock() *Workload {
+	src := smpSharedEqu + fmt.Sprintf(`
+user_entry:
+	mov r10, r0          ; cpu index
+	mov r7, #10          ; SysNumCPU
+	svc #0
+	mov r9, r0           ; ncpu
+	ldr r8, =SHARED
+	add r11, r8, #S_LOCK
+	ldr r6, =%d          ; iterations
+sl_loop:
+	bl lock_acquire
+	ldr r2, [r8, #S_COUNT]
+	add r2, r2, #1
+	str r2, [r8, #S_COUNT]
+	bl lock_release
+	subs r6, r6, #1
+	bne sl_loop
+	; barrier: done++ (exclusive)
+	add r5, r8, #S_DONE
+sl_done:
+	ldrex r2, [r5]
+	add r2, r2, #1
+	strex r3, r2, [r5]
+	cmp r3, #0
+	bne sl_done
+	cmp r10, #0
+	bne spark            ; secondaries park
+sl_wait:                 ; core 0: wait for everyone
+	ldr r2, [r8, #S_DONE]
+	cmp r2, r9
+	bne sl_wait
+	ldr r4, [r8, #S_COUNT]
+`, spinlockIters) + epilogue + smpLockAsm + smpPark
+	return &Workload{
+		Name: "smp-spinlock", GuestSrc: src, Budget: 6_000_000,
+		TimerOff: true,
+	}
+}
+
+const worksderTasks = 96
+
+// smpWorksteal: a shared work queue of worksderTasks tasks claimed with an
+// exclusive fetch-and-add; each task t computes an LCG mix f(t), stores it
+// into a per-task result slot and adds it into a shared checksum under
+// exclusive accumulation. Any core count yields the same results array and
+// checksum (the native twin computes it), while task *assignment* exercises
+// contended STREX on the queue head.
+func smpWorksteal() *Workload {
+	src := smpSharedEqu + fmt.Sprintf(`
+user_entry:
+	mov r10, r0
+	mov r7, #10
+	svc #0
+	mov r9, r0           ; ncpu
+	ldr r8, =SHARED
+ws_steal:
+	add r5, r8, #S_NEXT  ; t = fetch_and_add(next, 1)
+	ldrex r2, [r5]
+	add r3, r2, #1
+	strex r4, r3, [r5]
+	cmp r4, #0
+	bne ws_steal
+	cmp r2, #%d
+	bge ws_finish
+	; f(t) = (t*1664525 + 1013904223) ^ (. >> 13)
+	ldr r3, =1664525
+	mul r5, r2, r3
+	ldr r3, =1013904223
+	add r5, r5, r3
+	eor r5, r5, r5, lsr #13
+	add r3, r8, #S_ARR   ; results[t] = f(t)
+	str r5, [r3, r2, lsl #2]
+	add r6, r8, #S_CHECK ; checksum += f(t) (exclusive)
+ws_chk:
+	ldrex r2, [r6]
+	add r2, r2, r5
+	strex r3, r2, [r6]
+	cmp r3, #0
+	bne ws_chk
+	b ws_steal
+ws_finish:
+	add r5, r8, #S_DONE
+ws_done:
+	ldrex r2, [r5]
+	add r2, r2, #1
+	strex r3, r2, [r5]
+	cmp r3, #0
+	bne ws_done
+	cmp r10, #0
+	bne spark
+ws_wait:
+	ldr r2, [r8, #S_DONE]
+	cmp r2, r9
+	bne ws_wait
+	ldr r4, [r8, #S_CHECK]
+`, worksderTasks) + epilogue + smpPark
+	native := func() uint32 {
+		var sum uint32
+		for t := uint32(0); t < worksderTasks; t++ {
+			f := t*1664525 + 1013904223
+			f ^= f >> 13
+			sum += f
+		}
+		return sum
+	}
+	return &Workload{
+		Name: "smp-worksteal", GuestSrc: src, Native: native, Budget: 6_000_000,
+		TimerOff: true,
+	}
+}
+
+const ringItems = 64
+
+// smpRing: core 0 produces ringItems LCG values into a shared array,
+// raising an inter-processor interrupt after each enqueue; the other cores
+// consume under the spinlock, sleeping in WFI whenever the ring is empty
+// (the IPI is their wakeup). On one core, core 0 produces everything then
+// consumes its own ring. Core 0 keeps kicking the consumers while it waits,
+// so a consumer that raced into WFI just after an ack can never be
+// stranded. The checksum (sum of all values) is core-count-independent.
+func smpRing() *Workload {
+	src := smpSharedEqu + fmt.Sprintf(`
+	.equ ITEMS, %d
+user_entry:
+	mov r10, r0
+	mov r7, #10
+	svc #0
+	mov r9, r0           ; ncpu
+	ldr r8, =SHARED
+	add r11, r8, #S_LOCK
+	cmp r10, #0
+	bne consumer
+
+	; ----- producer (core 0) -----
+	mov r6, #0           ; index
+	ldr r5, =0x12345     ; LCG state
+prod:
+	ldr r3, =1664525
+	mul r5, r5, r3
+	ldr r3, =1013904223
+	add r5, r5, r3
+	add r3, r8, #S_ARR
+	str r5, [r3, r6, lsl #2]
+	add r6, r6, #1
+	str r6, [r8, #S_TAIL]
+	bl kick              ; IPI the consumers
+	cmp r6, #ITEMS
+	blt prod
+	mov r2, #1
+	str r2, [r8, #S_PROD]
+	cmp r9, #1
+	beq solo_consume
+pwait:                   ; wait for the consumers, kicking continuously
+	bl kick
+	ldr r2, [r8, #S_DONE]
+	sub r3, r9, #1
+	cmp r2, r3
+	bne pwait
+	ldr r4, [r8, #S_CHECK]
+	b print
+
+solo_consume:            ; ncpu == 1: drain the ring sequentially
+	mov r6, #0
+	mov r4, #0
+sc_loop:
+	add r3, r8, #S_ARR
+	ldr r2, [r3, r6, lsl #2]
+	add r4, r4, r2
+	add r6, r6, #1
+	cmp r6, #ITEMS
+	blt sc_loop
+	b print
+
+	; ----- consumers (cores 1..n-1) -----
+	; r6 latches "producer finished" — a consumer may only exit on an
+	; emptiness check made AFTER it saw S_PROD set (the producer enqueues
+	; without the lock, so an empty observation concurrent with the final
+	; enqueues would otherwise strand items).
+consumer:
+	mov r6, #0
+cloop:
+	bl lock_acquire
+	ldr r4, [r8, #S_HEAD]
+	ldr r5, [r8, #S_TAIL]
+	cmp r4, r5
+	beq cempty
+	add r3, r8, #S_ARR   ; value = arr[head]; head++
+	ldr r2, [r3, r4, lsl #2]
+	add r4, r4, #1
+	str r4, [r8, #S_HEAD]
+	ldr r3, [r8, #S_CHECK]
+	add r3, r3, r2
+	str r3, [r8, #S_CHECK]
+	bl lock_release
+	b cloop
+cempty:
+	bl lock_release
+	cmp r6, #1
+	beq cexit            ; ring empty on a re-check after producer-done
+	ldr r2, [r8, #S_PROD]
+	cmp r2, #1
+	moveq r6, #1         ; producer done: one more drain pass, then exit
+	beq cloop
+	wfi                  ; sleep until the producer's next IPI
+	b cloop
+cexit:
+	add r5, r8, #S_DONE
+cdone:
+	ldrex r2, [r5]
+	add r2, r2, #1
+	strex r3, r2, [r5]
+	cmp r3, #0
+	bne cdone
+	; canonical final state: IRQ arrival points may shift a few
+	; instructions between engines (moved interrupt checks), so park with
+	; schedule-independent registers.
+	mov r0, r10
+	mov r1, #0
+	mov r2, #0
+	mov r3, #0
+	mov r4, #0
+	mov r5, #0
+	mov r6, #0
+	mov r7, #0
+	mov r12, #0
+	cmp r0, r0
+	b spark
+
+kick:                    ; IPI every core except 0 (clobbers r0-r3, r12 via svc)
+	push {lr}
+	mov r0, #1
+	mov r0, r0, lsl r9
+	sub r0, r0, #2
+	mov r7, #11          ; SysIPI
+	svc #0
+	pop {lr}
+	bx lr
+
+print:
+`, ringItems) + epilogue + smpLockAsm + smpPark
+	native := func() uint32 {
+		var sum uint32
+		s := uint32(0x12345)
+		for i := 0; i < ringItems; i++ {
+			s = s*1664525 + 1013904223
+			sum += s
+		}
+		return sum
+	}
+	return &Workload{
+		Name: "smp-ring", GuestSrc: src, Native: native, Budget: 6_000_000,
+		TimerOff: true,
+	}
+}
+
+// SMPWorkloads returns the multi-core workload suite.
+func SMPWorkloads() []*Workload {
+	return []*Workload{smpSpinlock(), smpWorksteal(), smpRing()}
+}

@@ -35,6 +35,9 @@ type Workload struct {
 	Budget uint64
 	// TimerPeriod overrides the kernel timer period (0 = default).
 	TimerPeriod uint32
+	// TimerOff disables the periodic timer (the SMP workloads run without
+	// it so engine-vs-oracle interleavings stay exactly aligned).
+	TimerOff bool
 	// Disk seeds the block device (fileio, untar, sqlite).
 	Disk []byte
 	// Packets seeds the net device (memcached).
@@ -45,7 +48,7 @@ type Workload struct {
 
 // Prepare builds the bootable image and configures a bus for the workload.
 func (w *Workload) Prepare() (*Image, error) {
-	prog, err := kernel.Build(w.GuestSrc, kernel.Config{TimerPeriod: w.TimerPeriod})
+	prog, err := kernel.Build(w.GuestSrc, kernel.Config{TimerPeriod: w.TimerPeriod, TimerOff: w.TimerOff})
 	if err != nil {
 		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
@@ -112,10 +115,12 @@ func lcgFillNative(buf []byte, seed uint32) uint32 {
 	return seed
 }
 
-// All returns every workload in evaluation order (SPEC first).
+// All returns every workload in evaluation order (SPEC first, then the
+// real-world applications, then the SMP suite).
 func All() []*Workload {
 	ws := SpecWorkloads()
-	return append(ws, AppWorkloads()...)
+	ws = append(ws, AppWorkloads()...)
+	return append(ws, SMPWorkloads()...)
 }
 
 // ByName finds a workload.

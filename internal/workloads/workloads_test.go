@@ -58,8 +58,12 @@ func TestWorkloadChecksumsMatchNativeTwins(t *testing.T) {
 		t.Run(w.Name, func(t *testing.T) {
 			out, ip := runOnInterp(t, w)
 			got := checksumFrom(t, w.Name, out)
-			want := w.Native()
-			if got != want {
+			if w.Native == nil {
+				// No meaningful native twin (e.g. smp-spinlock's checksum
+				// depends on the CPU count); the uniprocessor run above
+				// still proves the program terminates and prints.
+				t.Logf("%s: checksum %08x (no native twin)", w.Name, got)
+			} else if want := w.Native(); got != want {
 				t.Errorf("guest checksum %08x != native %08x", got, want)
 			}
 			if ip.Stats.Total == 0 {
