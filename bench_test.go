@@ -288,6 +288,41 @@ func BenchmarkJumpCache(b *testing.B) {
 	b.ReportMetric(rasShare, "ras-share")
 }
 
+// BenchmarkTrace measures hot-trace formation on the multi-block hot loop:
+// the factor by which sync+glue host instructions per guest instruction
+// drop versus chaining alone (the per-boundary coordination the trace
+// deletes), and the fraction of retirement that happens inside traces.
+func BenchmarkTrace(b *testing.B) {
+	var drop, execRatio, traces float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		w, ok := workloads.ByName("hotloop")
+		if !ok {
+			b.Fatal("hotloop workload missing")
+		}
+		chain, err := r.Run(w, exp.CfgChain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		trace, err := r.Run(w, exp.CfgTrace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if trace.Retired != chain.Retired {
+			b.Fatalf("traced run retired %d, chain-only %d", trace.Retired, chain.Retired)
+		}
+		sg := func(res *exp.RunResult) float64 {
+			return float64(res.Counts[x86.ClassSync]+res.Counts[x86.ClassGlue]) / float64(res.Retired)
+		}
+		drop = sg(chain) / math.Max(sg(trace), 1e-9)
+		execRatio = float64(trace.Engine.TraceExec) / float64(trace.Retired)
+		traces = float64(trace.Engine.TracesFormed)
+	}
+	b.ReportMetric(drop, "syncglue-drop")
+	b.ReportMetric(execRatio, "trace-exec-ratio")
+	b.ReportMetric(traces, "traces-formed")
+}
+
 // BenchmarkSMP measures deterministic multi-vCPU execution on the spinlock
 // workload at 4 vCPUs (rule engine, chaining + jump cache + RAS): scheduler
 // switches, exclusive-store contention, and the shared-cache reuse factor

@@ -1,0 +1,105 @@
+// Command benchdiff compares two `go test -bench` outputs metric by metric
+// (a minimal benchstat): for every benchmark line it pairs each value with
+// its unit and prints old -> new with the relative change, so the CI can
+// surface per-PR movement of the custom metrics (chain-rate, lookup-drop,
+// syncglue-drop, ...) against the previous run's artifact.
+//
+// Usage:
+//
+//	benchdiff old.txt new.txt
+//
+// It is report-only: the exit code is always 0 when both files parse, so a
+// perf regression is visible in the log without failing the build (the
+// simulated-host instruction counts are deterministic, but wall-clock
+// ns/op on shared CI runners is not).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps "benchmark name / unit" to the reported value.
+type metrics map[string]float64
+
+// parse reads a `go test -bench` output file into metric pairs.
+func parse(path string) (metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := metrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields: name, iterations, then (value, unit) pairs.
+		name := strings.TrimSuffix(fields[0], "-"+lastDashSuffix(fields[0]))
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[name+" "+fields[i+1]] = v
+		}
+	}
+	return m, sc.Err()
+}
+
+// lastDashSuffix returns the trailing -N GOMAXPROCS suffix digits (empty
+// when the name has none).
+func lastDashSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[i+1:]
+		}
+	}
+	return ""
+}
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) != 3 {
+		log.Fatal("usage: benchdiff old.txt new.txt")
+	}
+	old, err := parse(os.Args[1])
+	if err != nil {
+		log.Fatalf("%s: %v", os.Args[1], err)
+	}
+	cur, err := parse(os.Args[2])
+	if err != nil {
+		log.Fatalf("%s: %v", os.Args[2], err)
+	}
+	keys := make([]string, 0, len(cur))
+	for k := range cur {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%-48s %14s %14s %9s\n", "benchmark/metric", "old", "new", "delta")
+	for _, k := range keys {
+		nv := cur[k]
+		ov, ok := old[k]
+		if !ok {
+			fmt.Printf("%-48s %14s %14.4g %9s\n", k, "-", nv, "new")
+			continue
+		}
+		delta := "~"
+		if ov != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
+		}
+		fmt.Printf("%-48s %14.4g %14.4g %9s\n", k, ov, nv, delta)
+	}
+	for k, ov := range old {
+		if _, ok := cur[k]; !ok {
+			fmt.Printf("%-48s %14.4g %14s %9s\n", k, ov, "-", "gone")
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,15 @@ import (
 	"sldbt/internal/x86"
 )
 
+// emitJSON prints one indented JSON object (the -stats-json output).
+func emitJSON(v any) {
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(enc))
+}
+
 func main() {
 	log.SetFlags(0)
 	wl := flag.String("workload", "", "built-in workload name (see -list)")
@@ -43,11 +53,14 @@ func main() {
 	chain := flag.Bool("chain", false, "enable translation-block chaining (direct block linking)")
 	jc := flag.Bool("jc", false, "enable the inline indirect-branch jump cache")
 	ras := flag.Bool("ras", false, "enable return-address-stack prediction (implies -jc)")
+	trace := flag.Bool("trace", false, "enable profile-guided hot-trace formation (multi-block superblocks)")
+	traceThresh := flag.Uint64("trace-threshold", engine.DefaultTraceThreshold, "region-entry count past which a hot block triggers trace recording")
 	smpN := flag.Int("smp", 1, "number of guest vCPUs (deterministic round-robin scheduler, shared code cache)")
 	cacheCap := flag.Int("cache-cap", 0, "bound the code cache to N translated blocks, evicting FIFO (0 = unbounded)")
 	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
 	stats := flag.Bool("stats", true, "print execution statistics")
+	statsJSON := flag.Bool("stats-json", false, "emit the full counter set as one JSON object (machine consumption)")
 	list := flag.Bool("list", false, "list built-in workloads")
 	flag.Parse()
 
@@ -94,13 +107,14 @@ func main() {
 		"elimination": core.OptElimination, "scheduling": core.OptScheduling,
 	}
 
-	if *smpN < 1 || *smpN > engine.MaxVCPUs {
-		log.Fatalf("-smp %d outside [1, %d]", *smpN, engine.MaxVCPUs)
-	}
-
 	start := time.Now()
 	switch *engName {
 	case "interp":
+		// The oracle mirrors engine configurations, so it accepts the same
+		// vCPU range the engines do.
+		if *smpN < 1 || *smpN > engine.MaxVCPUs {
+			log.Fatalf("-smp %d: engine: vCPU count %d outside [1, %d]", *smpN, *smpN, engine.MaxVCPUs)
+		}
 		bus := ghw.NewBus(kernel.RAMSize)
 		im.Configure(bus)
 		if err := bus.LoadImage(im.Origin, im.Data); err != nil {
@@ -113,6 +127,27 @@ func main() {
 				log.Fatal(err)
 			}
 			fmt.Print(bus.UART().Output())
+			if *statsJSON {
+				type cpuJSON struct {
+					Index         int
+					Retired       uint64
+					StrexFailures uint64
+					IPIs          uint64
+				}
+				out := struct {
+					Workload          string
+					Engine            string
+					ExitCode          uint32
+					WallMillis        int64
+					GuestInstructions uint64
+					VCPUs             []cpuJSON
+				}{im.W.Name, "smp-interp", code, time.Since(start).Milliseconds(), o.Retired(), nil}
+				for i, c := range o.CPUs {
+					out.VCPUs = append(out.VCPUs, cpuJSON{i, c.Stats.Total, c.Stats.StrexFailures, bus.Intc.IPIs(i)})
+				}
+				emitJSON(out)
+				return
+			}
 			if *stats {
 				fmt.Printf("-- exit %d in %v via smp-interp; %d guest instructions\n",
 					code, time.Since(start).Round(time.Millisecond), o.Retired())
@@ -129,6 +164,17 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(bus.UART().Output())
+		if *statsJSON {
+			emitJSON(struct {
+				Workload          string
+				Engine            string
+				ExitCode          uint32
+				WallMillis        int64
+				GuestInstructions uint64
+				Stats             interp.Stats
+			}{im.W.Name, "interp", code, time.Since(start).Milliseconds(), ip.Stats.Total, ip.Stats})
+			return
+		}
 		if *stats {
 			s := ip.Stats
 			fmt.Printf("-- exit %d in %v; %d guest instructions (mem %.1f%%, sys %.2f%%, tb %.1f%%)\n",
@@ -148,10 +194,15 @@ func main() {
 			}
 			tr = core.New(rules.BaselineRules(), lvl)
 		}
-		e := engine.NewSMP(tr, kernel.RAMSize, *smpN)
+		e, err := engine.NewSMP(tr, kernel.RAMSize, *smpN)
+		if err != nil {
+			log.Fatalf("-smp %d: %v", *smpN, err)
+		}
 		e.EnableChaining(*chain)
 		e.EnableJumpCache(*jc)
 		e.EnableRAS(*ras)
+		e.EnableTracing(*trace)
+		e.SetTraceThreshold(*traceThresh)
 		e.SetCacheCapacity(*cacheCap)
 		e.SetFullFlushSMC(*smcFlush)
 		im.Configure(e.Bus)
@@ -163,6 +214,64 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(e.Bus.UART().Output())
+		if *statsJSON {
+			type vcpuJSON struct {
+				Index         int
+				Retired       uint64
+				StrexFailures uint64
+				IPIs          uint64
+			}
+			classes := map[string]uint64{}
+			for c := x86.Class(0); c < x86.NumClasses; c++ {
+				classes[c.String()] = e.M.Counts[c]
+			}
+			out := struct {
+				Workload          string
+				Engine            string
+				ExitCode          uint32
+				WallMillis        int64
+				GuestInstructions uint64
+				HostInstructions  uint64
+				HostPerGuest      float64
+				Classes           map[string]uint64
+				Counters          engine.Stats
+				ChainRate         float64
+				JCRate            float64
+				TraceExecRatio    float64
+				CacheSize         int
+				CacheCapacity     int
+				Flushes           uint64
+				VCPUs             []vcpuJSON
+				Rules             *core.Stats `json:",omitempty"`
+			}{
+				Workload:          im.W.Name,
+				Engine:            tr.Name(),
+				ExitCode:          code,
+				WallMillis:        time.Since(start).Milliseconds(),
+				GuestInstructions: e.Retired,
+				HostInstructions:  e.M.Total(),
+				HostPerGuest:      float64(e.M.Total()) / float64(e.Retired),
+				Classes:           classes,
+				Counters:          e.Stats,
+				ChainRate:         e.Stats.ChainRate(),
+				JCRate:            e.Stats.JCRate(),
+				TraceExecRatio:    e.TraceExecRatio(),
+				CacheSize:         e.CacheSize(),
+				CacheCapacity:     e.CacheCapacity(),
+				Flushes:           e.Flushes(),
+			}
+			for _, v := range e.VCPUs() {
+				out.VCPUs = append(out.VCPUs, vcpuJSON{
+					Index: v.Index, Retired: v.Retired,
+					StrexFailures: v.StrexFailures, IPIs: e.IPIs(v.Index),
+				})
+			}
+			if rt, ok := tr.(*core.Translator); ok {
+				out.Rules = &rt.Stats
+			}
+			emitJSON(out)
+			return
+		}
 		if *stats {
 			total := e.M.Total()
 			fmt.Printf("-- exit %d in %v via %s\n", code, time.Since(start).Round(time.Millisecond), tr.Name())
@@ -183,6 +292,11 @@ func main() {
 			fmt.Printf("-- cache: %d TBs live (cap %d), %d retranslations, %d page invalidations, %d evictions, %d full flushes\n",
 				e.CacheSize(), e.CacheCapacity(), e.Stats.Retranslations,
 				e.Stats.PageInvalidations, e.Stats.Evictions, e.Flushes())
+			if e.TracingEnabled() {
+				fmt.Printf("-- traces: %d formed, %d retired, %d side exits, %d breaks, %d aborts (%.1f%% of retirement in traces)\n",
+					e.Stats.TracesFormed, e.Stats.TraceRetired, e.Stats.TraceSideExits,
+					e.Stats.TraceBreaks, e.Stats.TraceAborts, 100*e.TraceExecRatio())
+			}
 			if *smpN > 1 {
 				fmt.Printf("-- smp: %d vcpus, %d switches, %d exclusives, %d strex failures\n",
 					*smpN, e.Stats.Switches, e.Stats.Exclusives, e.Stats.StrexFailures)

@@ -31,6 +31,16 @@
 //     be capacity-bounded with FIFO eviction, and every retirement path
 //     releases the retired block's helper closures. The `smc` experiment
 //     measures retranslations down ~22x versus the whole-cache flush.
+//   - Hot-trace superblocks (internal/engine/trace.go, internal/core/trace.go):
+//     profile-guided trace formation in the Dynamo/NET lineage — the
+//     dispatcher counts loop-head entries, records the executed tail past a
+//     hotness threshold, and re-translates the multi-block path as one
+//     cache region in which the paper's coordination machinery (flag state,
+//     liveness, the §III-B/III-C optimizations) runs across the internal
+//     edges; boundaries shrink to one boundary-helper call that preserves
+//     block-granular retirement, IRQ delivery and scheduling. The `trace`
+//     experiment measures sync+glue host instructions per guest instruction
+//     down ~5x on the multi-block hot loop versus chaining alone.
 //   - An inline indirect-branch fast path (internal/engine/jc.go): a
 //     direct-mapped, env-resident jump cache keyed by (guest PC, privilege)
 //     — QEMU's tb_jmp_cache — probed by an emitted sequence in every

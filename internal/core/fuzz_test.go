@@ -9,8 +9,14 @@ import (
 	"sldbt/internal/engine"
 	"sldbt/internal/kernel"
 	"sldbt/internal/rules"
+	"sldbt/internal/seedtest"
 	"sldbt/internal/tcg"
 )
+
+// fuzzSeeds returns the seed indices a fuzz test should iterate: [0, n) by
+// default, or the single replay seed from -seed / SLDBT_FUZZ_SEED (every
+// differential-fuzz failure prints the seed it was running).
+func fuzzSeeds(t *testing.T, n int) []int { return seedtest.Seeds(t, n) }
 
 // randALU builds a random well-defined data-processing instruction over
 // r0-r8 (avoiding PC, register-specified shifts, and other unpredictable
@@ -102,7 +108,7 @@ func TestFuzzEnginesAgree(t *testing.T) {
 	if testing.Short() {
 		seeds = 8
 	}
-	for seed := 0; seed < seeds; seed++ {
+	for _, seed := range fuzzSeeds(t, seeds) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			r := rand.New(rand.NewSource(int64(seed)))
@@ -201,7 +207,7 @@ func TestFuzzSMCEnginesAgree(t *testing.T) {
 	if testing.Short() {
 		seeds = 4
 	}
-	for seed := 0; seed < seeds; seed++ {
+	for _, seed := range fuzzSeeds(t, seeds) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			r := rand.New(rand.NewSource(int64(1000 + seed)))
@@ -216,10 +222,11 @@ func TestFuzzSMCEnginesAgree(t *testing.T) {
 				func() engine.Translator { return New(rules.BaselineRules(), OptBase) },
 				func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
 			}
-			cfgs := []struct{ chain, jc, ras bool }{
-				{false, false, false},
-				{true, false, false},
-				{true, true, true}, // SMC invalidation must purge jc/RAS entries too
+			cfgs := []struct{ chain, jc, ras, trace bool }{
+				{false, false, false, false},
+				{true, false, false, false},
+				{true, true, true, false},  // SMC invalidation must purge jc/RAS entries too
+				{true, false, false, true}, // SMC invalidation must retire trace regions too
 			}
 			for _, newTr := range mk {
 				for _, cfg := range cfgs {
@@ -228,6 +235,8 @@ func TestFuzzSMCEnginesAgree(t *testing.T) {
 					e.EnableChaining(cfg.chain)
 					e.EnableJumpCache(cfg.jc)
 					e.EnableRAS(cfg.ras)
+					e.EnableTracing(cfg.trace)
+					e.SetTraceThreshold(3)
 					if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 						t.Fatal(err)
 					}
@@ -309,7 +318,7 @@ func TestFuzzIndirectEnginesAgree(t *testing.T) {
 	if testing.Short() {
 		seeds = 4
 	}
-	for seed := 0; seed < seeds; seed++ {
+	for _, seed := range fuzzSeeds(t, seeds) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			r := rand.New(rand.NewSource(int64(5000 + seed)))
@@ -323,10 +332,11 @@ func TestFuzzIndirectEnginesAgree(t *testing.T) {
 				func() engine.Translator { return tcg.New() },
 				func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
 			}
-			cfgs := []struct{ chain, jc, ras bool }{
-				{false, false, false},
-				{true, true, false},
-				{true, true, true},
+			cfgs := []struct{ chain, jc, ras, trace bool }{
+				{false, false, false, false},
+				{true, true, false, false},
+				{true, true, true, false},
+				{true, true, true, true}, // timer IRQs land mid-trace; boundaries must deliver them
 			}
 			for _, newTr := range mk {
 				for _, cfg := range cfgs {
@@ -335,6 +345,8 @@ func TestFuzzIndirectEnginesAgree(t *testing.T) {
 					e.EnableChaining(cfg.chain)
 					e.EnableJumpCache(cfg.jc)
 					e.EnableRAS(cfg.ras)
+					e.EnableTracing(cfg.trace)
+					e.SetTraceThreshold(3)
 					if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 						t.Fatal(err)
 					}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/x86"
+)
+
+// Hot-trace translation for the rule-based engine: the paper's coordination
+// machinery — flagState, computeFlagLiveness, the §III-B reduction and the
+// §III-C elimination — runs over the whole multi-block region instead of
+// restarting at every TB boundary. Concretely:
+//
+//   - There is no endOfTBSave at an internal edge and no entry
+//     re-assumption in the next block: the translation-time flag state
+//     flows straight through, so flags defined in one constituent block
+//     and consumed in a later one never round-trip through the canonical
+//     parsed env slots.
+//   - Each internal boundary emits at most a packed save (§III-B, 3-4
+//     instructions — the form is statically known on both sides of the
+//     edge, which is exactly what separate translations cannot assume)
+//     followed by one CALLH to the engine's boundary helper, which keeps
+//     block-granular retirement, IRQ delivery and scheduling identical to
+//     the chained execution it replaces.
+//   - Off-trace conditional directions become side-exit stubs that
+//     materialize the canonical parsed form before leaving — the §III-D
+//     abort-fixup machinery generalized to side exits.
+//
+// The §III-D schedulers stay off inside traces: the recorded path fixes the
+// emission order, and the boundary bookkeeping must observe the
+// architectural instruction order block by block.
+
+// sideStub is an off-trace side exit, emitted after the final exit: its
+// branch label, the off-trace target, the terminating block's length, the
+// translation-time flag state at the branch (for the compensation stub),
+// and the link-register bookkeeping when the side direction is a call.
+type sideStub struct {
+	label   string
+	target  uint32
+	n       int
+	fs      flagState
+	link    bool
+	linkVal uint32
+	ret     uint32
+}
+
+// invertCond returns the ARM condition's negation (EQ<->NE, CS<->CC, ...);
+// the encoding XORs the low bit.
+func invertCond(c arm.Cond) arm.Cond { return c ^ 1 }
+
+// TranslateTrace implements engine.TraceTranslator.
+func (t *Translator) TranslateTrace(e *engine.Engine, plan *engine.TracePlan, priv bool) (*engine.TB, error) {
+	steps, err := e.ScanTrace(plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	region := &engine.TB{PC: plan.PCs[0]}
+	tc := &tctx{
+		t:  t,
+		e:  e,
+		em: x86.NewEmitter(),
+		pc: plan.PCs[0],
+		fs: entryState(),
+		tb: region,
+	}
+	// Concatenate the blocks' instructions. origIdx is the retirement index
+	// *within* the instruction's own block — helpers retire relative to the
+	// last boundary crossing — and pcOf the absolute guest address.
+	var blockStart []int
+	for _, st := range steps {
+		blockStart = append(blockStart, len(tc.insts))
+		for i := range st.Insts {
+			tc.insts = append(tc.insts, st.Insts[i])
+			tc.origIdx = append(tc.origIdx, i)
+			tc.pcOf = append(tc.pcOf, st.PC+uint32(i)*4)
+		}
+		region.Blocks = append(region.Blocks, engine.TraceBlock{PC: st.PC, Len: len(st.Insts)})
+	}
+	// Region-level liveness: the backward pass flows across internal edges,
+	// so a flag defined in one block and consumed two blocks later has one
+	// live range and at most one (packed) save.
+	tc.computeFlagLiveness()
+
+	var stubs []sideStub
+	for k := range steps {
+		st := &steps[k]
+		last := k == len(steps)-1
+		base := blockStart[k]
+		n := len(st.Insts)
+		if k == 0 {
+			// Trace head: the ordinary TB-head interrupt site (the entry
+			// state has no host-resident flags, so no coordination).
+			tc.emitIRQSite(0)
+		} else {
+			// Internal boundary: bring the flags to a statically-known env
+			// form — a packed save at worst, elided when already current.
+			// When the region-level liveness proves the flags dead across
+			// the edge (the trace redefines them before any read), the save
+			// is skipped entirely: the §III-C-3 inter-TB elimination running
+			// over the region instead of peeking one successor ahead.
+			prev := &steps[k-1]
+			elide := t.Level >= OptElimination && !tc.liveOut[base-1]
+			if !elide {
+				tc.ensureSaved(savePacked, false)
+			} else if tc.fs.hostFull || tc.fs.hostZN {
+				t.Stats.InterTBElided++
+			}
+			prevClass := tc.em.SetClass(x86.ClassIRQCheck)
+			tc.em.CallHelper(e.RegisterTraceBoundary(st.PC, len(prev.Insts), prev.Ret, priv))
+			tc.em.SetClass(prevClass)
+			// The boundary's interrupt check clobbers host flags like any
+			// emitted check would.
+			tc.fs.clobberHost()
+			if elide {
+				// Dead across the edge: like the cross-TB elision, the stale
+				// canonical slots count as current — the trace redefines the
+				// flags before anything can read them.
+				tc.fs = flagState{envParsedFull: true, envParsedCV: true, envPacked: tc.fs.envPacked}
+			}
+		}
+		for i := base; i < base+n; i++ {
+			if !last && i == base+n-1 && st.Term != engine.TraceTermFall {
+				tc.emitTraceTerm(i, st, &stubs)
+				continue
+			}
+			tc.emitInst(i)
+			if tc.exited {
+				if !last {
+					return nil, fmt.Errorf("core: trace block %d at %#08x ended early at %#08x", k, st.PC, tc.instPC(i))
+				}
+				break
+			}
+		}
+	}
+	if !tc.exited {
+		// Final block capped: fall through to the next TB.
+		lastStep := steps[len(steps)-1]
+		fall := lastStep.PC + uint32(len(lastStep.Insts))*4
+		region.Next[0], region.HasNext[0] = fall, true
+		tc.endOfTBSave(fall, 0)
+		tc.em.SetClass(x86.ClassGlue)
+		tc.em.ExitChainable(engine.ExitNext0)
+	}
+	for i := range stubs {
+		tc.emitSideStub(&stubs[i])
+	}
+	region.IRQIdx = 0
+	region.GuestLen = len(steps[len(steps)-1].Insts)
+	region.SrcPages = e.TranslationPages()
+	region.Block = tc.em.Finish(plan.PCs[0], len(tc.insts))
+	return region, nil
+}
+
+// emitTraceTerm emits an internal branch terminator: the on-trace direction
+// falls through into the next block (no save, no exit — the point of the
+// trace), the off-trace direction jumps to a side stub emitted after the
+// final exit.
+func (tc *tctx) emitTraceTerm(i int, st *engine.TraceStep, stubs *[]sideStub) {
+	in := &tc.insts[i]
+	fall := tc.instPC(i) + 4
+	n := len(st.Insts) // the terminating block's retirement length
+	if !in.Cond.UsesFlags() {
+		// Unconditional on-trace branch: at most the link-register write.
+		if in.Link {
+			tc.codeEm().Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
+		}
+		return
+	}
+	pol := tc.ensureCondUsable(in.Cond)
+	side := fmt.Sprintf("tside_%d", tc.seq())
+	tc.codeEm()
+	switch st.Term {
+	case engine.TraceTermTaken:
+		// Condition fails -> off-trace to the fall-through.
+		tc.emitCondJump(in.Cond, pol, side)
+		if in.Link {
+			tc.em.Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(fall))
+		}
+		*stubs = append(*stubs, sideStub{label: side, target: st.Side, n: n, fs: tc.fs})
+	case engine.TraceTermNotTaken:
+		// Condition passes -> off-trace to the taken target: jump to the
+		// stub when the *inverted* condition fails.
+		tc.emitCondJump(invertCond(in.Cond), pol, side)
+		s := sideStub{label: side, target: st.Side, n: n, fs: tc.fs}
+		if in.Link {
+			s.link, s.linkVal, s.ret = true, fall, fall
+		}
+		*stubs = append(*stubs, s)
+	}
+	// The conditional jump read host flags without modifying them: the
+	// on-trace path continues with the flag state unchanged.
+}
+
+// emitSideStub emits one off-trace side exit: the compensation sequence
+// materializing the canonical parsed flag form (the §III-D abort-fixup
+// machinery generalized to side exits; parse saves preserve host flags, so
+// the stub is correct for the state the branch site left), the side-taken
+// call's link-register write, and the side-exit helper completing the
+// transition.
+func (tc *tctx) emitSideStub(s *sideStub) {
+	em := tc.em
+	em.Label(s.label)
+	fs := s.fs
+	switch {
+	case tc.t.Level >= OptElimination && tc.successorKillsFlags(s.target):
+		// The off-trace successor fully redefines the flags before any read:
+		// the compensation is dead — the §III-C-3 elimination the ordinary
+		// end-of-TB save applies, generalized to the side exit.
+		tc.t.Stats.InterTBElided++
+	case !fs.envParsedFull && !fs.envPacked:
+		switch {
+		case fs.hostFull:
+			tc.t.Stats.SyncSaves++
+			engine.EmitParseSave(tc.syncEm(), fs.pol)
+		case fs.hostZN:
+			tc.t.Stats.SyncSaves++
+			emitZNSave(em) // C/V are already parsed (defZN keeps envParsedCV)
+		}
+	}
+	// A current packed snapshot needs no emitted code: the side-exit helper
+	// normalizes it with the lazy-parse charge.
+	if s.link {
+		tc.codeEm().Mov(x86.M(x86.EBP, engine.OffReg(arm.LR)), x86.I(s.linkVal))
+	}
+	em.SetClass(x86.ClassGlue)
+	em.CallHelper(tc.e.RegisterTraceSideExit(s.target, s.n, s.ret))
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+	"sldbt/internal/x86"
+)
+
+// traceLoopSrc is a hot loop whose body spans three translation blocks with
+// NZCV live across both internal edges — the shape hot-trace formation is
+// built for (the same skeleton as the hotloop workload, small enough for a
+// unit test).
+const traceLoopSrc = `
+user_entry:
+	mov r4, #0
+	mov r6, #1
+	ldr r5, =600
+tloop:
+	adds r4, r4, r6
+	eor r6, r6, r4, lsl #3
+	b tseg2
+tseg2:
+	addcs r4, r4, #7
+	subne r6, r6, #5
+	addmi r4, r4, r6
+	b tseg3
+tseg3:
+	addvs r4, r4, #1
+	subs r5, r5, #1
+	bne tloop
+	cmp r4, #0
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+
+// runTraced runs the program on an engine with chaining + tracing enabled.
+func runTraced(t *testing.T, tr engine.Translator, image []byte, origin uint32, budget uint64) (*engine.Engine, uint32, string) {
+	t.Helper()
+	e := engine.New(tr, kernel.RAMSize)
+	e.EnableChaining(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(8)
+	if err := e.LoadImage(origin, image); err != nil {
+		t.Fatal(err)
+	}
+	code, err := e.Run(budget)
+	if err != nil {
+		t.Fatalf("%s traced: %v (console %q)", tr.Name(), err, e.Bus.UART().Output())
+	}
+	return e, code, e.Bus.UART().Output()
+}
+
+// TestTraceDifferentialHotLoop: both translators, with tracing on (the rule
+// engine at every optimization level), must print the interpreter's exact
+// architectural result on a multi-block hot loop, must actually form a
+// trace, and must retire nearly all loop instructions inside it.
+func TestTraceDifferentialHotLoop(t *testing.T) {
+	prog := kernel.MustBuild(traceLoopSrc, kernel.Config{TimerOff: true})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	mk := map[string]func() engine.Translator{
+		"tcg": func() engine.Translator { return tcg.New() },
+	}
+	for _, level := range allLevels {
+		level := level
+		mk["rule-"+level.String()] = func() engine.Translator { return New(rules.BaselineRules(), level) }
+	}
+	for name, newTr := range mk {
+		e, code, out := runTraced(t, newTr(), prog.Image, prog.Origin, 2_000_000)
+		if code != wantCode || out != wantOut {
+			t.Errorf("%s: code %#x out %q, want %#x %q", name, code, out, wantCode, wantOut)
+		}
+		if e.Stats.TracesFormed == 0 {
+			t.Errorf("%s: hot loop never formed a trace", name)
+		}
+		if ratio := e.TraceExecRatio(); ratio < 0.5 {
+			t.Errorf("%s: only %.1f%% of retirement inside traces", name, 100*ratio)
+		}
+	}
+}
+
+// TestTraceEliminatesBoundaryCoordination: with traces on, the rule engine
+// at full optimization must retire the same guest instruction stream with
+// measurably less sync (the canonical parsed save at every exit and the
+// parsed restore at every entry collapse into the region) and less glue
+// (two of the three loop crossings disappear into the trace body).
+func TestTraceEliminatesBoundaryCoordination(t *testing.T) {
+	prog := kernel.MustBuild(traceLoopSrc, kernel.Config{TimerOff: true})
+	chainE, _, _, _ := func() (*engine.Engine, *Translator, uint32, string) {
+		tr := New(rules.BaselineRules(), OptScheduling)
+		e := engine.New(tr, kernel.RAMSize)
+		e.EnableChaining(true)
+		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+			t.Fatal(err)
+		}
+		code, err := e.Run(2_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, tr, code, e.Bus.UART().Output()
+	}()
+	traceE, _, traceOut := runTraced(t, New(rules.BaselineRules(), OptScheduling), prog.Image, prog.Origin, 2_000_000)
+	if traceOut != chainE.Bus.UART().Output() {
+		t.Fatalf("trace console %q != chain console %q", traceOut, chainE.Bus.UART().Output())
+	}
+	if traceE.Retired != chainE.Retired {
+		t.Fatalf("trace retired %d guest instructions, chain-only %d", traceE.Retired, chainE.Retired)
+	}
+	sync := func(e *engine.Engine) float64 {
+		return float64(e.M.Counts[x86.ClassSync]) / float64(e.Retired)
+	}
+	glue := func(e *engine.Engine) float64 {
+		return float64(e.M.Counts[x86.ClassGlue]) / float64(e.Retired)
+	}
+	if s, c := sync(traceE), sync(chainE); s > 0.7*c {
+		t.Errorf("traced sync/guest = %.3f, chain-only %.3f: expected at least a 30%% drop", s, c)
+	}
+	if g, c := glue(traceE), glue(chainE); g >= c {
+		t.Errorf("traced glue/guest = %.3f, chain-only %.3f: expected a drop", g, c)
+	}
+}
+
+// TestTraceRespectsBudgetAndIRQs: a trace-resident loop must still honour
+// the run budget at block granularity — the budget exhausts inside the
+// trace, not at its end — which is exactly what the boundary helpers'
+// retirement bookkeeping guarantees.
+func TestTraceRespectsBudgetAndIRQs(t *testing.T) {
+	prog := kernel.MustBuild(traceLoopSrc, kernel.Config{TimerOff: true})
+	tr := New(rules.BaselineRules(), OptScheduling)
+	e := engine.New(tr, kernel.RAMSize)
+	e.EnableChaining(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(4)
+	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 2000
+	if _, err := e.Run(budget); err == nil {
+		t.Fatal("tiny budget did not exhaust")
+	}
+	// Block-granular retirement: the overshoot past the budget is bounded by
+	// one translation block, exactly like chained execution.
+	if e.Retired < budget || e.Retired > budget+uint64(engine.MaxTBLen) {
+		t.Errorf("retired %d, want within one block of the %d budget", e.Retired, budget)
+	}
+	if e.Stats.TracesFormed == 0 {
+		t.Error("loop never formed a trace under the tiny-budget run")
+	}
+}
+
+// TestTraceSideExitTakesColdPath: when the loop finally falls through, the
+// exit leaves through the trace's cold direction (a side exit or the final
+// exit) with the canonical flag state — the printed checksum equals the
+// interpreter's, and the side-exit/break counters stay consistent with the
+// region counters.
+func TestTraceSideExitTakesColdPath(t *testing.T) {
+	// A loop whose off-trace direction is taken every 7th iteration, so side
+	// exits are genuinely exercised (not just the final fall-through).
+	src := `
+user_entry:
+	mov r4, #0
+	mov r6, #0
+	ldr r5, =400
+sloop:
+	add r6, r6, #1
+	cmp r6, #7
+	bne skip
+	mov r6, #0
+	add r4, r4, #100
+skip:
+	adds r4, r4, #3
+	b stail
+stail:
+	subs r5, r5, #1
+	bne sloop
+	cmp r4, #0
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog := kernel.MustBuild(src, kernel.Config{TimerOff: true})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	for name, newTr := range map[string]func() engine.Translator{
+		"tcg":  func() engine.Translator { return tcg.New() },
+		"rule": func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
+	} {
+		e, code, out := runTraced(t, newTr(), prog.Image, prog.Origin, 2_000_000)
+		if code != wantCode || out != wantOut {
+			t.Errorf("%s: code %#x out %q, want %#x %q", name, code, out, wantCode, wantOut)
+		}
+		if e.Stats.TracesFormed == 0 {
+			t.Errorf("%s: no trace formed", name)
+		}
+		if e.Stats.TraceSideExits == 0 {
+			t.Errorf("%s: conditional off-trace direction never took a side exit", name)
+		}
+	}
+}
+
+// TestTraceUnderTimerIRQs: with the periodic timer on, IRQs land at trace
+// boundaries mid-region; delivery must match the interpreter exactly
+// (same console, same architectural result).
+func TestTraceUnderTimerIRQs(t *testing.T) {
+	prog := kernel.MustBuild(traceLoopSrc, kernel.Config{TimerPeriod: 257})
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	for name, newTr := range map[string]func() engine.Translator{
+		"tcg":  func() engine.Translator { return tcg.New() },
+		"rule": func() engine.Translator { return New(rules.BaselineRules(), OptScheduling) },
+	} {
+		e, code, out := runTraced(t, newTr(), prog.Image, prog.Origin, 2_000_000)
+		if code != wantCode || out != wantOut {
+			t.Errorf("%s: code %#x out %q, want %#x %q", name, code, out, wantCode, wantOut)
+		}
+		if e.Stats.TracesFormed == 0 {
+			t.Errorf("%s: no trace formed", name)
+		}
+		if e.Stats.IRQs == 0 {
+			t.Errorf("%s: timer never delivered an IRQ", name)
+		}
+	}
+}
+
+// TestTraceStatsJSONShape is a compile-time-ish guard that the new trace
+// counters exist on engine.Stats with the names the -stats-json consumers
+// rely on (the cmd/sldbt JSON object embeds Stats verbatim).
+func TestTraceStatsJSONShape(t *testing.T) {
+	s := engine.Stats{TracesFormed: 1, TraceRetired: 2, TraceExec: 3, TraceSideExits: 4, TraceBreaks: 5, TraceAborts: 6}
+	got := fmt.Sprintf("%d%d%d%d%d%d", s.TracesFormed, s.TraceRetired, s.TraceExec, s.TraceSideExits, s.TraceBreaks, s.TraceAborts)
+	if got != "123456" {
+		t.Fatal("trace counters miswired")
+	}
+}

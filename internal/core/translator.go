@@ -55,8 +55,9 @@ type tctx struct {
 	seqN int
 
 	insts   []arm.Inst // in emission order (possibly scheduled)
-	origIdx []int      // original guest index of insts[i]
-	liveOut []bool     // guest flags live after insts[i] (within-TB analysis)
+	origIdx []int      // original guest index of insts[i] within its block
+	pcOf    []uint32   // absolute guest PC of insts[i] (traces; nil for single blocks)
+	liveOut []bool     // guest flags live after insts[i] (region-level analysis)
 	tb      *engine.TB
 	exited  bool // an unconditional exit has been emitted
 
@@ -70,7 +71,12 @@ func (tc *tctx) seq() int {
 	return tc.seqN*1000 + 500
 }
 
-func (tc *tctx) instPC(i int) uint32 { return tc.pc + uint32(tc.origIdx[i])*4 }
+func (tc *tctx) instPC(i int) uint32 {
+	if tc.pcOf != nil {
+		return tc.pcOf[i]
+	}
+	return tc.pc + uint32(tc.origIdx[i])*4
+}
 
 // Translate implements engine.Translator.
 func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.TB, error) {

@@ -156,6 +156,9 @@ func (e *Engine) invalidateOnStore(pa uint32) {
 // TruncateHelpers) funnel helper release through here or FlushCache.
 func (e *Engine) retireTB(tb *TB) {
 	delete(e.cache, tb.key)
+	if tb.IsTrace() {
+		e.Stats.TraceRetired++
+	}
 	// Purge the jump-cache/RAS entries addressing this block before its
 	// handle is recycled — a stale entry must never outlive its target.
 	e.purgeTB(tb)

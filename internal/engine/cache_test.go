@@ -239,7 +239,7 @@ func TestFIFOBoundedUnderChurn(t *testing.T) {
 // sequences, every cached TB is indexed under every page its guest bytes
 // span, no stale entries remain, and helper accounting stays exact.
 func TestReverseMapInvariantUnderRandomOps(t *testing.T) {
-	r := rand.New(rand.NewSource(7))
+	r := rand.New(rand.NewSource(propertySeed(t, 7)))
 	e := newPagedEngine(t, pageStubTrans{stride: 0x1000, guestLen: 32, helpers: 1})
 	randPC := func() uint32 {
 		page := uint32(r.Intn(8))

@@ -103,7 +103,12 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		// retire whether or not the jump is taken. Only then is the crossing
 		// decided, so a chained run stops at the same retirement boundary an
 		// unchained run would (Run checks the budget after each retirement).
-		e.retire(from.GuestLen)
+		// An in-flight trace recording observes the crossing either way — a
+		// glue refusal only returns control to the dispatcher, it does not
+		// end the hot path being recorded.
+		e.recCross(from.Next[slot], true)
+		e.cur.hotEdge = from.Next[slot] <= e.curPC // backward edge: a loop head
+		e.retireExec(from, from.GuestLen)
 		// A call-terminated block pushes its return address whether or not
 		// the direct jump is approved — the call happens either way.
 		e.rasPushFor(from, slot)
@@ -114,10 +119,15 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		// check keeps shared links honest on SMP machines: a link made under
 		// another vCPU's page tables resolves the successor VA to a physical
 		// block this vCPU's regime may not map there. The slice check keeps
-		// chained runs inside the SMP scheduler's round-robin quantum.
+		// chained runs inside the SMP scheduler's round-robin quantum. The
+		// staleness check refuses jumps into a trace pending retirement
+		// (quality-evicted in particular — epoch and regime events already
+		// unlink every chain): breaking hands the target to the dispatcher,
+		// which retires and retranslates it.
 		if e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
 			e.CPU.Mode().Privileged() != from.chainPriv[slot] ||
-			e.regimeKey() != from.chainRegime[slot] || e.sliceExpired() {
+			e.regimeKey() != from.chainRegime[slot] || e.sliceExpired() ||
+			e.regionStale(from.ChainTo[slot]) {
 			e.cur.nextPC = from.Next[slot]
 			e.Stats.ChainBreaks++
 			return ExitChainBreak
@@ -127,6 +137,7 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		e.Stats.TBEntries++
 		e.curTB = from.ChainTo[slot]
 		e.curPC = from.Next[slot]
+		e.noteRegionEntry(e.curTB, e.curPC)
 		return -1
 	}
 }

@@ -22,11 +22,23 @@ const (
 	ExitChainBreak = 7 // chain glue stopped a linked run; state is ready
 )
 
-// TB is a translated guest block in the code cache.
-type TB struct {
-	Block    *x86.Block
-	PC       uint32 // guest virtual PC of the first instruction
+// Region is the unit the code cache stores, chains, jump-caches and
+// retires: a single translated guest block, or a hot-trace superblock
+// spanning several guest blocks (Blocks non-nil; see trace.go). All the
+// cache/chain/jc plumbing below is region-level — every retirement path
+// (page invalidation, eviction, whole-cache flush, cross-vCPU purge) works
+// on either kind with no special cases.
+type Region struct {
+	Block *x86.Block
+	PC    uint32 // guest virtual PC of the first instruction
+	// GuestLen is the guest-instruction length retired when a final exit is
+	// taken: the whole block for a single-block region, the *final*
+	// constituent block for a trace (the earlier blocks retire at the
+	// emitted internal boundaries).
 	GuestLen int
+	// Blocks lists a trace's constituent guest blocks in path order (nil
+	// for ordinary single-block regions).
+	Blocks []TraceBlock
 	// SrcPages lists the guest physical pages the block's source bytes were
 	// fetched from, recorded by the translator (via Engine.TranslationPages)
 	// so page-granular invalidation finds page-straddling blocks even under
@@ -82,6 +94,36 @@ type TB struct {
 	// jcSlots lists the jump-cache slots filled with this TB, so retiring it
 	// purges exactly those entries (see jc.go).
 	jcSlots []uint32
+	// hot counts region entries: toward the trace-formation threshold for a
+	// plain block, toward the quality window for a formed trace.
+	hot uint64
+	// sideExits counts off-trace side exits taken out of a trace; a trace
+	// whose entries predominantly leave sideways was recorded on a cold
+	// path (e.g. a loop's exit iteration) and is marked poor, to be retired
+	// and re-formed (see trace.go).
+	sideExits uint64
+	poor      bool
+	// regime and epoch validate a trace's virtual-adjacency assumptions: a
+	// trace may only be entered (and continued at its boundaries) under the
+	// translation regime and trace epoch it was formed in (see trace.go).
+	regime uint64
+	epoch  uint64
+}
+
+// TB is the single-block name the translator-facing API was built around;
+// it is the same type as Region (translators return one region per
+// translation, whether it covers one guest block or a whole trace).
+type TB = Region
+
+// IsTrace reports whether the region is a multi-block hot trace.
+func (t *Region) IsTrace() bool { return t.Blocks != nil }
+
+// NumBlocks returns how many guest blocks the region spans.
+func (t *Region) NumBlocks() int {
+	if t.Blocks == nil {
+		return 1
+	}
+	return len(t.Blocks)
 }
 
 type tbKey struct {
@@ -115,6 +157,12 @@ type Stats struct {
 	JCMisses          uint64 // inline probes that fell back to the dispatcher (jump cache on)
 	JCBreaks          uint64 // inline indirect jumps refused by glue (budget/bounds/re-validation)
 	RASHits           uint64 // indirect transitions served by the return-address stack
+	TracesFormed      uint64 // multi-block trace regions installed in the cache
+	TraceRetired      uint64 // trace regions retired (invalidation, eviction, flush, staleness)
+	TraceAborts       uint64 // recordings or formations abandoned
+	TraceExec         uint64 // guest instructions retired inside trace regions
+	TraceSideExits    uint64 // off-trace side exits taken
+	TraceBreaks       uint64 // internal boundaries that bailed to the dispatcher
 	HelperCalls       uint64
 	IRQs              uint64
 	Exceptions        uint64
@@ -220,6 +268,18 @@ type Engine struct {
 	fullFlushSMC bool // legacy whole-cache flush on SMC (baseline for exp)
 	seenKeys     map[tbKey]bool
 
+	// Hot-trace state (see trace.go): formation toggle and threshold, the
+	// in-flight NET recording, the finalized plan awaiting formation, and
+	// the epoch that invalidates formed traces on regime/TLB events.
+	traceOn     bool
+	traceThresh uint64
+	rec         *traceRec
+	plan        *TracePlan
+	planRegime  uint64
+	planHead    *Region
+	traceEpoch  uint64
+	tracesStale bool
+
 	// Indirect-branch fast-path state (see jc.go): the env-resident jump
 	// cache and return-address stack, and the handle table emitted probes
 	// jump through (the pending-fill flag is per-vCPU, on VCPU).
@@ -251,15 +311,23 @@ func hostMemSize(ramSize uint32) int { return GuestWin + int(ramSize) }
 // New builds a uniprocessor engine over fresh host machine + guest bus. The
 // guest RAM aliases the host memory window so translated code, helpers and
 // device DMA share one storage. It is NewSMP with one vCPU.
-func New(tr Translator, ramSize uint32) *Engine { return NewSMP(tr, ramSize, 1) }
+func New(tr Translator, ramSize uint32) *Engine {
+	e, err := NewSMP(tr, ramSize, 1)
+	if err != nil {
+		panic(err) // unreachable: one vCPU is always a valid count
+	}
+	return e
+}
 
 // NewSMP builds an engine with n guest vCPUs (1 <= n <= MaxVCPUs) sharing
 // one bus, one exclusive monitor and one physically-keyed code cache, each
 // owning a private CPUState/TLB/jump-cache/RAS region. vCPU 0 is scheduled
-// first; the secondaries' MPIDR identifies their index to the guest.
-func NewSMP(tr Translator, ramSize uint32, n int) *Engine {
+// first; the secondaries' MPIDR identifies their index to the guest. A vCPU
+// count outside the supported range is an error, not a panic — callers
+// (cmd/sldbt's -smp flag in particular) surface it to the user.
+func NewSMP(tr Translator, ramSize uint32, n int) (*Engine, error) {
 	if n < 1 || n > MaxVCPUs {
-		panic(fmt.Sprintf("engine: vCPU count %d outside [1, %d]", n, MaxVCPUs))
+		return nil, fmt.Errorf("engine: vCPU count %d outside [1, %d]", n, MaxVCPUs)
 	}
 	m := x86.NewMachine(hostMemSize(ramSize))
 	bus := ghw.NewBusWithRAM(m.Mem[GuestWin : GuestWin+int(ramSize)])
@@ -291,7 +359,7 @@ func NewSMP(tr Translator, ramSize uint32, n int) *Engine {
 	for _, v := range e.vcpus {
 		e.syncPrivTagOf(v)
 	}
-	return e
+	return e, nil
 }
 
 // LoadImage copies a guest binary image into guest RAM.
@@ -339,6 +407,7 @@ func (s envState) SetSPSR(v uint32) { s.e.CPU.SetSPSR(v) }
 // interrupted LDREX/STREX sequence cannot succeed spuriously afterwards.
 func (e *Engine) takeException(vec arm.Vector, retAddr uint32) {
 	e.cur.pendingJCFill = false // the vector lookup is not the missed target
+	e.cur.hotEdge = false       // a vector entry is not a loop edge
 	e.excl.Clear(e.cur.Index)
 	e.Stats.Exceptions++
 	e.M.Charge(x86.ClassHelper, CostExcEntry)
@@ -397,6 +466,11 @@ func (e *Engine) FetchInst(va uint32) (arm.Inst, error) {
 // maintenance) only unlink chains — the cache is keyed by physical address,
 // so its translations stay valid across them.
 func (e *Engine) FlushCache() {
+	for _, tb := range e.cache {
+		if tb.IsTrace() {
+			e.Stats.TraceRetired++
+		}
+	}
 	e.cache = map[tbKey]*TB{}
 	e.pageTBs = map[uint32]map[*TB]struct{}{}
 	e.codePages = map[uint32]bool{}
@@ -404,6 +478,9 @@ func (e *Engine) FlushCache() {
 	e.invalidCount++
 	e.linkCount = 0
 	e.lastTB = nil
+	e.recAbort()
+	e.dropPlan()
+	e.tracesStale = false
 	e.tbHandles = nil
 	e.freeHandles = nil
 	for _, v := range e.vcpus {
@@ -478,11 +555,20 @@ func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 // the final exit.
 func (e *Engine) step() error {
 	e.Stats.Dispatches++
+	// Trace housekeeping happens here, with no emitted code in flight: sweep
+	// regions stranded by a regime/TLB event, then form a finalized plan.
+	if e.tracesStale {
+		e.retireStaleTraces(false)
+	}
+	if e.plan != nil {
+		e.formPendingTrace()
+	}
 	pc := e.cur.nextPC
 	priv := e.CPU.Mode().Privileged()
 	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, pc, mmu.Fetch, !priv)
 	if fault != nil {
 		e.lastTB = nil
+		e.recAbort()
 		e.CPU.CP15.IFSR = uint32(fault.Type)
 		e.CPU.CP15.IFAR = pc
 		e.takeException(arm.VecPrefetchAbort, pc+4)
@@ -490,6 +576,10 @@ func (e *Engine) step() error {
 	}
 	key := tbKey{pa: pa, priv: priv}
 	tb, ok := e.cache[key]
+	if ok && e.regionStale(tb) {
+		e.retireTB(tb)
+		ok = false
+	}
 	if !ok {
 		var err error
 		tb, err = e.translate(pc, priv, key)
@@ -508,6 +598,7 @@ func (e *Engine) step() error {
 	if e.lastTB != nil {
 		e.linkPending(tb, pc, priv)
 	}
+	e.noteRegionEntry(tb, pc)
 	e.Stats.TBEntries++
 	e.curTB, e.curPC = tb, pc
 	e.chainSteps = 0
@@ -525,7 +616,9 @@ func (e *Engine) step() error {
 		// lookup can link it.
 		e.M.Charge(x86.ClassGlue, 1)
 		e.Stats.ChainHits++
-		e.retire(tb.GuestLen)
+		e.recCross(tb.Next[code], true)
+		e.cur.hotEdge = tb.Next[code] <= pc // backward edge: a loop head
+		e.retireExec(tb, tb.GuestLen)
 		e.cur.nextPC = tb.Next[code]
 		e.rasPushFor(tb, int(code))
 		e.noteDirectExit(tb, int(code))
@@ -538,20 +631,28 @@ func (e *Engine) step() error {
 			e.Stats.JCMisses++
 			e.cur.pendingJCFill = true
 		}
-		e.retire(tb.GuestLen)
+		e.recCross(0, false)
+		e.cur.hotEdge = false
+		e.retireExec(tb, tb.GuestLen)
 		e.cur.nextPC = e.Env.ExitPC()
 	case ExitIRQ:
 		// The interrupt check fired; instructions before it have retired.
+		e.recAbort()
 		e.Stats.IRQs++
 		e.retire(tb.IRQIdx)
 		e.takeException(arm.VecIRQ, pc+uint32(tb.IRQIdx)*4+4)
 	case ExitExc:
 		// A helper already injected the exception and accounted retirement.
+		e.recAbort()
 	case ExitHalt:
+		e.recAbort()
+		e.cur.hotEdge = false
 		e.cur.halted = true
 	case ExitSMC:
 		// Self-modifying code: the store helper flushed the cache and set
 		// the resume PC; nothing further to do.
+		e.recAbort()
+		e.cur.hotEdge = false
 	case ExitChainBreak:
 		// The chain glue completed the transition (retire + nextPC) before
 		// stopping the linked run; nothing further to do.
@@ -877,14 +978,19 @@ func (e *Engine) execCP15(in *arm.Inst) {
 			// translations keyed by virtual PC; re-resolve them through the
 			// dispatcher under the new mapping. The jump cache is the
 			// maintaining vCPU's own; chains are shared by every vCPU, so
-			// they are unlinked globally (conservative).
+			// they are unlinked globally (conservative). Traces bake the same
+			// virtual adjacency across whole blocks: mark them stale (swept
+			// at the next dispatcher entry; an in-flight trace bails at its
+			// next boundary check via the epoch).
 			e.unlinkChains()
 			e.flushJCOf(e.cur)
+			e.invalidateTraces()
 		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
 			*sel = v
 			env.FlushTLB() // translation regime changed
 			e.unlinkChains()
 			e.flushJCOf(e.cur)
+			e.invalidateTraces()
 		case sel != nil:
 			*sel = v
 		}

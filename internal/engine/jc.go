@@ -243,7 +243,11 @@ func (e *Engine) EmitIndirectExit(em *x86.Emitter, isReturn bool, seq int) {
 func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
 	return func(m *x86.Machine) int {
 		from := e.curTB
-		e.retire(from.GuestLen)
+		// An indirect exit ends any trace being recorded: the region's own
+		// terminator becomes the recorded path's final exit.
+		e.recCross(0, false)
+		e.cur.hotEdge = false // indirect targets do not seed trace heads
+		e.retireExec(from, from.GuestLen)
 		pc := e.Env.ExitPC()
 		var to *TB
 		if h := int(m.Regs[x86.ECX]); h >= 1 && h <= len(e.tbHandles) {
@@ -251,10 +255,12 @@ func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
 		}
 		// The entry is a hint: the jump is taken only if the handle resolves
 		// to a live TB for exactly this (PC, privilege) — the dispatcher's
-		// lookup key — and the run bounds the chain glue enforces still hold
-		// (including the SMP scheduler's slice, so a linked run cannot
+		// lookup key — the region is not a trace stranded by a regime or
+		// epoch change, and the run bounds the chain glue enforces still
+		// hold (including the SMP scheduler's slice, so a linked run cannot
 		// overstay the vCPU's turn).
 		if to == nil || to.PC != pc || to.key.priv != e.CPU.Mode().Privileged() ||
+			e.regionStale(to) ||
 			e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
 			e.sliceExpired() {
 			e.cur.nextPC = pc
@@ -265,6 +271,7 @@ func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
 		*hits++
 		e.Stats.TBEntries++
 		e.curTB, e.curPC = to, pc
+		e.noteRegionEntry(to, pc)
 		m.SetNextBlock(to.Block)
 		return -1
 	}
@@ -382,10 +389,15 @@ func (e *Engine) rasPushFor(tb *TB, slot int) {
 	if !e.ras {
 		return
 	}
-	ret := tb.RetPush[slot]
-	if ret == 0 {
-		return
+	if ret := tb.RetPush[slot]; ret != 0 {
+		e.rasPush(ret)
 	}
+}
+
+// rasPush pushes one return address — shared by the per-exit crossings
+// above and the in-trace call edges (boundary and side-exit helpers, which
+// see the call cross an internal or off-trace edge instead of a TB exit).
+func (e *Engine) rasPush(ret uint32) {
 	top := (e.Env.read(OffRASTop) + rasEntrySize) & rasTopMask
 	e.Env.write(OffRASTop, top)
 	var tag, handle uint32

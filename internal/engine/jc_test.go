@@ -326,7 +326,7 @@ func TestRASPredictsCallReturn(t *testing.T) {
 // must never leave a stale jump-cache or RAS entry (every valid entry keeps
 // resolving to a live, matching TB).
 func TestJCInvariantUnderRandomOps(t *testing.T) {
-	r := rand.New(rand.NewSource(11))
+	r := rand.New(rand.NewSource(propertySeed(t, 11)))
 	seq := 0
 	e := newJCEngine(t, indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x8000 }, seq: &seq}, false)
 	// Deterministic warmup around the ring so fills and inline hits happen

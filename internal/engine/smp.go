@@ -69,6 +69,13 @@ type VCPU struct {
 	halted        bool
 	pendingJCFill bool   // the last exit was an indirect miss: fill on resolve
 	sliceRet      uint64 // instructions retired in the current scheduler slice
+	// hotEdge marks that this vCPU's last crossing satisfies the Dynamo
+	// start-of-trace condition — a backward direct branch (loop edge) or an
+	// exit from an existing trace — so the next region entry counts toward
+	// the trace-formation threshold (see trace.go). Seeding heat only at
+	// loop heads keeps trace seams off flag-live edges and stops competing
+	// rotations of the same loop from forming.
+	hotEdge bool
 }
 
 // newVCPU builds vCPU i over its carved-out env region.

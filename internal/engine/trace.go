@@ -1,0 +1,537 @@
+package engine
+
+import (
+	"fmt"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/mmu"
+	"sldbt/internal/x86"
+)
+
+// Hot-trace superblocks: profile-guided multi-block regions.
+//
+// Chaining (chain.go) made block boundaries cheap to *cross* but not cheap
+// to *coordinate* across: every TB exit still materializes the canonical
+// parsed flag save (endOfTBSave) and every TB entry re-assumes it, so on hot
+// loops the residual sync and glue cost is dominated by boundaries. Trace
+// formation — the Dynamo/DynamoRIO lineage QEMU's goto_tb only approximates
+// — removes the boundary itself on the dominant path:
+//
+//   - The dispatcher and the chain/jump-cache glue count region entries;
+//     past SetTraceThreshold the engine *records* the next executed run of
+//     direct crossings out of the hot head (the NET "next executing tail"),
+//     stopping at indirect exits, exceptions, privilege or regime changes,
+//     a backward edge that closes the loop, or MaxTraceBlocks.
+//   - The recorded plan is handed to the translator as one unit
+//     (TraceTranslator.TranslateTrace). Inside the emitted trace there is no
+//     endOfTBSave and no entry re-assumption: the translator's flag state
+//     and liveness flow across the internal edges, pinned registers stay
+//     pinned straight through, and each internal boundary shrinks to one
+//     CALLH to a boundary helper that keeps the dispatcher's invariants —
+//     retire the previous block (block-granular, so the SMP interleaving
+//     stays bit-identical to the oracle), deliver pending IRQs at the block
+//     head, honour the budget, the scheduler slice and privilege/regime
+//     consistency exactly like the chain glue.
+//   - Off-trace conditional side exits get compensation stubs that
+//     materialize the canonical parsed form before leaving (the §III-D
+//     abort-fixup machinery generalized to side exits) and complete the
+//     transition through a side-exit helper, ExitChainBreak-style.
+//   - The trace is a Region like any other cache entry: keyed by its head's
+//     (physical PC, privilege), indexed in the page reverse map under the
+//     union of its blocks' SrcPages, handle-addressable by the jump cache,
+//     chainable at its final exit (a loop-closing back edge chains the
+//     trace to itself). Page-granular invalidation, eviction, whole-cache
+//     flushes and cross-vCPU purges retire traces through the existing
+//     region plumbing with no special cases.
+//
+// Staleness: like a chain link, a trace bakes the virtual-address adjacency
+// of its constituent blocks into one unit, so it is only valid under the
+// translation regime it was formed in. Regime changes and TLB maintenance
+// bump the engine's trace epoch; stale traces are swept at the next
+// dispatcher entry, and the boundary helpers re-validate privilege, regime
+// and epoch at every internal crossing so an in-flight trace bails out the
+// moment the guest pulls the mapping out from under it.
+
+// MaxTraceBlocks bounds how many guest blocks a recorded trace may span.
+const MaxTraceBlocks = 8
+
+// DefaultTraceThreshold is the region-entry count past which the engine
+// starts recording a trace out of a hot head.
+const DefaultTraceThreshold = 16
+
+// traceQualityWindow is the minimum entry count before a formed trace is
+// judged on its side-exit fraction (a majority of side exits marks it poor).
+const traceQualityWindow = 64
+
+// TraceBlock identifies one constituent guest block of a trace region.
+type TraceBlock struct {
+	PC  uint32 // guest virtual PC of the block's first instruction
+	Len int    // guest instructions in the block
+}
+
+// TracePlan is a recorded hot path: the constituent blocks' entry PCs in
+// execution order plus, for every block except the last, the successor PC
+// the recorded execution continued to (which conditional direction is
+// on-trace). The final block's own terminator becomes the trace's exit.
+type TracePlan struct {
+	PCs   []uint32
+	Succs []uint32 // Succs[k] is the on-trace successor of block k; len = len(PCs)-1
+	Priv  bool
+}
+
+// TraceTranslator is implemented by translators that can translate a
+// recorded multi-block plan as one region. Translators without it simply
+// never receive traces (EnableTracing stays off).
+type TraceTranslator interface {
+	TranslateTrace(e *Engine, plan *TracePlan, priv bool) (*TB, error)
+}
+
+// TraceTermKind classifies how an internal block of a trace continues.
+type TraceTermKind uint8
+
+// Internal-terminator kinds.
+const (
+	TraceTermFall     TraceTermKind = iota // no branch: falls through to the next block
+	TraceTermTaken                         // branch terminator, taken direction is on-trace
+	TraceTermNotTaken                      // branch terminator, fall-through is on-trace
+)
+
+// TraceStep is one scanned constituent block of a plan, classified for
+// emission: its instructions, how its terminator continues on-trace, the
+// off-trace side-exit target (0 for unconditional terminators), and the
+// return address a call edge pushes on the RAS (0 when the on-trace edge is
+// not a call).
+type TraceStep struct {
+	PC    uint32
+	Insts []arm.Inst
+	Term  TraceTermKind
+	Side  uint32
+	Ret   uint32
+}
+
+// ScanTrace re-scans a plan's blocks from guest memory and validates that
+// every internal terminator still matches the recorded on-trace successor —
+// a direct branch whose taken or fall-through target is the recorded
+// successor, or a capped/fault-bounded block falling through to it. Any
+// other shape (the code changed since recording, or the block ends in an
+// indirect or system terminator) fails the formation.
+func (e *Engine) ScanTrace(plan *TracePlan) ([]TraceStep, error) {
+	steps := make([]TraceStep, 0, len(plan.PCs))
+	for k, pc := range plan.PCs {
+		insts, err := ScanTB(e, pc)
+		if err != nil {
+			return nil, fmt.Errorf("trace block %d at %#08x: %w", k, pc, err)
+		}
+		st := TraceStep{PC: pc, Insts: insts}
+		if k < len(plan.PCs)-1 {
+			succ := plan.Succs[k]
+			term := &insts[len(insts)-1]
+			termPC := pc + uint32(len(insts)-1)*4
+			fall := termPC + 4
+			switch {
+			case !term.IsBranch() && term.Kind != arm.KindUndef:
+				// Capped (or fault-bounded) block: straight fall-through.
+				if succ != pc+uint32(len(insts))*4 {
+					return nil, fmt.Errorf("trace block %d at %#08x: recorded successor %#08x is not the fall-through", k, pc, succ)
+				}
+				st.Term = TraceTermFall
+			case term.Kind == arm.KindBranch:
+				taken := uint32(int32(termPC) + 8 + term.Offset)
+				switch {
+				case !term.Cond.UsesFlags():
+					if succ != taken {
+						return nil, fmt.Errorf("trace block %d at %#08x: recorded successor %#08x, branch targets %#08x", k, pc, succ, taken)
+					}
+					st.Term, st.Side = TraceTermTaken, 0
+				case succ == taken:
+					st.Term, st.Side = TraceTermTaken, fall
+				case succ == fall:
+					st.Term, st.Side = TraceTermNotTaken, taken
+				default:
+					return nil, fmt.Errorf("trace block %d at %#08x: recorded successor %#08x matches neither direction", k, pc, succ)
+				}
+				if term.Link && st.Term == TraceTermTaken {
+					st.Ret = fall // the on-trace edge is a call: push it on the RAS
+				}
+			default:
+				// Indirect, system or undefined terminator inside the trace.
+				return nil, fmt.Errorf("trace block %d at %#08x: unsupported internal terminator", k, pc)
+			}
+		}
+		steps = append(steps, st)
+	}
+	return steps, nil
+}
+
+// --- configuration ------------------------------------------------------
+
+// EnableTracing switches profile-guided trace formation on or off. It is a
+// no-op when the translator cannot translate traces. Turning it off retires
+// every formed trace and drops any in-flight recording.
+func (e *Engine) EnableTracing(on bool) {
+	if on {
+		if _, ok := e.Trans.(TraceTranslator); !ok {
+			return
+		}
+	}
+	if on == e.traceOn {
+		return
+	}
+	e.traceOn = on
+	e.recAbort()
+	e.dropPlan()
+	if e.traceThresh == 0 {
+		e.traceThresh = DefaultTraceThreshold
+	}
+	if !on {
+		e.retireStaleTraces(true)
+	}
+}
+
+// TracingEnabled reports whether trace formation is active.
+func (e *Engine) TracingEnabled() bool { return e.traceOn }
+
+// SetTraceThreshold sets the region-entry count past which a hot head
+// triggers trace recording (ignored when n == 0).
+func (e *Engine) SetTraceThreshold(n uint64) {
+	if n > 0 {
+		e.traceThresh = n
+	}
+}
+
+// TraceThreshold returns the configured hotness threshold.
+func (e *Engine) TraceThreshold() uint64 {
+	if e.traceThresh == 0 {
+		return DefaultTraceThreshold
+	}
+	return e.traceThresh
+}
+
+// TraceExecRatio is the fraction of retired guest instructions that retired
+// inside a trace region.
+func (e *Engine) TraceExecRatio() float64 {
+	if e.Retired == 0 {
+		return 0
+	}
+	return float64(e.Stats.TraceExec) / float64(e.Retired)
+}
+
+// --- recording ----------------------------------------------------------
+
+// traceRec is an in-flight NET recording.
+type traceRec struct {
+	cpu    *VCPU
+	head   *Region // the hot head (its hot counter is reset if we abort)
+	priv   bool
+	regime uint64
+	pcs    []uint32
+	succs  []uint32
+}
+
+func (r *traceRec) last() uint32 { return r.pcs[len(r.pcs)-1] }
+
+// noteRegionEntry counts an entry into a region (dispatcher, chain glue or
+// jump-cache glue) toward the trace-formation threshold and starts a
+// recording when a plain block crosses it. pc is the virtual entry address.
+// Only entries satisfying the start-of-trace condition count (the vCPU's
+// hotEdge flag, set by the crossing sites): the target of a backward direct
+// branch, or the target of an exit from an existing trace — Dynamo's rule,
+// which anchors trace heads at loop heads so the trace seam (its back edge)
+// falls where the inter-TB elimination can prove the flags dead.
+func (e *Engine) noteRegionEntry(tb *Region, pc uint32) {
+	if !e.traceOn {
+		return
+	}
+	if tb.IsTrace() {
+		// Quality accounting: a trace most of whose entries leave through a
+		// side exit was recorded on a cold path (classically: the recording
+		// caught a loop's exit iteration, making the hot back edge the
+		// off-trace direction). Mark it poor; the dispatcher retires it at
+		// the region's next dispatch and the head may re-record.
+		tb.hot++
+		if tb.hot >= traceQualityWindow && tb.sideExits*2 >= tb.hot {
+			tb.poor = true
+		}
+		return
+	}
+	if !e.cur.hotEdge {
+		return
+	}
+	tb.hot++
+	if e.rec != nil || e.plan != nil || tb.hot < e.traceThresh {
+		return
+	}
+	if !tb.HasNext[0] && !tb.HasNext[1] {
+		tb.hot = 0 // indirect-terminated head: no direct path to record
+		return
+	}
+	e.rec = &traceRec{
+		cpu:    e.cur,
+		head:   tb,
+		priv:   e.CPU.Mode().Privileged(),
+		regime: e.regimeKey(),
+		pcs:    []uint32{pc},
+	}
+}
+
+// recCross observes a crossing out of the currently-executing region
+// (e.curTB entered at e.curPC) while a recording is active. Direct
+// crossings extend the path; anything else finalizes or aborts it.
+func (e *Engine) recCross(next uint32, direct bool) {
+	r := e.rec
+	if r == nil {
+		return
+	}
+	switch {
+	case e.cur != r.cpu || e.curPC != r.last() ||
+		e.CPU.Mode().Privileged() != r.priv || e.regimeKey() != r.regime:
+		e.recAbort() // execution diverged from the recorded tail
+	case e.curTB.IsTrace() || !direct:
+		// The region itself ends the trace: its own terminator (an indirect
+		// exit, or a whole formed trace) becomes the final exit.
+		e.recFinalize()
+	case next == r.pcs[0] || containsPC(r.pcs, next) || len(r.pcs) >= MaxTraceBlocks:
+		// Loop closed (the final exit will chain back to the trace itself),
+		// inner repetition, or the length cap: stop before appending.
+		e.recFinalize()
+	default:
+		r.succs = append(r.succs, next)
+		r.pcs = append(r.pcs, next)
+	}
+}
+
+func containsPC(pcs []uint32, pc uint32) bool {
+	for _, p := range pcs {
+		if p == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// recAbort drops an in-flight recording, resetting the head's hotness so a
+// repeatedly-aborting head backs off instead of re-recording every entry.
+func (e *Engine) recAbort() {
+	if e.rec == nil {
+		return
+	}
+	e.rec.head.hot = 0
+	e.rec = nil
+}
+
+// recFinalize turns the recorded path into a pending plan (formed at the
+// next dispatcher entry, where no emitted code is in flight).
+func (e *Engine) recFinalize() {
+	r := e.rec
+	e.rec = nil
+	if len(r.pcs) < 2 {
+		r.head.hot = 0
+		return
+	}
+	e.plan = &TracePlan{PCs: r.pcs, Succs: r.succs, Priv: r.priv}
+	e.planRegime = r.regime
+	e.planHead = r.head
+}
+
+// --- formation ----------------------------------------------------------
+
+// formPendingTrace translates the pending plan and installs the trace in
+// the code cache under its head key, replacing the head's single-block
+// region. Called only from the dispatcher, with no emitted code in flight.
+func (e *Engine) formPendingTrace() {
+	plan, headRegion := e.plan, e.planHead
+	e.plan, e.planHead = nil, nil
+	// A failed formation resets the head's hotness, so a head whose plans
+	// keep getting rejected (e.g. code that ScanTrace always refuses) backs
+	// off instead of re-recording and re-failing on every loop iteration.
+	abort := func() {
+		e.Stats.TraceAborts++
+		if headRegion != nil {
+			headRegion.hot = 0
+		}
+	}
+	tt, ok := e.Trans.(TraceTranslator)
+	if !ok {
+		return
+	}
+	// The plan's scan and boundary checks are only meaningful under the
+	// recording's privilege and regime.
+	if e.CPU.Mode().Privileged() != plan.Priv || e.regimeKey() != e.planRegime {
+		abort()
+		return
+	}
+	head := plan.PCs[0]
+	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, head, mmu.Fetch, !plan.Priv)
+	if fault != nil {
+		abort()
+		return
+	}
+	key := tbKey{pa: pa, priv: plan.Priv}
+	e.translating = true
+	e.transPages = e.transPages[:0]
+	e.transHelpers = e.transHelpers[:0]
+	tr, err := tt.TranslateTrace(e, plan, plan.Priv)
+	e.translating = false
+	if err != nil {
+		for _, id := range e.transHelpers {
+			e.M.FreeHelper(id)
+		}
+		abort()
+		return
+	}
+	tr.key = key
+	tr.helperIDs = append([]int(nil), e.transHelpers...)
+	tr.pages = tr.SrcPages
+	if len(tr.pages) == 0 {
+		tr.pages = SpanPages(key.pa, tr.GuestLen)
+	}
+	tr.regime = e.regimeKey()
+	tr.epoch = e.traceEpoch
+	if old := e.cache[key]; old != nil {
+		e.retireTB(old)
+	}
+	e.insertTB(tr)
+	e.Stats.TBsTranslated++
+	e.Stats.TracesFormed++
+}
+
+// regionStale reports whether a cached region may not be entered and should
+// be retired at its next dispatch: traces bake the virtual adjacency of
+// their blocks, so a regime or epoch mismatch strands them, and a
+// quality-evicted (poor) trace is replaced by fresh translations (single
+// blocks are never stale — the cache is physically keyed).
+func (e *Engine) regionStale(tb *Region) bool {
+	return tb != nil && tb.IsTrace() &&
+		(tb.poor || tb.epoch != e.traceEpoch || tb.regime != e.regimeKey())
+}
+
+// invalidateTraces marks every formed trace stale (regime change, TLB
+// maintenance): in-flight traces bail at their next boundary check, and the
+// dispatcher sweeps the stale regions at its next entry. With tracing off
+// no trace can exist (EnableTracing(false) retires them all), so the epoch
+// bump and the dispatch-path sweep are skipped.
+func (e *Engine) invalidateTraces() {
+	if !e.traceOn {
+		return
+	}
+	e.traceEpoch++
+	e.tracesStale = true
+	e.recAbort()
+	e.dropPlan()
+}
+
+// dropPlan abandons a finalized-but-unformed plan, resetting its head's
+// hotness so a head whose plans keep failing backs off instead of
+// re-recording on every loop iteration.
+func (e *Engine) dropPlan() {
+	if e.planHead != nil {
+		e.planHead.hot = 0
+	}
+	e.plan, e.planHead = nil, nil
+}
+
+// retireStaleTraces retires traces from the cache: every trace when all is
+// true (tracing disabled), otherwise only those stranded by an epoch bump.
+func (e *Engine) retireStaleTraces(all bool) {
+	var victims []*Region
+	for _, tb := range e.cache {
+		if tb.IsTrace() && (all || tb.epoch != e.traceEpoch) {
+			victims = append(victims, tb)
+		}
+	}
+	for _, tb := range victims {
+		e.retireTB(tb)
+	}
+	e.tracesStale = false
+}
+
+// --- execution-side helpers --------------------------------------------
+
+// retireExecN advances guest time inside a trace (boundary and side-exit
+// helpers), attributing the retirement to trace-resident execution.
+func (e *Engine) retireExecN(n int) {
+	e.retire(n)
+	e.Stats.TraceExec += uint64(n)
+}
+
+// retireExec retires a region's final-exit length, attributing it to trace
+// execution when the region is a trace.
+func (e *Engine) retireExec(tb *Region, n int) {
+	e.retire(n)
+	if tb.IsTrace() {
+		e.Stats.TraceExec += uint64(n)
+	}
+}
+
+// RegisterTraceBoundary registers the helper run at an internal trace
+// boundary — the crossing into the constituent block at blockPC. It is the
+// trace-resident form of the chain glue plus the successor's head interrupt
+// check: retire the previous block's prevLen instructions (keeping
+// retirement block-granular, so budgets, scheduler slices and the SMP
+// oracle's interleaving are unchanged), push a call edge's return address,
+// deliver a pending IRQ at the block head, and bail out to the dispatcher
+// (completing the transition, like a chain break) when the budget, the
+// slice, guest power-off, or a privilege/regime/epoch change says the trace
+// may not continue. The emitted form is a single CALLH: the translator has
+// already coordinated the flag state (a packed save at worst), so the env
+// copy the exit paths consume is current — Flags' lazy parse charges the
+// conversion if the canonical parsed form is actually needed.
+func (e *Engine) RegisterTraceBoundary(blockPC uint32, prevLen int, ret uint32, priv bool) int {
+	regime := e.regimeKey()
+	epoch := e.traceEpoch
+	return e.registerHelper(func(m *x86.Machine) int {
+		e.retireExecN(prevLen)
+		if e.ras && ret != 0 {
+			e.rasPush(ret) // the call happened whether or not we continue
+		}
+		if e.Env.PendingIRQ() {
+			// The block was entered and its check site fired, exactly like a
+			// dispatcher entry whose head check fires.
+			e.Stats.TBEntries++
+			e.Stats.IRQs++
+			e.takeException(arm.VecIRQ, blockPC+4)
+			return ExitExc
+		}
+		if e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.sliceExpired() ||
+			e.CPU.Mode().Privileged() != priv || e.regimeKey() != regime ||
+			e.traceEpoch != epoch {
+			// Leaving the trace mid-way: normalize to the canonical parsed
+			// cross-TB form (lazy-parse charge applies if only the packed
+			// snapshot was current). The block was not entered — the
+			// dispatcher counts the entry when it resumes at blockPC, like a
+			// chain-glue break.
+			e.Env.SetFlags(e.Env.Flags())
+			e.cur.nextPC = blockPC
+			e.cur.hotEdge = false // a scheduling break is not a loop edge
+			e.Stats.TraceBreaks++
+			return ExitChainBreak
+		}
+		e.Stats.TBEntries++
+		return -1
+	})
+}
+
+// RegisterTraceSideExit registers the helper completing an off-trace side
+// exit: retire the n instructions of the block the conditional branch
+// terminates, push a call edge's return address, and hand targetPC back to
+// the dispatcher ExitChainBreak-style. The translator's compensation stub
+// has already materialized the flags into env; the helper normalizes them
+// to the canonical parsed form the successor translation assumes.
+func (e *Engine) RegisterTraceSideExit(targetPC uint32, n int, ret uint32) int {
+	return e.registerHelper(func(m *x86.Machine) int {
+		if t := e.curTB; t != nil && t.IsTrace() {
+			t.sideExits++ // quality accounting (see noteRegionEntry)
+		}
+		e.retireExecN(n)
+		if e.ras && ret != 0 {
+			e.rasPush(ret)
+		}
+		e.Env.SetFlags(e.Env.Flags())
+		e.cur.nextPC = targetPC
+		// Dynamo's second start-of-trace condition: the target of a trace
+		// side exit may seed a secondary trace.
+		e.cur.hotEdge = true
+		e.Stats.TraceSideExits++
+		return ExitChainBreak
+	})
+}

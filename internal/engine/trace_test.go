@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"testing"
+
+	"sldbt/internal/seedtest"
+	"sldbt/internal/x86"
+)
+
+// propertySeed returns the seed a randomized property test should use: the
+// -seed flag / SLDBT_FUZZ_SEED override, or the test's default.
+func propertySeed(t *testing.T, def int64) int64 { return seedtest.Seed(t, def) }
+
+// traceStubTrans is a stub translator forming a three-block cycle
+// A -> B -> C -> A (each block one guest instruction, Next[0] at the next
+// stride, wrapping at cycle). It implements TraceTranslator by building the
+// multi-block region directly from the plan — one translation helper per
+// constituent block, real boundary helpers, and a (cold) side-exit helper —
+// so the trace lifecycle and helper-accounting paths run without a guest.
+type traceStubTrans struct {
+	stride uint32
+	cycle  uint32
+}
+
+func (traceStubTrans) Name() string { return "trace-stub" }
+
+func (tr traceStubTrans) next(pc uint32) uint32 { return (pc + tr.stride) % tr.cycle }
+
+func (tr traceStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	e.RegisterMMURead(pc, 0, 4, false)
+	em := x86.NewEmitter()
+	em.SetClass(x86.ClassGlue)
+	em.ExitChainable(ExitNext0)
+	tb := &TB{Block: em.Finish(pc, 1), PC: pc, GuestLen: 1}
+	tb.Next[0], tb.HasNext[0] = tr.next(pc), true
+	return tb, nil
+}
+
+func (tr traceStubTrans) TranslateTrace(e *Engine, plan *TracePlan, priv bool) (*TB, error) {
+	em := x86.NewEmitter()
+	region := &TB{PC: plan.PCs[0], GuestLen: 1}
+	for k, pc := range plan.PCs {
+		e.RegisterMMURead(pc, 0, 4, false) // a per-block translation helper
+		if k > 0 {
+			em.SetClass(x86.ClassIRQCheck)
+			em.CallHelper(e.RegisterTraceBoundary(pc, 1, 0, priv))
+		}
+		region.Blocks = append(region.Blocks, TraceBlock{PC: pc, Len: 1})
+		region.SrcPages = append(region.SrcPages, pc>>PageBits)
+	}
+	last := plan.PCs[len(plan.PCs)-1]
+	region.Next[0], region.HasNext[0] = tr.next(last), true
+	em.SetClass(x86.ClassGlue)
+	em.ExitChainable(ExitNext0)
+	// A cold side-exit stub: never executed here, but its helper closure is
+	// owned by the region and must be released on every retirement path.
+	em.Label("side")
+	em.CallHelper(e.RegisterTraceSideExit(plan.PCs[0], 1, 0))
+	region.Block = em.Finish(plan.PCs[0], len(plan.PCs))
+	return region, nil
+}
+
+// newTraceStubEngine builds an engine over the stub cycle with chaining and
+// tracing on, and steps it until a trace has formed.
+func newTraceStubEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20)
+	e.EnableChaining(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(2)
+	e.runLimit = 1 << 40
+	for i := 0; i < 200 && e.Stats.TracesFormed == 0; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.TracesFormed == 0 {
+		t.Fatal("stub cycle never formed a trace")
+	}
+	return e
+}
+
+// findTrace returns the (single) trace region in the cache.
+func findTrace(t *testing.T, e *Engine) *Region {
+	t.Helper()
+	for _, tb := range e.cache {
+		if tb.IsTrace() {
+			return tb
+		}
+	}
+	t.Fatal("no trace region in cache")
+	return nil
+}
+
+// TestTraceFormationOnStubCycle: the A->B->C->A cycle gets hot at its
+// backward edge, records [A B C], and installs a trace at A's key that
+// spans all three pages; execution then runs inside it.
+func TestTraceFormationOnStubCycle(t *testing.T) {
+	e := newTraceStubEngine(t)
+	trc := findTrace(t, e)
+	if trc.NumBlocks() != 3 {
+		t.Fatalf("trace spans %d blocks, want 3 (%v)", trc.NumBlocks(), trc.Blocks)
+	}
+	if len(trc.pages) != 3 {
+		t.Fatalf("trace indexed under %d pages, want 3 (%v)", len(trc.pages), trc.pages)
+	}
+	checkCacheInvariants(t, e)
+	before := e.Stats.TraceExec
+	for i := 0; i < 10; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.TraceExec == before {
+		t.Error("execution never retired inside the formed trace")
+	}
+}
+
+// TestTraceHelperLifetimeAcrossRetirementPaths: every retirement path a
+// trace can take — page invalidation of any constituent page, eviction
+// under the cache bound, staleness sweep after a regime event, whole-cache
+// flush — must release the region's helper closures exactly (translation
+// helpers, boundary helpers, side-exit helpers, chain glue), which
+// checkCacheInvariants asserts against the machine's live-helper count.
+func TestTraceHelperLifetimeAcrossRetirementPaths(t *testing.T) {
+	// Page invalidation of the *middle* constituent page.
+	e := newTraceStubEngine(t)
+	if n := e.InvalidatePage(1); n == 0 {
+		t.Fatal("invalidating a constituent page retired nothing")
+	}
+	if e.Stats.TraceRetired != 1 {
+		t.Fatalf("TraceRetired = %d, want 1", e.Stats.TraceRetired)
+	}
+	checkCacheInvariants(t, e)
+
+	// Staleness sweep: a regime/TLB event strands every trace; the next
+	// dispatcher entry retires it.
+	e = newTraceStubEngine(t)
+	e.invalidateTraces()
+	if err := e.step(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats.TraceRetired; got != 1 {
+		t.Fatalf("stale sweep retired %d traces, want 1", got)
+	}
+	checkCacheInvariants(t, e)
+
+	// Eviction under a capacity bound.
+	e = newTraceStubEngine(t)
+	e.SetCacheCapacity(1)
+	if e.Stats.Evictions == 0 {
+		t.Fatal("capacity bound evicted nothing")
+	}
+	checkCacheInvariants(t, e)
+
+	// Whole-cache flush drops everything, helpers included.
+	e = newTraceStubEngine(t)
+	e.FlushCache()
+	if got := e.M.Helpers(); got != 0 {
+		t.Errorf("live helpers after flush = %d, want 0", got)
+	}
+	checkCacheInvariants(t, e)
+
+	// Disabling tracing retires the formed traces (and their helpers).
+	e = newTraceStubEngine(t)
+	e.EnableTracing(false)
+	if e.Stats.TraceRetired != 1 {
+		t.Fatalf("EnableTracing(false) retired %d traces, want 1", e.Stats.TraceRetired)
+	}
+	checkCacheInvariants(t, e)
+}
+
+// TestTraceSelfChain: the loop-closing back edge chains the trace to
+// itself, so iterations run without re-entering the dispatcher for a
+// lookup; retiring the trace unpatches the self-link cleanly.
+func TestTraceSelfChain(t *testing.T) {
+	e := newTraceStubEngine(t)
+	trc := findTrace(t, e)
+	for i := 0; i < 5 && trc.ChainTo[0] == nil; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if trc.ChainTo[0] != trc {
+		t.Fatalf("trace back edge chained to %v, want itself", trc.ChainTo[0])
+	}
+	e.InvalidatePage(trc.pages[0])
+	// The self-link (and any links into the trace) must be torn down;
+	// checkCacheInvariants cross-checks linkCount against the installed
+	// ChainTo slots and the helper accounting.
+	checkCacheInvariants(t, e)
+	if trc.ChainTo[0] != nil {
+		t.Error("self-link survived retirement")
+	}
+}
+
+// TestNewSMPRejectsBadCounts: engine.NewSMP returns an error (not a panic)
+// for vCPU counts outside [1, MaxVCPUs]; valid counts still construct.
+func TestNewSMPRejectsBadCounts(t *testing.T) {
+	for _, n := range []int{-1, 0, MaxVCPUs + 1, 99} {
+		if e, err := NewSMP(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20, n); err == nil || e != nil {
+			t.Errorf("NewSMP(n=%d) = (%v, %v), want nil engine and an error", n, e, err)
+		}
+	}
+	for _, n := range []int{1, MaxVCPUs} {
+		e, err := NewSMP(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20, n)
+		if err != nil || e == nil {
+			t.Errorf("NewSMP(n=%d) failed: %v", n, err)
+		}
+	}
+}

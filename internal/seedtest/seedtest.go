@@ -1,0 +1,59 @@
+// Package seedtest is the shared seed-replay plumbing for the repo's
+// randomized differential tests: every fuzz/property failure prints the
+// seed it was running, and the -seed flag (or SLDBT_FUZZ_SEED) feeds it
+// back so the exact failing program reruns:
+//
+//	go test ./internal/core -run TestFuzzSMCEnginesAgree -seed=7
+//	SLDBT_FUZZ_SEED=7 go test ./internal/smp -run TestFuzzSMPEnginesAgree
+//
+// Importing test packages share one flag registration per test binary.
+package seedtest
+
+import (
+	"flag"
+	"os"
+	"strconv"
+	"testing"
+)
+
+var seedFlag = flag.Int64("seed", -1, "replay a single randomized-test seed (as printed by a failing run)")
+
+// override returns the replay seed and whether one was requested.
+func override(t *testing.T) (int64, bool) {
+	t.Helper()
+	if *seedFlag >= 0 {
+		return *seedFlag, true
+	}
+	if s := os.Getenv("SLDBT_FUZZ_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("SLDBT_FUZZ_SEED=%q: %v", s, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+// Seeds returns the seed indices a fuzz test should iterate: [0, n) by
+// default, or just the replay seed when one is set.
+func Seeds(t *testing.T, n int) []int {
+	t.Helper()
+	if v, ok := override(t); ok {
+		return []int{int(v)}
+	}
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	return seeds
+}
+
+// Seed returns the seed a single-run randomized property test should use:
+// the replay seed when set, otherwise the test's default.
+func Seed(t *testing.T, def int64) int64 {
+	t.Helper()
+	if v, ok := override(t); ok {
+		return v
+	}
+	return def
+}

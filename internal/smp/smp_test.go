@@ -11,11 +11,17 @@ import (
 	"sldbt/internal/ghw"
 	"sldbt/internal/kernel"
 	"sldbt/internal/rules"
+	"sldbt/internal/seedtest"
 	"sldbt/internal/tcg"
 	"sldbt/internal/workloads"
 )
 
 const testBudget = 8_000_000
+
+// fuzzSeeds returns the seed indices to iterate: [0, n) by default, or the
+// single replay seed from -seed / SLDBT_FUZZ_SEED (failures print the seed
+// and vCPU count they were running).
+func fuzzSeeds(t *testing.T, n int) []int { return seedtest.Seeds(t, n) }
 
 // runOracle boots the program on an n-CPU interpreter oracle.
 func runOracle(t *testing.T, prog []byte, origin uint32, n int, budget uint64) *Oracle {
@@ -35,14 +41,21 @@ func runOracle(t *testing.T, prog []byte, origin uint32, n int, budget uint64) *
 	return o
 }
 
-// runEngine boots the program on an n-vCPU engine with chaining and the
-// jump cache on (the configuration the acceptance criteria name).
+// runEngine boots the program on an n-vCPU engine with chaining, the jump
+// cache and hot-trace formation on (the configuration the acceptance
+// criteria name). The trace threshold is lowered so the short test budgets
+// actually form traces.
 func runEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
 	t.Helper()
-	e := engine.NewSMP(tr, kernel.RAMSize, n)
+	e, err := engine.NewSMP(tr, kernel.RAMSize, n)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.EnableJumpCache(true)
 	e.EnableRAS(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(4)
 	if err := e.LoadImage(origin, prog); err != nil {
 		t.Fatal(err)
 	}
@@ -537,7 +550,7 @@ func TestFuzzSMPEnginesAgree(t *testing.T) {
 	if testing.Short() {
 		seeds = 3
 	}
-	for seed := 0; seed < seeds; seed++ {
+	for _, seed := range fuzzSeeds(t, seeds) {
 		seed := seed
 		n := 2 + seed%3 // 2, 3, 4 vCPUs
 		t.Run(fmt.Sprintf("seed%d_%dcpu", seed, n), func(t *testing.T) {

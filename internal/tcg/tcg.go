@@ -59,6 +59,110 @@ func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.
 	return tb, nil
 }
 
+// TranslateTrace implements engine.TraceTranslator: the TCG baseline's
+// concatenation form of a hot trace. The guest state is memory-resident, so
+// there is no flag state to carry across internal edges — the win is purely
+// structural: on-trace unconditional branches disappear (straight
+// fall-through in the emitted code), every internal boundary shrinks from a
+// chainable exit stub plus an emitted 3-instruction head interrupt check to
+// one CALLH boundary helper, and off-trace conditional directions become
+// side-exit stubs.
+func (t *Translator) TranslateTrace(e *engine.Engine, plan *engine.TracePlan, priv bool) (*engine.TB, error) {
+	steps, err := e.ScanTrace(plan)
+	if err != nil {
+		return nil, fmt.Errorf("tcg: %w", err)
+	}
+	em := x86.NewEmitter()
+	region := &engine.TB{PC: plan.PCs[0]}
+	total := 0
+	type sideStub struct {
+		label  string
+		target uint32
+		n      int
+	}
+	var stubs []sideStub
+	for k := range steps {
+		st := &steps[k]
+		last := k == len(steps)-1
+		n := len(st.Insts)
+		tc := &tbCtx{e: e, em: em, pc: st.PC, seqN: (k + 1) * 1024}
+		if k == 0 {
+			// The trace head keeps QEMU's emitted TB-head interrupt check.
+			engine.EmitIRQCheckBody(em, tc.seq())
+		} else {
+			// Internal boundary: one CALLH doing the crossing's engine-side
+			// work (retire the previous block, IRQ/budget/slice checks).
+			prev := &steps[k-1]
+			em.SetClass(x86.ClassIRQCheck)
+			em.CallHelper(e.RegisterTraceBoundary(st.PC, len(prev.Insts), prev.Ret, priv))
+		}
+		region.Blocks = append(region.Blocks, engine.TraceBlock{PC: st.PC, Len: n})
+		total += n
+		for idx := 0; idx < n; idx++ {
+			in := st.Insts[idx]
+			tc.idx, tc.inst = idx, in
+			if !last && idx == n-1 && st.Term != engine.TraceTermFall {
+				// Internal branch terminator: keep the on-trace direction as
+				// fall-through, route the off-trace direction to a side stub.
+				em.SetClass(x86.ClassCode)
+				fall := tc.instPC() + 4
+				if !in.Cond.UsesFlags() {
+					if in.Link {
+						em.Mov(x86.R(x86.EAX), x86.I(fall))
+						tc.storeReg(arm.LR, x86.EAX)
+					}
+					continue // on-trace taken branch: nothing to emit
+				}
+				switch st.Term {
+				case engine.TraceTermTaken:
+					side := fmt.Sprintf("tside_%d", tc.seq())
+					engine.EmitCondFromEnv(em, in.Cond, side, tc.seq())
+					if in.Link {
+						em.Mov(x86.R(x86.EAX), x86.I(fall))
+						tc.storeReg(arm.LR, x86.EAX)
+					}
+					stubs = append(stubs, sideStub{label: side, target: st.Side, n: n})
+				case engine.TraceTermNotTaken:
+					cont := fmt.Sprintf("tcont_%d", tc.seq())
+					engine.EmitCondFromEnv(em, in.Cond, cont, tc.seq())
+					// Condition passed: the branch leaves the trace.
+					var ret uint32
+					if in.Link {
+						em.Mov(x86.R(x86.EAX), x86.I(fall))
+						tc.storeReg(arm.LR, x86.EAX)
+						ret = fall
+					}
+					em.SetClass(x86.ClassGlue)
+					em.CallHelper(e.RegisterTraceSideExit(st.Side, n, ret))
+					em.Label(cont)
+				}
+				continue
+			}
+			tc.translateInst(&in, region)
+		}
+		if last {
+			lastInst := st.Insts[n-1]
+			if !lastInst.IsBranch() && lastInst.Kind != arm.KindUndef {
+				// Final block capped: fall through to the next TB.
+				fall := st.PC + uint32(n)*4
+				region.Next[0], region.HasNext[0] = fall, true
+				em.SetClass(x86.ClassGlue)
+				em.ExitChainable(engine.ExitNext0)
+			}
+			region.GuestLen = n
+		}
+	}
+	// Side-exit stubs sit off the hot path, after the final exit.
+	for _, s := range stubs {
+		em.Label(s.label)
+		em.SetClass(x86.ClassGlue)
+		em.CallHelper(e.RegisterTraceSideExit(s.target, s.n, 0))
+	}
+	region.SrcPages = e.TranslationPages()
+	region.Block = em.Finish(plan.PCs[0], total)
+	return region, nil
+}
+
 // EmitFallback emits state-in-memory (TCG-style) host code for the
 // unconditional body of one guest instruction. The rule-based translator
 // uses it for instructions its rule set does not cover: the paper's

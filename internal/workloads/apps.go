@@ -8,9 +8,9 @@ import (
 )
 
 // AppWorkloads returns the real-world application proxies (Fig. 19) plus
-// the self-modifying-code stress workload behind the `smc` experiment.
+// the stress workloads behind the `smc`, `jc` and `trace` experiments.
 func AppWorkloads() []*Workload {
-	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime(), smc(), dispatch()}
+	return []*Workload{memcached(), sqlite(), fileio(), untar(), cpuPrime(), smc(), dispatch(), hotloop()}
 }
 
 // memcached: a key-value server loop over the packet device. Requests are

@@ -1,0 +1,67 @@
+package workloads
+
+import "fmt"
+
+// hotloopIters is the number of iterations of the hot loop.
+const hotloopIters = 30000
+
+// hotloop: the stress case for hot-trace formation. One tight loop whose
+// body spans three translation blocks (split by unconditional branches, the
+// way compilers lay out if-converted regions), with NZCV defined in the
+// first block and consumed by conditional instructions in the later ones —
+// so with chaining alone every iteration pays the canonical parsed flag
+// save at each block exit plus the parsed restore at the next block's first
+// conditional use, while a trace carries the flags straight across the
+// internal edges (a packed save at worst). The loop runs hot immediately,
+// so virtually all retirement happens inside the formed trace.
+func hotloop() *Workload {
+	src := fmt.Sprintf(`
+user_entry:
+	mov r4, #0
+	mov r6, #1
+	ldr r5, =%d
+loop:
+	adds r4, r4, r6          ; define NZCV, live across the block edge
+	eor r6, r6, r4, lsl #3
+	b seg2
+seg2:
+	addcs r4, r4, #7         ; consume C from the previous block
+	subne r6, r6, #5         ; consume Z
+	addmi r4, r4, r6         ; consume N
+	b seg3
+seg3:
+	addvs r4, r4, #1         ; consume V
+	subs r5, r5, #1          ; redefine for the loop test
+	bne loop
+	cmp r4, #0               ; kill flags on the cold exit path, so the
+	                         ; back edge's inter-TB save elides (both configs)
+`, hotloopIters) + epilogue
+
+	native := func() uint32 {
+		var r4, r6 uint32 = 0, 1
+		for r5 := uint32(hotloopIters); r5 > 0; r5-- {
+			a, b := r4, r6
+			res := a + b
+			c := uint64(a)+uint64(b) > 0xFFFFFFFF
+			z := res == 0
+			n := int32(res) < 0
+			v := (a^res)&(b^res)&0x80000000 != 0
+			r4 = res
+			r6 ^= r4 << 3
+			if c {
+				r4 += 7
+			}
+			if !z {
+				r6 -= 5
+			}
+			if n {
+				r4 += r6
+			}
+			if v {
+				r4++
+			}
+		}
+		return r4
+	}
+	return &Workload{Name: "hotloop", Spec: false, GuestSrc: src, Native: native, Budget: 2_000_000}
+}
