@@ -356,6 +356,50 @@ func BenchmarkSMP(b *testing.B) {
 	b.ReportMetric(reuse, "tb-ratio-4v1")
 }
 
+// BenchmarkBreakdown measures the softmmu memory fast path on the
+// memory-bound workload: host instructions per translated memory access (the
+// §IV-B bottleneck metric) with the ordinary inline probe, with the victim
+// TLB behind it, and with same-page reuse elision on top. The CI benchmark
+// artifact records all three, so cmd/benchdiff flags a regression in the
+// per-access cost against the previous main run.
+func BenchmarkBreakdown(b *testing.B) {
+	var perChain, perVictim, perMemOpt, victimHits float64
+	for i := 0; i < b.N; i++ {
+		r := newRunner(b)
+		w, _ := workloads.ByName("mcf")
+		oracle, err := r.Interp(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		perMem := func(res *exp.RunResult) float64 {
+			return float64(res.Counts[x86.ClassMMU]+res.Counts[x86.ClassHelper]) /
+				float64(oracle.Stats.Mem)
+		}
+		chain, err := r.Run(w, exp.CfgChain)
+		if err != nil {
+			b.Fatal(err)
+		}
+		victim, err := r.Run(w, exp.CfgVictim)
+		if err != nil {
+			b.Fatal(err)
+		}
+		memopt, err := r.Run(w, exp.CfgMemOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if victim.Retired != chain.Retired || memopt.Retired != chain.Retired {
+			b.Fatalf("retired diverged: chain %d, victim %d, memopt %d",
+				chain.Retired, victim.Retired, memopt.Retired)
+		}
+		perChain, perVictim, perMemOpt = perMem(chain), perMem(victim), perMem(memopt)
+		victimHits = float64(victim.Engine.TLBVictimHits)
+	}
+	b.ReportMetric(perChain, "hostinst-per-mem-chain")
+	b.ReportMetric(perVictim, "hostinst-per-mem-victim")
+	b.ReportMetric(perMemOpt, "hostinst-per-mem-memopt")
+	b.ReportMetric(victimHits, "victim-hits")
+}
+
 // BenchmarkEngineThroughput measures raw emulation speed of the two engines
 // (guest instructions per second), the quantity behind Fig. 18.
 func BenchmarkEngineThroughput(b *testing.B) {

@@ -28,6 +28,7 @@ import (
 	"sldbt/internal/ghw"
 	"sldbt/internal/interp"
 	"sldbt/internal/kernel"
+	"sldbt/internal/mmu"
 	"sldbt/internal/rules"
 	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
@@ -57,6 +58,10 @@ func main() {
 	traceThresh := flag.Uint64("trace-threshold", engine.DefaultTraceThreshold, "region-entry count past which a hot block triggers trace recording")
 	smpN := flag.Int("smp", 1, "number of guest vCPUs (deterministic round-robin scheduler, shared code cache)")
 	cacheCap := flag.Int("cache-cap", 0, "bound the code cache to N translated blocks, evicting FIFO (0 = unbounded)")
+	tlbSize := flag.Int("tlb-size", 0, "softmmu fast-path TLB entries (power of two; 0 = default geometry)")
+	tlbWays := flag.Int("tlb-ways", 0, "softmmu fast-path TLB associativity (power of two; 0 = direct-mapped)")
+	tlbVictim := flag.Bool("tlb-victim", false, "back the fast-path TLB with a fully-associative victim TLB")
+	memReuse := flag.Bool("mem-reuse", false, "rule engine: elide softmmu probes for provably same-page accesses")
 	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
 	stats := flag.Bool("stats", true, "print execution statistics")
@@ -192,7 +197,12 @@ func main() {
 			if !ok {
 				log.Fatalf("unknown -opt %q", *opt)
 			}
-			tr = core.New(rules.BaselineRules(), lvl)
+			ct := core.New(rules.BaselineRules(), lvl)
+			ct.Reuse = *memReuse
+			tr = ct
+		}
+		if *memReuse && *engName != "rule" {
+			log.Fatal("-mem-reuse requires -engine rule")
 		}
 		e, err := engine.NewSMP(tr, kernel.RAMSize, *smpN)
 		if err != nil {
@@ -205,6 +215,19 @@ func main() {
 		e.SetTraceThreshold(*traceThresh)
 		e.SetCacheCapacity(*cacheCap)
 		e.SetFullFlushSMC(*smcFlush)
+		e.EnableVictimTLB(*tlbVictim)
+		if *tlbSize > 0 || *tlbWays > 0 {
+			size, ways := *tlbSize, *tlbWays
+			if size == 0 {
+				size = mmu.TLBSize
+			}
+			if ways == 0 {
+				ways = 1
+			}
+			if err := e.SetTLBGeometry(size, ways); err != nil {
+				log.Fatalf("-tlb-size %d -tlb-ways %d: %v", *tlbSize, *tlbWays, err)
+			}
+		}
 		im.Configure(e.Bus)
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
@@ -289,6 +312,13 @@ func main() {
 			fmt.Printf("-- indirect: %d lookups, %d jc hits, %d ras hits, %d misses, %d breaks (inline rate %.1f%%)\n",
 				e.Stats.Lookups, e.Stats.JCHits, e.Stats.RASHits,
 				e.Stats.JCMisses, e.Stats.JCBreaks, 100*e.Stats.JCRate())
+			g := e.TLBGeometry()
+			victim := "off"
+			if e.VictimTLBEnabled() {
+				victim = "on"
+			}
+			fmt.Printf("-- softmmu: tlb %dx%d (victim %s), %d slow-path walks, %d victim hits\n",
+				g.Sets(), g.Ways, victim, e.Stats.MMUSlowPath, e.Stats.TLBVictimHits)
 			fmt.Printf("-- cache: %d TBs live (cap %d), %d retranslations, %d page invalidations, %d evictions, %d full flushes\n",
 				e.CacheSize(), e.CacheCapacity(), e.Stats.Retranslations,
 				e.Stats.PageInvalidations, e.Stats.Evictions, e.Flushes())
@@ -312,6 +342,10 @@ func main() {
 					rt.Stats.SyncSaves, rt.Stats.SyncRestores,
 					rt.Stats.ElidedSaves, rt.Stats.ElidedRests,
 					rt.Stats.InterTBElided, rt.Stats.SchedMoves)
+				if rt.Reuse {
+					fmt.Printf("-- reuse: %d producers, %d elided probes\n",
+						rt.Stats.ReuseProds, rt.Stats.ElidedChecks)
+				}
 			}
 		}
 	default:

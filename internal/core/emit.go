@@ -183,9 +183,24 @@ func (tc *tctx) emitMem(i int) {
 		// survive the probe, and writeback happens only if no fault.
 		tc.codeEm().Mov(x86.M(x86.EBP, engine.OffTmp2), x86.R(x86.EAX))
 	}
+	p := tc.e.MMUProbe()
+	if tc.reuse != nil {
+		p.Produce, p.Consume = tc.reuse.produce[i], tc.reuse.consume[i]
+		if p.Produce {
+			tc.t.Stats.ReuseProds++
+		}
+		if p.Consume {
+			tc.t.Stats.ElidedChecks++
+		}
+	}
 	if in.Load {
-		id := tc.e.RegisterMMUReadFx(tc.instPC(i), tc.origIdx[i], size, signed, tc.fixupFor(i))
-		engine.EmitMMULoad(tc.em, size, signed, id, tc.seq())
+		var id int
+		if p.Produce {
+			id = tc.e.RegisterMMUReadProduce(tc.instPC(i), tc.origIdx[i], size, signed, tc.fixupFor(i))
+		} else {
+			id = tc.e.RegisterMMUReadFx(tc.instPC(i), tc.origIdx[i], size, signed, tc.fixupFor(i))
+		}
+		engine.EmitMMULoad(tc.em, size, signed, id, tc.seq(), p)
 		tc.emitWriteback(in, preWB)
 		if in.Rd == arm.PC {
 			tc.codeEm()
@@ -208,8 +223,13 @@ func (tc *tctx) emitMem(i int) {
 			val = x86.I(tc.instPC(i) + 8)
 		}
 		tc.codeEm().Mov(x86.R(x86.EDX), val)
-		id := tc.e.RegisterMMUWriteFx(tc.instPC(i), tc.origIdx[i], size, tc.fixupFor(i))
-		engine.EmitMMUStore(tc.em, size, id, tc.seq())
+		var id int
+		if p.Produce {
+			id = tc.e.RegisterMMUWriteProduce(tc.instPC(i), tc.origIdx[i], size, tc.fixupFor(i))
+		} else {
+			id = tc.e.RegisterMMUWriteFx(tc.instPC(i), tc.origIdx[i], size, tc.fixupFor(i))
+		}
+		engine.EmitMMUStore(tc.em, size, id, tc.seq(), p)
 		tc.emitWriteback(in, preWB)
 	}
 	tc.fs.clobberHost()

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"sldbt/internal/arm"
+)
+
+// Same-page reuse elision: the §III-C liveness machinery extended to memory
+// operands. When successive memory accesses in a region share a base
+// register (or PC-literal base) and their offsets keep them plausibly on one
+// guest page, the first access becomes a reuse *producer* — its fast path
+// additionally records the page tag and translated host page in the env
+// reuse slot — and the later ones become *consumers*: instead of the full
+// softmmu probe (index, tag load, compare per way), a consumer compares its
+// VA's page against the recorded tag and on a match reuses the recorded host
+// address directly.
+//
+// The analysis is a profitability heuristic, not a safety proof: consumers
+// always perform the dynamic page-tag compare, so a base register that
+// escaped the static reasoning (or an access that crossed a page boundary at
+// runtime) simply misses the slot and falls back to the ordinary probe. What
+// the static side MUST guarantee is certification-kind compatibility: the
+// slot certifies the permissions its producer's access established, so a
+// load consumer may pair with a load or store producer (a writable fill is
+// always readable — see engine.fillTLB: canWrite implies canRead in every AP
+// case, and the code-page/monitor-page restrictions only ever *clear*
+// canWrite), but a store consumer pairs only with a store producer — a
+// load-certified slot says nothing about writability, and an unchecked host
+// store could otherwise bypass SMC detection or an exclusive monitor.
+//
+// Staleness is handled by the same single hook as the TLB itself:
+// Env.FlushTLB clears the reuse slot, and every maintenance event that can
+// invalidate a translation — TLB maintenance, TTBR/SCTLR writes, privilege
+// changes, a page becoming translated code or a monitor target — already
+// routes through it (per vCPU, or flushAllTLBs for machine-global events).
+// Within a region the producer always executes before its consumers on any
+// path that reaches them (regions are entered at index 0 and the only
+// emission-order pairings cross no control transfer), and a producer writes
+// the slot on every non-faulting completion — set when certified, cleared
+// otherwise — so a consumer can never observe a slot its own producer did
+// not publish.
+
+// reuseRoles carries the per-instruction producer/consumer decisions from
+// the analysis to emitMem, index-aligned with tctx.insts.
+type reuseRoles struct {
+	produce []bool
+	consume []bool
+}
+
+// addrSpec is the statically-known shape of an access's effective address.
+type addrSpec struct {
+	pcBase bool  // PC-literal base: ea is a translation-time constant
+	ea     int64 // pcBase only
+	base   arm.Reg
+	disp   int64 // immediate-offset displacement (0 for post-index)
+	regOff bool  // register-offset form: (rm, shift, shamt, up) below
+	rm     arm.Reg
+	shift  arm.ShiftType
+	shamt  uint8
+	up     bool
+}
+
+// reuseChain is the running producer-candidate state: the most recent
+// eligible access, its address shape, and the accumulated base-register
+// adjustment (known-immediate writebacks) since it executed.
+type reuseChain struct {
+	valid bool
+	head  int
+	store bool // the head is a store (certifies writability)
+	spec  addrSpec
+	bias  int64
+}
+
+// reset invalidates the chain.
+func (ch *reuseChain) reset() { ch.valid = false }
+
+// noteWriteMask invalidates the chain when any register its address shape
+// depends on is (possibly) rewritten by an intervening instruction.
+func (ch *reuseChain) noteWriteMask(mask uint16) {
+	if !ch.valid || ch.spec.pcBase {
+		return
+	}
+	if mask&(1<<ch.spec.base) != 0 {
+		ch.valid = false
+		return
+	}
+	if ch.spec.regOff && mask&(1<<ch.spec.rm) != 0 {
+		ch.valid = false
+	}
+}
+
+// noteBaseAdjust folds a known-immediate writeback of r into the chain's
+// bias when r is the chain's base; a write to the offset register still
+// invalidates (its contribution is not tracked).
+func (ch *reuseChain) noteBaseAdjust(r arm.Reg, delta int64) {
+	if !ch.valid || ch.spec.pcBase {
+		return
+	}
+	if ch.spec.regOff && ch.spec.rm == r {
+		ch.valid = false
+		return
+	}
+	if ch.spec.base == r {
+		ch.bias += delta
+	}
+}
+
+// reuseEligible mirrors emitInst's routing: exactly the accesses emitMem
+// handles inline (single-transfer, unconditional; everything else goes
+// through a helper that never touches the reuse slot).
+func reuseEligible(in *arm.Inst) bool {
+	return (in.Kind == arm.KindMem || in.Kind == arm.KindMemH) && in.Cond == arm.AL
+}
+
+// addrSpecOf extracts the address shape of eligible access i; ok=false means
+// the shape is not tracked (register-shifted-by-register offsets, PC bases
+// with register offsets) and the access can head a chain but never extend
+// one.
+func (tc *tctx) addrSpecOf(i int) (addrSpec, bool) {
+	in := &tc.insts[i]
+	if in.Rn == arm.PC {
+		if !in.PreIndex || !in.ImmValid {
+			return addrSpec{}, false
+		}
+		ea := int64(tc.instPC(i)) + 8
+		if in.Up {
+			ea += int64(in.Imm)
+		} else {
+			ea -= int64(in.Imm)
+		}
+		return addrSpec{pcBase: true, ea: ea}, true
+	}
+	s := addrSpec{base: in.Rn}
+	if in.PreIndex {
+		if in.ImmValid {
+			if in.Up {
+				s.disp = int64(in.Imm)
+			} else {
+				s.disp = -int64(in.Imm)
+			}
+		} else {
+			if in.ShiftReg {
+				return addrSpec{}, false
+			}
+			s.regOff = true
+			s.rm, s.shift, s.shamt, s.up = in.Rm, in.Shift, in.ShiftAmt, in.Up
+		}
+	}
+	return s, true
+}
+
+// compatible reports whether an access with shape s plausibly lands on the
+// chain head's page: same PC-literal page, or same base register with a
+// known net displacement below a page (|bias+disp-headDisp| <= 4095 keeps
+// most strides on the head's page), or an identical register-offset shape
+// with no intervening base adjustment (same effective address exactly).
+func (ch *reuseChain) compatible(s addrSpec) bool {
+	h := &ch.spec
+	if h.pcBase != s.pcBase {
+		return false
+	}
+	if h.pcBase {
+		return h.ea>>12 == s.ea>>12
+	}
+	if h.base != s.base {
+		return false
+	}
+	if h.regOff || s.regOff {
+		return h.regOff == s.regOff && h.rm == s.rm && h.shift == s.shift &&
+			h.shamt == s.shamt && h.up == s.up && ch.bias == 0
+	}
+	d := ch.bias + s.disp - h.disp
+	return d >= -4095 && d <= 4095
+}
+
+// computeReuseRoles fills tc.reuse with the producer/consumer marking for
+// the emission-order instruction list. blockStart lists the indices where a
+// trace's constituent blocks begin (nil for a single-block translation):
+// chains never cross an internal boundary, whose side exits and interrupt
+// delivery make "the producer ran just before" unprovable.
+func (tc *tctx) computeReuseRoles(blockStart []int) {
+	n := len(tc.insts)
+	tc.reuse = &reuseRoles{produce: make([]bool, n), consume: make([]bool, n)}
+	resets := map[int]bool{}
+	for _, b := range blockStart {
+		resets[b] = true
+	}
+	var ch reuseChain
+	for i := 0; i < n; i++ {
+		if resets[i] {
+			ch.reset()
+		}
+		in := &tc.insts[i]
+		if reuseEligible(in) {
+			spec, tracked := tc.addrSpecOf(i)
+			switch {
+			case tracked && ch.valid && ch.compatible(spec) && (in.Load || ch.store):
+				tc.reuse.consume[i] = true
+				tc.reuse.produce[ch.head] = true
+				// The head keeps certifying later accesses; a store after a
+				// load head falls through to re-heading below.
+			case tracked:
+				ch = reuseChain{valid: true, head: i, store: !in.Load, spec: spec}
+			default:
+				ch.reset()
+			}
+			// The access's own register writes, applied after its EA is used:
+			// a known-immediate writeback shifts the bias, anything else
+			// invalidates dependent chains.
+			wb := (!in.PreIndex || in.Wback) && !(in.Load && in.Rn == in.Rd)
+			if wb {
+				if in.ImmValid {
+					delta := int64(in.Imm)
+					if !in.Up {
+						delta = -delta
+					}
+					ch.noteBaseAdjust(in.Rn, delta)
+				} else {
+					ch.noteWriteMask(1 << in.Rn)
+				}
+			}
+			if in.Load {
+				ch.noteWriteMask(1 << in.Rd)
+			}
+			continue
+		}
+		switch in.Kind {
+		case arm.KindNOP:
+			// nothing
+		case arm.KindDataProc, arm.KindMul, arm.KindMulLong, arm.KindMRS, arm.KindVFPSys, arm.KindCP15:
+			// Registers the instruction may write invalidate dependent
+			// chains (conditional execution only makes the write *possible*,
+			// which is just as invalidating). Helper-emulated kinds in this
+			// group never touch the reuse slot or guest memory.
+			ch.noteWriteMask(in.DstRegs())
+		default:
+			// Branches, system/exception instructions, exclusives, block
+			// transfers, conditional memory accesses, undefined encodings:
+			// control may leave, or a helper performs untracked memory
+			// accesses — drop the chain.
+			ch.reset()
+		}
+	}
+}

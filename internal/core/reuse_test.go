@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/rules"
+)
+
+// runReuse runs the program on the rule engine with same-page reuse elision
+// enabled (chaining on, optionally hot traces).
+func runReuse(t *testing.T, image []byte, origin uint32, budget uint64, trace bool) (*engine.Engine, *Translator, uint32, string) {
+	t.Helper()
+	tr := New(rules.BaselineRules(), OptScheduling)
+	tr.Reuse = true
+	e := engine.New(tr, kernel.RAMSize)
+	e.EnableChaining(true)
+	e.EnableTracing(trace)
+	e.SetTraceThreshold(3)
+	if err := e.LoadImage(origin, image); err != nil {
+		t.Fatal(err)
+	}
+	code, err := e.Run(budget)
+	if err != nil {
+		t.Fatalf("rule+reuse: %v (console %q)", err, e.Bus.UART().Output())
+	}
+	return e, tr, code, e.Bus.UART().Output()
+}
+
+// TestReuseSMCStrandsElidedRegion is the reuse-elision SMC coherence test:
+// a guest stores fresh encodings into a code page through a producer/consumer
+// store pair — the consumer's tag check is elided against the producer's
+// certification — then re-executes the patched routine. The first round runs
+// before the victim page holds translated code (the pair is elided against
+// plain RAM); once `bl victim` translates the page, every later producer
+// store re-certifies against a code page, the slot is stranded, and both
+// stores must take the slow path that detects SMC and invalidates the page.
+// Architectural results must match the interpreter exactly.
+func TestReuseSMCStrandsElidedRegion(t *testing.T) {
+	var body string
+	body += "user_entry:\n\tmov r4, #0\n"
+	for i := 0; i < 6; i++ {
+		// Patch both victim slots in one same-page store pair, then run it.
+		body += fmt.Sprintf(`	ldr r5, =victim
+	ldr r6, =0x%08X
+	ldr r7, =0x%08X
+	str r6, [r5]
+	str r7, [r5, #4]
+	bl victim
+	add r4, r4, r0
+	add r4, r4, r1
+`, 0xE3A00000|uint32(i*3+1), 0xE3A01000|uint32(i*5+2)) // mov r0/r1, #imm
+	}
+	body += `	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+	.align 4096
+victim:
+	mov r0, #100
+	mov r1, #101
+	bx lr
+`
+	prog, err := kernel.Build(body, kernel.Config{TimerOff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	for _, trace := range []bool{false, true} {
+		e, tr, code, out := runReuse(t, prog.Image, prog.Origin, 2_000_000, trace)
+		if code != wantCode || out != wantOut {
+			t.Errorf("trace=%v: diverged\n got  %q\n want %q", trace, out, wantOut)
+		}
+		if tr.Stats.ElidedChecks == 0 {
+			t.Errorf("trace=%v: the patch store pair was not elided", trace)
+		}
+		if e.Stats.PageInvalidations == 0 {
+			t.Errorf("trace=%v: SMC stores through the reuse pair never invalidated the page", trace)
+		}
+		if e.Flushes() != 0 {
+			t.Errorf("trace=%v: SMC took the whole-cache flush path", trace)
+		}
+	}
+}
+
+// TestReusePageBoundaryTagCheck: the analysis pairs accesses whose net
+// displacement stays below a page, which can still cross a page boundary at
+// runtime (producer at the page's last word, consumer 8 bytes later). The
+// consumer's dynamic tag check must reject the stale host page and fall back
+// to the full probe — results must match the interpreter bit for bit.
+func TestReusePageBoundaryTagCheck(t *testing.T) {
+	body := `
+	.equ BUF, 0x500000
+user_entry:
+	mov r4, #0
+	ldr r9, =BUF
+	add r9, r9, #0xF00
+	mov r0, #0x11
+	mov r1, #0x22
+	mov r2, #0
+loop:
+	; producer on BUF's page, consumers landing on the next page
+	str r0, [r9, #0xF8]
+	str r1, [r9, #0x100]
+	str r0, [r9, #0x104]
+	ldr r5, [r9, #0xF8]
+	ldr r6, [r9, #0x100]
+	add r4, r4, r5
+	add r4, r4, r6
+	add r9, r9, #4
+	add r2, r2, #1
+	cmp r2, #64
+	bne loop
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog, err := kernel.Build(body, kernel.Config{TimerOff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	_, tr, code, out := runReuse(t, prog.Image, prog.Origin, 2_000_000, false)
+	if code != wantCode || out != wantOut {
+		t.Errorf("diverged\n got  %q\n want %q", out, wantOut)
+	}
+	if tr.Stats.ElidedChecks == 0 {
+		t.Error("no consumers emitted for the boundary-straddling pairs")
+	}
+}
+
+// TestReusePrivilegeRoundTripPurges: SVC round trips change the privilege
+// regime between executions of an elided region; every entry/exit purges the
+// host TLBs and the reuse slot, so the producer must re-certify each time.
+// Console equality against the interpreter pins the behavior.
+func TestReusePrivilegeRoundTripPurges(t *testing.T) {
+	body := `
+	.equ BUF, 0x500000
+user_entry:
+	ldr r9, =BUF
+	mov r2, #0
+	mov r4, #0
+loop:
+	str r2, [r9, #0x10]
+	ldr r5, [r9, #0x10]
+	str r5, [r9, #0x14]
+	ldr r6, [r9, #0x14]
+	add r4, r4, r6
+	mov r7, #4            ; sys_yield: svc round trip, TLBs purged
+	svc #0
+	add r2, r2, #1
+	cmp r2, #50
+	bne loop
+	mov r0, r4
+	mov r7, #3
+	svc #0
+	mov r0, #0
+	mov r7, #0
+	svc #0
+	.pool
+`
+	prog, err := kernel.Build(body, kernel.Config{TimerOff: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 2_000_000)
+	_, tr, code, out := runReuse(t, prog.Image, prog.Origin, 2_000_000, false)
+	if code != wantCode || out != wantOut {
+		t.Errorf("diverged\n got  %q\n want %q", out, wantOut)
+	}
+	if tr.Stats.ElidedChecks == 0 || tr.Stats.ReuseProds == 0 {
+		t.Errorf("no reuse pairs around the svc round trips: prods=%d elided=%d",
+			tr.Stats.ReuseProds, tr.Stats.ElidedChecks)
+	}
+}
+
+// TestReuseKindRule pins the certification-kind rule of the static analysis:
+// a store consumer only ever pairs with a store producer, while loads pair
+// with either; a base-register write or an untracked shape breaks the chain.
+func TestReuseKindRule(t *testing.T) {
+	asm := func(body string) *tctx {
+		t.Helper()
+		prog, err := arm.Assemble(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := &tctx{pc: prog.Origin}
+		for off := uint32(0); off < uint32(len(prog.Image)); off += 4 {
+			tc.insts = append(tc.insts, arm.Decode(prog.Word(prog.Origin+off)))
+			tc.origIdx = append(tc.origIdx, len(tc.origIdx))
+		}
+		tc.computeReuseRoles(nil)
+		return tc
+	}
+
+	// Load head: later loads elide, a store after it re-heads (no pairing).
+	tc := asm(`	ldr r1, [r9]
+	ldr r2, [r9, #4]
+	str r3, [r9, #8]
+	str r4, [r9, #12]
+`)
+	if !tc.reuse.produce[0] || !tc.reuse.consume[1] {
+		t.Errorf("load/load pair not formed: %+v", tc.reuse)
+	}
+	if tc.reuse.consume[2] {
+		t.Error("store consumer paired with a load producer")
+	}
+	if !tc.reuse.produce[2] || !tc.reuse.consume[3] {
+		t.Errorf("store re-head did not certify the next store: %+v", tc.reuse)
+	}
+
+	// Store head certifies both loads and stores.
+	tc = asm(`	str r1, [r9]
+	ldr r2, [r9, #4]
+	str r3, [r9, #8]
+`)
+	if !tc.reuse.produce[0] || !tc.reuse.consume[1] || !tc.reuse.consume[2] {
+		t.Errorf("store head did not certify load+store: %+v", tc.reuse)
+	}
+
+	// Rewriting the base breaks the chain; a known-immediate writeback
+	// doesn't (the bias tracks it).
+	tc = asm(`	ldr r1, [r9]
+	mov r9, r9
+	ldr r2, [r9, #4]
+`)
+	if tc.reuse.consume[2] {
+		t.Error("chain survived a base-register rewrite")
+	}
+	tc = asm(`	ldr r1, [r9], #4
+	ldr r2, [r9]
+`)
+	if !tc.reuse.consume[1] {
+		t.Error("post-index writeback killed the chain despite a known bias")
+	}
+
+	// A net displacement past a page never pairs.
+	tc = asm(`	ldr r1, [r9, #-8]
+	ldr r2, [r9, #0xFFC]
+`)
+	if tc.reuse.consume[1] {
+		t.Error("past-a-page net displacement was paired")
+	}
+}

@@ -82,6 +82,12 @@ func (t *Translator) TranslateTrace(e *engine.Engine, plan *engine.TracePlan, pr
 	// so a flag defined in one block and consumed two blocks later has one
 	// live range and at most one (packed) save.
 	tc.computeFlagLiveness()
+	if t.Reuse {
+		// Reuse chains stop at internal boundaries: the boundary helper may
+		// deliver an interrupt or side-exit, so "the producer just ran" holds
+		// only within one constituent block.
+		tc.computeReuseRoles(blockStart)
+	}
 
 	var stubs []sideStub
 	for k := range steps {

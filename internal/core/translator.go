@@ -22,12 +22,19 @@ type Stats struct {
 	InterTBElided uint64 // TB-end saves removed by inter-TB analysis
 	SchedMoves    uint64 // define-before-use reorderings applied
 	IRQSchedMoves uint64 // interrupt checks moved next to memory accesses
+	ElidedChecks  uint64 // emitted same-page reuse consumers (elided full probes)
+	ReuseProds    uint64 // emitted same-page reuse producers
 }
 
 // Translator is the rule-based system-level translator.
 type Translator struct {
 	Rules *rules.Set
 	Level OptLevel
+	// Reuse enables same-page reuse elision (see reuse.go): the memory-operand
+	// extension of the §III-C liveness analysis. Off by default — it changes
+	// emitted softmmu sequences, and the baseline experiments measure the
+	// paper's configurations without it.
+	Reuse bool
 	Stats Stats
 }
 
@@ -58,6 +65,7 @@ type tctx struct {
 	origIdx []int      // original guest index of insts[i] within its block
 	pcOf    []uint32   // absolute guest PC of insts[i] (traces; nil for single blocks)
 	liveOut []bool     // guest flags live after insts[i] (region-level analysis)
+	reuse   *reuseRoles // same-page reuse roles (nil when elision is off)
 	tb      *engine.TB
 	exited  bool // an unconditional exit has been emitted
 
@@ -106,6 +114,9 @@ func (t *Translator) Translate(e *engine.Engine, pc uint32, priv bool) (*engine.
 		irqPos = tc.scheduleIRQCheck()
 	}
 	tc.computeFlagLiveness()
+	if t.Reuse {
+		tc.computeReuseRoles(nil)
+	}
 
 	for i := range tc.insts {
 		if i == irqPos {

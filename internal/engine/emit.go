@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sldbt/internal/arm"
+	"sldbt/internal/mmu"
 	"sldbt/internal/x86"
 )
 
@@ -230,30 +231,78 @@ func EmitIRQCheckBody(em *x86.Emitter, seq int) {
 	em.Label(skip)
 }
 
+// MMUProbe configures an emitted softmmu fast path: the main-TLB geometry
+// the probe indexes (baked into the emitted instructions — reshaping the TLB
+// therefore flushes the code cache) and the access's same-page reuse-elision
+// roles. The zero value is upgraded to the default direct-mapped geometry.
+type MMUProbe struct {
+	Sets, Ways uint32
+	// Produce: publish the hit translation into the env reuse slots.
+	Produce bool
+	// Consume: try the reuse slots (one compare against the certified page
+	// tag) before the full TLB probe.
+	Consume bool
+}
+
+// DefaultMMUProbe is the classic direct-mapped probe with no elision.
+func DefaultMMUProbe() MMUProbe { return MMUProbe{Sets: mmu.TLBSize, Ways: 1} }
+
+// loadOpFor picks the x86 load opcode for a guest load size/signedness.
+func loadOpFor(size uint8, signed bool) x86.Op {
+	switch {
+	case size == 1 && signed:
+		return x86.MOVSX8
+	case size == 1:
+		return x86.MOVZX8
+	case size == 2 && signed:
+		return x86.MOVSX16
+	case size == 2:
+		return x86.MOVZX16
+	}
+	return x86.MOV
+}
+
+// emitReuseCheck emits the consumer-side elided check: compare the access's
+// page against the certified reuse tag; on a match load the host page into
+// ECX and fall through (the caller completes the access), on a mismatch jump
+// to fullLabel where the ordinary probe runs. Clobbers ECX and host flags;
+// EAX (the VA) and EDX are preserved.
+func emitReuseCheck(em *x86.Emitter, fullLabel string) {
+	em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
+	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(0xFFFFF000))
+	em.Op2(x86.OR, x86.R(x86.ECX), x86.I(1))
+	em.Op2(x86.CMP, x86.R(x86.ECX), x86.M(x86.EBP, OffReuseTag))
+	em.Jcc(x86.CcNE, fullLabel)
+	em.Mov(x86.R(x86.ECX), x86.M(x86.EBP, OffReuseHost))
+}
+
 // EmitMMULoad emits the softmmu inline fast path for a load whose virtual
 // address is in EAX; the loaded value lands in EDX (both hit and slow
 // paths). Clobbers EAX/ECX/EDX and host flags. helperID must be a
 // RegisterMMURead helper for the same size/signedness.
-func EmitMMULoad(em *x86.Emitter, size uint8, signed bool, helperID, seq int) {
+func EmitMMULoad(em *x86.Emitter, size uint8, signed bool, helperID, seq int, p MMUProbe) {
 	prev := em.SetClass(x86.ClassMMU)
 	defer em.SetClass(prev)
 	slow := fmt.Sprintf("mmuslow_%d", seq)
 	done := fmt.Sprintf("mmudone_%d", seq)
-	emitProbe(em, 0, slow)
+	loadOp := loadOpFor(size, signed)
+	if p.Consume {
+		full := fmt.Sprintf("mmufull_%d", seq)
+		emitReuseCheck(em, full)
+		em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
+		em.Raw(x86.Inst{Op: loadOp, Dst: x86.R(x86.EDX), Src: x86.MX(x86.ECX, x86.EAX, 1, 0, size)})
+		em.Jmp(done)
+		em.Label(full)
+	}
+	emitProbe(em, 0, slow, seq, p)
 	// Hit: host page base + page offset.
 	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, RelTLB+8))
-	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
-	loadOp := x86.MOV
-	switch {
-	case size == 1 && signed:
-		loadOp = x86.MOVSX8
-	case size == 1:
-		loadOp = x86.MOVZX8
-	case size == 2 && signed:
-		loadOp = x86.MOVSX16
-	case size == 2:
-		loadOp = x86.MOVZX16
+	if p.Produce {
+		// EDX still holds the compare tag (va page | 1), ECX the host page.
+		em.Mov(x86.M(x86.EBP, OffReuseTag), x86.R(x86.EDX))
+		em.Mov(x86.M(x86.EBP, OffReuseHost), x86.R(x86.ECX))
 	}
+	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
 	em.Raw(x86.Inst{Op: loadOp, Dst: x86.R(x86.EDX), Src: x86.MX(x86.ECX, x86.EAX, 1, 0, size)})
 	em.Jmp(done)
 	em.Label(slow)
@@ -263,15 +312,28 @@ func EmitMMULoad(em *x86.Emitter, size uint8, signed bool, helperID, seq int) {
 
 // EmitMMUStore emits the softmmu inline fast path for a store: virtual
 // address in EAX, value in EDX. Clobbers EAX/ECX and host flags (EDX
-// preserved via an env spill slot during the probe).
-func EmitMMUStore(em *x86.Emitter, size uint8, helperID, seq int) {
+// preserved via an env spill slot during the probe; the elided consumer path
+// needs no spill — its check only clobbers ECX).
+func EmitMMUStore(em *x86.Emitter, size uint8, helperID, seq int, p MMUProbe) {
 	prev := em.SetClass(x86.ClassMMU)
 	defer em.SetClass(prev)
 	slow := fmt.Sprintf("mmuslow_%d", seq)
 	done := fmt.Sprintf("mmudone_%d", seq)
+	if p.Consume {
+		full := fmt.Sprintf("mmufull_%d", seq)
+		emitReuseCheck(em, full)
+		em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
+		em.Mov(x86.MX(x86.ECX, x86.EAX, 1, 0, size), x86.R(x86.EDX))
+		em.Jmp(done)
+		em.Label(full)
+	}
 	em.Mov(x86.M(x86.EBP, OffTmp0), x86.R(x86.EDX)) // spill value
-	emitProbe(em, 4, slow)
+	emitProbe(em, 4, slow, seq, p)
 	em.Mov(x86.R(x86.ECX), x86.M(x86.ECX, RelTLB+8))
+	if p.Produce {
+		em.Mov(x86.M(x86.EBP, OffReuseTag), x86.R(x86.EDX))
+		em.Mov(x86.M(x86.EBP, OffReuseHost), x86.R(x86.ECX))
+	}
 	em.Op2(x86.AND, x86.R(x86.EAX), x86.I(0xFFF))
 	em.Mov(x86.R(x86.EDX), x86.M(x86.EBP, OffTmp0)) // reload value
 	em.Mov(x86.MX(x86.ECX, x86.EAX, 1, 0, size), x86.R(x86.EDX))
@@ -283,30 +345,55 @@ func EmitMMUStore(em *x86.Emitter, size uint8, helperID, seq int) {
 }
 
 // emitProbe emits the TLB tag check: VA in EAX; on return ECX holds EBP plus
-// the entry offset (idx*16) — the running vCPU's TLB is addressed relative
+// the matching entry's offset — the running vCPU's TLB is addressed relative
 // to its env base, so one shared translation probes whichever vCPU executes
 // it — and the comparison has branched to slowLabel on a miss. cmpOff
-// selects the read (0) or write (4) tag.
+// selects the read (0) or write (4) tag. At the default geometry (256 sets,
+// 1 way) this is the classic 10-instruction direct-mapped sequence:
 //
 //	mov  ecx, eax
 //	shr  ecx, 12
-//	and  ecx, TLBSize-1
-//	shl  ecx, 4
+//	and  ecx, sets-1
+//	shl  ecx, 4+log2(ways)
 //	add  ecx, ebp
 //	mov  edx, eax
 //	and  edx, 0xFFFFF000
 //	or   edx, 1
-//	cmp  edx, [ecx + RelTLB + cmpOff]
-//	jne  slow
-func emitProbe(em *x86.Emitter, cmpOff int32, slowLabel string) {
+//	cmp  edx, [ecx + RelTLB + cmpOff]   ; way 0
+//	jne  slow                           ; (ways=1)
+//
+// With ways > 1 each further way adds an `add ecx, 16` + compare pair; the
+// last way's mismatch goes to slowLabel, earlier hits jump forward.
+func emitProbe(em *x86.Emitter, cmpOff int32, slowLabel string, seq int, p MMUProbe) {
+	sets, ways := p.Sets, p.Ways
+	if sets == 0 {
+		sets, ways = mmu.TLBSize, 1
+	}
+	entryShift := uint32(4)
+	for w := ways; w > 1; w >>= 1 {
+		entryShift++
+	}
 	em.Mov(x86.R(x86.ECX), x86.R(x86.EAX))
 	em.Op2(x86.SHR, x86.R(x86.ECX), x86.I(12))
-	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(255))
-	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(4))
+	em.Op2(x86.AND, x86.R(x86.ECX), x86.I(sets-1))
+	em.Op2(x86.SHL, x86.R(x86.ECX), x86.I(entryShift))
 	em.Op2(x86.ADD, x86.R(x86.ECX), x86.R(x86.EBP))
 	em.Mov(x86.R(x86.EDX), x86.R(x86.EAX))
 	em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFF000))
 	em.Op2(x86.OR, x86.R(x86.EDX), x86.I(1))
-	em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RelTLB+cmpOff))
-	em.Jcc(x86.CcNE, slowLabel)
+	hit := fmt.Sprintf("mmuhit_%d_%d", seq, cmpOff)
+	for w := uint32(0); w < ways; w++ {
+		if w > 0 {
+			em.Op2(x86.ADD, x86.R(x86.ECX), x86.I(tlbEntrySize))
+		}
+		em.Op2(x86.CMP, x86.R(x86.EDX), x86.M(x86.ECX, RelTLB+cmpOff))
+		if w == ways-1 {
+			em.Jcc(x86.CcNE, slowLabel)
+		} else {
+			em.Jcc(x86.CcE, hit)
+		}
+	}
+	if ways > 1 {
+		em.Label(hit)
+	}
 }

@@ -167,6 +167,7 @@ type Stats struct {
 	IRQs              uint64
 	Exceptions        uint64
 	MMUSlowPath       uint64
+	TLBVictimHits     uint64 // slow-path accesses resolved by the victim TLB (no walk)
 	IOAccesses        uint64
 	Exclusives        uint64 // LDREX/STREX/CLREX helper executions
 	StrexFailures     uint64 // exclusive stores refused by the monitor
@@ -198,10 +199,11 @@ func (s *Stats) JCRate() float64 {
 // They model the QEMU C-helper work the emitted code cannot express; see
 // DESIGN.md ("Helpers").
 const (
-	CostPageWalk = 28 // two-level table walk + TLB refill
-	CostIO       = 24 // device access through the memory API
-	CostSysInstr = 18 // system-instruction helper body
-	CostExcEntry = 22 // exception entry (bank switch, vector fetch setup)
+	CostPageWalk  = 28 // two-level table walk + TLB refill
+	CostVictimHit = 8  // victim-TLB probe + swap into the main TLB (no walk)
+	CostIO        = 24 // device access through the memory API
+	CostSysInstr  = 18 // system-instruction helper body
+	CostExcEntry  = 22 // exception entry (bank switch, vector fetch setup)
 )
 
 // Engine is a system-level DBT instance: one or more guest vCPUs over one
@@ -248,6 +250,12 @@ type Engine struct {
 	baseHelpers  int
 	decodeCache  map[uint32]arm.Inst
 	invalidCount uint64
+
+	// Softmmu fast-path configuration: the geometry emitted probes bake in
+	// (sets x ways; see env.go) and whether the slow-path helpers probe the
+	// per-vCPU victim TLB before walking the page tables.
+	tlbGeom   mmu.Geometry
+	victimTLB bool
 
 	// Block-chaining state (see chain.go).
 	chain      bool   // chaining enabled
@@ -343,6 +351,7 @@ func NewSMP(tr Translator, ramSize uint32, n int) (*Engine, error) {
 		codePages:    map[uint32]bool{},
 		pageTBs:      map[uint32]map[*TB]struct{}{},
 		seenKeys:     map[tbKey]bool{},
+		tlbGeom:      mmu.DefaultGeometry(),
 	}
 	if p, ok := tr.(RegPinner); ok {
 		e.pinGuest, e.pinHost = p.PinnedRegs()
@@ -488,6 +497,52 @@ func (e *Engine) FlushCache() {
 	}
 	e.flushJC()
 	e.M.TruncateHelpers(e.baseHelpers)
+}
+
+// SetTLBGeometry reconfigures the softmmu fast-path TLB on every vCPU:
+// size entries arranged as size/ways sets of ways entries. Emitted probes
+// bake the set count and way stride in, so the code cache is flushed along
+// with the TLBs (the same pattern as toggling the jump cache).
+func (e *Engine) SetTLBGeometry(size, ways int) error {
+	g := mmu.Geometry{Size: size, Ways: ways}
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	e.tlbGeom = g
+	for _, v := range e.vcpus {
+		v.Env.SetTLBGeometry(g)
+		v.Env.FlushTLB()
+	}
+	e.FlushCache()
+	return nil
+}
+
+// TLBGeometry returns the configured softmmu fast-path geometry.
+func (e *Engine) TLBGeometry() mmu.Geometry { return e.tlbGeom }
+
+// EnableVictimTLB toggles the per-vCPU victim TLB: entries displaced from
+// the main (emitted-probe) TLB are demoted into a small fully-associative
+// ring the slow-path helpers probe before walking the page tables; a hit
+// swaps the entry back into the main TLB (QEMU's victim TLB). The victim
+// arrays live in the env TLB block and are purged by the same FlushTLB
+// maintenance events as the main TLB. Toggling flushes so no stale demoted
+// entries survive a configuration change.
+func (e *Engine) EnableVictimTLB(on bool) {
+	e.victimTLB = on
+	for _, v := range e.vcpus {
+		v.Env.EnableVictimTLB(on)
+		v.Env.FlushTLB()
+	}
+}
+
+// VictimTLBEnabled reports whether the victim TLB is on.
+func (e *Engine) VictimTLBEnabled() bool { return e.victimTLB }
+
+// MMUProbe returns the probe spec emitted softmmu fast paths must use under
+// the current TLB geometry; translators pass it to EmitMMULoad/EmitMMUStore
+// (setting the reuse-elision roles per site as their analysis dictates).
+func (e *Engine) MMUProbe() MMUProbe {
+	return MMUProbe{Sets: uint32(e.tlbGeom.Sets()), Ways: uint32(e.tlbGeom.Ways)}
 }
 
 // Flushes reports how many times the whole code cache has been invalidated
@@ -740,17 +795,47 @@ func (e *Engine) RegisterMMURead(guestPC uint32, idx int, size uint8, signed boo
 // effects of a flag-defining instruction that was moved *after* this memory
 // access, keeping exceptions precise.
 func (e *Engine) RegisterMMUReadFx(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine)) int {
+	return e.registerMMURead(guestPC, idx, size, signed, fixup, false)
+}
+
+// RegisterMMUReadProduce is RegisterMMUReadFx for a reuse-elision producer
+// site: on every non-faulting completion the helper writes the env's
+// same-page reuse slot — set when the page is RAM and certified readable,
+// cleared otherwise (IO, permission-limited fills) — so a downstream elided
+// consumer's tag check sees exactly what this access established.
+func (e *Engine) RegisterMMUReadProduce(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine)) int {
+	return e.registerMMURead(guestPC, idx, size, signed, fixup, true)
+}
+
+func (e *Engine) registerMMURead(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine), produce bool) int {
 	return e.registerHelper(func(m *x86.Machine) int {
 		e.Stats.HelperCalls++
 		va := m.Regs[x86.EAX]
-		pa, entry, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Load, e.CPU.Mode() == arm.ModeUSR)
-		if fault != nil {
-			if fixup != nil {
-				fixup(m)
+		var pa uint32
+		if hostPage, ok := e.victimProbe(va, false); ok {
+			pa = hostPage - GuestWin + va&0xFFF
+			if produce {
+				e.Env.SetReuse(va, hostPage)
 			}
-			return e.dataAbort(fault, guestPC, idx)
+		} else {
+			var entry mmu.Entry
+			var fault *mmu.Fault
+			pa, entry, fault = mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Load, e.CPU.Mode() == arm.ModeUSR)
+			if fault != nil {
+				if fixup != nil {
+					fixup(m)
+				}
+				return e.dataAbort(fault, guestPC, idx)
+			}
+			hostPage, canRead, _ := e.fillTLB(va, pa, entry)
+			if produce {
+				if hostPage != 0 && canRead {
+					e.Env.SetReuse(va, hostPage)
+				} else {
+					e.Env.ClearReuse()
+				}
+			}
 		}
-		e.fillTLB(va, pa, entry)
 		var v uint32
 		switch {
 		case size == 1 && signed:
@@ -778,17 +863,52 @@ func (e *Engine) RegisterMMUWrite(guestPC uint32, idx int, size uint8) int {
 // RegisterMMUWriteFx is RegisterMMUWrite with an abort fixup (see
 // RegisterMMUReadFx).
 func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine)) int {
+	return e.registerMMUWrite(guestPC, idx, size, fixup, false)
+}
+
+// RegisterMMUWriteProduce is RegisterMMUWriteFx for a reuse-elision producer
+// site: the reuse slot is set only when the page is certified *writable*
+// (never for code or monitored pages, whose fills force the slow path), so
+// an elided store downstream can never bypass SMC detection or an exclusive
+// monitor.
+func (e *Engine) RegisterMMUWriteProduce(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine)) int {
+	return e.registerMMUWrite(guestPC, idx, size, fixup, true)
+}
+
+func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine), produce bool) int {
 	return e.registerHelper(func(m *x86.Machine) int {
 		e.Stats.HelperCalls++
 		va := m.Regs[x86.EAX]
-		pa, entry, fault := mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Store, e.CPU.Mode() == arm.ModeUSR)
-		if fault != nil {
-			if fixup != nil {
-				fixup(m)
+		var pa uint32
+		if hostPage, ok := e.victimProbe(va, true); ok {
+			// A write-capable victim entry can only cover an ordinary RAM
+			// page: code and monitored pages are never filled writable, and
+			// marking a page as either flushes every vCPU's TLB (victim
+			// included). The Observe/codePages handling below is kept anyway
+			// as defense in depth — it is free for ordinary pages.
+			pa = hostPage - GuestWin + va&0xFFF
+			if produce {
+				e.Env.SetReuse(va, hostPage)
 			}
-			return e.dataAbort(fault, guestPC, idx)
+		} else {
+			var entry mmu.Entry
+			var fault *mmu.Fault
+			pa, entry, fault = mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Store, e.CPU.Mode() == arm.ModeUSR)
+			if fault != nil {
+				if fixup != nil {
+					fixup(m)
+				}
+				return e.dataAbort(fault, guestPC, idx)
+			}
+			hostPage, _, canWrite := e.fillTLB(va, pa, entry)
+			if produce {
+				if hostPage != 0 && canWrite {
+					e.Env.SetReuse(va, hostPage)
+				} else {
+					e.Env.ClearReuse()
+				}
+			}
 		}
-		e.fillTLB(va, pa, entry)
 		// The memory system observes the store: any exclusive monitor on the
 		// granule is cleared (stores to monitored pages are denied the inline
 		// fast path, so they always reach this helper).
@@ -817,16 +937,35 @@ func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup f
 	})
 }
 
+// victimProbe consults the running vCPU's victim TLB (when enabled) for a
+// slow-path access that missed the emitted probe. A hit swaps the entry back
+// into the main TLB and avoids the page walk entirely, at a fraction of its
+// cost.
+func (e *Engine) victimProbe(va uint32, write bool) (uint32, bool) {
+	if !e.victimTLB {
+		return 0, false
+	}
+	hostPage, ok := e.Env.VictimProbe(va, write)
+	if !ok {
+		return 0, false
+	}
+	e.Stats.TLBVictimHits++
+	e.M.Charge(x86.ClassHelper, CostVictimHit)
+	return hostPage, true
+}
+
 // fillTLB installs a softmmu entry for RAM pages and charges the slow-path
 // cost; device pages are not cached (they always take the slow path, like
-// QEMU's io_mem path).
-func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) {
+// QEMU's io_mem path). Returns the host page address (0 for device pages)
+// and the permissions the entry was filled with, so producer helpers can
+// certify the reuse slot with exactly what the TLB believes.
+func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) (hostPage uint32, canRead, canWrite bool) {
 	if int(pa) < len(e.Bus.RAM) {
 		e.Stats.MMUSlowPath++
 		e.M.Charge(x86.ClassHelper, CostPageWalk)
 		user := e.CPU.Mode() == arm.ModeUSR
-		canRead := true
-		canWrite := entry.AP == mmu.APUserRW || (!user && entry.AP != mmu.APReadOnly)
+		canRead = true
+		canWrite = entry.AP == mmu.APUserRW || (!user && entry.AP != mmu.APReadOnly)
 		if user && entry.AP == mmu.APKernel {
 			canRead, canWrite = false, false
 		}
@@ -838,12 +977,13 @@ func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) {
 			// the Go helper so the monitor observes them.
 			canWrite = false
 		}
-		hostPage := GuestWin + pa&^0xFFF
+		hostPage = GuestWin + pa&^0xFFF
 		e.Env.FillTLB(va, hostPage, canRead, canWrite)
-	} else {
-		e.Stats.IOAccesses++
-		e.M.Charge(x86.ClassHelper, CostIO)
+		return hostPage, canRead, canWrite
 	}
+	e.Stats.IOAccesses++
+	e.M.Charge(x86.ClassHelper, CostIO)
+	return 0, false, false
 }
 
 // dataAbort injects a guest data abort from a helper.

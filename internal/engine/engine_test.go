@@ -72,7 +72,7 @@ func TestTLBFillAndProbeAgree(t *testing.T) {
 		helperCalled = true
 		return -1
 	})
-	EmitMMULoad(em, 4, false, id, 1)
+	EmitMMULoad(em, 4, false, id, 1, DefaultMMUProbe())
 	em.Exit(0)
 	blk := em.Finish(0, 1)
 
@@ -93,7 +93,7 @@ func TestTLBFillAndProbeAgree(t *testing.T) {
 		slowHit = true
 		return -1
 	})
-	EmitMMUStore(em2, 4, id2, 2)
+	EmitMMUStore(em2, 4, id2, 2, DefaultMMUProbe())
 	em2.Exit(0)
 	e.M.Regs[x86.EAX] = va
 	e.M.Regs[x86.EDX] = 1

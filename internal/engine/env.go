@@ -67,7 +67,14 @@ const (
 	OffTmp2    = 0x6C
 	OffRASTop  = 0x70 // return-address-stack top, pre-scaled to a byte offset
 	OffPrivTag = 0x74 // current privilege as a jump-cache tag bit: (priv<<1)|1
-	EnvSize    = 0x80
+
+	// Same-page reuse-elision slots (§III-C extended to memory operands): a
+	// producer access publishes its translated page here; a consumer whose
+	// address lands on the same page skips the TLB probe. Purged with the TLB.
+	OffReuseTag  = 0x78 // certified virtual page | 1, 0 = invalid
+	OffReuseHost = 0x7C // host address of the certified page
+
+	EnvSize = 0x80
 )
 
 // OffReg returns the env offset of guest register r.
@@ -83,14 +90,23 @@ const (
 // word0: match tag for reads  (vaddr page | 1), 0 = invalid
 // word1: match tag for writes (vaddr page | 1), 0 = invalid
 // word2: host address of the guest page inside the RAM window
-// word3: unused padding
+// word3: way 0 only — per-set round-robin refill cursor (ways > 1)
 const tlbEntrySize = 16
 
-// TLBEntryAddr returns the host address of this env's TLB entry for a
-// virtual page.
+// RelVictim is the EBP-relative offset of the victim-TLB ring: it sits just
+// above the largest allowed main TLB (mmu.MaxTLBSize entries) inside the
+// per-vCPU TLB block, followed by its round-robin demotion cursor. The ring
+// is probed only by the Go slow path, never by emitted code.
+const (
+	RelVictim    = RelTLB + mmu.MaxTLBSize*tlbEntrySize
+	relVictimCur = RelVictim + mmu.VictimSize*tlbEntrySize
+)
+
+// TLBEntryAddr returns the host address of the first (way 0) entry of the
+// set covering a virtual page in this env's TLB.
 func (e *Env) TLBEntryAddr(va uint32) uint32 {
-	idx := (va >> 12) % mmu.TLBSize
-	return e.base + RelTLB + idx*tlbEntrySize
+	set := (va >> 12) % e.sets
+	return e.base + RelTLB + set*e.ways*tlbEntrySize
 }
 
 // Env is a typed view over one vCPU's CPUState in host memory. Helpers (the
@@ -101,13 +117,27 @@ type Env struct {
 	// base is the vCPU's env base address (CPUBase of its index); the TLB,
 	// jump-cache and RAS blocks sit at the Rel* offsets above it.
 	base uint32
+	// sets and ways are the main TLB geometry (mirroring the probes the
+	// translators emitted); victimOn routes evictions into the victim ring.
+	sets, ways uint32
+	victimOn   bool
 }
 
 // NewEnv wraps the machine's vCPU-0 env region.
 func NewEnv(m *x86.Machine) *Env { return NewEnvAt(m, EnvBase) }
 
 // NewEnvAt wraps the env region at the given base (CPUBase of a vCPU).
-func NewEnvAt(m *x86.Machine, base uint32) *Env { return &Env{m: m, base: base} }
+func NewEnvAt(m *x86.Machine, base uint32) *Env {
+	return &Env{m: m, base: base, sets: mmu.TLBSize, ways: 1}
+}
+
+// SetTLBGeometry reshapes this env's main TLB (the caller flushes).
+func (e *Env) SetTLBGeometry(g mmu.Geometry) {
+	e.sets, e.ways = uint32(g.Sets()), uint32(g.Ways)
+}
+
+// EnableVictimTLB toggles demotion of evicted entries into the victim ring.
+func (e *Env) EnableVictimTLB(on bool) { e.victimOn = on }
 
 // Base returns the env's base address (the vCPU's EBP value while running).
 func (e *Env) Base() uint32 { return e.base }
@@ -206,20 +236,67 @@ func (e *Env) ExitPC() uint32 { return e.read(OffExitPC) }
 // SetExitPC stores the resume PC.
 func (e *Env) SetExitPC(pc uint32) { e.write(OffExitPC, pc) }
 
-// FlushTLB invalidates every softmmu TLB entry of this env's vCPU.
+// FlushTLB invalidates every softmmu TLB entry of this env's vCPU — main
+// TLB, victim ring and the same-page reuse slots are all purged by exactly
+// the same maintenance events.
 func (e *Env) FlushTLB() {
-	for i := uint32(0); i < mmu.TLBSize; i++ {
+	for i := uint32(0); i < e.sets*e.ways; i++ {
 		base := e.base + RelTLB + i*tlbEntrySize
 		e.m.Write32(base, 0)
 		e.m.Write32(base+4, 0)
 	}
+	for i := uint32(0); i < mmu.VictimSize; i++ {
+		base := e.base + RelVictim + i*tlbEntrySize
+		e.m.Write32(base, 0)
+		e.m.Write32(base+4, 0)
+	}
+	e.m.Write32(e.base+relVictimCur, 0)
+	e.ClearReuse()
+}
+
+// entryAddr returns the host address of a (set, way) entry.
+func (e *Env) entryAddr(set, way uint32) uint32 {
+	return e.base + RelTLB + (set*e.ways+way)*tlbEntrySize
+}
+
+// fillWay picks the way a refill for the set lands in: the way already
+// holding the page, else an invalid way, else the set's round-robin cursor
+// (stored in way 0's padding word — deterministic and per-vCPU).
+func (e *Env) fillWay(set, tag uint32) uint32 {
+	for w := uint32(0); w < e.ways; w++ {
+		a := e.entryAddr(set, w)
+		if e.m.Read32(a) == tag || e.m.Read32(a+4) == tag {
+			return w
+		}
+	}
+	for w := uint32(0); w < e.ways; w++ {
+		a := e.entryAddr(set, w)
+		if e.m.Read32(a) == 0 && e.m.Read32(a+4) == 0 {
+			return w
+		}
+	}
+	if e.ways == 1 {
+		return 0
+	}
+	cur := e.entryAddr(set, 0) + 12
+	w := e.m.Read32(cur) % e.ways
+	e.m.Write32(cur, w+1)
+	return w
 }
 
 // FillTLB installs a translation for the RAM page containing pa. read/write
-// select which access kinds the entry matches.
+// select which access kinds the entry matches. A displaced valid entry is
+// demoted into the victim ring when the victim TLB is enabled.
 func (e *Env) FillTLB(va, hostPageAddr uint32, read, write bool) {
-	base := e.TLBEntryAddr(va)
 	tag := va&^0xFFF | 1
+	set := (va >> 12) % e.sets
+	base := e.entryAddr(set, e.fillWay(set, tag))
+	if e.victimOn {
+		r, w := e.m.Read32(base), e.m.Read32(base+4)
+		if (r|w != 0) && r != tag && w != tag {
+			e.demote(r, w, e.m.Read32(base+8))
+		}
+	}
 	if read {
 		e.m.Write32(base, tag)
 	} else {
@@ -232,3 +309,70 @@ func (e *Env) FillTLB(va, hostPageAddr uint32, read, write bool) {
 	}
 	e.m.Write32(base+8, hostPageAddr)
 }
+
+// demote pushes an evicted main-TLB entry into the victim ring.
+func (e *Env) demote(readTag, writeTag, hostPage uint32) {
+	cur := e.base + relVictimCur
+	j := e.m.Read32(cur) % mmu.VictimSize
+	e.m.Write32(cur, j+1)
+	slot := e.base + RelVictim + j*tlbEntrySize
+	e.m.Write32(slot, readTag)
+	e.m.Write32(slot+4, writeTag)
+	e.m.Write32(slot+8, hostPage)
+}
+
+// VictimProbe scans the victim ring for a translation of va matching the
+// access kind; on a hit the entry is swapped back into the main set (the
+// displaced main entry takes the vacated victim slot, so an entry is never
+// in both), and the host page address is returned.
+func (e *Env) VictimProbe(va uint32, write bool) (uint32, bool) {
+	if !e.victimOn {
+		return 0, false
+	}
+	tag := va&^0xFFF | 1
+	for j := uint32(0); j < mmu.VictimSize; j++ {
+		slot := e.base + RelVictim + j*tlbEntrySize
+		r, w := e.m.Read32(slot), e.m.Read32(slot+4)
+		match := r
+		if write {
+			match = w
+		}
+		if match != tag {
+			continue
+		}
+		host := e.m.Read32(slot + 8)
+		set := (va >> 12) % e.sets
+		main := e.entryAddr(set, e.fillWay(set, tag))
+		mr, mw := e.m.Read32(main), e.m.Read32(main+4)
+		if mr|mw != 0 {
+			e.m.Write32(slot, mr)
+			e.m.Write32(slot+4, mw)
+			e.m.Write32(slot+8, e.m.Read32(main+8))
+		} else {
+			e.m.Write32(slot, 0)
+			e.m.Write32(slot+4, 0)
+		}
+		e.m.Write32(main, r)
+		e.m.Write32(main+4, w)
+		e.m.Write32(main+8, host)
+		return host, true
+	}
+	return 0, false
+}
+
+// SetReuse publishes a certified translation into the same-page reuse slots
+// (the Go-side mirror of the emitted producer's slot writes).
+func (e *Env) SetReuse(va, hostPageAddr uint32) {
+	e.write(OffReuseTag, va&^0xFFF|1)
+	e.write(OffReuseHost, hostPageAddr)
+}
+
+// ClearReuse strands every elided-check consumer until a producer
+// recertifies.
+func (e *Env) ClearReuse() {
+	e.write(OffReuseTag, 0)
+	e.write(OffReuseHost, 0)
+}
+
+// ReuseTag reads the published reuse tag (tests).
+func (e *Env) ReuseTag() uint32 { return e.read(OffReuseTag) }

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"testing"
+
+	"sldbt/internal/mmu"
+	"sldbt/internal/x86"
+)
+
+// TestReuseSlotLifecycle: the env reuse slot is set/cleared as the helpers
+// do, and every TLB maintenance event (FlushTLB) strands it.
+func TestReuseSlotLifecycle(t *testing.T) {
+	e := newTestEngine()
+	va := uint32(0x00403123)
+	hostPage := uint32(GuestWin + 0x3000)
+	e.Env.SetReuse(va, hostPage)
+	if got := e.Env.ReuseTag(); got != va&^0xFFF|1 {
+		t.Fatalf("reuse tag = %#x", got)
+	}
+	if got := e.M.Read32(EnvBase + OffReuseHost); got != hostPage {
+		t.Fatalf("reuse host = %#x", got)
+	}
+	e.Env.ClearReuse()
+	if e.Env.ReuseTag() != 0 {
+		t.Fatal("ClearReuse left the tag set")
+	}
+	e.Env.SetReuse(va, hostPage)
+	e.Env.FlushTLB()
+	if e.Env.ReuseTag() != 0 {
+		t.Fatal("FlushTLB left the reuse slot live")
+	}
+}
+
+// TestVictimProbeSwap: a fill that displaces a valid entry demotes it into
+// the victim ring; a victim probe swaps it back into the main set (demoting
+// the displacer), and write probes respect the displaced write permission.
+func TestVictimProbeSwap(t *testing.T) {
+	e := newTestEngine()
+	e.Env.EnableVictimTLB(true)
+	sets := uint32(mmu.TLBSize) // default geometry: 256 sets, 1 way
+	va1 := uint32(0x00400000)
+	va2 := va1 + sets<<12 // same set as va1
+	hp1 := uint32(GuestWin + 0x1000)
+	hp2 := uint32(GuestWin + 0x2000)
+	e.Env.FillTLB(va1, hp1, true, true)
+	e.Env.FillTLB(va2, hp2, true, false) // displaces va1 into the victim ring
+	if hp, ok := e.Env.VictimProbe(va1, false); !ok || hp != hp1 {
+		t.Fatalf("victim probe for demoted page: hp=%#x ok=%v", hp, ok)
+	}
+	// The swap put va1 back into the main set and demoted va2: a read probe
+	// for va2 must now hit the victim ring, but a write probe must not (va2
+	// was filled read-only).
+	if _, ok := e.Env.VictimProbe(va2, true); ok {
+		t.Fatal("write probe hit a read-only victim entry")
+	}
+	if hp, ok := e.Env.VictimProbe(va2, false); !ok || hp != hp2 {
+		t.Fatalf("read probe for re-demoted page: hp=%#x ok=%v", hp, ok)
+	}
+	// Maintenance purges the ring like the main TLB.
+	e.Env.FillTLB(va1, hp1, true, true)
+	e.Env.FillTLB(va2, hp2, true, true)
+	e.Env.FlushTLB()
+	if _, ok := e.Env.VictimProbe(va1, false); ok {
+		t.Fatal("victim entry survived FlushTLB")
+	}
+}
+
+// TestEmittedReuseConsumerFastPath: an emitted consumer access with a live
+// matching reuse slot bypasses both the probe and the helper; a mismatched
+// tag (different page, or slot stranded by maintenance) falls back.
+func TestEmittedReuseConsumerFastPath(t *testing.T) {
+	e := newTestEngine()
+	va := uint32(0x00405000)
+	hostPage := uint32(GuestWin + 0x5000)
+
+	build := func() (*x86.Block, *bool) {
+		em := x86.NewEmitter()
+		helperCalled := false
+		id := e.M.RegisterHelper(func(m *x86.Machine) int {
+			helperCalled = true
+			return -1
+		})
+		p := DefaultMMUProbe()
+		p.Consume = true
+		EmitMMULoad(em, 4, false, id, 1, p)
+		em.Exit(0)
+		return em.Finish(0, 1), &helperCalled
+	}
+
+	e.Env.SetReuse(va, hostPage)
+	e.M.Write32(hostPage+0x40, 0xFEEDF00D)
+	blk, called := build()
+	e.M.Regs[x86.EAX] = va + 0x40
+	e.M.Exec(blk)
+	if *called {
+		t.Fatal("consumer with a live slot took the slow path")
+	}
+	if e.M.Regs[x86.EDX] != 0xFEEDF00D {
+		t.Errorf("loaded %#x", e.M.Regs[x86.EDX])
+	}
+
+	// Stranded slot (maintenance flush): the consumer must fall back — here
+	// all the way to the helper, since the main TLB is empty too.
+	e.Env.FlushTLB()
+	blk2, called2 := build()
+	e.M.Regs[x86.EAX] = va + 0x40
+	e.M.Exec(blk2)
+	if !*called2 {
+		t.Fatal("consumer with a stranded slot skipped the probe and helper")
+	}
+
+	// Different page under the same slot tag: the dynamic check must reject.
+	e.Env.SetReuse(va, hostPage)
+	blk3, called3 := build()
+	e.M.Regs[x86.EAX] = va + 0x1000 + 0x40 // next page
+	e.M.Exec(blk3)
+	if !*called3 {
+		t.Fatal("consumer reused a slot for the wrong page")
+	}
+}
+
+// TestEmittedProducerPublishesSlot: a producer access whose inline probe hits
+// records the page tag and host page for its consumers.
+func TestEmittedProducerPublishesSlot(t *testing.T) {
+	e := newTestEngine()
+	va := uint32(0x00406000)
+	hostPage := uint32(GuestWin + 0x6000)
+	e.Env.FillTLB(va, hostPage, true, false)
+
+	em := x86.NewEmitter()
+	id := e.M.RegisterHelper(func(m *x86.Machine) int { t.Fatal("slow path taken"); return -1 })
+	p := DefaultMMUProbe()
+	p.Produce = true
+	EmitMMULoad(em, 4, false, id, 1, p)
+	em.Exit(0)
+	e.M.Regs[x86.EAX] = va + 8
+	e.M.Exec(em.Finish(0, 1))
+	if got := e.Env.ReuseTag(); got != va|1 {
+		t.Fatalf("producer hit did not publish the slot: tag=%#x", got)
+	}
+	if got := e.M.Read32(EnvBase + OffReuseHost); got != hostPage {
+		t.Fatalf("producer hit published host %#x", got)
+	}
+}
+
+// TestGeometryProbeParity: the emitted probe at a non-default geometry hits
+// exactly the entries FillTLB installs there (set-associative compares).
+func TestGeometryProbeParity(t *testing.T) {
+	e := newTestEngine()
+	if err := e.SetTLBGeometry(32, 4); err != nil {
+		t.Fatal(err)
+	}
+	va := uint32(0x00400000)
+	sets := uint32(8)
+	// Fill all four ways of set 0.
+	for w := uint32(0); w < 4; w++ {
+		page := va + w*sets<<12
+		e.Env.FillTLB(page, GuestWin+0x1000*(w+1), true, false)
+	}
+	for w := uint32(0); w < 4; w++ {
+		w := w
+		em := x86.NewEmitter()
+		helperCalled := false
+		id := e.M.RegisterHelper(func(m *x86.Machine) int { helperCalled = true; return -1 })
+		EmitMMULoad(em, 4, false, id, 1, e.MMUProbe())
+		em.Exit(0)
+		page := va + w*sets<<12
+		e.M.Write32(GuestWin+0x1000*(w+1)+4, 0xA0+w)
+		e.M.Regs[x86.EAX] = page + 4
+		e.M.Exec(em.Finish(0, 1))
+		if helperCalled {
+			t.Fatalf("way %d missed the emitted probe", w)
+		}
+		if e.M.Regs[x86.EDX] != 0xA0+w {
+			t.Fatalf("way %d loaded %#x", w, e.M.Regs[x86.EDX])
+		}
+	}
+	if err := e.SetTLBGeometry(0, 4); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+}

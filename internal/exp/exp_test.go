@@ -101,7 +101,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 15 {
+	if len(Experiments()) != 16 {
 		t.Errorf("experiment list = %v", Experiments())
 	}
 }
@@ -349,6 +349,94 @@ func TestChainExperimentRenders(t *testing.T) {
 	for _, want := range []string{"disp(full)", "disp(chain)", "chainrate", "GEOMEAN"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("chain table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSoftmmuFastPathWins: the victim TLB must absorb slow-path walks and
+// reuse elision must shrink the per-memory-access host-instruction cost —
+// the §IV-B acceptance metric — while retiring the identical instruction
+// stream (console equality against the interpreter is checked inside Run).
+func TestSoftmmuFastPathWins(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("mcf")
+	oracle, err := r.Interp(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := r.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := r.Run(w, CfgVictim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memopt, err := r.Run(w, CfgMemOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*RunResult{victim, memopt} {
+		if res.Retired != chain.Retired {
+			t.Fatalf("retired %d guest instructions, baseline %d", res.Retired, chain.Retired)
+		}
+	}
+	if victim.Engine.TLBVictimHits == 0 {
+		t.Error("victim TLB never hit")
+	}
+	if victim.Engine.MMUSlowPath >= chain.Engine.MMUSlowPath {
+		t.Errorf("victim TLB did not absorb slow-path walks: %d -> %d",
+			chain.Engine.MMUSlowPath, victim.Engine.MMUSlowPath)
+	}
+	if memopt.Trans.ReuseProds == 0 || memopt.Trans.ElidedChecks == 0 {
+		t.Errorf("no reuse pairs emitted: prods=%d elided=%d",
+			memopt.Trans.ReuseProds, memopt.Trans.ElidedChecks)
+	}
+	perMem := func(res *RunResult) float64 {
+		return float64(res.Counts[x86.ClassMMU]+res.Counts[x86.ClassHelper]) /
+			float64(oracle.Stats.Mem)
+	}
+	if perMem(memopt) >= perMem(chain) {
+		t.Errorf("host insts per memory access did not drop: chain %.2f, memopt %.2f",
+			perMem(chain), perMem(memopt))
+	}
+}
+
+// TestSoftmmuExperimentRenders: the softmmu experiment table must render,
+// including the geometry sweep.
+func TestSoftmmuExperimentRenders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.RunExperiment("softmmu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"victhit", "memopt", "geometry sweep", "1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("softmmu table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGeometrySweepIdentical: non-default TLB geometries must retire the
+// identical instruction stream (each run is console-checked against the
+// interpreter inside Run; this additionally pins retirement equality).
+func TestGeometrySweepIdentical(t *testing.T) {
+	r := quickRunner()
+	w, _ := workloads.ByName("memcached")
+	base, err := r.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, geo := range []struct{ size, ways int }{{16, 1}, {64, 4}, {512, 2}} {
+		sub := quickRunner()
+		sub.TLBSize, sub.TLBWays = geo.size, geo.ways
+		res, err := sub.Run(w, CfgVictim)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", geo.size, geo.ways, err)
+		}
+		if res.Retired != base.Retired {
+			t.Errorf("%dx%d: retired %d guest instructions, default geometry %d",
+				geo.size, geo.ways, res.Retired, base.Retired)
 		}
 	}
 }

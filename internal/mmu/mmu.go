@@ -149,31 +149,131 @@ func Walk(bus *ghw.Bus, cp15 *arm.CP15State, va uint32, acc Access, user bool) (
 	}
 }
 
-// TLBSize is the number of direct-mapped TLB entries. It is shared with the
-// DBT engines' host-memory TLB so that hit rates are comparable across
-// engines.
+// TLBSize is the default number of fast-path TLB entries (direct-mapped by
+// default). It is shared with the DBT engines' host-memory TLB so that hit
+// rates are comparable across engines.
 const TLBSize = 256
 
-// TLB is a direct-mapped translation cache over Walk. The interpreter uses
-// it as its MMU front-end; engines use their own host-resident copy but the
-// indexing scheme is identical.
+// MaxTLBSize bounds configurable geometries: the engines' host-memory TLB
+// block reserves 16 bytes per entry below the victim ring, so the main TLB
+// may not exceed 2048 entries.
+const MaxTLBSize = 2048
+
+// VictimSize is the number of fully-associative victim-TLB entries backing
+// the set-indexed main TLB (QEMU's CPU_VTLB_SIZE analog, kept small so the
+// linear probe stays cheap).
+const VictimSize = 8
+
+// Geometry describes a fast-path TLB shape: Size total entries organized as
+// Size/Ways sets of Ways entries. Both engines and the interpreter TLB index
+// with set = vpn % sets, so a {256, 1} geometry reproduces the classic
+// direct-mapped layout.
+type Geometry struct {
+	Size int // total entries (power of two, <= MaxTLBSize)
+	Ways int // set associativity (power of two dividing Size)
+}
+
+// DefaultGeometry is the direct-mapped 256-entry shape every engine uses
+// unless configured otherwise.
+func DefaultGeometry() Geometry { return Geometry{Size: TLBSize, Ways: 1} }
+
+// Validate checks the geometry is a usable power-of-two shape.
+func (g Geometry) Validate() error {
+	if g.Size <= 0 || g.Size&(g.Size-1) != 0 || g.Size > MaxTLBSize {
+		return fmt.Errorf("mmu: TLB size %d not a power of two in [1, %d]", g.Size, MaxTLBSize)
+	}
+	if g.Ways <= 0 || g.Ways&(g.Ways-1) != 0 || g.Ways > g.Size {
+		return fmt.Errorf("mmu: TLB ways %d not a power of two dividing size %d", g.Ways, g.Size)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (g Geometry) Sets() int { return g.Size / g.Ways }
+
+// TLB is a set-indexed translation cache over Walk (direct-mapped at the
+// default geometry), optionally backed by a small fully-associative victim
+// TLB that entries are demoted into on eviction. The interpreter uses it as
+// its MMU front-end; engines use their own host-resident copy but the
+// indexing, refill and victim schemes are identical.
 type TLB struct {
-	valid [TLBSize]bool
-	vpn   [TLBSize]uint32
-	ppn   [TLBSize]uint32
-	ap    [TLBSize]AP
+	geo   Geometry
+	valid []bool
+	vpn   []uint32
+	ppn   []uint32
+	ap    []AP
+	rr    []uint32 // per-set round-robin refill cursor (deterministic)
+
+	victimOn bool
+	vValid   [VictimSize]bool
+	vVPN     [VictimSize]uint32
+	vPPN     [VictimSize]uint32
+	vAP      [VictimSize]AP
+	vNext    int // round-robin demotion cursor
 
 	flushGen uint64 // CP15.TLBFlushes at last sync
 
-	// Hits and Misses count lookups for experiment statistics.
-	Hits, Misses uint64
+	// Hits, Misses and VictimHits count lookups for experiment statistics
+	// (a victim hit is counted separately, not as a main-TLB hit).
+	Hits, Misses, VictimHits uint64
 }
 
-// Flush invalidates every entry.
+// ensure lazily allocates the entry arrays so a zero-value TLB keeps working
+// at the default geometry.
+func (t *TLB) ensure() {
+	if t.valid != nil {
+		return
+	}
+	if t.geo.Size == 0 {
+		t.geo = DefaultGeometry()
+	}
+	n := t.geo.Size
+	t.valid = make([]bool, n)
+	t.vpn = make([]uint32, n)
+	t.ppn = make([]uint32, n)
+	t.ap = make([]AP, n)
+	t.rr = make([]uint32, t.geo.Sets())
+}
+
+// SetGeometry reshapes the TLB (flushing it) to the given size/ways.
+func (t *TLB) SetGeometry(g Geometry) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	t.geo = g
+	t.valid = nil
+	t.ensure()
+	t.flushVictim()
+	return nil
+}
+
+// Geometry returns the active shape.
+func (t *TLB) Geometry() Geometry {
+	t.ensure()
+	return t.geo
+}
+
+// EnableVictim toggles the victim TLB (purging it when disabling).
+func (t *TLB) EnableVictim(on bool) {
+	t.victimOn = on
+	if !on {
+		t.flushVictim()
+	}
+}
+
+func (t *TLB) flushVictim() {
+	for i := range t.vValid {
+		t.vValid[i] = false
+	}
+}
+
+// Flush invalidates every entry, main and victim: both caches are purged by
+// exactly the same maintenance events.
 func (t *TLB) Flush() {
 	for i := range t.valid {
 		t.valid[i] = false
 	}
+	t.flushVictim()
 }
 
 // sync flushes the TLB if the guest has issued TLBIALL since the last call.
@@ -184,31 +284,110 @@ func (t *TLB) sync(cp15 *arm.CP15State) {
 	}
 }
 
-// Translate resolves va through the TLB, walking the tables on a miss.
-// Permission checks are re-applied on hits (permissions are cached).
+// refillWay picks the way a new entry for the set lands in: an invalid way
+// when one exists, else the set's round-robin cursor.
+func (t *TLB) refillWay(set uint32) uint32 {
+	ways := uint32(t.geo.Ways)
+	base := set * ways
+	for w := uint32(0); w < ways; w++ {
+		if !t.valid[base+w] {
+			return w
+		}
+	}
+	w := t.rr[set] % ways
+	t.rr[set]++
+	return w
+}
+
+// insert places a walked entry into the set, demoting a displaced valid
+// entry into the victim ring (so an entry lives in the main TLB or the
+// victim TLB, never both).
+func (t *TLB) insert(e Entry) {
+	set := e.VPN % uint32(t.geo.Sets())
+	base := set * uint32(t.geo.Ways)
+	i := base + t.refillWay(set)
+	for w := uint32(0); w < uint32(t.geo.Ways); w++ {
+		if t.valid[base+w] && t.vpn[base+w] == e.VPN {
+			i = base + w // refill of a cached page: overwrite in place
+			break
+		}
+	}
+	if t.victimOn && t.valid[i] && t.vpn[i] != e.VPN {
+		j := t.vNext % VictimSize
+		t.vNext++
+		t.vValid[j] = true
+		t.vVPN[j] = t.vpn[i]
+		t.vPPN[j] = t.ppn[i]
+		t.vAP[j] = t.ap[i]
+	}
+	t.valid[i] = true
+	t.vpn[i] = e.VPN
+	t.ppn[i] = e.PPN
+	t.ap[i] = e.AP
+}
+
+// victimProbe scans the victim ring for vpn; on a hit the entry is swapped
+// back into the main set (the displaced main entry takes its victim slot).
+func (t *TLB) victimProbe(vpn uint32) (uint32, AP, bool) {
+	if !t.victimOn {
+		return 0, 0, false
+	}
+	for j := range t.vValid {
+		if !t.vValid[j] || t.vVPN[j] != vpn {
+			continue
+		}
+		ppn, ap := t.vPPN[j], t.vAP[j]
+		set := vpn % uint32(t.geo.Sets())
+		i := set*uint32(t.geo.Ways) + t.refillWay(set)
+		if t.valid[i] {
+			// The displaced main entry takes the vacated victim slot (it
+			// cannot be vpn: every main way just missed).
+			t.vVPN[j], t.vPPN[j], t.vAP[j] = t.vpn[i], t.ppn[i], t.ap[i]
+		} else {
+			t.vValid[j] = false
+		}
+		t.valid[i] = true
+		t.vpn[i], t.ppn[i], t.ap[i] = vpn, ppn, ap
+		return ppn, ap, true
+	}
+	return 0, 0, false
+}
+
+// Translate resolves va through the TLB, probing the victim ring and then
+// walking the tables on a main-TLB miss. Permission checks are re-applied on
+// hits (permissions are cached).
 func (t *TLB) Translate(bus *ghw.Bus, cp15 *arm.CP15State, va uint32, acc Access, user bool) (uint32, *Fault) {
 	if !cp15.MMUEnabled() {
 		return va, nil
 	}
+	t.ensure()
 	t.sync(cp15)
 	vpn := va >> 12
-	idx := vpn % TLBSize
-	if t.valid[idx] && t.vpn[idx] == vpn {
-		if !t.ap[idx].allows(acc, user) {
+	set := vpn % uint32(t.geo.Sets())
+	base := set * uint32(t.geo.Ways)
+	for w := uint32(0); w < uint32(t.geo.Ways); w++ {
+		i := base + w
+		if t.valid[i] && t.vpn[i] == vpn {
+			if !t.ap[i].allows(acc, user) {
+				return 0, &Fault{Type: FaultPermission, Addr: va, Acc: acc}
+			}
+			t.Hits++
+			return t.ppn[i]<<12 | va&0xFFF, nil
+		}
+	}
+	if ppn, ap, ok := t.victimProbe(vpn); ok {
+		if !ap.allows(acc, user) {
 			return 0, &Fault{Type: FaultPermission, Addr: va, Acc: acc}
 		}
-		t.Hits++
-		return t.ppn[idx]<<12 | va&0xFFF, nil
+		t.VictimHits++
+		return ppn<<12 | va&0xFFF, nil
 	}
 	t.Misses++
 	pa, e, fault := Walk(bus, cp15, va, acc, user)
 	if fault != nil {
 		return 0, fault
 	}
-	t.valid[idx] = true
-	t.vpn[idx] = e.VPN
-	t.ppn[idx] = e.PPN
-	t.ap[idx] = e.AP
+	t.insert(e)
 	return pa, nil
 }
 

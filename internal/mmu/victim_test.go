@@ -1,0 +1,226 @@
+package mmu
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sldbt/internal/seedtest"
+)
+
+// checkNeverInBoth fails the test if any page is simultaneously valid in the
+// main TLB and the victim ring — the central victim-TLB invariant (insert
+// demotes, victimProbe swaps, never copies).
+func checkNeverInBoth(t *testing.T, tlb *TLB) {
+	t.Helper()
+	main := map[uint32]bool{}
+	for i, v := range tlb.valid {
+		if v {
+			main[tlb.vpn[i]] = true
+		}
+	}
+	for j, v := range tlb.vValid {
+		if v && main[tlb.vVPN[j]] {
+			t.Fatalf("vpn %#x in both main TLB and victim slot %d", tlb.vVPN[j], j)
+		}
+	}
+}
+
+// TestVictimTLBInvariants drives a small TLB through a random access/remap/
+// flush sequence and checks after every step that no entry lives in both
+// structures and that every translation agrees with a raw walk.
+func TestVictimTLBInvariants(t *testing.T) {
+	bus, cp15, b := setup()
+	aps := []AP{APKernel, APUserRO, APUserRW, APReadOnly}
+	rnd := rand.New(rand.NewSource(seedtest.Seed(t, 11)))
+	for i := 0; i < 64; i++ {
+		b.MapPage(uint32(0x00400000)+uint32(i)<<12, uint32(0x00200000)+uint32(rnd.Intn(512))<<12, aps[rnd.Intn(len(aps))])
+	}
+	var tlb TLB
+	if err := tlb.SetGeometry(Geometry{Size: 16, Ways: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tlb.EnableVictim(true)
+	for step := 0; step < 4000; step++ {
+		switch rnd.Intn(20) {
+		case 0:
+			// Remap a page + TLBIALL: the flush must purge both structures.
+			b.MapPage(uint32(0x00400000)+uint32(rnd.Intn(64))<<12,
+				uint32(0x00200000)+uint32(rnd.Intn(512))<<12, aps[rnd.Intn(len(aps))])
+			cp15.TLBFlushes++
+		case 1:
+			tlb.EnableVictim(rnd.Intn(2) == 0)
+		default:
+			va := uint32(0x00400000) + uint32(rnd.Intn(64))<<12 + uint32(rnd.Intn(1<<12))
+			acc := Access(rnd.Intn(3))
+			user := rnd.Intn(2) == 0
+			paT, fT := tlb.Translate(bus, cp15, va, acc, user)
+			paW, _, fW := Walk(bus, cp15, va, acc, user)
+			if (fT == nil) != (fW == nil) {
+				t.Fatalf("step %d: tlb fault %v, walk fault %v (va=%#x %v user=%v)",
+					step, fT, fW, va, acc, user)
+			}
+			if fT == nil && paT != paW {
+				t.Fatalf("step %d: tlb pa %#x, walk pa %#x (va=%#x)", step, paT, paW, va)
+			}
+		}
+		checkNeverInBoth(t, &tlb)
+	}
+	if tlb.VictimHits == 0 {
+		t.Error("conflict-heavy access pattern never hit the victim TLB")
+	}
+	tlb.Flush()
+	for j, v := range tlb.vValid {
+		if v {
+			t.Errorf("victim slot %d survived Flush", j)
+		}
+	}
+	for i, v := range tlb.valid {
+		if v {
+			t.Errorf("main entry %d survived Flush", i)
+		}
+	}
+}
+
+// TestGeometrySweepIsPureCache: every size/ways/victim combination must stay
+// a pure cache over Walk under random accesses with interleaved remaps and
+// maintenance flushes.
+func TestGeometrySweepIsPureCache(t *testing.T) {
+	for _, size := range []int{16, 64, 256} {
+		for _, ways := range []int{1, 2, 4} {
+			for _, victim := range []bool{false, true} {
+				name := fmt.Sprintf("%dx%d victim=%v", size/ways, ways, victim)
+				t.Run(name, func(t *testing.T) {
+					bus, cp15, b := setup()
+					aps := []AP{APKernel, APUserRO, APUserRW, APReadOnly}
+					rnd := rand.New(rand.NewSource(seedtest.Seed(t, 7)))
+					for i := 0; i < 96; i++ {
+						b.MapPage(uint32(0x00400000)+uint32(i)<<12,
+							uint32(0x00200000)+uint32(rnd.Intn(512))<<12, aps[rnd.Intn(len(aps))])
+					}
+					var tlb TLB
+					if err := tlb.SetGeometry(Geometry{Size: size, Ways: ways}); err != nil {
+						t.Fatal(err)
+					}
+					tlb.EnableVictim(victim)
+					for step := 0; step < 2500; step++ {
+						if rnd.Intn(40) == 0 {
+							b.MapPage(uint32(0x00400000)+uint32(rnd.Intn(96))<<12,
+								uint32(0x00200000)+uint32(rnd.Intn(512))<<12, aps[rnd.Intn(len(aps))])
+							cp15.TLBFlushes++
+						}
+						va := uint32(0x00400000) + uint32(rnd.Intn(100))<<12 + uint32(rnd.Intn(1<<12))
+						acc := Access(rnd.Intn(3))
+						user := rnd.Intn(2) == 0
+						paT, fT := tlb.Translate(bus, cp15, va, acc, user)
+						paW, _, fW := Walk(bus, cp15, va, acc, user)
+						if (fT == nil) != (fW == nil) || (fT != nil && fT.Type != fW.Type) {
+							t.Fatalf("step %d: tlb fault %v, walk fault %v (va=%#x %v user=%v)",
+								step, fT, fW, va, acc, user)
+						}
+						if fT == nil && paT != paW {
+							t.Fatalf("step %d: tlb pa %#x, walk pa %#x (va=%#x)", step, paT, paW, va)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestVictimAbsorbsConflictMisses: a round-robin sweep over more pages than a
+// tiny direct-mapped TLB holds misses every time without the victim ring and
+// is partially absorbed with it.
+func TestVictimAbsorbsConflictMisses(t *testing.T) {
+	bus, cp15, b := setup()
+	// Two pages in the same set of a 4-entry direct-mapped TLB (4 sets:
+	// vpn%4): 0x400000 and 0x404000 both land in set 0.
+	b.MapPage(0x00400000, 0x00200000, APUserRW)
+	b.MapPage(0x00404000, 0x00201000, APUserRW)
+	run := func(victim bool) (misses, hits uint64) {
+		var tlb TLB
+		if err := tlb.SetGeometry(Geometry{Size: 4, Ways: 1}); err != nil {
+			t.Fatal(err)
+		}
+		tlb.EnableVictim(victim)
+		for i := 0; i < 64; i++ {
+			for _, va := range []uint32{0x00400000, 0x00404000} {
+				if _, f := tlb.Translate(bus, cp15, va, Load, true); f != nil {
+					t.Fatal(f)
+				}
+			}
+		}
+		return tlb.Misses, tlb.VictimHits
+	}
+	misses, victimHits := run(false)
+	if victimHits != 0 {
+		t.Fatalf("victim hits with the victim TLB off: %d", victimHits)
+	}
+	if misses < 100 {
+		t.Fatalf("conflict pattern did not thrash the direct-mapped TLB: %d misses", misses)
+	}
+	missesV, victimHitsV := run(true)
+	if victimHitsV == 0 {
+		t.Fatal("victim TLB never absorbed the conflict pattern")
+	}
+	if missesV >= misses {
+		t.Fatalf("victim TLB did not reduce walks: %d -> %d", misses, missesV)
+	}
+}
+
+// TestGeometryValidate pins the accepted shapes.
+func TestGeometryValidate(t *testing.T) {
+	good := []Geometry{{1, 1}, {16, 4}, {256, 1}, {2048, 8}, {64, 64}}
+	for _, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", g, err)
+		}
+	}
+	bad := []Geometry{{0, 1}, {-16, 1}, {48, 1}, {4096, 1}, {64, 3}, {64, 128}, {16, 0}}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%+v accepted", g)
+		}
+	}
+}
+
+// TestEnableVictimPurges: turning the victim ring off drops demoted entries
+// (the next access walks again), and a zero-value TLB keeps working at the
+// default geometry with the victim off.
+func TestEnableVictimPurges(t *testing.T) {
+	bus, cp15, b := setup()
+	b.MapPage(0x00400000, 0x00200000, APUserRW)
+	b.MapPage(0x00404000, 0x00201000, APUserRW)
+	var tlb TLB
+	if err := tlb.SetGeometry(Geometry{Size: 4, Ways: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tlb.EnableVictim(true)
+	// Fill set 0, then displace: 0x400000 is demoted to the victim ring.
+	for _, va := range []uint32{0x00400000, 0x00404000} {
+		if _, f := tlb.Translate(bus, cp15, va, Load, true); f != nil {
+			t.Fatal(f)
+		}
+	}
+	tlb.EnableVictim(false)
+	walks := tlb.Misses
+	if _, f := tlb.Translate(bus, cp15, 0x00400000, Load, true); f != nil {
+		t.Fatal(f)
+	}
+	if tlb.Misses != walks+1 {
+		t.Fatalf("demoted entry survived EnableVictim(false): misses %d -> %d", walks, tlb.Misses)
+	}
+
+	var zero TLB
+	if _, f := zero.Translate(bus, cp15, 0x00400000, Load, true); f != nil {
+		t.Fatal(f)
+	}
+	if g := zero.Geometry(); g != DefaultGeometry() {
+		t.Fatalf("zero-value geometry %+v", g)
+	}
+	cp15.SCTLR = 0
+	if pa, f := zero.Translate(bus, cp15, 0x1234, Load, true); f != nil || pa != 0x1234 {
+		t.Fatalf("MMU-off translate: pa=%#x fault=%v", pa, f)
+	}
+	cp15.SCTLR = 1
+}

@@ -1,0 +1,236 @@
+package smp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/mmu"
+	"sldbt/internal/rules"
+	"sldbt/internal/tcg"
+)
+
+// The differential memory fuzz: randomized load/store/LDREX-STREX programs
+// whose accesses cross page boundaries, thrash small TLB geometries, and
+// interleave TLB-maintenance events (svc round trips change the privilege
+// regime; ldrex marks monitor pages; both purge the engines' host TLBs), run
+// on the interpreter oracle and both translating engines across the softmmu
+// fast-path configurations: victim TLB on/off, same-page reuse elision
+// on/off, and a non-default TLB geometry, at 1-4 vCPUs with full-RAM
+// equality.
+
+// memCfg is one engine configuration of the memory fuzz matrix.
+type memCfg struct {
+	name   string
+	rule   bool // rule engine (tcg otherwise)
+	reuse  bool
+	victim bool
+	geom   mmu.Geometry // zero = default
+}
+
+func memCfgs() []memCfg {
+	return []memCfg{
+		{name: "tcg", victim: true},
+		{name: "rule", rule: true},
+		{name: "rule+victim", rule: true, victim: true},
+		{name: "rule+reuse", rule: true, reuse: true},
+		{name: "rule+reuse+victim", rule: true, reuse: true, victim: true},
+		// A deliberately tiny 2-way geometry: conflict misses on every burst
+		// exercise the demotion/swap path constantly.
+		{name: "rule+reuse+victim32x2", rule: true, reuse: true, victim: true,
+			geom: mmu.Geometry{Size: 32, Ways: 2}},
+	}
+}
+
+// runMemEngine boots the program on an n-vCPU engine in the given softmmu
+// configuration (chaining + jump cache + traces on, like runEngine).
+func runMemEngine(t *testing.T, cfg memCfg, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+	t.Helper()
+	var tr engine.Translator
+	if cfg.rule {
+		ct := core.New(rules.BaselineRules(), core.OptScheduling)
+		ct.Reuse = cfg.reuse
+		tr = ct
+	} else {
+		tr = tcg.New()
+	}
+	e, err := engine.NewSMP(tr, kernel.RAMSize, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableChaining(true)
+	e.EnableJumpCache(true)
+	e.EnableRAS(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(4)
+	e.EnableVictimTLB(cfg.victim)
+	if cfg.geom.Size != 0 {
+		if err := e.SetTLBGeometry(cfg.geom.Size, cfg.geom.Ways); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.LoadImage(origin, prog); err != nil {
+		t.Fatal(err)
+	}
+	code, err := e.Run(budget)
+	if err != nil {
+		t.Fatalf("%s(%d vcpus): %v (console %q)", cfg.name, n, err, e.Bus.UART().Output())
+	}
+	if code != 0 {
+		t.Fatalf("%s(%d vcpus): exit %#x (console %q)", cfg.name, n, code, e.Bus.UART().Output())
+	}
+	return e
+}
+
+// memFuzzBody emits one CPU's random memory-heavy mix. The CPU owns a
+// private four-page window (r9 = its base) so page-crossing pointer walks
+// and cross-page immediate offsets stay in bounds; r8 is the shared page.
+func memFuzzBody(r *rand.Rand, id int) string {
+	var b strings.Builder
+	data := func() string { return fmt.Sprintf("r%d", 1+r.Intn(6)) } // r1-r6
+	for i := 0; i < 36; i++ {
+		switch r.Intn(10) {
+		case 0: // cross-page immediate offsets: base near a page boundary
+			b.WriteString("\tadd r11, r9, #0x1000\n")
+			fmt.Fprintf(&b, "\tsub r11, r11, #%d\n", 4+4*r.Intn(2))
+			fmt.Fprintf(&b, "\tldr %s, [r11, #%d]\n", data(), 4*r.Intn(8))
+			fmt.Fprintf(&b, "\tstr %s, [r11, #%d]\n", data(), 4*r.Intn(8))
+		case 1: // same-page burst (reuse-elision fodder)
+			base := 0x10 + 4*r.Intn(32)
+			fmt.Fprintf(&b, "\tadd r11, r9, #%d\n", base&^0xF)
+			fmt.Fprintf(&b, "\tldr %s, [r11]\n", data())
+			fmt.Fprintf(&b, "\tldr %s, [r11, #4]\n", data())
+			fmt.Fprintf(&b, "\tstr %s, [r11, #8]\n", data())
+			fmt.Fprintf(&b, "\tldrb %s, [r11, #%d]\n", data(), r.Intn(16))
+			fmt.Fprintf(&b, "\tstrh %s, [r11, #%d]\n", data(), 2*r.Intn(8))
+		case 2: // post-index pointer walk crossing a page boundary
+			fmt.Fprintf(&b, "\tadd r11, r9, #%d\n", 0x1000-16)
+			for k := 0; k < 8; k++ {
+				if r.Intn(2) == 0 {
+					fmt.Fprintf(&b, "\tldr %s, [r11], #4\n", data())
+				} else {
+					fmt.Fprintf(&b, "\tstr %s, [r11], #4\n", data())
+				}
+			}
+		case 3: // register-offset accesses
+			fmt.Fprintf(&b, "\tmov r12, #%d\n", 4*r.Intn(64))
+			fmt.Fprintf(&b, "\tldr %s, [r9, r12]\n", data())
+			fmt.Fprintf(&b, "\tstr %s, [r9, r12]\n", data())
+		case 4: // conditional access (helper path, never elided)
+			fmt.Fprintf(&b, "\tcmp %s, #%d\n", data(), r.Intn(64))
+			fmt.Fprintf(&b, "\tldrne %s, [r9, #%d]\n", data(), 4*r.Intn(64))
+			fmt.Fprintf(&b, "\tstreq %s, [r9, #%d]\n", data(), 4*r.Intn(64))
+		case 5: // privilege round trip: SVC entry/exit purges the host TLBs
+			b.WriteString("\tmov r7, #4\n\tsvc #0\n")
+		case 6: // exclusive add on a shared word (monitor-page maintenance)
+			fmt.Fprintf(&b, `mx_%d_%d:
+	add r11, r8, #%d
+	ldrex r2, [r11]
+	add r2, r2, #%d
+	strex r3, r2, [r11]
+	cmp r3, #0
+	bne mx_%d_%d
+`, id, i, 4*r.Intn(4), 1+r.Intn(100), id, i)
+		case 7: // plain store onto a shared word (monitor killer)
+			fmt.Fprintf(&b, "\tstr %s, [r8, #%d]\n", data(), 4*r.Intn(4))
+		case 8: // byte/halfword traffic straddling a page boundary
+			b.WriteString("\tadd r11, r9, #0x2000\n\tsub r11, r11, #2\n")
+			fmt.Fprintf(&b, "\tldrb %s, [r11, #%d]\n", data(), r.Intn(4))
+			fmt.Fprintf(&b, "\tstrb %s, [r11, #%d]\n", data(), r.Intn(4))
+			fmt.Fprintf(&b, "\tldrh %s, [r11]\n", data())
+			fmt.Fprintf(&b, "\tstrh %s, [r11, #2]\n", data())
+		default: // ALU noise feeding the data registers
+			ops := []string{"add", "sub", "eor", "orr", "and"}
+			s := ""
+			if r.Intn(3) == 0 {
+				s = "s"
+			}
+			fmt.Fprintf(&b, "\t%s%s %s, %s, #%d\n", ops[r.Intn(len(ops))], s, data(), data(), r.Intn(256))
+		}
+	}
+	return b.String()
+}
+
+// memFuzzProgram builds the n-CPU memory fuzz: each CPU seeds its data
+// registers from its index, runs its random body against a private four-page
+// window and the shared page, joins an exclusive barrier, and parks; CPU 0
+// prints a shared checksum once everyone arrived.
+func memFuzzProgram(r *rand.Rand, n int) string {
+	var b strings.Builder
+	b.WriteString(`
+	.equ SHARED, 0x00580000
+user_entry:
+	mov r10, r0
+	ldr r8, =SHARED
+	add r9, r8, #0x1000
+	add r9, r9, r10, lsl #14    ; private 4-page window per CPU
+	add r1, r10, #3
+	add r2, r10, #5
+	add r3, r10, #7
+	add r4, r10, #11
+	add r5, r10, #13
+	add r6, r10, #17
+`)
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, "\tcmp r10, #%d\n\tbeq cpu%d\n", i, i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "cpu%d:\n", i)
+		b.WriteString(memFuzzBody(r, i))
+		b.WriteString("\tb join\n")
+	}
+	fmt.Fprintf(&b, `join:
+	add r11, r8, #0x10
+join_inc:
+	ldrex r2, [r11]
+	add r2, r2, #1
+	strex r3, r2, [r11]
+	cmp r3, #0
+	bne join_inc
+	cmp r10, #0
+	bne park
+join_wait:
+	ldr r2, [r11]
+	cmp r2, #%d
+	bne join_wait
+	ldr r4, [r8]
+	ldr r2, [r8, #4]
+	add r4, r4, r2
+`, n)
+	b.WriteString(monitorEpilogue)
+	b.WriteString("park:\n\twfi\n\tb park\n")
+	return b.String()
+}
+
+// TestFuzzMemoryCoherence is the differential memory fuzz across the softmmu
+// fast-path matrix: every configuration must leave final memory and per-vCPU
+// register state identical to the interpreter oracle, byte for byte.
+func TestFuzzMemoryCoherence(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for _, seed := range fuzzSeeds(t, seeds) {
+		seed := seed
+		n := 1 + seed%4 // 1-4 vCPUs
+		t.Run(fmt.Sprintf("seed%d_%dcpu", seed, n), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(31000 + seed)))
+			src := memFuzzProgram(r, n)
+			prog, err := kernel.Build(src, kernel.Config{TimerOff: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			o := runOracle(t, prog.Image, prog.Origin, n, testBudget)
+			for _, cfg := range memCfgs() {
+				e := runMemEngine(t, cfg, prog.Image, prog.Origin, n, testBudget)
+				if err := CompareState(e, o, true); err != nil {
+					t.Errorf("seed %d on %s: %v\nprogram:\n%s", seed, cfg.name, err, src)
+				}
+			}
+		})
+	}
+}

@@ -625,7 +625,7 @@ func (tc *tbCtx) mem(in *arm.Inst) {
 	wb := tc.effAddr(in, tc.memOffset(in))
 	if in.Load {
 		id := tc.e.RegisterMMURead(tc.instPC(), tc.idx, size, false)
-		engine.EmitMMULoad(em, size, false, id, tc.seq())
+		engine.EmitMMULoad(em, size, false, id, tc.seq(), tc.e.MMUProbe())
 		if wb != nil && in.Rn != in.Rd {
 			em.Mov(x86.M(x86.EBP, engine.OffTmp1), x86.R(x86.EDX))
 			wb()
@@ -646,7 +646,7 @@ func (tc *tbCtx) mem(in *arm.Inst) {
 			tc.loadReg(x86.EDX, in.Rd)
 		}
 		id := tc.e.RegisterMMUWrite(tc.instPC(), tc.idx, size)
-		engine.EmitMMUStore(em, size, id, tc.seq())
+		engine.EmitMMUStore(em, size, id, tc.seq(), tc.e.MMUProbe())
 		if wb != nil {
 			wb()
 		}
@@ -676,7 +676,7 @@ func (tc *tbCtx) memH(in *arm.Inst) {
 	wb := tc.effAddr(in, off)
 	if in.Load {
 		id := tc.e.RegisterMMURead(tc.instPC(), tc.idx, size, in.SignedSz)
-		engine.EmitMMULoad(em, size, in.SignedSz, id, tc.seq())
+		engine.EmitMMULoad(em, size, in.SignedSz, id, tc.seq(), tc.e.MMUProbe())
 		if wb != nil && in.Rn != in.Rd {
 			em.Mov(x86.M(x86.EBP, engine.OffTmp1), x86.R(x86.EDX))
 			wb()
@@ -686,7 +686,7 @@ func (tc *tbCtx) memH(in *arm.Inst) {
 	} else {
 		tc.loadReg(x86.EDX, in.Rd)
 		id := tc.e.RegisterMMUWrite(tc.instPC(), tc.idx, size)
-		engine.EmitMMUStore(em, size, id, tc.seq())
+		engine.EmitMMUStore(em, size, id, tc.seq(), tc.e.MMUProbe())
 		if wb != nil {
 			wb()
 		}
@@ -734,7 +734,7 @@ func (tc *tbCtx) block(in *arm.Inst, tb *engine.TB) {
 		}
 		if in.Load {
 			id := tc.e.RegisterMMURead(tc.instPC(), tc.idx, 4, false)
-			engine.EmitMMULoad(em, 4, false, id, tc.seq())
+			engine.EmitMMULoad(em, 4, false, id, tc.seq(), tc.e.MMUProbe())
 			if r == arm.PC {
 				loadsPC = true
 				em.Op2(x86.AND, x86.R(x86.EDX), x86.I(0xFFFFFFFC))
@@ -749,7 +749,7 @@ func (tc *tbCtx) block(in *arm.Inst, tb *engine.TB) {
 				tc.loadReg(x86.EDX, r)
 			}
 			id := tc.e.RegisterMMUWrite(tc.instPC(), tc.idx, 4)
-			engine.EmitMMUStore(em, 4, id, tc.seq())
+			engine.EmitMMUStore(em, 4, id, tc.seq(), tc.e.MMUProbe())
 		}
 		slot++
 	}
