@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig8|fig14|fig15|fig16|fig17|fig18|fig19|coordstats|breakdown|chain|smc|jc|smp|trace]
+//	experiments [-exp all|table1|fig8|fig14|fig15|fig16|fig17|fig18|fig19|coordstats|breakdown|chain|smc|jc|smp|mttcg|trace]
 //	            [-scale 1.0] [-learned]
 //
 // -scale scales workload budgets (smaller = faster, noisier); -learned uses

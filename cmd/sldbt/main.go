@@ -57,6 +57,7 @@ func main() {
 	trace := flag.Bool("trace", false, "enable profile-guided hot-trace formation (multi-block superblocks)")
 	traceThresh := flag.Uint64("trace-threshold", engine.DefaultTraceThreshold, "region-entry count past which a hot block triggers trace recording")
 	smpN := flag.Int("smp", 1, "number of guest vCPUs (deterministic round-robin scheduler, shared code cache)")
+	mttcg := flag.Bool("mttcg", false, "run the vCPUs truly in parallel, one goroutine each (MTTCG), instead of the deterministic scheduler; requires -engine tcg|rule")
 	cacheCap := flag.Int("cache-cap", 0, "bound the code cache to N translated blocks, evicting FIFO (0 = unbounded)")
 	tlbSize := flag.Int("tlb-size", 0, "softmmu fast-path TLB entries (power of two; 0 = default geometry)")
 	tlbWays := flag.Int("tlb-ways", 0, "softmmu fast-path TLB associativity (power of two; 0 = direct-mapped)")
@@ -110,6 +111,10 @@ func main() {
 	levels := map[string]core.OptLevel{
 		"base": core.OptBase, "reduction": core.OptReduction,
 		"elimination": core.OptElimination, "scheduling": core.OptScheduling,
+	}
+
+	if *mttcg && *engName == "interp" {
+		log.Fatal("-mttcg requires a translating engine (-engine tcg|rule); the interpreter oracle is deterministic by definition")
 	}
 
 	start := time.Now()
@@ -232,7 +237,11 @@ func main() {
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
 		}
-		code, err := e.Run(*budget)
+		run, engLabel := e.Run, tr.Name()
+		if *mttcg {
+			run, engLabel = e.RunParallel, tr.Name()+"+mttcg"
+		}
+		code, err := run(*budget)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -268,7 +277,7 @@ func main() {
 				Rules             *core.Stats `json:",omitempty"`
 			}{
 				Workload:          im.W.Name,
-				Engine:            tr.Name(),
+				Engine:            engLabel,
 				ExitCode:          code,
 				WallMillis:        time.Since(start).Milliseconds(),
 				GuestInstructions: e.Retired,
@@ -297,7 +306,7 @@ func main() {
 		}
 		if *stats {
 			total := e.M.Total()
-			fmt.Printf("-- exit %d in %v via %s\n", code, time.Since(start).Round(time.Millisecond), tr.Name())
+			fmt.Printf("-- exit %d in %v via %s\n", code, time.Since(start).Round(time.Millisecond), engLabel)
 			fmt.Printf("-- %d guest instructions, %d host instructions (%.2f host/guest)\n",
 				e.Retired, total, float64(total)/float64(e.Retired))
 			fmt.Printf("-- host classes: code %d, sync %d, mmu %d, irqcheck %d, glue %d, helper %d\n",
@@ -307,7 +316,7 @@ func main() {
 				e.Stats.TBsTranslated, e.Stats.TBEntries, e.Stats.Dispatches,
 				e.Stats.HelperCalls, e.Stats.IRQs)
 			fmt.Printf("-- chaining: %d links, %d chained exits, %d dispatcher exits, %d breaks (chain rate %.1f%%)\n",
-				e.Stats.ChainLinks, e.Stats.ChainedExits, e.Stats.ChainHits,
+				e.Stats.ChainLinks, e.Stats.ChainedExits, e.Stats.DirectDispatches,
 				e.Stats.ChainBreaks, 100*e.Stats.ChainRate())
 			fmt.Printf("-- indirect: %d lookups, %d jc hits, %d ras hits, %d misses, %d breaks (inline rate %.1f%%)\n",
 				e.Stats.Lookups, e.Stats.JCHits, e.Stats.RASHits,

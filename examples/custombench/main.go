@@ -68,7 +68,10 @@ rev:
 		log.Fatal(err)
 	}
 	run := func(tr engine.Translator) *engine.Engine {
-		e := engine.New(tr, kernel.RAMSize)
+		e, err := engine.New(tr, kernel.RAMSize)
+		if err != nil {
+			log.Fatal(err)
+		}
 		im.Configure(e.Bus)
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)

@@ -42,7 +42,10 @@ sum:
 `
 	prog := kernel.MustBuild(user, kernel.Config{})
 	tr := core.New(set, core.OptScheduling)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		log.Fatal(err)
 	}

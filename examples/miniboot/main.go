@@ -78,7 +78,10 @@ func main() {
 		core.New(rules.BaselineRules(), core.OptScheduling),
 	}
 	for _, tr := range engines {
-		e := engine.New(tr, kernel.RAMSize)
+		e, err := engine.New(tr, kernel.RAMSize)
+		if err != nil {
+			log.Fatal(err)
+		}
 		e.Bus.Block().SetDisk(disk())
 		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 			log.Fatal(err)

@@ -45,7 +45,10 @@ greeting:
 
 	// The rule-based translator with all of the paper's optimizations.
 	tr := core.New(rules.BaselineRules(), core.OptScheduling)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,7 @@
 package arm
 
+import "sync"
+
 // Exclusive is the global exclusive monitor shared by every CPU of an SMP
 // machine: the architectural state behind LDREX/STREX/CLREX. Each CPU owns
 // one monitor record (a word-granule physical address plus an active flag);
@@ -28,7 +30,14 @@ package arm
 // direction only; a word granule makes tests maximally precise. Device DMA
 // writes are not observed by the monitor (neither engine routes them through
 // guest store paths); guests must not place exclusives on DMA buffers.
+//
+// All methods are safe for concurrent use: the parallel engine's vCPU
+// goroutines hit the monitor from store helpers without any engine-level
+// lock, so the monitor serializes itself. The deterministic engines pay one
+// uncontended mutex per exclusive operation, which preserves their exact
+// architectural results.
 type Exclusive struct {
+	mu     sync.Mutex
 	active []bool
 	addr   []uint32 // word-granule physical address per CPU
 }
@@ -42,16 +51,24 @@ func granule(pa uint32) uint32 { return pa &^ 3 }
 
 // MarkLoad records an exclusive load by cpu from pa.
 func (x *Exclusive) MarkLoad(cpu int, pa uint32) {
+	x.mu.Lock()
 	x.active[cpu] = true
 	x.addr[cpu] = granule(pa)
+	x.mu.Unlock()
 }
 
 // Clear deactivates cpu's monitor (CLREX, exception entry).
-func (x *Exclusive) Clear(cpu int) { x.active[cpu] = false }
+func (x *Exclusive) Clear(cpu int) {
+	x.mu.Lock()
+	x.active[cpu] = false
+	x.mu.Unlock()
+}
 
 // StoreOK decides an exclusive store by cpu to pa. On success every monitor
 // on the granule is cleared; on failure only cpu's own.
 func (x *Exclusive) StoreOK(cpu int, pa uint32) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	g := granule(pa)
 	if !x.active[cpu] || x.addr[cpu] != g {
 		x.active[cpu] = false
@@ -61,9 +78,32 @@ func (x *Exclusive) StoreOK(cpu int, pa uint32) bool {
 	return true
 }
 
+// StoreExcl decides an exclusive store by cpu to pa like StoreOK but, on
+// success, runs store while still holding the monitor lock. Decision and
+// memory update become one atomic event, so two racing STREX to the same
+// granule cannot both succeed around each other's MarkLoad — the lost-update
+// window a separate StoreOK-then-write sequence would open between
+// concurrently executing vCPUs.
+func (x *Exclusive) StoreExcl(cpu int, pa uint32, store func()) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	g := granule(pa)
+	if !x.active[cpu] || x.addr[cpu] != g {
+		x.active[cpu] = false
+		return false
+	}
+	x.observe(g)
+	store()
+	return true
+}
+
 // Observe reports an ordinary store to pa, clearing every monitor on the
 // stored-to granule.
-func (x *Exclusive) Observe(pa uint32) { x.observe(granule(pa)) }
+func (x *Exclusive) Observe(pa uint32) {
+	x.mu.Lock()
+	x.observe(granule(pa))
+	x.mu.Unlock()
+}
 
 func (x *Exclusive) observe(g uint32) {
 	for i := range x.active {

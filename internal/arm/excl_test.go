@@ -1,0 +1,132 @@
+package arm
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestExclusiveConcurrentIncrements drives the LDREX/STREX protocol from N
+// goroutines against one shared word: every increment retries until its
+// StoreExcl succeeds, so the final value must equal the exact number of
+// increments — the lost-update freedom the monitor lock is for. Run under
+// -race this also exercises every monitor method concurrently.
+func TestExclusiveConcurrentIncrements(t *testing.T) {
+	const n = 4
+	const iters = 2000
+	const pa = 0x580000
+	x := NewExclusive(n)
+	var word uint32 // the shared guest word, atomically accessed
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < n; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					x.MarkLoad(cpu, pa)
+					v := atomic.LoadUint32(&word)
+					if x.StoreExcl(cpu, pa, func() { atomic.StoreUint32(&word, v+1) }) {
+						break
+					}
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	if got := atomic.LoadUint32(&word); got != n*iters {
+		t.Fatalf("lost updates: %d increments survived, want %d", got, n*iters)
+	}
+}
+
+// TestExclusiveConcurrentChaos mixes increment loops with goroutines doing
+// ordinary-store observation, CLREX, and off-granule exclusive traffic. The
+// interference can only force retries, never corrupt an increment, so the
+// count stays exact; the noise goroutines give -race full method coverage.
+func TestExclusiveConcurrentChaos(t *testing.T) {
+	const workers = 3
+	const noisy = 2
+	const iters = 1000
+	const pa = 0x580010
+	x := NewExclusive(workers + noisy)
+	var word uint32
+	var stop atomic.Bool
+	var wg, noiseWG sync.WaitGroup
+	for cpu := 0; cpu < workers; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					x.MarkLoad(cpu, pa)
+					v := atomic.LoadUint32(&word)
+					if x.StoreExcl(cpu, pa, func() { atomic.StoreUint32(&word, v+1) }) {
+						break
+					}
+				}
+			}
+		}(cpu)
+	}
+	for i := 0; i < noisy; i++ {
+		noiseWG.Add(1)
+		go func(cpu int) {
+			defer noiseWG.Done()
+			r := rand.New(rand.NewSource(int64(cpu)))
+			for !stop.Load() {
+				switch r.Intn(4) {
+				case 0:
+					x.Observe(pa) // ordinary store to the contended granule
+				case 1:
+					x.Clear(cpu)
+				case 2:
+					x.MarkLoad(cpu, pa+uint32(8+4*r.Intn(4)))
+				default:
+					pb := pa + uint32(8+4*r.Intn(4))
+					x.MarkLoad(cpu, pb)
+					x.StoreExcl(cpu, pb, func() {})
+				}
+			}
+		}(workers + i)
+	}
+	wg.Wait()
+	stop.Store(true)
+	noiseWG.Wait()
+	if got := atomic.LoadUint32(&word); got != workers*iters {
+		t.Fatalf("lost updates under chaos: %d increments survived, want %d", got, workers*iters)
+	}
+}
+
+// TestExclusiveStoreExclMatchesStoreOK pins that StoreExcl is StoreOK plus
+// the store: same success/failure decisions, store ran exactly on success.
+func TestExclusiveStoreExclMatchesStoreOK(t *testing.T) {
+	x := NewExclusive(2)
+	ran := false
+	if x.StoreExcl(0, 0x40, func() { ran = true }) {
+		t.Fatal("StoreExcl succeeded without MarkLoad")
+	}
+	if ran {
+		t.Fatal("store closure ran on failure")
+	}
+	x.MarkLoad(0, 0x40)
+	x.MarkLoad(1, 0x40)
+	if !x.StoreExcl(0, 0x40, func() { ran = true }) {
+		t.Fatal("StoreExcl failed after MarkLoad")
+	}
+	if !ran {
+		t.Fatal("store closure did not run on success")
+	}
+	// Success cleared every monitor on the granule, including CPU 1's.
+	if x.StoreExcl(1, 0x40, func() {}) {
+		t.Fatal("CPU 1 monitor survived CPU 0's successful exclusive store")
+	}
+	// Wrong granule fails and clears the local monitor (ARM local-monitor
+	// behaviour), so a retry on the right granule also fails.
+	x.MarkLoad(0, 0x80)
+	if x.StoreExcl(0, 0x84, func() {}) {
+		t.Fatal("StoreExcl succeeded on a different granule")
+	}
+	if x.StoreExcl(0, 0x80, func() {}) {
+		t.Fatal("local monitor survived a failed exclusive store")
+	}
+}

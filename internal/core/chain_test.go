@@ -12,7 +12,10 @@ import (
 func runChained(t *testing.T, image []byte, origin uint32, budget uint64, level OptLevel) (*engine.Engine, uint32, string) {
 	t.Helper()
 	tr := New(rules.BaselineRules(), level)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	if err := e.LoadImage(origin, image); err != nil {
 		t.Fatal(err)

@@ -35,7 +35,10 @@ func runInterp(t *testing.T, prog interface {
 func runRule(t *testing.T, image []byte, origin uint32, budget uint64, level OptLevel) (*engine.Engine, *Translator, uint32, string) {
 	t.Helper()
 	tr := New(rules.BaselineRules(), level)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := e.LoadImage(origin, image); err != nil {
 		t.Fatal(err)
 	}

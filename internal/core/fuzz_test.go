@@ -133,7 +133,10 @@ func TestFuzzEnginesAgree(t *testing.T) {
 				New(rules.BaselineRules(), OptScheduling),
 			}
 			for _, tr := range translators {
-				e := engine.New(tr, kernel.RAMSize)
+				e, err := engine.New(tr, kernel.RAMSize)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 					t.Fatal(err)
 				}
@@ -231,7 +234,10 @@ func TestFuzzSMCEnginesAgree(t *testing.T) {
 			for _, newTr := range mk {
 				for _, cfg := range cfgs {
 					tr := newTr()
-					e := engine.New(tr, kernel.RAMSize)
+					e, err := engine.New(tr, kernel.RAMSize)
+					if err != nil {
+						t.Fatal(err)
+					}
 					e.EnableChaining(cfg.chain)
 					e.EnableJumpCache(cfg.jc)
 					e.EnableRAS(cfg.ras)
@@ -341,7 +347,10 @@ func TestFuzzIndirectEnginesAgree(t *testing.T) {
 			for _, newTr := range mk {
 				for _, cfg := range cfgs {
 					tr := newTr()
-					e := engine.New(tr, kernel.RAMSize)
+					e, err := engine.New(tr, kernel.RAMSize)
+					if err != nil {
+						t.Fatal(err)
+					}
 					e.EnableChaining(cfg.chain)
 					e.EnableJumpCache(cfg.jc)
 					e.EnableRAS(cfg.ras)
@@ -403,7 +412,10 @@ victim:
 		tcg.New(),
 		New(rules.BaselineRules(), OptScheduling),
 	} {
-		e := engine.New(tr, kernel.RAMSize)
+		e, err := engine.New(tr, kernel.RAMSize)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 			t.Fatal(err)
 		}

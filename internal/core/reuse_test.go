@@ -16,7 +16,10 @@ func runReuse(t *testing.T, image []byte, origin uint32, budget uint64, trace bo
 	t.Helper()
 	tr := New(rules.BaselineRules(), OptScheduling)
 	tr.Reuse = true
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.EnableTracing(trace)
 	e.SetTraceThreshold(3)

@@ -67,7 +67,10 @@ lp:
 	wantCode, wantOut := runInterp(t, prog, prog.Image, prog.Origin, 5_000_000)
 
 	tr := New(rules.BaselineRules(), OptScheduling)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		t.Fatal(err)
 	}

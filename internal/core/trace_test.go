@@ -46,7 +46,10 @@ tseg3:
 // runTraced runs the program on an engine with chaining + tracing enabled.
 func runTraced(t *testing.T, tr engine.Translator, image []byte, origin uint32, budget uint64) (*engine.Engine, uint32, string) {
 	t.Helper()
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.EnableTracing(true)
 	e.SetTraceThreshold(8)
@@ -97,7 +100,10 @@ func TestTraceEliminatesBoundaryCoordination(t *testing.T) {
 	prog := kernel.MustBuild(traceLoopSrc, kernel.Config{TimerOff: true})
 	chainE, _, _, _ := func() (*engine.Engine, *Translator, uint32, string) {
 		tr := New(rules.BaselineRules(), OptScheduling)
-		e := engine.New(tr, kernel.RAMSize)
+		e, err := engine.New(tr, kernel.RAMSize)
+		if err != nil {
+			t.Fatal(err)
+		}
 		e.EnableChaining(true)
 		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 			t.Fatal(err)
@@ -136,7 +142,10 @@ func TestTraceEliminatesBoundaryCoordination(t *testing.T) {
 func TestTraceRespectsBudgetAndIRQs(t *testing.T) {
 	prog := kernel.MustBuild(traceLoopSrc, kernel.Config{TimerOff: true})
 	tr := New(rules.BaselineRules(), OptScheduling)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.EnableTracing(true)
 	e.SetTraceThreshold(4)

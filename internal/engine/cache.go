@@ -154,6 +154,14 @@ func (e *Engine) invalidateOnStore(pa uint32) {
 // links, translation-time helper closures and link-time chain glue. All
 // retirement paths (page invalidation, eviction, full flush via
 // TruncateHelpers) funnel helper release through here or FlushCache.
+//
+// In a parallel run retireTB only executes with the world stopped. The
+// *unlinking* (cache removal, jc/RAS purge, chain unpatch) is immediate —
+// no vCPU can enter the block afterwards — but the helper closures and the
+// handle slot are not freed here: the invalidating vCPU itself may be
+// mid-helper inside this very block (a self-modifying store), so they are
+// deferred to the epoch reclaimer, which frees them only after every running
+// vCPU has passed a safepoint beyond the retirement epoch (see mttcg.go).
 func (e *Engine) retireTB(tb *TB) {
 	delete(e.cache, tb.key)
 	if tb.IsTrace() {
@@ -178,12 +186,12 @@ func (e *Engine) retireTB(tb *TB) {
 			e.linkCount--
 		}
 		if tb.glueID[slot] > 0 {
-			e.M.FreeHelper(tb.glueID[slot] - 1)
+			e.freeHelperDeferred(tb.glueID[slot] - 1)
 			tb.glueID[slot] = 0
 		}
 	}
 	for _, id := range tb.helperIDs {
-		e.M.FreeHelper(id)
+		e.freeHelperDeferred(id)
 	}
 	tb.helperIDs = nil
 	// Drop reverse-map entries; a page with no remaining translations stops
@@ -198,9 +206,21 @@ func (e *Engine) retireTB(tb *TB) {
 			}
 		}
 	}
-	if e.lastTB == tb {
-		e.lastTB = nil // don't link a retired predecessor
+	for _, v := range e.vcpus {
+		if v.lastTB == tb {
+			v.lastTB = nil // don't link a retired predecessor
+		}
 	}
+}
+
+// freeHelperDeferred releases a retired TB's helper closure: immediately in
+// deterministic mode, via the epoch reclaimer in a parallel run.
+func (e *Engine) freeHelperDeferred(id int) {
+	if e.par != nil {
+		e.par.deferHelper(id)
+		return
+	}
+	e.M.FreeHelper(id)
 }
 
 // unpatch reverts one patched exit stub to its original EXIT instruction.

@@ -39,7 +39,10 @@ func (p pageStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
 
 func newPagedEngine(t *testing.T, tr Translator) *Engine {
 	t.Helper()
-	e := New(tr, 1<<20)
+	e, err := New(tr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.runLimit = 1 << 40
 	return e
@@ -172,7 +175,10 @@ func (failTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
 // TestFailedTranslationReleasesHelpers: a translation that errors out must
 // not leak the helpers it registered before failing.
 func TestFailedTranslationReleasesHelpers(t *testing.T) {
-	e := New(failTrans{}, 1<<20)
+	e, err := New(failTrans{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.runLimit = 1 << 40
 	if err := e.step(); err == nil {
 		t.Fatal("failed translation reported no error")

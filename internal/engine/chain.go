@@ -56,25 +56,40 @@ func (e *Engine) Links() int { return e.linkCount }
 
 // noteDirectExit remembers a dispatcher-handled direct transition so the next
 // lookup can link the predecessor to whatever block it resolves to.
-func (e *Engine) noteDirectExit(tb *TB, slot int) {
+func (e *Engine) noteDirectExit(v *VCPU, tb *TB, slot int) {
 	if e.chain && tb.ChainTo[slot] == nil && tb.Block.ChainSite[slot] >= 0 {
-		e.lastTB, e.lastSlot = tb, slot
+		v.lastTB, v.lastSlot = tb, slot
 	}
 }
 
-// linkPending patches the previously-noted predecessor exit to jump directly
+// linkPending patches v's previously-noted predecessor exit to jump directly
 // to tb, which the dispatcher resolved at guest address pc under privilege
 // priv. The link is recorded on both ends: the predecessor's ChainTo slot
 // and the successor's incoming-site list (for selective teardown).
-func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
-	from, slot := e.lastTB, e.lastSlot
-	e.lastTB = nil
+//
+// A parallel run serializes the glue registration on the translation lock and
+// performs the patch with the world stopped (patching rewrites an instruction
+// another vCPU may be about to execute), re-validating both endpoints under
+// the stopped world — either may have been retired or linked while this vCPU
+// waited.
+func (e *Engine) linkPending(v *VCPU, tb *TB, pc uint32, priv bool) {
+	from, slot := v.lastTB, v.lastSlot
+	v.lastTB = nil
 	if from == nil || from.ChainTo[slot] != nil || from.Next[slot] != pc {
 		return
 	}
 	site := from.Block.ChainSite[slot]
 	if site < 0 {
 		return
+	}
+	if e.par != nil {
+		e.lockTranslation(v)
+		defer e.par.transMu.Unlock()
+		e.exclusiveBegin(v)
+		defer e.exclusiveEnd()
+		if from.ChainTo[slot] != nil || e.cache[from.key] != from || e.cache[tb.key] != tb {
+			return
+		}
 	}
 	id := from.glueID[slot] - 1
 	if id < 0 {
@@ -87,7 +102,7 @@ func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
 	}
 	from.ChainTo[slot] = tb
 	from.chainPriv[slot] = priv
-	from.chainRegime[slot] = e.regimeKey()
+	from.chainRegime[slot] = e.regimeKeyOf(v)
 	tb.in = append(tb.in, chainSite{from, slot})
 	e.linkCount++
 	e.Stats.ChainLinks++
@@ -98,6 +113,7 @@ func (e *Engine) linkPending(tb *TB, pc uint32, priv bool) {
 // do for this transition and decides whether the direct jump may be taken.
 func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 	return func(m *x86.Machine) int {
+		v := e.ctx(m)
 		// The transition's bookkeeping is unconditional, exactly like the
 		// dispatcher's direct-exit path: the predecessor's instructions
 		// retire whether or not the jump is taken. Only then is the crossing
@@ -106,12 +122,12 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		// An in-flight trace recording observes the crossing either way — a
 		// glue refusal only returns control to the dispatcher, it does not
 		// end the hot path being recorded.
-		e.recCross(from.Next[slot], true)
-		e.cur.hotEdge = from.Next[slot] <= e.curPC // backward edge: a loop head
-		e.retireExec(from, from.GuestLen)
+		e.recCross(v, from.Next[slot], true)
+		v.hotEdge = from.Next[slot] <= v.curPC // backward edge: a loop head
+		e.retireExec(v, from, from.GuestLen)
 		// A call-terminated block pushes its return address whether or not
 		// the direct jump is approved — the call happens either way.
-		e.rasPushFor(from, slot)
+		e.rasPushFor(v, from, slot)
 		// The privilege check mirrors the dispatcher's privilege-keyed cache
 		// lookup: a mid-block mode change (MSR writing the CPSR mode bits)
 		// means the linked successor — translated under the old privilege —
@@ -120,24 +136,27 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 		// another vCPU's page tables resolves the successor VA to a physical
 		// block this vCPU's regime may not map there. The slice check keeps
 		// chained runs inside the SMP scheduler's round-robin quantum. The
-		// staleness check refuses jumps into a trace pending retirement
-		// (quality-evicted in particular — epoch and regime events already
-		// unlink every chain): breaking hands the target to the dispatcher,
-		// which retires and retranslates it.
-		if e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
-			e.CPU.Mode().Privileged() != from.chainPriv[slot] ||
-			e.regimeKey() != from.chainRegime[slot] || e.sliceExpired() ||
-			e.regionStale(from.ChainTo[slot]) {
-			e.cur.nextPC = from.Next[slot]
-			e.Stats.ChainBreaks++
+		// stop-request check is the parallel mode's safepoint acknowledgement:
+		// an invalidator waiting for quiescence is noticed within one TB even
+		// mid-chain. The staleness check refuses jumps into a trace pending
+		// retirement (quality-evicted in particular — epoch and regime events
+		// already unlink every chain): breaking hands the target to the
+		// dispatcher, which retires and retranslates it.
+		if e.retiredNow() >= e.runLimit || e.stopRequested() || e.Bus.PoweredOff() ||
+			v.chainSteps >= maxChainRun ||
+			v.CPU.Mode().Privileged() != from.chainPriv[slot] ||
+			e.regimeKeyOf(v) != from.chainRegime[slot] || e.sliceExpired(v) ||
+			e.regionStale(v, from.ChainTo[slot]) {
+			v.nextPC = from.Next[slot]
+			v.stats.ChainBreaks++
 			return ExitChainBreak
 		}
-		e.chainSteps++
-		e.Stats.ChainedExits++
-		e.Stats.TBEntries++
-		e.curTB = from.ChainTo[slot]
-		e.curPC = from.Next[slot]
-		e.noteRegionEntry(e.curTB, e.curPC)
+		v.chainSteps++
+		v.stats.ChainedExits++
+		v.stats.TBEntries++
+		v.curTB = from.ChainTo[slot]
+		v.curPC = from.Next[slot]
+		e.noteRegionEntry(v, v.curTB, v.curPC)
 		return -1
 	}
 }
@@ -156,5 +175,7 @@ func (e *Engine) unlinkChains() {
 		tb.in = tb.in[:0]
 	}
 	e.linkCount = 0
-	e.lastTB = nil
+	for _, v := range e.vcpus {
+		v.lastTB = nil
+	}
 }

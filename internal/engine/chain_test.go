@@ -24,7 +24,10 @@ func (chainStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
 
 func newChainEngine(t *testing.T) *Engine {
 	t.Helper()
-	e := New(chainStubTrans{}, 1<<20)
+	e, err := New(chainStubTrans{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.runLimit = 1 << 40
 	return e
@@ -119,7 +122,10 @@ func TestFlushCacheDropsLinks(t *testing.T) {
 // translation-time helpers), and fresh translations re-register cleanly.
 func TestFlushCacheReleasesHelpers(t *testing.T) {
 	flip := false
-	e := New(privFlipTrans{flip: &flip}, 1<<20) // registers one helper per TB
+	e, err := New(privFlipTrans{flip: &flip}, 1<<20) // registers one helper per TB
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.runLimit = 1 << 40
 	for i := 0; i < 3; i++ {
@@ -150,7 +156,10 @@ func TestFlushCacheReleasesHelpers(t *testing.T) {
 // at — the glue retires the predecessor, then refuses the crossing.
 func TestChainBudgetBoundaryMatchesDispatcher(t *testing.T) {
 	run := func(chain bool) uint64 {
-		e := New(chainStubTrans{}, 1<<20)
+		e, err := New(chainStubTrans{}, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
 		e.EnableChaining(chain)
 		e.runLimit = 1 << 40
 		for i := 0; i < 8; i++ { // warm the cache (and links, if chaining)
@@ -242,8 +251,8 @@ func TestChainRunBounded(t *testing.T) {
 	if err := e.step(); err != nil {
 		t.Fatal(err)
 	}
-	if e.chainSteps > maxChainRun {
-		t.Errorf("chained run of %d crossings exceeds bound %d", e.chainSteps, maxChainRun)
+	if e.cur.chainSteps > maxChainRun {
+		t.Errorf("chained run of %d crossings exceeds bound %d", e.cur.chainSteps, maxChainRun)
 	}
 	if e.Stats.ChainBreaks == 0 {
 		t.Error("long chain never broke back to the dispatcher")
@@ -277,7 +286,10 @@ func (tr privFlipTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) 
 // privilege, so the dispatcher has to re-walk and re-select.
 func TestChainGlueBreaksOnPrivilegeChange(t *testing.T) {
 	flip := false
-	e := New(privFlipTrans{flip: &flip}, 1<<20)
+	e, err := New(privFlipTrans{flip: &flip}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.runLimit = 1 << 40
 	for i := 0; i < 2; i++ { // link TB@0 -> TB@4, both privileged
@@ -416,7 +428,10 @@ func TestChainTeardownPrecision(t *testing.T) {
 // TestChainingDisabledNeverLinks: with chaining off the engine behaves as
 // before — every transition is a dispatcher exit.
 func TestChainingDisabledNeverLinks(t *testing.T) {
-	e := New(chainStubTrans{}, 1<<20)
+	e, err := New(chainStubTrans{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.runLimit = 1 << 40
 	for i := 0; i < 4; i++ {
 		if err := e.step(); err != nil {

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sldbt/internal/arm"
 	"sldbt/internal/ghw"
@@ -148,8 +150,12 @@ type Stats struct {
 	Evictions         uint64 // TBs dropped by the cache capacity bound
 	TBEntries         uint64 // block executions (interrupt-check sites)
 	Dispatches        uint64 // dispatcher entries (Engine.step calls)
-	ChainHits         uint64 // direct-successor transitions through the dispatcher
-	ChainedExits      uint64 // direct-successor transitions via a patched chain
+	// DirectDispatches counts direct-successor transitions resolved by the
+	// dispatcher — the chain layer's *misses*. (It was once named ChainHits,
+	// which read as the opposite and made ChainRate look wrong: the rate's
+	// numerator is ChainedExits, the transitions a patched chain served.)
+	DirectDispatches uint64
+	ChainedExits     uint64 // direct-successor transitions via a patched chain
 	ChainLinks        uint64 // exit stubs patched to a successor block
 	ChainBreaks       uint64 // chained runs stopped by the glue (budget/bounds)
 	Lookups           uint64 // indirect transitions through the engine
@@ -177,7 +183,7 @@ type Stats struct {
 // ChainRate is the fraction of direct-successor transitions served by a
 // patched chain instead of a dispatcher lookup.
 func (s *Stats) ChainRate() float64 {
-	direct := s.ChainHits + s.ChainedExits + s.ChainBreaks
+	direct := s.DirectDispatches + s.ChainedExits + s.ChainBreaks
 	if direct == 0 {
 		return 0
 	}
@@ -193,6 +199,41 @@ func (s *Stats) JCRate() float64 {
 		return 0
 	}
 	return float64(s.JCHits+s.RASHits) / float64(total)
+}
+
+// add folds another Stats into s, field by field. It is how the per-vCPU
+// counter shards drain into the engine-wide aggregate when a run finishes.
+func (s *Stats) add(o *Stats) {
+	s.TBsTranslated += o.TBsTranslated
+	s.Retranslations += o.Retranslations
+	s.PageInvalidations += o.PageInvalidations
+	s.Evictions += o.Evictions
+	s.TBEntries += o.TBEntries
+	s.Dispatches += o.Dispatches
+	s.DirectDispatches += o.DirectDispatches
+	s.ChainedExits += o.ChainedExits
+	s.ChainLinks += o.ChainLinks
+	s.ChainBreaks += o.ChainBreaks
+	s.Lookups += o.Lookups
+	s.JCHits += o.JCHits
+	s.JCMisses += o.JCMisses
+	s.JCBreaks += o.JCBreaks
+	s.RASHits += o.RASHits
+	s.TracesFormed += o.TracesFormed
+	s.TraceRetired += o.TraceRetired
+	s.TraceAborts += o.TraceAborts
+	s.TraceExec += o.TraceExec
+	s.TraceSideExits += o.TraceSideExits
+	s.TraceBreaks += o.TraceBreaks
+	s.HelperCalls += o.HelperCalls
+	s.IRQs += o.IRQs
+	s.Exceptions += o.Exceptions
+	s.MMUSlowPath += o.MMUSlowPath
+	s.TLBVictimHits += o.TLBVictimHits
+	s.IOAccesses += o.IOAccesses
+	s.Exclusives += o.Exclusives
+	s.StrexFailures += o.StrexFailures
+	s.Switches += o.Switches
 }
 
 // Synthetic helper costs in host instructions, charged to ClassHelper.
@@ -257,15 +298,19 @@ type Engine struct {
 	tlbGeom   mmu.Geometry
 	victimTLB bool
 
-	// Block-chaining state (see chain.go).
-	chain      bool   // chaining enabled
-	runLimit   uint64 // Run's retirement budget, honoured by chain glue
-	chainSteps int    // chained crossings since the last dispatcher entry
-	lastTB     *TB    // predecessor of a pending link (direct exit seen)
-	lastSlot   int    // which successor slot of lastTB to link
-	curTB      *TB    // TB currently executing (advanced by chain glue)
-	curPC      uint32 // guest VA the current TB was entered at
-	linkCount  int    // installed chain links across the cache
+	// Block-chaining state (see chain.go). The per-vCPU pieces — current TB,
+	// pending link, chained-crossing count — live on VCPU.
+	chain     bool   // chaining enabled
+	runLimit  uint64 // Run's retirement budget, honoured by chain glue
+	linkCount int    // installed chain links across the cache
+
+	// par is the parallel-run control block while RunParallel is active and
+	// nil otherwise; every dual-mode path branches on it (see mttcg.go).
+	par *parCtl
+	// jcMu serializes jump-cache fills (env slot write + TB slot-list append),
+	// the one shared-structure mutation the parallel mode performs outside a
+	// stop-the-world section.
+	jcMu sync.Mutex
 
 	// Cache bookkeeping (see cache.go): the reverse map from guest physical
 	// page to the TBs whose source bytes touch it, the FIFO eviction order,
@@ -318,13 +363,11 @@ func hostMemSize(ramSize uint32) int { return GuestWin + int(ramSize) }
 
 // New builds a uniprocessor engine over fresh host machine + guest bus. The
 // guest RAM aliases the host memory window so translated code, helpers and
-// device DMA share one storage. It is NewSMP with one vCPU.
-func New(tr Translator, ramSize uint32) *Engine {
-	e, err := NewSMP(tr, ramSize, 1)
-	if err != nil {
-		panic(err) // unreachable: one vCPU is always a valid count
-	}
-	return e
+// device DMA share one storage. It is NewSMP with one vCPU and propagates any
+// construction error the same way (callers used to get a panic here, which
+// made an engine-construction problem unrecoverable for embedders).
+func New(tr Translator, ramSize uint32) (*Engine, error) {
+	return NewSMP(tr, ramSize, 1)
 }
 
 // NewSMP builds an engine with n guest vCPUs (1 <= n <= MaxVCPUs) sharing
@@ -376,21 +419,61 @@ func (e *Engine) LoadImage(base uint32, img []byte) error {
 	return e.Bus.LoadImage(base, img)
 }
 
+// ctx resolves the vCPU a helper invocation executes for: the owner of the
+// invoking machine shard in parallel mode, the scheduled vCPU otherwise.
+// Every engine-side helper and glue body starts here, so one closure serves
+// whichever vCPU jumps through it.
+func (e *Engine) ctx(m *x86.Machine) *VCPU {
+	if v, ok := m.Owner.(*VCPU); ok {
+		return v
+	}
+	return e.cur
+}
+
+// machOf returns the machine executing v's code: its private shard during a
+// parallel run, the engine's master machine otherwise.
+func (e *Engine) machOf(v *VCPU) *x86.Machine {
+	if v.mach != nil {
+		return v.mach
+	}
+	return e.M
+}
+
+// retiredNow reads the cross-vCPU retirement clock, atomically when vCPU
+// goroutines are racing on it.
+func (e *Engine) retiredNow() uint64 {
+	if e.par != nil {
+		return atomic.LoadUint64(&e.Retired)
+	}
+	return e.Retired
+}
+
+// stopRequested reports whether a parallel invalidator is waiting for the
+// world to stop; chain and jump-cache glue fold it into their refusal
+// condition so a vCPU inside a linked run acknowledges the safepoint within
+// one TB.
+func (e *Engine) stopRequested() bool {
+	return e.par != nil && e.par.stopFlag.Load()
+}
+
 // envState adapts env+CPU to arm.GuestState for the shared exception logic.
 // Registers live in env (the current-bank view); mode/control state lives in
 // the Go-side CPU; flags live in env with lazy parsing.
-type envState struct{ e *Engine }
+type envState struct {
+	e *Engine
+	v *VCPU
+}
 
-func (s envState) Reg(r arm.Reg) uint32       { return s.e.Env.Reg(r) }
-func (s envState) SetReg(r arm.Reg, v uint32) { s.e.Env.SetReg(r, v) }
+func (s envState) Reg(r arm.Reg) uint32       { return s.v.Env.Reg(r) }
+func (s envState) SetReg(r arm.Reg, v uint32) { s.v.Env.SetReg(r, v) }
 
 func (s envState) CPSR() uint32 {
-	return s.e.CPU.CPSR()&^uint32(arm.CPSRMaskFlags) | s.e.Env.Flags().Pack()
+	return s.v.CPU.CPSR()&^uint32(arm.CPSRMaskFlags) | s.v.Env.Flags().Pack()
 }
 
 func (s envState) SetCPSR(v uint32) {
-	cpu := s.e.CPU
-	env := s.e.Env
+	cpu := s.v.CPU
+	env := s.v.Env
 	oldPriv := cpu.Mode().Privileged()
 	// Route r13/r14 through the CPU's banking logic.
 	cpu.SetReg(arm.SP, env.Reg(arm.SP))
@@ -405,43 +488,59 @@ func (s envState) SetCPSR(v uint32) {
 		// the probes' comparison word must follow the new mode.
 		env.FlushTLB()
 	}
-	s.e.syncPrivTag()
+	s.e.syncPrivTagOf(s.v)
 }
 
-func (s envState) SPSR() uint32     { return s.e.CPU.SPSR() }
-func (s envState) SetSPSR(v uint32) { s.e.CPU.SetSPSR(v) }
+func (s envState) SPSR() uint32     { return s.v.CPU.SPSR() }
+func (s envState) SetSPSR(v uint32) { s.v.CPU.SetSPSR(v) }
 
-// takeException injects a guest exception on the running vCPU (engine-side
-// QEMU role). Exception entry clears the vCPU's exclusive monitor, so an
-// interrupted LDREX/STREX sequence cannot succeed spuriously afterwards.
-func (e *Engine) takeException(vec arm.Vector, retAddr uint32) {
-	e.cur.pendingJCFill = false // the vector lookup is not the missed target
-	e.cur.hotEdge = false       // a vector entry is not a loop edge
-	e.excl.Clear(e.cur.Index)
-	e.Stats.Exceptions++
-	e.M.Charge(x86.ClassHelper, CostExcEntry)
-	st := envState{e}
+// takeException injects a guest exception on vCPU v (engine-side QEMU role).
+// Exception entry clears the vCPU's exclusive monitor, so an interrupted
+// LDREX/STREX sequence cannot succeed spuriously afterwards.
+func (e *Engine) takeException(v *VCPU, vec arm.Vector, retAddr uint32) {
+	v.pendingJCFill = false // the vector lookup is not the missed target
+	v.hotEdge = false       // a vector entry is not a loop edge
+	e.excl.Clear(v.Index)
+	v.stats.Exceptions++
+	e.machOf(v).Charge(x86.ClassHelper, CostExcEntry)
+	st := envState{e, v}
 	arm.TakeException(st, vec, retAddr)
-	e.cur.nextPC = e.Env.Reg(arm.PC)
-	e.refreshIRQ()
+	v.nextPC = v.Env.Reg(arm.PC)
+	e.refreshIRQ(v)
 }
 
-// refreshIRQ recomputes the running vCPU's env interrupt-pending word from
-// its bus IRQ input and its guest IRQ mask.
-func (e *Engine) refreshIRQ() {
-	e.Env.SetPendingIRQ(e.Bus.IRQPendingFor(e.cur.Index) && e.CPU.IRQEnabled())
+// refreshIRQ recomputes v's env interrupt-pending word from its bus IRQ
+// input and its guest IRQ mask.
+func (e *Engine) refreshIRQ(v *VCPU) {
+	v.Env.SetPendingIRQ(e.Bus.IRQPendingFor(v.Index) && v.CPU.IRQEnabled())
 }
 
-// retire advances guest time by n instructions on the running vCPU.
-func (e *Engine) retire(n int) {
+// retire advances guest time by n instructions on vCPU v.
+func (e *Engine) retire(v *VCPU, n int) {
 	if n <= 0 {
 		return
 	}
-	e.Retired += uint64(n)
-	e.cur.Retired += uint64(n)
-	e.cur.sliceRet += uint64(n)
+	if e.par != nil {
+		atomic.AddUint64(&e.Retired, uint64(n))
+	} else {
+		e.Retired += uint64(n)
+	}
+	v.Retired += uint64(n)
+	v.sliceRet += uint64(n)
 	e.Bus.Tick(uint64(n))
-	e.refreshIRQ()
+	e.refreshIRQ(v)
+}
+
+// foldStats drains every vCPU's counter shard into the engine-wide Stats.
+// Execution-path counters increment on the shard of whichever vCPU ran the
+// event (contention-free in parallel runs); structural counters — translation,
+// invalidation, linking — go straight to Engine.Stats under the translation
+// lock or a stopped world. Folding at run end keeps the aggregate exact.
+func (e *Engine) foldStats() {
+	for _, v := range e.vcpus {
+		e.Stats.add(&v.stats)
+		v.stats = Stats{}
+	}
 }
 
 // FetchInst reads and decodes the guest instruction at va using a
@@ -486,7 +585,6 @@ func (e *Engine) FlushCache() {
 	e.fifo = nil
 	e.invalidCount++
 	e.linkCount = 0
-	e.lastTB = nil
 	e.recAbort()
 	e.dropPlan()
 	e.tracesStale = false
@@ -494,6 +592,7 @@ func (e *Engine) FlushCache() {
 	e.freeHandles = nil
 	for _, v := range e.vcpus {
 		v.pendingJCFill = false
+		v.lastTB = nil
 	}
 	e.flushJC()
 	e.M.TruncateHelpers(e.baseHelpers)
@@ -553,7 +652,11 @@ func (e *Engine) Flushes() uint64 { return e.invalidCount }
 func (e *Engine) CacheSize() int { return len(e.cache) }
 
 // Reset places every vCPU at the architectural reset state, fully flushing
-// the code cache.
+// the code cache and zeroing every counter a previous run accumulated —
+// engine Stats, the retirement clocks (aggregate and per-vCPU), the host
+// instruction-class counts, and per-vCPU profiling residue (counter shards,
+// STREX failure counts, the hot-edge hint). A Reset engine measures like a
+// fresh one; it used to leak all of these into the next run's numbers.
 func (e *Engine) Reset() {
 	for _, v := range e.vcpus {
 		v.CPU = arm.NewCPU()
@@ -566,8 +669,18 @@ func (e *Engine) Reset() {
 		v.nextPC = 0
 		v.halted = false
 		v.sliceRet = 0
+		v.Retired = 0
+		v.StrexFailures = 0
+		v.stats = Stats{}
+		v.hotEdge = false
+		v.curTB = nil
+		v.curPC = 0
+		v.chainSteps = 0
 		e.excl.Clear(v.Index)
 	}
+	e.Stats = Stats{}
+	e.Retired = 0
+	e.M.Counts = [x86.NumClasses]uint64{}
 	e.monitorPages = map[uint32]bool{}
 	e.FlushCache()
 	e.cur = e.vcpus[0]
@@ -584,6 +697,7 @@ func (e *Engine) Reset() {
 // guest exit code.
 func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 	e.runLimit = maxInstr
+	defer e.foldStats()
 	for e.Retired < maxInstr {
 		if e.Bus.PoweredOff() {
 			return e.Bus.SysCtl().Code, nil
@@ -594,7 +708,7 @@ func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 			e.Bus.Tick(ghw.IdleTickQuantum)
 			continue
 		}
-		if err := e.step(); err != nil {
+		if err := e.stepOn(e.cur, e.M); err != nil {
 			return 0, err
 		}
 	}
@@ -605,62 +719,80 @@ func (e *Engine) Run(maxInstr uint64) (uint32, error) {
 		e.Trans.Name(), maxInstr, e.cur.nextPC)
 }
 
-// step finds (translating if needed) and executes one TB on the running
-// vCPU — plus, with chaining, any run of linked successors — and dispatches
-// the final exit.
+// step runs one dispatcher iteration for the scheduled vCPU on the master
+// machine (the deterministic dispatch unit; white-box tests drive it). The
+// per-vCPU counter shards are folded after every step so Engine.Stats stays
+// current between calls, as it did when the counters were engine-global.
 func (e *Engine) step() error {
-	e.Stats.Dispatches++
-	// Trace housekeeping happens here, with no emitted code in flight: sweep
-	// regions stranded by a regime/TLB event, then form a finalized plan.
-	if e.tracesStale {
-		e.retireStaleTraces(false)
+	err := e.stepOn(e.cur, e.M)
+	e.foldStats()
+	return err
+}
+
+// stepOn finds (translating if needed) and executes one TB on vCPU v using
+// machine m — plus, with chaining, any run of linked successors — and
+// dispatches the final exit. It is the dispatcher body for both execution
+// modes: the deterministic scheduler calls it with the master machine, the
+// parallel vCPU goroutines with their private shards.
+func (e *Engine) stepOn(v *VCPU, m *x86.Machine) error {
+	v.stats.Dispatches++
+	if e.par == nil {
+		// Trace housekeeping happens here, with no emitted code in flight:
+		// sweep regions stranded by a regime/TLB event, then form a finalized
+		// plan. (Deterministic mode only — parallel runs retire traces up
+		// front and never record.)
+		if e.tracesStale {
+			e.retireStaleTraces(false)
+		}
+		if e.plan != nil {
+			e.formPendingTrace()
+		}
 	}
-	if e.plan != nil {
-		e.formPendingTrace()
-	}
-	pc := e.cur.nextPC
-	priv := e.CPU.Mode().Privileged()
-	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, pc, mmu.Fetch, !priv)
+	pc := v.nextPC
+	priv := v.CPU.Mode().Privileged()
+	pa, _, fault := mmu.Walk(e.Bus, &v.CPU.CP15, pc, mmu.Fetch, !priv)
 	if fault != nil {
-		e.lastTB = nil
+		v.lastTB = nil
 		e.recAbort()
-		e.CPU.CP15.IFSR = uint32(fault.Type)
-		e.CPU.CP15.IFAR = pc
-		e.takeException(arm.VecPrefetchAbort, pc+4)
+		v.CPU.CP15.IFSR = uint32(fault.Type)
+		v.CPU.CP15.IFAR = pc
+		e.takeException(v, arm.VecPrefetchAbort, pc+4)
 		return nil
 	}
 	key := tbKey{pa: pa, priv: priv}
+	// The cache read is lock-free: parallel mutations only happen with the
+	// world stopped, and this vCPU passed its safepoint at loop top.
 	tb, ok := e.cache[key]
-	if ok && e.regionStale(tb) {
+	if ok && e.regionStale(v, tb) {
 		e.retireTB(tb)
 		ok = false
 	}
 	if !ok {
 		var err error
-		tb, err = e.translate(pc, priv, key)
+		tb, err = e.translateOn(v, pc, priv, key)
 		if err != nil {
 			return fmt.Errorf("translate pc=%#08x: %w", pc, err)
 		}
 	}
 	// An indirect exit missed the jump cache last step: fill the entry with
 	// the block the lookup resolved, so the next probe hits inline.
-	if e.cur.pendingJCFill {
-		e.cur.pendingJCFill = false
-		e.jcFill(pc, tb)
+	if v.pendingJCFill {
+		v.pendingJCFill = false
+		e.jcFill(v, pc, tb)
 	}
 	// A direct exit dispatched here last step resolves to this block: patch
 	// the predecessor's exit stub to jump straight to it next time.
-	if e.lastTB != nil {
-		e.linkPending(tb, pc, priv)
+	if v.lastTB != nil {
+		e.linkPending(v, tb, pc, priv)
 	}
-	e.noteRegionEntry(tb, pc)
-	e.Stats.TBEntries++
-	e.curTB, e.curPC = tb, pc
-	e.chainSteps = 0
-	code := e.M.Exec(tb.Block)
+	e.noteRegionEntry(v, tb, pc)
+	v.stats.TBEntries++
+	v.curTB, v.curPC = tb, pc
+	v.chainSteps = 0
+	code := m.Exec(tb.Block)
 	// Chained crossings advance curTB/curPC; dispatch the exit against the
 	// block that actually produced it.
-	tb, pc = e.curTB, e.curPC
+	tb, pc = v.curTB, v.curPC
 	switch code {
 	case ExitNext0, ExitNext1:
 		if !tb.HasNext[code] {
@@ -669,45 +801,45 @@ func (e *Engine) step() error {
 		// Direct transition through the dispatcher. Charge the jump the
 		// emitted code would contain, and remember the site so the next
 		// lookup can link it.
-		e.M.Charge(x86.ClassGlue, 1)
-		e.Stats.ChainHits++
-		e.recCross(tb.Next[code], true)
-		e.cur.hotEdge = tb.Next[code] <= pc // backward edge: a loop head
-		e.retireExec(tb, tb.GuestLen)
-		e.cur.nextPC = tb.Next[code]
-		e.rasPushFor(tb, int(code))
-		e.noteDirectExit(tb, int(code))
+		m.Charge(x86.ClassGlue, 1)
+		v.stats.DirectDispatches++
+		e.recCross(v, tb.Next[code], true)
+		v.hotEdge = tb.Next[code] <= pc // backward edge: a loop head
+		e.retireExec(v, tb, tb.GuestLen)
+		v.nextPC = tb.Next[code]
+		e.rasPushFor(v, tb, int(code))
+		e.noteDirectExit(v, tb, int(code))
 	case ExitIndirect:
 		// The engine-side target resolution is QEMU's lookup helper: charge
 		// its synthetic cost so the inline fast path's saving is measurable.
-		e.Stats.Lookups++
-		e.M.Charge(x86.ClassHelper, CostIndirectLookup)
+		v.stats.Lookups++
+		m.Charge(x86.ClassHelper, CostIndirectLookup)
 		if e.jc {
-			e.Stats.JCMisses++
-			e.cur.pendingJCFill = true
+			v.stats.JCMisses++
+			v.pendingJCFill = true
 		}
-		e.recCross(0, false)
-		e.cur.hotEdge = false
-		e.retireExec(tb, tb.GuestLen)
-		e.cur.nextPC = e.Env.ExitPC()
+		e.recCross(v, 0, false)
+		v.hotEdge = false
+		e.retireExec(v, tb, tb.GuestLen)
+		v.nextPC = v.Env.ExitPC()
 	case ExitIRQ:
 		// The interrupt check fired; instructions before it have retired.
 		e.recAbort()
-		e.Stats.IRQs++
-		e.retire(tb.IRQIdx)
-		e.takeException(arm.VecIRQ, pc+uint32(tb.IRQIdx)*4+4)
+		v.stats.IRQs++
+		e.retire(v, tb.IRQIdx)
+		e.takeException(v, arm.VecIRQ, pc+uint32(tb.IRQIdx)*4+4)
 	case ExitExc:
 		// A helper already injected the exception and accounted retirement.
 		e.recAbort()
 	case ExitHalt:
 		e.recAbort()
-		e.cur.hotEdge = false
-		e.cur.halted = true
+		v.hotEdge = false
+		v.halted = true
 	case ExitSMC:
 		// Self-modifying code: the store helper flushed the cache and set
 		// the resume PC; nothing further to do.
 		e.recAbort()
-		e.cur.hotEdge = false
+		v.hotEdge = false
 	case ExitChainBreak:
 		// The chain glue completed the transition (retire + nextPC) before
 		// stopping the linked run; nothing further to do.
@@ -717,9 +849,33 @@ func (e *Engine) step() error {
 	return nil
 }
 
+// translateOn routes a cache miss to the translator. Deterministically that
+// is a plain call; in a parallel run translation is serialized on the
+// translation lock (acquired cooperatively so this vCPU keeps acknowledging
+// safepoints while it waits), the engine's translation-context views are
+// pointed at the requesting vCPU for the duration (FetchInst and the
+// Register* hooks resolve regime and mode through them), and the cache is
+// re-checked under the lock in case another vCPU translated the same key
+// first.
+func (e *Engine) translateOn(v *VCPU, pc uint32, priv bool, key tbKey) (*TB, error) {
+	if e.par == nil {
+		return e.translate(pc, priv, key)
+	}
+	e.lockTranslation(v)
+	defer e.par.transMu.Unlock()
+	if tb, ok := e.cache[key]; ok {
+		return tb, nil
+	}
+	e.cur = v
+	e.Env, e.CPU = v.Env, v.CPU
+	return e.translate(pc, priv, key)
+}
+
 // translate runs the translator for (pc, priv), recording the helper ids
 // and source pages the new TB owns, and inserts it into the cache (evicting
-// under the capacity bound).
+// under the capacity bound). In a parallel run the caller holds the
+// translation lock; the translator's pure work proceeds concurrently with
+// the other vCPUs, and only the publication step below stops the world.
 func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 	e.translating = true
 	e.transPages = e.transPages[:0]
@@ -727,7 +883,8 @@ func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 	tb, err := e.Trans.Translate(e, pc, priv)
 	e.translating = false
 	if err != nil {
-		// Release the helpers a failed translation registered.
+		// Release the helpers a failed translation registered. No published
+		// block references them, so this is safe even mid-parallel-run.
 		for _, id := range e.transHelpers {
 			e.M.FreeHelper(id)
 		}
@@ -741,6 +898,19 @@ func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 		// physical span from the block start.
 		tb.pages = SpanPages(key.pa, tb.GuestLen)
 	}
+	e.publishTB(tb, key)
+	return tb, nil
+}
+
+// publishTB makes a finished translation visible: cache insertion (with its
+// possible eviction and TLB flushes) plus translation accounting. In a
+// parallel run this is the step that mutates shared structures, so it runs
+// with the world stopped.
+func (e *Engine) publishTB(tb *TB, key tbKey) {
+	if e.par != nil {
+		e.exclusiveBegin(e.cur)
+		defer e.exclusiveEnd()
+	}
 	e.insertTB(tb)
 	e.Stats.TBsTranslated++
 	if e.seenKeys[key] {
@@ -748,7 +918,6 @@ func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 	} else {
 		e.seenKeys[key] = true
 	}
-	return tb, nil
 }
 
 // noteTransPage records a physical page fetched during translation (deduped;
@@ -809,47 +978,48 @@ func (e *Engine) RegisterMMUReadProduce(guestPC uint32, idx int, size uint8, sig
 
 func (e *Engine) registerMMURead(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine), produce bool) int {
 	return e.registerHelper(func(m *x86.Machine) int {
-		e.Stats.HelperCalls++
+		v := e.ctx(m)
+		v.stats.HelperCalls++
 		va := m.Regs[x86.EAX]
 		var pa uint32
-		if hostPage, ok := e.victimProbe(va, false); ok {
+		if hostPage, ok := e.victimProbe(v, va, false); ok {
 			pa = hostPage - GuestWin + va&0xFFF
 			if produce {
-				e.Env.SetReuse(va, hostPage)
+				v.Env.SetReuse(va, hostPage)
 			}
 		} else {
 			var entry mmu.Entry
 			var fault *mmu.Fault
-			pa, entry, fault = mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Load, e.CPU.Mode() == arm.ModeUSR)
+			pa, entry, fault = mmu.Walk(e.Bus, &v.CPU.CP15, va, mmu.Load, v.CPU.Mode() == arm.ModeUSR)
 			if fault != nil {
 				if fixup != nil {
 					fixup(m)
 				}
-				return e.dataAbort(fault, guestPC, idx)
+				return e.dataAbort(v, fault, guestPC, idx)
 			}
-			hostPage, canRead, _ := e.fillTLB(va, pa, entry)
+			hostPage, canRead, _ := e.fillTLB(v, va, pa, entry)
 			if produce {
 				if hostPage != 0 && canRead {
-					e.Env.SetReuse(va, hostPage)
+					v.Env.SetReuse(va, hostPage)
 				} else {
-					e.Env.ClearReuse()
+					v.Env.ClearReuse()
 				}
 			}
 		}
-		var v uint32
+		var val uint32
 		switch {
 		case size == 1 && signed:
-			v = uint32(int32(int8(e.Bus.Read8(pa))))
+			val = uint32(int32(int8(e.Bus.Read8(pa))))
 		case size == 1:
-			v = uint32(e.Bus.Read8(pa))
+			val = uint32(e.Bus.Read8(pa))
 		case size == 2 && signed:
-			v = uint32(int32(int16(e.Bus.Read16(pa))))
+			val = uint32(int32(int16(e.Bus.Read16(pa))))
 		case size == 2:
-			v = uint32(e.Bus.Read16(pa))
+			val = uint32(e.Bus.Read16(pa))
 		default:
-			v = e.Bus.Read32(pa)
+			val = e.Bus.Read32(pa)
 		}
-		m.Regs[x86.EDX] = v
+		m.Regs[x86.EDX] = val
 		return -1
 	})
 }
@@ -877,10 +1047,11 @@ func (e *Engine) RegisterMMUWriteProduce(guestPC uint32, idx int, size uint8, fi
 
 func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine), produce bool) int {
 	return e.registerHelper(func(m *x86.Machine) int {
-		e.Stats.HelperCalls++
+		v := e.ctx(m)
+		v.stats.HelperCalls++
 		va := m.Regs[x86.EAX]
 		var pa uint32
-		if hostPage, ok := e.victimProbe(va, true); ok {
+		if hostPage, ok := e.victimProbe(v, va, true); ok {
 			// A write-capable victim entry can only cover an ordinary RAM
 			// page: code and monitored pages are never filled writable, and
 			// marking a page as either flushes every vCPU's TLB (victim
@@ -888,24 +1059,24 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 			// as defense in depth — it is free for ordinary pages.
 			pa = hostPage - GuestWin + va&0xFFF
 			if produce {
-				e.Env.SetReuse(va, hostPage)
+				v.Env.SetReuse(va, hostPage)
 			}
 		} else {
 			var entry mmu.Entry
 			var fault *mmu.Fault
-			pa, entry, fault = mmu.Walk(e.Bus, &e.CPU.CP15, va, mmu.Store, e.CPU.Mode() == arm.ModeUSR)
+			pa, entry, fault = mmu.Walk(e.Bus, &v.CPU.CP15, va, mmu.Store, v.CPU.Mode() == arm.ModeUSR)
 			if fault != nil {
 				if fixup != nil {
 					fixup(m)
 				}
-				return e.dataAbort(fault, guestPC, idx)
+				return e.dataAbort(v, fault, guestPC, idx)
 			}
-			hostPage, _, canWrite := e.fillTLB(va, pa, entry)
+			hostPage, _, canWrite := e.fillTLB(v, va, pa, entry)
 			if produce {
 				if hostPage != 0 && canWrite {
-					e.Env.SetReuse(va, hostPage)
+					v.Env.SetReuse(va, hostPage)
 				} else {
-					e.Env.ClearReuse()
+					v.Env.ClearReuse()
 				}
 			}
 		}
@@ -913,14 +1084,14 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 		// granule is cleared (stores to monitored pages are denied the inline
 		// fast path, so they always reach this helper).
 		e.excl.Observe(pa)
-		v := m.Regs[x86.EDX]
+		val := m.Regs[x86.EDX]
 		switch size {
 		case 1:
-			e.Bus.Write8(pa, uint8(v))
+			e.Bus.Write8(pa, uint8(val))
 		case 2:
-			e.Bus.Write16(pa, uint16(v))
+			e.Bus.Write16(pa, uint16(val))
 		default:
-			e.Bus.Write32(pa, v)
+			e.Bus.Write32(pa, val)
 		}
 		if e.codePages[pa>>PageBits] {
 			// Self-modifying code: invalidate the stored-to page's TBs
@@ -928,29 +1099,43 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 			// after the store — the current block may itself be stale.
 			// Limitation: a multi-word store (stm) into a code page resumes
 			// after the instruction with only the faulting word written.
-			e.invalidateOnStore(pa)
-			e.retire(idx + 1)
-			e.cur.nextPC = guestPC + 4
+			e.smcInvalidate(v, pa)
+			e.retire(v, idx+1)
+			v.nextPC = guestPC + 4
 			return ExitSMC
 		}
 		return -1
 	})
 }
 
-// victimProbe consults the running vCPU's victim TLB (when enabled) for a
-// slow-path access that missed the emitted probe. A hit swaps the entry back
-// into the main TLB and avoids the page walk entirely, at a fraction of its
-// cost.
-func (e *Engine) victimProbe(va uint32, write bool) (uint32, bool) {
+// smcInvalidate runs the SMC invalidation for a store to pa. In a parallel
+// run the shared cache structures may only be touched with the world stopped,
+// and the page is re-checked under the stopped world in case another vCPU
+// invalidated it while this one waited for quiescence.
+func (e *Engine) smcInvalidate(v *VCPU, pa uint32) {
+	if e.par != nil {
+		e.exclusiveBegin(v)
+		defer e.exclusiveEnd()
+		if !e.codePages[pa>>PageBits] {
+			return
+		}
+	}
+	e.invalidateOnStore(pa)
+}
+
+// victimProbe consults v's victim TLB (when enabled) for a slow-path access
+// that missed the emitted probe. A hit swaps the entry back into the main
+// TLB and avoids the page walk entirely, at a fraction of its cost.
+func (e *Engine) victimProbe(v *VCPU, va uint32, write bool) (uint32, bool) {
 	if !e.victimTLB {
 		return 0, false
 	}
-	hostPage, ok := e.Env.VictimProbe(va, write)
+	hostPage, ok := v.Env.VictimProbe(va, write)
 	if !ok {
 		return 0, false
 	}
-	e.Stats.TLBVictimHits++
-	e.M.Charge(x86.ClassHelper, CostVictimHit)
+	v.stats.TLBVictimHits++
+	e.machOf(v).Charge(x86.ClassHelper, CostVictimHit)
 	return hostPage, true
 }
 
@@ -959,11 +1144,11 @@ func (e *Engine) victimProbe(va uint32, write bool) (uint32, bool) {
 // QEMU's io_mem path). Returns the host page address (0 for device pages)
 // and the permissions the entry was filled with, so producer helpers can
 // certify the reuse slot with exactly what the TLB believes.
-func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) (hostPage uint32, canRead, canWrite bool) {
+func (e *Engine) fillTLB(v *VCPU, va, pa uint32, entry mmu.Entry) (hostPage uint32, canRead, canWrite bool) {
 	if int(pa) < len(e.Bus.RAM) {
-		e.Stats.MMUSlowPath++
-		e.M.Charge(x86.ClassHelper, CostPageWalk)
-		user := e.CPU.Mode() == arm.ModeUSR
+		v.stats.MMUSlowPath++
+		e.machOf(v).Charge(x86.ClassHelper, CostPageWalk)
+		user := v.CPU.Mode() == arm.ModeUSR
 		canRead = true
 		canWrite = entry.AP == mmu.APUserRW || (!user && entry.AP != mmu.APReadOnly)
 		if user && entry.AP == mmu.APKernel {
@@ -978,20 +1163,20 @@ func (e *Engine) fillTLB(va, pa uint32, entry mmu.Entry) (hostPage uint32, canRe
 			canWrite = false
 		}
 		hostPage = GuestWin + pa&^0xFFF
-		e.Env.FillTLB(va, hostPage, canRead, canWrite)
+		v.Env.FillTLB(va, hostPage, canRead, canWrite)
 		return hostPage, canRead, canWrite
 	}
-	e.Stats.IOAccesses++
-	e.M.Charge(x86.ClassHelper, CostIO)
+	v.stats.IOAccesses++
+	e.machOf(v).Charge(x86.ClassHelper, CostIO)
 	return 0, false, false
 }
 
 // dataAbort injects a guest data abort from a helper.
-func (e *Engine) dataAbort(fault *mmu.Fault, guestPC uint32, idx int) int {
-	e.CPU.CP15.DFSR = uint32(fault.Type)
-	e.CPU.CP15.DFAR = fault.Addr
-	e.retire(idx) // instructions before the faulting one did retire
-	e.takeException(arm.VecDataAbort, guestPC+8)
+func (e *Engine) dataAbort(v *VCPU, fault *mmu.Fault, guestPC uint32, idx int) int {
+	v.CPU.CP15.DFSR = uint32(fault.Type)
+	v.CPU.CP15.DFAR = fault.Addr
+	e.retire(v, idx) // instructions before the faulting one did retire
+	e.takeException(v, arm.VecDataAbort, guestPC+8)
 	return ExitExc
 }
 
@@ -1001,16 +1186,17 @@ func (e *Engine) dataAbort(fault *mmu.Fault, guestPC uint32, idx int) int {
 // against env+CPU state, and either continues or exits with an exception.
 func (e *Engine) RegisterSystem(in arm.Inst, guestPC uint32, idx int) int {
 	return e.registerHelper(func(m *x86.Machine) int {
-		e.Stats.HelperCalls++
-		e.M.Charge(x86.ClassHelper, CostSysInstr)
-		return e.execSystem(&in, guestPC, idx)
+		v := e.ctx(m)
+		v.stats.HelperCalls++
+		m.Charge(x86.ClassHelper, CostSysInstr)
+		return e.execSystem(v, &in, guestPC, idx)
 	})
 }
 
-func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
-	env := e.Env
-	cpu := e.CPU
-	st := envState{e}
+func (e *Engine) execSystem(v *VCPU, in *arm.Inst, pc uint32, idx int) int {
+	env := v.Env
+	cpu := v.CPU
+	st := envState{e, v}
 	// QEMU's helper reads the guest CPU state from memory: force the parsed
 	// form (lazy-parse charge applies if the emitted code saved packed), and
 	// normalize both representations so the translator may statically use
@@ -1020,8 +1206,8 @@ func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
 	priv := cpu.Mode().Privileged()
 	switch in.Kind {
 	case arm.KindSVC:
-		e.retire(idx + 1)
-		e.takeException(arm.VecSVC, pc+4)
+		e.retire(v, idx+1)
+		e.takeException(v, arm.VecSVC, pc+4)
 		return ExitExc
 	case arm.KindMRS:
 		if in.SPSR {
@@ -1031,27 +1217,27 @@ func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
 		}
 		return -1
 	case arm.KindMSR:
-		v := env.Reg(in.Rm)
+		val := env.Reg(in.Rm)
 		if in.SPSR {
-			cpu.SetSPSR(v)
+			cpu.SetSPSR(val)
 		} else {
-			arm.WriteCPSRMasked(st, v, in.MSRMask, priv)
-			e.refreshIRQ()
+			arm.WriteCPSRMasked(st, val, in.MSRMask, priv)
+			e.refreshIRQ(v)
 		}
 		return -1
 	case arm.KindCPS:
 		if priv {
 			cpu.SetIRQMask(!in.Enable)
-			e.refreshIRQ()
+			e.refreshIRQ(v)
 		}
 		return -1
 	case arm.KindCP15:
 		if !priv {
-			e.retire(idx)
-			e.takeException(arm.VecUndef, pc+4)
+			e.retire(v, idx)
+			e.takeException(v, arm.VecUndef, pc+4)
 			return ExitExc
 		}
-		e.execCP15(in)
+		e.execCP15(v, in)
 		return -1
 	case arm.KindVFPSys:
 		if in.ToCoproc {
@@ -1061,13 +1247,13 @@ func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
 		}
 		return -1
 	case arm.KindWFI:
-		e.retire(idx + 1)
-		e.cur.nextPC = pc + 4
+		e.retire(v, idx+1)
+		v.nextPC = pc + 4
 		return ExitHalt
 	case arm.KindSRSexc:
 		if !cpu.Mode().Banked() {
-			e.retire(idx)
-			e.takeException(arm.VecUndef, pc+4)
+			e.retire(v, idx)
+			e.takeException(v, arm.VecUndef, pc+4)
 			return ExitExc
 		}
 		op2 := in.Imm
@@ -1075,22 +1261,22 @@ func (e *Engine) execSystem(in *arm.Inst, pc uint32, idx int) int {
 			op2 = env.Reg(in.Rm)
 		}
 		res, _ := arm.AluExec(in.Op, env.Reg(in.Rn), op2, flags.C, false)
-		e.retire(idx + 1)
+		e.retire(v, idx+1)
 		arm.ExceptionReturn(st, res&^3)
-		e.cur.nextPC = env.Reg(arm.PC)
-		e.refreshIRQ()
+		v.nextPC = env.Reg(arm.PC)
+		e.refreshIRQ(v)
 		return ExitExc
 	default: // undefined instruction reached a system helper
-		e.retire(idx)
-		e.takeException(arm.VecUndef, pc+4)
+		e.retire(v, idx)
+		e.takeException(v, arm.VecUndef, pc+4)
 		return ExitExc
 	}
 }
 
 // execCP15 mirrors interp.ExecCP15 against env-resident registers.
-func (e *Engine) execCP15(in *arm.Inst) {
-	cpu := e.CPU
-	env := e.Env
+func (e *Engine) execCP15(v *VCPU, in *arm.Inst) {
+	cpu := v.CPU
+	env := v.Env
 	sel := func() *uint32 {
 		switch {
 		case in.CRn == 1 && in.CRm == 0 && in.Opc2 == 0:
@@ -1109,7 +1295,7 @@ func (e *Engine) execCP15(in *arm.Inst) {
 		return nil
 	}()
 	if in.ToCoproc {
-		v := env.Reg(in.Rd)
+		val := env.Reg(in.Rd)
 		switch {
 		case in.CRn == 8: // TLB maintenance
 			cpu.CP15.TLBFlushes++
@@ -1122,17 +1308,13 @@ func (e *Engine) execCP15(in *arm.Inst) {
 			// virtual adjacency across whole blocks: mark them stale (swept
 			// at the next dispatcher entry; an in-flight trace bails at its
 			// next boundary check via the epoch).
-			e.unlinkChains()
-			e.flushJCOf(e.cur)
-			e.invalidateTraces()
+			e.regimeChanged(v)
 		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
-			*sel = v
+			*sel = val
 			env.FlushTLB() // translation regime changed
-			e.unlinkChains()
-			e.flushJCOf(e.cur)
-			e.invalidateTraces()
+			e.regimeChanged(v)
 		case sel != nil:
-			*sel = v
+			*sel = val
 		}
 		return
 	}
@@ -1150,14 +1332,29 @@ func (e *Engine) execCP15(in *arm.Inst) {
 	}
 }
 
+// regimeChanged applies the cross-structure consequences of a translation
+// regime change or TLB maintenance on v: unlink every chain, flush v's jump
+// cache, invalidate formed traces. These touch structures shared by every
+// vCPU, so a parallel run performs them with the world stopped.
+func (e *Engine) regimeChanged(v *VCPU) {
+	if e.par != nil {
+		e.exclusiveBegin(v)
+		defer e.exclusiveEnd()
+	}
+	e.unlinkChains()
+	e.flushJCOf(v)
+	e.invalidateTraces()
+}
+
 // RegisterUndef registers a helper that injects an undefined-instruction
 // exception (unimplemented encodings reached at runtime).
 func (e *Engine) RegisterUndef(guestPC uint32, idx int) int {
 	return e.registerHelper(func(m *x86.Machine) int {
-		e.Stats.HelperCalls++
-		e.M.Charge(x86.ClassHelper, CostSysInstr)
-		e.retire(idx)
-		e.takeException(arm.VecUndef, guestPC+4)
+		v := e.ctx(m)
+		v.stats.HelperCalls++
+		m.Charge(x86.ClassHelper, CostSysInstr)
+		e.retire(v, idx)
+		e.takeException(v, arm.VecUndef, guestPC+4)
 		return ExitExc
 	})
 }

@@ -8,7 +8,11 @@ import (
 )
 
 func newTestEngine() *Engine {
-	return New(nil, 1<<20)
+	e, err := New(nil, 1<<20)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 func TestEnvRegisterRoundTrip(t *testing.T) {

@@ -89,13 +89,6 @@ func privTagBits(priv bool) uint32 {
 	return 1
 }
 
-// syncPrivTag refreshes the env privilege-tag word the emitted probes OR
-// into their comparison tags. Called wherever the guest's privilege can
-// change (CPSR writes cover exceptions, returns and MSR) and at reset.
-func (e *Engine) syncPrivTag() {
-	e.Env.write(OffPrivTag, privTagBits(e.CPU.Mode().Privileged()))
-}
-
 // Return-address-stack geometry: RASSize circular entries of 8 bytes at
 // RASBase, same entry layout as the jump cache. env.OffRASTop holds the top
 // entry's byte offset (pre-scaled, so the emitted probe indexes directly).
@@ -146,8 +139,8 @@ func (e *Engine) EnableJumpCache(on bool) {
 		// recycled ids above the new baseHelpers, which the next flush would
 		// release out from under the emitted probes.
 		e.M.TruncateHelpers(e.baseHelpers)
-		e.jcGlueID = e.M.RegisterHelper(e.indirectGlue(&e.Stats.JCHits)) + 1
-		e.rasGlueID = e.M.RegisterHelper(e.indirectGlue(&e.Stats.RASHits)) + 1
+		e.jcGlueID = e.M.RegisterHelper(e.indirectGlue(false)) + 1
+		e.rasGlueID = e.M.RegisterHelper(e.indirectGlue(true)) + 1
 		e.baseHelpers += 2
 	}
 	e.flushJC()
@@ -235,20 +228,22 @@ func (e *Engine) EmitIndirectExit(em *x86.Emitter, isReturn bool, seq int) {
 }
 
 // indirectGlue builds the Go-side glue run when an inline fast-path jump
-// executes (jump-cache and RAS hits share it; only the hit counter differs).
-// It performs the transition bookkeeping the dispatcher used to do,
-// re-validates the probed entry against the resolved TB, and either stages
-// the target block for the jmpt or completes the transition itself and
-// returns to the dispatcher (ExitChainBreak), exactly like the chain glue.
-func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
+// executes (jump-cache and RAS hits share it; ras selects which hit counter
+// the crossing credits). It performs the transition bookkeeping the
+// dispatcher used to do, re-validates the probed entry against the resolved
+// TB, and either stages the target block for the jmpt or completes the
+// transition itself and returns to the dispatcher (ExitChainBreak), exactly
+// like the chain glue.
+func (e *Engine) indirectGlue(ras bool) x86.Helper {
 	return func(m *x86.Machine) int {
-		from := e.curTB
+		v := e.ctx(m)
+		from := v.curTB
 		// An indirect exit ends any trace being recorded: the region's own
 		// terminator becomes the recorded path's final exit.
-		e.recCross(0, false)
-		e.cur.hotEdge = false // indirect targets do not seed trace heads
-		e.retireExec(from, from.GuestLen)
-		pc := e.Env.ExitPC()
+		e.recCross(v, 0, false)
+		v.hotEdge = false // indirect targets do not seed trace heads
+		e.retireExec(v, from, from.GuestLen)
+		pc := v.Env.ExitPC()
 		var to *TB
 		if h := int(m.Regs[x86.ECX]); h >= 1 && h <= len(e.tbHandles) {
 			to = e.tbHandles[h-1]
@@ -258,20 +253,25 @@ func (e *Engine) indirectGlue(hits *uint64) x86.Helper {
 		// lookup key — the region is not a trace stranded by a regime or
 		// epoch change, and the run bounds the chain glue enforces still
 		// hold (including the SMP scheduler's slice, so a linked run cannot
-		// overstay the vCPU's turn).
-		if to == nil || to.PC != pc || to.key.priv != e.CPU.Mode().Privileged() ||
-			e.regionStale(to) ||
-			e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.chainSteps >= maxChainRun ||
-			e.sliceExpired() {
-			e.cur.nextPC = pc
-			e.Stats.JCBreaks++
+		// overstay the vCPU's turn, and the parallel mode's stop request, so
+		// a safepoint is acknowledged within one TB).
+		if to == nil || to.PC != pc || to.key.priv != v.CPU.Mode().Privileged() ||
+			e.regionStale(v, to) ||
+			e.retiredNow() >= e.runLimit || e.stopRequested() || e.Bus.PoweredOff() ||
+			v.chainSteps >= maxChainRun || e.sliceExpired(v) {
+			v.nextPC = pc
+			v.stats.JCBreaks++
 			return ExitChainBreak
 		}
-		e.chainSteps++
-		*hits++
-		e.Stats.TBEntries++
-		e.curTB, e.curPC = to, pc
-		e.noteRegionEntry(to, pc)
+		v.chainSteps++
+		if ras {
+			v.stats.RASHits++
+		} else {
+			v.stats.JCHits++
+		}
+		v.stats.TBEntries++
+		v.curTB, v.curPC = to, pc
+		e.noteRegionEntry(v, to, pc)
 		m.SetNextBlock(to.Block)
 		return -1
 	}
@@ -292,28 +292,43 @@ func (e *Engine) allocHandle(tb *TB) {
 	e.tbHandles = append(e.tbHandles, tb)
 }
 
-// freeHandle releases tb's handle-table slot.
+// freeHandle releases tb's handle-table slot. The slot is nil'ed immediately
+// (an emitted jump resolving the handle after the purge must find no block),
+// but in a parallel run the slot's *recycling* is deferred to the epoch
+// reclaimer — a vCPU mid-glue may have already read the handle value, and the
+// slot must not point at a different block until that vCPU passes a
+// safepoint.
 func (e *Engine) freeHandle(tb *TB) {
 	if tb.handle >= 0 && tb.handle < len(e.tbHandles) && e.tbHandles[tb.handle] == tb {
 		e.tbHandles[tb.handle] = nil
-		e.freeHandles = append(e.freeHandles, tb.handle)
+		if e.par != nil {
+			e.par.deferHandle(tb.handle)
+		} else {
+			e.freeHandles = append(e.freeHandles, tb.handle)
+		}
 	}
 	tb.handle = -1
 }
 
 // --- fill and purge -----------------------------------------------------
 
-// jcFill installs (pc -> tb) in the running vCPU's jump cache after the
-// dispatcher resolved a missed indirect transition, and records the
-// (vCPU, slot) pair on the TB so retiring it can purge exactly the entries
-// that address it — on every vCPU, since the cache is shared and each vCPU
-// may have filled its own entry for the block.
-func (e *Engine) jcFill(pc uint32, tb *TB) {
+// jcFill installs (pc -> tb) in v's jump cache after the dispatcher resolved
+// a missed indirect transition, and records the (vCPU, slot) pair on the TB
+// so retiring it can purge exactly the entries that address it — on every
+// vCPU, since the cache is shared and each vCPU may have filled its own
+// entry for the block. The slot-list append is the one shared-structure
+// write the parallel mode performs with the world running (the env entry
+// itself is v's private memory), so it takes the fill mutex; purges happen
+// with the world stopped and the fillers parked, which orders them against
+// every append.
+func (e *Engine) jcFill(v *VCPU, pc uint32, tb *TB) {
 	idx := jcIndex(pc)
-	base := e.cur.Env.base + RelJC + idx*jcEntrySize
+	base := v.Env.base + RelJC + idx*jcEntrySize
 	e.M.Write32(base, pc|privTagBits(tb.key.priv))
 	e.M.Write32(base+4, uint32(tb.handle+1))
-	slot := uint32(e.cur.Index)<<JCBits | idx
+	slot := uint32(v.Index)<<JCBits | idx
+	e.jcMu.Lock()
+	defer e.jcMu.Unlock()
 	for _, s := range tb.jcSlots {
 		if s == slot {
 			return
@@ -385,34 +400,34 @@ func (e *Engine) flushJC() {
 // exit slot, at every crossing out of that slot (dispatcher-handled or glue-
 // approved) — the engine-side stand-in for the inline push the call's
 // epilogue would contain, charged accordingly.
-func (e *Engine) rasPushFor(tb *TB, slot int) {
+func (e *Engine) rasPushFor(v *VCPU, tb *TB, slot int) {
 	if !e.ras {
 		return
 	}
 	if ret := tb.RetPush[slot]; ret != 0 {
-		e.rasPush(ret)
+		e.rasPush(v, ret)
 	}
 }
 
 // rasPush pushes one return address — shared by the per-exit crossings
 // above and the in-trace call edges (boundary and side-exit helpers, which
 // see the call cross an internal or off-trace edge instead of a TB exit).
-func (e *Engine) rasPush(ret uint32) {
-	top := (e.Env.read(OffRASTop) + rasEntrySize) & rasTopMask
-	e.Env.write(OffRASTop, top)
+func (e *Engine) rasPush(v *VCPU, ret uint32) {
+	top := (v.Env.read(OffRASTop) + rasEntrySize) & rasTopMask
+	v.Env.write(OffRASTop, top)
 	var tag, handle uint32
 	// Resolve the return-site block if it is already translated (a real
 	// implementation pushes the translated return address patched in at
 	// translation time). An unresolved push still advances the stack with an
 	// invalid tag, keeping it aligned with the call depth.
-	priv := e.CPU.Mode().Privileged()
-	if pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, ret, mmu.Fetch, !priv); fault == nil {
+	priv := v.CPU.Mode().Privileged()
+	if pa, _, fault := mmu.Walk(e.Bus, &v.CPU.CP15, ret, mmu.Fetch, !priv); fault == nil {
 		if to := e.cache[tbKey{pa: pa, priv: priv}]; to != nil {
 			tag, handle = ret|privTagBits(priv), uint32(to.handle+1)
 		}
 	}
-	base := e.cur.Env.base + RelRAS + top
+	base := v.Env.base + RelRAS + top
 	e.M.Write32(base, tag)
 	e.M.Write32(base+4, handle)
-	e.M.Charge(x86.ClassGlue, costRASPush)
+	e.machOf(v).Charge(x86.ClassGlue, costRASPush)
 }

@@ -64,7 +64,10 @@ func (s callRetStub) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
 
 func newJCEngine(t *testing.T, tr Translator, ras bool) *Engine {
 	t.Helper()
-	e := New(tr, 1<<20)
+	e, err := New(tr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableJumpCache(true)
 	e.EnableRAS(ras)
 	e.runLimit = 1 << 40
@@ -225,7 +228,7 @@ func TestJCRegimeChangePurges(t *testing.T) {
 	}
 	// TLB maintenance (mcr p15, c8): the regime-change path.
 	in := arm.Inst{Kind: arm.KindCP15, ToCoproc: true, CRn: 8}
-	e.execCP15(&in)
+	e.execCP15(e.cur, &in)
 	for _, pc := range []uint32{0, 0x1000, 0x2000} {
 		if jcTag(e, pc) != 0 {
 			t.Errorf("regime change left entry for %#x", pc)
@@ -251,7 +254,7 @@ func TestJCPrivilegeKeying(t *testing.T) {
 	}
 	// Drop to user mode: entries stay resident, but the probe's comparison
 	// tag (OffPrivTag) no longer matches them.
-	st := envState{e}
+	st := envState{e, e.cur}
 	st.SetCPSR(st.CPSR()&^uint32(0x1F) | uint32(arm.ModeUSR))
 	if jcTag(e, 0x1000) == 0 {
 		t.Error("privilege switch purged a keyed entry")
@@ -353,7 +356,7 @@ func TestJCInvariantUnderRandomOps(t *testing.T) {
 			e.SetCacheCapacity(caps[r.Intn(len(caps))])
 		case op < 11:
 			in := arm.Inst{Kind: arm.KindCP15, ToCoproc: true, CRn: 8}
-			e.execCP15(&in)
+			e.execCP15(e.cur, &in)
 		default:
 			e.FlushCache()
 		}
@@ -381,7 +384,10 @@ func (s indirectHelperStub) Translate(e *Engine, pc uint32, priv bool) (*TB, err
 func TestJCEnableAfterHelperChurn(t *testing.T) {
 	seq := 0
 	tr := indirectHelperStub{indirectStubTrans{hop: func(pc uint32) uint32 { return (pc + 0x1000) % 0x3000 }, seq: &seq}}
-	e := New(tr, 1<<20)
+	e, err := New(tr, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.runLimit = 1 << 40
 	for i := 0; i < 6; i++ { // translate the ring, registering helpers
 		if err := e.step(); err != nil {
@@ -416,7 +422,10 @@ func TestJCEnableAfterHelperChurn(t *testing.T) {
 // epilogue, so turning the jump cache off must turn the RAS off too — no
 // push cost for a predictor that can never hit.
 func TestJCDisableAlsoDisablesRAS(t *testing.T) {
-	e := New(indirectStubTrans{}, 1<<20)
+	e, err := New(indirectStubTrans{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableRAS(true)
 	if !e.JumpCacheEnabled() || !e.RASEnabled() {
 		t.Fatal("EnableRAS did not enable both structures")
@@ -430,7 +439,10 @@ func TestJCDisableAlsoDisablesRAS(t *testing.T) {
 // TestJCDisabledEmitsPlainExit: with the fast path off the epilogue is the
 // single exit instruction of old — no probe overhead for the baseline.
 func TestJCDisabledEmitsPlainExit(t *testing.T) {
-	e := New(indirectStubTrans{}, 1<<20)
+	e, err := New(indirectStubTrans{}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	em := x86.NewEmitter()
 	e.EmitIndirectExit(em, true, 1)
 	if em.Len() != 1 {

@@ -1,0 +1,430 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sldbt/internal/ghw"
+	"sldbt/internal/x86"
+)
+
+// True-parallel MTTCG execution over the shared code cache.
+//
+// RunParallel runs one goroutine per vCPU against the same physically-keyed
+// TB cache the deterministic scheduler uses — QEMU's MTTCG model. The
+// deterministic engine (Run) remains the bit-exact oracle; the parallel mode
+// must produce the same guest-visible final state (console output, RAM,
+// per-vCPU registers), reached through a real interleaving instead of a
+// simulated one.
+//
+// Concurrency architecture (the invariants every dual-mode path relies on):
+//
+//   - Translation is serialized on parCtl.transMu. The pure translator work
+//     runs under it concurrently with the other vCPUs' execution; only the
+//     publication step (cache insert + eviction + accounting) stops the
+//     world. The lock is acquired cooperatively (lockTranslation): a waiting
+//     vCPU keeps acknowledging safepoints, so a translator that needs to
+//     stop the world to publish can never deadlock against its waiters.
+//
+//   - Published TBs are read lock-free. Every shared-structure mutation —
+//     cache map, page reverse map, handle table, chain patch/unpatch,
+//     jump-cache purge, monitor-page poisoning, TLB broadcasts, structural
+//     Stats — runs inside a stop-the-world exclusive section
+//     (exclusiveBegin/exclusiveEnd), standing in for QEMU's RCU + exclusive
+//     work regions. vCPUs acknowledge stop requests at the dispatcher loop
+//     top, in the WFI idle loop, while spinning for the translation lock,
+//     and — bounding the latency to one TB — in the chain and jump-cache
+//     glue refusal conditions (stopRequested), which complete the transition
+//     and fall back to the dispatcher.
+//
+//   - Safepoints establish happens-before: a parked vCPU blocks on the
+//     control mutex the invalidator holds, so everything the exclusive
+//     section wrote is visible when the vCPU resumes its lock-free reads.
+//
+//   - Retired TBs are *unlinked* eagerly (world stopped: no vCPU can enter
+//     them afterwards) but their helper closures and handle slots are freed
+//     through an epoch/quiescence scheme: each exclusive section that
+//     deferred frees seals them into a batch stamped with a new epoch;
+//     every vCPU records the epoch it has seen at each safepoint (qEpoch);
+//     a batch is freed once every live vCPU's qEpoch has reached its stamp.
+//     This protects the one reader the stopped world cannot exclude: the
+//     invalidating vCPU itself, which may be mid-helper inside the block it
+//     just retired (a self-modifying store).
+//
+//   - Each vCPU executes on a private machine shard (x86.Machine.NewShard):
+//     its own registers, flags and instruction-class counts over the shared
+//     host memory and helper table. Guest RAM accesses are atomic
+//     (AtomicFrom = GuestWin); env blocks, TLBs and per-vCPU host stacks sit
+//     below the window, are touched only by their owner, and stay on the
+//     plain path. Stats shard per vCPU the same way and fold at teardown.
+//
+//   - Traces and scheduler slices are deterministic-mode features: trace
+//     formation rewrites shared profiling state on hot paths, so RunParallel
+//     retires every formed trace up front and disables formation for the
+//     run; there is no scheduler, so slices never expire.
+//
+// Lock order: transMu before the stop-world control mutex (a translator
+// publishes while holding transMu; linkPending takes both in that order).
+// The control mutex is held for the whole exclusive section; nested section
+// requests serialize on it.
+
+// reclaimBatch is one exclusive section's deferred frees, stamped with the
+// epoch sealed when the section ended.
+type reclaimBatch struct {
+	epoch   uint64
+	helpers []int // helper ids to release to the master machine
+	handles []int // handle-table slots to recycle (already nil'd eagerly)
+}
+
+// parCtl is the parallel-run control block (Engine.par while RunParallel is
+// active). It implements the stop-the-world protocol and the epoch
+// reclaimer.
+type parCtl struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// Protected by mu.
+	stopReq  int    // exclusive sections requested and not yet ended
+	parked   int    // vCPUs blocked at a safepoint
+	excluded int    // vCPUs inside (or queued for) an exclusive section
+	running  int    // vCPU goroutines that have not exited
+	exited   []bool // per-index: the goroutine has exited (skip in reclaim)
+	err      error  // first vCPU error (ends the run)
+
+	// stopFlag mirrors stopReq > 0 for the lock-free fast path of safepoint
+	// and the glue refusal checks.
+	stopFlag atomic.Bool
+	// failed mirrors err != nil for the lock-free run-loop exit check.
+	failed atomic.Bool
+
+	// transMu serializes translation and glue registration (see above).
+	transMu sync.Mutex
+
+	// epoch is the reclamation clock: bumped when an exclusive section seals
+	// deferred frees. vCPUs acknowledge it into VCPU.qEpoch at safepoints.
+	epoch atomic.Uint64
+
+	// Deferred frees of the exclusive section currently running (mu held),
+	// and the sealed batches awaiting quiescence. Mutated only world-stopped.
+	curHelpers []int
+	curHandles []int
+	pending    []reclaimBatch
+
+	// WFI idle coordination: idlers counts vCPUs spinning in the idle loop;
+	// when every vCPU idles, one of them advances platform time.
+	idleMu sync.Mutex
+	idlers int
+}
+
+// deferHelper queues a retired TB's helper id for epoch reclamation. Called
+// only from inside an exclusive section (retireTB).
+func (p *parCtl) deferHelper(id int) { p.curHelpers = append(p.curHelpers, id) }
+
+// deferHandle queues a retired TB's handle slot for recycling (the slot
+// itself was nil'd eagerly, so stale emitted probes resolve to nil and
+// refuse). Called only from inside an exclusive section (freeHandle).
+func (p *parCtl) deferHandle(h int) { p.curHandles = append(p.curHandles, h) }
+
+// fail records the first vCPU error and makes every run loop exit.
+func (p *parCtl) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.failed.Store(true)
+}
+
+// safepoint is the cooperative stop-the-world acknowledgement. The fast path
+// (no stop requested) is one atomic load plus the epoch acknowledgement. The
+// slow path parks until every pending exclusive section has ended; parking
+// on the control mutex is what makes the sections' writes visible to the
+// vCPU's subsequent lock-free reads.
+func (e *Engine) safepoint(v *VCPU) {
+	p := e.par
+	if !p.stopFlag.Load() {
+		v.qEpoch.Store(p.epoch.Load())
+		return
+	}
+	p.mu.Lock()
+	for p.stopReq > 0 {
+		p.parked++
+		p.cond.Broadcast() // wake invalidators waiting for the world to park
+		p.cond.Wait()
+		p.parked--
+	}
+	v.qEpoch.Store(p.epoch.Load())
+	p.mu.Unlock()
+}
+
+// exclusiveBegin stops the world on behalf of vCPU v (which counts itself as
+// excluded, not parked: it is the one vCPU the protocol cannot wait for).
+// On return every other vCPU is parked at a safepoint, blocked in a queued
+// exclusive request, or exited — and the control mutex is HELD; the caller
+// must end the section with exclusiveEnd (normally deferred). Queued
+// sections serialize on the mutex: each runs with the world still stopped.
+func (e *Engine) exclusiveBegin(v *VCPU) {
+	p := e.par
+	p.mu.Lock()
+	p.stopReq++
+	p.stopFlag.Store(true)
+	p.excluded++
+	for p.parked+p.excluded < p.running {
+		p.cond.Wait()
+	}
+}
+
+// exclusiveEnd closes an exclusive section: seals any frees the section
+// deferred into an epoch-stamped batch, opportunistically reclaims batches
+// every live vCPU has quiesced past, and releases the world.
+func (e *Engine) exclusiveEnd() {
+	p := e.par
+	if len(p.curHelpers)+len(p.curHandles) > 0 {
+		p.pending = append(p.pending, reclaimBatch{
+			epoch:   p.epoch.Add(1),
+			helpers: p.curHelpers,
+			handles: p.curHandles,
+		})
+		p.curHelpers, p.curHandles = nil, nil
+	}
+	e.tryReclaim()
+	p.excluded--
+	p.stopReq--
+	if p.stopReq == 0 {
+		p.stopFlag.Store(false)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// tryReclaim frees every sealed batch whose epoch all live vCPUs have
+// acknowledged. Called with the control mutex held and the world stopped
+// (so the master helper table and the handle free list are safe to touch).
+// The requester's own qEpoch is naturally stale while it is mid-section,
+// which is exactly the guarantee: a batch sealed by the section it is still
+// inside cannot be freed under it.
+func (e *Engine) tryReclaim() {
+	p := e.par
+	if len(p.pending) == 0 {
+		return
+	}
+	min := uint64(math.MaxUint64)
+	for _, v := range e.vcpus {
+		if p.exited[v.Index] {
+			continue
+		}
+		if q := v.qEpoch.Load(); q < min {
+			min = q
+		}
+	}
+	keep := p.pending[:0]
+	for _, b := range p.pending {
+		if b.epoch <= min {
+			for _, id := range b.helpers {
+				e.M.FreeHelper(id)
+			}
+			e.freeHandles = append(e.freeHandles, b.handles...)
+		} else {
+			keep = append(keep, b)
+		}
+	}
+	p.pending = keep
+}
+
+// reclaimAll frees every deferred batch unconditionally. Teardown only: all
+// vCPU goroutines have exited, so nothing can still be mid-helper.
+func (e *Engine) reclaimAll() {
+	p := e.par
+	if len(p.curHelpers)+len(p.curHandles) > 0 {
+		p.pending = append(p.pending, reclaimBatch{helpers: p.curHelpers, handles: p.curHandles})
+		p.curHelpers, p.curHandles = nil, nil
+	}
+	for _, b := range p.pending {
+		for _, id := range b.helpers {
+			e.M.FreeHelper(id)
+		}
+		e.freeHandles = append(e.freeHandles, b.handles...)
+	}
+	p.pending = nil
+}
+
+// lockTranslation acquires the translation lock cooperatively: the spin
+// keeps acknowledging safepoints, so a vCPU waiting to translate can never
+// deadlock a holder that needs the world stopped to publish.
+func (e *Engine) lockTranslation(v *VCPU) {
+	p := e.par
+	for !p.transMu.TryLock() {
+		e.safepoint(v)
+		runtime.Gosched()
+	}
+}
+
+// parDone reports whether the parallel run is over: guest power-off, global
+// retirement budget exhausted, or a vCPU error.
+func (e *Engine) parDone() bool {
+	return e.par.failed.Load() || e.Bus.PoweredOff() ||
+		atomic.LoadUint64(&e.Retired) >= e.runLimit
+}
+
+// parIdle spins vCPU v in the WFI idle loop until an IRQ input is asserted
+// for it or the run ends. When every vCPU is idle at once, the one that
+// observes it advances platform time — the parallel form of Run's idle tick
+// (with one vCPU this is cycle-identical to the deterministic loop). The
+// spin acknowledges safepoints: a halted vCPU must not stall an invalidator.
+func (e *Engine) parIdle(v *VCPU) {
+	p := e.par
+	p.idleMu.Lock()
+	p.idlers++
+	p.idleMu.Unlock()
+	for {
+		e.safepoint(v)
+		if e.parDone() || e.Bus.IRQPendingFor(v.Index) {
+			break
+		}
+		p.idleMu.Lock()
+		if p.idlers == len(e.vcpus) {
+			e.Bus.Tick(ghw.IdleTickQuantum)
+		}
+		p.idleMu.Unlock()
+		runtime.Gosched()
+	}
+	p.idleMu.Lock()
+	p.idlers--
+	p.idleMu.Unlock()
+}
+
+// runVCPU is one vCPU goroutine: the parallel dispatcher loop. Its park
+// point is the loop top; everything below runs between safepoints.
+func (e *Engine) runVCPU(v *VCPU) {
+	p := e.par
+	for {
+		e.safepoint(v)
+		if e.parDone() {
+			break
+		}
+		if v.halted {
+			if !e.Bus.IRQPendingFor(v.Index) {
+				e.parIdle(v)
+				continue
+			}
+			v.halted = false
+		}
+		// The pending word may be stale: platform time advances while other
+		// vCPUs run (the deterministic scheduler refreshes here too).
+		e.refreshIRQ(v)
+		if err := e.stepOn(v, v.mach); err != nil {
+			p.fail(err)
+			break
+		}
+	}
+	p.mu.Lock()
+	p.running--
+	p.exited[v.Index] = true
+	p.cond.Broadcast() // a pending exclusive section may now be satisfied
+	p.mu.Unlock()
+}
+
+// RunParallel executes until guest power-off or the shared retirement budget
+// is exhausted, running every vCPU in its own goroutine (QEMU's MTTCG).
+// Returns the guest exit code, like Run.
+//
+// With one vCPU the parallel run is bit-identical to Run — same final state
+// and same counters — because every synchronization point degenerates to
+// its deterministic form. With several vCPUs the interleaving is real, so
+// instruction counts and device timing vary run to run; guest-visible
+// convergence is checked differentially against the deterministic oracle
+// (internal/smp). Trace formation is disabled for the duration (formed
+// traces are retired up front); engine configuration must not be changed
+// while the run is in flight.
+func (e *Engine) RunParallel(maxInstr uint64) (uint32, error) {
+	if e.par != nil {
+		return 0, fmt.Errorf("engine: RunParallel re-entered")
+	}
+	e.runLimit = maxInstr
+	n := len(e.vcpus)
+
+	// Traces bake deterministic-scheduler assumptions (profiling counters,
+	// recording state) into shared structures; retire them and disable
+	// formation for the run. Still single-threaded here, so frees are eager.
+	savedTrace := e.traceOn
+	if savedTrace {
+		e.recAbort()
+		e.dropPlan()
+		e.retireStaleTraces(true)
+		e.traceOn = false
+	}
+
+	// The master machine's pinned host registers hold e.cur's guest state;
+	// spill so every vCPU's env is complete before the shards fill from it.
+	e.spillPinned()
+
+	p := &parCtl{running: n, exited: make([]bool, n)}
+	p.cond = sync.NewCond(&p.mu)
+	e.par = p
+
+	// Guest RAM is the only host memory two shards touch concurrently.
+	e.M.AtomicFrom = GuestWin
+	e.Bus.SetConcurrent(true)
+	for i, v := range e.vcpus {
+		v.mach = e.M.NewShard() // copies AtomicFrom
+		v.mach.Owner = v
+		// Private host stack inside the vCPU's own region (the deterministic
+		// mode shares one stack because one vCPU runs at a time).
+		v.mach.Regs[x86.ESP] = CPUBase(i) + 0x7000
+		v.mach.Regs[x86.EBP] = v.Env.base
+		// Env accesses (including their synthetic-cost charges) go through
+		// the owner's shard for the duration.
+		v.Env.m = v.mach
+		for j, r := range e.pinGuest {
+			v.mach.Regs[e.pinHost[j]] = v.Env.Reg(r)
+		}
+		v.qEpoch.Store(0)
+	}
+
+	var wg sync.WaitGroup
+	for _, v := range e.vcpus {
+		wg.Add(1)
+		go func(v *VCPU) {
+			defer wg.Done()
+			e.runVCPU(v)
+		}(v)
+	}
+	wg.Wait()
+
+	// Single-threaded again: release everything still deferred, then fold
+	// the shards back into the master machine.
+	e.reclaimAll()
+	e.par = nil
+	for _, v := range e.vcpus {
+		// Spill the shard's pinned registers so env is the complete
+		// architectural state (mirrors the scheduler's switch-out spill).
+		for j, r := range e.pinGuest {
+			v.Env.SetReg(r, v.mach.Regs[e.pinHost[j]])
+		}
+		v.Env.m = e.M
+		for c := range v.mach.Counts {
+			e.M.Counts[c] += v.mach.Counts[c]
+		}
+		v.mach = nil
+	}
+	e.M.AtomicFrom = 0
+	e.Bus.SetConcurrent(false)
+	e.traceOn = savedTrace
+	e.cur = e.vcpus[0]
+	e.Env, e.CPU = e.cur.Env, e.cur.CPU
+	e.M.Regs[x86.EBP] = e.cur.Env.base
+	e.fillPinned()
+	e.foldStats()
+
+	if e.Bus.PoweredOff() {
+		return e.Bus.SysCtl().Code, nil
+	}
+	if p.err != nil {
+		return 0, p.err
+	}
+	return 0, fmt.Errorf("engine(%s): budget of %d guest instructions exhausted at pc=%#08x",
+		e.Trans.Name(), maxInstr, e.cur.nextPC)
+}

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sldbt/internal/x86"
+)
+
+// TestChainRateFormula pins the ChainRate definition after the
+// ChainHits->DirectDispatches rename: the numerator is ChainedExits (the
+// transitions a patched chain served), the denominator every direct-successor
+// transition however it resolved. The rename must not flip the formula.
+func TestChainRateFormula(t *testing.T) {
+	s := Stats{DirectDispatches: 3, ChainedExits: 6, ChainBreaks: 1}
+	if got := s.ChainRate(); got != 0.6 {
+		t.Errorf("ChainRate = %v, want 0.6 (6 chained / 10 direct transitions)", got)
+	}
+	if got := (&Stats{}).ChainRate(); got != 0 {
+		t.Errorf("ChainRate of zero stats = %v, want 0", got)
+	}
+	if got := (&Stats{DirectDispatches: 5}).ChainRate(); got != 0 {
+		t.Errorf("ChainRate with no chained exits = %v, want 0", got)
+	}
+}
+
+// TestResetClearsRunState audits Engine.Reset against the stale-state sweep:
+// every accumulator a second run would otherwise inherit must be cleared —
+// global and per-vCPU stats shards, retirement counts, host instruction-class
+// counts, monitor-page poison, and the per-vCPU dispatch state.
+func TestResetClearsRunState(t *testing.T) {
+	e, err := NewSMP(nil, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stats.TBEntries = 7
+	e.Retired = 99
+	e.M.Counts[x86.ClassSync] = 5
+	e.monitorPages[0x1000] = true
+	for _, v := range e.vcpus {
+		v.Retired = 3
+		v.StrexFailures = 2
+		v.stats.IRQs = 4
+		v.hotEdge = true
+		v.curTB = &TB{}
+		v.curPC = 0x8000
+		v.chainSteps = 9
+	}
+
+	e.Reset()
+
+	if e.Stats != (Stats{}) {
+		t.Errorf("Stats not cleared: %+v", e.Stats)
+	}
+	if e.Retired != 0 {
+		t.Errorf("Retired = %d after Reset", e.Retired)
+	}
+	if e.M.Counts != ([x86.NumClasses]uint64{}) {
+		t.Errorf("M.Counts not cleared: %v", e.M.Counts)
+	}
+	if len(e.monitorPages) != 0 {
+		t.Errorf("monitorPages not cleared: %v", e.monitorPages)
+	}
+	for _, v := range e.vcpus {
+		if v.Retired != 0 || v.StrexFailures != 0 {
+			t.Errorf("vcpu%d counts survived Reset: retired=%d strex=%d",
+				v.Index, v.Retired, v.StrexFailures)
+		}
+		if v.stats != (Stats{}) {
+			t.Errorf("vcpu%d stats shard survived Reset: %+v", v.Index, v.stats)
+		}
+		if v.hotEdge || v.curTB != nil || v.curPC != 0 || v.chainSteps != 0 {
+			t.Errorf("vcpu%d dispatch state survived Reset: hotEdge=%v curTB=%v curPC=%#x chainSteps=%d",
+				v.Index, v.hotEdge, v.curTB, v.curPC, v.chainSteps)
+		}
+	}
+}
+
+// newParTestEngine builds an n-vCPU engine with a synthetic parallel control
+// block. Modeling running=1 (only the section requester) makes the
+// stop-the-world wait condition trivially satisfied, so a test can drive
+// exclusive sections single-threaded and observe the epoch reclaimer.
+func newParTestEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e, err := NewSMP(nil, 1<<20, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &parCtl{running: 1, exited: make([]bool, n)}
+	p.cond = sync.NewCond(&p.mu)
+	e.par = p
+	return e
+}
+
+func nopHelper(m *x86.Machine) int { return -1 }
+
+// TestEpochReclaimWaitsForQuiescence: a helper deferred inside an exclusive
+// section must stay live until EVERY vCPU has acknowledged the epoch the
+// section sealed, and must be freed by the first section after that.
+func TestEpochReclaimWaitsForQuiescence(t *testing.T) {
+	e := newParTestEngine(t, 3)
+	p := e.par
+	base := e.M.Helpers()
+
+	id := e.M.RegisterHelper(nopHelper)
+	e.exclusiveBegin(e.vcpus[0])
+	p.deferHelper(id)
+	p.deferHandle(42)
+	e.exclusiveEnd() // seals batch at epoch 1; nobody has acknowledged it
+
+	if e.M.Helpers() != base+1 {
+		t.Fatalf("helper freed with all qEpochs stale (live=%d, want %d)", e.M.Helpers(), base+1)
+	}
+	if len(p.pending) != 1 {
+		t.Fatalf("pending batches = %d, want 1", len(p.pending))
+	}
+
+	// Two of three vCPUs acknowledge: still not reclaimable.
+	e.safepoint(e.vcpus[0])
+	e.safepoint(e.vcpus[1])
+	e.exclusiveBegin(e.vcpus[0])
+	e.exclusiveEnd()
+	if e.M.Helpers() != base+1 {
+		t.Fatal("helper freed before the last vCPU quiesced")
+	}
+
+	// The straggler acknowledges: the next section reclaims.
+	e.safepoint(e.vcpus[2])
+	e.exclusiveBegin(e.vcpus[0])
+	e.exclusiveEnd()
+	if e.M.Helpers() != base {
+		t.Errorf("helper not freed after full quiescence (live=%d, want %d)", e.M.Helpers(), base)
+	}
+	if len(p.pending) != 0 {
+		t.Errorf("pending batches = %d after reclaim, want 0", len(p.pending))
+	}
+	found := false
+	for _, h := range e.freeHandles {
+		if h == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("deferred handle slot not recycled into freeHandles")
+	}
+}
+
+// TestEpochReclaimSelfDeferral: the self-SMC guarantee. The vCPU that runs an
+// invalidating exclusive section may itself still be mid-helper inside the
+// block it retired, so its own (stale) qEpoch must hold the batch back even
+// when every other vCPU has long since acknowledged.
+func TestEpochReclaimSelfDeferral(t *testing.T) {
+	e := newParTestEngine(t, 3)
+	p := e.par
+	base := e.M.Helpers()
+
+	id := e.M.RegisterHelper(nopHelper)
+	e.exclusiveBegin(e.vcpus[0]) // vcpu0 is the invalidator
+	p.deferHelper(id)
+	e.exclusiveEnd()
+
+	// Everyone but the invalidator acknowledges, twice over.
+	e.safepoint(e.vcpus[1])
+	e.safepoint(e.vcpus[2])
+	e.exclusiveBegin(e.vcpus[1])
+	e.exclusiveEnd()
+	if e.M.Helpers() != base+1 {
+		t.Fatal("batch freed under its own still-running requester")
+	}
+
+	// Only once the invalidator reaches a safepoint is the batch fair game.
+	e.safepoint(e.vcpus[0])
+	e.safepoint(e.vcpus[1])
+	e.safepoint(e.vcpus[2])
+	e.exclusiveBegin(e.vcpus[1])
+	e.exclusiveEnd()
+	if e.M.Helpers() != base {
+		t.Errorf("batch not freed after the requester quiesced (live=%d, want %d)", e.M.Helpers(), base)
+	}
+}
+
+// TestEpochReclaimSkipsExitedVCPUs: a vCPU goroutine that has exited can
+// never acknowledge again and must not block reclamation forever.
+func TestEpochReclaimSkipsExitedVCPUs(t *testing.T) {
+	e := newParTestEngine(t, 3)
+	p := e.par
+	p.exited[1] = true
+	p.exited[2] = true
+	base := e.M.Helpers()
+
+	id := e.M.RegisterHelper(nopHelper)
+	e.exclusiveBegin(e.vcpus[0])
+	p.deferHelper(id)
+	e.exclusiveEnd()
+
+	e.safepoint(e.vcpus[0]) // the only live vCPU acknowledges
+	e.exclusiveBegin(e.vcpus[0])
+	e.exclusiveEnd()
+	if e.M.Helpers() != base {
+		t.Errorf("exited vCPUs blocked reclamation (live=%d, want %d)", e.M.Helpers(), base)
+	}
+}
+
+// TestReclaimAllFreesEverything: teardown reclaim ignores quiescence (all
+// goroutines have exited) and must drain both sealed batches and the frees
+// deferred by a section that never sealed.
+func TestReclaimAllFreesEverything(t *testing.T) {
+	e := newParTestEngine(t, 2)
+	p := e.par
+	base := e.M.Helpers()
+
+	sealed := e.M.RegisterHelper(nopHelper)
+	e.exclusiveBegin(e.vcpus[0])
+	p.deferHelper(sealed)
+	e.exclusiveEnd()
+
+	unsealed := e.M.RegisterHelper(nopHelper)
+	p.curHelpers = append(p.curHelpers, unsealed)
+	p.curHandles = append(p.curHandles, 7)
+
+	e.reclaimAll()
+	if e.M.Helpers() != base {
+		t.Errorf("reclaimAll left %d helpers live, want %d", e.M.Helpers(), base)
+	}
+	if len(p.pending) != 0 {
+		t.Errorf("pending batches = %d after reclaimAll", len(p.pending))
+	}
+}
+
+// TestExclusiveProtocolStress exercises the stop-the-world protocol with real
+// concurrency (run it under -race): three vCPU goroutines loop safepoints and
+// occasionally raise their own exclusive sections, while vCPU 0 retires a
+// stream of helpers through the epoch reclaimer. Checks no deadlock, no
+// double-free, and that teardown reclaim returns the helper table to its
+// baseline.
+func TestExclusiveProtocolStress(t *testing.T) {
+	e, err := NewSMP(nil, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &parCtl{running: 4, exited: make([]bool, 4)}
+	p.cond = sync.NewCond(&p.mu)
+	e.par = p
+	base := e.M.Helpers()
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	for _, v := range e.vcpus[1:] {
+		wg.Add(1)
+		go func(v *VCPU) {
+			defer wg.Done()
+			for i := 0; !done.Load(); i++ {
+				e.safepoint(v)
+				if i%37 == 0 {
+					id := e.M.RegisterHelper(nopHelper)
+					e.exclusiveBegin(v)
+					p.deferHelper(id)
+					e.exclusiveEnd()
+				}
+				runtime.Gosched()
+			}
+			p.mu.Lock()
+			p.running--
+			p.exited[v.Index] = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}(v)
+	}
+
+	v0 := e.vcpus[0]
+	for i := 0; i < 300; i++ {
+		id := e.M.RegisterHelper(nopHelper)
+		e.exclusiveBegin(v0)
+		p.deferHelper(id)
+		e.exclusiveEnd()
+		e.safepoint(v0)
+	}
+	done.Store(true)
+	// vCPU 0 must register its exit BEFORE waiting: a looper blocked in
+	// exclusiveBegin counts running vCPUs, and a participant that silently
+	// stops acknowledging safepoints would deadlock it (runVCPU does the
+	// same dance).
+	p.mu.Lock()
+	p.running--
+	p.exited[0] = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	wg.Wait()
+
+	e.reclaimAll()
+	if e.M.Helpers() != base {
+		t.Errorf("helper table not back to baseline: live=%d, want %d", e.M.Helpers(), base)
+	}
+}

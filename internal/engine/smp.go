@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"sldbt/internal/arm"
 	"sldbt/internal/ghw"
 	"sldbt/internal/mmu"
@@ -76,6 +78,34 @@ type VCPU struct {
 	// loop heads keeps trace seams off flag-live edges and stops competing
 	// rotations of the same loop from forming.
 	hotEdge bool
+
+	// Per-vCPU dispatch/chain state that was engine-global when only one
+	// vCPU could be in emitted code at a time: the TB being executed and the
+	// guest VA it was entered at (advanced by chain glue), the chained
+	// crossings since the last dispatcher entry, and the predecessor of a
+	// pending chain link.
+	curTB      *TB
+	curPC      uint32
+	chainSteps int
+	lastTB     *TB
+	lastSlot   int
+
+	// stats is this vCPU's counter shard: execution-path counters increment
+	// here uncontended and fold into Engine.Stats when a run returns (see
+	// Engine.foldStats), so aggregate counters stay exact without atomics on
+	// hot paths.
+	stats Stats
+
+	// mach is the vCPU's private machine shard while RunParallel is active
+	// (nil otherwise): its own register file, flags and instruction-class
+	// counts over the shared memory and helper table.
+	mach *x86.Machine
+
+	// qEpoch is the last reclamation epoch this vCPU acknowledged at a
+	// safepoint; the parallel reclaimer frees a retired TB's resources only
+	// once every running vCPU's qEpoch has passed the TB's retirement epoch
+	// (see mttcg.go).
+	qEpoch atomic.Uint64
 }
 
 // newVCPU builds vCPU i over its carved-out env region.
@@ -104,19 +134,20 @@ type RegPinner interface {
 	PinnedRegs() ([]arm.Reg, []x86.Reg)
 }
 
-// sliceExpired reports whether the running vCPU has used up its scheduler
-// slice. Uniprocessor engines never expire: the seed single-CPU dispatch
-// behaviour (chain runs, break counts) is preserved exactly.
-func (e *Engine) sliceExpired() bool {
-	return len(e.vcpus) > 1 && e.cur.sliceRet >= SliceQuantum
+// sliceExpired reports whether v has used up its scheduler slice.
+// Uniprocessor engines never expire: the seed single-CPU dispatch behaviour
+// (chain runs, break counts) is preserved exactly. Parallel runs have no
+// scheduler and therefore no slices.
+func (e *Engine) sliceExpired(v *VCPU) bool {
+	return e.par == nil && len(e.vcpus) > 1 && v.sliceRet >= SliceQuantum
 }
 
-// regimeKey identifies the running vCPU's translation regime for chain-link
-// validation: links made under one regime must not be crossed under
-// another. Page-table *content* changes need no key bump — the guest must
-// issue TLB maintenance for them, which unlinks every chain.
-func (e *Engine) regimeKey() uint64 {
-	cp := &e.CPU.CP15
+// regimeKeyOf identifies v's translation regime for chain-link validation:
+// links made under one regime must not be crossed under another. Page-table
+// *content* changes need no key bump — the guest must issue TLB maintenance
+// for them, which unlinks every chain.
+func (e *Engine) regimeKeyOf(v *VCPU) uint64 {
+	cp := &v.CPU.CP15
 	if !cp.MMUEnabled() {
 		return 1 << 63 // identity mapping
 	}
@@ -146,7 +177,7 @@ func (e *Engine) schedule() *VCPU {
 		// The vCPU's pending word may be stale: time advanced while other
 		// vCPUs ran, and wake-ups must deliver their IRQ at the next
 		// block-head check.
-		e.refreshIRQ()
+		e.refreshIRQ(v)
 		return v
 	}
 	return nil
@@ -166,7 +197,9 @@ func (e *Engine) switchTo(v *VCPU) {
 	e.Env, e.CPU = v.Env, v.CPU
 	e.M.Regs[x86.EBP] = v.Env.base
 	e.fillPinned()
-	e.lastTB = nil
+	// The incoming vCPU's pending chain link recorded control flow from its
+	// previous slice; dropping it preserves the pre-SMP linking behaviour.
+	v.lastTB = nil
 	e.Stats.Switches++
 }
 
@@ -191,14 +224,16 @@ func (e *Engine) fillPinned() {
 // differential comparisons; a no-op for state-in-memory translators).
 func (e *Engine) FlushPinned() { e.spillPinned() }
 
-// syncPinnedReg copies one guest register from env into its pinned host
-// register (no-op when the register is memory-resident or the translator
-// does not pin). Helpers that exit a block early — skipping the emitted
-// env->host refill — use it to keep the pinned copy current.
-func (e *Engine) syncPinnedReg(r arm.Reg) {
+// syncPinnedReg copies one of v's guest registers from env into its pinned
+// host register on the machine executing v (no-op when the register is
+// memory-resident or the translator does not pin). Helpers that exit a block
+// early — skipping the emitted env->host refill — use it to keep the pinned
+// copy current.
+func (e *Engine) syncPinnedReg(v *VCPU, r arm.Reg) {
+	m := e.machOf(v)
 	for i, g := range e.pinGuest {
 		if g == r {
-			e.M.Regs[e.pinHost[i]] = e.Env.Reg(r)
+			m.Regs[e.pinHost[i]] = v.Env.Reg(r)
 			return
 		}
 	}
@@ -244,42 +279,45 @@ const CostExclusive = 30
 // the cross-vCPU SMC check on the store path) cannot live in emitted code.
 func (e *Engine) RegisterExclusive(in arm.Inst, guestPC uint32, idx int) int {
 	return e.registerHelper(func(m *x86.Machine) int {
-		e.Stats.HelperCalls++
-		e.Stats.Exclusives++
-		e.M.Charge(x86.ClassHelper, CostExclusive)
-		env := e.Env
-		cpu := e.CPU
+		v := e.ctx(m)
+		v.stats.HelperCalls++
+		v.stats.Exclusives++
+		m.Charge(x86.ClassHelper, CostExclusive)
+		env := v.Env
+		cpu := v.CPU
 		// Normalize the guest flag forms like every system helper (QEMU reads
 		// the CPU state from memory), so the translator may statically use
 		// either restore form after the call.
 		env.SetFlags(env.Flags())
 		switch in.Kind {
 		case arm.KindCLREX:
-			e.excl.Clear(e.cur.Index)
+			e.excl.Clear(v.Index)
 			return -1
 		case arm.KindLDREX:
 			va := env.Reg(in.Rn)
 			pa, _, fault := mmu.Walk(e.Bus, &cpu.CP15, va, mmu.Load, cpu.Mode() == arm.ModeUSR)
 			if fault != nil {
-				return e.dataAbort(fault, guestPC, idx)
+				return e.dataAbort(v, fault, guestPC, idx)
 			}
-			e.excl.MarkLoad(e.cur.Index, pa)
-			e.noteMonitorPage(pa >> PageBits)
+			e.excl.MarkLoad(v.Index, pa)
+			e.noteMonitorPage(v, pa>>PageBits)
 			env.SetReg(in.Rd, e.Bus.Read32(pa))
 			return -1
 		default: // KindSTREX
 			va := env.Reg(in.Rn)
 			pa, _, fault := mmu.Walk(e.Bus, &cpu.CP15, va, mmu.Store, cpu.Mode() == arm.ModeUSR)
 			if fault != nil {
-				return e.dataAbort(fault, guestPC, idx)
+				return e.dataAbort(v, fault, guestPC, idx)
 			}
-			if !e.excl.StoreOK(e.cur.Index, pa) {
-				e.cur.StrexFailures++
-				e.Stats.StrexFailures++
+			// Decision and store are one atomic monitor transaction
+			// (StoreExcl): two vCPUs racing STREX on one granule cannot both
+			// succeed around each other's reservation.
+			if !e.excl.StoreExcl(v.Index, pa, func() { e.Bus.Write32(pa, env.Reg(in.Rm)) }) {
+				v.StrexFailures++
+				v.stats.StrexFailures++
 				env.SetReg(in.Rd, 1)
 				return -1
 			}
-			e.Bus.Write32(pa, env.Reg(in.Rm))
 			env.SetReg(in.Rd, 0)
 			if e.codePages[pa>>PageBits] {
 				// Exclusive store into translated code: same page-granular
@@ -287,10 +325,10 @@ func (e *Engine) RegisterExclusive(in arm.Inst, guestPC uint32, idx int) int {
 				// ExitSMC return unwinds past the block's emitted env->host
 				// refill of Rd, so a pinned status register must be synced
 				// here — the next block assumes pinned registers are current.
-				e.syncPinnedReg(in.Rd)
-				e.invalidateOnStore(pa)
-				e.retire(idx + 1)
-				e.cur.nextPC = guestPC + 4
+				e.syncPinnedReg(v, in.Rd)
+				e.smcInvalidate(v, pa)
+				e.retire(v, idx+1)
+				v.nextPC = guestPC + 4
 				return ExitSMC
 			}
 			return -1
@@ -304,10 +342,20 @@ func (e *Engine) RegisterExclusive(in arm.Inst, guestPC uint32, idx int) int {
 // ever been LDREX'd keeps its stores on the slow path, which costs a helper
 // call per store to that page but avoids re-flushing every TLB each time a
 // lock on the page is re-acquired (monitored pages are lock words — their
-// stores are a tiny, contended minority).
-func (e *Engine) noteMonitorPage(page uint32) {
+// stores are a tiny, contended minority). In a parallel run the poison set
+// and the cross-vCPU TLB flush are shared-state mutations, so the first mark
+// stops the world (re-checking under it — another vCPU may have marked the
+// page while this one waited).
+func (e *Engine) noteMonitorPage(v *VCPU, page uint32) {
 	if e.monitorPages[page] {
 		return
+	}
+	if e.par != nil {
+		e.exclusiveBegin(v)
+		defer e.exclusiveEnd()
+		if e.monitorPages[page] {
+			return
+		}
 	}
 	e.monitorPages[page] = true
 	e.flushAllTLBs()

@@ -210,10 +210,10 @@ func (e *Engine) TraceThreshold() uint64 {
 // TraceExecRatio is the fraction of retired guest instructions that retired
 // inside a trace region.
 func (e *Engine) TraceExecRatio() float64 {
-	if e.Retired == 0 {
-		return 0
+	if ret := e.retiredNow(); ret != 0 {
+		return float64(e.Stats.TraceExec) / float64(ret)
 	}
-	return float64(e.Stats.TraceExec) / float64(e.Retired)
+	return 0
 }
 
 // --- recording ----------------------------------------------------------
@@ -238,8 +238,12 @@ func (r *traceRec) last() uint32 { return r.pcs[len(r.pcs)-1] }
 // branch, or the target of an exit from an existing trace — Dynamo's rule,
 // which anchors trace heads at loop heads so the trace seam (its back edge)
 // falls where the inter-TB elimination can prove the flags dead.
-func (e *Engine) noteRegionEntry(tb *Region, pc uint32) {
-	if !e.traceOn {
+//
+// Trace formation is deterministic-only: a parallel run retires every trace
+// at setup and keeps traceOn off, so this is a no-op there (the guard is
+// belt-and-braces — profiling counters are unsynchronized by design).
+func (e *Engine) noteRegionEntry(v *VCPU, tb *Region, pc uint32) {
+	if !e.traceOn || e.par != nil {
 		return
 	}
 	if tb.IsTrace() {
@@ -254,7 +258,7 @@ func (e *Engine) noteRegionEntry(tb *Region, pc uint32) {
 		}
 		return
 	}
-	if !e.cur.hotEdge {
+	if !v.hotEdge {
 		return
 	}
 	tb.hot++
@@ -266,27 +270,27 @@ func (e *Engine) noteRegionEntry(tb *Region, pc uint32) {
 		return
 	}
 	e.rec = &traceRec{
-		cpu:    e.cur,
+		cpu:    v,
 		head:   tb,
-		priv:   e.CPU.Mode().Privileged(),
-		regime: e.regimeKey(),
+		priv:   v.CPU.Mode().Privileged(),
+		regime: e.regimeKeyOf(v),
 		pcs:    []uint32{pc},
 	}
 }
 
-// recCross observes a crossing out of the currently-executing region
-// (e.curTB entered at e.curPC) while a recording is active. Direct
+// recCross observes a crossing out of the region v is currently executing
+// (v.curTB entered at v.curPC) while a recording is active. Direct
 // crossings extend the path; anything else finalizes or aborts it.
-func (e *Engine) recCross(next uint32, direct bool) {
+func (e *Engine) recCross(v *VCPU, next uint32, direct bool) {
 	r := e.rec
 	if r == nil {
 		return
 	}
 	switch {
-	case e.cur != r.cpu || e.curPC != r.last() ||
-		e.CPU.Mode().Privileged() != r.priv || e.regimeKey() != r.regime:
+	case v != r.cpu || v.curPC != r.last() ||
+		v.CPU.Mode().Privileged() != r.priv || e.regimeKeyOf(v) != r.regime:
 		e.recAbort() // execution diverged from the recorded tail
-	case e.curTB.IsTrace() || !direct:
+	case v.curTB.IsTrace() || !direct:
 		// The region itself ends the trace: its own terminator (an indirect
 		// exit, or a whole formed trace) becomes the final exit.
 		e.recFinalize()
@@ -355,13 +359,15 @@ func (e *Engine) formPendingTrace() {
 		return
 	}
 	// The plan's scan and boundary checks are only meaningful under the
-	// recording's privilege and regime.
-	if e.CPU.Mode().Privileged() != plan.Priv || e.regimeKey() != e.planRegime {
+	// recording's privilege and regime. Formation happens only from the
+	// deterministic dispatcher, so e.cur is the scheduled vCPU.
+	v := e.cur
+	if v.CPU.Mode().Privileged() != plan.Priv || e.regimeKeyOf(v) != e.planRegime {
 		abort()
 		return
 	}
 	head := plan.PCs[0]
-	pa, _, fault := mmu.Walk(e.Bus, &e.CPU.CP15, head, mmu.Fetch, !plan.Priv)
+	pa, _, fault := mmu.Walk(e.Bus, &v.CPU.CP15, head, mmu.Fetch, !plan.Priv)
 	if fault != nil {
 		abort()
 		return
@@ -385,7 +391,7 @@ func (e *Engine) formPendingTrace() {
 	if len(tr.pages) == 0 {
 		tr.pages = SpanPages(key.pa, tr.GuestLen)
 	}
-	tr.regime = e.regimeKey()
+	tr.regime = e.regimeKeyOf(v)
 	tr.epoch = e.traceEpoch
 	if old := e.cache[key]; old != nil {
 		e.retireTB(old)
@@ -400,9 +406,9 @@ func (e *Engine) formPendingTrace() {
 // their blocks, so a regime or epoch mismatch strands them, and a
 // quality-evicted (poor) trace is replaced by fresh translations (single
 // blocks are never stale — the cache is physically keyed).
-func (e *Engine) regionStale(tb *Region) bool {
+func (e *Engine) regionStale(v *VCPU, tb *Region) bool {
 	return tb != nil && tb.IsTrace() &&
-		(tb.poor || tb.epoch != e.traceEpoch || tb.regime != e.regimeKey())
+		(tb.poor || tb.epoch != e.traceEpoch || tb.regime != e.regimeKeyOf(v))
 }
 
 // invalidateTraces marks every formed trace stale (regime change, TLB
@@ -449,17 +455,17 @@ func (e *Engine) retireStaleTraces(all bool) {
 
 // retireExecN advances guest time inside a trace (boundary and side-exit
 // helpers), attributing the retirement to trace-resident execution.
-func (e *Engine) retireExecN(n int) {
-	e.retire(n)
-	e.Stats.TraceExec += uint64(n)
+func (e *Engine) retireExecN(v *VCPU, n int) {
+	e.retire(v, n)
+	v.stats.TraceExec += uint64(n)
 }
 
 // retireExec retires a region's final-exit length, attributing it to trace
 // execution when the region is a trace.
-func (e *Engine) retireExec(tb *Region, n int) {
-	e.retire(n)
+func (e *Engine) retireExec(v *VCPU, tb *Region, n int) {
+	e.retire(v, n)
 	if tb.IsTrace() {
-		e.Stats.TraceExec += uint64(n)
+		v.stats.TraceExec += uint64(n)
 	}
 }
 
@@ -477,36 +483,38 @@ func (e *Engine) retireExec(tb *Region, n int) {
 // copy the exit paths consume is current — Flags' lazy parse charges the
 // conversion if the canonical parsed form is actually needed.
 func (e *Engine) RegisterTraceBoundary(blockPC uint32, prevLen int, ret uint32, priv bool) int {
-	regime := e.regimeKey()
+	regime := e.regimeKeyOf(e.cur) // traces form only deterministically
 	epoch := e.traceEpoch
 	return e.registerHelper(func(m *x86.Machine) int {
-		e.retireExecN(prevLen)
+		v := e.ctx(m)
+		e.retireExecN(v, prevLen)
 		if e.ras && ret != 0 {
-			e.rasPush(ret) // the call happened whether or not we continue
+			e.rasPush(v, ret) // the call happened whether or not we continue
 		}
-		if e.Env.PendingIRQ() {
+		if v.Env.PendingIRQ() {
 			// The block was entered and its check site fired, exactly like a
 			// dispatcher entry whose head check fires.
-			e.Stats.TBEntries++
-			e.Stats.IRQs++
-			e.takeException(arm.VecIRQ, blockPC+4)
+			v.stats.TBEntries++
+			v.stats.IRQs++
+			e.takeException(v, arm.VecIRQ, blockPC+4)
 			return ExitExc
 		}
-		if e.Retired >= e.runLimit || e.Bus.PoweredOff() || e.sliceExpired() ||
-			e.CPU.Mode().Privileged() != priv || e.regimeKey() != regime ||
+		if e.retiredNow() >= e.runLimit || e.stopRequested() || e.Bus.PoweredOff() ||
+			e.sliceExpired(v) ||
+			v.CPU.Mode().Privileged() != priv || e.regimeKeyOf(v) != regime ||
 			e.traceEpoch != epoch {
 			// Leaving the trace mid-way: normalize to the canonical parsed
 			// cross-TB form (lazy-parse charge applies if only the packed
 			// snapshot was current). The block was not entered — the
 			// dispatcher counts the entry when it resumes at blockPC, like a
 			// chain-glue break.
-			e.Env.SetFlags(e.Env.Flags())
-			e.cur.nextPC = blockPC
-			e.cur.hotEdge = false // a scheduling break is not a loop edge
-			e.Stats.TraceBreaks++
+			v.Env.SetFlags(v.Env.Flags())
+			v.nextPC = blockPC
+			v.hotEdge = false // a scheduling break is not a loop edge
+			v.stats.TraceBreaks++
 			return ExitChainBreak
 		}
-		e.Stats.TBEntries++
+		v.stats.TBEntries++
 		return -1
 	})
 }
@@ -519,19 +527,20 @@ func (e *Engine) RegisterTraceBoundary(blockPC uint32, prevLen int, ret uint32, 
 // to the canonical parsed form the successor translation assumes.
 func (e *Engine) RegisterTraceSideExit(targetPC uint32, n int, ret uint32) int {
 	return e.registerHelper(func(m *x86.Machine) int {
-		if t := e.curTB; t != nil && t.IsTrace() {
+		v := e.ctx(m)
+		if t := v.curTB; t != nil && t.IsTrace() {
 			t.sideExits++ // quality accounting (see noteRegionEntry)
 		}
-		e.retireExecN(n)
+		e.retireExecN(v, n)
 		if e.ras && ret != 0 {
-			e.rasPush(ret)
+			e.rasPush(v, ret)
 		}
-		e.Env.SetFlags(e.Env.Flags())
-		e.cur.nextPC = targetPC
+		v.Env.SetFlags(v.Env.Flags())
+		v.nextPC = targetPC
 		// Dynamo's second start-of-trace condition: the target of a trace
 		// side exit may seed a secondary trace.
-		e.cur.hotEdge = true
-		e.Stats.TraceSideExits++
+		v.hotEdge = true
+		v.stats.TraceSideExits++
 		return ExitChainBreak
 	})
 }

@@ -64,7 +64,10 @@ func (tr traceStubTrans) TranslateTrace(e *Engine, plan *TracePlan, priv bool) (
 // tracing on, and steps it until a trace has formed.
 func newTraceStubEngine(t *testing.T) *Engine {
 	t.Helper()
-	e := New(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20)
+	e, err := New(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	e.EnableTracing(true)
 	e.SetTraceThreshold(2)

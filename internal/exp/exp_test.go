@@ -101,7 +101,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 16 {
+	if len(Experiments()) != 17 {
 		t.Errorf("experiment list = %v", Experiments())
 	}
 }
@@ -118,6 +118,22 @@ func TestSMPExperimentRenders(t *testing.T) {
 	for _, want := range []string{"smp-spinlock", "smp-worksteal", "smp-ring", "oracle-checked"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("smp table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMTTCGExperimentRenders: the mttcg experiment runs the suite in both
+// modes (each run oracle-checked inside Run; the function itself additionally
+// asserts single-vCPU retirement identity and zero scheduler switches).
+func TestMTTCGExperimentRenders(t *testing.T) {
+	r := quickRunner()
+	out, err := r.RunExperiment("mttcg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"smp-spinlock", "smp-worksteal", "smp-ring", "oracle-checked", "par-ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mttcg table missing %q:\n%s", want, out)
 		}
 	}
 }

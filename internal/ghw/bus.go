@@ -6,7 +6,12 @@
 // comparable.
 package ghw
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
 
 // Physical memory map.
 const (
@@ -73,6 +78,14 @@ type Bus struct {
 	// Fault records the most recent bus error for engines that report
 	// unmapped accesses as external aborts rather than Go errors.
 	Fault *BusError
+
+	// mu serializes device access and platform-time ticks while the bus is
+	// shared by concurrently executing vCPUs (SetConcurrent). RAM accesses are
+	// not serialized — they switch to atomic word operations instead, so
+	// guest memory traffic never contends on the device lock and device-side
+	// DMA (which re-enters the RAM path under mu) cannot deadlock.
+	mu         sync.Mutex
+	concurrent bool
 }
 
 // NewBus creates a bus with ramSize bytes of RAM and the standard device set
@@ -102,8 +115,21 @@ func NewBusWithRAM(ram []byte) *Bus {
 // SysCtl returns the system controller.
 func (b *Bus) SysCtl() *SysCtl { return b.devs[SysCtlBase].(*SysCtl) }
 
+// SetConcurrent switches the bus between the single-threaded deterministic
+// regime (no locks, plain RAM bytes) and the concurrent regime used by the
+// parallel engine: device access and Tick serialize on an internal mutex and
+// RAM accesses become atomic word operations. The RAM backing must be
+// 4-byte aligned in concurrent mode (the engines allocate it 8-byte aligned).
+func (b *Bus) SetConcurrent(on bool) { b.concurrent = on }
+
 // PoweredOff reports whether the guest has requested shutdown.
-func (b *Bus) PoweredOff() bool { return b.SysCtl().PowerOff }
+func (b *Bus) PoweredOff() bool {
+	if b.concurrent {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	return b.SysCtl().PowerOff
+}
 
 // AddDevice maps dev at the DevSize-aligned window starting at base.
 func (b *Bus) AddDevice(base uint32, dev Device) {
@@ -128,6 +154,10 @@ func (b *Bus) Net() *NetDev { return b.devs[NetBase].(*NetDev) }
 
 // Tick advances platform time by n retired guest instructions.
 func (b *Bus) Tick(n uint64) {
+	if b.concurrent {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
 	b.Now += n
 	for _, d := range b.tickers {
 		d.Tick(n)
@@ -136,10 +166,16 @@ func (b *Bus) Tick(n uint64) {
 
 // IRQPending reports whether CPU 0's IRQ input is asserted (the
 // uniprocessor view; SMP callers use IRQPendingFor).
-func (b *Bus) IRQPending() bool { return b.Intc.Asserted() }
+func (b *Bus) IRQPending() bool { return b.IRQPendingFor(0) }
 
 // IRQPendingFor reports whether the IRQ input of the given CPU is asserted.
-func (b *Bus) IRQPendingFor(cpu int) bool { return b.Intc.AssertedFor(cpu) }
+func (b *Bus) IRQPendingFor(cpu int) bool {
+	if b.concurrent {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	return b.Intc.AssertedFor(cpu)
+}
 
 func (b *Bus) inRAM(addr uint32, n uint32) bool {
 	return uint64(addr)+uint64(n) <= uint64(len(b.RAM))
@@ -155,13 +191,31 @@ func (b *Bus) fault(addr uint32, write bool) {
 	b.Fault = &BusError{Addr: addr, Write: write}
 }
 
-// Read32 reads a 32-bit word from physical memory or a device register.
-// Unmapped accesses record a bus fault and return 0.
-func (b *Bus) Read32(addr uint32) uint32 {
-	addr &^= 3
-	if b.inRAM(addr, 4) {
-		r := b.RAM[addr:]
-		return uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
+// ramWord returns the aligned RAM word containing addr viewed for atomic
+// access (valid only in concurrent mode; see SetConcurrent for alignment).
+// Byte order within the word matches the plain byte-wise path on
+// little-endian hosts, which is all this simulator targets.
+func (b *Bus) ramWord(addr uint32) *uint32 {
+	return (*uint32)(unsafe.Pointer(&b.RAM[addr&^3]))
+}
+
+// casMergeRAM atomically replaces bits of the aligned RAM word containing
+// addr: the sub-word store path in concurrent mode.
+func (b *Bus) casMergeRAM(addr, mask, bits uint32) {
+	p := b.ramWord(addr)
+	for {
+		old := atomic.LoadUint32(p)
+		if atomic.CompareAndSwapUint32(p, old, old&^mask|bits) {
+			return
+		}
+	}
+}
+
+// devRead32 is the locked (when concurrent) device read path.
+func (b *Bus) devRead32(addr uint32) uint32 {
+	if b.concurrent {
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
 	if d, off := b.devAt(addr); d != nil {
 		return d.Read32(off)
@@ -170,13 +224,11 @@ func (b *Bus) Read32(addr uint32) uint32 {
 	return 0
 }
 
-// Write32 writes a 32-bit word to physical memory or a device register.
-func (b *Bus) Write32(addr uint32, v uint32) {
-	addr &^= 3
-	if b.inRAM(addr, 4) {
-		r := b.RAM[addr:]
-		r[0], r[1], r[2], r[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-		return
+// devWrite32 is the locked (when concurrent) device write path.
+func (b *Bus) devWrite32(addr uint32, v uint32) {
+	if b.concurrent {
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
 	if d, off := b.devAt(addr); d != nil {
 		d.Write32(off, v)
@@ -185,10 +237,42 @@ func (b *Bus) Write32(addr uint32, v uint32) {
 	b.fault(addr, true)
 }
 
+// Read32 reads a 32-bit word from physical memory or a device register.
+// Unmapped accesses record a bus fault and return 0.
+func (b *Bus) Read32(addr uint32) uint32 {
+	addr &^= 3
+	if b.inRAM(addr, 4) {
+		if b.concurrent {
+			return atomic.LoadUint32(b.ramWord(addr))
+		}
+		r := b.RAM[addr:]
+		return uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
+	}
+	return b.devRead32(addr)
+}
+
+// Write32 writes a 32-bit word to physical memory or a device register.
+func (b *Bus) Write32(addr uint32, v uint32) {
+	addr &^= 3
+	if b.inRAM(addr, 4) {
+		if b.concurrent {
+			atomic.StoreUint32(b.ramWord(addr), v)
+			return
+		}
+		r := b.RAM[addr:]
+		r[0], r[1], r[2], r[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return
+	}
+	b.devWrite32(addr, v)
+}
+
 // Read16 reads a halfword (device space reads extract from the word).
 func (b *Bus) Read16(addr uint32) uint16 {
 	addr &^= 1
 	if b.inRAM(addr, 2) {
+		if b.concurrent {
+			return uint16(atomic.LoadUint32(b.ramWord(addr)) >> ((addr & 3) * 8))
+		}
 		return uint16(b.RAM[addr]) | uint16(b.RAM[addr+1])<<8
 	}
 	w := b.Read32(addr)
@@ -199,6 +283,11 @@ func (b *Bus) Read16(addr uint32) uint16 {
 func (b *Bus) Write16(addr uint32, v uint16) {
 	addr &^= 1
 	if b.inRAM(addr, 2) {
+		if b.concurrent {
+			sh := (addr & 3) * 8
+			b.casMergeRAM(addr, 0xFFFF<<sh, uint32(v)<<sh)
+			return
+		}
 		b.RAM[addr] = byte(v)
 		b.RAM[addr+1] = byte(v >> 8)
 		return
@@ -209,6 +298,9 @@ func (b *Bus) Write16(addr uint32, v uint16) {
 // Read8 reads a byte.
 func (b *Bus) Read8(addr uint32) uint8 {
 	if b.inRAM(addr, 1) {
+		if b.concurrent {
+			return uint8(atomic.LoadUint32(b.ramWord(addr)) >> ((addr & 3) * 8))
+		}
 		return b.RAM[addr]
 	}
 	w := b.Read32(addr)
@@ -218,6 +310,11 @@ func (b *Bus) Read8(addr uint32) uint8 {
 // Write8 writes a byte.
 func (b *Bus) Write8(addr uint32, v uint8) {
 	if b.inRAM(addr, 1) {
+		if b.concurrent {
+			sh := (addr & 3) * 8
+			b.casMergeRAM(addr, 0xFF<<sh, uint32(v)<<sh)
+			return
+		}
 		b.RAM[addr] = v
 		return
 	}

@@ -123,7 +123,10 @@ lp:
 `
 	prog := kernel.MustBuild(user, kernel.Config{})
 	tr := core.New(set, core.OptScheduling)
-	e := engine.New(tr, kernel.RAMSize)
+	e, err := engine.New(tr, kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		t.Fatal(err)
 	}

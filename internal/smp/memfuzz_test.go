@@ -46,9 +46,10 @@ func memCfgs() []memCfg {
 	}
 }
 
-// runMemEngine boots the program on an n-vCPU engine in the given softmmu
-// configuration (chaining + jump cache + traces on, like runEngine).
-func runMemEngine(t *testing.T, cfg memCfg, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+// buildMemEngine constructs an n-vCPU engine in the given softmmu
+// configuration (chaining + jump cache + traces on, like runEngine) with the
+// program loaded, ready for either run mode.
+func buildMemEngine(t *testing.T, cfg memCfg, prog []byte, origin uint32, n int) *engine.Engine {
 	t.Helper()
 	var tr engine.Translator
 	if cfg.rule {
@@ -76,6 +77,14 @@ func runMemEngine(t *testing.T, cfg memCfg, prog []byte, origin uint32, n int, b
 	if err := e.LoadImage(origin, prog); err != nil {
 		t.Fatal(err)
 	}
+	return e
+}
+
+// runMemEngine boots the program on an n-vCPU engine in the given softmmu
+// configuration and executes it deterministically.
+func runMemEngine(t *testing.T, cfg memCfg, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+	t.Helper()
+	e := buildMemEngine(t, cfg, prog, origin, n)
 	code, err := e.Run(budget)
 	if err != nil {
 		t.Fatalf("%s(%d vcpus): %v (console %q)", cfg.name, n, err, e.Bus.UART().Output())

@@ -1,0 +1,247 @@
+package smp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/kernel"
+	"sldbt/internal/workloads"
+)
+
+// The true-parallel differential: RunParallel (one goroutine per vCPU over
+// the shared code cache, MTTCG) against Run (the deterministic scheduler) as
+// the oracle. Run these under -race: the interleavings are real, so the
+// detector sees every cross-vCPU access the protocol claims to order.
+
+// buildSMPEngine constructs an n-vCPU engine in the acceptance configuration
+// (chaining, jump cache, RAS; tracing selectable — trace formation is a
+// deterministic-mode feature, so the single-vCPU bit-identity test turns it
+// off on both sides to compare counters exactly).
+func buildSMPEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, traces bool) *engine.Engine {
+	t.Helper()
+	e, err := engine.NewSMP(tr, kernel.RAMSize, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableChaining(true)
+	e.EnableJumpCache(true)
+	e.EnableRAS(true)
+	if traces {
+		e.EnableTracing(true)
+		e.SetTraceThreshold(4)
+	}
+	if err := e.LoadImage(origin, prog); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// runEngineParallel boots the program on an n-vCPU engine and executes it
+// with RunParallel (same configuration as runEngine, including tracing — the
+// run itself retires formed traces and disables formation, which is part of
+// what the differential exercises).
+func runEngineParallel(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+	t.Helper()
+	e := buildSMPEngine(t, tr, prog, origin, n, true)
+	code, err := e.RunParallel(budget)
+	if err != nil {
+		t.Fatalf("%s+mttcg(%d vcpus): %v (console %q)", tr.Name(), n, err, e.Bus.UART().Output())
+	}
+	if code != 0 {
+		t.Fatalf("%s+mttcg(%d vcpus): exit %#x (console %q)", tr.Name(), n, code, e.Bus.UART().Output())
+	}
+	return e
+}
+
+// checkParallelAccounting asserts the counter invariants a parallel run must
+// keep regardless of interleaving: the global retirement clock is exactly the
+// sum of the per-vCPU counts (the stat shards fold without loss), and no
+// scheduler switches are recorded (there is no scheduler).
+func checkParallelAccounting(t *testing.T, e *engine.Engine, label string) {
+	t.Helper()
+	var sum uint64
+	for _, v := range e.VCPUs() {
+		sum += v.Retired
+	}
+	if sum != e.Retired {
+		t.Errorf("%s: per-vCPU retirements sum to %d, global clock says %d", label, sum, e.Retired)
+	}
+	if e.Stats.Switches != 0 {
+		t.Errorf("%s: %d scheduler switches recorded in a scheduler-less run", label, e.Stats.Switches)
+	}
+}
+
+// TestMTTCGWorkloadsDifferential runs the SMP workload suite truly in
+// parallel at 1-4 vCPUs on both translating engines and requires the final
+// guest-visible state — console, per-vCPU registers, and (for the IRQ-free
+// workloads, whose final memory is schedule-insensitive by construction)
+// every byte of RAM — identical to the deterministic run. smp-ring's IRQ
+// arrival points depend on the interleaving, so its RAM is compared only at
+// one vCPU (where the interleaving is exact); its architectural results are
+// still covered through registers and console.
+func TestMTTCGWorkloadsDifferential(t *testing.T) {
+	for _, w := range workloads.SMPWorkloads() {
+		for _, n := range []int{1, 2, 3, 4} {
+			for ename, mk := range translators() {
+				name := fmt.Sprintf("%s/%dcpu/%s", w.Name, n, ename)
+				t.Run(name, func(t *testing.T) {
+					im, err := w.Prepare()
+					if err != nil {
+						t.Fatal(err)
+					}
+					det := runEngine(t, mk(), im.Data, im.Origin, n, testBudget)
+					par := runEngineParallel(t, mk(), im.Data, im.Origin, n, testBudget)
+					fullRAM := n == 1 || w.Name != "smp-ring"
+					if err := CompareEngines(par, det, fullRAM); err != nil {
+						t.Fatal(err)
+					}
+					checkParallelAccounting(t, par, name)
+					if n > 1 && w.Name != "smp-ring" && par.Stats.Exclusives == 0 {
+						t.Error("no exclusive-access helpers executed")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMTTCGSingleVCPUBitIdentical pins the strongest form of the oracle
+// claim: with one vCPU every synchronization point in RunParallel degenerates
+// to its deterministic form, so the run must match Run bit for bit — final
+// state AND the full counter set (engine stats, retirement clock, host
+// instruction-class counts). Tracing is off on both sides (it is a
+// deterministic-only feature that RunParallel disables).
+func TestMTTCGSingleVCPUBitIdentical(t *testing.T) {
+	for _, w := range workloads.SMPWorkloads() {
+		for ename, mk := range translators() {
+			t.Run(w.Name+"/"+ename, func(t *testing.T) {
+				im, err := w.Prepare()
+				if err != nil {
+					t.Fatal(err)
+				}
+				det := buildSMPEngine(t, mk(), im.Data, im.Origin, 1, false)
+				if code, err := det.Run(testBudget); err != nil || code != 0 {
+					t.Fatalf("deterministic: exit %#x, %v", code, err)
+				}
+				par := buildSMPEngine(t, mk(), im.Data, im.Origin, 1, false)
+				if code, err := par.RunParallel(testBudget); err != nil || code != 0 {
+					t.Fatalf("parallel: exit %#x, %v", code, err)
+				}
+				if err := CompareEngines(par, det, true); err != nil {
+					t.Fatal(err)
+				}
+				if par.Stats != det.Stats {
+					t.Errorf("engine stats diverge:\n par %+v\n det %+v", par.Stats, det.Stats)
+				}
+				if par.Retired != det.Retired {
+					t.Errorf("retirement clock: par %d, det %d", par.Retired, det.Retired)
+				}
+				if par.M.Counts != det.M.Counts {
+					t.Errorf("host instruction-class counts diverge:\n par %v\n det %v", par.M.Counts, det.M.Counts)
+				}
+			})
+		}
+	}
+}
+
+// TestMTTCGFuzzSMPParallel runs the SMP fuzz programs truly in parallel. The
+// bodies' register trajectories pass through LDREX'd shared values, so at
+// n > 1 the final registers (and hence console checksum) are legitimately
+// schedule-sensitive; there the test asserts clean completion and the
+// accounting invariants. Each seed also runs a single-vCPU variant, where the
+// interleaving is exact and the parallel run must match the deterministic one
+// on every byte.
+func TestMTTCGFuzzSMPParallel(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, seed := range fuzzSeeds(t, seeds) {
+		seed := seed
+		n := 2 + seed%3 // 2, 3, 4 vCPUs
+		t.Run(fmt.Sprintf("seed%d_%dcpu", seed, n), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(9000 + seed)))
+			src := fuzzProgram(r, n)
+			prog, err := kernel.Build(src, kernel.Config{TimerOff: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			for ename, mk := range translators() {
+				par := runEngineParallel(t, mk(), prog.Image, prog.Origin, n, testBudget)
+				checkParallelAccounting(t, par, ename)
+				if par.Stats.Exclusives == 0 {
+					t.Errorf("%s: no exclusive-access helpers executed", ename)
+				}
+			}
+		})
+		t.Run(fmt.Sprintf("seed%d_1cpu", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(9500 + seed)))
+			src := fuzzProgram(r, 1)
+			prog, err := kernel.Build(src, kernel.Config{TimerOff: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			for ename, mk := range translators() {
+				det := runEngine(t, mk(), prog.Image, prog.Origin, 1, testBudget)
+				par := runEngineParallel(t, mk(), prog.Image, prog.Origin, 1, testBudget)
+				if err := CompareEngines(par, det, true); err != nil {
+					t.Errorf("seed %d on %s: %v\nprogram:\n%s", seed, ename, err, src)
+				}
+			}
+		})
+	}
+}
+
+// TestMTTCGMemFuzzParallel runs the softmmu memory fuzz truly in parallel on
+// representative fast-path configurations (the per-vCPU TLBs, monitor-page
+// poison set and SMC invalidation are the shared state under test). Same
+// comparison policy as the SMP fuzz: full differential at one vCPU,
+// completion plus accounting invariants beyond.
+func TestMTTCGMemFuzzParallel(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	cfgs := []memCfg{
+		{name: "tcg+victim", victim: true},
+		{name: "rule+reuse+victim", rule: true, reuse: true, victim: true},
+	}
+	for _, seed := range fuzzSeeds(t, seeds) {
+		seed := seed
+		n := 1 + seed%4 // 1-4 vCPUs
+		t.Run(fmt.Sprintf("seed%d_%dcpu", seed, n), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(31000 + seed)))
+			src := memFuzzProgram(r, n)
+			prog, err := kernel.Build(src, kernel.Config{TimerOff: true})
+			if err != nil {
+				t.Fatalf("seed %d: %v\n%s", seed, err, src)
+			}
+			for _, cfg := range cfgs {
+				par := runMemEngineParallel(t, cfg, prog.Image, prog.Origin, n, testBudget)
+				checkParallelAccounting(t, par, cfg.name)
+				if n == 1 {
+					det := runMemEngine(t, cfg, prog.Image, prog.Origin, 1, testBudget)
+					if err := CompareEngines(par, det, true); err != nil {
+						t.Errorf("seed %d on %s: %v\nprogram:\n%s", seed, cfg.name, err, src)
+					}
+				}
+			}
+		})
+	}
+}
+
+// runMemEngineParallel is runMemEngine's parallel twin.
+func runMemEngineParallel(t *testing.T, cfg memCfg, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+	t.Helper()
+	e := buildMemEngine(t, cfg, prog, origin, n)
+	code, err := e.RunParallel(budget)
+	if err != nil {
+		t.Fatalf("%s+mttcg(%d vcpus): %v (console %q)", cfg.name, n, err, e.Bus.UART().Output())
+	}
+	if code != 0 {
+		t.Fatalf("%s+mttcg(%d vcpus): exit %#x (console %q)", cfg.name, n, code, e.Bus.UART().Output())
+	}
+	return e
+}

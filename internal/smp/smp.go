@@ -151,3 +151,40 @@ func CompareState(e *engine.Engine, o *Oracle, fullRAM bool) error {
 	}
 	return nil
 }
+
+// CompareEngines differentially compares two engine runs of the same guest —
+// typically a true-parallel MTTCG run against the deterministic run as the
+// oracle. The comparison surface is CompareState's: console output, per-vCPU
+// register state (PC and the dead-flag bits masked, for the same reasons),
+// and, when fullRAM is set, every byte of guest RAM. fullRAM is only
+// meaningful for guests whose final memory is schedule-insensitive: a
+// parallel run's interleaving is real, so exact-interleave equality is
+// available solely at one vCPU.
+func CompareEngines(got, want *engine.Engine, fullRAM bool) error {
+	if g, w := got.Bus.UART().Output(), want.Bus.UART().Output(); g != w {
+		return fmt.Errorf("console diverges:\n got  %q\n want %q", g, w)
+	}
+	if len(got.VCPUs()) != len(want.VCPUs()) {
+		return fmt.Errorf("vCPU count %d vs %d", len(got.VCPUs()), len(want.VCPUs()))
+	}
+	got.FlushPinned()
+	want.FlushPinned()
+	for i, v := range got.VCPUs() {
+		g, w := v.Snapshot(), want.VCPUs()[i].Snapshot()
+		g[arm.PC], w[arm.PC] = 0, 0
+		g[16] &^= uint32(arm.CPSRMaskFlags)
+		w[16] &^= uint32(arm.CPSRMaskFlags)
+		if g != w {
+			return fmt.Errorf("vcpu%d register state diverges:\n got  %08x\n want %08x", i, g, w)
+		}
+	}
+	if fullRAM && !bytes.Equal(got.Bus.RAM, want.Bus.RAM) {
+		for a := 0; a < len(got.Bus.RAM); a++ {
+			if got.Bus.RAM[a] != want.Bus.RAM[a] {
+				return fmt.Errorf("guest RAM diverges first at %#08x: got %#02x want %#02x",
+					a, got.Bus.RAM[a], want.Bus.RAM[a])
+			}
+		}
+	}
+	return nil
+}

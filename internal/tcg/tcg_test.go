@@ -28,7 +28,10 @@ func runBoth(t *testing.T, userSrc string, cfg kernel.Config, budget uint64) (*e
 	}
 	wantOut := ibus.UART().Output()
 
-	e := engine.New(New(), kernel.RAMSize)
+	e, err := engine.New(New(), kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +67,7 @@ hello:
 	if !strings.Contains(out, "hello from tcg") {
 		t.Errorf("console: %q", out)
 	}
-	if e.Stats.TBsTranslated == 0 || e.Stats.ChainHits == 0 {
+	if e.Stats.TBsTranslated == 0 || e.Stats.DirectDispatches == 0 {
 		t.Errorf("stats look wrong: %+v", e.Stats)
 	}
 }
@@ -226,7 +229,10 @@ user_entry:
 		return bus, ip.Run
 	})
 	ec, eo := run(func() (*ghw.Bus, func(uint64) (uint32, error)) {
-		e := engine.New(New(), kernel.RAMSize)
+		e, err := engine.New(New(), kernel.RAMSize)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +257,10 @@ lp:
 	svc #0
 `
 	prog := kernel.MustBuild(user, kernel.Config{})
-	e := engine.New(New(), kernel.RAMSize)
+	e, err := engine.New(New(), kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +320,10 @@ spin:
 		t.Fatalf("interp: %v", err)
 	}
 
-	e := engine.New(New(), kernel.RAMSize)
+	e, err := engine.New(New(), kernel.RAMSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	e.EnableChaining(true)
 	if err := e.LoadImage(prog.Origin, prog.Image); err != nil {
 		t.Fatal(err)

@@ -32,7 +32,25 @@ const smpSharedEqu = `
 
 // smpPark parks a finished secondary core forever (WFI keeps it off the
 // scheduler; nothing ever asserts its IRQ input again once the run ends).
+// Secondaries enter through spark_canon: the registers live at the exit
+// barrier depend on the order cores reached it (and, for the task loops,
+// on which task a core happened to claim last), which is schedule-
+// sensitive under true-parallel execution. Zeroing them lets the
+// parallel-vs-deterministic differential compare final register files at
+// any vCPU count; r8-r11 (shared base, ncpu, cpu index, lock address) are
+// schedule-independent and stay.
 const smpPark = `
+spark_canon:
+	mov r0, r10
+	mov r1, #0
+	mov r2, #0
+	mov r3, #0
+	mov r4, #0
+	mov r5, #0
+	mov r6, #0
+	mov r7, #0
+	mov r12, #0
+	cmp r0, r0
 spark:
 	wfi
 	b spark
@@ -89,7 +107,7 @@ sl_done:
 	cmp r3, #0
 	bne sl_done
 	cmp r10, #0
-	bne spark            ; secondaries park
+	bne spark_canon      ; secondaries park (canonical registers)
 sl_wait:                 ; core 0: wait for everyone
 	ldr r2, [r8, #S_DONE]
 	cmp r2, r9
@@ -152,7 +170,7 @@ ws_done:
 	cmp r3, #0
 	bne ws_done
 	cmp r10, #0
-	bne spark
+	bne spark_canon
 ws_wait:
 	ldr r2, [r8, #S_DONE]
 	cmp r2, r9
@@ -279,17 +297,7 @@ cdone:
 	; canonical final state: IRQ arrival points may shift a few
 	; instructions between engines (moved interrupt checks), so park with
 	; schedule-independent registers.
-	mov r0, r10
-	mov r1, #0
-	mov r2, #0
-	mov r3, #0
-	mov r4, #0
-	mov r5, #0
-	mov r6, #0
-	mov r7, #0
-	mov r12, #0
-	cmp r0, r0
-	b spark
+	b spark_canon
 
 kick:                    ; IPI every core except 0 (clobbers r0-r3, r12 via svc)
 	push {lr}

@@ -100,7 +100,10 @@ func TestWorkloadsAgreeAcrossEngines(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				e := engine.New(tr, kernel.RAMSize)
+				e, err := engine.New(tr, kernel.RAMSize)
+				if err != nil {
+					t.Fatal(err)
+				}
 				im.Configure(e.Bus)
 				if err := e.LoadImage(im.Origin, im.Data); err != nil {
 					t.Fatal(err)

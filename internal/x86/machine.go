@@ -1,11 +1,37 @@
 package x86
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
 
 // Helper is engine code invoked by a CALLH instruction. It may read and
 // write machine state, charge synthetic instruction costs, and request a
 // block exit by returning a non-negative exit code (negative = continue).
 type Helper func(m *Machine) int
+
+// helperTab is the helper-closure table, shared between a machine and its
+// shards (the per-vCPU execution contexts of the parallel engine). Writers
+// must be serialized externally (the engine's translation lock); every
+// mutation republishes a fresh slice header so concurrently executing
+// shards pick up new registrations with one atomic load per CALLH.
+// Closure slots themselves are never written while any executor can reach
+// their id: registrations write recycled or fresh slots that no published
+// block references yet, and frees run only after the engine's epoch scheme
+// has proven every vCPU past the retired block.
+type helperTab struct {
+	pub atomic.Pointer[[]Helper]
+
+	helpers     []Helper
+	freeHelpers []int // recycled helper ids (their closures were released)
+	liveHelpers int
+}
+
+func (t *helperTab) publish() {
+	h := t.helpers
+	t.pub.Store(&h)
+}
 
 // Machine is the simulated host CPU plus host memory. Dynamic instruction
 // counts are accumulated per Class.
@@ -18,9 +44,19 @@ type Machine struct {
 	// Counts accumulates executed host instructions per class.
 	Counts [NumClasses]uint64
 
-	helpers     []Helper
-	freeHelpers []int // recycled helper ids (their closures were released)
-	liveHelpers int
+	// AtomicFrom makes loads and stores at host addresses >= AtomicFrom use
+	// atomic word operations (0 disables). The parallel engine points every
+	// shard's AtomicFrom at the guest RAM window so guest-visible memory
+	// shared between concurrently executing vCPUs is race-safe, while env
+	// blocks, TLBs and host stacks below the window stay on the plain path.
+	AtomicFrom uint32
+
+	// Owner is an opaque execution-context tag; the engine stores the vCPU a
+	// shard executes for, so helper closures can resolve their context from
+	// the machine they were invoked on.
+	Owner any
+
+	tab *helperTab
 
 	// nextBlock is the jump target resolved by a JMPT glue helper: the
 	// engine-side glue translates the block handle carried in the emitted
@@ -36,39 +72,63 @@ type Machine struct {
 // inside a JMPT glue helper that is about to approve the jump.
 func (m *Machine) SetNextBlock(b *Block) { m.nextBlock = b }
 
-// NewMachine creates a host machine with memSize bytes of host memory.
+// NewMachine creates a host machine with memSize bytes of host memory. The
+// memory is allocated 8-byte aligned so the atomic access mode can map any
+// aligned word to one atomic operation.
 func NewMachine(memSize int) *Machine {
-	return &Machine{Mem: make([]byte, memSize)}
+	words := make([]uint64, (memSize+7)/8)
+	var mem []byte
+	if memSize > 0 {
+		mem = unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), memSize)
+	}
+	t := &helperTab{}
+	t.publish()
+	return &Machine{Mem: mem, tab: t}
+}
+
+// NewShard returns a machine sharing this machine's memory and helper table
+// but with private registers, flags, counters and dispatch state — one
+// execution context per vCPU for the parallel engine. Helper registrations
+// through any shard are visible to all of them.
+func (m *Machine) NewShard() *Machine {
+	return &Machine{Mem: m.Mem, tab: m.tab, AtomicFrom: m.AtomicFrom}
 }
 
 // RegisterHelper installs fn and returns its helper id, reusing an id freed
 // by FreeHelper when one is available so per-block invalidation does not
 // grow the table without bound.
 func (m *Machine) RegisterHelper(fn Helper) int {
-	m.liveHelpers++
-	if n := len(m.freeHelpers); n > 0 {
-		id := m.freeHelpers[n-1]
-		m.freeHelpers = m.freeHelpers[:n-1]
-		m.helpers[id] = fn
+	t := m.tab
+	t.liveHelpers++
+	if n := len(t.freeHelpers); n > 0 {
+		id := t.freeHelpers[n-1]
+		t.freeHelpers = t.freeHelpers[:n-1]
+		t.helpers[id] = fn
+		t.publish()
 		return id
 	}
-	m.helpers = append(m.helpers, fn)
-	return len(m.helpers) - 1
+	t.helpers = append(t.helpers, fn)
+	t.publish()
+	return len(t.helpers) - 1
 }
 
 // Helpers returns the number of live (registered and not freed) helpers.
-func (m *Machine) Helpers() int { return m.liveHelpers }
+func (m *Machine) Helpers() int { return m.tab.liveHelpers }
 
 // FreeHelper releases one helper closure and recycles its id. The caller
 // must guarantee no reachable block still calls the id (the engine frees a
-// block's helpers only when the block itself is retired from the cache).
+// block's helpers only when the block itself is retired from the cache, and
+// in parallel mode additionally only after every vCPU passed the retirement
+// epoch).
 func (m *Machine) FreeHelper(id int) {
-	if id < 0 || id >= len(m.helpers) || m.helpers[id] == nil {
+	t := m.tab
+	if id < 0 || id >= len(t.helpers) || t.helpers[id] == nil {
 		return // already freed or never registered
 	}
-	m.helpers[id] = nil
-	m.freeHelpers = append(m.freeHelpers, id)
-	m.liveHelpers--
+	t.helpers[id] = nil
+	t.freeHelpers = append(t.freeHelpers, id)
+	t.liveHelpers--
+	t.publish()
 }
 
 // TruncateHelpers discards helpers registered after the first n, releasing
@@ -77,24 +137,35 @@ func (m *Machine) FreeHelper(id int) {
 // engine does this by truncating only when the whole code cache is
 // invalidated).
 func (m *Machine) TruncateHelpers(n int) {
-	for i := n; i < len(m.helpers); i++ {
-		m.helpers[i] = nil
+	t := m.tab
+	for i := n; i < len(t.helpers); i++ {
+		t.helpers[i] = nil
 	}
-	m.helpers = m.helpers[:n]
-	keep := m.freeHelpers[:0]
-	for _, id := range m.freeHelpers {
+	t.helpers = t.helpers[:n]
+	keep := t.freeHelpers[:0]
+	for _, id := range t.freeHelpers {
 		if id < n {
 			keep = append(keep, id)
 		}
 	}
-	m.freeHelpers = keep
+	t.freeHelpers = keep
 	live := 0
-	for _, h := range m.helpers {
+	for _, h := range t.helpers {
 		if h != nil {
 			live++
 		}
 	}
-	m.liveHelpers = live
+	t.liveHelpers = live
+	t.publish()
+}
+
+// helper resolves a helper id against the published table.
+func (m *Machine) helper(id int) Helper {
+	t := *m.tab.pub.Load()
+	if id < 0 || id >= len(t) {
+		return nil
+	}
+	return t[id]
 }
 
 // Charge adds synthetic host-instruction cost to a class; helpers use it to
@@ -110,27 +181,109 @@ func (m *Machine) Total() uint64 {
 	return t
 }
 
+// atomicAt reports whether addr falls in the atomic access range.
+func (m *Machine) atomicAt(addr uint32) bool {
+	return m.AtomicFrom != 0 && addr >= m.AtomicFrom
+}
+
+// wordAt returns the aligned host word containing addr, viewed for atomic
+// access. Machine memory is 8-byte aligned (NewMachine), so any 4-aligned
+// offset is a valid atomic word. Byte order within the word matches the
+// plain byte-wise accessors on little-endian hosts, which is all this
+// simulator targets.
+func (m *Machine) wordAt(addr uint32) *uint32 {
+	return (*uint32)(unsafe.Pointer(&m.Mem[addr&^3]))
+}
+
+// casMerge atomically replaces bits of the aligned word containing addr:
+// the sub-word store path for atomic-range byte and halfword writes.
+func (m *Machine) casMerge(addr uint32, mask, bits uint32) {
+	p := m.wordAt(addr)
+	for {
+		old := atomic.LoadUint32(p)
+		if atomic.CompareAndSwapUint32(p, old, old&^mask|bits) {
+			return
+		}
+	}
+}
+
 // Read32 reads host memory.
 func (m *Machine) Read32(addr uint32) uint32 {
+	if m.atomicAt(addr) {
+		if addr&3 == 0 {
+			return atomic.LoadUint32(m.wordAt(addr))
+		}
+		// Unaligned word in the atomic range: stitch the two containing
+		// words. Each half is read atomically; guest code that relies on
+		// single-copy atomicity uses aligned words.
+		lo := atomic.LoadUint32(m.wordAt(addr))
+		hi := atomic.LoadUint32(m.wordAt(addr + 3))
+		sh := (addr & 3) * 8
+		return lo>>sh | hi<<(32-sh)
+	}
 	b := m.Mem[addr : addr+4]
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // Write32 writes host memory.
 func (m *Machine) Write32(addr uint32, v uint32) {
+	if m.atomicAt(addr) {
+		if addr&3 == 0 {
+			atomic.StoreUint32(m.wordAt(addr), v)
+			return
+		}
+		sh := (addr & 3) * 8
+		m.casMerge(addr, 0xFFFFFFFF<<sh, v<<sh)
+		m.casMerge(addr+3, 0xFFFFFFFF>>(32-sh), v>>(32-sh))
+		return
+	}
 	b := m.Mem[addr : addr+4]
 	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }
 
 // Read16 reads a host halfword.
 func (m *Machine) Read16(addr uint32) uint16 {
+	if m.atomicAt(addr) {
+		if addr&3 == 3 {
+			return uint16(m.Read8(addr)) | uint16(m.Read8(addr+1))<<8
+		}
+		return uint16(atomic.LoadUint32(m.wordAt(addr)) >> ((addr & 3) * 8))
+	}
 	return uint16(m.Mem[addr]) | uint16(m.Mem[addr+1])<<8
 }
 
 // Write16 writes a host halfword.
 func (m *Machine) Write16(addr uint32, v uint16) {
+	if m.atomicAt(addr) {
+		if addr&3 == 3 {
+			m.Write8(addr, byte(v))
+			m.Write8(addr+1, byte(v>>8))
+			return
+		}
+		sh := (addr & 3) * 8
+		m.casMerge(addr, 0xFFFF<<sh, uint32(v)<<sh)
+		return
+	}
 	m.Mem[addr] = byte(v)
 	m.Mem[addr+1] = byte(v >> 8)
+}
+
+// Read8 reads a host byte.
+func (m *Machine) Read8(addr uint32) byte {
+	if m.atomicAt(addr) {
+		return byte(atomic.LoadUint32(m.wordAt(addr)) >> ((addr & 3) * 8))
+	}
+	return m.Mem[addr]
+}
+
+// Write8 writes a host byte.
+func (m *Machine) Write8(addr uint32, v byte) {
+	if m.atomicAt(addr) {
+		sh := (addr & 3) * 8
+		m.casMerge(addr, 0xFF<<sh, uint32(v)<<sh)
+		return
+	}
+	m.Mem[addr] = v
 }
 
 // Flags returns the EFLAGS word (CF/ZF/SF/OF bits only).
@@ -179,7 +332,7 @@ func (m *Machine) load(o Operand) uint32 {
 		a := m.ea(o)
 		switch o.Size {
 		case 1:
-			return uint32(m.Mem[a])
+			return uint32(m.Read8(a))
 		case 2:
 			return uint32(m.Read16(a))
 		default:
@@ -198,7 +351,7 @@ func (m *Machine) store(o Operand, v uint32) {
 		a := m.ea(o)
 		switch o.Size {
 		case 1:
-			m.Mem[a] = byte(v)
+			m.Write8(a, byte(v))
 		case 2:
 			m.Write16(a, uint16(v))
 		default:
@@ -438,7 +591,7 @@ func (m *Machine) Exec(b *Block) uint32 {
 		case CLC:
 			m.CF = false
 		case CALLH:
-			fn := m.helpers[in.Helper]
+			fn := m.helper(in.Helper)
 			if fn == nil {
 				panic(fmt.Sprintf("x86: callh to freed helper %d (guest pc %#x)", in.Helper, b.GuestPC))
 			}
@@ -452,7 +605,7 @@ func (m *Machine) Exec(b *Block) uint32 {
 			// bookkeeping (retire, budget/IRQ bounds) and either approves the
 			// direct jump (negative return) or forces an exit back to the
 			// dispatcher.
-			fn := m.helpers[in.Helper]
+			fn := m.helper(in.Helper)
 			if fn == nil {
 				panic(fmt.Sprintf("x86: chain glue helper %d freed while patched (guest pc %#x)", in.Helper, b.GuestPC))
 			}
@@ -469,7 +622,7 @@ func (m *Machine) Exec(b *Block) uint32 {
 			// the handle against its table and either stages the target via
 			// SetNextBlock (negative return) or forces an exit back to the
 			// dispatcher.
-			fn := m.helpers[in.Helper]
+			fn := m.helper(in.Helper)
 			if fn == nil {
 				panic(fmt.Sprintf("x86: jmpt glue helper %d freed (guest pc %#x)", in.Helper, b.GuestPC))
 			}
