@@ -1,34 +1,63 @@
-// Command benchdiff compares two `go test -bench` outputs metric by metric
-// (a minimal benchstat): for every benchmark line it pairs each value with
-// its unit and prints old -> new with the relative change, so the CI can
-// surface per-PR movement of the custom metrics (chain-rate, lookup-drop,
-// syncglue-drop, ...) against the previous run's artifact.
+// Command benchdiff compares two benchmark artifacts metric by metric and
+// prints old -> new with the relative change, so the CI can surface per-PR
+// movement of the custom metrics (chain-rate, host/guest, retranslations,
+// ...) against the previous run's artifact.
 //
 // Usage:
 //
 //	benchdiff old.txt new.txt
+//	benchdiff BENCH_matrix.old.json BENCH_matrix.json
 //
-// It is report-only: the exit code is always 0 when both files parse, so a
-// perf regression is visible in the log without failing the build (the
-// simulated-host instruction counts are deterministic, but wall-clock
-// ns/op on shared CI runners is not).
+// A *.json artifact is an aggregated scenario matrix (internal/audit); any
+// other file is `go test -bench` output. The two formats flatten into the
+// same "name unit -> value" shape, so they diff through one code path.
+//
+// Failure semantics are deliberately asymmetric:
+//
+//   - A missing OLD artifact is not an error: the first run on a branch has
+//     no previous artifact, so benchdiff reports the new metrics alone and
+//     exits 0 (report-only).
+//   - A malformed artifact (either side) is an error: a corrupted or
+//     schema-skewed file silently diffing as "everything new/gone" would
+//     hide regressions, so benchdiff prints a diagnostic to stderr and
+//     exits nonzero.
+//
+// Metric regressions themselves never change the exit code: the simulated
+// host instruction counts are deterministic, but wall-clock on shared CI
+// runners is not, and the log is the review surface.
 package main
 
 import (
 	"bufio"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+
+	"sldbt/internal/audit"
 )
 
-// metrics maps "benchmark name / unit" to the reported value.
+// metrics maps "name unit" to the reported value.
 type metrics map[string]float64
 
-// parse reads a `go test -bench` output file into metric pairs.
-func parse(path string) (metrics, error) {
+// load reads an artifact into metric pairs: a matrix artifact when the path
+// ends in .json, `go test -bench` output otherwise. An artifact that parses
+// to zero metrics is malformed — an empty file diffs as "everything gone",
+// which is exactly the silent corruption this command must refuse.
+func load(path string) (metrics, error) {
+	if strings.HasSuffix(path, ".json") {
+		mx, err := audit.LoadMatrix(path)
+		if err != nil {
+			return nil, err
+		}
+		m := metrics(mx.Flatten())
+		if len(m) == 0 {
+			return nil, fmt.Errorf("%s: matrix artifact contains no runs", path)
+		}
+		return m, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -51,7 +80,13 @@ func parse(path string) (metrics, error) {
 			m[name+" "+fields[i+1]] = v
 		}
 	}
-	return m, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark metrics found (malformed bench output?)", path)
+	}
+	return m, nil
 }
 
 // lastDashSuffix returns the trailing -N GOMAXPROCS suffix digits (empty
@@ -65,41 +100,67 @@ func lastDashSuffix(name string) string {
 	return ""
 }
 
-func main() {
-	log.SetFlags(0)
-	if len(os.Args) != 3 {
-		log.Fatal("usage: benchdiff old.txt new.txt")
-	}
-	old, err := parse(os.Args[1])
-	if err != nil {
-		log.Fatalf("%s: %v", os.Args[1], err)
-	}
-	cur, err := parse(os.Args[2])
-	if err != nil {
-		log.Fatalf("%s: %v", os.Args[2], err)
-	}
+// report prints the diff table (or, with a nil old, the new metrics alone).
+func report(w io.Writer, old, cur metrics) {
 	keys := make([]string, 0, len(cur))
 	for k := range cur {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	fmt.Printf("%-48s %14s %14s %9s\n", "benchmark/metric", "old", "new", "delta")
+	fmt.Fprintf(w, "%-48s %14s %14s %9s\n", "benchmark/metric", "old", "new", "delta")
 	for _, k := range keys {
 		nv := cur[k]
 		ov, ok := old[k]
 		if !ok {
-			fmt.Printf("%-48s %14s %14.4g %9s\n", k, "-", nv, "new")
+			fmt.Fprintf(w, "%-48s %14s %14.4g %9s\n", k, "-", nv, "new")
 			continue
 		}
 		delta := "~"
 		if ov != 0 {
 			delta = fmt.Sprintf("%+.1f%%", 100*(nv-ov)/ov)
 		}
-		fmt.Printf("%-48s %14.4g %14.4g %9s\n", k, ov, nv, delta)
+		fmt.Fprintf(w, "%-48s %14.4g %14.4g %9s\n", k, ov, nv, delta)
 	}
-	for k, ov := range old {
+	gone := make([]string, 0)
+	for k := range old {
 		if _, ok := cur[k]; !ok {
-			fmt.Printf("%-48s %14.4g %14s %9s\n", k, ov, "-", "gone")
+			gone = append(gone, k)
 		}
 	}
+	sort.Strings(gone)
+	for _, k := range gone {
+		fmt.Fprintf(w, "%-48s %14.4g %14s %9s\n", k, old[k], "-", "gone")
+	}
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(oldPath, newPath string, stdout, stderr io.Writer) int {
+	cur, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+	old, err := load(oldPath)
+	switch {
+	case os.IsNotExist(err):
+		// First run on this branch: nothing to diff against. Report the new
+		// metrics alone and succeed — the absence of history is not a
+		// regression.
+		fmt.Fprintf(stdout, "benchdiff: no previous artifact at %s; reporting new metrics only\n", oldPath)
+		report(stdout, metrics{}, cur)
+		return 0
+	case err != nil:
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 1
+	}
+	report(stdout, old, cur)
+	return 0
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff old.txt|old.json new.txt|new.json")
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1], os.Args[2], os.Stdout, os.Stderr))
 }

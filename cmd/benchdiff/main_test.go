@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sldbt/internal/audit"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const benchText = `goos: linux
+BenchmarkChain-8   	      10	 123456 ns/op	      0.95 chain-rate	   15.40 host/guest
+BenchmarkTrace-8   	       5	 234567 ns/op	      0.80 trace-exec
+`
+
+func writeMatrix(t *testing.T, dir, name string, pass bool) string {
+	t.Helper()
+	m := &audit.Matrix{Schema: audit.MatrixSchema, Scale: 1, Scenarios: 1, Cells: 1,
+		Runs: []audit.RunRecord{{
+			Scenario: "mcf", Config: "chain", VCPUs: 1, Pass: pass,
+			Run: &audit.EngineRun{GuestInstructions: 1000, HostInstructions: 15400, HostPerGuest: 15.4},
+		}}}
+	path := filepath.Join(dir, name)
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMissingOldIsReportOnly: the first run on a branch has no previous
+// artifact — benchdiff must report the new metrics and exit 0.
+func TestMissingOldIsReportOnly(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeMatrix(t, dir, "new.json", true)
+	var out, errb strings.Builder
+	code := run(filepath.Join(dir, "nope.json"), cur, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d on missing old artifact (stderr %q)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no previous artifact") {
+		t.Errorf("report does not explain the missing baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "mcf/chain/cpu1 host/guest") {
+		t.Errorf("new metrics not reported:\n%s", out.String())
+	}
+}
+
+// TestMalformedArtifactsAreLoud: corrupted or schema-skewed artifacts must
+// produce a stderr diagnostic and a nonzero exit, on either side.
+func TestMalformedArtifactsAreLoud(t *testing.T) {
+	dir := t.TempDir()
+	good := writeMatrix(t, dir, "good.json", true)
+	for _, tc := range []struct {
+		name       string
+		oldP, newP string
+	}{
+		{"malformed old json", write(t, dir, "bad.json", "{not json"), good},
+		{"old schema mismatch", write(t, dir, "schema.json", `{"Schema": 99}`), good},
+		{"empty old matrix", write(t, dir, "empty.json", `{"Schema": 1, "Runs": []}`), good},
+		{"malformed new json", good, write(t, dir, "bad2.json", "][")},
+		{"bench text without metrics", write(t, dir, "old.txt", "no benchmarks here\n"), good},
+		{"missing NEW artifact", good, filepath.Join(dir, "gone.json")},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			code := run(tc.oldP, tc.newP, &out, &errb)
+			if code == 0 {
+				t.Errorf("exit 0 on %s", tc.name)
+			}
+			if errb.Len() == 0 {
+				t.Errorf("no stderr diagnostic on %s", tc.name)
+			}
+		})
+	}
+}
+
+// TestDiffAcrossFormats: a bench-text old against a matrix new still diffs
+// (disjoint keys show as new/gone), and text-vs-text pairs common metrics.
+func TestDiffAcrossFormats(t *testing.T) {
+	dir := t.TempDir()
+	oldTxt := write(t, dir, "old.txt", benchText)
+	newTxt := write(t, dir, "new.txt", strings.ReplaceAll(benchText, "0.95", "0.97"))
+	var out, errb strings.Builder
+	if code := run(oldTxt, newTxt, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkChain chain-rate") ||
+		!strings.Contains(out.String(), "+2.1%") {
+		t.Errorf("text diff missing the chain-rate delta:\n%s", out.String())
+	}
+
+	out.Reset()
+	mx := writeMatrix(t, dir, "m.json", true)
+	if code := run(oldTxt, mx, &out, &errb); code != 0 {
+		t.Fatalf("cross-format exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "new") || !strings.Contains(out.String(), "gone") {
+		t.Errorf("cross-format diff lacks new/gone markers:\n%s", out.String())
+	}
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig8|fig14|fig15|fig16|fig17|fig18|fig19|coordstats|breakdown|chain|smc|jc|smp|mttcg|trace]
+//	experiments [-exp all|table1|fig8|fig14|fig15|fig16|fig17|fig18|fig19|coordstats|breakdown|chain|smc|jc|smp|mttcg|trace|matrix]
 //	            [-scale 1.0] [-learned]
 //
 // -scale scales workload budgets (smaller = faster, noisier); -learned uses
@@ -18,6 +18,9 @@ import (
 	"sldbt/internal/exp"
 	"sldbt/internal/learn"
 	"sldbt/internal/rules"
+
+	// Registers the `matrix` experiment (the scenario verification grid).
+	_ "sldbt/internal/scenario"
 )
 
 func main() {

@@ -1,0 +1,123 @@
+// Command matrix executes the declarative scenario grid: every registered
+// scenario across its configurations and vCPU counts, each cell verified
+// against its invariants (native-twin checksum, oracle equality, counter
+// bounds). It writes one JSON audit record per cell and the aggregated
+// BENCH_matrix.json artifact cmd/benchdiff diffs across PRs, and exits
+// nonzero when any cell fails — an invariant violation must fail the build,
+// not scroll past in a log.
+//
+// Usage:
+//
+//	matrix                                    # the full grid
+//	matrix -scenarios net-server,smc -jobs 4  # a filtered grid
+//	matrix -configs chain,trace               # only these configurations
+//	matrix -list                              # show the grid and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"sldbt/internal/audit"
+	"sldbt/internal/exp"
+	"sldbt/internal/scenario"
+)
+
+func main() {
+	log.SetFlags(0)
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (empty = all)")
+	configs := flag.String("configs", "", "comma-separated configuration filter (empty = each scenario's full set)")
+	scale := flag.Float64("scale", 1, "instruction-budget scale")
+	jobs := flag.Int("jobs", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+	out := flag.String("out", "BENCH_matrix.json", "aggregated artifact path (empty = don't write)")
+	auditDir := flag.String("audit-dir", "audit", "per-run audit record directory (empty = don't write)")
+	list := flag.Bool("list", false, "list the grid cells and exit")
+	flag.Parse()
+
+	var names []string
+	if *scenarios != "" {
+		names = strings.Split(*scenarios, ",")
+	}
+	ms, err := scenario.ByName(names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *configs != "" {
+		ms, err = filterConfigs(ms, strings.Split(*configs, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *list {
+		for _, m := range ms {
+			cells, err := m.Cells()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, c := range cells {
+				fmt.Printf("%s/%s/cpu%d\n", c.M.Name, c.Config, c.VCPUs)
+			}
+		}
+		return
+	}
+
+	mx, err := scenario.RunMatrix(scenario.Options{
+		Scenarios: ms,
+		Scale:     *scale,
+		Jobs:      *jobs,
+		AuditDir:  *auditDir,
+		Progress: func(rec *audit.RunRecord) {
+			status := "ok"
+			if !rec.Pass {
+				status = "FAIL"
+			}
+			fmt.Printf("%-28s %s\n", rec.Name(), status)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := mx.WriteFile(*out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Print(scenario.Render(mx))
+	if mx.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "matrix: %d of %d cells failed\n", mx.Failures, mx.Cells)
+		os.Exit(1)
+	}
+}
+
+// filterConfigs narrows every scenario to the requested configurations,
+// dropping scenarios that end up with none.
+func filterConfigs(ms []*scenario.Manifest, want []string) ([]*scenario.Manifest, error) {
+	keep := map[exp.Config]bool{}
+	for _, c := range want {
+		cfg := exp.Config(c)
+		if _, ok := cfg.Knobs(); !ok {
+			return nil, fmt.Errorf("unknown configuration %q", c)
+		}
+		keep[cfg] = true
+	}
+	var out []*scenario.Manifest
+	for _, m := range ms {
+		var cfgs []exp.Config
+		for _, c := range m.Configs {
+			if keep[c] {
+				cfgs = append(cfgs, c)
+			}
+		}
+		if len(cfgs) == 0 {
+			continue
+		}
+		m2 := *m
+		m2.Configs = cfgs
+		out = append(out, &m2)
+	}
+	return out, nil
+}

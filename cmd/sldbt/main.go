@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"sldbt/internal/audit"
 	"sldbt/internal/core"
 	"sldbt/internal/engine"
 	"sldbt/internal/ghw"
@@ -138,22 +139,15 @@ func main() {
 			}
 			fmt.Print(bus.UART().Output())
 			if *statsJSON {
-				type cpuJSON struct {
-					Index         int
-					Retired       uint64
-					StrexFailures uint64
-					IPIs          uint64
+				out := audit.SMPInterpRun{
+					Workload: im.W.Name, Engine: "smp-interp", ExitCode: code,
+					WallMillis: time.Since(start).Milliseconds(), GuestInstructions: o.Retired(),
 				}
-				out := struct {
-					Workload          string
-					Engine            string
-					ExitCode          uint32
-					WallMillis        int64
-					GuestInstructions uint64
-					VCPUs             []cpuJSON
-				}{im.W.Name, "smp-interp", code, time.Since(start).Milliseconds(), o.Retired(), nil}
 				for i, c := range o.CPUs {
-					out.VCPUs = append(out.VCPUs, cpuJSON{i, c.Stats.Total, c.Stats.StrexFailures, bus.Intc.IPIs(i)})
+					out.VCPUs = append(out.VCPUs, audit.VCPU{
+						Index: i, Retired: c.Stats.Total,
+						StrexFailures: c.Stats.StrexFailures, IPIs: bus.Intc.IPIs(i),
+					})
 				}
 				emitJSON(out)
 				return
@@ -175,14 +169,11 @@ func main() {
 		}
 		fmt.Print(bus.UART().Output())
 		if *statsJSON {
-			emitJSON(struct {
-				Workload          string
-				Engine            string
-				ExitCode          uint32
-				WallMillis        int64
-				GuestInstructions uint64
-				Stats             interp.Stats
-			}{im.W.Name, "interp", code, time.Since(start).Milliseconds(), ip.Stats.Total, ip.Stats})
+			emitJSON(audit.InterpRun{
+				Workload: im.W.Name, Engine: "interp", ExitCode: code,
+				WallMillis:        time.Since(start).Milliseconds(),
+				GuestInstructions: ip.Stats.Total, Stats: ip.Stats,
+			})
 			return
 		}
 		if *stats {
@@ -247,35 +238,11 @@ func main() {
 		}
 		fmt.Print(e.Bus.UART().Output())
 		if *statsJSON {
-			type vcpuJSON struct {
-				Index         int
-				Retired       uint64
-				StrexFailures uint64
-				IPIs          uint64
-			}
 			classes := map[string]uint64{}
 			for c := x86.Class(0); c < x86.NumClasses; c++ {
 				classes[c.String()] = e.M.Counts[c]
 			}
-			out := struct {
-				Workload          string
-				Engine            string
-				ExitCode          uint32
-				WallMillis        int64
-				GuestInstructions uint64
-				HostInstructions  uint64
-				HostPerGuest      float64
-				Classes           map[string]uint64
-				Counters          engine.Stats
-				ChainRate         float64
-				JCRate            float64
-				TraceExecRatio    float64
-				CacheSize         int
-				CacheCapacity     int
-				Flushes           uint64
-				VCPUs             []vcpuJSON
-				Rules             *core.Stats `json:",omitempty"`
-			}{
+			out := audit.EngineRun{
 				Workload:          im.W.Name,
 				Engine:            engLabel,
 				ExitCode:          code,
@@ -293,7 +260,7 @@ func main() {
 				Flushes:           e.Flushes(),
 			}
 			for _, v := range e.VCPUs() {
-				out.VCPUs = append(out.VCPUs, vcpuJSON{
+				out.VCPUs = append(out.VCPUs, audit.VCPU{
 					Index: v.Index, Retired: v.Retired,
 					StrexFailures: v.StrexFailures, IPIs: e.IPIs(v.Index),
 				})

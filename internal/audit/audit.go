@@ -1,0 +1,226 @@
+// Package audit defines the machine-readable result schemas shared by the
+// tooling: the per-run audit record and aggregated matrix artifact the
+// scenario matrix runner emits (BENCH_matrix.json at the repo root), and the
+// JSON shapes `cmd/sldbt -stats-json` prints. cmd/benchdiff unmarshals these
+// artifacts to diff metrics across PRs, so every field name here is
+// load-bearing: renaming one silently corrupts the cross-PR trajectory. The
+// golden-file tests in this package pin the schemas — a rename must fail a
+// test, not a future comparison.
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/interp"
+)
+
+// MatrixSchema is the artifact schema version; benchdiff refuses artifacts
+// whose version it does not understand (a malformed artifact must be loud,
+// not silently empty).
+const MatrixSchema = 1
+
+// VCPU is one vCPU's share of a multi-core run.
+type VCPU struct {
+	Index         int
+	Retired       uint64
+	StrexFailures uint64
+	IPIs          uint64
+}
+
+// EngineRun is the full counter set of one translating-engine run — the
+// `sldbt -stats-json` output for -engine tcg|rule and the metrics block of a
+// scenario audit record.
+type EngineRun struct {
+	Workload          string
+	Engine            string
+	ExitCode          uint32
+	WallMillis        int64
+	GuestInstructions uint64
+	HostInstructions  uint64
+	HostPerGuest      float64
+	Classes           map[string]uint64
+	Counters          engine.Stats
+	ChainRate         float64
+	JCRate            float64
+	TraceExecRatio    float64
+	CacheSize         int
+	CacheCapacity     int
+	Flushes           uint64
+	VCPUs             []VCPU
+	Rules             *core.Stats `json:",omitempty"`
+}
+
+// InterpRun is the `sldbt -stats-json` output for the uniprocessor
+// interpreter.
+type InterpRun struct {
+	Workload          string
+	Engine            string
+	ExitCode          uint32
+	WallMillis        int64
+	GuestInstructions uint64
+	Stats             interp.Stats
+}
+
+// SMPInterpRun is the `sldbt -stats-json` output for the multi-core
+// interpreter oracle.
+type SMPInterpRun struct {
+	Workload          string
+	Engine            string
+	ExitCode          uint32
+	WallMillis        int64
+	GuestInstructions uint64
+	VCPUs             []VCPU
+}
+
+// InvariantResult is one verified expectation of a scenario run.
+type InvariantResult struct {
+	// Kind is the invariant kind (see internal/scenario: checksum, oracle,
+	// budget, counter-max, counter-min, rate-min).
+	Kind string
+	// Counter names the engine counter or rate a bound applies to (empty for
+	// checksum/oracle/budget).
+	Counter string `json:",omitempty"`
+	// Bound is the declared limit for counter/rate invariants.
+	Bound float64 `json:",omitempty"`
+	// Value is the measured value the bound was checked against.
+	Value float64 `json:",omitempty"`
+	Pass  bool
+	// Detail explains a failure (empty on pass).
+	Detail string `json:",omitempty"`
+}
+
+// RunRecord is one scenario x config x vCPU-count cell of the matrix: the
+// per-run audit artifact.
+type RunRecord struct {
+	Scenario string
+	Config   string
+	VCPUs    int
+	// Budget is the nominal guest-instruction budget the scenario declares
+	// (pre scale and headroom).
+	Budget uint64
+	// Scale is the budget scale the run executed under.
+	Scale float64
+	Pass  bool
+	// Error is the run-level failure (engine error, oracle divergence,
+	// budget exhaustion); empty when the run completed.
+	Error      string `json:",omitempty"`
+	Invariants []InvariantResult
+	// Run carries the engine counters (nil when the run itself failed).
+	Run *EngineRun `json:",omitempty"`
+}
+
+// Matrix is the aggregated artifact: every cell of one matrix-runner
+// invocation, written to BENCH_matrix.json at the repo root.
+type Matrix struct {
+	Schema    int
+	Scale     float64
+	Scenarios int
+	Cells     int
+	Failures  int
+	Runs      []RunRecord
+}
+
+// Name returns the cell's canonical "scenario/config/cpuN" identity, used
+// for per-run artifact filenames and flattened metric keys.
+func (r *RunRecord) Name() string {
+	return fmt.Sprintf("%s/%s/cpu%d", r.Scenario, r.Config, r.VCPUs)
+}
+
+// Flatten renders the matrix as "cell metric-unit" -> value pairs, the same
+// shape benchdiff's bench-text parser produces, so matrix artifacts and
+// `go test -bench` outputs diff through one code path. Wall-clock is
+// deliberately excluded: it is host-scheduling noise, and the artifact is
+// diffed across CI runners.
+func (m *Matrix) Flatten() map[string]float64 {
+	out := map[string]float64{}
+	for i := range m.Runs {
+		r := &m.Runs[i]
+		key := func(unit string) string { return r.Name() + " " + unit }
+		pass := 0.0
+		if r.Pass {
+			pass = 1
+		}
+		out[key("pass")] = pass
+		if r.Run == nil {
+			continue
+		}
+		out[key("guest-insts")] = float64(r.Run.GuestInstructions)
+		out[key("host-insts")] = float64(r.Run.HostInstructions)
+		out[key("host/guest")] = r.Run.HostPerGuest
+		if r.Run.Counters.ChainLinks > 0 || r.Run.Counters.ChainedExits > 0 {
+			out[key("chain-rate")] = r.Run.ChainRate
+		}
+		if r.Run.Counters.JCHits > 0 || r.Run.Counters.JCMisses > 0 {
+			out[key("jc-rate")] = r.Run.JCRate
+		}
+		if r.Run.Counters.TracesFormed > 0 {
+			out[key("trace-exec")] = r.Run.TraceExecRatio
+		}
+		out[key("retranslations")] = float64(r.Run.Counters.Retranslations)
+	}
+	return out
+}
+
+// WriteFile marshals the matrix (indented, trailing newline) to path.
+func (m *Matrix) WriteFile(path string) error {
+	enc, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// LoadMatrix reads and validates an aggregated matrix artifact. A file that
+// does not parse, or parses to an unknown schema version, is an error — the
+// caller distinguishes that from the file simply not existing.
+func LoadMatrix(path string) (*Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Matrix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: malformed matrix artifact: %v", path, err)
+	}
+	if m.Schema != MatrixSchema {
+		return nil, fmt.Errorf("%s: matrix artifact schema %d, want %d", path, m.Schema, MatrixSchema)
+	}
+	return &m, nil
+}
+
+// WriteRecord writes one per-run audit record into dir, named after the
+// cell ("scenario__config__cpuN.json").
+func WriteRecord(dir string, r *RunRecord) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := strings.NewReplacer("/", "__").Replace(r.Name()) + ".json"
+	path := filepath.Join(dir, name)
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// SortRuns orders records canonically (scenario, then config, then vCPUs)
+// so artifacts are byte-stable across parallel executions.
+func SortRuns(runs []RunRecord) {
+	sort.Slice(runs, func(i, j int) bool {
+		a, b := &runs[i], &runs[j]
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		return a.VCPUs < b.VCPUs
+	})
+}

@@ -1,0 +1,197 @@
+package audit
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sldbt/internal/core"
+	"sldbt/internal/engine"
+	"sldbt/internal/interp"
+	"sldbt/internal/x86"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden schema files")
+
+// fixtures builds one deterministic, fully-populated instance of every
+// schema. Zero values still serialize their field names, so the goldens pin
+// the complete schema — including every engine.Stats / core.Stats /
+// interp.Stats counter name — not just the populated subset.
+func engineRunFixture() *EngineRun {
+	classes := map[string]uint64{}
+	for c := x86.Class(0); c < x86.NumClasses; c++ {
+		classes[c.String()] = uint64(c) + 1
+	}
+	return &EngineRun{
+		Workload:          "mcf",
+		Engine:            "rule",
+		ExitCode:          0,
+		WallMillis:        42,
+		GuestInstructions: 1000,
+		HostInstructions:  15400,
+		HostPerGuest:      15.4,
+		Classes:           classes,
+		Counters:          engine.Stats{TBsTranslated: 7, ChainedExits: 5, ChainLinks: 6},
+		ChainRate:         0.5,
+		JCRate:            0.25,
+		TraceExecRatio:    0.75,
+		CacheSize:         7,
+		CacheCapacity:     24,
+		Flushes:           1,
+		VCPUs:             []VCPU{{Index: 0, Retired: 1000, StrexFailures: 2, IPIs: 3}},
+		Rules:             &core.Stats{RuleHits: 900, Fallbacks: 100},
+	}
+}
+
+func goldenCheck(t *testing.T, name string, v any) {
+	t.Helper()
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/audit -update` after a deliberate schema change)", err)
+	}
+	if string(want) != string(enc) {
+		t.Errorf("schema %s changed. These field names are load-bearing for cmd/benchdiff's\n"+
+			"cross-PR trajectory: a rename breaks every recorded artifact. If the change is\n"+
+			"deliberate, re-golden with `go test ./internal/audit -update` and bump\n"+
+			"MatrixSchema when the matrix artifact shape changed.\n got:\n%s\nwant:\n%s",
+			name, enc, want)
+	}
+}
+
+// TestStatsJSONGolden pins the `sldbt -stats-json` output schemas.
+func TestStatsJSONGolden(t *testing.T) {
+	goldenCheck(t, "engine_run.golden.json", engineRunFixture())
+	goldenCheck(t, "interp_run.golden.json", &InterpRun{
+		Workload: "mcf", Engine: "interp", ExitCode: 0, WallMillis: 42,
+		GuestInstructions: 1000,
+		Stats:             interp.Stats{Total: 1000, Mem: 300, System: 3, Blocks: 150},
+	})
+	goldenCheck(t, "smp_interp_run.golden.json", &SMPInterpRun{
+		Workload: "smp-ring", Engine: "smp-interp", ExitCode: 0, WallMillis: 42,
+		GuestInstructions: 2000,
+		VCPUs: []VCPU{
+			{Index: 0, Retired: 1200, StrexFailures: 1, IPIs: 0},
+			{Index: 1, Retired: 800, StrexFailures: 0, IPIs: 64},
+		},
+	})
+}
+
+// TestAuditRecordGolden pins the scenario audit-record and aggregated
+// matrix-artifact schemas.
+func TestAuditRecordGolden(t *testing.T) {
+	rec := RunRecord{
+		Scenario: "net-server",
+		Config:   "smp",
+		VCPUs:    2,
+		Budget:   8_000_000,
+		Scale:    1,
+		Pass:     true,
+		Invariants: []InvariantResult{
+			{Kind: "oracle", Pass: true},
+			{Kind: "checksum", Pass: true, Value: 305419896},
+			{Kind: "counter-max", Counter: "Retranslations", Bound: 10, Value: 0, Pass: true},
+			{Kind: "rate-min", Counter: "ChainRate", Bound: 0.5, Value: 0.9, Pass: true},
+		},
+		Run: engineRunFixture(),
+	}
+	goldenCheck(t, "run_record.golden.json", &rec)
+	goldenCheck(t, "matrix.golden.json", &Matrix{
+		Schema: MatrixSchema, Scale: 1, Scenarios: 1, Cells: 1, Failures: 0,
+		Runs: []RunRecord{rec},
+	})
+}
+
+func TestFlattenKeys(t *testing.T) {
+	m := &Matrix{Schema: MatrixSchema, Runs: []RunRecord{{
+		Scenario: "mcf", Config: "chain", VCPUs: 1, Pass: true,
+		Run: engineRunFixture(),
+	}}}
+	flat := m.Flatten()
+	for _, k := range []string{
+		"mcf/chain/cpu1 pass", "mcf/chain/cpu1 guest-insts",
+		"mcf/chain/cpu1 host/guest", "mcf/chain/cpu1 chain-rate",
+		"mcf/chain/cpu1 retranslations",
+	} {
+		if _, ok := flat[k]; !ok {
+			t.Errorf("flattened metrics missing %q (have %v)", k, flat)
+		}
+	}
+	if flat["mcf/chain/cpu1 pass"] != 1 {
+		t.Error("pass metric not 1 on a passing cell")
+	}
+}
+
+// TestMatrixRoundTrip: WriteFile -> LoadMatrix is lossless, and LoadMatrix
+// rejects malformed artifacts and unknown schema versions loudly.
+func TestMatrixRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_matrix.json")
+	m := &Matrix{Schema: MatrixSchema, Scale: 0.5, Scenarios: 1, Cells: 1,
+		Runs: []RunRecord{{Scenario: "mcf", Config: "full", VCPUs: 1, Pass: true}}}
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMatrix(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scale != 0.5 || len(got.Runs) != 1 || got.Runs[0].Scenario != "mcf" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := LoadMatrix(bad); err == nil {
+		t.Error("malformed artifact accepted")
+	}
+	oldSchema := filepath.Join(dir, "old.json")
+	os.WriteFile(oldSchema, []byte(`{"Schema": 99}`), 0o644)
+	if _, err := LoadMatrix(oldSchema); err == nil {
+		t.Error("unknown schema version accepted")
+	}
+	if _, err := LoadMatrix(filepath.Join(dir, "missing.json")); !os.IsNotExist(err) {
+		t.Errorf("missing artifact should surface as os.IsNotExist, got %v", err)
+	}
+}
+
+// TestWriteRecord: per-run artifacts land under the audit dir with the
+// canonical cell name.
+func TestWriteRecord(t *testing.T) {
+	dir := t.TempDir()
+	rec := &RunRecord{Scenario: "net-server", Config: "mttcg", VCPUs: 4, Pass: true}
+	path, err := WriteRecord(dir, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "net-server__mttcg__cpu4.json" {
+		t.Errorf("unexpected record name %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RunRecord
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != rec.Name() {
+		t.Errorf("record identity %q != %q", got.Name(), rec.Name())
+	}
+}

@@ -66,21 +66,66 @@ const (
 	CfgMemOpt Config = "memopt"
 )
 
-// levels maps rule configs to optimization levels.
-var levels = map[Config]core.OptLevel{
-	CfgBase:        core.OptBase,
-	CfgReduction:   core.OptReduction,
-	CfgElimination: core.OptElimination,
-	CfgFull:        core.OptScheduling,
-	CfgChain:       core.OptScheduling,
-	CfgFlushSMC:    core.OptScheduling,
-	CfgJC:          core.OptScheduling,
-	CfgJCRAS:       core.OptScheduling,
-	CfgSMP:         core.OptScheduling,
-	CfgMTTCG:       core.OptScheduling,
-	CfgTrace:       core.OptScheduling,
-	CfgVictim:      core.OptScheduling,
-	CfgMemOpt:      core.OptScheduling,
+// Knobs is the exact switch set a Config enables: which translator the
+// engine gets (TCG baseline or the rule translator at Opt), and every
+// engine/translator feature toggle. Each Config maps to one Knobs value in
+// the knobs table below — the single source of truth shared by Runner.Run,
+// the scenario matrix runner, and the table-driven pinning test (a new
+// config cannot silently inherit the wrong baseline).
+type Knobs struct {
+	// TCG selects the QEMU-like baseline translator; Opt/Reuse are then
+	// meaningless and must be zero.
+	TCG bool
+	// Opt is the rule translator's optimization level.
+	Opt core.OptLevel
+	// Reuse enables same-page reuse elision in the rule translator.
+	Reuse bool
+
+	Chain  bool // TB chaining (direct block linking)
+	JC     bool // inline indirect-branch jump cache
+	RAS    bool // return-address-stack prediction
+	Trace  bool // profile-guided hot-trace formation
+	Victim bool // fully-associative victim TLB behind the fast-path probe
+	// FullFlushSMC selects the legacy whole-cache flush on self-modifying
+	// stores instead of page-granular invalidation.
+	FullFlushSMC bool
+
+	// SMP marks configs that boot a multi-vCPU machine (Runner.SMPCPUs) and
+	// are oracle-checked against the SMP interpreter; Parallel additionally
+	// runs the vCPUs truly in parallel (Engine.RunParallel, MTTCG).
+	SMP      bool
+	Parallel bool
+}
+
+// knobs is the Config -> Knobs table.
+var knobs = map[Config]Knobs{
+	CfgQEMU:        {TCG: true},
+	CfgBase:        {Opt: core.OptBase},
+	CfgReduction:   {Opt: core.OptReduction},
+	CfgElimination: {Opt: core.OptElimination},
+	CfgFull:        {Opt: core.OptScheduling},
+	CfgChain:       {Opt: core.OptScheduling, Chain: true},
+	CfgFlushSMC:    {Opt: core.OptScheduling, Chain: true, FullFlushSMC: true},
+	CfgJC:          {Opt: core.OptScheduling, Chain: true, JC: true},
+	CfgJCRAS:       {Opt: core.OptScheduling, Chain: true, JC: true, RAS: true},
+	CfgSMP:         {Opt: core.OptScheduling, Chain: true, JC: true, RAS: true, SMP: true},
+	CfgMTTCG:       {Opt: core.OptScheduling, Chain: true, JC: true, RAS: true, SMP: true, Parallel: true},
+	CfgTrace:       {Opt: core.OptScheduling, Chain: true, Trace: true},
+	CfgVictim:      {Opt: core.OptScheduling, Chain: true, Victim: true},
+	CfgMemOpt:      {Opt: core.OptScheduling, Chain: true, Victim: true, Reuse: true},
+}
+
+// Knobs returns the switch set cfg enables; ok is false for unknown configs.
+func (c Config) Knobs() (Knobs, bool) {
+	k, ok := knobs[c]
+	return k, ok
+}
+
+// Configs returns every known configuration in evaluation order.
+func Configs() []Config {
+	return []Config{CfgQEMU, CfgBase, CfgReduction, CfgElimination, CfgFull,
+		CfgChain, CfgFlushSMC, CfgJC, CfgJCRAS, CfgSMP, CfgMTTCG,
+		CfgTrace, CfgVictim, CfgMemOpt}
 }
 
 // RunResult is one workload x config measurement.
@@ -92,6 +137,10 @@ type RunResult struct {
 	Flushes   uint64 // whole-cache invalidations
 	Wall      time.Duration
 	Console   string
+	// CacheSize and CacheCapacity snapshot the code cache at run end
+	// (capacity 0 = unbounded).
+	CacheSize     int
+	CacheCapacity int
 	// Trans carries the rule translator's static counters (zero for CfgQEMU).
 	Trans core.Stats
 	// PerVCPU carries the per-vCPU counters of CfgSMP runs (nil otherwise).
@@ -128,6 +177,10 @@ type Runner struct {
 	// experiment sweeps them through sub-runners.
 	TLBSize int
 	TLBWays int
+	// TraceThreshold overrides the region-entry count past which a hot block
+	// triggers trace recording (0 = engine.DefaultTraceThreshold); only
+	// meaningful for trace-forming configs.
+	TraceThreshold uint64
 
 	engineRuns map[string]*RunResult
 	interpRuns map[string]*InterpResult
@@ -215,19 +268,23 @@ func (r *Runner) Interp(w *workloads.Workload) (*InterpResult, error) {
 
 // Run runs (or returns the cached run of) a workload on a configuration.
 func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
+	k, ok := cfg.Knobs()
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown configuration %q", cfg)
+	}
 	key := w.Name + "/" + string(cfg)
-	if cfg == CfgSMP || cfg == CfgMTTCG {
+	if k.SMP {
 		key = fmt.Sprintf("%s/%d", key, r.smpCPUs())
 	}
 	if res, ok := r.engineRuns[key]; ok {
 		return res, nil
 	}
 	var tr engine.Translator
-	if cfg == CfgQEMU {
+	if k.TCG {
 		tr = tcg.New()
 	} else {
-		ct := core.New(r.Rules(), levels[cfg])
-		ct.Reuse = cfg == CfgMemOpt
+		ct := core.New(r.Rules(), k.Opt)
+		ct.Reuse = k.Reuse
 		tr = ct
 	}
 	im, err := w.Prepare()
@@ -235,19 +292,22 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		return nil, err
 	}
 	n := 1
-	if cfg == CfgSMP || cfg == CfgMTTCG {
+	if k.SMP {
 		n = r.smpCPUs()
 	}
 	e, err := engine.NewSMP(tr, kernel.RAMSize, n)
 	if err != nil {
 		return nil, err
 	}
-	e.EnableChaining(cfg == CfgChain || cfg == CfgFlushSMC || cfg == CfgJC || cfg == CfgJCRAS || cfg == CfgSMP || cfg == CfgMTTCG || cfg == CfgTrace || cfg == CfgVictim || cfg == CfgMemOpt)
-	e.EnableJumpCache(cfg == CfgJC || cfg == CfgJCRAS || cfg == CfgSMP || cfg == CfgMTTCG)
-	e.EnableRAS(cfg == CfgJCRAS || cfg == CfgSMP || cfg == CfgMTTCG)
-	e.EnableTracing(cfg == CfgTrace)
-	e.SetFullFlushSMC(cfg == CfgFlushSMC)
-	e.EnableVictimTLB(cfg == CfgVictim || cfg == CfgMemOpt)
+	e.EnableChaining(k.Chain)
+	e.EnableJumpCache(k.JC)
+	e.EnableRAS(k.RAS)
+	e.EnableTracing(k.Trace)
+	e.SetFullFlushSMC(k.FullFlushSMC)
+	e.EnableVictimTLB(k.Victim)
+	if r.TraceThreshold > 0 {
+		e.SetTraceThreshold(r.TraceThreshold)
+	}
 	if r.CacheCap > 0 {
 		e.SetCacheCapacity(r.CacheCap)
 	}
@@ -269,7 +329,7 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 	}
 	start := time.Now()
 	run := e.Run
-	if cfg == CfgMTTCG {
+	if k.Parallel {
 		run = e.RunParallel
 	}
 	code, err := run(r.budget(w))
@@ -281,18 +341,20 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		return nil, fmt.Errorf("%s on %s: exit %#x (%q)", w.Name, cfg, code, e.Bus.UART().Output())
 	}
 	res := &RunResult{
-		Retired:   e.Retired,
-		HostTotal: e.M.Total(),
-		Counts:    e.M.Counts,
-		Engine:    e.Stats,
-		Flushes:   e.Flushes(),
-		Wall:      wall,
-		Console:   e.Bus.UART().Output(),
+		Retired:       e.Retired,
+		HostTotal:     e.M.Total(),
+		Counts:        e.M.Counts,
+		Engine:        e.Stats,
+		Flushes:       e.Flushes(),
+		Wall:          wall,
+		Console:       e.Bus.UART().Output(),
+		CacheSize:     e.CacheSize(),
+		CacheCapacity: e.CacheCapacity(),
 	}
 	if ct, ok := tr.(*core.Translator); ok {
 		res.Trans = ct.Stats
 	}
-	if cfg == CfgSMP || cfg == CfgMTTCG {
+	if k.SMP {
 		// Oracle check against the SMP interpreter: console plus per-vCPU
 		// register state. This holds for the parallel mode too because the
 		// SMP workloads park every core with canonical (schedule-
@@ -1045,9 +1107,36 @@ func (r *Runner) TraceStats() (string, error) {
 	return b.String(), nil
 }
 
-// Experiments lists all experiment names in order.
-func Experiments() []string {
+// extras holds experiments registered by other packages (the scenario
+// package's `matrix`). A registration hook instead of a direct call keeps
+// the dependency one-way: scenario imports exp for Config/Runner, so exp
+// cannot import scenario back.
+var extras = map[string]func(*Runner) (string, error){}
+var extraNames []string
+
+// RegisterExperiment adds a named experiment implemented outside this
+// package. Re-registering a name replaces the implementation (keeping the
+// original list position); registering a built-in name panics.
+func RegisterExperiment(name string, fn func(*Runner) (string, error)) {
+	for _, b := range builtinExperiments() {
+		if b == name {
+			panic("exp: cannot replace built-in experiment " + name)
+		}
+	}
+	if _, ok := extras[name]; !ok {
+		extraNames = append(extraNames, name)
+	}
+	extras[name] = fn
+}
+
+func builtinExperiments() []string {
 	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "softmmu", "chain", "smc", "jc", "smp", "mttcg", "trace"}
+}
+
+// Experiments lists all experiment names in order (built-ins, then any
+// registered extras).
+func Experiments() []string {
+	return append(builtinExperiments(), extraNames...)
 }
 
 // Run runs one named experiment.
@@ -1087,6 +1176,9 @@ func (r *Runner) RunExperiment(name string) (string, error) {
 		return r.MTTCGStats()
 	case "trace":
 		return r.TraceStats()
+	}
+	if fn, ok := extras[name]; ok {
+		return fn(r)
 	}
 	valid := strings.Join(Experiments(), ", ")
 	return "", fmt.Errorf("exp: unknown experiment %q (valid: %s, all)", name, valid)

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"testing"
+
+	"sldbt/internal/core"
+)
+
+// TestKnobsPinned pins every configuration to its exact switch set. The
+// knobs table is the single source of truth for what each Config enables
+// (Runner.Run and the scenario matrix both resolve through it), so a change
+// here is a semantic change to every experiment and recorded artifact — it
+// must be deliberate, not an accident of editing a neighboring entry.
+func TestKnobsPinned(t *testing.T) {
+	want := map[Config]Knobs{
+		CfgQEMU:        {TCG: true},
+		CfgBase:        {Opt: core.OptBase},
+		CfgReduction:   {Opt: core.OptReduction},
+		CfgElimination: {Opt: core.OptElimination},
+		CfgFull:        {Opt: core.OptScheduling},
+		CfgChain:       {Opt: core.OptScheduling, Chain: true},
+		CfgFlushSMC:    {Opt: core.OptScheduling, Chain: true, FullFlushSMC: true},
+		CfgJC:          {Opt: core.OptScheduling, Chain: true, JC: true},
+		CfgJCRAS:       {Opt: core.OptScheduling, Chain: true, JC: true, RAS: true},
+		CfgSMP:         {Opt: core.OptScheduling, Chain: true, JC: true, RAS: true, SMP: true},
+		CfgMTTCG:       {Opt: core.OptScheduling, Chain: true, JC: true, RAS: true, SMP: true, Parallel: true},
+		CfgTrace:       {Opt: core.OptScheduling, Chain: true, Trace: true},
+		CfgVictim:      {Opt: core.OptScheduling, Chain: true, Victim: true},
+		CfgMemOpt:      {Opt: core.OptScheduling, Chain: true, Victim: true, Reuse: true},
+	}
+	if len(want) != len(Configs()) {
+		t.Fatalf("pinning table covers %d configs, Configs() lists %d", len(want), len(Configs()))
+	}
+	for _, cfg := range Configs() {
+		k, ok := cfg.Knobs()
+		if !ok {
+			t.Errorf("%s: listed in Configs() but missing from the knobs table", cfg)
+			continue
+		}
+		if k != want[cfg] {
+			t.Errorf("%s: knobs %+v, want %+v", cfg, k, want[cfg])
+		}
+	}
+	if _, ok := Config("no-such-config").Knobs(); ok {
+		t.Error("unknown config resolved knobs")
+	}
+}
+
+// TestKnobsConsistency checks structural invariants of the table: the TCG
+// baseline takes no rule-translator switches, every cumulative config builds
+// on the full optimization level, and SMP is a prerequisite of Parallel.
+func TestKnobsConsistency(t *testing.T) {
+	for _, cfg := range Configs() {
+		k, _ := cfg.Knobs()
+		if k.TCG && (k.Opt != 0 || k.Reuse) {
+			t.Errorf("%s: TCG baseline with rule-translator knobs %+v", cfg, k)
+		}
+		if k.Parallel && !k.SMP {
+			t.Errorf("%s: Parallel without SMP", cfg)
+		}
+		if (k.JC || k.RAS || k.Trace || k.Victim || k.FullFlushSMC) && !k.Chain {
+			t.Errorf("%s: %+v layers dispatch-path features over an unchained engine", cfg, k)
+		}
+		if k.RAS && !k.JC {
+			t.Errorf("%s: RAS without the jump cache it extends", cfg)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"sldbt/internal/audit"
+	"sldbt/internal/exp"
+)
+
+// init registers the scenario matrix as an experiment, so
+// `experiments -run matrix` renders the verification grid next to the
+// paper's tables. Registration (rather than a direct call from exp) keeps
+// the dependency one-way: this package imports exp for Config and Runner.
+func init() {
+	exp.RegisterExperiment("matrix", func(r *exp.Runner) (string, error) {
+		m, err := RunMatrix(Options{Scenarios: Registry(), Scale: r.BudgetScale})
+		if err != nil {
+			return "", err
+		}
+		return Render(m), nil
+	})
+}
+
+// Render formats a matrix artifact as the experiment's text table.
+func Render(m *audit.Matrix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario matrix: %d scenarios, %d cells, %d failures (scale %g)\n",
+		m.Scenarios, m.Cells, m.Failures, m.Scale)
+	fmt.Fprintf(&b, "%-28s %-5s %12s %8s %6s  %s\n",
+		"cell", "pass", "guest-insts", "host/g", "invs", "detail")
+	for i := range m.Runs {
+		r := &m.Runs[i]
+		pass := "ok"
+		if !r.Pass {
+			pass = "FAIL"
+		}
+		var gi uint64
+		var hpg float64
+		if r.Run != nil {
+			gi = r.Run.GuestInstructions
+			hpg = r.Run.HostPerGuest
+		}
+		detail := r.Error
+		for _, iv := range r.Invariants {
+			if !iv.Pass && detail == "" {
+				detail = iv.Detail
+			}
+		}
+		fmt.Fprintf(&b, "%-28s %-5s %12d %8.2f %6d  %s\n",
+			r.Name(), pass, gi, hpg, len(r.Invariants), detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"sldbt/internal/exp"
+	"sldbt/internal/workloads"
+)
+
+// Registry returns the full scenario set: every workload of the evaluation,
+// each declared with the configurations that exercise its subsystem and the
+// invariants those runs must keep. The matrix runner executes this grid;
+// cmd/matrix filters it with -scenarios / -configs.
+func Registry() []*Manifest {
+	var ms []*Manifest
+
+	// SPEC proxies: the headline speedup trajectory — TCG baseline, the
+	// rule translator unoptimized and fully optimized, then chaining and the
+	// full memory fast path on top. The checksum must match the native twin
+	// under every configuration, retranslation must stay incidental (these
+	// programs never rewrite their own code, but a few data stores land on
+	// code-bearing pages — a storm means invalidation has regressed), and
+	// chaining must actually serve block transitions once enabled.
+	for _, w := range workloads.SpecWorkloads() {
+		ms = append(ms, &Manifest{
+			Name:     w.Name,
+			Workload: w.Name,
+			Configs:  []exp.Config{exp.CfgQEMU, exp.CfgBase, exp.CfgFull, exp.CfgChain, exp.CfgMemOpt},
+			Invariants: []Invariant{
+				{Kind: KindChecksum},
+				{Kind: KindOracle},
+				{Kind: KindBudget},
+				{Kind: KindCounterMax, Counter: "Retranslations", Bound: 256},
+				{Kind: KindRateMin, Counter: "ChainRate", Bound: 0.3,
+					Configs: []exp.Config{exp.CfgChain, exp.CfgMemOpt}},
+			},
+		})
+	}
+
+	// Real-world applications (device-driven I/O paths included): baseline,
+	// optimized, chained, and the full indirect-branch fast path. The
+	// stress workloads that ride in AppWorkloads (smc, dispatch, hotloop)
+	// get dedicated scenarios below with subsystem-specific invariants.
+	for _, w := range workloads.AppWorkloads() {
+		switch w.Name {
+		case "smc", "dispatch", "hotloop":
+			continue
+		}
+		ms = append(ms, &Manifest{
+			Name:     w.Name,
+			Workload: w.Name,
+			Configs:  []exp.Config{exp.CfgQEMU, exp.CfgFull, exp.CfgChain, exp.CfgJCRAS},
+			Invariants: []Invariant{
+				{Kind: KindChecksum},
+				{Kind: KindOracle},
+				{Kind: KindBudget},
+			},
+		})
+	}
+
+	// Self-modifying code: page-granular invalidation must fire (chain), and
+	// the legacy whole-cache flush must retranslate — the cost the page
+	// mechanism exists to avoid.
+	ms = append(ms, &Manifest{
+		Name:     "smc",
+		Workload: "smc",
+		Configs:  []exp.Config{exp.CfgChain, exp.CfgFlushSMC},
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "PageInvalidations", Bound: 1,
+				Configs: []exp.Config{exp.CfgChain}},
+			{Kind: KindCounterMin, Counter: "Retranslations", Bound: 1,
+				Configs: []exp.Config{exp.CfgFlushSMC}},
+		},
+	})
+
+	// Indirect-branch stress: without the jump cache every indirect
+	// transition exits to the dispatcher; with it the inline probe must
+	// serve at least half of them.
+	ms = append(ms, &Manifest{
+		Name:     "dispatch",
+		Workload: "dispatch",
+		Configs:  []exp.Config{exp.CfgChain, exp.CfgJC, exp.CfgJCRAS},
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "Lookups", Bound: 1,
+				Configs: []exp.Config{exp.CfgChain}},
+			{Kind: KindRateMin, Counter: "JCRate", Bound: 0.5,
+				Configs: []exp.Config{exp.CfgJC, exp.CfgJCRAS}},
+		},
+	})
+
+	// Hot-trace formation: the loop workload must actually form traces and
+	// retire most guest instructions inside them.
+	ms = append(ms, &Manifest{
+		Name:     "hotloop",
+		Workload: "hotloop",
+		Configs:  []exp.Config{exp.CfgChain, exp.CfgTrace},
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "TracesFormed", Bound: 1,
+				Configs: []exp.Config{exp.CfgTrace}},
+			{Kind: KindRateMin, Counter: "TraceExecRatio", Bound: 0.5,
+				Configs: []exp.Config{exp.CfgTrace}},
+		},
+	})
+
+	// SMP suite: deterministic scheduling and true-parallel MTTCG at 1-4
+	// vCPUs, oracle-checked against the SMP interpreter. smp-spinlock's
+	// checksum is vCPU-count-dependent (each core adds its iterations).
+	smpCfgs := []exp.Config{exp.CfgSMP, exp.CfgMTTCG}
+	ms = append(ms, &Manifest{
+		Name:     "smp-spinlock",
+		Workload: "smp-spinlock",
+		Configs:  smpCfgs,
+		VCPUs:    []int{1, 2, 4},
+		Checksum: func(vcpus int) uint32 { return uint32(vcpus) * 300 },
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+		},
+	})
+	for _, name := range []string{"smp-worksteal", "smp-ring"} {
+		ms = append(ms, &Manifest{
+			Name:     name,
+			Workload: name,
+			Configs:  smpCfgs,
+			VCPUs:    []int{1, 2, 4},
+			Invariants: []Invariant{
+				{Kind: KindChecksum},
+				{Kind: KindOracle},
+				{Kind: KindBudget},
+				// smp-ring's solo-producer path (1 vCPU) drains its own ring
+				// without the exclusive barrier.
+				{Kind: KindCounterMin, Counter: "Exclusives", Bound: 1, MinVCPUs: 2},
+			},
+		})
+	}
+
+	// net-server: the serving-traffic scenario — a request/response server
+	// over the packet device, run single-core under chaining, hot traces and
+	// the memory fast path, and multi-core under the deterministic scheduler
+	// and MTTCG at every supported vCPU count. The checksum is the native
+	// twin's response sum at any core count.
+	ms = append(ms, &Manifest{
+		Name:     "net-server",
+		Workload: "net-server",
+		Configs:  []exp.Config{exp.CfgChain, exp.CfgTrace, exp.CfgMemOpt, exp.CfgSMP, exp.CfgMTTCG},
+		VCPUs:    []int{1, 2, 3, 4},
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "Exclusives", Bound: 1},
+			{Kind: KindCounterMin, Counter: "IOAccesses", Bound: 1},
+		},
+	})
+
+	return ms
+}
+
+// ByName returns the named scenarios from the registry (nil names = all).
+func ByName(names []string) ([]*Manifest, error) {
+	all := Registry()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]*Manifest{}
+	for _, m := range all {
+		byName[m.Name] = m
+	}
+	var out []*Manifest
+	for _, n := range names {
+		m, ok := byName[n]
+		if !ok {
+			var valid []string
+			for _, m := range all {
+				valid = append(valid, m.Name)
+			}
+			return nil, fmt.Errorf("unknown scenario %q (valid: %s)", n, strings.Join(valid, ", "))
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

@@ -1,0 +1,451 @@
+// Package scenario is the declarative regression matrix: each Manifest names
+// a workload, the engine configurations and vCPU counts to run it under, the
+// engine knob overrides the run needs, and the invariants every cell must
+// satisfy (native-twin checksum, oracle equality, instruction budget, counter
+// bounds). The matrix runner executes the scenario x config x vCPU grid in
+// parallel, verifies every invariant, and emits one JSON audit record per
+// cell plus the aggregated BENCH_matrix.json artifact cmd/benchdiff diffs
+// across PRs.
+package scenario
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+
+	"sldbt/internal/audit"
+	"sldbt/internal/exp"
+	"sldbt/internal/kernel"
+	"sldbt/internal/workloads"
+	"sldbt/internal/x86"
+)
+
+// Invariant kinds.
+const (
+	// KindChecksum requires the console checksum to equal the expected value
+	// (the workload's native twin, or Manifest.Checksum when the expectation
+	// depends on the vCPU count).
+	KindChecksum = "checksum"
+	// KindOracle requires the run's differential oracle check to have passed:
+	// interpreter console equality for single-core configs, SMP-interpreter
+	// console + per-vCPU register equality for SMP/MTTCG configs. The
+	// harness performs the comparison inside every run; a divergence fails
+	// the run itself, and this invariant records the verdict.
+	KindOracle = "oracle"
+	// KindBudget requires the run to retire within the scenario's nominal
+	// instruction budget (runs execute under 4x headroom, so hitting the
+	// nominal bound means the workload grew, not that it was cut short).
+	KindBudget = "budget"
+	// KindCounterMax / KindCounterMin bound a named engine counter (any
+	// engine.Stats field, or the derived Flushes / CacheSize).
+	KindCounterMax = "counter-max"
+	KindCounterMin = "counter-min"
+	// KindRateMin lower-bounds a derived rate: ChainRate, JCRate or
+	// TraceExecRatio.
+	KindRateMin = "rate-min"
+)
+
+// Invariant is one declared expectation of a scenario's runs.
+type Invariant struct {
+	Kind    string
+	Counter string  // counter or rate name for counter-max/min and rate-min
+	Bound   float64 // the limit for counter/rate kinds
+	// Configs restricts the invariant to these configurations (nil = every
+	// configuration the scenario runs).
+	Configs []exp.Config
+	// MinVCPUs restricts the invariant to cells with at least this many
+	// vCPUs (0 = any). smp-ring's exclusive-access barrier, for example,
+	// only runs when there are consumers to synchronize with.
+	MinVCPUs int
+}
+
+func (iv Invariant) appliesTo(cfg exp.Config, vcpus int) bool {
+	if vcpus < iv.MinVCPUs {
+		return false
+	}
+	if len(iv.Configs) == 0 {
+		return true
+	}
+	for _, c := range iv.Configs {
+		if c == cfg {
+			return true
+		}
+	}
+	return false
+}
+
+// Manifest declares one scenario: a workload, the grid of configurations and
+// vCPU counts to run it across, engine knob overrides, and the invariants
+// every resulting cell must satisfy.
+type Manifest struct {
+	Name     string
+	Workload string
+	Configs  []exp.Config
+	// VCPUs are the vCPU counts for SMP/MTTCG configurations (single-core
+	// configurations always run one cell at 1 vCPU). Nil means {2}.
+	VCPUs []int
+	// Budget overrides the workload's nominal instruction budget (0 = keep).
+	Budget uint64
+
+	// Engine knob overrides (0 = the engine defaults), applied to every run.
+	TLBSize        int
+	TLBWays        int
+	CacheCap       int
+	TraceThreshold uint64
+
+	Invariants []Invariant
+	// Checksum supplies the expected console checksum when it depends on the
+	// vCPU count (e.g. smp-spinlock prints vcpus*iterations). Nil = use the
+	// workload's native twin.
+	Checksum func(vcpus int) uint32
+}
+
+// Cell is one scenario x config x vCPU-count grid point.
+type Cell struct {
+	M      *Manifest
+	Config exp.Config
+	VCPUs  int
+}
+
+// Cells expands the manifest into its grid points: one cell per vCPU count
+// for SMP configurations, one single-vCPU cell otherwise.
+func (m *Manifest) Cells() ([]Cell, error) {
+	var cells []Cell
+	for _, cfg := range m.Configs {
+		k, ok := cfg.Knobs()
+		if !ok {
+			return nil, fmt.Errorf("scenario %s: unknown configuration %q", m.Name, cfg)
+		}
+		if k.SMP {
+			ns := m.VCPUs
+			if len(ns) == 0 {
+				ns = []int{2}
+			}
+			for _, n := range ns {
+				cells = append(cells, Cell{M: m, Config: cfg, VCPUs: n})
+			}
+		} else {
+			cells = append(cells, Cell{M: m, Config: cfg, VCPUs: 1})
+		}
+	}
+	return cells, nil
+}
+
+// workload resolves the manifest's workload, applying the budget override on
+// a copy so the shared registry entry stays untouched.
+func (m *Manifest) workload() (*workloads.Workload, error) {
+	w, ok := workloads.ByName(m.Workload)
+	if !ok {
+		return nil, fmt.Errorf("scenario %s: unknown workload %q", m.Name, m.Workload)
+	}
+	if m.Budget != 0 {
+		w2 := *w
+		w2.Budget = m.Budget
+		w = &w2
+	}
+	return w, nil
+}
+
+// expected returns the checksum the scenario demands at a vCPU count, or
+// ok=false when the scenario has no checksum source.
+func (m *Manifest) expected(w *workloads.Workload, vcpus int) (uint32, bool) {
+	if m.Checksum != nil {
+		return m.Checksum(vcpus), true
+	}
+	if w.Native != nil {
+		return w.Native(), true
+	}
+	return 0, false
+}
+
+// ParseChecksum extracts the printed hex checksum from a run's console
+// output (kernel banner, then the checksum line).
+func ParseChecksum(console string) (uint32, error) {
+	out := strings.TrimSpace(strings.TrimPrefix(console, kernel.BannerPrefix))
+	var cs uint32
+	if _, err := fmt.Sscanf(out, "%08x", &cs); err != nil {
+		return 0, fmt.Errorf("cannot parse checksum from console %q: %v", out, err)
+	}
+	return cs, nil
+}
+
+// engineRun converts an exp run into the audit schema.
+func engineRun(workload string, cfg exp.Config, res *exp.RunResult) *audit.EngineRun {
+	classes := map[string]uint64{}
+	for c := x86.Class(0); c < x86.NumClasses; c++ {
+		classes[c.String()] = res.Counts[c]
+	}
+	r := &audit.EngineRun{
+		Workload:          workload,
+		Engine:            string(cfg),
+		WallMillis:        res.Wall.Milliseconds(),
+		GuestInstructions: res.Retired,
+		HostInstructions:  res.HostTotal,
+		HostPerGuest:      float64(res.HostTotal) / float64(res.Retired),
+		Classes:           classes,
+		Counters:          res.Engine,
+		ChainRate:         res.Engine.ChainRate(),
+		JCRate:            res.Engine.JCRate(),
+		CacheSize:         res.CacheSize,
+		CacheCapacity:     res.CacheCapacity,
+		Flushes:           res.Flushes,
+	}
+	if res.Retired > 0 {
+		r.TraceExecRatio = float64(res.Engine.TraceExec) / float64(res.Retired)
+	}
+	for i, v := range res.PerVCPU {
+		r.VCPUs = append(r.VCPUs, audit.VCPU{
+			Index: i, Retired: v.Retired, StrexFailures: v.StrexFailures, IPIs: v.IPIs,
+		})
+	}
+	if k, ok := cfg.Knobs(); ok && !k.TCG {
+		trans := res.Trans
+		r.Rules = &trans
+	}
+	return r
+}
+
+// CounterValue resolves a counter or rate name against a run: the derived
+// rates and cache metrics first, then any engine.Stats field by reflection.
+func CounterValue(run *audit.EngineRun, name string) (float64, bool) {
+	switch name {
+	case "ChainRate":
+		return run.ChainRate, true
+	case "JCRate":
+		return run.JCRate, true
+	case "TraceExecRatio":
+		return run.TraceExecRatio, true
+	case "Flushes":
+		return float64(run.Flushes), true
+	case "CacheSize":
+		return float64(run.CacheSize), true
+	}
+	v := reflect.ValueOf(run.Counters).FieldByName(name)
+	if v.IsValid() && v.CanUint() {
+		return float64(v.Uint()), true
+	}
+	return 0, false
+}
+
+// KnownCounter reports whether a counter/rate name resolves — the registry
+// test uses it so a typo in a manifest fails statically, not at run time.
+func KnownCounter(name string) bool {
+	_, ok := CounterValue(&audit.EngineRun{}, name)
+	return ok
+}
+
+// Options configures a matrix run.
+type Options struct {
+	Scenarios []*Manifest
+	// Scale is the exp.Runner budget scale (1 = full budgets).
+	Scale float64
+	// Jobs bounds the number of scenarios running concurrently
+	// (0 = GOMAXPROCS). Cells within one scenario run sequentially so they
+	// share one exp.Runner's memoized oracle runs.
+	Jobs int
+	// AuditDir, when non-empty, receives one JSON record per cell.
+	AuditDir string
+	// Progress, when non-nil, is called after every cell (concurrently).
+	Progress func(rec *audit.RunRecord)
+}
+
+// RunMatrix executes the scenario grid and returns the aggregated artifact.
+// Invariant violations and run failures are recorded per cell (Pass=false,
+// Matrix.Failures counts them); the error return is reserved for harness
+// problems (unknown workload or configuration, unwritable audit dir).
+func RunMatrix(opts Options) (*audit.Matrix, error) {
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+
+	type task struct {
+		m     *Manifest
+		cells []Cell
+	}
+	var tasks []task
+	cellCount := 0
+	for _, m := range opts.Scenarios {
+		cells, err := m.Cells()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.workload(); err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, task{m: m, cells: cells})
+		cellCount += len(cells)
+	}
+
+	var (
+		mu      sync.Mutex
+		runs    []audit.RunRecord
+		harnErr error
+	)
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for _, tk := range tasks {
+		wg.Add(1)
+		go func(tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			// One runner per scenario: its cells share the memoized
+			// interpreter/SMP-oracle runs, and nothing races.
+			r := exp.NewRunner()
+			r.BudgetScale = scale
+			r.TLBSize, r.TLBWays = tk.m.TLBSize, tk.m.TLBWays
+			r.CacheCap = tk.m.CacheCap
+			r.TraceThreshold = tk.m.TraceThreshold
+			for _, c := range tk.cells {
+				rec := runCell(r, c, scale)
+				if opts.AuditDir != "" {
+					if _, err := audit.WriteRecord(opts.AuditDir, rec); err != nil {
+						mu.Lock()
+						if harnErr == nil {
+							harnErr = err
+						}
+						mu.Unlock()
+					}
+				}
+				if opts.Progress != nil {
+					opts.Progress(rec)
+				}
+				mu.Lock()
+				runs = append(runs, *rec)
+				mu.Unlock()
+			}
+		}(tk)
+	}
+	wg.Wait()
+	if harnErr != nil {
+		return nil, harnErr
+	}
+
+	audit.SortRuns(runs)
+	m := &audit.Matrix{
+		Schema:    audit.MatrixSchema,
+		Scale:     scale,
+		Scenarios: len(tasks),
+		Cells:     cellCount,
+		Runs:      runs,
+	}
+	for i := range runs {
+		if !runs[i].Pass {
+			m.Failures++
+		}
+	}
+	return m, nil
+}
+
+// runCell executes one grid point and evaluates its invariants.
+func runCell(r *exp.Runner, c Cell, scale float64) *audit.RunRecord {
+	w, err := c.M.workload()
+	if err != nil {
+		return failedRecord(c, scale, 0, err)
+	}
+	rec := &audit.RunRecord{
+		Scenario: c.M.Name,
+		Config:   string(c.Config),
+		VCPUs:    c.VCPUs,
+		Budget:   w.Budget,
+		Scale:    scale,
+	}
+	r.SMPCPUs = c.VCPUs
+	res, err := r.Run(w, c.Config)
+	if err != nil {
+		// The run itself failed: engine error, nonzero guest exit, budget
+		// exhaustion, or oracle divergence. Every invariant is recorded as
+		// failed so the per-cell artifact stays self-describing.
+		rec.Error = err.Error()
+		for _, iv := range c.M.Invariants {
+			if iv.appliesTo(c.Config, c.VCPUs) {
+				rec.Invariants = append(rec.Invariants, audit.InvariantResult{
+					Kind: iv.Kind, Counter: iv.Counter, Bound: iv.Bound,
+					Detail: "run failed: " + err.Error(),
+				})
+			}
+		}
+		return rec
+	}
+	run := engineRun(w.Name, c.Config, res)
+	rec.Run = run
+	rec.Pass = true
+	for _, iv := range c.M.Invariants {
+		if !iv.appliesTo(c.Config, c.VCPUs) {
+			continue
+		}
+		ir := checkInvariant(c, w, iv, res, run)
+		if !ir.Pass {
+			rec.Pass = false
+		}
+		rec.Invariants = append(rec.Invariants, ir)
+	}
+	return rec
+}
+
+func failedRecord(c Cell, scale float64, budget uint64, err error) *audit.RunRecord {
+	return &audit.RunRecord{
+		Scenario: c.M.Name, Config: string(c.Config), VCPUs: c.VCPUs,
+		Budget: budget, Scale: scale, Error: err.Error(),
+	}
+}
+
+func checkInvariant(c Cell, w *workloads.Workload, iv Invariant, res *exp.RunResult, run *audit.EngineRun) audit.InvariantResult {
+	ir := audit.InvariantResult{Kind: iv.Kind, Counter: iv.Counter, Bound: iv.Bound}
+	switch iv.Kind {
+	case KindOracle:
+		// The harness oracle-checked the run (the run would have failed on a
+		// divergence); record the verdict.
+		ir.Pass = true
+	case KindChecksum:
+		want, ok := c.M.expected(w, c.VCPUs)
+		if !ok {
+			ir.Detail = "scenario has neither a native twin nor a Checksum function"
+			return ir
+		}
+		got, err := ParseChecksum(res.Console)
+		if err != nil {
+			ir.Detail = err.Error()
+			return ir
+		}
+		ir.Bound = float64(want)
+		ir.Value = float64(got)
+		ir.Pass = got == want
+		if !ir.Pass {
+			ir.Detail = fmt.Sprintf("checksum %08x, want %08x", got, want)
+		}
+	case KindBudget:
+		ir.Bound = float64(w.Budget)
+		ir.Value = float64(res.Retired)
+		ir.Pass = res.Retired <= w.Budget
+		if !ir.Pass {
+			ir.Detail = fmt.Sprintf("retired %d guest instructions, nominal budget %d", res.Retired, w.Budget)
+		}
+	case KindCounterMax, KindCounterMin, KindRateMin:
+		v, ok := CounterValue(run, iv.Counter)
+		if !ok {
+			ir.Detail = fmt.Sprintf("unknown counter %q", iv.Counter)
+			return ir
+		}
+		ir.Value = v
+		switch iv.Kind {
+		case KindCounterMax:
+			ir.Pass = v <= iv.Bound
+		default:
+			ir.Pass = v >= iv.Bound
+		}
+		if !ir.Pass {
+			ir.Detail = fmt.Sprintf("%s = %g violates %s %g", iv.Counter, v, iv.Kind, iv.Bound)
+		}
+	default:
+		ir.Detail = fmt.Sprintf("unknown invariant kind %q", iv.Kind)
+	}
+	return ir
+}

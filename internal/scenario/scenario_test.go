@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sldbt/internal/audit"
+	"sldbt/internal/exp"
+	"sldbt/internal/workloads"
+)
+
+// TestRegistryResolvable statically validates every manifest: the workload
+// exists, every configuration is known, every counter invariant names a
+// resolvable counter, and every checksum invariant has a checksum source.
+func TestRegistryResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Registry() {
+		if seen[m.Name] {
+			t.Errorf("duplicate scenario name %q", m.Name)
+		}
+		seen[m.Name] = true
+		w, ok := workloads.ByName(m.Workload)
+		if !ok {
+			t.Errorf("%s: unknown workload %q", m.Name, m.Workload)
+			continue
+		}
+		if len(m.Configs) == 0 {
+			t.Errorf("%s: no configurations", m.Name)
+		}
+		cells, err := m.Cells()
+		if err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if len(cells) == 0 {
+			t.Errorf("%s: no cells", m.Name)
+		}
+		for _, iv := range m.Invariants {
+			switch iv.Kind {
+			case KindChecksum:
+				if _, ok := m.expected(w, 2); !ok {
+					t.Errorf("%s: checksum invariant without a native twin or Checksum func", m.Name)
+				}
+			case KindOracle, KindBudget:
+			case KindCounterMax, KindCounterMin, KindRateMin:
+				if !KnownCounter(iv.Counter) {
+					t.Errorf("%s: invariant names unknown counter %q", m.Name, iv.Counter)
+				}
+			default:
+				t.Errorf("%s: unknown invariant kind %q", m.Name, iv.Kind)
+			}
+			for _, cfg := range iv.Configs {
+				if _, ok := cfg.Knobs(); ok {
+					continue
+				}
+				t.Errorf("%s: invariant restricted to unknown config %q", m.Name, cfg)
+			}
+		}
+	}
+	// The acceptance scenario must be in the registry with the full grid.
+	if !seen["net-server"] {
+		t.Error("registry is missing the net-server scenario")
+	}
+}
+
+// TestRegistryCoversWorkloads: every workload in the suite is exercised by
+// at least one scenario.
+func TestRegistryCoversWorkloads(t *testing.T) {
+	covered := map[string]bool{}
+	for _, m := range Registry() {
+		covered[m.Workload] = true
+	}
+	for _, w := range workloads.All() {
+		if !covered[w.Name] {
+			t.Errorf("no scenario covers workload %q", w.Name)
+		}
+	}
+}
+
+func TestCounterValue(t *testing.T) {
+	run := &audit.EngineRun{ChainRate: 0.75, Flushes: 3}
+	run.Counters.Retranslations = 9
+	for _, tc := range []struct {
+		name string
+		want float64
+	}{
+		{"ChainRate", 0.75},
+		{"Flushes", 3},
+		{"Retranslations", 9},
+		{"JCHits", 0},
+	} {
+		v, ok := CounterValue(run, tc.name)
+		if !ok || v != tc.want {
+			t.Errorf("CounterValue(%s) = %g, %v; want %g, true", tc.name, v, ok, tc.want)
+		}
+	}
+	if _, ok := CounterValue(run, "NoSuchCounter"); ok {
+		t.Error("unknown counter resolved")
+	}
+}
+
+func TestParseChecksum(t *testing.T) {
+	cs, err := ParseChecksum("sldbt: boot\ndeadbeef\n")
+	if err != nil || cs != 0xdeadbeef {
+		t.Errorf("got %08x, %v", cs, err)
+	}
+	if _, err := ParseChecksum("garbage"); err == nil {
+		t.Error("garbage console parsed")
+	}
+}
+
+// TestMatrixSubset runs a real reduced grid end to end: the audit records
+// land on disk, the aggregated artifact flattens into diffable metrics, and
+// every invariant passes.
+func TestMatrixSubset(t *testing.T) {
+	dir := t.TempDir()
+	subset := []*Manifest{
+		{
+			Name: "hotloop", Workload: "hotloop",
+			Configs: []exp.Config{exp.CfgChain, exp.CfgTrace},
+			Invariants: []Invariant{
+				{Kind: KindChecksum}, {Kind: KindOracle}, {Kind: KindBudget},
+				{Kind: KindCounterMin, Counter: "TracesFormed", Bound: 1,
+					Configs: []exp.Config{exp.CfgTrace}},
+			},
+		},
+		{
+			Name: "net-server", Workload: "net-server",
+			Configs: []exp.Config{exp.CfgSMP},
+			VCPUs:   []int{2},
+			Invariants: []Invariant{
+				{Kind: KindChecksum}, {Kind: KindOracle}, {Kind: KindBudget},
+				{Kind: KindCounterMin, Counter: "Exclusives", Bound: 1},
+			},
+		},
+	}
+	m, err := RunMatrix(Options{Scenarios: subset, Scale: 1, AuditDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cells != 3 || len(m.Runs) != 3 {
+		t.Fatalf("expected 3 cells, got %d (%d records)", m.Cells, len(m.Runs))
+	}
+	if m.Failures != 0 {
+		t.Fatalf("matrix failures: %+v", m.Runs)
+	}
+	for _, name := range []string{
+		"hotloop__chain__cpu1.json",
+		"hotloop__trace__cpu1.json",
+		"net-server__smp__cpu2.json",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing audit record %s: %v", name, err)
+		}
+	}
+	flat := m.Flatten()
+	if flat["net-server/smp/cpu2 pass"] != 1 {
+		t.Errorf("flattened pass metric missing or 0: %v", flat)
+	}
+	// The artifact round-trips through the file format benchdiff loads.
+	path := filepath.Join(dir, "BENCH_matrix.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := audit.LoadMatrix(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatrixRecordsViolation: an impossible invariant is recorded as a cell
+// failure — loudly, but without aborting the rest of the grid.
+func TestMatrixRecordsViolation(t *testing.T) {
+	bad := []*Manifest{{
+		Name: "hotloop-bad", Workload: "hotloop",
+		Configs: []exp.Config{exp.CfgChain},
+		Invariants: []Invariant{
+			{Kind: KindCounterMin, Counter: "Retranslations", Bound: 1e9},
+		},
+	}}
+	m, err := RunMatrix(Options{Scenarios: bad, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failures != 1 || m.Runs[0].Pass {
+		t.Fatalf("violation not recorded: %+v", m.Runs)
+	}
+	if m.Runs[0].Invariants[0].Detail == "" {
+		t.Error("failed invariant carries no detail")
+	}
+}
+
+// TestMatrixUnknownWorkload: harness-level mistakes are errors, not cell
+// failures.
+func TestMatrixUnknownWorkload(t *testing.T) {
+	if _, err := RunMatrix(Options{Scenarios: []*Manifest{{
+		Name: "x", Workload: "no-such-workload", Configs: []exp.Config{exp.CfgFull},
+	}}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := ByName([]string{"no-such-scenario"}); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}

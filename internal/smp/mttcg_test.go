@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sldbt/internal/engine"
+	"sldbt/internal/ghw"
 	"sldbt/internal/kernel"
 	"sldbt/internal/workloads"
 )
@@ -19,7 +20,7 @@ import (
 // (chaining, jump cache, RAS; tracing selectable — trace formation is a
 // deterministic-mode feature, so the single-vCPU bit-identity test turns it
 // off on both sides to compare counters exactly).
-func buildSMPEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, traces bool) *engine.Engine {
+func buildSMPEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, traces bool, cfg ...func(*ghw.Bus)) *engine.Engine {
 	t.Helper()
 	e, err := engine.NewSMP(tr, kernel.RAMSize, n)
 	if err != nil {
@@ -35,6 +36,9 @@ func buildSMPEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint
 	if err := e.LoadImage(origin, prog); err != nil {
 		t.Fatal(err)
 	}
+	for _, c := range cfg {
+		c(e.Bus)
+	}
 	return e
 }
 
@@ -42,9 +46,9 @@ func buildSMPEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint
 // with RunParallel (same configuration as runEngine, including tracing — the
 // run itself retires formed traces and disables formation, which is part of
 // what the differential exercises).
-func runEngineParallel(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+func runEngineParallel(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, budget uint64, cfg ...func(*ghw.Bus)) *engine.Engine {
 	t.Helper()
-	e := buildSMPEngine(t, tr, prog, origin, n, true)
+	e := buildSMPEngine(t, tr, prog, origin, n, true, cfg...)
 	code, err := e.RunParallel(budget)
 	if err != nil {
 		t.Fatalf("%s+mttcg(%d vcpus): %v (console %q)", tr.Name(), n, err, e.Bus.UART().Output())
@@ -91,8 +95,8 @@ func TestMTTCGWorkloadsDifferential(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					det := runEngine(t, mk(), im.Data, im.Origin, n, testBudget)
-					par := runEngineParallel(t, mk(), im.Data, im.Origin, n, testBudget)
+					det := runEngine(t, mk(), im.Data, im.Origin, n, testBudget, im.Configure)
+					par := runEngineParallel(t, mk(), im.Data, im.Origin, n, testBudget, im.Configure)
 					fullRAM := n == 1 || w.Name != "smp-ring"
 					if err := CompareEngines(par, det, fullRAM); err != nil {
 						t.Fatal(err)
@@ -121,11 +125,11 @@ func TestMTTCGSingleVCPUBitIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				det := buildSMPEngine(t, mk(), im.Data, im.Origin, 1, false)
+				det := buildSMPEngine(t, mk(), im.Data, im.Origin, 1, false, im.Configure)
 				if code, err := det.Run(testBudget); err != nil || code != 0 {
 					t.Fatalf("deterministic: exit %#x, %v", code, err)
 				}
-				par := buildSMPEngine(t, mk(), im.Data, im.Origin, 1, false)
+				par := buildSMPEngine(t, mk(), im.Data, im.Origin, 1, false, im.Configure)
 				if code, err := par.RunParallel(testBudget); err != nil || code != 0 {
 					t.Fatalf("parallel: exit %#x, %v", code, err)
 				}

@@ -23,12 +23,17 @@ const testBudget = 8_000_000
 // and vCPU count they were running).
 func fuzzSeeds(t *testing.T, n int) []int { return seedtest.Seeds(t, n) }
 
-// runOracle boots the program on an n-CPU interpreter oracle.
-func runOracle(t *testing.T, prog []byte, origin uint32, n int, budget uint64) *Oracle {
+// runOracle boots the program on an n-CPU interpreter oracle. A workload
+// that depends on bus devices (block images, queued network packets) passes
+// its Image.Configure as cfg to seed them before the run.
+func runOracle(t *testing.T, prog []byte, origin uint32, n int, budget uint64, cfg ...func(*ghw.Bus)) *Oracle {
 	t.Helper()
 	bus := ghw.NewBus(kernel.RAMSize)
 	if err := bus.LoadImage(origin, prog); err != nil {
 		t.Fatal(err)
+	}
+	for _, c := range cfg {
+		c(bus)
 	}
 	o := NewOracle(bus, n)
 	code, err := o.Run(budget)
@@ -45,7 +50,7 @@ func runOracle(t *testing.T, prog []byte, origin uint32, n int, budget uint64) *
 // cache and hot-trace formation on (the configuration the acceptance
 // criteria name). The trace threshold is lowered so the short test budgets
 // actually form traces.
-func runEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, budget uint64) *engine.Engine {
+func runEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n int, budget uint64, cfg ...func(*ghw.Bus)) *engine.Engine {
 	t.Helper()
 	e, err := engine.NewSMP(tr, kernel.RAMSize, n)
 	if err != nil {
@@ -58,6 +63,9 @@ func runEngine(t *testing.T, tr engine.Translator, prog []byte, origin uint32, n
 	e.SetTraceThreshold(4)
 	if err := e.LoadImage(origin, prog); err != nil {
 		t.Fatal(err)
+	}
+	for _, c := range cfg {
+		c(e.Bus)
 	}
 	code, err := e.Run(budget)
 	if err != nil {
@@ -94,8 +102,8 @@ func TestSMPWorkloadsDifferential(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					o := runOracle(t, im.Data, im.Origin, n, testBudget)
-					e := runEngine(t, mk(), im.Data, im.Origin, n, testBudget)
+					o := runOracle(t, im.Data, im.Origin, n, testBudget, im.Configure)
+					e := runEngine(t, mk(), im.Data, im.Origin, n, testBudget, im.Configure)
 					fullRAM := !(w.Name == "smp-ring" && ename == "rule")
 					if err := CompareState(e, o, fullRAM); err != nil {
 						t.Fatal(err)

@@ -1,0 +1,138 @@
+package workloads
+
+import "strconv"
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+// net-server: the serving-traffic stress case — a multi-core guest
+// request/response server over the packet device. Core 0 is the network
+// front-end: it polls the net device, parses each request's 16-bit payload
+// and publishes it into a shared request array (bumping S_TAIL after each
+// store, the single-producer publication order). Every core — including
+// core 0 once the last request has arrived, so the program also runs on one
+// CPU — claims requests with an exclusive fetch-and-add on S_NEXT, computes
+// the response f(v) = lcg(v) ^ (lcg(v) >> 13), stores it into a per-request
+// result slot and accumulates it into a shared checksum under LDREX/STREX.
+// After an exclusive-increment exit barrier, core 0 transmits every response
+// in request order (a deterministic reply stream) and prints the checksum.
+//
+// The final state is schedule-insensitive by construction (per-request
+// result slots, commutative checksum accumulation, canonical parked
+// registers), so the workload passes differential comparison against the
+// SMP interpreter oracle — and the MTTCG-vs-deterministic differential — at
+// any vCPU count, while request *claiming* exercises contended STREX and the
+// request wait loop exercises cross-vCPU store visibility.
+
+const netServerReqs = 64
+
+func netServer() *Workload {
+	var packets [][]byte
+	seed := uint32(0xBEEF)
+	var expect uint32
+	for i := 0; i < netServerReqs; i++ {
+		seed = seed*1664525 + 1013904223
+		v := uint32(uint16(seed >> 12))
+		packets = append(packets, []byte{'Q', 0, byte(v), byte(v >> 8)})
+		f := v*1664525 + 1013904223
+		f ^= f >> 13
+		expect += f
+	}
+	src := smpSharedEqu + `
+	.equ S_RES, 0x400    ; response slots (above the request array at S_ARR)
+	.equ RXB,   0x400000
+user_entry:
+	mov r10, r0          ; cpu index
+	mov r7, #10          ; SysNumCPU
+	svc #0
+	mov r9, r0           ; ncpu
+	ldr r8, =SHARED
+	cmp r10, #0
+	bne ns_worker
+
+	; ----- core 0: front-end — receive every request, publish in order -----
+	mov r6, #0           ; requests received
+ns_recv:
+	ldr r0, =RXB
+	mov r7, #7           ; net recv
+	svc #0
+	cmp r0, #0
+	beq ns_recv          ; poll until the next request arrives
+	ldr r1, =RXB
+	ldrh r2, [r1, #2]    ; request payload
+	add r3, r8, #S_ARR
+	str r2, [r3, r6, lsl #2]
+	add r6, r6, #1
+	str r6, [r8, #S_TAIL]
+	cmp r6, #` + itoa(netServerReqs) + `
+	blt ns_recv
+	; all requests published: core 0 joins the worker pool
+
+ns_worker:
+ns_claim:
+	add r5, r8, #S_NEXT  ; t = fetch_and_add(next, 1)
+	ldrex r2, [r5]
+	add r3, r2, #1
+	strex r4, r3, [r5]
+	cmp r4, #0
+	bne ns_claim
+	cmp r2, #` + itoa(netServerReqs) + `
+	bge ns_finish
+ns_wait:                 ; wait until request t has been published
+	ldr r3, [r8, #S_TAIL]
+	cmp r3, r2
+	ble ns_wait
+	add r3, r8, #S_ARR
+	ldr r5, [r3, r2, lsl #2]
+	; f(v) = (v*1664525 + 1013904223) ^ (. >> 13)
+	ldr r3, =1664525
+	mul r5, r5, r3
+	ldr r3, =1013904223
+	add r5, r5, r3
+	eor r5, r5, r5, lsr #13
+	add r3, r8, #S_RES   ; responses[t] = f(v)
+	str r5, [r3, r2, lsl #2]
+	add r6, r8, #S_CHECK ; checksum += f(v) (exclusive)
+ns_chk:
+	ldrex r2, [r6]
+	add r2, r2, r5
+	strex r3, r2, [r6]
+	cmp r3, #0
+	bne ns_chk
+	b ns_claim
+ns_finish:
+	add r5, r8, #S_DONE  ; exit barrier: done++ (exclusive)
+ns_done:
+	ldrex r2, [r5]
+	add r2, r2, #1
+	strex r3, r2, [r5]
+	cmp r3, #0
+	bne ns_done
+	cmp r10, #0
+	bne spark_canon      ; workers park with canonical registers
+ns_barrier:              ; core 0: wait for every worker
+	ldr r2, [r8, #S_DONE]
+	cmp r2, r9
+	bne ns_barrier
+
+	; ----- reply phase: transmit responses in request order -----
+	mov r6, #0
+ns_reply:
+	add r3, r8, #S_RES
+	ldr r2, [r3, r6, lsl #2]
+	ldr r1, =RXB
+	str r2, [r1]
+	ldr r0, =RXB
+	mov r1, #4
+	mov r7, #8           ; net send
+	svc #0
+	add r6, r6, #1
+	cmp r6, #` + itoa(netServerReqs) + `
+	blt ns_reply
+	ldr r4, [r8, #S_CHECK]
+` + epilogue + smpPark
+	native := func() uint32 { return expect }
+	return &Workload{
+		Name: "net-server", GuestSrc: src, Native: native, Budget: 8_000_000,
+		TimerOff: true, Packets: packets, NetInterval: 1500,
+	}
+}

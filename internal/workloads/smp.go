@@ -328,5 +328,5 @@ print:
 
 // SMPWorkloads returns the multi-core workload suite.
 func SMPWorkloads() []*Workload {
-	return []*Workload{smpSpinlock(), smpWorksteal(), smpRing()}
+	return []*Workload{smpSpinlock(), smpWorksteal(), smpRing(), netServer()}
 }

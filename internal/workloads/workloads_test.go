@@ -120,3 +120,34 @@ func TestWorkloadsAgreeAcrossEngines(t *testing.T) {
 		})
 	}
 }
+
+// TestRegistrySweep: every workload in the registry is resolvable by name,
+// declares a positive instruction budget, and builds into a bootable image.
+// The scenario matrix trusts these properties when it expands its grid.
+func TestRegistrySweep(t *testing.T) {
+	names := map[string]bool{}
+	for _, w := range All() {
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		got, ok := ByName(w.Name)
+		if !ok {
+			t.Errorf("%s: not resolvable via ByName", w.Name)
+		} else if got.Name != w.Name {
+			t.Errorf("ByName(%s) returned %s", w.Name, got.Name)
+		}
+		if w.Budget == 0 {
+			t.Errorf("%s: zero instruction budget", w.Name)
+		}
+		if w.GuestSrc == "" {
+			t.Errorf("%s: no guest program", w.Name)
+		}
+		if _, err := w.Prepare(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if _, ok := ByName("no-such-workload"); ok {
+		t.Error("unknown workload resolved")
+	}
+}
