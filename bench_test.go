@@ -400,6 +400,42 @@ func BenchmarkBreakdown(b *testing.B) {
 	b.ReportMetric(victimHits, "victim-hits")
 }
 
+// BenchmarkObsDisabled pins the cost of the observability layer in its
+// default state — no observer attached, every hook a single untaken branch.
+// Guest throughput here must track BenchmarkEngineThroughput within noise
+// across PRs (cmd/benchdiff watches the metric); the companion
+// TestObsDisabledHotPathAllocs in internal/engine pins the zero-allocation
+// property of the same path. The enabled sub-benchmark records the full-mask
+// cost for contrast, so a hook accidentally moved off the guarded path shows
+// up as a widening gap, not silence.
+func BenchmarkObsDisabled(b *testing.B) {
+	w, ok := workloads.ByName("mcf")
+	if !ok {
+		b.Fatal("mcf workload missing")
+	}
+	for _, tc := range []struct {
+		name string
+		cats string
+	}{
+		{"off", ""},
+		{"all", "all"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var guest uint64
+			for i := 0; i < b.N; i++ {
+				r := newRunner(b)
+				r.ObsCats = tc.cats
+				res, err := r.Run(w, exp.CfgChain)
+				if err != nil {
+					b.Fatal(err)
+				}
+				guest += res.Retired
+			}
+			b.ReportMetric(float64(guest)/b.Elapsed().Seconds(), "guest-instr/s")
+		})
+	}
+}
+
 // BenchmarkEngineThroughput measures raw emulation speed of the two engines
 // (guest instructions per second), the quantity behind Fig. 18.
 func BenchmarkEngineThroughput(b *testing.B) {

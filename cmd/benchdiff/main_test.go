@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"sldbt/internal/audit"
+	"sldbt/internal/obs"
 )
 
 func write(t *testing.T, dir, name, content string) string {
@@ -81,6 +82,51 @@ func TestMalformedArtifactsAreLoud(t *testing.T) {
 				t.Errorf("no stderr diagnostic on %s", tc.name)
 			}
 		})
+	}
+}
+
+// TestDiffAcrossSchemaVersions: the exact cross-PR shape a schema bump
+// creates — the previous PR's schema-1 artifact (which may also carry fields
+// this binary has since dropped) against this PR's schema-2 artifact with the
+// new latency block. Both sides must load; shared metrics diff, and the new
+// stop-the-world quantiles surface as "new" rather than erroring.
+func TestDiffAcrossSchemaVersions(t *testing.T) {
+	dir := t.TempDir()
+	oldP := write(t, dir, "old.json", `{
+  "Schema": 1, "Scale": 1, "Scenarios": 1, "Cells": 1,
+  "RetiredTopLevelField": true,
+  "Runs": [{
+    "Scenario": "smp-worksteal", "Config": "mttcg", "VCPUs": 4, "Pass": true,
+    "RetiredRunField": 3,
+    "Run": {"GuestInstructions": 1000, "HostInstructions": 16000, "HostPerGuest": 16.0}
+  }]
+}`)
+	m := &audit.Matrix{Schema: audit.MatrixSchema, Scale: 1, Scenarios: 1, Cells: 1,
+		Runs: []audit.RunRecord{{
+			Scenario: "smp-worksteal", Config: "mttcg", VCPUs: 4, Pass: true,
+			Run: &audit.EngineRun{
+				GuestInstructions: 1000, HostInstructions: 15400, HostPerGuest: 15.4,
+				VCPUs: []audit.VCPU{{Index: 0, Retired: 250}},
+				Latency: &obs.LatencySummary{
+					StopWorld: obs.HistSummary{Count: 5, P50Nanos: 2048, P99Nanos: 8192},
+				},
+			},
+		}}}
+	newP := filepath.Join(dir, "new.json")
+	if err := m.WriteFile(newP); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb strings.Builder
+	if code := run(oldP, newP, &out, &errb); code != 0 {
+		t.Fatalf("mixed-version diff exit %d: %s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "smp-worksteal/mttcg/cpu4 host/guest") {
+		t.Errorf("shared metric not diffed across versions:\n%s", got)
+	}
+	if !strings.Contains(got, "stop-p99-ns") || !strings.Contains(got, "new") {
+		t.Errorf("schema-2 latency quantiles not reported as new metrics:\n%s", got)
 	}
 }
 

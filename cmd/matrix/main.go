@@ -23,6 +23,7 @@ import (
 
 	"sldbt/internal/audit"
 	"sldbt/internal/exp"
+	"sldbt/internal/obs"
 	"sldbt/internal/scenario"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent scenarios (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_matrix.json", "aggregated artifact path (empty = don't write)")
 	auditDir := flag.String("audit-dir", "audit", "per-run audit record directory (empty = don't write)")
+	dCats := flag.String("d", "", "tracing categories to record on every run (obs.ParseCats syntax; overrides each scenario's ObsCats)")
+	obsSample := flag.Uint64("obs-sample", 0, "sample the retiring guest PC every N instructions on every run (overrides each scenario's ObsSample)")
 	list := flag.Bool("list", false, "list the grid cells and exit")
 	flag.Parse()
 
@@ -49,6 +52,22 @@ func main() {
 		ms, err = filterConfigs(ms, strings.Split(*configs, ","))
 		if err != nil {
 			log.Fatal(err)
+		}
+	}
+	if *dCats != "" || *obsSample != 0 {
+		if _, err := obs.ParseCats(*dCats); err != nil {
+			log.Fatalf("-d: %v", err)
+		}
+		// Copy-on-override, like filterConfigs: the registry entries are shared.
+		for i, m := range ms {
+			m2 := *m
+			if *dCats != "" {
+				m2.ObsCats = *dCats
+			}
+			if *obsSample != 0 {
+				m2.ObsSample = *obsSample
+			}
+			ms[i] = &m2
 		}
 	}
 

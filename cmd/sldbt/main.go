@@ -30,6 +30,7 @@ import (
 	"sldbt/internal/interp"
 	"sldbt/internal/kernel"
 	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
 	"sldbt/internal/rules"
 	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
@@ -65,6 +66,10 @@ func main() {
 	tlbVictim := flag.Bool("tlb-victim", false, "back the fast-path TLB with a fully-associative victim TLB")
 	memReuse := flag.Bool("mem-reuse", false, "rule engine: elide softmmu probes for provably same-page accesses")
 	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
+	dCats := flag.String("d", "", "trace-event categories to record, comma-separated (translate, chain, jc, tlb, smc, trace, exclusive, epoch, irq, all)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (open in Perfetto) to this file; implies span recording")
+	profGuest := flag.String("prof-guest", "", "write the guest hot-spot profile as flamegraph folded stacks to this file (requires -obs-sample)")
+	obsSample := flag.Uint64("obs-sample", 0, "sample the retiring guest PC every N instructions into the hot-spot profile (0 = off)")
 	budget := flag.Uint64("budget", 100_000_000, "guest instruction budget")
 	stats := flag.Bool("stats", true, "print execution statistics")
 	statsJSON := flag.Bool("stats-json", false, "emit the full counter set as one JSON object (machine consumption)")
@@ -116,6 +121,17 @@ func main() {
 
 	if *mttcg && *engName == "interp" {
 		log.Fatal("-mttcg requires a translating engine (-engine tcg|rule); the interpreter oracle is deterministic by definition")
+	}
+	obsMask, err := obs.ParseCats(*dCats)
+	if err != nil {
+		log.Fatalf("-d: %v", err)
+	}
+	if *profGuest != "" && *obsSample == 0 {
+		log.Fatal("-prof-guest requires -obs-sample N (a sampling period)")
+	}
+	obsOn := obsMask != 0 || *traceOut != "" || *obsSample != 0
+	if obsOn && *engName == "interp" {
+		log.Fatal("-d/-trace-out/-obs-sample instrument the translating engines (-engine tcg|rule)")
 	}
 
 	start := time.Now()
@@ -228,6 +244,14 @@ func main() {
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
 		}
+		var o *obs.Observer
+		if obsOn {
+			o = obs.New(*smpN, 0)
+			o.Mask = obsMask
+			o.Spans = *traceOut != ""
+			o.SamplePeriod = *obsSample
+			e.AttachObserver(o)
+		}
 		run, engLabel := e.Run, tr.Name()
 		if *mttcg {
 			run, engLabel = e.RunParallel, tr.Name()+"+mttcg"
@@ -237,6 +261,35 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(e.Bus.UART().Output())
+		if o != nil {
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := o.WriteChromeTrace(f); err != nil {
+					log.Fatalf("-trace-out: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if *profGuest != "" {
+				f, err := os.Create(*profGuest)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := o.WriteFoldedProfile(f); err != nil {
+					log.Fatalf("-prof-guest: %v", err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if *obsSample != 0 {
+				o.WriteTopN(os.Stderr, 10)
+			}
+		}
 		if *statsJSON {
 			classes := map[string]uint64{}
 			for c := x86.Class(0); c < x86.NumClasses; c++ {
@@ -259,6 +312,8 @@ func main() {
 				CacheCapacity:     e.CacheCapacity(),
 				Flushes:           e.Flushes(),
 			}
+			lat := e.Latency()
+			out.Latency = &lat
 			for _, v := range e.VCPUs() {
 				out.VCPUs = append(out.VCPUs, audit.VCPU{
 					Index: v.Index, Retired: v.Retired,
@@ -303,6 +358,20 @@ func main() {
 					e.Stats.TracesFormed, e.Stats.TraceRetired, e.Stats.TraceSideExits,
 					e.Stats.TraceBreaks, e.Stats.TraceAborts, 100*e.TraceExecRatio())
 			}
+			lat := e.Latency()
+			fmt.Printf("-- latency: translate p50 %v p99 %v (n=%d)",
+				time.Duration(lat.Translate.P50Nanos), time.Duration(lat.Translate.P99Nanos),
+				lat.Translate.Count)
+			if lat.StopWorld.Count > 0 {
+				fmt.Printf("; stop-the-world p50 %v p99 %v max %v (n=%d)",
+					time.Duration(lat.StopWorld.P50Nanos), time.Duration(lat.StopWorld.P99Nanos),
+					time.Duration(lat.StopWorld.MaxNanos), lat.StopWorld.Count)
+			}
+			if lat.LockWait.Count > 0 {
+				fmt.Printf("; lock-wait p99 %v (n=%d)",
+					time.Duration(lat.LockWait.P99Nanos), lat.LockWait.Count)
+			}
+			fmt.Println()
 			if *smpN > 1 {
 				fmt.Printf("-- smp: %d vcpus, %d switches, %d exclusives, %d strex failures\n",
 					*smpN, e.Stats.Switches, e.Stats.Exclusives, e.Stats.StrexFailures)

@@ -58,6 +58,16 @@
 //     interpreter oracle makes every run differentially checkable. The
 //     `smp` experiment measures scheduling, contention and shared-cache
 //     reuse.
+//   - An observability layer (internal/obs, internal/engine/obs.go):
+//     QEMU-`-d`-style categorized event tracing into per-vCPU rings,
+//     Chrome trace-event/Perfetto timeline export with per-vCPU
+//     execute/translate/lock-wait/stopped/exclusive spans, budget-driven
+//     guest-PC sampling with folded-stack profiles, and always-on
+//     log-bucketed latency histograms (stop-the-world, translation-lock
+//     wait, translation time) surfaced through -stats-json and the
+//     benchmark-matrix artifact. Hooks are guarded by a cached category
+//     mask, so the disabled path costs one untaken branch and zero
+//     allocations.
 //
 // See README.md for the user-facing tour (including the counters glossary
 // and the cmd/sldbt flag reference), DESIGN.md for the architecture

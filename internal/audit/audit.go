@@ -19,12 +19,17 @@ import (
 	"sldbt/internal/core"
 	"sldbt/internal/engine"
 	"sldbt/internal/interp"
+	"sldbt/internal/obs"
 )
 
 // MatrixSchema is the artifact schema version; benchdiff refuses artifacts
-// whose version it does not understand (a malformed artifact must be loud,
-// not silently empty).
-const MatrixSchema = 1
+// newer than it understands (a malformed artifact must be loud, not silently
+// empty) but accepts every older version — fields only accrete, so a
+// cross-PR diff between adjacent schema versions stays well-defined.
+//
+// History: 1 = initial matrix artifact; 2 = EngineRun gained the optional
+// Latency block (stop-the-world / lock-wait / translation histograms).
+const MatrixSchema = 2
 
 // VCPU is one vCPU's share of a multi-core run.
 type VCPU struct {
@@ -55,6 +60,11 @@ type EngineRun struct {
 	Flushes           uint64
 	VCPUs             []VCPU
 	Rules             *core.Stats `json:",omitempty"`
+	// Latency carries the engine latency-histogram summaries (stop-the-world
+	// sections, translation-lock waits, per-region translation time). Added in
+	// matrix schema 2; omitted by older artifacts and by runs that recorded no
+	// samples.
+	Latency *obs.LatencySummary `json:",omitempty"`
 }
 
 // InterpRun is the `sldbt -stats-json` output for the uniprocessor
@@ -164,6 +174,13 @@ func (m *Matrix) Flatten() map[string]float64 {
 			out[key("trace-exec")] = r.Run.TraceExecRatio
 		}
 		out[key("retranslations")] = float64(r.Run.Counters.Retranslations)
+		// Stop-the-world quantiles only exist where exclusive sections can
+		// run — multi-vCPU cells with at least one recorded section.
+		if r.Run.Latency != nil && len(r.Run.VCPUs) > 0 &&
+			r.Run.Latency.StopWorld.Count > 0 {
+			out[key("stop-p50-ns")] = float64(r.Run.Latency.StopWorld.P50Nanos)
+			out[key("stop-p99-ns")] = float64(r.Run.Latency.StopWorld.P99Nanos)
+		}
 	}
 	return out
 }
@@ -189,8 +206,8 @@ func LoadMatrix(path string) (*Matrix, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("%s: malformed matrix artifact: %v", path, err)
 	}
-	if m.Schema != MatrixSchema {
-		return nil, fmt.Errorf("%s: matrix artifact schema %d, want %d", path, m.Schema, MatrixSchema)
+	if m.Schema < 1 || m.Schema > MatrixSchema {
+		return nil, fmt.Errorf("%s: matrix artifact schema %d, want 1..%d", path, m.Schema, MatrixSchema)
 	}
 	return &m, nil
 }

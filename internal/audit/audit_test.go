@@ -10,6 +10,7 @@ import (
 	"sldbt/internal/core"
 	"sldbt/internal/engine"
 	"sldbt/internal/interp"
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -42,6 +43,11 @@ func engineRunFixture() *EngineRun {
 		Flushes:           1,
 		VCPUs:             []VCPU{{Index: 0, Retired: 1000, StrexFailures: 2, IPIs: 3}},
 		Rules:             &core.Stats{RuleHits: 900, Fallbacks: 100},
+		Latency: &obs.LatencySummary{
+			StopWorld: obs.HistSummary{Count: 12, SumNanos: 24000, MaxNanos: 4000, P50Nanos: 2048, P99Nanos: 4000},
+			LockWait:  obs.HistSummary{Count: 30, SumNanos: 3000, MaxNanos: 900, P50Nanos: 64, P99Nanos: 900},
+			Translate: obs.HistSummary{Count: 7, SumNanos: 70000, MaxNanos: 16000, P50Nanos: 8192, P99Nanos: 16000},
+		},
 	}
 }
 
@@ -128,6 +134,7 @@ func TestFlattenKeys(t *testing.T) {
 		"mcf/chain/cpu1 pass", "mcf/chain/cpu1 guest-insts",
 		"mcf/chain/cpu1 host/guest", "mcf/chain/cpu1 chain-rate",
 		"mcf/chain/cpu1 retranslations",
+		"mcf/chain/cpu1 stop-p50-ns", "mcf/chain/cpu1 stop-p99-ns",
 	} {
 		if _, ok := flat[k]; !ok {
 			t.Errorf("flattened metrics missing %q (have %v)", k, flat)
@@ -135,6 +142,17 @@ func TestFlattenKeys(t *testing.T) {
 	}
 	if flat["mcf/chain/cpu1 pass"] != 1 {
 		t.Error("pass metric not 1 on a passing cell")
+	}
+
+	// A run without a latency block (older artifact, or no samples) simply
+	// omits the quantile keys — forward compatibility, not an error.
+	noLat := engineRunFixture()
+	noLat.Latency = nil
+	flat = (&Matrix{Schema: MatrixSchema, Runs: []RunRecord{{
+		Scenario: "mcf", Config: "base", VCPUs: 1, Pass: true, Run: noLat,
+	}}}).Flatten()
+	if _, ok := flat["mcf/base/cpu1 stop-p50-ns"]; ok {
+		t.Error("stop-p50-ns emitted for a run with no latency block")
 	}
 }
 
@@ -161,10 +179,23 @@ func TestMatrixRoundTrip(t *testing.T) {
 	if _, err := LoadMatrix(bad); err == nil {
 		t.Error("malformed artifact accepted")
 	}
+	newSchema := filepath.Join(dir, "new.json")
+	os.WriteFile(newSchema, []byte(`{"Schema": 99}`), 0o644)
+	if _, err := LoadMatrix(newSchema); err == nil {
+		t.Error("unknown future schema version accepted")
+	}
+	// Older artifacts (fields only accrete) must keep loading: a cross-PR
+	// benchdiff compares the previous PR's schema-1 artifact against this
+	// PR's schema-2 one. Unknown fields on either side are tolerated too.
 	oldSchema := filepath.Join(dir, "old.json")
-	os.WriteFile(oldSchema, []byte(`{"Schema": 99}`), 0o644)
-	if _, err := LoadMatrix(oldSchema); err == nil {
-		t.Error("unknown schema version accepted")
+	os.WriteFile(oldSchema, []byte(
+		`{"Schema": 1, "Runs": [{"Scenario": "mcf", "Config": "full", "VCPUs": 1,`+
+			` "Pass": true, "RetiredField": 7}]}`), 0o644)
+	old, err := LoadMatrix(oldSchema)
+	if err != nil {
+		t.Errorf("schema-1 artifact rejected: %v", err)
+	} else if len(old.Runs) != 1 || old.Runs[0].Scenario != "mcf" {
+		t.Errorf("schema-1 artifact mangled: %+v", old)
 	}
 	if _, err := LoadMatrix(filepath.Join(dir, "missing.json")); !os.IsNotExist(err) {
 		t.Errorf("missing artifact should surface as os.IsNotExist, got %v", err)

@@ -1,6 +1,9 @@
 package engine
 
-import "sldbt/internal/x86"
+import (
+	"sldbt/internal/obs"
+	"sldbt/internal/x86"
+)
 
 // Page-granular TB invalidation and the bounded code cache.
 //
@@ -109,7 +112,10 @@ func (e *Engine) evictOne(keep *TB) bool {
 			e.fifo = append(e.fifo, victim)
 			continue
 		}
-		e.retireTB(victim)
+		if e.obsMask&obs.CatTranslate != 0 {
+			e.obs.Point(e.obs.EngineRing(), obs.EvTBEvict, uint64(victim.PC))
+		}
+		e.retireTB(victim, obs.TraceRetireEvict)
 		e.Stats.Evictions++
 		return true
 	}
@@ -133,7 +139,7 @@ func (e *Engine) InvalidatePage(page uint32) int {
 		victims = append(victims, tb)
 	}
 	for _, tb := range victims {
-		e.retireTB(tb)
+		e.retireTB(tb, obs.TraceRetireInval)
 	}
 	e.Stats.PageInvalidations++
 	return len(victims)
@@ -162,10 +168,28 @@ func (e *Engine) invalidateOnStore(pa uint32) {
 // mid-helper inside this very block (a self-modifying store), so they are
 // deferred to the epoch reclaimer, which frees them only after every running
 // vCPU has passed a safepoint beyond the retirement epoch (see mttcg.go).
-func (e *Engine) retireTB(tb *TB) {
+// reason (an obs.TraceRetire* constant) attributes a trace's retirement for
+// the per-reason Stats split and the trace-retire event.
+func (e *Engine) retireTB(tb *TB, reason uint64) {
 	delete(e.cache, tb.key)
 	if tb.IsTrace() {
 		e.Stats.TraceRetired++
+		switch reason {
+		case obs.TraceRetireEvict:
+			e.Stats.TraceRetiredEvict++
+		case obs.TraceRetireStale:
+			e.Stats.TraceRetiredStale++
+		case obs.TraceRetirePoor:
+			e.Stats.TraceRetiredPoor++
+		default:
+			e.Stats.TraceRetiredInval++
+		}
+		if e.obsMask&obs.CatTrace != 0 {
+			e.obs.Point(e.obs.EngineRing(), obs.EvTraceRetire, reason)
+		}
+	}
+	if e.obsMask&obs.CatTranslate != 0 {
+		e.obs.Point(e.obs.EngineRing(), obs.EvTBRetire, uint64(tb.PC))
 	}
 	// Purge the jump-cache/RAS entries addressing this block before its
 	// handle is recycled — a stale entry must never outlive its target.

@@ -1,6 +1,9 @@
 package engine
 
-import "sldbt/internal/x86"
+import (
+	"sldbt/internal/obs"
+	"sldbt/internal/x86"
+)
 
 // Translation-block chaining (direct block linking).
 //
@@ -106,6 +109,9 @@ func (e *Engine) linkPending(v *VCPU, tb *TB, pc uint32, priv bool) {
 	tb.in = append(tb.in, chainSite{from, slot})
 	e.linkCount++
 	e.Stats.ChainLinks++
+	if e.obsMask&obs.CatChain != 0 {
+		e.obs.Point(v.Index, obs.EvChainLink, uint64(pc))
+	}
 }
 
 // chainGlue builds the Go-side glue run when the patched exit of from's
@@ -149,6 +155,9 @@ func (e *Engine) chainGlue(from *TB, slot int) x86.Helper {
 			e.regionStale(v, from.ChainTo[slot]) {
 			v.nextPC = from.Next[slot]
 			v.stats.ChainBreaks++
+			if e.obsMask&obs.CatChain != 0 {
+				e.obs.Point(v.Index, obs.EvChainBreak, uint64(from.Next[slot]))
+			}
 			return ExitChainBreak
 		}
 		v.chainSteps++

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sldbt/internal/arm"
 	"sldbt/internal/ghw"
 	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -156,15 +158,22 @@ type Stats struct {
 	// numerator is ChainedExits, the transitions a patched chain served.)
 	DirectDispatches uint64
 	ChainedExits     uint64 // direct-successor transitions via a patched chain
-	ChainLinks        uint64 // exit stubs patched to a successor block
-	ChainBreaks       uint64 // chained runs stopped by the glue (budget/bounds)
-	Lookups           uint64 // indirect transitions through the engine
-	JCHits            uint64 // indirect transitions served by the inline jump-cache probe
-	JCMisses          uint64 // inline probes that fell back to the dispatcher (jump cache on)
-	JCBreaks          uint64 // inline indirect jumps refused by glue (budget/bounds/re-validation)
-	RASHits           uint64 // indirect transitions served by the return-address stack
-	TracesFormed      uint64 // multi-block trace regions installed in the cache
-	TraceRetired      uint64 // trace regions retired (invalidation, eviction, flush, staleness)
+	ChainLinks       uint64 // exit stubs patched to a successor block
+	ChainBreaks      uint64 // chained runs stopped by the glue (budget/bounds)
+	Lookups          uint64 // indirect transitions through the engine
+	JCHits           uint64 // indirect transitions served by the inline jump-cache probe
+	JCMisses         uint64 // inline probes that fell back to the dispatcher (jump cache on)
+	JCBreaks         uint64 // inline indirect jumps refused by glue (budget/bounds/re-validation)
+	RASHits          uint64 // indirect transitions served by the return-address stack
+	TracesFormed     uint64 // multi-block trace regions installed in the cache
+	TraceRetired     uint64 // trace regions retired (invalidation, eviction, flush, staleness)
+	// Per-reason split of TraceRetired (the four always sum to it): page
+	// invalidation or whole-cache flush, cache-capacity eviction,
+	// regime/epoch staleness, and quality eviction (side-exit heavy).
+	TraceRetiredInval uint64
+	TraceRetiredEvict uint64
+	TraceRetiredStale uint64
+	TraceRetiredPoor  uint64
 	TraceAborts       uint64 // recordings or formations abandoned
 	TraceExec         uint64 // guest instructions retired inside trace regions
 	TraceSideExits    uint64 // off-trace side exits taken
@@ -221,6 +230,10 @@ func (s *Stats) add(o *Stats) {
 	s.RASHits += o.RASHits
 	s.TracesFormed += o.TracesFormed
 	s.TraceRetired += o.TraceRetired
+	s.TraceRetiredInval += o.TraceRetiredInval
+	s.TraceRetiredEvict += o.TraceRetiredEvict
+	s.TraceRetiredStale += o.TraceRetiredStale
+	s.TraceRetiredPoor += o.TraceRetiredPoor
 	s.TraceAborts += o.TraceAborts
 	s.TraceExec += o.TraceExec
 	s.TraceSideExits += o.TraceSideExits
@@ -355,6 +368,21 @@ type Engine struct {
 	// the softmmu slow path, where they invalidate that page's TBs (QEMU's
 	// tb_invalidate at page granularity).
 	codePages map[uint32]bool
+
+	// Observability (see obs.go in this package and internal/obs): the
+	// attached observer plus its configuration cached as plain fields, so a
+	// disabled hook is one predictable branch on the execution paths. Set
+	// before a run starts (goroutine creation publishes them to the parallel
+	// vCPUs); never changed mid-run.
+	obs       *obs.Observer
+	obsMask   obs.Cat
+	obsSpans  bool
+	obsSample uint64
+	// lat aggregates the always-on latency histograms: StopWorld and
+	// Translate engine-level (serialized under the stop-world control mutex
+	// and the translation lock respectively), LockWait folded from the
+	// per-vCPU shards (VCPU.lat) by foldStats.
+	lat obs.Latency
 }
 
 // RAMWindowSize is the portion of host memory reserved for the guest RAM
@@ -486,6 +514,9 @@ func (s envState) SetCPSR(v uint32) {
 		// Privilege changed: cached softmmu permissions are stale. Jump-cache
 		// entries stay — they are keyed by privilege through their tags — but
 		// the probes' comparison word must follow the new mode.
+		if s.e.obsMask&obs.CatTLB != 0 {
+			s.e.obs.Point(s.v.Index, obs.EvTLBFlush, 0)
+		}
 		env.FlushTLB()
 	}
 	s.e.syncPrivTagOf(s.v)
@@ -502,6 +533,9 @@ func (e *Engine) takeException(v *VCPU, vec arm.Vector, retAddr uint32) {
 	v.hotEdge = false       // a vector entry is not a loop edge
 	e.excl.Clear(v.Index)
 	v.stats.Exceptions++
+	if e.obsMask&obs.CatIRQ != 0 {
+		e.obs.Point(v.Index, obs.EvIRQ, uint64(vec))
+	}
 	e.machOf(v).Charge(x86.ClassHelper, CostExcEntry)
 	st := envState{e, v}
 	arm.TakeException(st, vec, retAddr)
@@ -540,6 +574,8 @@ func (e *Engine) foldStats() {
 	for _, v := range e.vcpus {
 		e.Stats.add(&v.stats)
 		v.stats = Stats{}
+		e.lat.Add(&v.lat)
+		v.lat = obs.Latency{}
 	}
 }
 
@@ -577,6 +613,7 @@ func (e *Engine) FlushCache() {
 	for _, tb := range e.cache {
 		if tb.IsTrace() {
 			e.Stats.TraceRetired++
+			e.Stats.TraceRetiredInval++
 		}
 	}
 	e.cache = map[tbKey]*TB{}
@@ -676,8 +713,11 @@ func (e *Engine) Reset() {
 		v.curTB = nil
 		v.curPC = 0
 		v.chainSteps = 0
+		v.lat = obs.Latency{}
+		v.sampleLeft = e.obsSample
 		e.excl.Clear(v.Index)
 	}
+	e.lat = obs.Latency{}
 	e.Stats = Stats{}
 	e.Retired = 0
 	e.M.Counts = [x86.NumClasses]uint64{}
@@ -764,7 +804,11 @@ func (e *Engine) stepOn(v *VCPU, m *x86.Machine) error {
 	// world stopped, and this vCPU passed its safepoint at loop top.
 	tb, ok := e.cache[key]
 	if ok && e.regionStale(v, tb) {
-		e.retireTB(tb)
+		reason := obs.TraceRetireStale
+		if tb.poor {
+			reason = obs.TraceRetirePoor
+		}
+		e.retireTB(tb, reason)
 		ok = false
 	}
 	if !ok {
@@ -789,7 +833,14 @@ func (e *Engine) stepOn(v *VCPU, m *x86.Machine) error {
 	v.stats.TBEntries++
 	v.curTB, v.curPC = tb, pc
 	v.chainSteps = 0
+	var execT0 time.Time
+	if e.obsSpans {
+		execT0 = time.Now()
+	}
 	code := m.Exec(tb.Block)
+	if e.obsSpans {
+		e.obs.Span(v.Index, obs.SpanExec, execT0)
+	}
 	// Chained crossings advance curTB/curPC; dispatch the exit against the
 	// block that actually produced it.
 	tb, pc = v.curTB, v.curPC
@@ -877,6 +928,7 @@ func (e *Engine) translateOn(v *VCPU, pc uint32, priv bool, key tbKey) (*TB, err
 // translation lock; the translator's pure work proceeds concurrently with
 // the other vCPUs, and only the publication step below stops the world.
 func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
+	t0 := time.Now()
 	e.translating = true
 	e.transPages = e.transPages[:0]
 	e.transHelpers = e.transHelpers[:0]
@@ -889,6 +941,12 @@ func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 			e.M.FreeHelper(id)
 		}
 		return nil, err
+	}
+	// Pure translation time, before publication stops the world. The
+	// histogram is engine-level: parallel callers hold the translation lock.
+	e.lat.Translate.Observe(uint64(time.Since(t0)))
+	if e.obsSpans {
+		e.obs.Span(e.cur.Index, obs.SpanTranslate, t0)
 	}
 	tb.key = key
 	tb.helperIDs = append([]int(nil), e.transHelpers...)
@@ -913,6 +971,9 @@ func (e *Engine) publishTB(tb *TB, key tbKey) {
 	}
 	e.insertTB(tb)
 	e.Stats.TBsTranslated++
+	if e.obsMask&obs.CatTranslate != 0 {
+		e.obs.Point(e.cur.Index, obs.EvTBTranslate, uint64(tb.PC))
+	}
 	if e.seenKeys[key] {
 		e.Stats.Retranslations++
 	} else {
@@ -1120,6 +1181,9 @@ func (e *Engine) smcInvalidate(v *VCPU, pa uint32) {
 			return
 		}
 	}
+	if e.obsMask&obs.CatSMC != 0 {
+		e.obs.Point(v.Index, obs.EvSMC, uint64(pa>>PageBits))
+	}
 	e.invalidateOnStore(pa)
 }
 
@@ -1147,6 +1211,9 @@ func (e *Engine) victimProbe(v *VCPU, va uint32, write bool) (uint32, bool) {
 func (e *Engine) fillTLB(v *VCPU, va, pa uint32, entry mmu.Entry) (hostPage uint32, canRead, canWrite bool) {
 	if int(pa) < len(e.Bus.RAM) {
 		v.stats.MMUSlowPath++
+		if e.obsMask&obs.CatTLB != 0 {
+			e.obs.Point(v.Index, obs.EvTLBFill, uint64(va))
+		}
 		e.machOf(v).Charge(x86.ClassHelper, CostPageWalk)
 		user := v.CPU.Mode() == arm.ModeUSR
 		canRead = true
@@ -1299,6 +1366,9 @@ func (e *Engine) execCP15(v *VCPU, in *arm.Inst) {
 		switch {
 		case in.CRn == 8: // TLB maintenance
 			cpu.CP15.TLBFlushes++
+			if e.obsMask&obs.CatTLB != 0 {
+				e.obs.Point(v.Index, obs.EvTLBFlush, uint64(val))
+			}
 			env.FlushTLB()
 			// Chained jumps and jump-cache entries bake in successor
 			// translations keyed by virtual PC; re-resolve them through the
@@ -1311,6 +1381,9 @@ func (e *Engine) execCP15(v *VCPU, in *arm.Inst) {
 			e.regimeChanged(v)
 		case sel == &cpu.CP15.SCTLR || sel == &cpu.CP15.TTBR0:
 			*sel = val
+			if e.obsMask&obs.CatTLB != 0 {
+				e.obs.Point(v.Index, obs.EvTLBFlush, 0)
+			}
 			env.FlushTLB() // translation regime changed
 			e.regimeChanged(v)
 		case sel != nil:

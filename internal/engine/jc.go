@@ -5,6 +5,7 @@ import (
 
 	"sldbt/internal/arm"
 	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -322,6 +323,9 @@ func (e *Engine) freeHandle(tb *TB) {
 // with the world stopped and the fillers parked, which orders them against
 // every append.
 func (e *Engine) jcFill(v *VCPU, pc uint32, tb *TB) {
+	if e.obsMask&obs.CatJC != 0 {
+		e.obs.Point(v.Index, obs.EvJCFill, uint64(pc))
+	}
 	idx := jcIndex(pc)
 	base := v.Env.base + RelJC + idx*jcEntrySize
 	e.M.Write32(base, pc|privTagBits(tb.key.priv))
@@ -343,6 +347,9 @@ func (e *Engine) jcFill(v *VCPU, pc uint32, tb *TB) {
 // cross-vCPU coherence rule: a block invalidated by any vCPU must not stay
 // reachable through any other vCPU's inline fast path.
 func (e *Engine) purgeTB(tb *TB) {
+	if len(tb.jcSlots) > 0 && e.obsMask&obs.CatJC != 0 {
+		e.obs.Point(e.obs.EngineRing(), obs.EvJCPurge, uint64(tb.PC))
+	}
 	for _, s := range tb.jcSlots {
 		cpu, idx := int(s>>JCBits), s&(JCSize-1)
 		base := e.vcpus[cpu].Env.base + RelJC + idx*jcEntrySize

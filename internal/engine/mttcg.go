@@ -6,8 +6,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sldbt/internal/ghw"
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -113,6 +115,13 @@ type parCtl struct {
 	curHandles []int
 	pending    []reclaimBatch
 
+	// Stop-the-world latency attribution for the section currently running
+	// (mu held): when it was requested and which vCPU's timeline track the
+	// exclusive span belongs to. exclusiveEnd observes exactly one
+	// StopWorld histogram sample per begin/end pair.
+	exclStart time.Time
+	exclRing  int
+
 	// WFI idle coordination: idlers counts vCPUs spinning in the idle loop;
 	// when every vCPU idles, one of them advances platform time.
 	idleMu sync.Mutex
@@ -150,11 +159,20 @@ func (e *Engine) safepoint(v *VCPU) {
 		return
 	}
 	p.mu.Lock()
-	for p.stopReq > 0 {
-		p.parked++
-		p.cond.Broadcast() // wake invalidators waiting for the world to park
-		p.cond.Wait()
-		p.parked--
+	if p.stopReq > 0 {
+		var t0 time.Time
+		if e.obsSpans {
+			t0 = time.Now()
+		}
+		for p.stopReq > 0 {
+			p.parked++
+			p.cond.Broadcast() // wake invalidators waiting for the world to park
+			p.cond.Wait()
+			p.parked--
+		}
+		if e.obsSpans {
+			e.obs.Span(v.Index, obs.SpanStopped, t0)
+		}
 	}
 	v.qEpoch.Store(p.epoch.Load())
 	p.mu.Unlock()
@@ -167,6 +185,7 @@ func (e *Engine) safepoint(v *VCPU) {
 // must end the section with exclusiveEnd (normally deferred). Queued
 // sections serialize on the mutex: each runs with the world still stopped.
 func (e *Engine) exclusiveBegin(v *VCPU) {
+	t0 := time.Now() // the stop request: StopWorld latency measures from here
 	p := e.par
 	p.mu.Lock()
 	p.stopReq++
@@ -174,6 +193,13 @@ func (e *Engine) exclusiveBegin(v *VCPU) {
 	p.excluded++
 	for p.parked+p.excluded < p.running {
 		p.cond.Wait()
+	}
+	// Queued sections serialize on mu, so the running section's attribution
+	// fields are exclusively ours until exclusiveEnd consumes them.
+	p.exclStart = t0
+	p.exclRing = v.Index
+	if e.obsMask&obs.CatExclusive != 0 {
+		e.obs.Point(v.Index, obs.EvExclBegin, 0)
 	}
 }
 
@@ -191,6 +217,12 @@ func (e *Engine) exclusiveEnd() {
 		p.curHelpers, p.curHandles = nil, nil
 	}
 	e.tryReclaim()
+	// One histogram sample per begin/end pair, covering request-to-release;
+	// mu is held, so the engine-level histogram needs no sharding.
+	e.lat.StopWorld.Observe(uint64(time.Since(p.exclStart)))
+	if e.obsSpans {
+		e.obs.Span(p.exclRing, obs.SpanExclusive, p.exclStart)
+	}
 	p.excluded--
 	p.stopReq--
 	if p.stopReq == 0 {
@@ -221,17 +253,23 @@ func (e *Engine) tryReclaim() {
 		}
 	}
 	keep := p.pending[:0]
+	freed := 0
 	for _, b := range p.pending {
 		if b.epoch <= min {
 			for _, id := range b.helpers {
 				e.M.FreeHelper(id)
 			}
+			freed += len(b.helpers)
 			e.freeHandles = append(e.freeHandles, b.handles...)
 		} else {
 			keep = append(keep, b)
 		}
 	}
 	p.pending = keep
+	if freed > 0 && e.obsMask&obs.CatEpoch != 0 {
+		// mu is held: the engine ring's serialization requirement.
+		e.obs.Point(e.obs.EngineRing(), obs.EvEpochReclaim, uint64(freed))
+	}
 }
 
 // reclaimAll frees every deferred batch unconditionally. Teardown only: all
@@ -256,9 +294,22 @@ func (e *Engine) reclaimAll() {
 // deadlock a holder that needs the world stopped to publish.
 func (e *Engine) lockTranslation(v *VCPU) {
 	p := e.par
+	if p.transMu.TryLock() {
+		v.lat.LockWait.Observe(0) // uncontended: the zero bucket
+		return
+	}
+	t0 := time.Now()
 	for !p.transMu.TryLock() {
 		e.safepoint(v)
 		runtime.Gosched()
+	}
+	wait := uint64(time.Since(t0))
+	v.lat.LockWait.Observe(wait)
+	if e.obsSpans {
+		e.obs.Span(v.Index, obs.SpanLockWait, t0)
+	}
+	if e.obsMask&obs.CatExclusive != 0 {
+		e.obs.Point(v.Index, obs.EvLockAcquire, wait)
 	}
 }
 

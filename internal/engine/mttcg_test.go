@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -235,6 +237,12 @@ func TestReclaimAllFreesEverything(t *testing.T) {
 // stream of helpers through the epoch reclaimer. Checks no deadlock, no
 // double-free, and that teardown reclaim returns the helper table to its
 // baseline.
+//
+// The run also drives the observability layer at full tilt — every category
+// masked in, spans on, small rings to force overwrite — so the race detector
+// audits the ring/histogram write discipline, and asserts the stop-the-world
+// accounting contract: every exclusiveBegin/End pair contributes exactly one
+// StopWorld histogram sample, with a sane bounded duration.
 func TestExclusiveProtocolStress(t *testing.T) {
 	e, err := NewSMP(nil, 1<<20, 4)
 	if err != nil {
@@ -243,8 +251,13 @@ func TestExclusiveProtocolStress(t *testing.T) {
 	p := &parCtl{running: 4, exited: make([]bool, 4)}
 	p.cond = sync.NewCond(&p.mu)
 	e.par = p
+	o := obs.New(4, 1<<8) // deliberately tiny rings: overwrite under pressure
+	o.Mask = obs.CatAll
+	o.Spans = true
+	e.AttachObserver(o)
 	base := e.M.Helpers()
 
+	var sections atomic.Uint64
 	var done atomic.Bool
 	var wg sync.WaitGroup
 	for _, v := range e.vcpus[1:] {
@@ -258,6 +271,7 @@ func TestExclusiveProtocolStress(t *testing.T) {
 					e.exclusiveBegin(v)
 					p.deferHelper(id)
 					e.exclusiveEnd()
+					sections.Add(1)
 				}
 				runtime.Gosched()
 			}
@@ -275,6 +289,7 @@ func TestExclusiveProtocolStress(t *testing.T) {
 		e.exclusiveBegin(v0)
 		p.deferHelper(id)
 		e.exclusiveEnd()
+		sections.Add(1)
 		e.safepoint(v0)
 	}
 	done.Store(true)
@@ -292,5 +307,32 @@ func TestExclusiveProtocolStress(t *testing.T) {
 	e.reclaimAll()
 	if e.M.Helpers() != base {
 		t.Errorf("helper table not back to baseline: live=%d, want %d", e.M.Helpers(), base)
+	}
+
+	lat := e.Latency()
+	if lat.StopWorld.Count != sections.Load() {
+		t.Errorf("StopWorld samples = %d, want one per exclusive section (%d)",
+			lat.StopWorld.Count, sections.Load())
+	}
+	if lat.StopWorld.MaxNanos == 0 {
+		t.Error("StopWorld max duration = 0: sections cannot be instantaneous")
+	}
+	if lat.StopWorld.MaxNanos > uint64(time.Minute) {
+		t.Errorf("StopWorld max duration = %v: unboundedly long section",
+			time.Duration(lat.StopWorld.MaxNanos))
+	}
+	// Spans were on for every section, so each begin/end pair also left an
+	// exclusive span on the requester's ring (modulo overwrite in the tiny
+	// rings — so only assert that some survived).
+	spans := 0
+	for ring := 0; ring < o.NumVCPUs(); ring++ {
+		for _, ev := range o.Events(ring) {
+			if ev.Kind == obs.SpanExclusive {
+				spans++
+			}
+		}
+	}
+	if spans == 0 {
+		t.Error("no SpanExclusive events survived on any vCPU ring")
 	}
 }

@@ -1,0 +1,67 @@
+package engine
+
+import "sldbt/internal/obs"
+
+// Engine-side observability wiring (see internal/obs for the subsystem).
+//
+// The observer's configuration is cached into plain engine fields at attach
+// time, so every hook on an execution path is a single predictable branch on
+// a cached field (obsMask / obsSpans / obsSample) when tracing is off — no
+// pointer chase, no allocation (pinned by BenchmarkObsDisabled and
+// TestObsDisabledHotPathAllocs). The latency histograms are always on: all
+// three measurement sites are cold paths (translation, translation-lock
+// acquisition, stop-the-world sections), never the dispatch/retire hot path.
+//
+// Ring discipline (the obs package's single-writer contract): hooks running
+// on a vCPU's own goroutine write ring v.Index; structural mutations —
+// retirement, eviction, purge, epoch reclamation — write the engine ring,
+// which is safe because in a parallel run every such mutation happens with
+// the stop-the-world control mutex held (exclusive sections and the
+// reclaimer), and deterministically there is only one goroutine.
+
+// AttachObserver wires an observer into the engine and caches its
+// configuration for the hot-path guards. The observer must have been built
+// for at least len(e.VCPUs()) vCPUs (obs.New). Attach before Run/RunParallel
+// and drain (export) only after the run returns; nil detaches.
+func (e *Engine) AttachObserver(o *obs.Observer) {
+	e.obs = o
+	if o == nil {
+		e.obsMask, e.obsSpans, e.obsSample = 0, false, 0
+		return
+	}
+	e.obsMask = o.Mask
+	e.obsSpans = o.Spans
+	e.obsSample = o.SamplePeriod
+	for _, v := range e.vcpus {
+		v.sampleLeft = o.SamplePeriod
+	}
+}
+
+// Observer returns the attached observer (nil when none).
+func (e *Engine) Observer() *obs.Observer { return e.obs }
+
+// Latency returns the run's latency summary: the engine-level histograms
+// (stop-the-world, translation) plus every vCPU's lock-wait shard, folded
+// without draining. Call between runs, not mid-run.
+func (e *Engine) Latency() obs.LatencySummary {
+	l := e.lat
+	for _, v := range e.vcpus {
+		l.Add(&v.lat)
+	}
+	return l.Summary()
+}
+
+// obsSamplePC drains n retired guest instructions from v's sampling budget,
+// attributing one profile sample to region r each time the period elapses.
+// Callers guard on e.obsSample != 0, keeping the disabled path one branch.
+func (e *Engine) obsSamplePC(v *VCPU, r *Region, n int) {
+	if v.sampleLeft == 0 {
+		v.sampleLeft = e.obsSample // observer attached mid-lifecycle
+	}
+	for uint64(n) >= v.sampleLeft {
+		n -= int(v.sampleLeft)
+		v.sampleLeft = e.obsSample
+		e.obs.Sample(v.Index, r.PC, r.IsTrace(), 1)
+	}
+	v.sampleLeft -= uint64(n)
+}

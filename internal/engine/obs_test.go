@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"testing"
+
+	"sldbt/internal/obs"
+)
+
+// TestObsDisabledHotPathAllocs pins the disabled-observer contract on the
+// engine side: with no observer attached (the default), a steady-state
+// dispatcher step — cache hit, chained execution inside a formed trace,
+// retirement, bus tick — performs zero heap allocations. Every obs hook on
+// that path must therefore compile down to a single untaken branch.
+// (BenchmarkObsDisabled pins the cycle cost; this pins the allocation cost,
+// which the race-enabled CI job also runs.)
+func TestObsDisabledHotPathAllocs(t *testing.T) {
+	e := newTraceStubEngine(t)
+	// Warm up past trace formation and chaining so the measured steps are
+	// pure steady-state dispatch.
+	for i := 0; i < 50; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state step allocates %.1f times with observability off, want 0", allocs)
+	}
+}
+
+// TestObsSpansAndEvents: a single-threaded run with spans on and every
+// category masked in leaves execute/translate spans and translate/chain/trace
+// point events on the vCPU ring, with monotonically plausible timestamps.
+func TestObsSpansAndEvents(t *testing.T) {
+	e, err := New(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableChaining(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(2)
+	e.runLimit = 1 << 40
+	o := obs.New(1, 0)
+	o.Mask = obs.CatAll
+	o.Spans = true
+	e.AttachObserver(o)
+
+	for i := 0; i < 200 && e.Stats.TracesFormed == 0; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.TracesFormed == 0 {
+		t.Fatal("stub cycle never formed a trace")
+	}
+
+	seen := map[obs.Kind]int{}
+	for _, ev := range o.Events(0) {
+		seen[ev.Kind]++
+		if ev.TS < 0 {
+			t.Errorf("%v event with negative timestamp %d", ev.Kind, ev.TS)
+		}
+	}
+	for _, k := range []obs.Kind{
+		obs.SpanExec, obs.SpanTranslate,
+		obs.EvTBTranslate, obs.EvChainLink, obs.EvTraceForm,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %v events recorded on the vCPU ring (saw %v)", k, seen)
+		}
+	}
+	if e.Latency().Translate.Count != e.Stats.TBsTranslated {
+		t.Errorf("Translate histogram count = %d, want one sample per translation (%d)",
+			e.Latency().Translate.Count, e.Stats.TBsTranslated)
+	}
+}
+
+// TestObsGuestProfileSampling: with a sample period of 1 every retired guest
+// instruction lands in the profile, so the aggregated sample count equals the
+// retirement count and the formed trace dominates the rows.
+func TestObsGuestProfileSampling(t *testing.T) {
+	e, err := New(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableChaining(true)
+	e.EnableTracing(true)
+	e.SetTraceThreshold(2)
+	e.runLimit = 1 << 40
+	o := obs.New(1, 0)
+	o.SamplePeriod = 1
+	e.AttachObserver(o)
+
+	for i := 0; i < 100; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prof := o.Profile()
+	if len(prof) == 0 {
+		t.Fatal("sampling at period 1 produced no profile rows")
+	}
+	var total uint64
+	sawTrace := false
+	for _, row := range prof {
+		total += row.Samples
+		sawTrace = sawTrace || row.Trace
+	}
+	if total != e.Retired {
+		t.Errorf("profile holds %d samples, want every retired instruction (%d)", total, e.Retired)
+	}
+	if e.Stats.TracesFormed > 0 && !sawTrace {
+		t.Error("no profile row attributed to the formed trace")
+	}
+}
+
+// TestAttachObserverNil: detaching the observer clears every cached hot-path
+// field, so hooks fall back to the zero-cost disabled branch.
+func TestAttachObserverNil(t *testing.T) {
+	e, err := New(traceStubTrans{stride: 0x1000, cycle: 0x3000}, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New(1, 0)
+	o.Mask = obs.CatAll
+	o.Spans = true
+	o.SamplePeriod = 100
+	e.AttachObserver(o)
+	if e.obsMask != obs.CatAll || !e.obsSpans || e.obsSample != 100 {
+		t.Fatalf("AttachObserver did not cache config: mask=%v spans=%v sample=%d",
+			e.obsMask, e.obsSpans, e.obsSample)
+	}
+	e.AttachObserver(nil)
+	if e.obs != nil || e.obsMask != 0 || e.obsSpans || e.obsSample != 0 {
+		t.Errorf("AttachObserver(nil) left hooks armed: mask=%v spans=%v sample=%d",
+			e.obsMask, e.obsSpans, e.obsSample)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sldbt/internal/arm"
 	"sldbt/internal/ghw"
 	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -106,6 +107,14 @@ type VCPU struct {
 	// once every running vCPU's qEpoch has passed the TB's retirement epoch
 	// (see mttcg.go).
 	qEpoch atomic.Uint64
+
+	// lat is this vCPU's latency-histogram shard (translation-lock waits
+	// increment here uncontended); foldStats drains it into Engine.lat like
+	// the counter shard above.
+	lat obs.Latency
+	// sampleLeft is the guest-instruction countdown to the next hot-spot
+	// profile sample (see Engine.obsSamplePC).
+	sampleLeft uint64
 }
 
 // newVCPU builds vCPU i over its carved-out env region.

@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"sldbt/internal/arm"
 	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
 	"sldbt/internal/x86"
 )
 
@@ -373,6 +375,7 @@ func (e *Engine) formPendingTrace() {
 		return
 	}
 	key := tbKey{pa: pa, priv: plan.Priv}
+	t0 := time.Now()
 	e.translating = true
 	e.transPages = e.transPages[:0]
 	e.transHelpers = e.transHelpers[:0]
@@ -385,6 +388,10 @@ func (e *Engine) formPendingTrace() {
 		abort()
 		return
 	}
+	e.lat.Translate.Observe(uint64(time.Since(t0)))
+	if e.obsSpans {
+		e.obs.Span(v.Index, obs.SpanTranslate, t0)
+	}
 	tr.key = key
 	tr.helperIDs = append([]int(nil), e.transHelpers...)
 	tr.pages = tr.SrcPages
@@ -394,11 +401,14 @@ func (e *Engine) formPendingTrace() {
 	tr.regime = e.regimeKeyOf(v)
 	tr.epoch = e.traceEpoch
 	if old := e.cache[key]; old != nil {
-		e.retireTB(old)
+		e.retireTB(old, obs.TraceRetireStale)
 	}
 	e.insertTB(tr)
 	e.Stats.TBsTranslated++
 	e.Stats.TracesFormed++
+	if e.obsMask&obs.CatTrace != 0 {
+		e.obs.Point(v.Index, obs.EvTraceForm, uint64(head))
+	}
 }
 
 // regionStale reports whether a cached region may not be entered and should
@@ -446,7 +456,7 @@ func (e *Engine) retireStaleTraces(all bool) {
 		}
 	}
 	for _, tb := range victims {
-		e.retireTB(tb)
+		e.retireTB(tb, obs.TraceRetireStale)
 	}
 	e.tracesStale = false
 }
@@ -458,6 +468,9 @@ func (e *Engine) retireStaleTraces(all bool) {
 func (e *Engine) retireExecN(v *VCPU, n int) {
 	e.retire(v, n)
 	v.stats.TraceExec += uint64(n)
+	if e.obsSample != 0 && v.curTB != nil {
+		e.obsSamplePC(v, v.curTB, n)
+	}
 }
 
 // retireExec retires a region's final-exit length, attributing it to trace
@@ -466,6 +479,9 @@ func (e *Engine) retireExec(v *VCPU, tb *Region, n int) {
 	e.retire(v, n)
 	if tb.IsTrace() {
 		v.stats.TraceExec += uint64(n)
+	}
+	if e.obsSample != 0 {
+		e.obsSamplePC(v, tb, n)
 	}
 }
 

@@ -83,6 +83,20 @@ func newTraceStubEngine(t *testing.T) *Engine {
 	return e
 }
 
+// checkRetireReasons asserts the per-reason trace-retirement split invariant:
+// the four reason counters always sum to TraceRetired, whatever mix of paths
+// ran.
+func checkRetireReasons(t *testing.T, e *Engine) {
+	t.Helper()
+	s := &e.Stats
+	sum := s.TraceRetiredInval + s.TraceRetiredEvict + s.TraceRetiredStale + s.TraceRetiredPoor
+	if sum != s.TraceRetired {
+		t.Errorf("retirement reasons don't sum: inval=%d evict=%d stale=%d poor=%d, total=%d",
+			s.TraceRetiredInval, s.TraceRetiredEvict, s.TraceRetiredStale, s.TraceRetiredPoor,
+			s.TraceRetired)
+	}
+}
+
 // findTrace returns the (single) trace region in the cache.
 func findTrace(t *testing.T, e *Engine) *Region {
 	t.Helper()
@@ -125,6 +139,8 @@ func TestTraceFormationOnStubCycle(t *testing.T) {
 // flush — must release the region's helper closures exactly (translation
 // helpers, boundary helpers, side-exit helpers, chain glue), which
 // checkCacheInvariants asserts against the machine's live-helper count.
+// Each path must also attribute its retirement to the right per-reason
+// counter, and the reason split must always sum to TraceRetired.
 func TestTraceHelperLifetimeAcrossRetirementPaths(t *testing.T) {
 	// Page invalidation of the *middle* constituent page.
 	e := newTraceStubEngine(t)
@@ -134,6 +150,10 @@ func TestTraceHelperLifetimeAcrossRetirementPaths(t *testing.T) {
 	if e.Stats.TraceRetired != 1 {
 		t.Fatalf("TraceRetired = %d, want 1", e.Stats.TraceRetired)
 	}
+	if e.Stats.TraceRetiredInval != 1 {
+		t.Errorf("TraceRetiredInval = %d, want 1 (page-invalidation path)", e.Stats.TraceRetiredInval)
+	}
+	checkRetireReasons(t, e)
 	checkCacheInvariants(t, e)
 
 	// Staleness sweep: a regime/TLB event strands every trace; the next
@@ -146,22 +166,38 @@ func TestTraceHelperLifetimeAcrossRetirementPaths(t *testing.T) {
 	if got := e.Stats.TraceRetired; got != 1 {
 		t.Fatalf("stale sweep retired %d traces, want 1", got)
 	}
+	if e.Stats.TraceRetiredStale != 1 {
+		t.Errorf("TraceRetiredStale = %d, want 1 (staleness-sweep path)", e.Stats.TraceRetiredStale)
+	}
+	checkRetireReasons(t, e)
 	checkCacheInvariants(t, e)
 
-	// Eviction under a capacity bound.
+	// Eviction under a capacity bound. Everything retired here went through
+	// the FIFO evictor, so eviction must own the whole reason split.
 	e = newTraceStubEngine(t)
 	e.SetCacheCapacity(1)
 	if e.Stats.Evictions == 0 {
 		t.Fatal("capacity bound evicted nothing")
 	}
+	if e.Stats.TraceRetiredEvict != e.Stats.TraceRetired {
+		t.Errorf("TraceRetiredEvict = %d, want %d (every retirement was an eviction)",
+			e.Stats.TraceRetiredEvict, e.Stats.TraceRetired)
+	}
+	checkRetireReasons(t, e)
 	checkCacheInvariants(t, e)
 
-	// Whole-cache flush drops everything, helpers included.
+	// Whole-cache flush drops everything, helpers included; the flush counts
+	// as invalidation.
 	e = newTraceStubEngine(t)
 	e.FlushCache()
 	if got := e.M.Helpers(); got != 0 {
 		t.Errorf("live helpers after flush = %d, want 0", got)
 	}
+	if e.Stats.TraceRetiredInval != e.Stats.TraceRetired {
+		t.Errorf("TraceRetiredInval = %d, want %d (flush retires by invalidation)",
+			e.Stats.TraceRetiredInval, e.Stats.TraceRetired)
+	}
+	checkRetireReasons(t, e)
 	checkCacheInvariants(t, e)
 
 	// Disabling tracing retires the formed traces (and their helpers).
@@ -170,6 +206,10 @@ func TestTraceHelperLifetimeAcrossRetirementPaths(t *testing.T) {
 	if e.Stats.TraceRetired != 1 {
 		t.Fatalf("EnableTracing(false) retired %d traces, want 1", e.Stats.TraceRetired)
 	}
+	if e.Stats.TraceRetiredStale != 1 {
+		t.Errorf("TraceRetiredStale = %d, want 1 (tracing-off sweep)", e.Stats.TraceRetiredStale)
+	}
+	checkRetireReasons(t, e)
 	checkCacheInvariants(t, e)
 }
 

@@ -17,6 +17,7 @@ import (
 	"sldbt/internal/interp"
 	"sldbt/internal/kernel"
 	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
 	"sldbt/internal/rules"
 	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
@@ -145,6 +146,10 @@ type RunResult struct {
 	Trans core.Stats
 	// PerVCPU carries the per-vCPU counters of CfgSMP runs (nil otherwise).
 	PerVCPU []VCPUStat
+	// Latency summarizes the engine latency histograms (stop-the-world,
+	// translation-lock wait, translation time); always populated — the
+	// histograms record on cold paths regardless of the tracing mask.
+	Latency obs.LatencySummary
 }
 
 // VCPUStat is one vCPU's share of an SMP run.
@@ -181,6 +186,11 @@ type Runner struct {
 	// triggers trace recording (0 = engine.DefaultTraceThreshold); only
 	// meaningful for trace-forming configs.
 	TraceThreshold uint64
+	// ObsCats is a comma-separated tracing-category list (obs.ParseCats);
+	// non-empty attaches an observer recording those events to every run.
+	ObsCats string
+	// ObsSample enables guest hot-spot PC sampling every N instructions.
+	ObsSample uint64
 
 	engineRuns map[string]*RunResult
 	interpRuns map[string]*InterpResult
@@ -327,6 +337,16 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 	if err := e.LoadImage(im.Origin, im.Data); err != nil {
 		return nil, err
 	}
+	if r.ObsCats != "" || r.ObsSample != 0 {
+		mask, err := obs.ParseCats(r.ObsCats)
+		if err != nil {
+			return nil, err
+		}
+		o := obs.New(n, 0)
+		o.Mask = mask
+		o.SamplePeriod = r.ObsSample
+		e.AttachObserver(o)
+	}
 	start := time.Now()
 	run := e.Run
 	if k.Parallel {
@@ -350,6 +370,7 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		Console:       e.Bus.UART().Output(),
 		CacheSize:     e.CacheSize(),
 		CacheCapacity: e.CacheCapacity(),
+		Latency:       e.Latency(),
 	}
 	if ct, ok := tr.(*core.Translator); ok {
 		res.Trans = ct.Stats

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event record (the JSON shape Perfetto and
+// chrome://tracing load). Timestamps and durations are in microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// trackName labels a ring's timeline track.
+func (o *Observer) trackName(ring int) string {
+	if ring == o.EngineRing() {
+		return "engine"
+	}
+	return fmt.Sprintf("vcpu%d", ring)
+}
+
+// WriteChromeTrace drains every ring into Chrome trace-event JSON: one track
+// (tid) per vCPU plus an "engine" track for structural events. Spans export
+// as complete ("X") events, points as thread-scoped instants. Call only
+// after the run has ended — draining concurrent writers would race.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	var evs []chromeEvent
+	for ring := range o.rings {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: ring,
+			Args: map[string]any{"name": o.trackName(ring)},
+		})
+		for _, ev := range o.rings[ring].Events() {
+			ce := chromeEvent{
+				Name: ev.Kind.String(),
+				TS:   float64(ev.TS) / 1e3,
+				PID:  1,
+				TID:  ring,
+			}
+			if ev.Kind >= SpanExec {
+				ce.Phase = "X"
+				ce.Dur = float64(ev.Arg) / 1e3
+			} else {
+				ce.Phase = "i"
+				ce.Scope = "t"
+				ce.Args = map[string]any{"arg": fmt.Sprintf("%#x", ev.Arg)}
+				if ev.Kind == EvTraceRetire {
+					ce.Args = map[string]any{"reason": retireReasonName(ev.Arg)}
+				}
+			}
+			evs = append(evs, ce)
+		}
+		if d := o.rings[ring].Drops(); d > 0 {
+			evs = append(evs, chromeEvent{
+				Name: "ring-drops", Phase: "i", Scope: "t", PID: 1, TID: ring,
+				Args: map[string]any{"dropped": d},
+			})
+		}
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].TS < evs[j].TS })
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+func retireReasonName(r uint64) string {
+	switch r {
+	case TraceRetireInval:
+		return "invalidation"
+	case TraceRetireEvict:
+		return "eviction"
+	case TraceRetireStale:
+		return "staleness"
+	case TraceRetirePoor:
+		return "poor-quality"
+	}
+	return fmt.Sprintf("reason-%d", r)
+}
+
+// WriteFoldedProfile writes the merged PC-sample profile as flamegraph
+// folded stacks ("guest;trace_0x00008000 42"), the input format of
+// flamegraph.pl / inferno / speedscope.
+func (o *Observer) WriteFoldedProfile(w io.Writer) error {
+	for _, e := range o.Profile() {
+		kind := "tb"
+		if e.Trace {
+			kind = "trace"
+		}
+		if _, err := fmt.Fprintf(w, "guest;%s_0x%08x %d\n", kind, e.PC, e.Samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTopN writes the top-n hot-spot table (the stderr report behind
+// -prof-guest).
+func (o *Observer) WriteTopN(w io.Writer, n int) error {
+	prof := o.Profile()
+	var total uint64
+	for _, e := range prof {
+		total += e.Samples
+	}
+	if total == 0 {
+		_, err := fmt.Fprintln(w, "-- profile: no samples")
+		return err
+	}
+	if n > len(prof) {
+		n = len(prof)
+	}
+	if _, err := fmt.Fprintf(w, "-- guest hot spots (%d samples, top %d):\n", total, n); err != nil {
+		return err
+	}
+	for _, e := range prof[:n] {
+		kind := "tb   "
+		if e.Trace {
+			kind = "trace"
+		}
+		if _, err := fmt.Fprintf(w, "--   %s 0x%08x %7d samples (%5.1f%%)\n",
+			kind, e.PC, e.Samples, 100*float64(e.Samples)/float64(total)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package obs
+
+import "math/bits"
+
+// NumBuckets bounds histogram values: bucket i counts observations in
+// [2^(i-1), 2^i) nanoseconds (bucket 0 is the zero bucket), so the last
+// bucket's lower edge is ~9.2 minutes — far beyond any in-process latency.
+const NumBuckets = 40
+
+// Histogram is a log-bucketed (power-of-two) latency histogram. Observe is
+// lock-free single-writer; concurrent writers must shard and Add.
+type Histogram struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     uint64 // nanoseconds
+	Max     uint64 // nanoseconds
+}
+
+// Observe records one latency in nanoseconds.
+func (h *Histogram) Observe(ns uint64) {
+	b := bits.Len64(ns) // 0 for 0, else floor(log2)+1
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	h.Buckets[b]++
+	h.Count++
+	h.Sum += ns
+	if ns > h.Max {
+		h.Max = ns
+	}
+}
+
+// Add folds another histogram (a per-vCPU shard) into h.
+func (h *Histogram) Add(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper edge of the
+// bucket where the cumulative count crosses q*Count. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(h.Count))
+	if want == 0 {
+		want = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= want {
+			if i == 0 {
+				return 0
+			}
+			edge := uint64(1) << uint(i) // upper edge of [2^(i-1), 2^i)
+			if edge > h.Max {
+				return h.Max
+			}
+			return edge
+		}
+	}
+	return h.Max
+}
+
+// HistSummary is the compact serialized form of a histogram — the shape
+// `-stats-json` and the audit matrix artifact carry.
+type HistSummary struct {
+	Count    uint64
+	SumNanos uint64
+	MaxNanos uint64
+	P50Nanos uint64
+	P99Nanos uint64
+}
+
+// Summary renders the histogram's quantile summary.
+func (h *Histogram) Summary() HistSummary {
+	return HistSummary{
+		Count:    h.Count,
+		SumNanos: h.Sum,
+		MaxNanos: h.Max,
+		P50Nanos: h.Quantile(0.50),
+		P99Nanos: h.Quantile(0.99),
+	}
+}
+
+// Latency is the engine latency histogram set.
+type Latency struct {
+	// StopWorld is the duration of MTTCG exclusive sections, measured on the
+	// requesting vCPU from the stop request to the world release.
+	StopWorld Histogram
+	// LockWait is the time a vCPU spent acquiring the translation lock.
+	LockWait Histogram
+	// Translate is the per-region translation time (lock held).
+	Translate Histogram
+}
+
+// Add folds another latency set (a per-vCPU shard) into l.
+func (l *Latency) Add(o *Latency) {
+	l.StopWorld.Add(&o.StopWorld)
+	l.LockWait.Add(&o.LockWait)
+	l.Translate.Add(&o.Translate)
+}
+
+// LatencySummary is the serialized latency block of `-stats-json` and the
+// audit record schema.
+type LatencySummary struct {
+	StopWorld HistSummary
+	LockWait  HistSummary
+	Translate HistSummary
+}
+
+// Summary renders the set's quantile summaries.
+func (l *Latency) Summary() LatencySummary {
+	return LatencySummary{
+		StopWorld: l.StopWorld.Summary(),
+		LockWait:  l.LockWait.Summary(),
+		Translate: l.Translate.Summary(),
+	}
+}

@@ -1,0 +1,321 @@
+// Package obs is the engine observability layer: categorized event tracing
+// into per-vCPU ring buffers, wall-time spans for timeline export, guest-PC
+// sample profiles, and log-bucketed latency histograms.
+//
+// The design follows QEMU's `-d`/tracepoint infrastructure: every hook in the
+// engine is guarded by a category bit in a mask the engine caches as a plain
+// field, so with the mask zero a hook costs one predictable branch and zero
+// allocations (pinned by BenchmarkObsDisabled and the allocs test in
+// internal/engine). Events are compact fixed-size records; rings overwrite
+// oldest-first and are drained only after the run ends, so recording never
+// blocks and never allocates.
+//
+// Concurrency contract: ring i is written only by vCPU i (the engine ring,
+// index NumVCPUs, only under the stop-the-world/translation serialization),
+// and rings are drained post-run — recording needs no locks even under MTTCG.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Cat is a tracing category bit, QEMU `-d` style. The engine caches the mask
+// and skips a hook entirely unless its category bit is set.
+type Cat uint32
+
+// Tracing categories.
+const (
+	CatTranslate Cat = 1 << iota // TB translate/retire/evict, translation spans
+	CatChain                     // chain link/break
+	CatJC                        // jump-cache fill/purge
+	CatTLB                       // softmmu TLB fill/flush
+	CatSMC                       // self-modifying-code invalidation
+	CatTrace                     // hot-trace form/retire (arg = retirement reason)
+	CatExclusive                 // MTTCG exclusive sections + translation-lock acquire
+	CatEpoch                     // epoch reclamation batches
+	CatIRQ                       // interrupts and exceptions
+)
+
+// CatAll enables every category.
+const CatAll = CatTranslate | CatChain | CatJC | CatTLB | CatSMC |
+	CatTrace | CatExclusive | CatEpoch | CatIRQ
+
+var catNames = []struct {
+	name string
+	cat  Cat
+}{
+	{"translate", CatTranslate},
+	{"chain", CatChain},
+	{"jc", CatJC},
+	{"tlb", CatTLB},
+	{"smc", CatSMC},
+	{"trace", CatTrace},
+	{"exclusive", CatExclusive},
+	{"epoch", CatEpoch},
+	{"irq", CatIRQ},
+}
+
+// CatNames returns every category name, in mask-bit order.
+func CatNames() []string {
+	names := make([]string, len(catNames))
+	for i, c := range catNames {
+		names[i] = c.name
+	}
+	return names
+}
+
+// ParseCats parses a comma-separated category list ("exclusive,translate"),
+// or "all". The empty string is the empty mask.
+func ParseCats(s string) (Cat, error) {
+	var mask Cat
+	if strings.TrimSpace(s) == "" {
+		return 0, nil
+	}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "all" {
+			mask |= CatAll
+			continue
+		}
+		found := false
+		for _, c := range catNames {
+			if c.name == f {
+				mask |= c.cat
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("unknown tracing category %q (valid: %s, all)",
+				f, strings.Join(CatNames(), ", "))
+		}
+	}
+	return mask, nil
+}
+
+// String renders the mask as the comma list ParseCats accepts.
+func (c Cat) String() string {
+	var parts []string
+	for _, n := range catNames {
+		if c&n.cat != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Kind identifies one event kind. Kinds below SpanExec are point events
+// (Arg is a kind-specific payload: a guest PC, a page address, a count);
+// kinds from SpanExec on are spans (TS is the start, Arg the duration in
+// nanoseconds).
+type Kind uint16
+
+// Event kinds.
+const (
+	EvNone         Kind = iota
+	EvTBTranslate       // arg: guest PC of the new region
+	EvTBRetire          // arg: guest PC of the retired region
+	EvTBEvict           // arg: guest PC of the FIFO-evicted region
+	EvChainLink         // arg: successor guest PC
+	EvChainBreak        // arg: guest PC at the refused chained exit
+	EvJCFill            // arg: guest PC filled into the jump cache
+	EvJCPurge           // arg: guest PC purged from the jump cache
+	EvTLBFill           // arg: guest virtual address of the filled entry
+	EvTLBFlush          // arg: 0 full flush, else flushed virtual address
+	EvSMC               // arg: guest physical page invalidated by a store
+	EvTraceForm         // arg: head guest PC of the formed trace
+	EvTraceRetire       // arg: retirement reason (TraceRetire* constants)
+	EvExclBegin         // arg: 0 (the matching span carries the duration)
+	EvLockAcquire       // arg: wait in nanoseconds before the lock was won
+	EvEpochReclaim      // arg: helpers freed by the reclaimed batches
+	EvIRQ               // arg: exception vector
+
+	// Span kinds (TS = start, Arg = duration ns). Order matters: every kind
+	// >= SpanExec is exported as a Perfetto complete-span ("X") event.
+	SpanExec      // guest execution between dispatcher entries
+	SpanTranslate // one region translation (lock held)
+	SpanLockWait  // waiting on the translation lock
+	SpanStopped   // parked at a safepoint while another vCPU runs exclusively
+	SpanExclusive // an exclusive stop-the-world section (requester side)
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	EvNone: "none", EvTBTranslate: "tb-translate", EvTBRetire: "tb-retire",
+	EvTBEvict: "tb-evict", EvChainLink: "chain-link", EvChainBreak: "chain-break",
+	EvJCFill: "jc-fill", EvJCPurge: "jc-purge", EvTLBFill: "tlb-fill",
+	EvTLBFlush: "tlb-flush", EvSMC: "smc-invalidate", EvTraceForm: "trace-form",
+	EvTraceRetire: "trace-retire", EvExclBegin: "exclusive-begin",
+	EvLockAcquire: "lock-acquire", EvEpochReclaim: "epoch-reclaim", EvIRQ: "irq",
+	SpanExec: "execute", SpanTranslate: "translate", SpanLockWait: "lock-wait",
+	SpanStopped: "stopped", SpanExclusive: "exclusive",
+}
+
+// String returns the kind's timeline name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind-%d", uint16(k))
+}
+
+// Trace-retirement reasons (the Arg of EvTraceRetire, and the per-reason
+// split of engine.Stats.TraceRetired).
+const (
+	TraceRetireInval uint64 = iota // code page invalidated under the trace
+	TraceRetireEvict               // FIFO eviction of the trace region
+	TraceRetireStale               // regime/epoch staleness sweep
+	TraceRetirePoor                // retired for poor quality (side-exit heavy)
+)
+
+// Event is one compact binary trace record.
+type Event struct {
+	TS   int64  // nanoseconds since the observer epoch
+	Arg  uint64 // kind-specific payload (see Kind constants)
+	Kind Kind
+}
+
+// Ring is a fixed-size overwrite-oldest event buffer with a single writer.
+type Ring struct {
+	buf   []Event
+	n     uint64 // total events ever written; buf index = n % cap
+	drops uint64 // events overwritten before being drained
+}
+
+// DefaultRingCap is the per-ring event capacity (24 B/event ≈ 1.5 MiB/vCPU).
+const DefaultRingCap = 1 << 16
+
+func (r *Ring) put(ev Event) {
+	if r.n >= uint64(len(r.buf)) {
+		r.drops++
+	}
+	r.buf[r.n%uint64(len(r.buf))] = ev
+	r.n++
+}
+
+// Events returns the buffered events oldest-first (at most the ring
+// capacity; earlier events were overwritten and counted in Drops).
+func (r *Ring) Events() []Event {
+	start := uint64(0)
+	if r.n > uint64(len(r.buf)) {
+		start = r.n - uint64(len(r.buf))
+	}
+	out := make([]Event, 0, r.n-start)
+	for i := start; i < r.n; i++ {
+		out = append(out, r.buf[i%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Drops returns how many events were overwritten before draining.
+func (r *Ring) Drops() uint64 { return r.drops }
+
+// profKey aggregates PC samples per region identity.
+type profKey struct {
+	pc    uint32
+	trace bool
+}
+
+// Observer owns the rings, sample profiles and configuration of one engine
+// run. Configure Mask/SamplePeriod/Spans before attaching it to the engine;
+// the engine caches them as plain fields for single-branch hot-path guards.
+type Observer struct {
+	// Mask is the category mask; hooks outside it are skipped.
+	Mask Cat
+	// SamplePeriod is the guest-instruction budget between PC samples
+	// (0 = sampling off).
+	SamplePeriod uint64
+	// Spans enables wall-time span recording (execute/translate/lock-wait/
+	// stopped) for timeline export; implied by -trace-out.
+	Spans bool
+
+	start time.Time
+	rings []Ring               // vCPU rings [0..n-1], engine ring [n]
+	profs []map[profKey]uint64 // per-vCPU PC sample aggregation
+}
+
+// New builds an observer for n vCPUs with ringCap events per ring
+// (0 = DefaultRingCap). Ring n is the engine ring for structural events
+// (retire/evict/link/reclaim), written only under the engine's own
+// serialization (stop-the-world or single-threaded execution).
+func New(n, ringCap int) *Observer {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	o := &Observer{
+		start: time.Now(),
+		rings: make([]Ring, n+1),
+		profs: make([]map[profKey]uint64, n),
+	}
+	for i := range o.rings {
+		o.rings[i].buf = make([]Event, ringCap)
+	}
+	for i := range o.profs {
+		o.profs[i] = map[profKey]uint64{}
+	}
+	return o
+}
+
+// NumVCPUs returns the vCPU ring count (the engine ring is index NumVCPUs).
+func (o *Observer) NumVCPUs() int { return len(o.rings) - 1 }
+
+// EngineRing is the ring index for structural (non-vCPU-attributed) events.
+func (o *Observer) EngineRing() int { return len(o.rings) - 1 }
+
+// Events drains a ring's buffered events oldest-first. Call only after the
+// run has ended (rings are lock-free single-writer while running).
+func (o *Observer) Events(ring int) []Event { return o.rings[ring].Events() }
+
+// Point records a point event on a ring. The caller must be the ring's
+// single writer (vCPU i for ring i; the engine's serialized mutation paths
+// for the engine ring).
+func (o *Observer) Point(ring int, k Kind, arg uint64) {
+	o.rings[ring].put(Event{TS: time.Since(o.start).Nanoseconds(), Kind: k, Arg: arg})
+}
+
+// Span records a completed span that started at t0 on a ring.
+func (o *Observer) Span(ring int, k Kind, t0 time.Time) {
+	o.rings[ring].put(Event{
+		TS:   t0.Sub(o.start).Nanoseconds(),
+		Kind: k,
+		Arg:  uint64(time.Since(t0).Nanoseconds()),
+	})
+}
+
+// Sample accumulates n PC samples for a region on a vCPU's profile.
+func (o *Observer) Sample(ring int, pc uint32, trace bool, n uint64) {
+	o.profs[ring][profKey{pc: pc, trace: trace}] += n
+}
+
+// ProfEntry is one aggregated profile row.
+type ProfEntry struct {
+	PC      uint32
+	Trace   bool
+	Samples uint64
+}
+
+// Profile merges the per-vCPU sample maps into rows sorted by descending
+// sample count (ties by PC).
+func (o *Observer) Profile() []ProfEntry {
+	merged := map[profKey]uint64{}
+	for _, p := range o.profs {
+		for k, v := range p {
+			merged[k] += v
+		}
+	}
+	out := make([]ProfEntry, 0, len(merged))
+	for k, v := range merged {
+		out = append(out, ProfEntry{PC: k.pc, Trace: k.trace, Samples: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseCats(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Cat
+		err  bool
+	}{
+		{"", 0, false},
+		{"translate", CatTranslate, false},
+		{"exclusive,translate", CatExclusive | CatTranslate, false},
+		{" chain , jc ", CatChain | CatJC, false},
+		{"all", CatAll, false},
+		{"translate,nonsense", 0, true},
+	} {
+		got, err := ParseCats(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseCats(%q) err = %v, want err=%v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && got != tc.want {
+			t.Errorf("ParseCats(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Round trip: every single category parses back from its name.
+	for _, name := range CatNames() {
+		c, err := ParseCats(name)
+		if err != nil || c.String() != name {
+			t.Errorf("category %q does not round-trip (%v, %v)", name, c, err)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	o := New(1, 4)
+	for i := 0; i < 7; i++ {
+		o.Point(0, EvChainLink, uint64(i))
+	}
+	evs := o.rings[0].Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Arg != uint64(3+i) {
+			t.Errorf("event %d arg %d, want %d (oldest-first drain)", i, ev.Arg, 3+i)
+		}
+	}
+	if o.rings[0].Drops() != 3 {
+		t.Errorf("drops = %d, want 3", o.rings[0].Drops())
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	o := New(2, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		o.Point(0, EvTLBFill, 0x8000)
+		o.Span(1, SpanExec, o.start)
+	}); n != 0 {
+		t.Fatalf("recording allocates %.1f objects/op, want 0", n)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Summary().Count != 0 {
+		t.Fatal("empty histogram must summarize to zero")
+	}
+	// 100 observations at ~1µs, 1 at ~1ms: p50 in the 1µs bucket, p99
+	// still 1µs, max exact.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1_000_000)
+	s := h.Summary()
+	if s.Count != 101 || s.MaxNanos != 1_000_000 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.P50Nanos < 1000 || s.P50Nanos > 2048 {
+		t.Errorf("p50 %d outside the 1µs bucket", s.P50Nanos)
+	}
+	if s.P99Nanos < 1000 || s.P99Nanos > 2048 {
+		t.Errorf("p99 %d outside the 1µs bucket (100/101 below)", s.P99Nanos)
+	}
+	if got := h.Quantile(1); got != 1_000_000 {
+		t.Errorf("p100 %d, want the max", got)
+	}
+	// Shard folding preserves counts and max.
+	var a, b Latency
+	a.StopWorld.Observe(10)
+	b.StopWorld.Observe(30)
+	b.LockWait.Observe(7)
+	a.Add(&b)
+	if a.StopWorld.Count != 2 || a.StopWorld.Max != 30 || a.LockWait.Count != 1 {
+		t.Errorf("fold lost samples: %+v", a.Summary())
+	}
+}
+
+func TestHistogramObserveZeroAndHuge(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1 << 62) // beyond the last bucket edge: clamped, not dropped
+	if h.Count != 2 || h.Buckets[0] != 1 || h.Buckets[NumBuckets-1] != 1 {
+		t.Fatalf("edge observations misbucketed: %+v", h)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	o := New(2, 16)
+	t0 := o.start
+	o.Span(0, SpanExec, t0)
+	o.Span(1, SpanStopped, t0)
+	o.Point(1, EvTraceRetire, TraceRetireEvict)
+	var b strings.Builder
+	if err := o.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	var names []string
+	phases := map[string]int{}
+	for _, ev := range out.TraceEvents {
+		names = append(names, ev["name"].(string))
+		phases[ev["ph"].(string)]++
+		if args, ok := ev["args"].(map[string]any); ok {
+			if tn, ok := args["name"].(string); ok {
+				names = append(names, tn)
+			}
+		}
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"vcpu0", "vcpu1", "engine", "execute", "stopped", "trace-retire"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace lacks %q: %s", want, joined)
+		}
+	}
+	if phases["M"] != 3 || phases["X"] != 2 || phases["i"] != 1 {
+		t.Errorf("phase counts %v, want 3 metadata, 2 spans, 1 instant", phases)
+	}
+	if !strings.Contains(b.String(), `"reason":"eviction"`) {
+		t.Errorf("trace-retire instant lacks the reason arg:\n%s", b.String())
+	}
+}
+
+func TestProfileAggregationAndFolded(t *testing.T) {
+	o := New(2, 16)
+	o.Sample(0, 0x8000, false, 5)
+	o.Sample(1, 0x8000, false, 7) // same TB on another vCPU: merged
+	o.Sample(1, 0x9000, true, 20)
+	prof := o.Profile()
+	if len(prof) != 2 || prof[0].PC != 0x9000 || !prof[0].Trace || prof[0].Samples != 20 {
+		t.Fatalf("profile %+v", prof)
+	}
+	if prof[1].Samples != 12 {
+		t.Fatalf("cross-vCPU merge lost samples: %+v", prof[1])
+	}
+	var b strings.Builder
+	if err := o.WriteFoldedProfile(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "guest;trace_0x00009000 20\nguest;tb_0x00008000 12\n"
+	if b.String() != want {
+		t.Errorf("folded profile:\n%q\nwant:\n%q", b.String(), want)
+	}
+	b.Reset()
+	if err := o.WriteTopN(&b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trace 0x00009000") || !strings.Contains(b.String(), "62.5%") {
+		t.Errorf("top-N table:\n%s", b.String())
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	o := New(1, 8)
+	t0 := time.Now()
+	o.Span(0, SpanTranslate, t0.Add(-time.Millisecond))
+	ev := o.rings[0].Events()[0]
+	if ev.Kind != SpanTranslate || ev.Arg < uint64(time.Millisecond) {
+		t.Fatalf("span %+v should carry >=1ms duration", ev)
+	}
+}

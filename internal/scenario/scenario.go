@@ -94,6 +94,12 @@ type Manifest struct {
 	TLBWays        int
 	CacheCap       int
 	TraceThreshold uint64
+	// ObsCats attaches an observer recording these tracing categories
+	// (obs.ParseCats syntax) to every run; ObsSample additionally samples the
+	// retiring guest PC every N instructions. Both default off — latency
+	// histograms are recorded regardless.
+	ObsCats   string
+	ObsSample uint64
 
 	Invariants []Invariant
 	// Checksum supplies the expected console checksum when it depends on the
@@ -204,6 +210,8 @@ func engineRun(workload string, cfg exp.Config, res *exp.RunResult) *audit.Engin
 		trans := res.Trans
 		r.Rules = &trans
 	}
+	lat := res.Latency
+	r.Latency = &lat
 	return r
 }
 
@@ -303,6 +311,7 @@ func RunMatrix(opts Options) (*audit.Matrix, error) {
 			r.TLBSize, r.TLBWays = tk.m.TLBSize, tk.m.TLBWays
 			r.CacheCap = tk.m.CacheCap
 			r.TraceThreshold = tk.m.TraceThreshold
+			r.ObsCats, r.ObsSample = tk.m.ObsCats, tk.m.ObsSample
 			for _, c := range tk.cells {
 				rec := runCell(r, c, scale)
 				if opts.AuditDir != "" {
