@@ -35,6 +35,7 @@ func main() {
 	jobs := flag.Int("jobs", 0, "concurrent scenarios (0 = GOMAXPROCS)")
 	out := flag.String("out", "BENCH_matrix.json", "aggregated artifact path (empty = don't write)")
 	auditDir := flag.String("audit-dir", "audit", "per-run audit record directory (empty = don't write)")
+	pcacheDir := flag.String("pcache", "", "persistent translation cache directory: one pcache file per cell, warm-starting runs from a previous invocation and appending their regions back (empty = off)")
 	dCats := flag.String("d", "", "tracing categories to record on every run (obs.ParseCats syntax; overrides each scenario's ObsCats)")
 	obsSample := flag.Uint64("obs-sample", 0, "sample the retiring guest PC every N instructions on every run (overrides each scenario's ObsSample)")
 	list := flag.Bool("list", false, "list the grid cells and exit")
@@ -89,6 +90,7 @@ func main() {
 		Scale:     *scale,
 		Jobs:      *jobs,
 		AuditDir:  *auditDir,
+		PCacheDir: *pcacheDir,
 		Progress: func(rec *audit.RunRecord) {
 			status := "ok"
 			if !rec.Pass {

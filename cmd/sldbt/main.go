@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sldbt -workload mcf -engine rule -opt scheduling -chain
+//	sldbt -workload mcf -engine rule -chain -pcache mcf.pcache   # run twice: 2nd is warm
 //	sldbt -workload dispatch -engine rule -chain -ras
 //	sldbt -workload smp-spinlock -engine rule -smp 4 -chain -jc
 //	sldbt -asm prog.s -engine tcg
@@ -31,6 +32,7 @@ import (
 	"sldbt/internal/kernel"
 	"sldbt/internal/mmu"
 	"sldbt/internal/obs"
+	"sldbt/internal/pcache"
 	"sldbt/internal/rules"
 	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
@@ -66,6 +68,7 @@ func main() {
 	tlbVictim := flag.Bool("tlb-victim", false, "back the fast-path TLB with a fully-associative victim TLB")
 	memReuse := flag.Bool("mem-reuse", false, "rule engine: elide softmmu probes for provably same-page accesses")
 	smcFlush := flag.Bool("smc-flush", false, "flush the whole code cache on self-modifying stores (legacy) instead of page-granular invalidation")
+	pcacheFile := flag.String("pcache", "", "persistent translation cache file: warm-start from it when present and save translated regions back on exit (requires -engine tcg|rule)")
 	dCats := flag.String("d", "", "trace-event categories to record, comma-separated (translate, chain, jc, tlb, smc, trace, exclusive, epoch, irq, all)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline (open in Perfetto) to this file; implies span recording")
 	profGuest := flag.String("prof-guest", "", "write the guest hot-spot profile as flamegraph folded stacks to this file (requires -obs-sample)")
@@ -132,6 +135,9 @@ func main() {
 	obsOn := obsMask != 0 || *traceOut != "" || *obsSample != 0
 	if obsOn && *engName == "interp" {
 		log.Fatal("-d/-trace-out/-obs-sample instrument the translating engines (-engine tcg|rule)")
+	}
+	if *pcacheFile != "" && *engName == "interp" {
+		log.Fatal("-pcache persists translations; the interpreter has none (-engine tcg|rule)")
 	}
 
 	start := time.Now()
@@ -244,6 +250,17 @@ func main() {
 		if err := e.LoadImage(im.Origin, im.Data); err != nil {
 			log.Fatal(err)
 		}
+		if *pcacheFile != "" {
+			// After all configuration (config changes flush the warm table):
+			// capture retirements for the save, and warm-start when a usable
+			// file exists. Any load problem is a cold start, never fatal.
+			e.EnablePersistCapture(true)
+			if regs, err := pcache.LoadCache(*pcacheFile, e.ConfigFingerprint()); err == nil {
+				e.InstallWarmRegions(regs)
+			} else if !os.IsNotExist(err) {
+				log.Printf("%v; starting cold", err)
+			}
+		}
 		var o *obs.Observer
 		if obsOn {
 			o = obs.New(*smpN, 0)
@@ -259,6 +276,11 @@ func main() {
 		code, err := run(*budget)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *pcacheFile != "" {
+			if err := pcache.SaveCache(*pcacheFile, e.ConfigFingerprint(), e.ExportRegions()); err != nil {
+				log.Fatalf("-pcache: %v", err)
+			}
 		}
 		fmt.Print(e.Bus.UART().Output())
 		if o != nil {
@@ -353,6 +375,10 @@ func main() {
 			fmt.Printf("-- cache: %d TBs live (cap %d), %d retranslations, %d page invalidations, %d evictions, %d full flushes\n",
 				e.CacheSize(), e.CacheCapacity(), e.Stats.Retranslations,
 				e.Stats.PageInvalidations, e.Stats.Evictions, e.Flushes())
+			if *pcacheFile != "" {
+				fmt.Printf("-- pcache: %d regions loaded, %d warm hits, %d warm rejects, %d regions stored\n",
+					e.Stats.PersistLoads, e.Stats.WarmHits, e.Stats.WarmRejects, e.Stats.PersistStores)
+			}
 			if e.TracingEnabled() {
 				fmt.Printf("-- traces: %d formed, %d retired, %d side exits, %d breaks, %d aborts (%.1f%% of retirement in traces)\n",
 					e.Stats.TracesFormed, e.Stats.TraceRetired, e.Stats.TraceSideExits,

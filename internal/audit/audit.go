@@ -28,8 +28,10 @@ import (
 // cross-PR diff between adjacent schema versions stays well-defined.
 //
 // History: 1 = initial matrix artifact; 2 = EngineRun gained the optional
-// Latency block (stop-the-world / lock-wait / translation histograms).
-const MatrixSchema = 2
+// Latency block (stop-the-world / lock-wait / translation histograms);
+// 3 = engine.Stats gained the persistent-cache counters (PersistLoads,
+// WarmHits, WarmRejects, PersistStores) and Flatten the warm-start keys.
+const MatrixSchema = 3
 
 // VCPU is one vCPU's share of a multi-core run.
 type VCPU struct {
@@ -174,6 +176,14 @@ func (m *Matrix) Flatten() map[string]float64 {
 			out[key("trace-exec")] = r.Run.TraceExecRatio
 		}
 		out[key("retranslations")] = float64(r.Run.Counters.Retranslations)
+		// Warm-start keys only for cells that ran with a persistent cache
+		// (schema 3) — emitting zeros everywhere would read as "warm start
+		// regressed to nothing" on cells that never had one.
+		if r.Run.Counters.PersistLoads > 0 || r.Run.Counters.WarmHits > 0 {
+			out[key("warm-hits")] = float64(r.Run.Counters.WarmHits)
+			out[key("warm-rejects")] = float64(r.Run.Counters.WarmRejects)
+			out[key("translations")] = float64(r.Run.Counters.TBsTranslated)
+		}
 		// Stop-the-world quantiles only exist where exclusive sections can
 		// run — multi-vCPU cells with at least one recorded section.
 		if r.Run.Latency != nil && len(r.Run.VCPUs) > 0 &&

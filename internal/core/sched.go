@@ -2,8 +2,6 @@ package core
 
 import (
 	"sldbt/internal/arm"
-	"sldbt/internal/rules"
-	"sldbt/internal/x86"
 )
 
 // --- §III-D-1: define-before-use scheduling -----------------------------
@@ -131,54 +129,20 @@ func (tc *tctx) scheduleDefBeforeUse() {
 	}
 }
 
-// fixupFor returns the abort-fixup closure for the memory access at
-// emission index i, or nil. The closure executes the architectural effects
-// of every flag definition that was scheduled past this access, reading
-// guest registers from their pinned host registers (or env) and writing the
-// resulting flags and destination through env, so the injected data abort
-// observes a precise guest state.
-func (tc *tctx) fixupFor(i int) func(m *x86.Machine) {
+// fixupFor returns the abort-fixup definition list for the memory access at
+// emission index i, or nil: every flag definition that was scheduled past
+// this access, in program order. The engine executes the list (via its
+// runFixup) before injecting a data abort, reading guest registers from
+// their pinned host registers (or env) and writing the resulting flags and
+// destination through env, so the abort observes a precise guest state.
+// Passing the definitions as instructions rather than a closure keeps the
+// helper a relocatable descriptor the persistent cache can serialize.
+func (tc *tctx) fixupFor(i int) []arm.Inst {
 	defs := tc.fixupsByOrig[tc.origIdx[i]]
 	if len(defs) == 0 {
 		return nil
 	}
-	list := append([]arm.Inst(nil), defs...)
-	e := tc.e
-	return func(m *x86.Machine) {
-		env := e.Env
-		readReg := func(r arm.Reg) uint32 {
-			if h, ok := rules.PinnedHost(r); ok {
-				return m.Regs[h]
-			}
-			return env.Reg(r)
-		}
-		writeReg := func(r arm.Reg, v uint32) {
-			if h, ok := rules.PinnedHost(r); ok {
-				m.Regs[h] = v
-				return
-			}
-			env.SetReg(r, v)
-		}
-		for k := range list {
-			d := &list[k]
-			f := env.Flags()
-			var op2 uint32
-			var shc bool
-			if d.ImmValid {
-				op2, shc = d.Op2Imm(f.C)
-			} else {
-				op2, shc = arm.Shifter(readReg(d.Rm), d.Shift, uint32(d.ShiftAmt), f.C)
-			}
-			res, nf := arm.AluExec(d.Op, readReg(d.Rn), op2, f.C, shc)
-			if d.Op.IsLogical() {
-				nf.V = f.V
-			}
-			if !d.Op.IsCompare() {
-				writeReg(d.Rd, res)
-			}
-			env.SetFlags(nf)
-		}
-	}
+	return append([]arm.Inst(nil), defs...)
 }
 
 // --- §III-D-2: interrupt-driven scheduling --------------------------------

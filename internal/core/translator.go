@@ -47,6 +47,13 @@ func New(rs *rules.Set, level OptLevel) *Translator {
 // Name implements engine.Translator.
 func (t *Translator) Name() string { return "rule-" + t.Level.String() }
 
+// ConfigFingerprint implements engine.Fingerprinter: every knob that changes
+// the emitted code beyond what Name carries. Reuse elision rewrites softmmu
+// sequences, so a persistent cache saved with it on is unusable with it off.
+func (t *Translator) ConfigFingerprint() string {
+	return fmt.Sprintf("%s reuse=%t", t.Name(), t.Reuse)
+}
+
 // PinnedRegs implements engine.RegPinner: the rule engine keeps r0-r10 in
 // host registers across translation blocks, so the SMP scheduler must swap
 // them through env at every vCPU switch.

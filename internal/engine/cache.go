@@ -127,6 +127,11 @@ func (e *Engine) evictOne(keep *TB) bool {
 // retired blocks are unpatched; translations and links on other pages stay
 // live. Returns the number of TBs retired.
 func (e *Engine) InvalidatePage(page uint32) int {
+	// The persistent layer first: warm entries whose source span touches the
+	// page and no longer matches memory describe code that no longer exists,
+	// so they are dropped (a later miss re-translates cold); content that
+	// still matches survives a data store merely sharing the page.
+	e.dropWarmPage(page)
 	set := e.pageTBs[page]
 	if len(set) == 0 {
 		// Stale write protection with no live translations (e.g. after
@@ -171,6 +176,12 @@ func (e *Engine) invalidateOnStore(pa uint32) {
 // reason (an obs.TraceRetire* constant) attributes a trace's retirement for
 // the per-reason Stats split and the trace-retire event.
 func (e *Engine) retireTB(tb *TB, reason uint64) {
+	// Snapshot the region for the persistent cache while its code, descriptors
+	// and source words are still intact (persist.go; no-op unless capture is
+	// enabled).
+	if e.persistCapture {
+		e.capturePersist(tb)
+	}
 	delete(e.cache, tb.key)
 	if tb.IsTrace() {
 		e.Stats.TraceRetired++

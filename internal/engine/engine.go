@@ -89,6 +89,12 @@ type Region struct {
 	// helperIDs are the translation-time helper closures owned by this TB,
 	// released when the TB is retired (invalidation, eviction, full flush).
 	helperIDs []int
+	// descs are the relocatable descriptors behind helperIDs (1:1 when the
+	// region is exportable; see persist.go), and src the source words the
+	// region was translated from (nil when unrecorded). Together they make
+	// the region serializable by ExportRegions.
+	descs []HelperDesc
+	src   []uint32
 	// in records the predecessors whose exit stubs are patched to jump into
 	// this TB, so invalidating it unpatches only those stubs.
 	in []chainSite
@@ -187,6 +193,11 @@ type Stats struct {
 	Exclusives        uint64 // LDREX/STREX/CLREX helper executions
 	StrexFailures     uint64 // exclusive stores refused by the monitor
 	Switches          uint64 // vCPU context switches performed by the scheduler
+	// Persistent-cache counters (see persist.go / internal/pcache).
+	PersistLoads  uint64 // regions loaded into the warm table from a pcache file
+	WarmHits      uint64 // cache misses satisfied by installing a warm region
+	WarmRejects   uint64 // warm keys rejected at install time (stale content etc.)
+	PersistStores uint64 // regions serialized by ExportRegions
 }
 
 // ChainRate is the fraction of direct-successor transitions served by a
@@ -247,6 +258,10 @@ func (s *Stats) add(o *Stats) {
 	s.Exclusives += o.Exclusives
 	s.StrexFailures += o.StrexFailures
 	s.Switches += o.Switches
+	s.PersistLoads += o.PersistLoads
+	s.WarmHits += o.WarmHits
+	s.WarmRejects += o.WarmRejects
+	s.PersistStores += o.PersistStores
 }
 
 // Synthetic helper costs in host instructions, charged to ClassHelper.
@@ -362,6 +377,22 @@ type Engine struct {
 	translating  bool
 	transPages   []uint32
 	transHelpers []int
+	// transDescs mirrors transHelpers with the relocatable descriptor of each
+	// registered helper (HelperOpaque for closure-only ones), and transSrc
+	// records the source words FetchInst read — both feed the persistent
+	// cache (see persist.go).
+	transDescs []HelperDesc
+	transSrc   []srcWord
+
+	// warm holds persisted regions awaiting lazy installation, keyed like the
+	// code cache; see persist.go. Page invalidation drops overlapping
+	// entries whose content went stale, FlushCache drops the table.
+	warm map[tbKey][]*PersistRegion
+
+	// persistCapture makes retireTB snapshot retired regions into
+	// persistRetired so ExportRegions covers the whole run (see persist.go).
+	persistCapture bool
+	persistRetired map[persistKey]*PersistRegion
 
 	// codePages tracks guest physical pages containing translated code, for
 	// self-modifying-code detection: stores into one of these are kept on
@@ -592,6 +623,11 @@ func (e *Engine) FetchInst(va uint32) (arm.Inst, error) {
 		e.noteTransPage(pa >> PageBits)
 	}
 	raw := e.Bus.Read32(pa)
+	if e.translating {
+		// Record the fetched word so the finished region carries its source
+		// bytes for install-time content validation (see persist.go).
+		e.transSrc = append(e.transSrc, srcWord{va, raw})
+	}
 	if in, ok := e.decodeCache[raw]; ok {
 		return in, nil
 	}
@@ -633,6 +669,14 @@ func (e *Engine) FlushCache() {
 	}
 	e.flushJC()
 	e.M.TruncateHelpers(e.baseHelpers)
+	// Drop the warm table too: FlushCache is how configuration changes that
+	// re-bake emitted probes (TLB geometry, jump cache/RAS toggles) take
+	// effect, and persisted regions bake the same assumptions. Load a pcache
+	// after the engine is fully configured. Captured retirements go for the
+	// same reason: they were emitted under the pre-flush configuration and
+	// must not be exported under the post-flush fingerprint.
+	e.warm = nil
+	e.persistRetired = nil
 }
 
 // SetTLBGeometry reconfigures the softmmu fast-path TLB on every vCPU:
@@ -910,6 +954,9 @@ func (e *Engine) stepOn(v *VCPU, m *x86.Machine) error {
 // first.
 func (e *Engine) translateOn(v *VCPU, pc uint32, priv bool, key tbKey) (*TB, error) {
 	if e.par == nil {
+		if tb := e.tryWarm(v, pc, priv, key); tb != nil {
+			return tb, nil
+		}
 		return e.translate(pc, priv, key)
 	}
 	e.lockTranslation(v)
@@ -919,6 +966,11 @@ func (e *Engine) translateOn(v *VCPU, pc uint32, priv bool, key tbKey) (*TB, err
 	}
 	e.cur = v
 	e.Env, e.CPU = v.Env, v.CPU
+	// Warm-start installation holds the translation lock like a fresh
+	// translation; publication inside tryWarm stops the world.
+	if tb := e.tryWarm(v, pc, priv, key); tb != nil {
+		return tb, nil
+	}
 	return e.translate(pc, priv, key)
 }
 
@@ -932,6 +984,8 @@ func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 	e.translating = true
 	e.transPages = e.transPages[:0]
 	e.transHelpers = e.transHelpers[:0]
+	e.transDescs = e.transDescs[:0]
+	e.transSrc = e.transSrc[:0]
 	tb, err := e.Trans.Translate(e, pc, priv)
 	e.translating = false
 	if err != nil {
@@ -956,6 +1010,8 @@ func (e *Engine) translate(pc uint32, priv bool, key tbKey) (*TB, error) {
 		// physical span from the block start.
 		tb.pages = SpanPages(key.pa, tb.GuestLen)
 	}
+	tb.descs = append([]HelperDesc(nil), e.transDescs...)
+	tb.src = e.resolveSrc(tb.PC, tb.GuestLen)
 	e.publishTB(tb, key)
 	return tb, nil
 }
@@ -1000,11 +1056,15 @@ func (e *Engine) TranslationPages() []uint32 {
 }
 
 // registerHelper installs an engine helper, attributing it to the TB under
-// translation so retiring that TB can release the closure.
+// translation so retiring that TB can release the closure. The helper is
+// recorded as HelperOpaque — a closure the persistent cache cannot relocate —
+// which keeps transDescs aligned with transHelpers and marks the region
+// non-exportable (trace boundary/side-exit helpers take this path).
 func (e *Engine) registerHelper(fn x86.Helper) int {
 	id := e.M.RegisterHelper(fn)
 	if e.translating {
 		e.transHelpers = append(e.transHelpers, id)
+		e.transDescs = append(e.transDescs, HelperDesc{Kind: HelperOpaque})
 	}
 	return id
 }
@@ -1020,11 +1080,13 @@ func (e *Engine) RegisterMMURead(guestPC uint32, idx int, size uint8, signed boo
 }
 
 // RegisterMMUReadFx is RegisterMMURead with an abort fixup: when the access
-// faults, fixup runs before the exception is injected. The rule translator's
-// define-before-use scheduling (§III-D-1) uses it to apply the architectural
-// effects of a flag-defining instruction that was moved *after* this memory
-// access, keeping exceptions precise.
-func (e *Engine) RegisterMMUReadFx(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine)) int {
+// faults, the fixup definition list runs (runFixup) before the exception is
+// injected. The rule translator's define-before-use scheduling (§III-D-1)
+// uses it to apply the architectural effects of a flag-defining instruction
+// that was moved *after* this memory access, keeping exceptions precise. The
+// fixup is passed as architectural instructions rather than a closure so the
+// helper is a relocatable descriptor (see persist.go).
+func (e *Engine) RegisterMMUReadFx(guestPC uint32, idx int, size uint8, signed bool, fixup []arm.Inst) int {
 	return e.registerMMURead(guestPC, idx, size, signed, fixup, false)
 }
 
@@ -1033,19 +1095,28 @@ func (e *Engine) RegisterMMUReadFx(guestPC uint32, idx int, size uint8, signed b
 // same-page reuse slot — set when the page is RAM and certified readable,
 // cleared otherwise (IO, permission-limited fills) — so a downstream elided
 // consumer's tag check sees exactly what this access established.
-func (e *Engine) RegisterMMUReadProduce(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine)) int {
+func (e *Engine) RegisterMMUReadProduce(guestPC uint32, idx int, size uint8, signed bool, fixup []arm.Inst) int {
 	return e.registerMMURead(guestPC, idx, size, signed, fixup, true)
 }
 
-func (e *Engine) registerMMURead(guestPC uint32, idx int, size uint8, signed bool, fixup func(m *x86.Machine), produce bool) int {
-	return e.registerHelper(func(m *x86.Machine) int {
+func (e *Engine) registerMMURead(guestPC uint32, idx int, size uint8, signed bool, fixup []arm.Inst, produce bool) int {
+	return e.registerDesc(HelperDesc{
+		Kind: HelperMMURead, GuestPC: guestPC, Idx: idx,
+		Size: size, Signed: signed, Produce: produce, Fixup: fixup,
+	})
+}
+
+// mmuReadBody builds the softmmu slow-path read helper a HelperMMURead
+// descriptor stands for. Convention: VA in EAX; result in EDX.
+func (e *Engine) mmuReadBody(d HelperDesc) x86.Helper {
+	return func(m *x86.Machine) int {
 		v := e.ctx(m)
 		v.stats.HelperCalls++
 		va := m.Regs[x86.EAX]
 		var pa uint32
 		if hostPage, ok := e.victimProbe(v, va, false); ok {
 			pa = hostPage - GuestWin + va&0xFFF
-			if produce {
+			if d.Produce {
 				v.Env.SetReuse(va, hostPage)
 			}
 		} else {
@@ -1053,13 +1124,13 @@ func (e *Engine) registerMMURead(guestPC uint32, idx int, size uint8, signed boo
 			var fault *mmu.Fault
 			pa, entry, fault = mmu.Walk(e.Bus, &v.CPU.CP15, va, mmu.Load, v.CPU.Mode() == arm.ModeUSR)
 			if fault != nil {
-				if fixup != nil {
-					fixup(m)
+				if len(d.Fixup) > 0 {
+					e.runFixup(m, v, d.Fixup)
 				}
-				return e.dataAbort(v, fault, guestPC, idx)
+				return e.dataAbort(v, fault, d.GuestPC, d.Idx)
 			}
 			hostPage, canRead, _ := e.fillTLB(v, va, pa, entry)
-			if produce {
+			if d.Produce {
 				if hostPage != 0 && canRead {
 					v.Env.SetReuse(va, hostPage)
 				} else {
@@ -1069,20 +1140,20 @@ func (e *Engine) registerMMURead(guestPC uint32, idx int, size uint8, signed boo
 		}
 		var val uint32
 		switch {
-		case size == 1 && signed:
+		case d.Size == 1 && d.Signed:
 			val = uint32(int32(int8(e.Bus.Read8(pa))))
-		case size == 1:
+		case d.Size == 1:
 			val = uint32(e.Bus.Read8(pa))
-		case size == 2 && signed:
+		case d.Size == 2 && d.Signed:
 			val = uint32(int32(int16(e.Bus.Read16(pa))))
-		case size == 2:
+		case d.Size == 2:
 			val = uint32(e.Bus.Read16(pa))
 		default:
 			val = e.Bus.Read32(pa)
 		}
 		m.Regs[x86.EDX] = val
 		return -1
-	})
+	}
 }
 
 // RegisterMMUWrite registers a softmmu slow-path write helper.
@@ -1093,7 +1164,7 @@ func (e *Engine) RegisterMMUWrite(guestPC uint32, idx int, size uint8) int {
 
 // RegisterMMUWriteFx is RegisterMMUWrite with an abort fixup (see
 // RegisterMMUReadFx).
-func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine)) int {
+func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup []arm.Inst) int {
 	return e.registerMMUWrite(guestPC, idx, size, fixup, false)
 }
 
@@ -1102,12 +1173,21 @@ func (e *Engine) RegisterMMUWriteFx(guestPC uint32, idx int, size uint8, fixup f
 // (never for code or monitored pages, whose fills force the slow path), so
 // an elided store downstream can never bypass SMC detection or an exclusive
 // monitor.
-func (e *Engine) RegisterMMUWriteProduce(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine)) int {
+func (e *Engine) RegisterMMUWriteProduce(guestPC uint32, idx int, size uint8, fixup []arm.Inst) int {
 	return e.registerMMUWrite(guestPC, idx, size, fixup, true)
 }
 
-func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup func(m *x86.Machine), produce bool) int {
-	return e.registerHelper(func(m *x86.Machine) int {
+func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup []arm.Inst, produce bool) int {
+	return e.registerDesc(HelperDesc{
+		Kind: HelperMMUWrite, GuestPC: guestPC, Idx: idx,
+		Size: size, Produce: produce, Fixup: fixup,
+	})
+}
+
+// mmuWriteBody builds the softmmu slow-path write helper a HelperMMUWrite
+// descriptor stands for. Convention: VA in EAX, value in EDX.
+func (e *Engine) mmuWriteBody(d HelperDesc) x86.Helper {
+	return func(m *x86.Machine) int {
 		v := e.ctx(m)
 		v.stats.HelperCalls++
 		va := m.Regs[x86.EAX]
@@ -1119,7 +1199,7 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 			// included). The Observe/codePages handling below is kept anyway
 			// as defense in depth — it is free for ordinary pages.
 			pa = hostPage - GuestWin + va&0xFFF
-			if produce {
+			if d.Produce {
 				v.Env.SetReuse(va, hostPage)
 			}
 		} else {
@@ -1127,13 +1207,13 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 			var fault *mmu.Fault
 			pa, entry, fault = mmu.Walk(e.Bus, &v.CPU.CP15, va, mmu.Store, v.CPU.Mode() == arm.ModeUSR)
 			if fault != nil {
-				if fixup != nil {
-					fixup(m)
+				if len(d.Fixup) > 0 {
+					e.runFixup(m, v, d.Fixup)
 				}
-				return e.dataAbort(v, fault, guestPC, idx)
+				return e.dataAbort(v, fault, d.GuestPC, d.Idx)
 			}
 			hostPage, _, canWrite := e.fillTLB(v, va, pa, entry)
-			if produce {
+			if d.Produce {
 				if hostPage != 0 && canWrite {
 					v.Env.SetReuse(va, hostPage)
 				} else {
@@ -1146,7 +1226,7 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 		// fast path, so they always reach this helper).
 		e.excl.Observe(pa)
 		val := m.Regs[x86.EDX]
-		switch size {
+		switch d.Size {
 		case 1:
 			e.Bus.Write8(pa, uint8(val))
 		case 2:
@@ -1161,12 +1241,12 @@ func (e *Engine) registerMMUWrite(guestPC uint32, idx int, size uint8, fixup fun
 			// Limitation: a multi-word store (stm) into a code page resumes
 			// after the instruction with only the faulting word written.
 			e.smcInvalidate(v, pa)
-			e.retire(v, idx+1)
-			v.nextPC = guestPC + 4
+			e.retire(v, d.Idx+1)
+			v.nextPC = d.GuestPC + 4
 			return ExitSMC
 		}
 		return -1
-	})
+	}
 }
 
 // smcInvalidate runs the SMC invalidation for a store to pa. In a parallel
@@ -1252,12 +1332,18 @@ func (e *Engine) dataAbort(v *VCPU, fault *mmu.Fault, guestPC uint32, idx int) i
 // parsed form (QEMU reads and may write them), performs the operation
 // against env+CPU state, and either continues or exits with an exception.
 func (e *Engine) RegisterSystem(in arm.Inst, guestPC uint32, idx int) int {
-	return e.registerHelper(func(m *x86.Machine) int {
+	return e.registerDesc(HelperDesc{Kind: HelperSystem, GuestPC: guestPC, Idx: idx, Inst: &in})
+}
+
+// systemBody builds the system-instruction helper a HelperSystem descriptor
+// stands for.
+func (e *Engine) systemBody(in arm.Inst, guestPC uint32, idx int) x86.Helper {
+	return func(m *x86.Machine) int {
 		v := e.ctx(m)
 		v.stats.HelperCalls++
 		m.Charge(x86.ClassHelper, CostSysInstr)
 		return e.execSystem(v, &in, guestPC, idx)
-	})
+	}
 }
 
 func (e *Engine) execSystem(v *VCPU, in *arm.Inst, pc uint32, idx int) int {
@@ -1422,12 +1508,18 @@ func (e *Engine) regimeChanged(v *VCPU) {
 // RegisterUndef registers a helper that injects an undefined-instruction
 // exception (unimplemented encodings reached at runtime).
 func (e *Engine) RegisterUndef(guestPC uint32, idx int) int {
-	return e.registerHelper(func(m *x86.Machine) int {
+	return e.registerDesc(HelperDesc{Kind: HelperUndef, GuestPC: guestPC, Idx: idx})
+}
+
+// undefBody builds the undefined-instruction helper a HelperUndef
+// descriptor stands for.
+func (e *Engine) undefBody(guestPC uint32, idx int) x86.Helper {
+	return func(m *x86.Machine) int {
 		v := e.ctx(m)
 		v.stats.HelperCalls++
 		m.Charge(x86.ClassHelper, CostSysInstr)
 		e.retire(v, idx)
 		e.takeException(v, arm.VecUndef, guestPC+4)
 		return ExitExc
-	})
+	}
 }

@@ -1,0 +1,684 @@
+package engine
+
+// Persistent translation cache: relocatable helper descriptors, region
+// export, and warm-start installation.
+//
+// The engine's translated blocks used to be bound to one process lifetime by
+// their helper closures: every softmmu/system/exclusive/undef helper was a Go
+// closure capturing its parameters, and emitted CALLH/JMPT instructions baked
+// the closure's helper-table id. This file replaces capture-by-closure with
+// *descriptors* — (helper kind, parameters) records the engine can
+// re-instantiate into fresh helper ids in any later machine — plus a
+// per-region relocation table naming the instruction slots that hold helper
+// ids, so a serialized region can be patched against the new ids on load.
+//
+// The lifecycle is:
+//
+//   - During translation, each Register* call records a HelperDesc alongside
+//     the registered id (transDescs stays 1:1 with transHelpers), and
+//     FetchInst records the fetched source words; the finished TB owns both.
+//   - ExportRegions serializes every exportable single-block region as a
+//     PersistRegion: a deep copy of the emitted code with chain patches
+//     reverted and helper-id slots zeroed, the descriptor list, the
+//     relocation table, and the source words the code was translated from.
+//   - InstallWarmRegions seeds a fresh engine's warm table. On a cache miss
+//     the dispatcher consults it (tryWarm): install-time validation checks
+//     the source bytes against current guest RAM under the *current*
+//     translation regime, re-instantiates the descriptors into fresh helper
+//     ids, patches the relocation sites, and publishes the block through the
+//     same stop-the-world path as a fresh translation (MTTCG-safe: tryWarm
+//     runs under the translation lock).
+//   - SMC/page invalidation drops overlapping warm entries; FlushCache drops
+//     the whole warm table (configuration toggles that re-bake emitted
+//     probes — TLB geometry, jump cache, RAS — all funnel through it).
+//
+// Traces are not persisted: their boundary helpers are engine-private
+// closures (HelperOpaque) and their validity is regime/epoch-scoped. They
+// re-form from persisted blocks just as they form from fresh ones.
+
+import (
+	"fmt"
+	"sort"
+
+	"sldbt/internal/arm"
+	"sldbt/internal/mmu"
+	"sldbt/internal/obs"
+	"sldbt/internal/x86"
+)
+
+// HelperKind identifies a re-instantiable engine helper family.
+type HelperKind uint8
+
+const (
+	// HelperOpaque marks a helper registered without a descriptor (trace
+	// boundary/side-exit closures); a region owning one cannot be exported.
+	HelperOpaque HelperKind = iota
+	HelperMMURead
+	HelperMMUWrite
+	HelperSystem
+	HelperExclusive
+	HelperUndef
+	helperKindMax
+)
+
+// HelperDesc is the relocatable form of one translation-time helper: enough
+// parameters for Engine.instantiate to rebuild the closure in a fresh
+// machine. Fixup carries the abort-fixup definition list as architectural
+// instructions (the rule translator's define-before-use scheduling) instead
+// of a Go closure, which is what makes the record serializable.
+type HelperDesc struct {
+	Kind    HelperKind
+	GuestPC uint32
+	Idx     int        // retired-instruction index within the TB
+	Size    uint8      `json:",omitempty"` // MMU access size (1, 2, 4)
+	Signed  bool       `json:",omitempty"` // MMU read sign extension
+	Produce bool       `json:",omitempty"` // reuse-elision producer site
+	Inst    *arm.Inst  `json:",omitempty"` // system/exclusive instruction
+	Fixup   []arm.Inst `json:",omitempty"` // abort-fixup definitions
+}
+
+// RelocKind classifies one patched instruction slot in a serialized region.
+type RelocKind uint8
+
+const (
+	// RelocHelper is a CALLH slot: Inst.Helper receives the fresh id of the
+	// region's Descs[Desc] at install time.
+	RelocHelper RelocKind = iota
+	// RelocJCGlue / RelocRASGlue are JMPT slots referencing the engine's
+	// jump-cache or return-address-stack glue (engine-lifetime helpers whose
+	// ids differ between instances).
+	RelocJCGlue
+	RelocRASGlue
+	relocKindMax
+)
+
+// PersistReloc names one instruction slot whose helper-id field must be
+// patched when the region is installed into a fresh engine.
+type PersistReloc struct {
+	Inst int // index into Block.Insts
+	Kind RelocKind
+	Desc int `json:",omitempty"` // RelocHelper: index into Descs
+}
+
+// PersistRegion is the serialized form of one translated single-block
+// region: the key it was cached under, the source words it was translated
+// from (install-time content validation), the emitted code with helper-id
+// slots zeroed and chain patches reverted, and the descriptor + relocation
+// tables that rebind it to a fresh engine.
+type PersistRegion struct {
+	PA       uint32 // physical address of the first source word (cache key)
+	Priv     bool   // privilege the region was translated under (cache key)
+	PC       uint32 // guest virtual PC of the first instruction
+	GuestLen int
+	Hash     uint32   // FNV-1a over Src (content addressing / quick reject)
+	Src      []uint32 // source words at PC .. PC+4*(GuestLen-1)
+	Next     [2]uint32
+	HasNext  [2]bool
+	RetPush  [2]uint32
+	IRQIdx   int
+	Block    *x86.Block
+	Descs    []HelperDesc
+	Relocs   []PersistReloc
+}
+
+// srcWord is one guest instruction fetch recorded during translation.
+type srcWord struct{ va, raw uint32 }
+
+// maxPersistLen bounds the per-region source span resolveSrc will attempt;
+// a translated block is orders of magnitude smaller.
+const maxPersistLen = 4096
+
+// Fingerprinter lets a translator refine the engine config fingerprint
+// beyond its Name() — any knob that changes the code it emits belongs in it.
+type Fingerprinter interface {
+	ConfigFingerprint() string
+}
+
+// ConfigFingerprint identifies the engine configuration baked into emitted
+// code: the translator (and its emission-relevant knobs), the chain/jump
+// cache/RAS/trace toggles, the victim TLB, and the softmmu TLB geometry the
+// probes hard-code. A persistent cache saved under one fingerprint is
+// rejected wholesale under any other.
+func (e *Engine) ConfigFingerprint() string {
+	tname := e.Trans.Name()
+	if f, ok := e.Trans.(Fingerprinter); ok {
+		tname = f.ConfigFingerprint()
+	}
+	return fmt.Sprintf("fmt1 trans=%s chain=%t jc=%t ras=%t trace=%t victim=%t tlb=%dx%d",
+		tname, e.chain, e.jc, e.ras, e.traceOn, e.victimTLB,
+		e.tlbGeom.Sets(), e.tlbGeom.Ways)
+}
+
+// hashSrc is FNV-1a over the source words, little-endian byte order.
+func hashSrc(src []uint32) uint32 {
+	h := uint32(2166136261)
+	for _, w := range src {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint32(byte(w >> s))
+			h *= 16777619
+		}
+	}
+	return h
+}
+
+// registerDesc installs a descriptor-backed helper, recording both the fresh
+// id and the descriptor against the TB under translation so the finished
+// region is exportable.
+func (e *Engine) registerDesc(d HelperDesc) int {
+	id := e.M.RegisterHelper(e.instantiate(d))
+	if e.translating {
+		e.transHelpers = append(e.transHelpers, id)
+		e.transDescs = append(e.transDescs, d)
+	}
+	return id
+}
+
+// instantiate rebuilds the helper closure a descriptor stands for. Returns
+// nil for an invalid descriptor (unknown kind, missing instruction operand);
+// install-time validation checks descriptors before registering any, so a
+// nil here is a caller bug, not a corrupt-file path.
+func (e *Engine) instantiate(d HelperDesc) x86.Helper {
+	switch d.Kind {
+	case HelperMMURead:
+		return e.mmuReadBody(d)
+	case HelperMMUWrite:
+		return e.mmuWriteBody(d)
+	case HelperSystem:
+		if d.Inst == nil {
+			return nil
+		}
+		return e.systemBody(*d.Inst, d.GuestPC, d.Idx)
+	case HelperExclusive:
+		if d.Inst == nil {
+			return nil
+		}
+		return e.exclusiveBody(*d.Inst, d.GuestPC, d.Idx)
+	case HelperUndef:
+		return e.undefBody(d.GuestPC, d.Idx)
+	}
+	return nil
+}
+
+// validDesc reports whether instantiate will accept the descriptor.
+func validDesc(d *HelperDesc) bool {
+	if d.Kind == HelperOpaque || d.Kind >= helperKindMax {
+		return false
+	}
+	if (d.Kind == HelperSystem || d.Kind == HelperExclusive) && d.Inst == nil {
+		return false
+	}
+	return true
+}
+
+// pinnedHostOf resolves the translator's cross-TB register pinning for one
+// guest register (RegPinner contract; no pinning for the TCG baseline).
+func (e *Engine) pinnedHostOf(r arm.Reg) (x86.Reg, bool) {
+	for i, g := range e.pinGuest {
+		if g == r {
+			return e.pinHost[i], true
+		}
+	}
+	return 0, false
+}
+
+// runFixup executes an abort-fixup definition list: the architectural
+// effects of every flag-defining instruction the translator scheduled past
+// the faulting access, so the injected data abort observes a precise guest
+// state. Guest registers are read from their pinned host registers (or env)
+// and results written back the same way — the serializable port of the
+// closure internal/core used to build per call site.
+func (e *Engine) runFixup(m *x86.Machine, v *VCPU, defs []arm.Inst) {
+	env := v.Env
+	readReg := func(r arm.Reg) uint32 {
+		if h, ok := e.pinnedHostOf(r); ok {
+			return m.Regs[h]
+		}
+		return env.Reg(r)
+	}
+	writeReg := func(r arm.Reg, val uint32) {
+		if h, ok := e.pinnedHostOf(r); ok {
+			m.Regs[h] = val
+			return
+		}
+		env.SetReg(r, val)
+	}
+	for k := range defs {
+		d := &defs[k]
+		f := env.Flags()
+		var op2 uint32
+		var shc bool
+		if d.ImmValid {
+			op2, shc = d.Op2Imm(f.C)
+		} else {
+			op2, shc = arm.Shifter(readReg(d.Rm), d.Shift, uint32(d.ShiftAmt), f.C)
+		}
+		res, nf := arm.AluExec(d.Op, readReg(d.Rn), op2, f.C, shc)
+		if d.Op.IsLogical() {
+			nf.V = f.V
+		}
+		if !d.Op.IsCompare() {
+			writeReg(d.Rd, res)
+		}
+		env.SetFlags(nf)
+	}
+}
+
+// resolveSrc reconstructs the contiguous source span [pc, pc+4*guestLen)
+// from the words FetchInst recorded during the current translation. Returns
+// nil when any word is missing (stub translators that never call FetchInst),
+// which simply makes the region non-exportable.
+func (e *Engine) resolveSrc(pc uint32, guestLen int) []uint32 {
+	if guestLen <= 0 || guestLen > maxPersistLen {
+		return nil
+	}
+	out := make([]uint32, guestLen)
+	for i := range out {
+		va := pc + uint32(i)*4
+		found := false
+		for _, w := range e.transSrc {
+			if w.va == va {
+				out[i] = w.raw
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// persistKey identifies one content version of one cached region: the cache
+// key plus the virtual PC and source hash, so self-modifying guests persist
+// every code version a (pa, priv) slot held across the run.
+type persistKey struct {
+	pa   uint32
+	priv bool
+	pc   uint32
+	hash uint32
+}
+
+// EnablePersistCapture makes every TB retirement (page invalidation,
+// eviction) snapshot the retired region for a later ExportRegions, so the
+// persisted cache covers the whole run, not just the blocks live at the
+// end. Off by default: runs without a persistent cache should not pay the
+// per-retirement deep copy.
+func (e *Engine) EnablePersistCapture(on bool) { e.persistCapture = on }
+
+// capturePersist snapshots a region about to be retired. Called from
+// retireTB before any unlinking, so the TB's code, descriptors and source
+// words are still intact (in a parallel run retirement already holds the
+// stopped world). Later captures of the same content version overwrite
+// earlier ones — they are identical by construction.
+func (e *Engine) capturePersist(tb *TB) {
+	pr := e.exportTB(tb, tb.key)
+	if pr == nil {
+		return
+	}
+	if e.persistRetired == nil {
+		e.persistRetired = map[persistKey]*PersistRegion{}
+	}
+	e.persistRetired[persistKey{pr.PA, pr.Priv, pr.PC, pr.Hash}] = pr
+}
+
+// ExportRegions serializes every exportable region the run produced: the
+// live cache, plus (with EnablePersistCapture) every region retired along
+// the way — a warm start must cover translations that were invalidated
+// mid-run too, or the second run re-pays exactly the churn the first one
+// did. Single-block regions only, with all helpers descriptor-backed and
+// source words recorded at translation time; traces, regions with opaque
+// helpers and regions whose emitted code references helpers the engine
+// cannot relocate are skipped. The output is sorted by (PA, Priv, PC, Hash)
+// so a saved cache is byte-stable across runs.
+func (e *Engine) ExportRegions() []*PersistRegion {
+	var out []*PersistRegion
+	seen := map[persistKey]bool{}
+	for key, tb := range e.cache {
+		if pr := e.exportTB(tb, key); pr != nil {
+			out = append(out, pr)
+			seen[persistKey{pr.PA, pr.Priv, pr.PC, pr.Hash}] = true
+		}
+	}
+	for k, pr := range e.persistRetired {
+		if !seen[k] {
+			out = append(out, pr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PA != b.PA {
+			return a.PA < b.PA
+		}
+		if a.Priv != b.Priv {
+			return !a.Priv
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return a.Hash < b.Hash
+	})
+	e.Stats.PersistStores += uint64(len(out))
+	return out
+}
+
+// exportTB serializes one region, or returns nil when it is not exportable.
+func (e *Engine) exportTB(tb *TB, key tbKey) *PersistRegion {
+	if tb.IsTrace() || tb.Block == nil || tb.src == nil ||
+		len(tb.descs) != len(tb.helperIDs) || len(tb.src) != tb.GuestLen {
+		return nil
+	}
+	idToDesc := make(map[int]int, len(tb.helperIDs))
+	for i := range tb.descs {
+		if !validDesc(&tb.descs[i]) {
+			return nil
+		}
+		idToDesc[tb.helperIDs[i]] = i
+	}
+	insts := append([]x86.Inst(nil), tb.Block.Insts...)
+	// Revert installed chain patches to their original exit stubs (the same
+	// form unpatch restores); links are a runtime optimization re-made warm.
+	for slot := 0; slot < 2; slot++ {
+		site := tb.Block.ChainSite[slot]
+		if site >= 0 && site < len(insts) && insts[site].Op == x86.CHAIN {
+			insts[site] = x86.Inst{Op: x86.EXIT, Imm: uint32(slot), Class: x86.ClassGlue}
+		}
+	}
+	var relocs []PersistReloc
+	for i := range insts {
+		in := &insts[i]
+		in.Chain = nil
+		switch in.Op {
+		case x86.CALLH:
+			di, ok := idToDesc[in.Helper]
+			if !ok {
+				return nil // references a helper the region does not own
+			}
+			relocs = append(relocs, PersistReloc{Inst: i, Kind: RelocHelper, Desc: di})
+			in.Helper = 0
+		case x86.JMPT:
+			switch {
+			case e.jcGlueID > 0 && in.Helper == e.jcGlueID-1:
+				relocs = append(relocs, PersistReloc{Inst: i, Kind: RelocJCGlue})
+			case e.rasGlueID > 0 && in.Helper == e.rasGlueID-1:
+				relocs = append(relocs, PersistReloc{Inst: i, Kind: RelocRASGlue})
+			default:
+				return nil
+			}
+			in.Helper = 0
+		case x86.CHAIN:
+			return nil // a patched site outside ChainSite: not relocatable
+		}
+	}
+	src := append([]uint32(nil), tb.src...)
+	return &PersistRegion{
+		PA:       key.pa,
+		Priv:     key.priv,
+		PC:       tb.PC,
+		GuestLen: tb.GuestLen,
+		Hash:     hashSrc(src),
+		Src:      src,
+		Next:     tb.Next,
+		HasNext:  tb.HasNext,
+		RetPush:  tb.RetPush,
+		IRQIdx:   tb.IRQIdx,
+		Block: &x86.Block{
+			Insts:     insts,
+			GuestPC:   tb.Block.GuestPC,
+			GuestLen:  tb.Block.GuestLen,
+			ChainSite: tb.Block.ChainSite,
+		},
+		Descs:  append([]HelperDesc(nil), tb.descs...),
+		Relocs: relocs,
+	}
+}
+
+// InstallWarmRegions seeds the warm table with previously-exported regions.
+// Call it on a fully-configured engine before the run starts (configuration
+// changes flush the warm table along with the code cache): entries are
+// installed lazily, on the first cache miss of their key, after install-time
+// validation against the then-current guest memory. In a parallel run that
+// happens under the translation lock, and publication stops the world — the
+// same discipline as a fresh translation.
+func (e *Engine) InstallWarmRegions(prs []*PersistRegion) {
+	for _, pr := range prs {
+		if pr == nil || pr.Block == nil {
+			continue
+		}
+		if e.warm == nil {
+			e.warm = map[tbKey][]*PersistRegion{}
+		}
+		k := tbKey{pa: pr.PA, priv: pr.Priv}
+		e.warm[k] = append(e.warm[k], pr)
+		e.Stats.PersistLoads++
+	}
+}
+
+// tryWarm attempts to satisfy a cache miss from the warm table. On success
+// the installed block is published and returned; on failure every rejected
+// candidate is dropped (its content is stale — revalidating it on each later
+// miss would only repeat the walk) and the miss proceeds to translation.
+func (e *Engine) tryWarm(v *VCPU, pc uint32, priv bool, key tbKey) *TB {
+	prs := e.warm[key]
+	if len(prs) == 0 {
+		return nil
+	}
+	for i, pr := range prs {
+		if tb := e.installWarm(v, pr, pc, priv, key); tb != nil {
+			// Keep the surviving candidates (this one included — the block
+			// may be evicted and warmed again); drop the rejected prefix.
+			e.warm[key] = prs[i:]
+			e.publishWarm(v, tb, key)
+			return tb
+		}
+	}
+	delete(e.warm, key)
+	v.stats.WarmRejects++
+	return nil
+}
+
+// installWarm validates one persisted region against the current engine and
+// guest memory and, if everything matches, rebuilds it as a live TB:
+// descriptors re-instantiated into fresh helper ids, relocation sites
+// patched, emitted code deep-copied. All validation happens before the first
+// helper registration, so a rejection registers nothing; a nil return means
+// "translate cold instead".
+func (e *Engine) installWarm(v *VCPU, pr *PersistRegion, pc uint32, priv bool, key tbKey) *TB {
+	n := pr.GuestLen
+	if pr.PC != pc || pr.Priv != priv || pr.PA != key.pa ||
+		n <= 0 || n > maxPersistLen || len(pr.Src) != n ||
+		pr.Block == nil || len(pr.Block.Insts) == 0 || hashSrc(pr.Src) != pr.Hash {
+		return nil
+	}
+	// Content check: every source word must still read the same value under
+	// the *current* translation regime of the requesting vCPU, and the first
+	// word must resolve to the cache key's physical address. The walked pages
+	// become the block's invalidation span, so SMC on any of them retires it.
+	pages := make([]uint32, 0, 2)
+	for i := 0; i < n; i++ {
+		va := pc + uint32(i)*4
+		pa, _, fault := mmu.Walk(e.Bus, &v.CPU.CP15, va, mmu.Fetch, !priv)
+		if fault != nil {
+			return nil
+		}
+		if i == 0 && pa != key.pa {
+			return nil
+		}
+		if e.Bus.Read32(pa) != pr.Src[i] {
+			return nil
+		}
+		pages = appendPageDedup(pages, pa>>PageBits)
+	}
+	if !e.validWarmStructure(pr) {
+		return nil
+	}
+	ids := make([]int, len(pr.Descs))
+	for i := range pr.Descs {
+		ids[i] = e.M.RegisterHelper(e.instantiate(pr.Descs[i]))
+	}
+	insts := append([]x86.Inst(nil), pr.Block.Insts...)
+	for _, rl := range pr.Relocs {
+		switch rl.Kind {
+		case RelocHelper:
+			insts[rl.Inst].Helper = ids[rl.Desc]
+		case RelocJCGlue:
+			insts[rl.Inst].Helper = e.jcGlueID - 1
+		case RelocRASGlue:
+			insts[rl.Inst].Helper = e.rasGlueID - 1
+		}
+	}
+	return &TB{
+		Block: &x86.Block{
+			Insts:     insts,
+			GuestPC:   pr.Block.GuestPC,
+			GuestLen:  pr.Block.GuestLen,
+			ChainSite: pr.Block.ChainSite,
+		},
+		PC:       pc,
+		GuestLen: n,
+		SrcPages: pages,
+		Next:     pr.Next,
+		HasNext:  pr.HasNext,
+		RetPush:  pr.RetPush,
+		IRQIdx:   pr.IRQIdx,
+		key:      key,
+		pages:    pages,
+		// The installed block owns descriptors and source words like a fresh
+		// translation, so a warm engine's ExportRegions re-exports it.
+		helperIDs: ids,
+		descs:     append([]HelperDesc(nil), pr.Descs...),
+		src:       append([]uint32(nil), pr.Src...),
+	}
+}
+
+// validWarmStructure runs the structural checks on a persisted region's
+// descriptor, relocation and instruction tables. pcache's CRC already
+// rejects storage corruption; this guards against importer bugs and
+// hand-built files, and it runs before any helper id is allocated.
+func (e *Engine) validWarmStructure(pr *PersistRegion) bool {
+	for i := range pr.Descs {
+		if !validDesc(&pr.Descs[i]) {
+			return false
+		}
+	}
+	insts := pr.Block.Insts
+	// Every helper-id slot must be covered by exactly one relocation, and
+	// every relocation must be resolvable in this engine's configuration.
+	covered := make(map[int]bool, len(pr.Relocs))
+	for _, rl := range pr.Relocs {
+		if rl.Inst < 0 || rl.Inst >= len(insts) || covered[rl.Inst] {
+			return false
+		}
+		covered[rl.Inst] = true
+		switch rl.Kind {
+		case RelocHelper:
+			if insts[rl.Inst].Op != x86.CALLH || rl.Desc < 0 || rl.Desc >= len(pr.Descs) {
+				return false
+			}
+		case RelocJCGlue:
+			if insts[rl.Inst].Op != x86.JMPT || e.jcGlueID == 0 {
+				return false
+			}
+		case RelocRASGlue:
+			if insts[rl.Inst].Op != x86.JMPT || e.rasGlueID == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	for i := range insts {
+		in := &insts[i]
+		if in.Op == x86.CHAIN || in.Chain != nil {
+			return false
+		}
+		if (in.Op == x86.CALLH || in.Op == x86.JMPT) && !covered[i] {
+			return false
+		}
+		if in.Target < 0 || in.Target >= len(insts) {
+			return false
+		}
+	}
+	for _, site := range pr.Block.ChainSite {
+		if site < -1 || site >= len(insts) {
+			return false
+		}
+	}
+	return true
+}
+
+// publishWarm makes an installed warm block visible, through the same
+// stop-the-world section a fresh translation publishes under in a parallel
+// run. It deliberately does not count as a translation: the warm hit is the
+// translation that did *not* happen.
+func (e *Engine) publishWarm(v *VCPU, tb *TB, key tbKey) {
+	if e.par != nil {
+		e.exclusiveBegin(v)
+		defer e.exclusiveEnd()
+	}
+	e.insertTB(tb)
+	e.seenKeys[key] = true
+	v.stats.WarmHits++
+	if e.obsMask&obs.CatTranslate != 0 {
+		e.obs.Point(v.Index, obs.EvTBTranslate, uint64(tb.PC))
+	}
+}
+
+// dropWarmPage is the persistent layer's share of SMC/page invalidation: it
+// drops warm entries whose source span touches the given physical page AND
+// whose source words no longer read back from memory (the triggering store
+// has already committed). Entries whose content still matches stay — page
+// invalidation is page-granular, so a data store merely *sharing* a page
+// with code must not cost the warm candidates for that code, or a warm run
+// would re-pay every false-sharing retranslation of the cold run. The span
+// and content tests assume physical contiguity (like SpanPages); a stale
+// entry under a non-contiguous mapping that survives here is still caught by
+// installWarm's per-word content check, which re-reads every source byte
+// under the requesting vCPU's translation regime.
+func (e *Engine) dropWarmPage(page uint32) {
+	if len(e.warm) == 0 {
+		return
+	}
+	for key, prs := range e.warm {
+		kept := prs[:0]
+		for _, pr := range prs {
+			if !spanCovers(key.pa, pr.GuestLen, page) || e.warmContentMatches(key.pa, pr) {
+				kept = append(kept, pr)
+			}
+		}
+		if len(kept) == 0 {
+			delete(e.warm, key)
+		} else {
+			e.warm[key] = kept
+		}
+	}
+}
+
+// warmContentMatches reports whether a warm region's source words still read
+// back from physically-contiguous memory at its keyed physical address.
+func (e *Engine) warmContentMatches(pa uint32, pr *PersistRegion) bool {
+	for i, w := range pr.Src {
+		if e.Bus.Read32(pa+uint32(4*i)) != w {
+			return false
+		}
+	}
+	return true
+}
+
+func spanCovers(pa uint32, guestLen int, page uint32) bool {
+	for _, p := range SpanPages(pa, guestLen) {
+		if p == page {
+			return true
+		}
+	}
+	return false
+}
+
+func appendPageDedup(pages []uint32, p uint32) []uint32 {
+	for _, q := range pages {
+		if q == p {
+			return pages
+		}
+	}
+	return append(pages, p)
+}

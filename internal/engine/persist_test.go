@@ -1,0 +1,413 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sldbt/internal/x86"
+)
+
+// persistStubTrans is pageStubTrans's exportable sibling: it fetches its
+// source words through FetchInst (so the finished TB carries them) and emits
+// a CALLH to a descriptor-backed softmmu helper, giving every block a
+// relocation site. Blocks fall through `stride` bytes ahead, chainable.
+type persistStubTrans struct {
+	stride uint32
+}
+
+func (persistStubTrans) Name() string { return "persist-stub" }
+
+func (p persistStubTrans) Translate(e *Engine, pc uint32, priv bool) (*TB, error) {
+	if _, err := e.FetchInst(pc); err != nil {
+		return nil, err
+	}
+	id := e.RegisterMMURead(pc, 0, 4, false)
+	em := x86.NewEmitter()
+	em.SetClass(x86.ClassHelper)
+	em.CallHelper(id)
+	em.SetClass(x86.ClassGlue)
+	em.ExitChainable(ExitNext0)
+	tb := &TB{Block: em.Finish(pc, 1), PC: pc, GuestLen: 1, SrcPages: e.TranslationPages()}
+	tb.Next[0], tb.HasNext[0] = pc+p.stride, true
+	return tb, nil
+}
+
+// seedPersistEngine builds an engine over persistStubTrans with n distinct
+// code words, one per page (pc = i*0x1000, word = 0xE1A00000+i).
+func seedPersistEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	e := newPagedEngine(t, persistStubTrans{stride: 0x1000})
+	for i := 0; i < n; i++ {
+		e.Bus.Write32(uint32(i)*0x1000, 0xE1A00000+uint32(i))
+	}
+	return e
+}
+
+func stepN(t *testing.T, e *Engine, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := e.step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPersistExportInstallRoundTrip: a run's regions export with their source
+// words, descriptors and relocation tables; a fresh engine with identical
+// guest memory warm-starts from them and translates nothing.
+func TestPersistExportInstallRoundTrip(t *testing.T) {
+	a := seedPersistEngine(t, 3)
+	a.EnablePersistCapture(true)
+	stepN(t, a, 3) // A@0 -> B@0x1000 -> C@0x2000, chained
+
+	regs := a.ExportRegions()
+	if len(regs) != 3 {
+		t.Fatalf("exported %d regions, want 3", len(regs))
+	}
+	if a.Stats.PersistStores != 3 {
+		t.Errorf("PersistStores = %d, want 3", a.Stats.PersistStores)
+	}
+	for i, pr := range regs {
+		if pr.PA != uint32(i)*0x1000 || pr.PC != pr.PA || pr.GuestLen != 1 {
+			t.Fatalf("region %d: PA=%#x PC=%#x len=%d", i, pr.PA, pr.PC, pr.GuestLen)
+		}
+		if len(pr.Src) != 1 || pr.Src[0] != 0xE1A00000+uint32(i) {
+			t.Fatalf("region %d: src %#x", i, pr.Src)
+		}
+		if len(pr.Descs) != 1 || pr.Descs[0].Kind != HelperMMURead {
+			t.Fatalf("region %d: descs %+v", i, pr.Descs)
+		}
+		if len(pr.Relocs) != 1 || pr.Relocs[0].Kind != RelocHelper || pr.Relocs[0].Desc != 0 {
+			t.Fatalf("region %d: relocs %+v", i, pr.Relocs)
+		}
+		call := pr.Block.Insts[pr.Relocs[0].Inst]
+		if call.Op != x86.CALLH || call.Helper != 0 {
+			t.Fatalf("region %d: reloc site %+v, want zeroed CALLH", i, call)
+		}
+		// A and B were chain-patched during the run; the export must carry
+		// the reverted exit stub, never a CHAIN or a live closure.
+		for j, in := range pr.Block.Insts {
+			if in.Op == x86.CHAIN || in.Chain != nil {
+				t.Fatalf("region %d inst %d: exported a live chain patch", i, j)
+			}
+		}
+		if site := pr.Block.ChainSite[0]; pr.Block.Insts[site].Op != x86.EXIT {
+			t.Fatalf("region %d: chain site holds %v, want EXIT", i, pr.Block.Insts[site].Op)
+		}
+	}
+
+	b := seedPersistEngine(t, 3)
+	b.EnablePersistCapture(true)
+	b.InstallWarmRegions(regs)
+	if b.Stats.PersistLoads != 3 {
+		t.Fatalf("PersistLoads = %d, want 3", b.Stats.PersistLoads)
+	}
+	stepN(t, b, 3)
+	if b.Stats.WarmHits != 3 || b.Stats.TBsTranslated != 0 || b.Stats.WarmRejects != 0 {
+		t.Fatalf("warm run: hits=%d translated=%d rejects=%d, want 3/0/0",
+			b.Stats.WarmHits, b.Stats.TBsTranslated, b.Stats.WarmRejects)
+	}
+	checkCacheInvariants(t, b)
+
+	// The warm engine owns its blocks like fresh translations: it re-exports
+	// the same region set for the next run in the chain.
+	regs2 := b.ExportRegions()
+	if len(regs2) != 3 {
+		t.Fatalf("warm engine re-exported %d regions, want 3", len(regs2))
+	}
+	for i := range regs2 {
+		if regs2[i].PA != regs[i].PA || regs2[i].Hash != regs[i].Hash {
+			t.Fatalf("re-export %d: (%#x, %#x), want (%#x, %#x)",
+				i, regs2[i].PA, regs2[i].Hash, regs[i].PA, regs[i].Hash)
+		}
+	}
+}
+
+// TestWarmContentMismatchRejects: a warm candidate whose guest memory changed
+// since the save must be rejected at install time and translated cold — and
+// the rejection must register no helpers.
+func TestWarmContentMismatchRejects(t *testing.T) {
+	a := seedPersistEngine(t, 3)
+	stepN(t, a, 3)
+	regs := a.ExportRegions()
+
+	b := seedPersistEngine(t, 3)
+	b.Bus.Write32(0x1000, 0xE1A0F00F) // B's middle block differs from the save
+	b.InstallWarmRegions(regs)
+	stepN(t, b, 3)
+	if b.Stats.WarmHits != 2 || b.Stats.WarmRejects != 1 || b.Stats.TBsTranslated != 1 {
+		t.Fatalf("hits=%d rejects=%d translated=%d, want 2/1/1",
+			b.Stats.WarmHits, b.Stats.WarmRejects, b.Stats.TBsTranslated)
+	}
+	checkCacheInvariants(t, b)
+}
+
+// TestWarmStructuralCorruptionFallsBack: regions corrupted in every
+// structural dimension are rejected before any helper registration and the
+// miss falls back to cold translation — never a crash, never a leak.
+func TestWarmStructuralCorruptionFallsBack(t *testing.T) {
+	cases := []struct {
+		name       string
+		corrupt    func(pr *PersistRegion)
+		wantReject bool // nil-block entries are dropped at load, not rejected at miss
+	}{
+		{"opaque-desc", func(pr *PersistRegion) { pr.Descs[0].Kind = HelperOpaque }, true},
+		{"desc-kind-out-of-range", func(pr *PersistRegion) { pr.Descs[0].Kind = helperKindMax }, true},
+		{"reloc-inst-out-of-range", func(pr *PersistRegion) { pr.Relocs[0].Inst = 99 }, true},
+		{"reloc-desc-out-of-range", func(pr *PersistRegion) { pr.Relocs[0].Desc = 5 }, true},
+		{"uncovered-callh", func(pr *PersistRegion) { pr.Relocs = nil }, true},
+		{"hash-mismatch", func(pr *PersistRegion) { pr.Src[0] ^= 1 }, true},
+		{"guestlen-mismatch", func(pr *PersistRegion) { pr.GuestLen = 2 }, true},
+		{"nil-block", func(pr *PersistRegion) { pr.Block = nil }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := seedPersistEngine(t, 1)
+			stepN(t, a, 1)
+			regs := a.ExportRegions()
+			if len(regs) != 1 {
+				t.Fatalf("exported %d regions, want 1", len(regs))
+			}
+			tc.corrupt(regs[0])
+
+			b := seedPersistEngine(t, 1)
+			b.InstallWarmRegions(regs)
+			stepN(t, b, 1)
+			if b.Stats.WarmHits != 0 || b.Stats.TBsTranslated != 1 {
+				t.Fatalf("hits=%d translated=%d, want 0/1", b.Stats.WarmHits, b.Stats.TBsTranslated)
+			}
+			if got := b.Stats.WarmRejects != 0; got != tc.wantReject {
+				t.Fatalf("rejects=%d, wantReject=%t", b.Stats.WarmRejects, tc.wantReject)
+			}
+			checkCacheInvariants(t, b)
+		})
+	}
+}
+
+// TestPersistCaptureCoversRetired: with capture enabled, regions invalidated
+// mid-run still export — including both content versions of a self-modified
+// page — while a capture-less engine exports only the live cache.
+func TestPersistCaptureCoversRetired(t *testing.T) {
+	run := func(capture bool) *Engine {
+		e := seedPersistEngine(t, 3)
+		e.EnablePersistCapture(capture)
+		stepN(t, e, 3)
+		e.Bus.Write32(0x1000, 0xE1A0F00F) // SMC on B's page
+		if n := e.InvalidatePage(1); n != 1 {
+			t.Fatalf("InvalidatePage retired %d TBs, want 1", n)
+		}
+		e.cur.nextPC = 0x1000
+		stepN(t, e, 1) // retranslate B's new content
+		checkCacheInvariants(t, e)
+		return e
+	}
+
+	e := run(true)
+	regs := e.ExportRegions()
+	// 3 live (A, C, new B) + the captured old B = 4, two versions of PA
+	// 0x1000 under distinct hashes.
+	if len(regs) != 4 {
+		t.Fatalf("captured export: %d regions, want 4", len(regs))
+	}
+	var versions []uint32
+	for _, pr := range regs {
+		if pr.PA == 0x1000 {
+			versions = append(versions, pr.Src[0])
+		}
+	}
+	if len(versions) != 2 || versions[0] == versions[1] {
+		t.Fatalf("PA 0x1000 versions = %#x, want both content versions", versions)
+	}
+
+	if regs := run(false).ExportRegions(); len(regs) != 3 {
+		t.Fatalf("capture-less export: %d regions, want 3 (live only)", len(regs))
+	}
+}
+
+// TestFlushCacheDropsWarmAndCaptured: FlushCache is how configuration changes
+// take effect, so it must drop the warm table and the captured retirements —
+// both were built under the pre-flush configuration.
+func TestFlushCacheDropsWarmAndCaptured(t *testing.T) {
+	a := seedPersistEngine(t, 3)
+	stepN(t, a, 3)
+	regs := a.ExportRegions()
+
+	e := seedPersistEngine(t, 3)
+	e.EnablePersistCapture(true)
+	e.InstallWarmRegions(regs)
+	stepN(t, e, 2)               // two warm installs
+	e.InvalidatePage(0)          // no SMC: content matches, warm entry kept...
+	e.Bus.Write32(0, 0xE1A0F00F) // ...then the page really changes
+	e.InvalidatePage(0)          // captured retirement + warm entry dropped
+	e.FlushCache()
+	if got := e.M.Helpers(); got != e.baseHelpers {
+		t.Fatalf("live helpers after flush = %d, want %d", got, e.baseHelpers)
+	}
+	if regs := e.ExportRegions(); len(regs) != 0 {
+		t.Fatalf("export after flush: %d regions, want 0", len(regs))
+	}
+	hits := e.Stats.WarmHits
+	e.cur.nextPC = 0x1000
+	stepN(t, e, 1)
+	if e.Stats.WarmHits != hits || e.Stats.TBsTranslated == 0 {
+		t.Fatalf("post-flush miss warmed (hits %d -> %d); want cold translation",
+			hits, e.Stats.WarmHits)
+	}
+	checkCacheInvariants(t, e)
+}
+
+// TestWarmHelperLifetimeAcrossRetirementPaths: blocks installed through the
+// warm path own re-instantiated helper ids; every retirement path must free
+// them exactly once (the load-path extension of
+// TestHelperLifetimeAcrossRetirementPaths).
+func TestWarmHelperLifetimeAcrossRetirementPaths(t *testing.T) {
+	a := seedPersistEngine(t, 3)
+	stepN(t, a, 3)
+	regs := a.ExportRegions()
+
+	e := seedPersistEngine(t, 3)
+	e.InstallWarmRegions(regs)
+	stepN(t, e, 3)
+	if e.Stats.WarmHits != 3 {
+		t.Fatalf("WarmHits = %d, want 3", e.Stats.WarmHits)
+	}
+	checkCacheInvariants(t, e)
+
+	// Page invalidation with unchanged content retires the installed block
+	// but keeps the warm candidate; re-missing the key warms it again —
+	// a second instantiation of the same descriptors, accounted exactly.
+	if n := e.InvalidatePage(1); n != 1 {
+		t.Fatalf("InvalidatePage retired %d TBs, want 1", n)
+	}
+	checkCacheInvariants(t, e)
+	e.cur.nextPC = 0x1000
+	stepN(t, e, 1)
+	if e.Stats.WarmHits != 4 || e.Stats.TBsTranslated != 0 {
+		t.Fatalf("re-warm after invalidation: hits=%d translated=%d, want 4/0",
+			e.Stats.WarmHits, e.Stats.TBsTranslated)
+	}
+	checkCacheInvariants(t, e)
+
+	// Eviction frees the warm-installed helpers through the same path.
+	e.SetCacheCapacity(1)
+	if e.Stats.Evictions == 0 {
+		t.Fatal("capacity bound evicted nothing")
+	}
+	checkCacheInvariants(t, e)
+
+	// Whole-cache flush leaves exactly the engine-lifetime helpers.
+	e.FlushCache()
+	if got := e.M.Helpers(); got != e.baseHelpers {
+		t.Fatalf("live helpers after flush = %d, want %d (double free or leak)",
+			got, e.baseHelpers)
+	}
+	checkCacheInvariants(t, e)
+}
+
+// TestDropWarmPageKeepsMatchingContent: page invalidation triggered by a data
+// store that merely shares a page with code must not cost the warm candidates
+// for that code; a store over the code itself must.
+func TestDropWarmPageKeepsMatchingContent(t *testing.T) {
+	a := seedPersistEngine(t, 1)
+	stepN(t, a, 1)
+	regs := a.ExportRegions()
+
+	// False sharing: a data word on the code page changes.
+	e := seedPersistEngine(t, 1)
+	e.InstallWarmRegions(regs)
+	e.Bus.Write32(0x100, 0xDEADBEEF)
+	e.InvalidatePage(0)
+	stepN(t, e, 1)
+	if e.Stats.WarmHits != 1 || e.Stats.TBsTranslated != 0 {
+		t.Fatalf("false-sharing store: hits=%d translated=%d, want 1/0",
+			e.Stats.WarmHits, e.Stats.TBsTranslated)
+	}
+
+	// Real SMC: the source word itself changes.
+	e = seedPersistEngine(t, 1)
+	e.InstallWarmRegions(regs)
+	e.Bus.Write32(0, 0xE1A0F00F)
+	e.InvalidatePage(0)
+	stepN(t, e, 1)
+	if e.Stats.WarmHits != 0 || e.Stats.TBsTranslated != 1 {
+		t.Fatalf("SMC store: hits=%d translated=%d, want 0/1",
+			e.Stats.WarmHits, e.Stats.TBsTranslated)
+	}
+	checkCacheInvariants(t, e)
+}
+
+// TestConfigFingerprintTracksEmissionKnobs: every knob that changes emitted
+// code must move the fingerprint, so a stale pcache is rejected wholesale.
+func TestConfigFingerprintTracksEmissionKnobs(t *testing.T) {
+	e := newPagedEngine(t, persistStubTrans{stride: 0x1000})
+	seen := map[string]string{}
+	note := func(knob string) {
+		fp := e.ConfigFingerprint()
+		for prev, at := range seen {
+			if fp == prev {
+				t.Fatalf("fingerprint after %s collides with %s: %q", knob, at, fp)
+			}
+		}
+		seen[fp] = knob
+	}
+	note("baseline")
+	e.EnableJumpCache(true)
+	note("jump cache")
+	e.EnableRAS(true)
+	note("ras")
+	e.EnableVictimTLB(true)
+	note("victim tlb")
+	if err := e.SetTLBGeometry(64, 2); err != nil {
+		t.Fatal(err)
+	}
+	note("tlb geometry")
+	e.EnableChaining(false)
+	note("chaining off")
+}
+
+// TestWarmRandomOpsInvariants drives a warm-started engine through a random
+// mix of execution, false-sharing stores, SMC, flush-and-reinstall and
+// capacity changes, holding the cache invariants (helper accounting included)
+// after every operation. Replayable via -seed.
+func TestWarmRandomOpsInvariants(t *testing.T) {
+	const pages = 8
+	r := rand.New(rand.NewSource(propertySeed(t, 13)))
+	a := seedPersistEngine(t, pages)
+	a.EnablePersistCapture(true)
+	stepN(t, a, pages)
+	regs := a.ExportRegions()
+
+	e := seedPersistEngine(t, pages)
+	e.EnablePersistCapture(true)
+	e.InstallWarmRegions(regs)
+	for i := 0; i < 300; i++ {
+		switch r.Intn(8) {
+		case 0, 1, 2, 3:
+			if e.cur.nextPC >= pages*0x1000 {
+				e.cur.nextPC = 0
+			}
+			stepN(t, e, 1)
+		case 4: // data store sharing a code page
+			p := uint32(r.Intn(pages))
+			e.Bus.Write32(p*0x1000+0x100, r.Uint32())
+			e.InvalidatePage(p)
+		case 5: // SMC
+			p := uint32(r.Intn(pages))
+			e.Bus.Write32(p*0x1000, 0xE1A00000+uint32(r.Intn(16)))
+			e.InvalidatePage(p)
+		case 6:
+			e.SetCacheCapacity(2 + r.Intn(5))
+		case 7:
+			if r.Intn(4) == 0 {
+				// Reinstalling the original save over mutated memory exercises
+				// the install-time rejection of stale entries.
+				e.FlushCache()
+				e.InstallWarmRegions(regs)
+			}
+		}
+		checkCacheInvariants(t, e)
+	}
+	if e.Stats.WarmHits == 0 {
+		t.Fatal("random run never warm-hit")
+	}
+}

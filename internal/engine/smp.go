@@ -287,7 +287,13 @@ const CostExclusive = 30
 // exclusives are helper-emulated, because their monitor side effects (and
 // the cross-vCPU SMC check on the store path) cannot live in emitted code.
 func (e *Engine) RegisterExclusive(in arm.Inst, guestPC uint32, idx int) int {
-	return e.registerHelper(func(m *x86.Machine) int {
+	return e.registerDesc(HelperDesc{Kind: HelperExclusive, GuestPC: guestPC, Idx: idx, Inst: &in})
+}
+
+// exclusiveBody builds the exclusive-access helper a HelperExclusive
+// descriptor stands for.
+func (e *Engine) exclusiveBody(in arm.Inst, guestPC uint32, idx int) x86.Helper {
+	return func(m *x86.Machine) int {
 		v := e.ctx(m)
 		v.stats.HelperCalls++
 		v.stats.Exclusives++
@@ -342,7 +348,7 @@ func (e *Engine) RegisterExclusive(in arm.Inst, guestPC uint32, idx int) int {
 			}
 			return -1
 		}
-	})
+	}
 }
 
 // noteMonitorPage marks a page as a monitor target, flushing every vCPU's

@@ -379,6 +379,8 @@ func (e *Engine) formPendingTrace() {
 	e.translating = true
 	e.transPages = e.transPages[:0]
 	e.transHelpers = e.transHelpers[:0]
+	e.transDescs = e.transDescs[:0]
+	e.transSrc = e.transSrc[:0]
 	tr, err := tt.TranslateTrace(e, plan, plan.Priv)
 	e.translating = false
 	if err != nil {

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sldbt/internal/seedtest"
+)
+
+// TestAOTWarmStart: the second run of a workload through a shared pcache file
+// must translate (near) nothing and reach the identical final guest state —
+// the tentpole acceptance property, on one cheap workload.
+func TestAOTWarmStart(t *testing.T) {
+	w := mustWorkload("mcf")
+	path := filepath.Join(t.TempDir(), "mcf.pcache")
+	cold, warm := quickRunner(), quickRunner()
+	cold.PCache, warm.PCache = path, path
+	cres, err := cold.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := warm.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.Console != cres.Console || wres.Retired != cres.Retired {
+		t.Fatalf("warm final state diverged: retired %d vs %d", wres.Retired, cres.Retired)
+	}
+	if wres.Engine.TBsTranslated != 0 || wres.Engine.WarmHits == 0 {
+		t.Fatalf("warm run translated %d blocks with %d warm hits, want 0 translations",
+			wres.Engine.TBsTranslated, wres.Engine.WarmHits)
+	}
+	if cres.Engine.PersistStores == 0 || wres.Engine.PersistLoads == 0 {
+		t.Fatalf("persist counters silent: stores=%d loads=%d",
+			cres.Engine.PersistStores, wres.Engine.PersistLoads)
+	}
+}
+
+// TestAOTRendersTable smoke-tests the `aot` experiment plumbing at reduced
+// budget (the full-budget run is the CI matrix's job).
+func TestAOTRendersTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every AOT pair twice")
+	}
+	out, err := quickRunner().AOTStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mcf", "net-server", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("aot table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFuzzPCacheCorruptionFallsBackCold bit-flips a saved cache and runs the
+// engine against the damaged file: every run must fall back to translating
+// whatever the loader rejected and still finish bit-identical to the clean
+// cold run. Replayable with -seed (or SLDBT_FUZZ_SEED).
+func TestFuzzPCacheCorruptionFallsBackCold(t *testing.T) {
+	w := mustWorkload("mcf")
+	dir := t.TempDir()
+	clean := filepath.Join(dir, "mcf.pcache")
+	cold := quickRunner()
+	cold.PCache = clean
+	cres, err := cold.Run(w, CfgChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seedtest.Seeds(t, 4) {
+		r := rand.New(rand.NewSource(int64(seed)))
+		data := append([]byte(nil), saved...)
+		for n := 1 + r.Intn(16); n > 0; n-- {
+			data[r.Intn(len(data))] ^= 1 << r.Intn(8)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("corrupt-%d.pcache", seed))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		warm := quickRunner()
+		warm.PCache = path
+		wres, err := warm.Run(w, CfgChain)
+		if err != nil {
+			t.Fatalf("seed %d: corrupted cache must degrade, not fail: %v", seed, err)
+		}
+		if wres.Console != cres.Console || wres.Retired != cres.Retired {
+			t.Fatalf("seed %d: corrupted cache diverged from cold run (retired %d vs %d)",
+				seed, wres.Retired, cres.Retired)
+		}
+		// Whatever survived the CRCs may warm-hit; everything else must have
+		// been translated fresh — the two paths together cover the cold total.
+		if got := wres.Engine.WarmHits + wres.Engine.TBsTranslated; got < cres.Engine.TBsTranslated {
+			t.Fatalf("seed %d: warm run covered %d blocks, cold run needed %d",
+				seed, got, cres.Engine.TBsTranslated)
+		}
+	}
+}

@@ -8,6 +8,8 @@ package exp
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -18,6 +20,7 @@ import (
 	"sldbt/internal/kernel"
 	"sldbt/internal/mmu"
 	"sldbt/internal/obs"
+	"sldbt/internal/pcache"
 	"sldbt/internal/rules"
 	"sldbt/internal/smp"
 	"sldbt/internal/tcg"
@@ -191,6 +194,11 @@ type Runner struct {
 	ObsCats string
 	// ObsSample enables guest hot-spot PC sampling every N instructions.
 	ObsSample uint64
+	// PCache is a persistent translation cache file: every engine this runner
+	// builds warm-starts from it (when it exists and matches the engine's
+	// config fingerprint) and saves its exportable regions back after the
+	// run. A missing or mismatched file is a cold start, never an error.
+	PCache string
 
 	engineRuns map[string]*RunResult
 	interpRuns map[string]*InterpResult
@@ -347,6 +355,18 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 		o.SamplePeriod = r.ObsSample
 		e.AttachObserver(o)
 	}
+	if r.PCache != "" {
+		// Warm-start last, after every configuration call: config changes
+		// flush the engine's warm table along with the code cache. Capture is
+		// on even when the file does not exist yet — that is the cold run
+		// populating it.
+		e.EnablePersistCapture(true)
+		if regs, err := pcache.LoadCache(r.PCache, e.ConfigFingerprint()); err == nil {
+			e.InstallWarmRegions(regs)
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "exp: %v; starting cold\n", err)
+		}
+	}
 	start := time.Now()
 	run := e.Run
 	if k.Parallel {
@@ -359,6 +379,13 @@ func (r *Runner) Run(w *workloads.Workload, cfg Config) (*RunResult, error) {
 	}
 	if code != 0 {
 		return nil, fmt.Errorf("%s on %s: exit %#x (%q)", w.Name, cfg, code, e.Bus.UART().Output())
+	}
+	if r.PCache != "" {
+		// Export before the stats snapshot below so PersistStores is visible
+		// in the result.
+		if err := pcache.SaveCache(r.PCache, e.ConfigFingerprint(), e.ExportRegions()); err != nil {
+			return nil, fmt.Errorf("%s on %s: save pcache: %w", w.Name, cfg, err)
+		}
 	}
 	res := &RunResult{
 		Retired:       e.Retired,
@@ -1128,6 +1155,67 @@ func (r *Runner) TraceStats() (string, error) {
 	return b.String(), nil
 }
 
+// AOTStats is the `aot` experiment: persistent-cache warm start. Each
+// workload runs twice through a shared pcache file — a cold run that
+// populates it, then a fresh engine that warm-starts from it — and the
+// experiment asserts the warm run (a) reaches the identical final guest
+// state (console output and retired-instruction count) and (b) translates
+// at least 90% fewer blocks, the ISSUE acceptance bar. Fresh sub-runners
+// are used so the cold/warm pair shares nothing but the cache file.
+func (r *Runner) AOTStats() (string, error) {
+	dir, err := os.MkdirTemp("", "sldbt-aot-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(dir)
+	var b strings.Builder
+	fmt.Fprintf(&b, "aot: cold vs pcache-warm translation, config %s (two runs per row, shared cache file)\n", CfgChain)
+	fmt.Fprintf(&b, "%-12s %9s %9s %9s %9s %9s %9s %10s\n",
+		"benchmark", "cold-xl", "warm-xl", "hits", "rejects", "loaded", "stored", "reduction")
+	for _, name := range []string{"mcf", "bzip2", "net-server"} {
+		w := mustWorkload(name)
+		path := filepath.Join(dir, name+".pcache")
+		cold := NewRunner()
+		warm := NewRunner()
+		for _, sub := range []*Runner{cold, warm} {
+			sub.BudgetScale = r.BudgetScale
+			sub.Rules = r.Rules
+			sub.PCache = path
+		}
+		cres, err := cold.Run(w, CfgChain)
+		if err != nil {
+			return "", err
+		}
+		wres, err := warm.Run(w, CfgChain)
+		if err != nil {
+			return "", err
+		}
+		if wres.Console != cres.Console {
+			return "", fmt.Errorf("aot %s: warm console diverges from cold", name)
+		}
+		if wres.Retired != cres.Retired {
+			return "", fmt.Errorf("aot %s: warm run retired %d guest instructions, cold %d",
+				name, wres.Retired, cres.Retired)
+		}
+		// TBsTranslated counts every translation event, fresh and re-;
+		// "reduction" is therefore over retranslations + fresh translations.
+		coldXl := cres.Engine.TBsTranslated
+		warmXl := wres.Engine.TBsTranslated
+		red := 1 - float64(warmXl)/math.Max(float64(coldXl), 1)
+		if red < 0.9 {
+			return "", fmt.Errorf("aot %s: warm run translated %d blocks vs %d cold (%.1f%% reduction, need >= 90%%)",
+				name, warmXl, coldXl, 100*red)
+		}
+		fmt.Fprintf(&b, "%-12s %9d %9d %9d %9d %9d %9d %9.1f%%\n",
+			name, coldXl, warmXl,
+			wres.Engine.WarmHits, wres.Engine.WarmRejects,
+			wres.Engine.PersistLoads, wres.Engine.PersistStores, 100*red)
+	}
+	fmt.Fprintf(&b, "(both runs of each pair are oracle-checked against the interpreter; the warm\n")
+	fmt.Fprintf(&b, " engine validates every region's source bytes against guest RAM before install)\n")
+	return b.String(), nil
+}
+
 // extras holds experiments registered by other packages (the scenario
 // package's `matrix`). A registration hook instead of a direct call keeps
 // the dependency one-way: scenario imports exp for Config/Runner, so exp
@@ -1151,7 +1239,7 @@ func RegisterExperiment(name string, fn func(*Runner) (string, error)) {
 }
 
 func builtinExperiments() []string {
-	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "softmmu", "chain", "smc", "jc", "smp", "mttcg", "trace"}
+	return []string{"table1", "fig8", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "coordstats", "breakdown", "softmmu", "chain", "smc", "jc", "smp", "mttcg", "trace", "aot"}
 }
 
 // Experiments lists all experiment names in order (built-ins, then any
@@ -1197,6 +1285,8 @@ func (r *Runner) RunExperiment(name string) (string, error) {
 		return r.MTTCGStats()
 	case "trace":
 		return r.TraceStats()
+	case "aot":
+		return r.AOTStats()
 	}
 	if fn, ok := extras[name]; ok {
 		return fn(r)

@@ -101,7 +101,7 @@ func TestRunExperimentNames(t *testing.T) {
 	if err != nil || out == "" {
 		t.Errorf("fig8: %v", err)
 	}
-	if len(Experiments()) != 17 {
+	if len(Experiments()) != 18 {
 		t.Errorf("experiment list = %v", Experiments())
 	}
 }

@@ -1,0 +1,141 @@
+// Package pcache is the on-disk persistent translation cache: a versioned
+// JSON container of engine.PersistRegion records, each individually
+// CRC-protected so storage corruption degrades to a cold start for the
+// affected regions instead of installing damaged code.
+//
+// The file is keyed by the engine configuration fingerprint
+// (engine.ConfigFingerprint): emitted code bakes the translator, the
+// chain/jump-cache/trace toggles and the TLB geometry into its probes, so a
+// cache saved under one configuration is rejected wholesale under any other.
+// Per-region content validation (source bytes against current guest RAM)
+// happens at install time inside the engine, not here.
+//
+// SaveCache merges with an existing file of the same fingerprint —
+// incremental append across runs — and writes atomically (temp file +
+// rename), so a crash mid-save leaves the previous cache intact.
+package pcache
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"sldbt/internal/engine"
+)
+
+// Schema versions the container format. History:
+//
+//	1 — initial: fingerprint + CRC-per-region entries.
+//
+// LoadCache accepts schemas 1..Schema; readers added in later versions must
+// keep loading every older one.
+const Schema = 1
+
+// File is the serialized container.
+type File struct {
+	Schema      int
+	Fingerprint string
+	Regions     []Entry
+}
+
+// Entry wraps one serialized region with its integrity checksum. Payload is
+// a JSON-encoded engine.PersistRegion kept as raw bytes (base64 in the
+// container) so the CRC covers exactly the bytes that round-trip through the
+// file — a nested json.RawMessage would be re-indented by MarshalIndent and
+// never match its checksum again.
+type Entry struct {
+	CRC     uint32 // IEEE CRC-32 of Payload
+	Payload []byte // one engine.PersistRegion, JSON-encoded
+}
+
+// LoadCache reads a persistent cache file and returns the regions whose
+// checksums verify. A file-level problem — unreadable, malformed JSON,
+// unknown schema, fingerprint mismatch — is an error the caller should log
+// before falling back to a cold start; it is never fatal to the engine.
+// Individual entries that fail their CRC or do not unmarshal are skipped
+// silently: the engine re-translates those regions cold.
+func LoadCache(path, fingerprint string) ([]*engine.PersistRegion, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("pcache %s: malformed: %w", path, err)
+	}
+	if f.Schema < 1 || f.Schema > Schema {
+		return nil, fmt.Errorf("pcache %s: schema %d outside supported range 1..%d", path, f.Schema, Schema)
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("pcache %s: config fingerprint %q does not match engine %q",
+			path, f.Fingerprint, fingerprint)
+	}
+	var out []*engine.PersistRegion
+	for _, ent := range f.Regions {
+		if crc32.ChecksumIEEE(ent.Payload) != ent.CRC {
+			continue // corrupted entry: cold-translate this region
+		}
+		var pr engine.PersistRegion
+		if err := json.Unmarshal(ent.Payload, &pr); err != nil {
+			continue
+		}
+		out = append(out, &pr)
+	}
+	return out, nil
+}
+
+// SaveCache writes regions to path under the given fingerprint, merging with
+// any existing same-fingerprint file (new regions win on key collisions, so
+// repeated runs append incrementally) and replacing the file atomically.
+func SaveCache(path, fingerprint string, regions []*engine.PersistRegion) error {
+	merged := make(map[string]*engine.PersistRegion)
+	key := func(pr *engine.PersistRegion) string {
+		return fmt.Sprintf("%08x/%t/%08x/%08x", pr.PA, pr.Priv, pr.PC, pr.Hash)
+	}
+	// A previous file that fails to load (missing, corrupt, other config) is
+	// simply not merged; this save still produces a valid cache.
+	if old, err := LoadCache(path, fingerprint); err == nil {
+		for _, pr := range old {
+			merged[key(pr)] = pr
+		}
+	}
+	for _, pr := range regions {
+		if pr != nil {
+			merged[key(pr)] = pr
+		}
+	}
+	f := File{Schema: Schema, Fingerprint: fingerprint}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		payload, err := json.Marshal(merged[k])
+		if err != nil {
+			return fmt.Errorf("pcache: marshal region: %w", err)
+		}
+		f.Regions = append(f.Regions, Entry{CRC: crc32.ChecksumIEEE(payload), Payload: payload})
+	}
+	data, err := json.MarshalIndent(&f, "", "\t")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".pcache-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,279 @@
+package pcache
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sldbt/internal/engine"
+	"sldbt/internal/seedtest"
+	"sldbt/internal/x86"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden container file")
+
+const testFingerprint = "fmt1 trans=test chain=true jc=false ras=false trace=false victim=false tlb=256x1"
+
+// fixtureRegions builds a deterministic region set: enough structure (code,
+// descriptors, relocations) to be representative, with every field fixed so
+// the serialized container is byte-stable for the golden test.
+func fixtureRegions() []*engine.PersistRegion {
+	mk := func(pa uint32, word uint32) *engine.PersistRegion {
+		return &engine.PersistRegion{
+			PA: pa, PC: pa, GuestLen: 1, Hash: 0x9E3779B9 ^ word,
+			Src:     []uint32{word},
+			Next:    [2]uint32{pa + 4},
+			HasNext: [2]bool{true, false},
+			Block: &x86.Block{
+				Insts: []x86.Inst{
+					{Op: x86.CALLH},
+					{Op: x86.EXIT, Class: x86.ClassGlue},
+				},
+				GuestPC: pa, GuestLen: 1, ChainSite: [2]int{1, -1},
+			},
+			Descs:  []engine.HelperDesc{{Kind: engine.HelperMMURead, GuestPC: pa, Size: 4}},
+			Relocs: []engine.PersistReloc{{Inst: 0, Kind: engine.RelocHelper}},
+		}
+	}
+	return []*engine.PersistRegion{mk(0x1000, 0xE1A00000), mk(0x2000, 0xE1A00001)}
+}
+
+func saveFixture(t *testing.T, path string) {
+	t.Helper()
+	if err := SaveCache(path, testFingerprint, fixtureRegions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenContainer pins the on-disk container format. The golden file is a
+// complete schema-1 cache; if this test fails the format changed — if that is
+// deliberate, re-golden with `go test ./internal/pcache -update` and bump
+// Schema so old readers reject the new file loudly.
+func TestGoldenContainer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.pcache")
+	saveFixture(t, path)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "v1.pcache.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/pcache -update` after a deliberate format change)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("container format changed; saved caches would stop round-tripping.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenLoads: the checked-in schema-1 file must keep loading under every
+// future schema — the backward-compatibility contract.
+func TestGoldenLoads(t *testing.T) {
+	regs, err := LoadCache(filepath.Join("testdata", "v1.pcache.golden.json"), testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fixtureRegions(); !reflect.DeepEqual(regs, want) {
+		t.Fatalf("golden regions do not round-trip:\n got %+v\nwant %+v", regs, want)
+	}
+}
+
+// TestSchemaRange: LoadCache accepts schemas 1..Schema and rejects everything
+// outside — with an error, never a crash.
+func TestSchemaRange(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.pcache")
+	saveFixture(t, path)
+	rewrite := func(schema int) string {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			t.Fatal(err)
+		}
+		f.Schema = schema
+		enc, err := json.Marshal(&f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("s%d.pcache", schema))
+		if err := os.WriteFile(p, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for s := 1; s <= Schema; s++ {
+		if regs, err := LoadCache(rewrite(s), testFingerprint); err != nil || len(regs) != 2 {
+			t.Errorf("schema %d: regions=%d err=%v, want a full load", s, len(regs), err)
+		}
+	}
+	for _, s := range []int{0, -1, Schema + 1} {
+		if _, err := LoadCache(rewrite(s), testFingerprint); err == nil {
+			t.Errorf("schema %d loaded, want rejection", s)
+		}
+	}
+}
+
+// TestFileLevelRejections: missing file, malformed JSON and a fingerprint
+// mismatch are errors the caller logs before a cold start.
+func TestFileLevelRejections(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCache(filepath.Join(dir, "absent.pcache"), testFingerprint); !os.IsNotExist(err) {
+		t.Errorf("missing file: err=%v, want os.IsNotExist", err)
+	}
+	bad := filepath.Join(dir, "bad.pcache")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCache(bad, testFingerprint); err == nil {
+		t.Error("malformed file loaded, want error")
+	}
+	good := filepath.Join(dir, "c.pcache")
+	saveFixture(t, good)
+	if _, err := LoadCache(good, "fmt1 trans=other"); err == nil {
+		t.Error("fingerprint mismatch loaded, want error")
+	}
+}
+
+// TestCorruptEntrySkipped: an entry whose payload no longer matches its CRC
+// is skipped silently; the rest of the file still loads.
+func TestCorruptEntrySkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.pcache")
+	saveFixture(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Regions[0].Payload[3] ^= 0x40 // single bit flip in the serialized region
+	enc, err := json.Marshal(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := LoadCache(path, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("loaded %d regions, want only the intact one", len(regs))
+	}
+	if regs[0].PA != 0x2000 {
+		t.Fatalf("loaded PA %#x, want the intact 0x2000", regs[0].PA)
+	}
+}
+
+// TestSaveMerges: a second save merges with the existing file — old regions
+// survive, and the new version of a colliding key wins.
+func TestSaveMerges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.pcache")
+	saveFixture(t, path)
+	next := fixtureRegions()[1:]             // same key as the 0x2000 region...
+	next[0].GuestLen, next[0].IRQIdx = 1, 7  // ...with an updated body
+	next = append(next, &engine.PersistRegion{
+		PA: 0x3000, PC: 0x3000, GuestLen: 1, Hash: 3,
+		Src: []uint32{0xE1A00002}, Block: &x86.Block{Insts: []x86.Inst{{Op: x86.EXIT}}, ChainSite: [2]int{-1, -1}},
+	})
+	if err := SaveCache(path, testFingerprint, next); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := LoadCache(path, testFingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("merged file holds %d regions, want 3", len(regs))
+	}
+	for _, pr := range regs {
+		if pr.PA == 0x2000 && pr.IRQIdx != 7 {
+			t.Errorf("collision kept the old region (IRQIdx %d, want 7)", pr.IRQIdx)
+		}
+	}
+}
+
+// TestSaveReplacesOtherFingerprint: saving over a file from a different
+// configuration discards it instead of merging stale code.
+func TestSaveReplacesOtherFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.pcache")
+	saveFixture(t, path)
+	if err := SaveCache(path, "fmt1 trans=other", fixtureRegions()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	regs, err := LoadCache(path, "fmt1 trans=other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("re-fingerprinted file holds %d regions, want 1 (no cross-config merge)", len(regs))
+	}
+}
+
+// TestFuzzBitFlips flips random bits in a serialized cache and demands the
+// loader degrade gracefully every time: either a file-level error (cold
+// start) or a loaded subset in which every region is byte-identical to an
+// original — corruption may lose regions, never alter one. Replayable with
+// -seed (or SLDBT_FUZZ_SEED).
+func TestFuzzBitFlips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.pcache")
+	saveFixture(t, path)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originals := map[string]bool{}
+	for _, pr := range fixtureRegions() {
+		enc, err := json.Marshal(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		originals[string(enc)] = true
+	}
+	for _, seed := range seedtest.Seeds(t, 64) {
+		r := rand.New(rand.NewSource(int64(seed)))
+		data := append([]byte(nil), clean...)
+		for n := 1 + r.Intn(8); n > 0; n-- {
+			data[r.Intn(len(data))] ^= 1 << r.Intn(8)
+		}
+		p := filepath.Join(t.TempDir(), "corrupt.pcache")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		regs, err := LoadCache(p, testFingerprint)
+		if err != nil {
+			continue // file-level rejection: the engine starts cold
+		}
+		if len(regs) > len(originals) {
+			t.Fatalf("seed %d: corrupted file grew to %d regions", seed, len(regs))
+		}
+		for _, pr := range regs {
+			enc, err := json.Marshal(pr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !originals[string(enc)] {
+				t.Fatalf("seed %d: corruption surfaced an altered region: %s", seed, enc)
+			}
+		}
+	}
+}

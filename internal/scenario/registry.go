@@ -164,6 +164,49 @@ func Registry() []*Manifest {
 		},
 	})
 
+	// Warm-start variants: the persistent translation cache (internal/pcache)
+	// must let a second run of the same cell re-translate (near) zero hot
+	// pages. Each cell runs twice through a shared cache file; the recorded,
+	// invariant-bounded run is the warm one. For the deterministic single-core
+	// config the bar is absolute — every cold translation event becomes a warm
+	// hit and the warm engine translates nothing. Under MTTCG the interleaving
+	// varies, so the invariants demand warm hits and bound the residual
+	// translations instead of pinning them to zero.
+	ms = append(ms, &Manifest{
+		Name:      "mcf-warm",
+		Workload:  "mcf",
+		Configs:   []exp.Config{exp.CfgChain},
+		Warmstart: true,
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "WarmHits", Bound: 10},
+			{Kind: KindCounterMax, Counter: "TBsTranslated", Bound: 0},
+			{Kind: KindCounterMax, Counter: "Retranslations", Bound: 0},
+		},
+	})
+	ms = append(ms, &Manifest{
+		Name:      "net-server-warm",
+		Workload:  "net-server",
+		Configs:   []exp.Config{exp.CfgChain, exp.CfgMTTCG},
+		VCPUs:     []int{2},
+		Warmstart: true,
+		Invariants: []Invariant{
+			{Kind: KindChecksum},
+			{Kind: KindOracle},
+			{Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "WarmHits", Bound: 10,
+				Configs: []exp.Config{exp.CfgChain}},
+			{Kind: KindCounterMax, Counter: "TBsTranslated", Bound: 0,
+				Configs: []exp.Config{exp.CfgChain}},
+			{Kind: KindCounterMin, Counter: "WarmHits", Bound: 1,
+				Configs: []exp.Config{exp.CfgMTTCG}},
+			{Kind: KindCounterMax, Counter: "Retranslations", Bound: 256,
+				Configs: []exp.Config{exp.CfgMTTCG}},
+		},
+	})
+
 	return ms
 }
 

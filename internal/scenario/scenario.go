@@ -10,6 +10,8 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
@@ -100,6 +102,16 @@ type Manifest struct {
 	// histograms are recorded regardless.
 	ObsCats   string
 	ObsSample uint64
+
+	// Warmstart makes every cell run twice through a shared persistent
+	// translation cache file (internal/pcache): a cold run populating it,
+	// then a fresh warm-started engine. The recorded run — the one the
+	// invariants bound — is the WARM one, so a warmstart scenario pins
+	// WarmHits / Retranslations / TBsTranslated on the second run. The
+	// harness additionally requires the warm run to reproduce the cold run's
+	// final guest state (console output; retired count too on deterministic
+	// configs).
+	Warmstart bool
 
 	Invariants []Invariant
 	// Checksum supplies the expected console checksum when it depends on the
@@ -255,6 +267,13 @@ type Options struct {
 	Jobs int
 	// AuditDir, when non-empty, receives one JSON record per cell.
 	AuditDir string
+	// PCacheDir, when non-empty, gives every cell a persistent translation
+	// cache file ("scenario__config__cpuN.pcache") in that directory: runs
+	// warm-start from a file left by a previous matrix invocation and append
+	// their regions back (internal/pcache). Warmstart scenarios place their
+	// shared cold/warm file there too (instead of a discarded temp file), so
+	// the warm artifact survives for CI upload.
+	PCacheDir string
 	// Progress, when non-nil, is called after every cell (concurrently).
 	Progress func(rec *audit.RunRecord)
 }
@@ -271,6 +290,11 @@ func RunMatrix(opts Options) (*audit.Matrix, error) {
 	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.PCacheDir != "" {
+		if err := os.MkdirAll(opts.PCacheDir, 0o755); err != nil {
+			return nil, err
+		}
 	}
 
 	type task struct {
@@ -313,7 +337,7 @@ func RunMatrix(opts Options) (*audit.Matrix, error) {
 			r.TraceThreshold = tk.m.TraceThreshold
 			r.ObsCats, r.ObsSample = tk.m.ObsCats, tk.m.ObsSample
 			for _, c := range tk.cells {
-				rec := runCell(r, c, scale)
+				rec := runCell(r, c, scale, opts.PCacheDir)
 				if opts.AuditDir != "" {
 					if _, err := audit.WriteRecord(opts.AuditDir, rec); err != nil {
 						mu.Lock()
@@ -354,10 +378,15 @@ func RunMatrix(opts Options) (*audit.Matrix, error) {
 }
 
 // runCell executes one grid point and evaluates its invariants.
-func runCell(r *exp.Runner, c Cell, scale float64) *audit.RunRecord {
+func runCell(r *exp.Runner, c Cell, scale float64, pcacheDir string) *audit.RunRecord {
 	w, err := c.M.workload()
 	if err != nil {
 		return failedRecord(c, scale, 0, err)
+	}
+	r.PCache = ""
+	if pcacheDir != "" {
+		name := fmt.Sprintf("%s__%s__cpu%d.pcache", c.M.Name, c.Config, c.VCPUs)
+		r.PCache = filepath.Join(pcacheDir, name)
 	}
 	rec := &audit.RunRecord{
 		Scenario: c.M.Name,
@@ -367,7 +396,12 @@ func runCell(r *exp.Runner, c Cell, scale float64) *audit.RunRecord {
 		Scale:    scale,
 	}
 	r.SMPCPUs = c.VCPUs
-	res, err := r.Run(w, c.Config)
+	var res *exp.RunResult
+	if c.M.Warmstart {
+		res, err = runWarmCell(r, c, w)
+	} else {
+		res, err = r.Run(w, c.Config)
+	}
 	if err != nil {
 		// The run itself failed: engine error, nonzero guest exit, budget
 		// exhaustion, or oracle divergence. Every invariant is recorded as
@@ -397,6 +431,52 @@ func runCell(r *exp.Runner, c Cell, scale float64) *audit.RunRecord {
 		rec.Invariants = append(rec.Invariants, ir)
 	}
 	return rec
+}
+
+// runWarmCell executes a Warmstart cell: the same workload/config twice, a
+// cold run populating a cell-private persistent cache file and a fresh
+// warm-started engine reading it back, each on its own exp.Runner so the
+// pair shares nothing but the file. Returns the warm run's result after
+// checking it reproduced the cold run's final guest state. Retired-count
+// equality is only demanded of deterministic configs — under MTTCG the
+// interleaving (and so spin/idle retirement) legitimately varies, and the
+// checksum/oracle invariants cover state equality there.
+func runWarmCell(r *exp.Runner, c Cell, w *workloads.Workload) (*exp.RunResult, error) {
+	var err error
+	path := r.PCache // per-cell file under Options.PCacheDir, kept for upload
+	if path == "" {
+		dir, err := os.MkdirTemp("", "sldbt-warm-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		path = filepath.Join(dir, "cell.pcache")
+	}
+	runs := make([]*exp.RunResult, 2)
+	for i := range runs {
+		sub := exp.NewRunner()
+		sub.BudgetScale = r.BudgetScale
+		sub.Rules = r.Rules
+		sub.TLBSize, sub.TLBWays = c.M.TLBSize, c.M.TLBWays
+		sub.CacheCap = c.M.CacheCap
+		sub.TraceThreshold = c.M.TraceThreshold
+		sub.ObsCats, sub.ObsSample = c.M.ObsCats, c.M.ObsSample
+		sub.SMPCPUs = c.VCPUs
+		sub.PCache = path
+		if runs[i], err = sub.Run(w, c.Config); err != nil {
+			return nil, fmt.Errorf("warmstart run %d: %w", i+1, err)
+		}
+	}
+	cold, warm := runs[0], runs[1]
+	if warm.Console != cold.Console {
+		return nil, fmt.Errorf("warmstart: warm console diverges from cold run")
+	}
+	k, _ := c.Config.Knobs()
+	if !k.Parallel && warm.Retired != cold.Retired {
+		return nil, fmt.Errorf("warmstart: warm run retired %d guest instructions, cold %d",
+			warm.Retired, cold.Retired)
+	}
+	return warm, nil
 }
 
 func failedRecord(c Cell, scale float64, budget uint64, err error) *audit.RunRecord {

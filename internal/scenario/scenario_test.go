@@ -167,6 +167,43 @@ func TestMatrixSubset(t *testing.T) {
 	}
 }
 
+// TestMatrixWarmstartCell: a Warmstart manifest runs its cell twice through a
+// shared pcache file in Options.PCacheDir; the recorded (warm) run must serve
+// every translation from the cache, and the cell's cache file must survive on
+// disk for artifact upload.
+func TestMatrixWarmstartCell(t *testing.T) {
+	dir := t.TempDir()
+	warm := []*Manifest{{
+		Name: "hotloop-warm", Workload: "hotloop",
+		Configs:   []exp.Config{exp.CfgChain},
+		Warmstart: true,
+		Invariants: []Invariant{
+			{Kind: KindChecksum}, {Kind: KindOracle}, {Kind: KindBudget},
+			{Kind: KindCounterMin, Counter: "WarmHits", Bound: 1},
+			{Kind: KindCounterMax, Counter: "TBsTranslated", Bound: 0},
+		},
+	}}
+	m, err := RunMatrix(Options{Scenarios: warm, Scale: 1, PCacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Failures != 0 {
+		t.Fatalf("warmstart cell failed: %+v", m.Runs)
+	}
+	r := &m.Runs[0]
+	if r.Run.Counters.WarmHits == 0 || r.Run.Counters.TBsTranslated != 0 {
+		t.Fatalf("recorded run is not the warm one: hits=%d translated=%d",
+			r.Run.Counters.WarmHits, r.Run.Counters.TBsTranslated)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hotloop-warm__chain__cpu1.pcache")); err != nil {
+		t.Errorf("per-cell pcache file missing: %v", err)
+	}
+	// The warm-start keys flatten into the diffable metric set (schema 3).
+	if m.Flatten()["hotloop-warm/chain/cpu1 warm-hits"] == 0 {
+		t.Errorf("warm-hits metric missing from flattened artifact: %v", m.Flatten())
+	}
+}
+
 // TestMatrixRecordsViolation: an impossible invariant is recorded as a cell
 // failure — loudly, but without aborting the rest of the grid.
 func TestMatrixRecordsViolation(t *testing.T) {
